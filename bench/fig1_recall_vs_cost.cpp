@@ -1,0 +1,72 @@
+// Figure 1 (paper §6.1): recall vs. query processing cost for GES, SETS
+// and Random, with uniform node capacities and full-size node vectors.
+//
+// Expected shape (paper): GES and SETS far above Random everywhere; SETS
+// ahead of GES below ~30 % probing; GES ahead beyond it; all three meet
+// at the short-query recall ceiling (98.5 % on TREC) at 100 % probing.
+
+#include "support/bench_common.hpp"
+
+int main() {
+  using namespace ges;
+  const auto ctx = bench::make_context();
+  bench::print_banner("Figure 1: recall vs processing cost (GES / SETS / Random)",
+                      ctx);
+
+  // GES_REPEATS > 1 re-runs the whole experiment with shifted seeds and
+  // averages the curves (reported with ± stddev at key points).
+  const auto repeats = static_cast<size_t>(util::env_int("GES_REPEATS", 1));
+  const auto grid = eval::standard_cost_grid();
+
+  std::vector<eval::RecallCostCurve> ges_runs;
+  std::vector<eval::RecallCostCurve> sets_runs;
+  std::vector<eval::RecallCostCurve> random_runs;
+  eval::SearchCostStats ges_stats;
+  for (size_t rep = 0; rep < repeats; ++rep) {
+    bench::BenchContext run_ctx = ctx;
+    run_ctx.seed = ctx.seed + rep;
+    core::GesBuildConfig config;  // uniform capacities, full node vectors
+    const auto ges_system = bench::build_ges(run_ctx, config);
+    const auto sets = bench::build_sets(run_ctx);
+    const auto random_net = bench::build_random_network(run_ctx);
+    ges_runs.push_back(eval::recall_cost_curve(
+        ctx.corpus, ges_system->network(), bench::ges_searcher(*ges_system), grid,
+        run_ctx.seed, &ges_stats));
+    sets_runs.push_back(eval::recall_cost_curve(ctx.corpus, sets->network(),
+                                                bench::sets_searcher(*sets), grid,
+                                                run_ctx.seed));
+    random_runs.push_back(
+        eval::recall_cost_curve(ctx.corpus, *random_net,
+                                bench::random_searcher(*random_net), grid,
+                                run_ctx.seed));
+  }
+  const auto ges_avg = eval::average_curves(ges_runs);
+  const auto sets_avg = eval::average_curves(sets_runs);
+  const auto random_avg = eval::average_curves(random_runs);
+  const auto ges_curve = ges_avg.mean_curve();
+  const auto sets_curve = sets_avg.mean_curve();
+  const auto random_curve = random_avg.mean_curve();
+
+  std::cout << eval::curves_table({"GES", "SETS", "Random"},
+                                  {ges_curve, sets_curve, random_curve})
+                   .render();
+  if (repeats > 1) {
+    std::cout << "\n(" << repeats << " runs; GES stddev at 30%: "
+              << util::pct_cell(ges_avg.stddev[6]) << ")\n";
+  }
+
+  std::cout << "\nkey paper points:\n"
+            << "  GES recall at 30% nodes: " << util::pct_cell(ges_curve.recall_at(0.3))
+            << "  (paper: ~71.6%)\n"
+            << "  GES recall at 40% nodes: " << util::pct_cell(ges_curve.recall_at(0.4))
+            << "  (paper: 89.3%; SETS: 80%)\n"
+            << "  SETS recall at 40% nodes: " << util::pct_cell(sets_curve.recall_at(0.4))
+            << "\n"
+            << "  recall ceiling at 100%:  " << util::pct_cell(ges_curve.recall_at(1.0))
+            << "  (paper: 98.5% for all three systems)\n"
+            << "\nGES per-query cost: " << util::cell(ges_stats.mean_walk_steps, 1)
+            << " walk steps, " << util::cell(ges_stats.mean_flood_messages, 1)
+            << " flood messages, " << util::cell(ges_stats.mean_targets, 1)
+            << " target nodes\n";
+  return 0;
+}

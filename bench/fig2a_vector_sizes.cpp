@@ -1,0 +1,37 @@
+// Figure 2(a) (paper §6.2): recall vs. processing cost for node-vector
+// sizes s in {20, 50, 100, 500, 1000, 2000, full}.
+//
+// Expected shape (paper): s = 1000/500 best (81 % recall at 30 % nodes);
+// s = 100 close behind (~68 % at 30 %); s = 20/50 surprisingly usable
+// (44-55 % / 63-67 % at 20 % / 30 %); full-size vectors *worse* than 1000
+// because unimportant terms pollute Eq. 2.
+
+#include "support/bench_common.hpp"
+
+int main() {
+  using namespace ges;
+  const auto ctx = bench::make_context();
+  bench::print_banner("Figure 2a: effect of node vector size", ctx);
+
+  const size_t sizes[] = {20, 50, 100, 500, 1000, 2000, 0};  // 0 = full
+  const auto grid = eval::standard_cost_grid();
+
+  std::vector<std::string> names;
+  std::vector<eval::RecallCostCurve> curves;
+  for (const size_t s : sizes) {
+    core::GesBuildConfig config;
+    config.net.node_vector_size = s;
+    const auto system = bench::build_ges(ctx, config);
+    curves.push_back(eval::recall_cost_curve(ctx.corpus, system->network(),
+                                             bench::ges_searcher(*system), grid,
+                                             ctx.seed));
+    names.push_back(s == 0 ? "full" : "s=" + std::to_string(s));
+    std::cout << "  built and evaluated " << names.back() << ": recall@30% = "
+              << util::pct_cell(curves.back().recall_at(0.3)) << "\n";
+  }
+
+  std::cout << '\n' << eval::curves_table(names, curves).render();
+  std::cout << "\npaper reference: s=1000/500 best (81% @30%), s=100 ~68% @30%, "
+               "s=20/50 44-67% @20-30%, full below s=1000\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 2(b) (paper §6.2): cumulative distribution of per-query recall
+// when probing 30 % of the nodes, for node-vector sizes 100, 1000, full.
+//
+// Expected shape (paper): the s=1000 CDF sits to the right of (dominates)
+// both s=100 and full-size vectors.
+
+#include "support/bench_common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace ges;
+  const auto ctx = bench::make_context();
+  bench::print_banner("Figure 2b: CDF of per-query recall at 30% probing", ctx);
+
+  const size_t sizes[] = {100, 1000, 0};
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> recalls;
+  for (const size_t s : sizes) {
+    core::GesBuildConfig config;
+    config.net.node_vector_size = s;
+    const auto system = bench::build_ges(ctx, config);
+    recalls.push_back(eval::per_query_recall_at_cost(
+        ctx.corpus, system->network(), bench::ges_searcher(*system), 0.30, ctx.seed));
+    names.push_back(s == 0 ? "full" : "s=" + std::to_string(s));
+  }
+
+  // Render the CDFs on a common recall grid.
+  util::Table table({"recall(%) <=", "CDF " + names[0] + "(%)",
+                     "CDF " + names[1] + "(%)", "CDF " + names[2] + "(%)"});
+  for (int pct = 0; pct <= 100; pct += 10) {
+    std::vector<std::string> row{util::cell(pct)};
+    for (const auto& series : recalls) {
+      size_t at_or_below = 0;
+      for (const double r : series) {
+        if (r * 100.0 <= static_cast<double>(pct) + 1e-9) ++at_or_below;
+      }
+      row.push_back(util::cell(100.0 * static_cast<double>(at_or_below) /
+                                   static_cast<double>(series.size()),
+                               1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table.render();
+
+  std::cout << "\nmean per-query recall at 30% probing:\n";
+  for (size_t i = 0; i < names.size(); ++i) {
+    util::Accumulator acc;
+    for (const double r : recalls[i]) acc.add(r);
+    std::cout << "  " << names[i] << ": " << util::pct_cell(acc.mean()) << "\n";
+  }
+  std::cout << "paper reference: s=1000 dominates s=100 and full-size vectors\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Response-time extension (not in the paper, which reports only probe
+// counts): the message-level asynchronous engine assigns every hop a
+// latency, so we can measure what semantic-group flooding does to the
+// *time* a user waits for results. Walk hops are sequential — one
+// message in flight — while a flood fans out in parallel; GES's switch
+// from walking to flooding is therefore also a latency optimization.
+
+#include "ges/async_search.hpp"
+#include "support/bench_common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace ges;
+
+struct LatencyRow {
+  double first_hit_p50 = 0.0;
+  double first_hit_p90 = 0.0;
+  double complete_p50 = 0.0;
+  double complete_p90 = 0.0;
+  double probes_mean = 0.0;
+};
+
+LatencyRow measure(const bench::BenchContext& ctx, const p2p::Network& net,
+                   const core::SearchOptions& options) {
+  p2p::EventQueue queue;
+  core::LatencyModel latency;  // 50 ms/hop ± 20
+  core::AsyncSearchEngine engine(net, queue, options, latency);
+  std::vector<core::AsyncQueryResult> results;
+  for (size_t qi = 0; qi < ctx.corpus.queries.size(); ++qi) {
+    const auto& query = ctx.corpus.queries[qi];
+    if (query.relevant.empty()) continue;
+    util::Rng rng(util::derive_seed(ctx.seed, 0xAB000 + qi));
+    const auto initiator = net.alive_nodes()[rng.index(net.alive_count())];
+    engine.submit(query.vector, initiator, util::derive_seed(ctx.seed, qi),
+                  [&results](const core::AsyncQueryResult& r) {
+                    results.push_back(r);
+                  });
+  }
+  queue.run();
+
+  std::vector<double> first_hit;
+  std::vector<double> complete;
+  util::Accumulator probes;
+  for (const auto& r : results) {
+    if (r.time_to_first_hit() >= 0.0) first_hit.push_back(r.time_to_first_hit());
+    complete.push_back(r.completion_time());
+    probes.add(static_cast<double>(r.trace.probes()));
+  }
+  LatencyRow row;
+  row.first_hit_p50 = util::percentile(first_hit, 50.0);
+  row.first_hit_p90 = util::percentile(first_hit, 90.0);
+  row.complete_p50 = util::percentile(complete, 50.0);
+  row.complete_p90 = util::percentile(complete, 90.0);
+  row.probes_mean = probes.mean();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const auto ctx = bench::make_context(util::Scale::kSmall);
+  bench::print_banner("Response time (async engine, 50ms/hop): flooding as a "
+                      "latency optimization",
+                      ctx);
+
+  core::GesBuildConfig config;
+  config.net.node_vector_size = 1000;
+  const auto system = bench::build_ges(ctx, config);
+  const auto& net = system->network();
+
+  util::Table table({"protocol variant", "first-hit p50(s)", "first-hit p90(s)",
+                     "complete p50(s)", "complete p90(s)", "probes"});
+  const size_t budget = std::max<size_t>(1, net.alive_count() * 3 / 10);
+
+  auto base = system->default_search_options();
+  base.probe_budget = budget;
+
+  auto walk_only = base;
+  walk_only.target_rel_threshold = 1e9;  // flooding never triggers
+
+  auto narrow = base;
+  narrow.flood_radius = 1;
+
+  struct Variant {
+    const char* name;
+    const core::SearchOptions* options;
+  };
+  for (const auto& [name, options] :
+       {Variant{"GES (walk + group flooding)", &base},
+        Variant{"controlled flooding, radius 1", &narrow},
+        Variant{"walk only (no flooding)", &walk_only}}) {
+    const auto row = measure(ctx, net, *options);
+    table.add_row({name, util::cell(row.first_hit_p50, 2),
+                   util::cell(row.first_hit_p90, 2),
+                   util::cell(row.complete_p50, 2),
+                   util::cell(row.complete_p90, 2),
+                   util::cell(row.probes_mean, 0)});
+  }
+  std::cout << table.render();
+  std::cout << "\nWalk hops are sequential; floods fan out in parallel. The "
+               "same 30% probe\nbudget completes far sooner once semantic "
+               "groups absorb the exploration.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Micro-benchmarks of the IR substrate (google-benchmark): stemming,
+// analysis, sparse dot products, node-vector construction, local-index
+// evaluation and query expansion.
+
+#include <benchmark/benchmark.h>
+
+#include "ir/analyzer.hpp"
+#include "ir/local_index.hpp"
+#include "ir/node_vector.hpp"
+#include "ir/porter_stemmer.hpp"
+#include "ir/query_expansion.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ges;
+
+ir::SparseVector random_vector(util::Rng& rng, size_t terms, ir::TermId vocab) {
+  std::vector<ir::TermWeight> entries;
+  entries.reserve(terms);
+  for (size_t i = 0; i < terms; ++i) {
+    entries.push_back({static_cast<ir::TermId>(rng.index(vocab)),
+                       static_cast<float>(rng.uniform(0.1, 3.0))});
+  }
+  auto v = ir::SparseVector::from_pairs(std::move(entries));
+  v.normalize();
+  return v;
+}
+
+void BM_PorterStem(benchmark::State& state) {
+  const char* words[] = {"restarting", "generalizations", "conditional",
+                         "happiness",  "probabilistic",   "networking"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::porter_stem(words[i++ % std::size(words)]));
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_AnalyzeDocument(benchmark::State& state) {
+  ir::TermDictionary dict;
+  const ir::Analyzer analyzer(dict);
+  const std::string text =
+      "Leveraging the state of the art information retrieval algorithms like "
+      "the vector space model and relevance ranking, the system organizes "
+      "nodes into semantic groups so that semantically associated nodes tend "
+      "to be relevant to the same queries, achieving high recall while "
+      "probing only a small fraction of the participating nodes.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.document_vector(text));
+  }
+}
+BENCHMARK(BM_AnalyzeDocument);
+
+void BM_SparseDot(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto a = random_vector(rng, static_cast<size_t>(state.range(0)), 60000);
+  const auto b = random_vector(rng, static_cast<size_t>(state.range(0)), 60000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.dot(b));
+  }
+}
+BENCHMARK(BM_SparseDot)->Arg(50)->Arg(200)->Arg(1000)->Arg(2000);
+
+void BM_NodeVectorBuild(benchmark::State& state) {
+  util::Rng rng(2);
+  std::vector<ir::SparseVector> docs;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<ir::TermWeight> entries;
+    for (size_t t = 0; t < 180; ++t) {
+      entries.push_back({static_cast<ir::TermId>(rng.index(60000)),
+                         static_cast<float>(1 + rng.index(5))});
+    }
+    docs.push_back(ir::SparseVector::from_pairs(std::move(entries)));
+  }
+  const auto size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::build_node_vector(docs, size));
+  }
+}
+BENCHMARK(BM_NodeVectorBuild)->Arg(0)->Arg(1000)->Arg(50);
+
+void BM_LocalIndexEvaluate(benchmark::State& state) {
+  util::Rng rng(3);
+  ir::LocalIndex index;
+  for (ir::DocId d = 0; d < 40; ++d) {
+    index.add_document(d, random_vector(rng, 180, 20000));
+  }
+  const auto query = random_vector(rng, 4, 20000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.evaluate(query, 0.0));
+  }
+}
+BENCHMARK(BM_LocalIndexEvaluate);
+
+void BM_QueryExpansion(benchmark::State& state) {
+  util::Rng rng(4);
+  const auto query = random_vector(rng, 4, 20000);
+  std::vector<ir::SparseVector> feedback;
+  for (int i = 0; i < 10; ++i) feedback.push_back(random_vector(rng, 180, 20000));
+  ir::QueryExpansionParams params;
+  params.added_terms = 30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::expand_query(query, feedback, params));
+  }
+}
+BENCHMARK(BM_QueryExpansion);
+
+void BM_TruncateTop(benchmark::State& state) {
+  util::Rng rng(5);
+  const auto big = random_vector(rng, 5000, 60000);
+  for (auto _ : state) {
+    auto copy = big;
+    copy.truncate_top(1000);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_TruncateTop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

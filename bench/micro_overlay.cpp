@@ -1,0 +1,122 @@
+// Micro-benchmarks of the overlay substrate and the GES protocols
+// (google-benchmark): adaptation rounds, searches, SETS clustering.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/random_walk_search.hpp"
+#include "baselines/sets.hpp"
+#include "corpus/synthetic_corpus.hpp"
+#include "ges/system.hpp"
+#include "util/env.hpp"
+
+namespace {
+
+using namespace ges;
+
+const corpus::Corpus& bench_corpus() {
+  static const corpus::Corpus corpus = [] {
+    auto params = corpus::SyntheticCorpusParams::for_scale(util::Scale::kSmall);
+    params.seed = 42;
+    return corpus::generate_synthetic_corpus(params);
+  }();
+  return corpus;
+}
+
+void BM_AdaptationRound(benchmark::State& state) {
+  const auto& corpus = bench_corpus();
+  p2p::Network net(corpus, std::vector<p2p::Capacity>(corpus.num_nodes(), 1.0),
+                   p2p::NetworkConfig{});
+  util::Rng rng(1);
+  p2p::bootstrap_random_graph(net, 6.0, rng);
+  core::TopologyAdaptation adapt(net, core::GesParams{}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adapt.run_round());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(net.alive_count()));
+}
+BENCHMARK(BM_AdaptationRound)->Unit(benchmark::kMillisecond);
+
+const core::GesSystem& adapted_system() {
+  static const auto system = [] {
+    core::GesBuildConfig config;
+    config.net.node_vector_size = 1000;
+    config.seed = 42;
+    auto s = std::make_unique<core::GesSystem>(bench_corpus(), config);
+    s->build();
+    return s;
+  }();
+  return *system;
+}
+
+void BM_GesSearchBudget30(benchmark::State& state) {
+  const auto& system = adapted_system();
+  auto options = system.default_search_options();
+  options.probe_budget = system.network().alive_count() * 3 / 10;
+  util::Rng rng(3);
+  size_t qi = 0;
+  const auto& queries = bench_corpus().queries;
+  for (auto _ : state) {
+    const auto& q = queries[qi++ % queries.size()];
+    benchmark::DoNotOptimize(system.search(q.vector, 0, options, rng));
+  }
+}
+BENCHMARK(BM_GesSearchBudget30)->Unit(benchmark::kMicrosecond);
+
+void BM_GesSearchExhaustive(benchmark::State& state) {
+  const auto& system = adapted_system();
+  util::Rng rng(4);
+  size_t qi = 0;
+  const auto& queries = bench_corpus().queries;
+  for (auto _ : state) {
+    const auto& q = queries[qi++ % queries.size()];
+    benchmark::DoNotOptimize(system.search(q.vector, 0, rng));
+  }
+}
+BENCHMARK(BM_GesSearchExhaustive)->Unit(benchmark::kMicrosecond);
+
+void BM_RandomWalkSearchExhaustive(benchmark::State& state) {
+  const auto& corpus = bench_corpus();
+  p2p::Network net(corpus, std::vector<p2p::Capacity>(corpus.num_nodes(), 1.0),
+                   p2p::NetworkConfig{});
+  util::Rng boot(5);
+  p2p::bootstrap_random_graph(net, 8.0, boot);
+  util::Rng rng(6);
+  size_t qi = 0;
+  for (auto _ : state) {
+    const auto& q = corpus.queries[qi++ % corpus.queries.size()];
+    benchmark::DoNotOptimize(
+        baselines::random_walk_search(net, q.vector, 0, {}, rng));
+  }
+}
+BENCHMARK(BM_RandomWalkSearchExhaustive)->Unit(benchmark::kMicrosecond);
+
+void BM_SetsBuild(benchmark::State& state) {
+  const auto& corpus = bench_corpus();
+  for (auto _ : state) {
+    baselines::SetsParams params;
+    params.seed = 7;
+    baselines::SetsSystem sets(corpus,
+                               std::vector<p2p::Capacity>(corpus.num_nodes(), 1.0),
+                               p2p::NetworkConfig{}, params);
+    sets.build();
+    benchmark::DoNotOptimize(sets.segment_count());
+  }
+}
+BENCHMARK(BM_SetsBuild)->Unit(benchmark::kMillisecond);
+
+void BM_BootstrapRandomGraph(benchmark::State& state) {
+  const auto& corpus = bench_corpus();
+  for (auto _ : state) {
+    p2p::Network net(corpus, std::vector<p2p::Capacity>(corpus.num_nodes(), 1.0),
+                     p2p::NetworkConfig{});
+    util::Rng rng(8);
+    p2p::bootstrap_random_graph(net, 8.0, rng);
+    benchmark::DoNotOptimize(net.alive_count());
+  }
+}
+BENCHMARK(BM_BootstrapRandomGraph)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// §6.3 "Automatic Query Expansion" (paper): pseudo-relevance feedback
+// improves precision modestly and recall substantially.
+//
+// Expected shape (paper): with 30 added terms, precision@15 improves by
+// ~10 % and recall by ~26 %.
+//
+// Protocol: run the initial query through GES with a 30 % probe budget,
+// take the top feedback documents from the results, expand the query
+// (Rocchio-style), and re-run the expanded query.
+
+#include <algorithm>
+
+#include "ir/query_expansion.hpp"
+#include "support/bench_common.hpp"
+
+int main() {
+  using namespace ges;
+  const auto ctx = bench::make_context();
+  bench::print_banner("Query expansion: precision@15 and recall improvements", ctx);
+
+  core::GesBuildConfig config;
+  config.net.node_vector_size = 1000;
+  const auto system = bench::build_ges(ctx, config);
+  const auto& net = system->network();
+
+  auto options = system->default_search_options();
+  options.probe_budget = std::max<size_t>(1, net.alive_count() * 3 / 10);
+  // Query expansion widens the *match* set, so measure with a meaningful
+  // retrieval threshold: a document below it on the original query can
+  // clear it once the expanded query shares more of its vocabulary.
+  options.doc_rel_threshold = 0.05;
+
+  util::Table table({"added terms", "recall", "recall gain", "prec@15",
+                     "prec@15 gain"});
+  for (const size_t added : {size_t{0}, size_t{10}, size_t{30}}) {
+    double recall_sum = 0.0;
+    double prec_sum = 0.0;
+    double base_recall_sum = 0.0;
+    double base_prec_sum = 0.0;
+    size_t evaluated = 0;
+    for (size_t qi = 0; qi < ctx.corpus.queries.size(); ++qi) {
+      const auto& query = ctx.corpus.queries[qi];
+      if (query.relevant.empty()) continue;
+      util::Rng rng(util::derive_seed(ctx.seed, 0xE0000 + qi));
+      const auto initiator =
+          net.alive_nodes()[rng.index(net.alive_count())];
+
+      const auto base_trace = system->search(query.vector, initiator, options, rng);
+      const eval::Judgment judgment(query.relevant);
+      base_recall_sum += eval::recall(base_trace, judgment);
+      base_prec_sum += eval::precision_at(base_trace, judgment, 15);
+
+      if (added == 0) {
+        recall_sum = base_recall_sum;
+        prec_sum = base_prec_sum;
+        ++evaluated;
+        continue;
+      }
+
+      // Feedback: the 10 highest-scoring documents of the initial run.
+      auto ranked = base_trace.retrieved;
+      std::sort(ranked.begin(), ranked.end(),
+                [](const p2p::RetrievedDoc& a, const p2p::RetrievedDoc& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.doc < b.doc;
+                });
+      std::vector<ir::SparseVector> feedback;
+      for (size_t i = 0; i < std::min<size_t>(10, ranked.size()); ++i) {
+        feedback.push_back(net.document_vector(ranked[i].doc));
+      }
+      ir::QueryExpansionParams qe;
+      qe.added_terms = added;
+      const auto expanded = ir::expand_query(query.vector, feedback, qe);
+
+      util::Rng rng2(util::derive_seed(ctx.seed, 0xE0000 + qi));
+      const auto trace = system->search(expanded, initiator, options, rng2);
+      recall_sum += eval::recall(trace, judgment);
+      prec_sum += eval::precision_at(trace, judgment, 15);
+      ++evaluated;
+    }
+    const auto n = static_cast<double>(evaluated);
+    const double recall_gain =
+        base_recall_sum > 0 ? (recall_sum - base_recall_sum) / base_recall_sum : 0.0;
+    const double prec_gain =
+        base_prec_sum > 0 ? (prec_sum - base_prec_sum) / base_prec_sum : 0.0;
+    table.add_row({util::cell(added), util::pct_cell(recall_sum / n),
+                   util::pct_cell(recall_gain), util::pct_cell(prec_sum / n),
+                   util::pct_cell(prec_gain)});
+  }
+  std::cout << table.render();
+  std::cout << "\npaper reference: 30 added terms -> ~+26% recall, ~+10% "
+               "precision@15\n";
+  return 0;
+}

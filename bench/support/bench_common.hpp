@@ -1,0 +1,99 @@
+#pragma once
+
+// Shared plumbing for the figure/table reproduction benches. Every bench
+// binary runs stand-alone with no arguments; GES_SCALE=tiny|small|medium|full
+// selects corpus size (medium by default; "full" is the paper's 1,880
+// nodes / ~80k documents) and GES_SEED overrides the root seed.
+
+#include <cstdint>
+#include <iostream>
+
+#include "baselines/random_walk_search.hpp"
+#include "baselines/sets.hpp"
+#include "corpus/corpus_stats.hpp"
+#include "corpus/synthetic_corpus.hpp"
+#include "eval/experiment.hpp"
+#include "ges/system.hpp"
+#include "util/env.hpp"
+
+namespace ges::bench {
+
+struct BenchContext {
+  util::Scale scale = util::Scale::kMedium;
+  uint64_t seed = 42;
+  corpus::Corpus corpus;
+};
+
+inline BenchContext make_context(util::Scale default_scale = util::Scale::kMedium) {
+  BenchContext ctx;
+  ctx.scale = util::env_scale(default_scale);
+  ctx.seed = static_cast<uint64_t>(util::env_int("GES_SEED", 42));
+  auto params = corpus::SyntheticCorpusParams::for_scale(ctx.scale);
+  params.seed = ctx.seed;
+  ctx.corpus = corpus::generate_synthetic_corpus(params);
+  return ctx;
+}
+
+inline void print_banner(const char* title, const BenchContext& ctx) {
+  std::cout << "=== " << title << " ===\n"
+            << "scale: " << util::scale_name(ctx.scale) << " ("
+            << ctx.corpus.num_nodes() << " nodes, " << ctx.corpus.num_docs()
+            << " docs, " << ctx.corpus.queries.size() << " queries), seed: "
+            << ctx.seed << "\n\n";
+}
+
+/// GES at a given node-vector size; capacity profile and search options
+/// are taken from `config`.
+inline std::unique_ptr<core::GesSystem> build_ges(const BenchContext& ctx,
+                                                  core::GesBuildConfig config) {
+  config.seed = ctx.seed;
+  auto system = std::make_unique<core::GesSystem>(ctx.corpus, config);
+  system->build();
+  return system;
+}
+
+inline eval::Searcher ges_searcher(const core::GesSystem& system) {
+  return [&system](const corpus::Query& q, p2p::NodeId initiator, util::Rng& rng) {
+    return system.search(q.vector, initiator, rng);
+  };
+}
+
+/// The Random baseline network: uniformly random graph, average degree 8
+/// (paper §5.4).
+inline std::unique_ptr<p2p::Network> build_random_network(const BenchContext& ctx) {
+  auto net = std::make_unique<p2p::Network>(
+      ctx.corpus, std::vector<p2p::Capacity>(ctx.corpus.num_nodes(), 1.0),
+      p2p::NetworkConfig{});
+  util::Rng rng(util::derive_seed(ctx.seed, 77));
+  p2p::bootstrap_random_graph(*net, 8.0, rng);
+  return net;
+}
+
+inline eval::Searcher random_searcher(const p2p::Network& net) {
+  return [&net](const corpus::Query& q, p2p::NodeId initiator, util::Rng& rng) {
+    return baselines::random_walk_search(net, q.vector, initiator, {}, rng);
+  };
+}
+
+inline std::unique_ptr<baselines::SetsSystem> build_sets(const BenchContext& ctx) {
+  baselines::SetsParams params;
+  params.seed = util::derive_seed(ctx.seed, 88);
+  auto sets = std::make_unique<baselines::SetsSystem>(
+      ctx.corpus, std::vector<p2p::Capacity>(ctx.corpus.num_nodes(), 1.0),
+      p2p::NetworkConfig{}, params);
+  sets->build();
+  return sets;
+}
+
+inline eval::Searcher sets_searcher(const baselines::SetsSystem& sets) {
+  // The designated node ranks the R most relevant segments; the rest of
+  // the network is searched without topic guidance (paper §5.1).
+  baselines::SetsSearchOptions options;
+  options.route_segments = std::max<size_t>(4, sets.segment_count() / 8);
+  return [&sets, options](const corpus::Query& q, p2p::NodeId initiator,
+                          util::Rng& rng) {
+    return sets.search(q.vector, initiator, options, rng);
+  };
+}
+
+}  // namespace ges::bench

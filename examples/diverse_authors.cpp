@@ -1,0 +1,82 @@
+// Diverse authors and virtual nodes: the paper's §7 observation is that
+// "documents on a node could be diverse, and we need to distinguish
+// diverse topics in a node's documents for better semantic group
+// formation". This example builds a corpus of deliberately two-faced
+// authors, shows how their blurred node vectors weaken the semantic
+// overlay, then splits them into topic-pure virtual nodes and measures
+// the improvement.
+//
+// Usage: diverse_authors [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "corpus/synthetic_corpus.hpp"
+#include "eval/experiment.hpp"
+#include "ges/system.hpp"
+#include "ges/virtual_nodes.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ges;
+
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  auto corpus_params =
+      corpus::SyntheticCorpusParams::for_scale(util::env_scale(util::Scale::kSmall));
+  corpus_params.seed = seed;
+  // Make authors maximally two-faced: several equally strong interests.
+  corpus_params.interests_mean = 3.0;
+  corpus_params.interest_decay = 0.9;
+  const auto corpus = corpus::generate_synthetic_corpus(corpus_params);
+
+  // Plain GES over the physical corpus.
+  core::GesBuildConfig config;
+  config.seed = seed;
+  config.net.node_vector_size = 1000;
+  core::GesSystem plain(corpus, config);
+  plain.build();
+
+  // Virtual-node GES: cluster each author's documents locally.
+  core::VirtualNodeParams vparams;
+  vparams.seed = seed;
+  const auto mapping = core::build_virtual_corpus(corpus, vparams);
+  core::GesSystem split(mapping.virtual_corpus, config);
+  split.build();
+
+  std::cout << "Physical nodes: " << mapping.physical_count()
+            << ", virtual nodes: " << mapping.virtual_count() << "\n"
+            << "Semantic groups (plain):   "
+            << core::count_semantic_groups(plain.network()) << ", mean link REL "
+            << core::mean_semantic_link_relevance(plain.network()) << "\n"
+            << "Semantic groups (virtual): "
+            << core::count_semantic_groups(split.network()) << ", mean link REL "
+            << core::mean_semantic_link_relevance(split.network()) << "\n\n";
+
+  const eval::Searcher plain_searcher = [&](const corpus::Query& q,
+                                            p2p::NodeId initiator, util::Rng& rng) {
+    return plain.search(q.vector, initiator, rng);
+  };
+  const eval::Searcher split_searcher = [&](const corpus::Query& q,
+                                            p2p::NodeId initiator, util::Rng& rng) {
+    const auto& hosted = mapping.virtuals_of[initiator % mapping.physical_count()];
+    const auto trace =
+        split.search(q.vector, hosted[rng.index(hosted.size())], rng);
+    return core::project_to_physical(trace, mapping);
+  };
+
+  const auto grid = std::vector<double>{0.1, 0.2, 0.3, 0.5};
+  const auto plain_curve = eval::recall_cost_curve(corpus, plain.network(),
+                                                   plain_searcher, grid, seed);
+  // Physical cost base: the plain network has one entry per author.
+  const auto split_curve = eval::recall_cost_curve(corpus, plain.network(),
+                                                   split_searcher, grid, seed);
+
+  std::cout << eval::curves_table({"plain GES", "virtual-node GES"},
+                                  {plain_curve, split_curve})
+                   .render();
+  std::cout << "\nVirtual nodes give each topic of a diverse author its own "
+               "node vector,\nso semantic links connect the right material "
+               "(paper §7).\n";
+  return 0;
+}

@@ -1,0 +1,215 @@
+// ges_workbench — a small CLI over the library for corpus management and
+// ad-hoc experiments, the tool a downstream user reaches for first.
+//
+//   ges_workbench generate <out.gesc> [--scale S] [--seed N]
+//   ges_workbench stats <corpus.gesc>
+//   ges_workbench adapt <corpus.gesc> <out.gesn> [--vector-size S]
+//   ges_workbench search <corpus.gesc> [--budget PCT] [--vector-size S]
+//                        [--snapshot net.gesn]
+//   ges_workbench curve <corpus.gesc> [--vector-size S]   (CSV to stdout)
+//
+// `adapt` runs the topology adaptation once and checkpoints the overlay;
+// `search --snapshot` reloads it instead of re-adapting (full-scale
+// adaptation takes minutes, reloading takes seconds).
+//
+// Run without arguments for a self-contained demo (generate + adapt +
+// search through a snapshot in temp files).
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "corpus/corpus_stats.hpp"
+#include "corpus/serialization.hpp"
+#include "corpus/synthetic_corpus.hpp"
+#include "eval/experiment.hpp"
+#include "ges/system.hpp"
+#include "p2p/network_snapshot.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ges;
+
+struct Args {
+  std::vector<std::string> positional;
+  uint64_t seed = 42;
+  util::Scale scale = util::Scale::kSmall;
+  double budget = 0.30;
+  size_t vector_size = 1000;
+  std::string snapshot;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value after " + a);
+      return argv[++i];
+    };
+    if (a == "--seed") {
+      args.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (a == "--scale") {
+      const std::string s = next();
+      if (s == "tiny") args.scale = util::Scale::kTiny;
+      else if (s == "small") args.scale = util::Scale::kSmall;
+      else if (s == "medium") args.scale = util::Scale::kMedium;
+      else if (s == "full") args.scale = util::Scale::kFull;
+      else throw std::runtime_error("unknown scale " + s);
+    } else if (a == "--budget") {
+      args.budget = std::strtod(next().c_str(), nullptr);
+    } else if (a == "--vector-size") {
+      args.vector_size = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (a == "--snapshot") {
+      args.snapshot = next();
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+int cmd_generate(const Args& args) {
+  auto params = corpus::SyntheticCorpusParams::for_scale(args.scale);
+  params.seed = args.seed;
+  const auto corpus = corpus::generate_synthetic_corpus(params);
+  corpus::save_corpus_file(corpus, args.positional[1]);
+  std::cout << "wrote " << args.positional[1] << " ("
+            << util::scale_name(args.scale) << " scale, seed " << args.seed
+            << ")\n"
+            << corpus::format_stats(corpus::compute_stats(corpus));
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const auto corpus = corpus::load_corpus_file(args.positional[1]);
+  std::cout << corpus::format_stats(corpus::compute_stats(corpus));
+  return 0;
+}
+
+core::GesSystem build_system(const corpus::Corpus& corpus, const Args& args) {
+  core::GesBuildConfig config;
+  config.seed = args.seed;
+  config.net.node_vector_size = args.vector_size;
+  core::GesSystem system(corpus, config);
+  system.build();
+  return system;
+}
+
+int cmd_adapt(const Args& args) {
+  if (args.positional.size() < 3) {
+    std::cerr << "usage: ges_workbench adapt <corpus.gesc> <out.gesn>\n";
+    return 2;
+  }
+  const auto corpus = corpus::load_corpus_file(args.positional[1]);
+  const auto system = build_system(corpus, args);
+  p2p::save_network_snapshot_file(system.network(), args.positional[2]);
+  std::cout << "adapted overlay (" << core::count_semantic_groups(system.network())
+            << " semantic groups, mean link REL "
+            << util::cell(core::mean_semantic_link_relevance(system.network()), 3)
+            << ") -> " << args.positional[2] << "\n";
+  return 0;
+}
+
+int cmd_search(const Args& args) {
+  const auto corpus = corpus::load_corpus_file(args.positional[1]);
+
+  // Either reload a checkpointed overlay or adapt from scratch.
+  std::unique_ptr<p2p::Network> snapshot_net;
+  std::unique_ptr<core::GesSystem> system;
+  if (!args.snapshot.empty()) {
+    p2p::NetworkConfig net_config;
+    net_config.node_vector_size = args.vector_size;
+    snapshot_net = std::make_unique<p2p::Network>(p2p::load_network_snapshot_file(
+        corpus, args.snapshot, net_config));
+  } else {
+    system = std::make_unique<core::GesSystem>(corpus, [&] {
+      core::GesBuildConfig config;
+      config.seed = args.seed;
+      config.net.node_vector_size = args.vector_size;
+      return config;
+    }());
+    system->build();
+  }
+  const p2p::Network& net = snapshot_net ? *snapshot_net : system->network();
+
+  core::SearchOptions options;
+  options.probe_budget = std::max<size_t>(
+      1, static_cast<size_t>(args.budget * static_cast<double>(net.alive_count())));
+
+  util::Table table({"query", "probes", "recall", "prec@15"});
+  util::Rng rng(args.seed);
+  for (const auto& query : corpus.queries) {
+    if (query.relevant.empty()) continue;
+    const auto initiator = net.alive_nodes()[rng.index(net.alive_count())];
+    const auto trace =
+        core::GesSearch(net, options).search(query.vector, initiator, rng);
+    const eval::Judgment judgment(query.relevant);
+    table.add_row({std::to_string(query.id), util::cell(trace.probes()),
+                   util::pct_cell(eval::recall(trace, judgment)),
+                   util::pct_cell(eval::precision_at(trace, judgment, 15))});
+  }
+  std::cout << "GES search, budget " << util::pct_cell(args.budget, 0)
+            << " of " << net.alive_count() << " nodes, s=" << args.vector_size
+            << ":\n"
+            << table.render();
+  return 0;
+}
+
+int cmd_curve(const Args& args) {
+  const auto corpus = corpus::load_corpus_file(args.positional[1]);
+  auto system = build_system(corpus, args);
+  const eval::Searcher searcher = [&](const corpus::Query& q, p2p::NodeId initiator,
+                                      util::Rng& rng) {
+    return system.search(q.vector, initiator, rng);
+  };
+  const auto curve =
+      eval::recall_cost_curve(corpus, system.network(), searcher,
+                              eval::standard_cost_grid(), args.seed);
+  const auto table = eval::curves_table({"GES"}, {curve});
+  std::cout << table.render_csv();
+  return 0;
+}
+
+int run_demo(const Args& args) {
+  std::cout << "No command given — running the demo "
+               "(generate + adapt + search via snapshot).\n\n";
+  Args demo = args;
+  demo.positional = {"generate", "/tmp/ges_workbench_demo.gesc"};
+  cmd_generate(demo);
+  std::cout << '\n';
+  demo.positional = {"adapt", "/tmp/ges_workbench_demo.gesc",
+                     "/tmp/ges_workbench_demo.gesn"};
+  cmd_adapt(demo);
+  std::cout << '\n';
+  demo.positional = {"search", "/tmp/ges_workbench_demo.gesc"};
+  demo.snapshot = "/tmp/ges_workbench_demo.gesn";
+  return cmd_search(demo);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.positional.empty()) return run_demo(args);
+    const auto& cmd = args.positional[0];
+    if (args.positional.size() < 2) {
+      std::cerr << "usage: ges_workbench " << cmd << " <corpus.gesc> [options]\n";
+      return 2;
+    }
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "adapt") return cmd_adapt(args);
+    if (cmd == "search") return cmd_search(args);
+    if (cmd == "curve") return cmd_curve(args);
+    std::cerr << "unknown command: " << cmd
+              << " (expected generate|stats|adapt|search|curve)\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Plot recall-vs-cost curves from the bench output or workbench CSV.
+
+Usage:
+    ./build/examples/ges_workbench curve corpus.gesc > curve.csv
+    scripts/plot_curves.py curve.csv [more.csv ...] -o fig1.png
+
+Each input is a CSV whose first column is "cost(%nodes)" and whose
+remaining columns are recall series (the format `curves_table.render_csv`
+and the workbench emit). Requires matplotlib.
+"""
+
+import argparse
+import csv
+import sys
+
+
+def read_series(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    header, data = rows[0], rows[1:]
+    cost = [float(r[0]) for r in data]
+    series = {}
+    for col in range(1, len(header)):
+        series[header[col]] = [float(r[col]) for r in data]
+    return cost, series
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csvs", nargs="+", help="CSV files to plot")
+    parser.add_argument("-o", "--output", default="curves.png")
+    parser.add_argument("--title", default="Recall vs query processing cost")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    fig, ax = plt.subplots(figsize=(7, 5))
+    for path in args.csvs:
+        cost, series = read_series(path)
+        for name, values in series.items():
+            label = name if len(args.csvs) == 1 else f"{path}: {name}"
+            ax.plot(cost, values, marker="o", markersize=3, label=label)
+
+    ax.set_xlabel("processing cost (% nodes probed)")
+    ax.set_ylabel("recall (%)")
+    ax.set_title(args.title)
+    ax.set_xlim(0, 100)
+    ax.set_ylim(0, 100)
+    ax.grid(True, alpha=0.3)
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(args.output, dpi=150)
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+#include "baselines/random_walk_search.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace ges::baselines {
+
+using p2p::NodeId;
+using p2p::SearchTrace;
+
+namespace {
+
+/// Shared probe bookkeeping for the baselines.
+struct ProbeState {
+  const p2p::Network& net;
+  const ir::SparseVector& query;
+  double threshold = 0.0;
+  size_t budget = 0;
+  size_t max_responses = 0;
+
+  SearchTrace trace{};
+  std::unordered_set<NodeId> seen{};
+  size_t responses = 0;
+
+  bool done() const {
+    return trace.probes() >= budget ||
+           (max_responses != 0 && responses >= max_responses);
+  }
+
+  void probe(NodeId node) {
+    seen.insert(node);
+    const auto probe_index = static_cast<uint32_t>(trace.probe_order.size());
+    trace.probe_order.push_back(node);
+    for (const auto& d : net.index(node).evaluate(query, threshold)) {
+      trace.retrieved.push_back({d.doc, d.score, probe_index});
+      ++responses;
+    }
+  }
+};
+
+}  // namespace
+
+SearchTrace random_walk_search(const p2p::Network& network,
+                               const ir::SparseVector& query, NodeId initiator,
+                               const RandomWalkSearchOptions& options,
+                               util::Rng& rng) {
+  GES_CHECK(network.alive(initiator));
+  GES_CHECK(options.walkers >= 1);
+  ProbeState state{network,
+                   query,
+                   options.doc_rel_threshold,
+                   options.probe_budget == 0 ? network.alive_count() : options.probe_budget,
+                   options.max_responses};
+  state.probe(initiator);
+
+  struct Walker {
+    NodeId at;
+    NodeId prev = p2p::kInvalidNode;
+    bool stuck = false;
+  };
+  std::vector<Walker> walkers(options.walkers, Walker{initiator});
+
+  const size_t max_hops = options.ttl == 0
+                              ? 40 * network.alive_count() + 1000  // safety valve
+                              : options.ttl;
+  size_t hops = 0;
+  while (!state.done() && hops < max_hops) {
+    bool any_moved = false;
+    for (auto& w : walkers) {
+      if (state.done() || hops >= max_hops) break;
+      if (w.stuck) continue;
+      std::vector<NodeId> neighbors;
+      for (const NodeId n : network.all_neighbors(w.at)) {
+        if (network.alive(n)) neighbors.push_back(n);
+      }
+      if (neighbors.empty()) {
+        w.stuck = true;
+        continue;
+      }
+      NodeId next = neighbors[rng.index(neighbors.size())];
+      if (next == w.prev && neighbors.size() > 1) {
+        while (next == w.prev) next = neighbors[rng.index(neighbors.size())];
+      }
+      w.prev = w.at;
+      w.at = next;
+      ++hops;
+      ++state.trace.walk_steps;
+      any_moved = true;
+      if (state.seen.count(w.at) == 0) state.probe(w.at);
+    }
+    if (!any_moved) break;
+  }
+  return state.trace;
+}
+
+SearchTrace flooding_search(const p2p::Network& network, const ir::SparseVector& query,
+                            NodeId initiator, const FloodingSearchOptions& options) {
+  GES_CHECK(network.alive(initiator));
+  ProbeState state{network,
+                   query,
+                   options.doc_rel_threshold,
+                   options.probe_budget == 0 ? network.alive_count() : options.probe_budget,
+                   options.max_responses};
+  state.probe(initiator);
+
+  struct Item {
+    NodeId node;
+    NodeId from;
+    size_t depth;
+  };
+  std::deque<Item> frontier{{initiator, p2p::kInvalidNode, 0}};
+  while (!frontier.empty() && !state.done()) {
+    const Item item = frontier.front();
+    frontier.pop_front();
+    if (options.ttl != 0 && item.depth >= options.ttl) continue;
+    for (const NodeId next : network.all_neighbors(item.node)) {
+      if (next == item.from || !network.alive(next)) continue;
+      ++state.trace.flood_messages;
+      if (state.seen.count(next) > 0) continue;
+      if (state.done()) break;
+      state.probe(next);
+      frontier.push_back({next, item.node, item.depth + 1});
+    }
+  }
+  return state.trace;
+}
+
+}  // namespace ges::baselines

@@ -1,0 +1,54 @@
+#pragma once
+
+#include "ir/sparse_vector.hpp"
+#include "p2p/network.hpp"
+#include "p2p/search_trace.hpp"
+#include "util/rng.hpp"
+
+namespace ges::baselines {
+
+/// Options of the "Random" baseline (paper §5.1: random walks over a
+/// uniformly random graph, after Lv et al.).
+struct RandomWalkSearchOptions {
+  /// Number of parallel walkers (Lv et al. recommend 16-64); walkers
+  /// advance in lock-step rounds.
+  size_t walkers = 32;
+
+  /// Total hop budget across all walkers; 0 = unbounded.
+  size_t ttl = 0;
+
+  /// Stop after this many retrieved documents; 0 = unbounded.
+  size_t max_responses = 0;
+
+  /// Stop after this many distinct probed nodes; 0 = all alive nodes.
+  size_t probe_budget = 0;
+
+  /// Retrieval rule, as in GES.
+  double doc_rel_threshold = 0.0;
+};
+
+/// Execute one blind random-walk search from `initiator`: at each step a
+/// walker forwards the query to a uniformly random neighbor "without
+/// considering any hint of how likely the next node will have answers"
+/// (paper §5.1). Probes and retrievals are instrumented like GES.
+p2p::SearchTrace random_walk_search(const p2p::Network& network,
+                                    const ir::SparseVector& query,
+                                    p2p::NodeId initiator,
+                                    const RandomWalkSearchOptions& options,
+                                    util::Rng& rng);
+
+/// Options for plain Gnutella flooding (reference point; paper §2 calls
+/// out its bandwidth cost).
+struct FloodingSearchOptions {
+  size_t ttl = 0;  // BFS depth; 0 = unbounded
+  size_t max_responses = 0;
+  size_t probe_budget = 0;
+  double doc_rel_threshold = 0.0;
+};
+
+/// Breadth-first flooding over all links from `initiator`.
+p2p::SearchTrace flooding_search(const p2p::Network& network,
+                                 const ir::SparseVector& query, p2p::NodeId initiator,
+                                 const FloodingSearchOptions& options);
+
+}  // namespace ges::baselines

@@ -1,0 +1,208 @@
+#include "baselines/sets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+
+#include "ir/kmeans.hpp"
+#include "ir/node_vector.hpp"
+#include "util/check.hpp"
+
+namespace ges::baselines {
+
+using p2p::LinkType;
+using p2p::NodeId;
+using p2p::SearchTrace;
+
+SetsSystem::SetsSystem(const corpus::Corpus& corpus,
+                       std::vector<p2p::Capacity> capacities, p2p::NetworkConfig net,
+                       SetsParams params)
+    : corpus_(&corpus), params_(params), rng_(util::derive_seed(params.seed, 0)) {
+  net.node_vector_size = 0;  // SETS uses full-size node vectors (paper §6.2)
+  network_ = std::make_unique<p2p::Network>(corpus, std::move(capacities), net);
+  if (params_.segments == 0) {
+    params_.segments = std::max<size_t>(2, corpus.num_nodes() / 7);
+  }
+  if (params_.routing_hops == ~size_t{0}) {
+    params_.routing_hops = static_cast<size_t>(
+        std::ceil(std::log2(static_cast<double>(params_.segments))));
+  }
+  GES_CHECK(params_.segments >= 1);
+  GES_CHECK_MSG(params_.segments <= corpus.num_nodes(),
+                "more segments than nodes (" << params_.segments << " > "
+                                             << corpus.num_nodes() << ")");
+}
+
+void SetsSystem::build() {
+  GES_CHECK_MSG(!built_, "SetsSystem::build() already ran");
+  built_ = true;
+  run_kmeans();
+  build_links();
+}
+
+const ir::SparseVector& SetsSystem::centroid(size_t segment) const {
+  GES_CHECK(segment < centroids_.size());
+  return centroids_[segment];
+}
+
+const std::vector<NodeId>& SetsSystem::segment_members(size_t segment) const {
+  GES_CHECK(segment < members_.size());
+  return members_[segment];
+}
+
+void SetsSystem::run_kmeans() {
+  const size_t n = network_->size();
+
+  std::vector<const ir::SparseVector*> vectors;
+  vectors.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    vectors.push_back(&network_->node_vector(static_cast<NodeId>(i)));
+  }
+  ir::KMeansParams kmeans;
+  kmeans.clusters = params_.segments;
+  kmeans.max_iterations = params_.kmeans_iterations;
+  kmeans.centroid_terms = params_.centroid_terms;
+  kmeans.seed = util::derive_seed(params_.seed, 1);
+  auto clustering = ir::spherical_kmeans(vectors, kmeans);
+  segment_of_ = std::move(clustering.assignment);
+  centroids_ = std::move(clustering.centroids);
+
+  members_.assign(params_.segments, {});
+  for (size_t i = 0; i < n; ++i) {
+    members_[segment_of_[i]].push_back(static_cast<NodeId>(i));
+  }
+}
+
+void SetsSystem::build_links() {
+  const size_t n = network_->size();
+  // Local links: semantic-typed links to random same-segment peers.
+  for (size_t i = 0; i < n; ++i) {
+    const auto node = static_cast<NodeId>(i);
+    const auto& segment = members_[segment_of_[i]];
+    if (segment.size() <= 1) continue;
+    size_t made = network_->degree(node, LinkType::kSemantic);
+    size_t attempts = 0;
+    while (made < params_.local_links && attempts < segment.size() * 8) {
+      ++attempts;
+      const NodeId peer = segment[rng_.index(segment.size())];
+      if (network_->connect(node, peer, LinkType::kSemantic)) ++made;
+    }
+  }
+  // Long-distance links: random-typed links to other segments.
+  for (size_t i = 0; i < n; ++i) {
+    const auto node = static_cast<NodeId>(i);
+    size_t made = network_->degree(node, LinkType::kRandom);
+    size_t attempts = 0;
+    while (made < params_.long_links && attempts < n * 4) {
+      ++attempts;
+      const auto peer = static_cast<NodeId>(rng_.index(n));
+      if (segment_of_[peer] == segment_of_[i]) continue;
+      if (network_->connect(node, peer, LinkType::kRandom)) ++made;
+    }
+  }
+}
+
+SearchTrace SetsSystem::search(const ir::SparseVector& query, NodeId initiator,
+                               const SetsSearchOptions& options, util::Rng& rng) const {
+  GES_CHECK_MSG(built_, "SetsSystem::build() must run before search()");
+  GES_CHECK(network_->alive(initiator));
+
+  SearchTrace trace;
+  std::unordered_set<NodeId> seen;
+  size_t responses = 0;
+  const size_t budget =
+      options.probe_budget == 0 ? network_->alive_count() : options.probe_budget;
+
+  const auto done = [&] {
+    return trace.probes() >= budget ||
+           (options.max_responses != 0 && responses >= options.max_responses);
+  };
+  const auto probe = [&](NodeId node) {
+    seen.insert(node);
+    const auto probe_index = static_cast<uint32_t>(trace.probe_order.size());
+    trace.probe_order.push_back(node);
+    for (const auto& d :
+         network_->index(node).evaluate(query, options.doc_rel_threshold)) {
+      trace.retrieved.push_back({d.doc, d.score, probe_index});
+      ++responses;
+    }
+  };
+
+  // The designated node ranks segments by centroid relevance and routes
+  // the query to the R most relevant ones in order (paper §5.1); any
+  // remaining budget is spent on the other segments in arbitrary order.
+  std::vector<std::pair<double, size_t>> ranked;
+  ranked.reserve(centroids_.size());
+  for (size_t s = 0; s < centroids_.size(); ++s) {
+    ranked.emplace_back(centroids_[s].dot(query), s);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  const size_t routed = options.route_segments == 0
+                            ? ranked.size()
+                            : std::min(options.route_segments, ranked.size());
+  std::vector<size_t> visit_order;
+  visit_order.reserve(ranked.size());
+  for (size_t r = 0; r < routed; ++r) visit_order.push_back(ranked[r].second);
+  for (size_t r = routed; r < ranked.size(); ++r) visit_order.push_back(ranked[r].second);
+  if (routed < ranked.size()) {
+    std::sort(visit_order.begin() + static_cast<ptrdiff_t>(routed), visit_order.end());
+  }
+
+  const auto alive_nodes = network_->alive_nodes();
+  for (size_t r = 0; r < visit_order.size() && !done(); ++r) {
+    const size_t segment = visit_order[r];
+    std::vector<NodeId> alive_members;
+    for (const NodeId m : members_[segment]) {
+      if (network_->alive(m) && seen.count(m) == 0) alive_members.push_back(m);
+    }
+    if (alive_members.empty()) continue;
+
+    // Routing into the segment: the query is forwarded over the
+    // small-world overlay for ~log2(C) hops; every forwarding node
+    // processes (and evaluates) the query.
+    for (size_t hop = 0; hop < params_.routing_hops && !done(); ++hop) {
+      const NodeId via = alive_nodes[rng.index(alive_nodes.size())];
+      ++trace.walk_steps;
+      if (seen.count(via) == 0) probe(via);
+    }
+    if (done()) break;
+    // Routing may have probed some members already.
+    alive_members.erase(std::remove_if(alive_members.begin(), alive_members.end(),
+                                       [&](NodeId m) { return seen.count(m) > 0; }),
+                        alive_members.end());
+    if (alive_members.empty()) continue;
+
+    // Enter at a random member (reached via long-distance links), then
+    // flood along local links; unreachable members are finally routed to
+    // directly — the designated node knows the full membership.
+    const NodeId entry = alive_members[rng.index(alive_members.size())];
+    ++trace.walk_steps;  // the routing hop into the segment
+    probe(entry);
+    std::deque<NodeId> frontier{entry};
+    while (!frontier.empty() && !done()) {
+      const NodeId current = frontier.front();
+      frontier.pop_front();
+      for (const NodeId next : network_->neighbors(current, LinkType::kSemantic)) {
+        if (!network_->alive(next)) continue;
+        ++trace.flood_messages;
+        if (seen.count(next) > 0) continue;
+        if (done()) break;
+        probe(next);
+        frontier.push_back(next);
+      }
+    }
+    for (const NodeId m : alive_members) {
+      if (done()) break;
+      if (seen.count(m) > 0) continue;
+      ++trace.walk_steps;  // direct routing to an unreached member
+      probe(m);
+    }
+  }
+  return trace;
+}
+
+}  // namespace ges::baselines

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "ir/sparse_vector.hpp"
+#include "p2p/capacity.hpp"
+#include "p2p/network.hpp"
+#include "p2p/search_trace.hpp"
+#include "util/rng.hpp"
+
+namespace ges::baselines {
+
+/// SETS construction parameters (paper §5.1; Bawa–Manku–Raghavan).
+struct SetsParams {
+  /// Number of topic segments C; 0 = auto (about one segment per 7 nodes,
+  /// the paper's 256-segments-for-1880-nodes ratio).
+  size_t segments = 0;
+
+  /// Links per node inside its segment / to other segments (paper: 4 + 4).
+  size_t local_links = 4;
+  size_t long_links = 4;
+
+  /// Spherical k-means iterations at the designated node.
+  size_t kmeans_iterations = 12;
+
+  /// Nodes involved in routing the query into each segment. SETS's
+  /// topic-segmented overlay routes over long-distance links in
+  /// O(log C) hops (Bawa et al.); every node on the path processes the
+  /// query and counts toward the paper's "fraction of nodes involved in
+  /// query processing". ~0 = auto: ceil(log2(segments)).
+  size_t routing_hops = ~size_t{0};
+
+  /// Centroids are truncated to this many terms after each update (keeps
+  /// the designated node's computation tractable); 0 = no truncation.
+  size_t centroid_terms = 1'000;
+
+  uint64_t seed = 99;
+};
+
+/// SETS query options.
+struct SetsSearchOptions {
+  /// SETS computes the R most relevant segments and routes the query to
+  /// them in relevance order (paper §5.1). When the probe budget is not
+  /// yet exhausted after those R segments, the search continues through
+  /// the *remaining* segments in arbitrary (id) order — the designated
+  /// node only ranks R segments, so the tail of the recall-vs-cost curve
+  /// grows without topic guidance (this is why GES overtakes SETS at
+  /// high budgets in Fig. 1). 0 = rank every segment.
+  size_t route_segments = 0;
+
+  size_t max_responses = 0;
+  size_t probe_budget = 0;
+  double doc_rel_threshold = 0.0;
+};
+
+/// The SETS baseline: a topic-segmented overlay built by a *designated
+/// node* that clusters all node vectors into C topic segments (the
+/// centralized structure GES's distributed adaptation replaces). Each
+/// node keeps `local_links` links inside its segment and `long_links`
+/// links to other segments. A query is routed to segments in decreasing
+/// centroid relevance and flooded within each (paper §5.1; §6.1 explains
+/// why this wins at low probe budgets and loses past ~30 %).
+class SetsSystem {
+ public:
+  /// Builds its own overlay over the corpus. SETS uses full-size node
+  /// vectors (paper §6.2), so `net.node_vector_size` is forced to 0.
+  SetsSystem(const corpus::Corpus& corpus, std::vector<p2p::Capacity> capacities,
+             p2p::NetworkConfig net, SetsParams params);
+
+  /// Run the designated node's clustering and build the overlay links.
+  void build();
+
+  p2p::Network& network() { return *network_; }
+  const p2p::Network& network() const { return *network_; }
+
+  size_t segment_count() const { return centroids_.size(); }
+  const std::vector<uint32_t>& segment_assignment() const { return segment_of_; }
+  const ir::SparseVector& centroid(size_t segment) const;
+
+  /// Members of one segment.
+  const std::vector<p2p::NodeId>& segment_members(size_t segment) const;
+
+  /// Execute one query. `initiator` only anchors the trace; routing uses
+  /// the designated node's global segment knowledge.
+  p2p::SearchTrace search(const ir::SparseVector& query, p2p::NodeId initiator,
+                          const SetsSearchOptions& options, util::Rng& rng) const;
+
+ private:
+  void run_kmeans();
+  void build_links();
+
+  const corpus::Corpus* corpus_;
+  SetsParams params_;
+  std::unique_ptr<p2p::Network> network_;
+  util::Rng rng_;
+  std::vector<uint32_t> segment_of_;
+  std::vector<ir::SparseVector> centroids_;
+  std::vector<std::vector<p2p::NodeId>> members_;
+  bool built_ = false;
+};
+
+}  // namespace ges::baselines

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/sparse_vector.hpp"
+#include "ir/term_dictionary.hpp"
+#include "ir/types.hpp"
+
+namespace ges::corpus {
+
+/// Index of a node (author) in the corpus, 0-based and dense.
+using NodeIndex = uint32_t;
+
+/// Topic identifier in the generative model (kNoTopic for loaded corpora).
+using TopicId = uint32_t;
+inline constexpr TopicId kNoTopic = ~TopicId{0};
+
+/// One document: raw term counts (needed to build node vectors, paper
+/// §4.2) plus the final normalized dampened-tf vector used for retrieval.
+struct Document {
+  ir::DocId id = ir::kInvalidDoc;
+  NodeIndex node = 0;
+  TopicId topic = kNoTopic;  // generative ground truth; kNoTopic if unknown
+  ir::SparseVector counts;   // raw term frequencies
+  ir::SparseVector vector;   // 1+ln(tf), L2-normalized
+};
+
+/// One evaluation query with its relevance judgments.
+struct Query {
+  uint32_t id = 0;
+  TopicId topic = kNoTopic;
+  ir::SparseVector vector;            // normalized query vector
+  std::vector<ir::DocId> relevant;    // judged relevant docs, ascending
+};
+
+/// A corpus: documents distributed over nodes by author (paper §5.3),
+/// plus queries and judgments. DocIds are dense indices into `docs`.
+struct Corpus {
+  ir::TermDictionary dict;
+  std::vector<Document> docs;
+  std::vector<std::vector<ir::DocId>> node_docs;  // per-node document ids
+  std::vector<Query> queries;
+
+  size_t num_nodes() const { return node_docs.size(); }
+  size_t num_docs() const { return docs.size(); }
+};
+
+}  // namespace ges::corpus

@@ -1,0 +1,72 @@
+#include "corpus/corpus_stats.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/stats.hpp"
+
+namespace ges::corpus {
+
+CorpusStats compute_stats(const Corpus& corpus) {
+  CorpusStats s;
+  s.nodes = corpus.num_nodes();
+  s.docs = corpus.num_docs();
+  s.vocabulary = corpus.dict.size();
+  s.queries = corpus.queries.size();
+
+  std::vector<double> docs_per_node;
+  docs_per_node.reserve(s.nodes);
+  util::Accumulator docs_acc;
+  for (const auto& docs : corpus.node_docs) {
+    docs_per_node.push_back(static_cast<double>(docs.size()));
+    docs_acc.add(static_cast<double>(docs.size()));
+  }
+  s.mean_docs_per_node = docs_acc.mean();
+  s.p1_docs_per_node = util::percentile(docs_per_node, 1.0);
+  s.p99_docs_per_node = util::percentile(docs_per_node, 99.0);
+
+  util::Accumulator terms_acc;
+  for (const auto& doc : corpus.docs) terms_acc.add(static_cast<double>(doc.counts.size()));
+  s.mean_unique_terms_per_doc = terms_acc.mean();
+
+  util::Accumulator query_terms_acc;
+  util::Accumulator relevant_acc;
+  std::vector<std::unordered_set<uint32_t>> node_queries(s.nodes);
+  for (const auto& q : corpus.queries) {
+    query_terms_acc.add(static_cast<double>(q.vector.size()));
+    relevant_acc.add(static_cast<double>(q.relevant.size()));
+    for (const ir::DocId d : q.relevant) {
+      node_queries[corpus.docs[d].node].insert(q.id);
+    }
+  }
+  s.mean_query_terms = query_terms_acc.mean();
+  s.mean_relevant_per_query = relevant_acc.mean();
+
+  size_t multi = 0;
+  for (const auto& queries : node_queries) {
+    if (queries.size() >= 2) ++multi;
+    s.max_queries_per_node = std::max(s.max_queries_per_node, queries.size());
+  }
+  s.frac_nodes_multi_query = s.nodes == 0 ? 0.0 : static_cast<double>(multi) / s.nodes;
+
+  return s;
+}
+
+std::string format_stats(const CorpusStats& s) {
+  std::ostringstream os;
+  os << "nodes: " << s.nodes << '\n'
+     << "documents: " << s.docs << '\n'
+     << "vocabulary: " << s.vocabulary << '\n'
+     << "queries: " << s.queries << '\n'
+     << "docs/node mean: " << s.mean_docs_per_node << '\n'
+     << "docs/node p1: " << s.p1_docs_per_node << '\n'
+     << "docs/node p99: " << s.p99_docs_per_node << '\n'
+     << "unique terms/doc mean: " << s.mean_unique_terms_per_doc << '\n'
+     << "query terms mean: " << s.mean_query_terms << '\n'
+     << "relevant docs/query mean: " << s.mean_relevant_per_query << '\n'
+     << "nodes relevant to >=2 queries: " << s.frac_nodes_multi_query * 100.0 << "%\n"
+     << "max queries per node: " << s.max_queries_per_node << '\n';
+  return os.str();
+}
+
+}  // namespace ges::corpus

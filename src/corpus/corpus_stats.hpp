@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "corpus/corpus.hpp"
+
+namespace ges::corpus {
+
+/// Summary statistics mirroring the numbers the paper reports for
+/// TREC-1,2-AP (§5.3), used to validate the synthetic substitute.
+struct CorpusStats {
+  size_t nodes = 0;
+  size_t docs = 0;
+  size_t vocabulary = 0;
+  size_t queries = 0;
+
+  double mean_docs_per_node = 0.0;
+  double p1_docs_per_node = 0.0;    // paper: 1
+  double p99_docs_per_node = 0.0;   // paper: 417
+  double mean_unique_terms_per_doc = 0.0;  // paper: ~179
+  double mean_query_terms = 0.0;           // paper: ~3.5
+  double mean_relevant_per_query = 0.0;
+
+  /// Fraction of nodes holding relevant documents for >= 2 queries
+  /// (paper: > 50 %) and the maximum (paper: 12).
+  double frac_nodes_multi_query = 0.0;
+  size_t max_queries_per_node = 0;
+};
+
+CorpusStats compute_stats(const Corpus& corpus);
+
+/// Multi-line human-readable rendering (one "name: value" per line).
+std::string format_stats(const CorpusStats& stats);
+
+}  // namespace ges::corpus

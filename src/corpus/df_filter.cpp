@@ -1,0 +1,64 @@
+#include "corpus/df_filter.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace ges::corpus {
+
+std::unordered_set<ir::TermId> remove_frequent_terms(Corpus& corpus,
+                                                     double max_df_fraction,
+                                                     size_t min_df_absolute) {
+  GES_CHECK(max_df_fraction > 0.0 && max_df_fraction <= 1.0);
+  std::unordered_set<ir::TermId> removed;
+  if (corpus.docs.empty()) return removed;
+
+  std::unordered_map<ir::TermId, size_t> df;
+  for (const auto& doc : corpus.docs) {
+    for (const auto& e : doc.counts.entries()) ++df[e.term];
+  }
+  const double limit =
+      std::max(max_df_fraction * static_cast<double>(corpus.docs.size()),
+               static_cast<double>(min_df_absolute));
+  for (const auto& [term, count] : df) {
+    if (static_cast<double>(count) > limit) removed.insert(term);
+  }
+  if (removed.empty()) return removed;
+
+  for (auto& doc : corpus.docs) {
+    std::vector<ir::TermWeight> kept;
+    kept.reserve(doc.counts.size());
+    ir::TermWeight fallback{ir::kInvalidTerm, 0.0f};
+    size_t fallback_df = ~size_t{0};
+    for (const auto& e : doc.counts.entries()) {
+      if (removed.count(e.term) == 0) {
+        kept.push_back(e);
+      } else if (df[e.term] < fallback_df) {
+        fallback = e;
+        fallback_df = df[e.term];
+      }
+    }
+    if (kept.empty() && fallback.term != ir::kInvalidTerm) {
+      kept.push_back(fallback);  // never leave a document termless
+    }
+    doc.counts = ir::SparseVector::from_pairs(std::move(kept));
+    doc.vector = doc.counts;
+    doc.vector.dampen();
+    doc.vector.normalize();
+  }
+
+  for (auto& query : corpus.queries) {
+    std::vector<ir::TermWeight> kept;
+    for (const auto& e : query.vector.entries()) {
+      if (removed.count(e.term) == 0) kept.push_back(e);
+    }
+    if (kept.empty()) continue;  // keep an otherwise-empty query unfiltered
+    query.vector = ir::SparseVector::from_pairs(std::move(kept));
+    query.vector.normalize();
+  }
+
+  return removed;
+}
+
+}  // namespace ges::corpus

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+
+namespace ges::corpus {
+
+/// Remove "highly frequent words" from a corpus (paper §3: "stop words
+/// and highly frequent words are removed from the term vector").
+///
+/// Terms whose document frequency exceeds `max_df_fraction` of the corpus
+/// — and also exceeds `min_df_absolute` documents, so tiny corpora and
+/// test fixtures are never gutted — are stripped from every document's
+/// counts (the dampened-normalized vectors are rebuilt) and from every
+/// query vector (re-normalized; queries that would become empty are left
+/// untouched). Documents made empty by the filter keep a single
+/// lowest-df term so no document vanishes. Returns the set of removed
+/// terms.
+std::unordered_set<ir::TermId> remove_frequent_terms(Corpus& corpus,
+                                                     double max_df_fraction,
+                                                     size_t min_df_absolute = 10);
+
+}  // namespace ges::corpus

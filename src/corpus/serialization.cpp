@@ -1,0 +1,181 @@
+#include "corpus/serialization.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace ges::corpus {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'E', 'S', 'C'};
+constexpr uint32_t kVersion = 1;
+
+// Little-endian primitive I/O. The simulator targets little-endian
+// hosts; the asserts below keep a big-endian port honest.
+static_assert(std::endian::native == std::endian::little,
+              "corpus serialization assumes a little-endian host");
+
+template <typename T>
+void write_pod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  GES_CHECK_MSG(in.good(), "truncated corpus stream");
+  return value;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod<uint64_t>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto size = read_pod<uint64_t>(in);
+  GES_CHECK_MSG(size <= (1u << 20), "implausible string length " << size);
+  std::string s(size, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(size));
+  GES_CHECK_MSG(in.good(), "truncated corpus stream");
+  return s;
+}
+
+void write_vector(std::ostream& out, const ir::SparseVector& v) {
+  write_pod<uint64_t>(out, v.size());
+  for (const auto& e : v.entries()) {
+    write_pod<uint32_t>(out, e.term);
+    write_pod<float>(out, e.weight);
+  }
+}
+
+ir::SparseVector read_vector(std::istream& in) {
+  const auto size = read_pod<uint64_t>(in);
+  GES_CHECK_MSG(size <= (1u << 26), "implausible vector size " << size);
+  std::vector<ir::TermWeight> entries;
+  entries.reserve(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    const auto term = read_pod<uint32_t>(in);
+    const auto weight = read_pod<float>(in);
+    entries.push_back({term, weight});
+  }
+  return ir::SparseVector::from_pairs(std::move(entries));
+}
+
+}  // namespace
+
+void save_corpus(const Corpus& corpus, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod<uint32_t>(out, kVersion);
+
+  write_pod<uint64_t>(out, corpus.dict.size());
+  for (size_t t = 0; t < corpus.dict.size(); ++t) {
+    write_string(out, corpus.dict.term(static_cast<ir::TermId>(t)));
+  }
+
+  write_pod<uint64_t>(out, corpus.docs.size());
+  for (const auto& doc : corpus.docs) {
+    write_pod<uint32_t>(out, doc.node);
+    write_pod<uint32_t>(out, doc.topic);
+    write_vector(out, doc.counts);
+  }
+
+  write_pod<uint64_t>(out, corpus.node_docs.size());
+  for (const auto& docs : corpus.node_docs) {
+    write_pod<uint64_t>(out, docs.size());
+    for (const auto d : docs) write_pod<uint32_t>(out, d);
+  }
+
+  write_pod<uint64_t>(out, corpus.queries.size());
+  for (const auto& q : corpus.queries) {
+    write_pod<uint32_t>(out, q.id);
+    write_pod<uint32_t>(out, q.topic);
+    write_vector(out, q.vector);
+    write_pod<uint64_t>(out, q.relevant.size());
+    for (const auto d : q.relevant) write_pod<uint32_t>(out, d);
+  }
+  GES_CHECK_MSG(out.good(), "corpus write failed");
+}
+
+Corpus load_corpus(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  GES_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                "not a GES corpus stream");
+  const auto version = read_pod<uint32_t>(in);
+  GES_CHECK_MSG(version == kVersion, "unsupported corpus version " << version);
+
+  Corpus corpus;
+  const auto terms = read_pod<uint64_t>(in);
+  for (uint64_t t = 0; t < terms; ++t) {
+    const auto id = corpus.dict.intern(read_string(in));
+    GES_CHECK_MSG(id == t, "duplicate term in dictionary at " << t);
+  }
+
+  const auto docs = read_pod<uint64_t>(in);
+  corpus.docs.reserve(docs);
+  for (uint64_t d = 0; d < docs; ++d) {
+    Document doc;
+    doc.id = static_cast<ir::DocId>(d);
+    doc.node = read_pod<uint32_t>(in);
+    doc.topic = read_pod<uint32_t>(in);
+    doc.counts = read_vector(in);
+    doc.vector = doc.counts;
+    doc.vector.dampen();
+    doc.vector.normalize();
+    corpus.docs.push_back(std::move(doc));
+  }
+
+  const auto nodes = read_pod<uint64_t>(in);
+  corpus.node_docs.resize(nodes);
+  for (uint64_t n = 0; n < nodes; ++n) {
+    const auto count = read_pod<uint64_t>(in);
+    GES_CHECK(count <= docs);
+    corpus.node_docs[n].reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const auto d = read_pod<uint32_t>(in);
+      GES_CHECK_MSG(d < docs, "document id out of range");
+      GES_CHECK_MSG(corpus.docs[d].node == n, "node_docs inconsistent with docs");
+      corpus.node_docs[n].push_back(d);
+    }
+  }
+
+  const auto queries = read_pod<uint64_t>(in);
+  corpus.queries.reserve(queries);
+  for (uint64_t q = 0; q < queries; ++q) {
+    Query query;
+    query.id = read_pod<uint32_t>(in);
+    query.topic = read_pod<uint32_t>(in);
+    query.vector = read_vector(in);
+    const auto relevant = read_pod<uint64_t>(in);
+    GES_CHECK(relevant <= docs);
+    query.relevant.reserve(relevant);
+    for (uint64_t i = 0; i < relevant; ++i) {
+      const auto d = read_pod<uint32_t>(in);
+      GES_CHECK_MSG(d < docs, "relevant doc id out of range");
+      query.relevant.push_back(d);
+    }
+    corpus.queries.push_back(std::move(query));
+  }
+  return corpus;
+}
+
+void save_corpus_file(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  GES_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  save_corpus(corpus, out);
+}
+
+Corpus load_corpus_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GES_CHECK_MSG(in.good(), "cannot open " << path);
+  return load_corpus(in);
+}
+
+}  // namespace ges::corpus

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "corpus/corpus.hpp"
+
+namespace ges::corpus {
+
+/// Binary corpus (de)serialization. Full-scale synthetic corpora take a
+/// minute to generate; saving them lets benches and tools reload in
+/// seconds. The format is little-endian, versioned, and validated on
+/// load (util::CheckFailure on malformed input).
+///
+/// Format v1: magic "GESC", u32 version, dictionary (u64 count, each
+/// term length-prefixed), documents (u64 count; per doc: u32 node, u32
+/// topic, counts vector as u64 count + (u32 term, f32 weight) pairs),
+/// node_docs (u64 nodes; per node u64 count + u32 doc ids), queries
+/// (u64 count; per query u32 id, u32 topic, vector, u64 relevant count +
+/// u32 doc ids).
+void save_corpus(const Corpus& corpus, std::ostream& out);
+Corpus load_corpus(std::istream& in);
+
+/// File convenience wrappers (throw util::CheckFailure on I/O errors).
+void save_corpus_file(const Corpus& corpus, const std::string& path);
+Corpus load_corpus_file(const std::string& path);
+
+}  // namespace ges::corpus

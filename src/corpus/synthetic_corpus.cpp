@@ -1,0 +1,235 @@
+#include "corpus/synthetic_corpus.hpp"
+
+#include <algorithm>
+
+#include "corpus/df_filter.hpp"
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ges::corpus {
+
+using util::Rng;
+using util::Scale;
+using util::ZipfSampler;
+
+SyntheticCorpusParams SyntheticCorpusParams::for_scale(Scale scale) {
+  SyntheticCorpusParams p;
+  switch (scale) {
+    case Scale::kTiny:
+      p.nodes = 24;
+      p.max_df_fraction = 0.30;  // topic share is 1/8; keep the cores
+      p.vocabulary = 1'200;
+      p.topics = 8;
+      p.queries = 6;
+      p.docs_per_node_mu = 1.6;
+      p.docs_per_node_sigma = 0.7;
+      p.tokens_per_doc_mu = 4.6;
+      p.tokens_per_doc_sigma = 0.4;
+      p.topic_core_size = 300;
+      p.query_term_pool = 20;
+      break;
+    case Scale::kSmall:
+      p.nodes = 120;
+      p.max_df_fraction = 0.12;  // topic share is 1/24; keep the cores
+      p.vocabulary = 6'000;
+      p.topics = 24;
+      p.queries = 12;
+      p.docs_per_node_mu = 2.2;
+      p.docs_per_node_sigma = 0.9;
+      p.tokens_per_doc_mu = 5.3;
+      p.tokens_per_doc_sigma = 0.4;
+      p.topic_core_size = 600;
+      p.query_term_pool = 30;
+      break;
+    case Scale::kMedium:
+      // The struct defaults (400 nodes, ~10k documents).
+      break;
+    case Scale::kFull:
+      // The paper's scale: 1,880 nodes, ~80k documents (mean 42.5 per
+      // node, 1st percentile 1, 99th percentile ~417), ~179 unique
+      // terms per document, 50 queries of 3-4 terms.
+      p.nodes = 1'880;
+      p.vocabulary = 60'000;
+      p.topics = 120;
+      p.queries = 50;
+      p.docs_per_node_mu = 2.95;
+      p.docs_per_node_sigma = 1.265;
+      p.tokens_per_doc_mu = 6.0;
+      p.tokens_per_doc_sigma = 0.45;
+      p.topic_core_size = 1'500;
+      break;
+  }
+  return p;
+}
+
+namespace {
+
+/// Geometric-decay interest weights (first interest dominates), matching
+/// the paper's observation that authors write mostly, but not only, about
+/// a few areas.
+std::vector<double> interest_weights(size_t count, double decay) {
+  std::vector<double> w(count);
+  double v = 1.0;
+  for (auto& x : w) {
+    x = v;
+    v *= decay;
+  }
+  return w;
+}
+
+}  // namespace
+
+Corpus generate_synthetic_corpus(const SyntheticCorpusParams& params) {
+  GES_CHECK(params.nodes > 0);
+  GES_CHECK(params.vocabulary > 0);
+  GES_CHECK(params.topics > 0);
+  GES_CHECK_MSG(params.queries <= params.topics,
+                "need one distinct topic per query (queries="
+                    << params.queries << ", topics=" << params.topics << ")");
+  GES_CHECK(params.topic_core_size <= params.vocabulary);
+  GES_CHECK(params.query_term_pool <= params.topic_core_size);
+  GES_CHECK(params.query_terms_min >= 1);
+  GES_CHECK(params.query_terms_min <= params.query_terms_max);
+  GES_CHECK(params.topic_mix >= 0.0 && params.topic_mix <= 1.0);
+
+  Corpus corpus;
+
+  // Intern the vocabulary so TermId i corresponds to "termNNNNNN".
+  for (size_t i = 0; i < params.vocabulary; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "term%06zu", i);
+    const ir::TermId id = corpus.dict.intern(name);
+    GES_CHECK(id == static_cast<ir::TermId>(i));
+  }
+
+  Rng structure_rng(util::derive_seed(params.seed, 0));
+
+  // Background distribution: Zipf over a random permutation of the
+  // vocabulary (so TermId order carries no frequency information).
+  std::vector<ir::TermId> background_perm(params.vocabulary);
+  for (size_t i = 0; i < params.vocabulary; ++i) {
+    background_perm[i] = static_cast<ir::TermId>(i);
+  }
+  structure_rng.shuffle(background_perm);
+  const ZipfSampler background_zipf(params.vocabulary, params.background_alpha);
+
+  // Topic cores: per-topic random term subsets with Zipf-ranked weights.
+  std::vector<std::vector<ir::TermId>> topic_core(params.topics);
+  for (size_t t = 0; t < params.topics; ++t) {
+    const auto picks = structure_rng.sample_without_replacement(params.vocabulary,
+                                                                params.topic_core_size);
+    topic_core[t].reserve(picks.size());
+    for (const size_t p : picks) topic_core[t].push_back(static_cast<ir::TermId>(p));
+  }
+  const ZipfSampler topic_zipf(params.topic_core_size, params.topic_alpha);
+
+  // Author interests and personal style vocabularies.
+  std::vector<std::vector<TopicId>> node_interests(params.nodes);
+  std::vector<std::vector<ir::TermId>> node_style(params.nodes);
+  for (size_t n = 0; n < params.nodes; ++n) {
+    Rng rng(util::derive_seed(params.seed, 1'000'000 + n));
+    const size_t count = std::min<size_t>(
+        params.topics,
+        1 + (params.interests_mean > 1.0 ? rng.poisson(params.interests_mean - 1.0) : 0));
+    const auto picks = rng.sample_without_replacement(params.topics, count);
+    for (const size_t p : picks) node_interests[n].push_back(static_cast<TopicId>(p));
+    if (params.style_terms_per_node > 0) {
+      const auto style = rng.sample_without_replacement(params.vocabulary,
+                                                        params.style_terms_per_node);
+      node_style[n].reserve(style.size());
+      for (const size_t s : style) node_style[n].push_back(static_cast<ir::TermId>(s));
+    }
+  }
+
+  // Documents.
+  corpus.node_docs.resize(params.nodes);
+  for (size_t n = 0; n < params.nodes; ++n) {
+    Rng rng(util::derive_seed(params.seed, 2'000'000 + n));
+    const auto doc_count = static_cast<size_t>(std::max(
+        1.0, rng.lognormal(params.docs_per_node_mu, params.docs_per_node_sigma) + 0.5));
+    const auto weights = interest_weights(node_interests[n].size(), params.interest_decay);
+    for (size_t d = 0; d < doc_count; ++d) {
+      TopicId topic;
+      if (rng.chance(params.offtopic_prob)) {
+        topic = static_cast<TopicId>(rng.index(params.topics));
+      } else {
+        topic = node_interests[n][rng.weighted_index(weights)];
+      }
+      const auto tokens = static_cast<size_t>(std::max(
+          8.0, rng.lognormal(params.tokens_per_doc_mu, params.tokens_per_doc_sigma)));
+      std::unordered_map<ir::TermId, uint32_t> counts;
+      counts.reserve(tokens);
+      for (size_t i = 0; i < tokens; ++i) {
+        ir::TermId term;
+        if (!node_style[n].empty() && rng.chance(params.style_mix)) {
+          // Uniform over the style set: spread thin so style flavours the
+          // vectors without taking over their top ranks.
+          term = node_style[n][rng.index(node_style[n].size())];
+        } else if (rng.chance(params.topic_mix)) {
+          term = topic_core[topic][topic_zipf.sample(rng) - 1];
+        } else {
+          term = background_perm[background_zipf.sample(rng) - 1];
+        }
+        ++counts[term];
+      }
+      Document doc;
+      doc.id = static_cast<ir::DocId>(corpus.docs.size());
+      doc.node = static_cast<NodeIndex>(n);
+      doc.topic = topic;
+      doc.counts = ir::SparseVector::from_counts(
+          std::vector<std::pair<ir::TermId, uint32_t>>(counts.begin(), counts.end()));
+      doc.vector = doc.counts;
+      doc.vector.dampen();
+      doc.vector.normalize();
+      corpus.node_docs[n].push_back(doc.id);
+      corpus.docs.push_back(std::move(doc));
+    }
+  }
+
+  // Queries: one distinct topic per query, terms drawn from the top
+  // `query_term_pool` ranks of the topic core (see the rank-sampling
+  // note below about the recall ceiling).
+  Rng query_rng(util::derive_seed(params.seed, 3'000'000));
+  const auto query_topics =
+      query_rng.sample_without_replacement(params.topics, params.queries);
+  for (size_t q = 0; q < params.queries; ++q) {
+    Query query;
+    query.id = static_cast<uint32_t>(q);
+    query.topic = static_cast<TopicId>(query_topics[q]);
+    const auto term_count = static_cast<size_t>(query_rng.uniform_int(
+        static_cast<int64_t>(params.query_terms_min),
+        static_cast<int64_t>(params.query_terms_max)));
+    // Query terms: distinct core ranks drawn uniformly from [1, pool].
+    // Uniform (rather than Zipf-weighted) sampling keeps some query terms
+    // off the very top of the topic, so a small fraction of relevant
+    // documents contain none of them — the mechanism behind the paper's
+    // 98.5 % recall ceiling with short queries (§6.1(4)).
+    std::unordered_set<size_t> ranks;
+    while (ranks.size() < term_count) {
+      ranks.insert(1 + query_rng.index(params.query_term_pool));
+    }
+    std::vector<ir::TermWeight> pairs;
+    pairs.reserve(ranks.size());
+    for (const size_t rank : ranks) {
+      pairs.push_back({topic_core[query.topic][rank - 1], 1.0f});
+    }
+    query.vector = ir::SparseVector::from_pairs(std::move(pairs));
+    query.vector.normalize();
+    for (const auto& doc : corpus.docs) {
+      if (doc.topic == query.topic) query.relevant.push_back(doc.id);
+    }
+    corpus.queries.push_back(std::move(query));
+  }
+
+  if (params.max_df_fraction < 1.0) {
+    remove_frequent_terms(corpus, params.max_df_fraction);
+  }
+
+  return corpus;
+}
+
+}  // namespace ges::corpus

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+
+#include "corpus/corpus.hpp"
+#include "util/env.hpp"
+
+namespace ges::corpus {
+
+/// Parameters of the synthetic AP-newswire substitute (DESIGN.md §5).
+///
+/// The generator is a topic model: `topics` topics over a shared
+/// `vocabulary`; each topic owns a Zipf(topic_alpha)-weighted core of
+/// `topic_core_size` terms; every token of a document is drawn from the
+/// document's topic core with probability `topic_mix` and from the global
+/// Zipf(background_alpha) background otherwise. Authors (= nodes) hold a
+/// small set of interest topics; documents inherit a topic from their
+/// author's interests (or, with probability `offtopic_prob`, a uniformly
+/// random topic — authors are *not* single-topic, matching the paper's
+/// observation in §5.3).
+///
+/// Queries are attached to distinct topics; their ~3.5 terms are sampled
+/// from the topic core's top `query_term_pool` ranks. A document is judged
+/// relevant to a query iff it was generated from the query's topic. Since
+/// query terms sit below the very top of the core, a small fraction of
+/// relevant documents contain none of them — reproducing the paper's
+/// 98.5 % maximum recall with short queries.
+struct SyntheticCorpusParams {
+  uint64_t seed = 42;
+
+  size_t nodes = 400;
+  size_t vocabulary = 20'000;
+  size_t topics = 60;
+  size_t queries = 30;
+
+  // Documents per node: lognormal(mu, sigma), clamped to >= 1. The full
+  // scale (mu = 2.95, sigma = 1.265) matches the paper's mean 42.5,
+  // 1st percentile 1, 99th percentile ~417.
+  double docs_per_node_mu = 2.6;
+  double docs_per_node_sigma = 1.1;
+
+  // Tokens drawn per document: lognormal, clamped to >= 8. The full-scale
+  // default yields ~179 unique terms per document.
+  double tokens_per_doc_mu = 6.0;
+  double tokens_per_doc_sigma = 0.45;
+
+  // Topic structure.
+  size_t topic_core_size = 1'500;
+  double topic_alpha = 1.15;       // Zipf exponent within a topic core
+  double background_alpha = 1.05;  // Zipf exponent of the global background
+  double topic_mix = 0.85;          // P(token comes from the topic core)
+
+  // Author interests. AP authors write across beats (paper §5.3 checked
+  // this on TREC: most nodes hold documents relevant to several distinct
+  // queries), so interests are several topics deep with flat-ish weights
+  // plus a noticeable off-topic tail.
+  double interests_mean = 2.4;   // interests per node ~ 1 + Poisson(mean - 1)
+  double interest_decay = 0.5;   // geometric weight decay across interests
+  double offtopic_prob = 0.12;   // P(doc topic is uniform random)
+
+  // Author style: every node owns a personal vocabulary (names, places,
+  // phrasing) mixed into each of its documents. Real newswire text has
+  // strong author-specific regularities; this is what keeps a designated
+  // node's global clustering (SETS) from being unrealistically clean.
+  size_t style_terms_per_node = 200;
+  double style_mix = 0.0;  // P(token comes from the author's style set)
+
+  // "Highly frequent words" removal (paper §3): terms appearing in more
+  // than this fraction of documents are stripped from all term vectors.
+  // 1.0 disables the filter.
+  double max_df_fraction = 0.05;
+
+  // Queries.
+  size_t query_terms_min = 3;
+  size_t query_terms_max = 4;
+  size_t query_term_pool = 50;  // query terms drawn from core ranks [1, pool]
+
+  /// Paper-faithful / scaled-down presets.
+  static SyntheticCorpusParams for_scale(util::Scale scale);
+};
+
+/// Generate a corpus from the parameters. Deterministic in `params.seed`.
+Corpus generate_synthetic_corpus(const SyntheticCorpusParams& params);
+
+}  // namespace ges::corpus

@@ -1,0 +1,178 @@
+#include "corpus/trec_loader.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "corpus/df_filter.hpp"
+#include "ir/analyzer.hpp"
+#include "util/check.hpp"
+
+namespace ges::corpus {
+
+namespace {
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(const std::string& s) {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && is_space(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && is_space(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Extract all "<TAG> ... </TAG>" section bodies from an SGML fragment.
+std::vector<std::string> sections(const std::string& body, const std::string& tag) {
+  std::vector<std::string> out;
+  const std::string open = "<" + tag + ">";
+  const std::string close = "</" + tag + ">";
+  size_t pos = 0;
+  for (;;) {
+    const size_t b = body.find(open, pos);
+    if (b == std::string::npos) break;
+    const size_t content = b + open.size();
+    const size_t e = body.find(close, content);
+    if (e == std::string::npos) break;
+    out.push_back(trim(body.substr(content, e - content)));
+    pos = e + close.size();
+  }
+  return out;
+}
+
+std::string first_section(const std::string& body, const std::string& tag) {
+  auto all = sections(body, tag);
+  return all.empty() ? std::string() : std::move(all.front());
+}
+
+}  // namespace
+
+std::vector<TrecRawDoc> parse_trec_docs(std::istream& in) {
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  std::vector<TrecRawDoc> docs;
+  for (const auto& body : sections(content, "DOC")) {
+    TrecRawDoc doc;
+    doc.docno = first_section(body, "DOCNO");
+    GES_CHECK_MSG(!doc.docno.empty(), "TREC document without DOCNO");
+    doc.author = first_section(body, "BYLINE");
+    std::string text;
+    for (const auto& t : sections(body, "TEXT")) {
+      if (!text.empty()) text += '\n';
+      text += t;
+    }
+    doc.text = std::move(text);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+std::vector<TrecRawTopic> parse_trec_topics(std::istream& in) {
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  std::vector<TrecRawTopic> topics;
+  for (const auto& body : sections(content, "top")) {
+    TrecRawTopic topic;
+    std::string num = first_section(body, "num");
+    // The field is conventionally "Number: NNN".
+    const size_t colon = num.find(':');
+    if (colon != std::string::npos) num = trim(num.substr(colon + 1));
+    topic.number = static_cast<uint32_t>(std::strtoul(num.c_str(), nullptr, 10));
+    std::string title = first_section(body, "title");
+    const size_t tcolon = title.find(':');
+    if (tcolon != std::string::npos && title.substr(0, tcolon) == "Topic") {
+      title = trim(title.substr(tcolon + 1));
+    }
+    topic.title = std::move(title);
+    if (topic.number != 0 && !topic.title.empty()) topics.push_back(std::move(topic));
+  }
+  return topics;
+}
+
+std::vector<TrecJudgment> parse_trec_qrels(std::istream& in) {
+  std::vector<TrecJudgment> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    TrecJudgment j;
+    int ignored = 0;
+    if (ls >> j.topic >> ignored >> j.docno >> j.relevance) out.push_back(std::move(j));
+  }
+  return out;
+}
+
+Corpus build_corpus_from_trec(const std::vector<TrecRawDoc>& docs,
+                              const std::vector<TrecRawTopic>& topics,
+                              const std::vector<TrecJudgment>& qrels,
+                              double max_df_fraction) {
+  Corpus corpus;
+  ir::Analyzer analyzer(corpus.dict);
+
+  // Keep only documents with valid author and text; one node per author,
+  // in first-seen order (deterministic).
+  std::map<std::string, NodeIndex> author_nodes;
+  std::map<std::string, ir::DocId> docno_ids;
+  for (const auto& raw : docs) {
+    if (raw.author.empty() || raw.text.empty()) continue;
+    ir::SparseVector counts = analyzer.count_vector(raw.text);
+    if (counts.empty()) continue;
+
+    const auto [it, inserted] =
+        author_nodes.emplace(raw.author, static_cast<NodeIndex>(author_nodes.size()));
+    if (inserted) corpus.node_docs.emplace_back();
+
+    Document doc;
+    doc.id = static_cast<ir::DocId>(corpus.docs.size());
+    doc.node = it->second;
+    doc.counts = std::move(counts);
+    doc.vector = doc.counts;
+    doc.vector.dampen();
+    doc.vector.normalize();
+    docno_ids[raw.docno] = doc.id;
+    corpus.node_docs[doc.node].push_back(doc.id);
+    corpus.docs.push_back(std::move(doc));
+  }
+
+  // Queries from topic titles; judgments filtered to surviving documents
+  // (the paper removes judgments for documents outside its 80,008 set).
+  for (const auto& topic : topics) {
+    Query query;
+    query.id = topic.number;
+    query.vector = analyzer.query_vector(topic.title);
+    for (const auto& j : qrels) {
+      if (j.topic != topic.number || j.relevance <= 0) continue;
+      const auto it = docno_ids.find(j.docno);
+      if (it != docno_ids.end()) query.relevant.push_back(it->second);
+    }
+    std::sort(query.relevant.begin(), query.relevant.end());
+    query.relevant.erase(std::unique(query.relevant.begin(), query.relevant.end()),
+                         query.relevant.end());
+    corpus.queries.push_back(std::move(query));
+  }
+
+  if (max_df_fraction < 1.0) remove_frequent_terms(corpus, max_df_fraction);
+
+  return corpus;
+}
+
+Corpus load_trec_corpus(const std::string& docs_path, const std::string& topics_path,
+                        const std::string& qrels_path) {
+  std::ifstream docs_in(docs_path);
+  GES_CHECK_MSG(docs_in.good(), "cannot open " << docs_path);
+  std::ifstream topics_in(topics_path);
+  GES_CHECK_MSG(topics_in.good(), "cannot open " << topics_path);
+  std::ifstream qrels_in(qrels_path);
+  GES_CHECK_MSG(qrels_in.good(), "cannot open " << qrels_path);
+
+  const auto docs = parse_trec_docs(docs_in);
+  const auto topics = parse_trec_topics(topics_in);
+  const auto qrels = parse_trec_qrels(qrels_in);
+  return build_corpus_from_trec(docs, topics, qrels);
+}
+
+}  // namespace ges::corpus

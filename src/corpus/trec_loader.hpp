@@ -1,0 +1,57 @@
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+
+namespace ges::corpus {
+
+/// One raw TREC SGML document (<DOC> ... </DOC>).
+struct TrecRawDoc {
+  std::string docno;   // <DOCNO>
+  std::string author;  // <BYLINE> (AP newswire author credit)
+  std::string text;    // <TEXT>, possibly multiple sections concatenated
+};
+
+/// One raw TREC topic (<top> ... </top>); only the title is used for
+/// queries, as in the paper (TREC-3 ad-hoc topics 151-200).
+struct TrecRawTopic {
+  uint32_t number = 0;  // <num>
+  std::string title;    // <title>
+};
+
+/// One qrels judgment line: "topic 0 docno relevance".
+struct TrecJudgment {
+  uint32_t topic = 0;
+  std::string docno;
+  int relevance = 0;
+};
+
+/// Parse the TREC SGML document stream. Documents without a DOCNO are
+/// rejected (throws util::CheckFailure); missing BYLINE/TEXT yield empty
+/// fields, mirroring the paper's filtering of docs lacking author/text.
+std::vector<TrecRawDoc> parse_trec_docs(std::istream& in);
+
+/// Parse a TREC topics stream (title field only).
+std::vector<TrecRawTopic> parse_trec_topics(std::istream& in);
+
+/// Parse a qrels stream. Malformed lines are skipped.
+std::vector<TrecJudgment> parse_trec_qrels(std::istream& in);
+
+/// Assemble a Corpus the way the paper does (§5.3): keep documents with
+/// non-empty author and text; one node per distinct author; documents and
+/// queries are run through the full VSM pipeline (stop words + Porter +
+/// removal of terms appearing in more than `max_df_fraction` of the
+/// documents); judgments referencing dropped documents are discarded.
+Corpus build_corpus_from_trec(const std::vector<TrecRawDoc>& docs,
+                              const std::vector<TrecRawTopic>& topics,
+                              const std::vector<TrecJudgment>& qrels,
+                              double max_df_fraction = 0.10);
+
+/// Convenience: load the three files from disk.
+Corpus load_trec_corpus(const std::string& docs_path, const std::string& topics_path,
+                        const std::string& qrels_path);
+
+}  // namespace ges::corpus

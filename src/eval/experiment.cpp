@@ -1,0 +1,178 @@
+#include "eval/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ges::eval {
+
+std::vector<double> standard_cost_grid() {
+  return {0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35,
+          0.40, 0.45, 0.50, 0.60, 0.70, 0.80, 0.90, 1.00};
+}
+
+double RecallCostCurve::recall_at(double cost_fraction) const {
+  GES_CHECK(!cost.empty());
+  if (cost_fraction <= cost.front()) return recall.front();
+  if (cost_fraction >= cost.back()) return recall.back();
+  for (size_t i = 1; i < cost.size(); ++i) {
+    if (cost_fraction <= cost[i]) {
+      const double t = (cost_fraction - cost[i - 1]) / (cost[i] - cost[i - 1]);
+      return recall[i - 1] + t * (recall[i] - recall[i - 1]);
+    }
+  }
+  return recall.back();
+}
+
+namespace {
+
+/// A random alive initiator for query `index`, deterministic in `seed`.
+p2p::NodeId pick_initiator(const p2p::Network& network, uint64_t seed, size_t index) {
+  util::Rng rng(util::derive_seed(seed, 0xA11CE000 + index));
+  const auto alive = network.alive_nodes();
+  GES_CHECK(!alive.empty());
+  return alive[rng.index(alive.size())];
+}
+
+std::vector<size_t> probe_counts_for(const std::vector<double>& grid, size_t nodes) {
+  std::vector<size_t> counts;
+  counts.reserve(grid.size());
+  for (const double c : grid) {
+    GES_CHECK(c >= 0.0 && c <= 1.0);
+    counts.push_back(static_cast<size_t>(std::llround(c * static_cast<double>(nodes))));
+  }
+  return counts;
+}
+
+}  // namespace
+
+RecallCostCurve recall_cost_curve(const corpus::Corpus& corpus,
+                                  const p2p::Network& network, const Searcher& searcher,
+                                  const std::vector<double>& grid, uint64_t seed,
+                                  SearchCostStats* cost_stats) {
+  const auto counts = probe_counts_for(grid, network.alive_count());
+
+  // Queries are independent and the network is read-only during search,
+  // so evaluate them on the shared pool. Results land in per-query
+  // slots, keeping the aggregation deterministic.
+  struct QueryResult {
+    bool evaluated = false;
+    std::vector<double> recalls;
+    double walk_steps = 0.0;
+    double flood_messages = 0.0;
+    double targets = 0.0;
+  };
+  std::vector<QueryResult> results(corpus.queries.size());
+  util::global_pool().parallel_for(corpus.queries.size(), [&](size_t qi) {
+    const auto& query = corpus.queries[qi];
+    if (query.relevant.empty()) return;
+    util::Rng rng(util::derive_seed(seed, 0xBEEF0000 + qi));
+    const auto trace = searcher(query, pick_initiator(network, seed, qi), rng);
+    const Judgment judgment(query.relevant);
+    QueryResult& r = results[qi];
+    r.recalls = recall_at_probe_counts(trace, judgment, counts);
+    r.walk_steps = static_cast<double>(trace.walk_steps);
+    r.flood_messages = static_cast<double>(trace.flood_messages);
+    r.targets = static_cast<double>(trace.target_count);
+    r.evaluated = true;
+  });
+
+  std::vector<double> recall_sum(grid.size(), 0.0);
+  size_t evaluated = 0;
+  double walk_sum = 0.0;
+  double flood_sum = 0.0;
+  double target_sum = 0.0;
+  for (const auto& r : results) {
+    if (!r.evaluated) continue;
+    for (size_t i = 0; i < r.recalls.size(); ++i) recall_sum[i] += r.recalls[i];
+    walk_sum += r.walk_steps;
+    flood_sum += r.flood_messages;
+    target_sum += r.targets;
+    ++evaluated;
+  }
+  GES_CHECK_MSG(evaluated > 0, "no queries with relevant documents");
+
+  RecallCostCurve curve;
+  curve.cost = grid;
+  curve.recall.resize(grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    curve.recall[i] = recall_sum[i] / static_cast<double>(evaluated);
+  }
+  if (cost_stats != nullptr) {
+    cost_stats->mean_walk_steps = walk_sum / static_cast<double>(evaluated);
+    cost_stats->mean_flood_messages = flood_sum / static_cast<double>(evaluated);
+    cost_stats->mean_targets = target_sum / static_cast<double>(evaluated);
+  }
+  return curve;
+}
+
+std::vector<double> per_query_recall_at_cost(const corpus::Corpus& corpus,
+                                             const p2p::Network& network,
+                                             const Searcher& searcher, double cost,
+                                             uint64_t seed) {
+  const size_t probes = static_cast<size_t>(
+      std::llround(cost * static_cast<double>(network.alive_count())));
+  std::vector<double> recalls;
+  for (size_t qi = 0; qi < corpus.queries.size(); ++qi) {
+    const auto& query = corpus.queries[qi];
+    if (query.relevant.empty()) continue;
+    util::Rng rng(util::derive_seed(seed, 0xBEEF0000 + qi));
+    const auto trace = searcher(query, pick_initiator(network, seed, qi), rng);
+    recalls.push_back(recall_at_probes(trace, Judgment(query.relevant), probes));
+  }
+  return recalls;
+}
+
+RecallCostCurve CurveWithError::mean_curve() const {
+  RecallCostCurve c;
+  c.cost = cost;
+  c.recall = mean;
+  return c;
+}
+
+CurveWithError average_curves(const std::vector<RecallCostCurve>& curves) {
+  GES_CHECK(!curves.empty());
+  CurveWithError out;
+  out.cost = curves[0].cost;
+  out.runs = curves.size();
+  out.mean.assign(out.cost.size(), 0.0);
+  out.stddev.assign(out.cost.size(), 0.0);
+  for (const auto& c : curves) {
+    GES_CHECK_MSG(c.cost == out.cost, "curves must share the cost grid");
+    for (size_t i = 0; i < c.recall.size(); ++i) out.mean[i] += c.recall[i];
+  }
+  for (auto& m : out.mean) m /= static_cast<double>(curves.size());
+  if (curves.size() >= 2) {
+    for (size_t i = 0; i < out.cost.size(); ++i) {
+      double sq = 0.0;
+      for (const auto& c : curves) {
+        const double d = c.recall[i] - out.mean[i];
+        sq += d * d;
+      }
+      out.stddev[i] = std::sqrt(sq / static_cast<double>(curves.size() - 1));
+    }
+  }
+  return out;
+}
+
+util::Table curves_table(const std::vector<std::string>& names,
+                         const std::vector<RecallCostCurve>& curves) {
+  GES_CHECK(!curves.empty());
+  GES_CHECK(names.size() == curves.size());
+  std::vector<std::string> header{"cost(%nodes)"};
+  for (const auto& n : names) header.push_back(n + " recall(%)");
+  util::Table table(std::move(header));
+  for (size_t i = 0; i < curves[0].cost.size(); ++i) {
+    std::vector<std::string> row{util::cell(curves[0].cost[i] * 100.0, 0)};
+    for (const auto& c : curves) {
+      GES_CHECK(c.cost.size() == curves[0].cost.size());
+      row.push_back(util::cell(c.recall[i] * 100.0, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace ges::eval

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "eval/metrics.hpp"
+#include "p2p/network.hpp"
+#include "p2p/search_trace.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace ges::eval {
+
+/// A search system under evaluation: runs one query exhaustively from the
+/// given initiator (probe budget unbounded), returning the instrumented
+/// trace. Implementations wrap GES, SETS, Random, flooding, ...
+using Searcher = std::function<p2p::SearchTrace(
+    const corpus::Query& query, p2p::NodeId initiator, util::Rng& rng)>;
+
+/// The paper's processing-cost grid (fractions of nodes probed).
+std::vector<double> standard_cost_grid();
+
+/// One recall-vs-cost series (Fig. 1 / Fig. 2a): recall is the mean over
+/// queries of per-query recall restricted to the first cost*N probes.
+struct RecallCostCurve {
+  std::vector<double> cost;    // fractions of nodes probed
+  std::vector<double> recall;  // mean recall at each cost
+
+  /// Linear interpolation of recall at an arbitrary cost.
+  double recall_at(double cost_fraction) const;
+};
+
+/// Aggregate search-cost statistics for diagnostics (messages per query).
+struct SearchCostStats {
+  double mean_walk_steps = 0.0;
+  double mean_flood_messages = 0.0;
+  double mean_targets = 0.0;
+};
+
+/// Run every corpus query once (exhaustively) through `searcher`, from a
+/// per-query random alive initiator (derived from `seed`), and build the
+/// recall-vs-cost curve over `grid`. Queries with no relevant documents
+/// are skipped.
+RecallCostCurve recall_cost_curve(const corpus::Corpus& corpus,
+                                  const p2p::Network& network, const Searcher& searcher,
+                                  const std::vector<double>& grid, uint64_t seed,
+                                  SearchCostStats* cost_stats = nullptr);
+
+/// Per-query recall at a single cost level — the data behind the recall
+/// CDF of Fig. 2b.
+std::vector<double> per_query_recall_at_cost(const corpus::Corpus& corpus,
+                                             const p2p::Network& network,
+                                             const Searcher& searcher, double cost,
+                                             uint64_t seed);
+
+/// Render curves side by side as a paper-style table: one row per cost,
+/// one column per named series.
+util::Table curves_table(const std::vector<std::string>& names,
+                         const std::vector<RecallCostCurve>& curves);
+
+/// A recall-vs-cost curve with across-seed spread.
+struct CurveWithError {
+  std::vector<double> cost;
+  std::vector<double> mean;
+  std::vector<double> stddev;
+  size_t runs = 0;
+
+  /// The mean as a plain curve (for curves_table / recall_at).
+  RecallCostCurve mean_curve() const;
+};
+
+/// Average several same-grid curves (e.g. one per seed) into a mean ±
+/// stddev series. All inputs must share the cost grid.
+CurveWithError average_curves(const std::vector<RecallCostCurve>& curves);
+
+}  // namespace ges::eval

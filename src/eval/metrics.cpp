@@ -1,0 +1,73 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ges::eval {
+
+double recall(const p2p::SearchTrace& trace, const Judgment& judgment) {
+  return recall_at_probes(trace, judgment, trace.probes());
+}
+
+double recall_at_probes(const p2p::SearchTrace& trace, const Judgment& judgment,
+                        size_t probes) {
+  if (judgment.total_relevant() == 0) return 0.0;
+  size_t hits = 0;
+  for (const auto& r : trace.retrieved) {
+    if (r.probe_index < probes && judgment.is_relevant(r.doc)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(judgment.total_relevant());
+}
+
+std::vector<double> recall_at_probe_counts(const p2p::SearchTrace& trace,
+                                           const Judgment& judgment,
+                                           const std::vector<size_t>& probe_counts) {
+  std::vector<double> out(probe_counts.size(), 0.0);
+  if (judgment.total_relevant() == 0) return out;
+
+  // Histogram of relevant hits per probe index, then prefix sums.
+  std::vector<size_t> hits_at(trace.probes() + 1, 0);
+  for (const auto& r : trace.retrieved) {
+    if (judgment.is_relevant(r.doc)) ++hits_at[r.probe_index];
+  }
+  std::vector<size_t> prefix(hits_at.size() + 1, 0);
+  for (size_t i = 0; i < hits_at.size(); ++i) prefix[i + 1] = prefix[i] + hits_at[i];
+
+  // prefix[p] = hits among probe indexes < p.
+  const auto total = static_cast<double>(judgment.total_relevant());
+  for (size_t i = 0; i < probe_counts.size(); ++i) {
+    const size_t p = std::min(probe_counts[i], trace.probes());
+    out[i] = static_cast<double>(prefix[p]) / total;
+  }
+  return out;
+}
+
+std::vector<p2p::RetrievedDoc> top_k_results(const p2p::SearchTrace& trace,
+                                             size_t k) {
+  std::vector<p2p::RetrievedDoc> ranked = trace.retrieved;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const p2p::RetrievedDoc& a, const p2p::RetrievedDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+double precision_at(const p2p::SearchTrace& trace, const Judgment& judgment, size_t r) {
+  GES_CHECK(r > 0);
+  const auto ranked = top_k_results(trace, r);
+  size_t hits = 0;
+  for (const auto& doc : ranked) {
+    if (judgment.is_relevant(doc.doc)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(r);
+}
+
+double processing_cost(const p2p::SearchTrace& trace, size_t network_nodes) {
+  GES_CHECK(network_nodes > 0);
+  return static_cast<double>(trace.probes()) / static_cast<double>(network_nodes);
+}
+
+}  // namespace ges::eval

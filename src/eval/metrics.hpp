@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/types.hpp"
+#include "p2p/search_trace.hpp"
+
+namespace ges::eval {
+
+/// Relevance judgments of one query, with O(1) membership tests.
+class Judgment {
+ public:
+  explicit Judgment(const std::vector<ir::DocId>& relevant)
+      : relevant_(relevant.begin(), relevant.end()) {}
+
+  bool is_relevant(ir::DocId doc) const { return relevant_.count(doc) > 0; }
+  size_t total_relevant() const { return relevant_.size(); }
+
+ private:
+  std::unordered_set<ir::DocId> relevant_;
+};
+
+/// Recall of the whole trace: retrieved relevant / relevant (paper §5.2).
+/// 0 when there are no relevant documents.
+double recall(const p2p::SearchTrace& trace, const Judgment& judgment);
+
+/// Recall restricted to the first `probes` probed nodes — the y-value of
+/// the paper's recall-vs-processing-cost plots at cost = probes / N.
+double recall_at_probes(const p2p::SearchTrace& trace, const Judgment& judgment,
+                        size_t probes);
+
+/// Recall at each of several probe counts (single pass).
+std::vector<double> recall_at_probe_counts(const p2p::SearchTrace& trace,
+                                           const Judgment& judgment,
+                                           const std::vector<size_t>& probe_counts);
+
+/// Precision@r (paper §5.2): fraction of the r highest-scoring retrieved
+/// documents that are relevant. Documents are ranked by descending score
+/// (ties by DocId); duplicates cannot occur since each document is
+/// evaluated at exactly one node.
+double precision_at(const p2p::SearchTrace& trace, const Judgment& judgment, size_t r);
+
+/// Query processing cost (paper §5.2): fraction of nodes probed.
+double processing_cost(const p2p::SearchTrace& trace, size_t network_nodes);
+
+/// The k highest-scoring retrieved documents of a trace (ties by DocId)
+/// — the ranked list the query initiator presents to the user
+/// ("highest relevance ranking documents", paper §4.5).
+std::vector<p2p::RetrievedDoc> top_k_results(const p2p::SearchTrace& trace, size_t k);
+
+}  // namespace ges::eval

@@ -1,0 +1,176 @@
+#include "ges/async_search.hpp"
+
+#include "ges/walk_policy.hpp"
+#include "util/check.hpp"
+
+namespace ges::core {
+
+using p2p::Guid;
+using p2p::LinkType;
+using p2p::NodeId;
+
+/// Mutable state of one in-flight query. Conceptually the per-node GUID
+/// bookkeeping lives on the nodes; the simulator centralizes it per run.
+struct AsyncSearchEngine::Run {
+  Guid guid = 0;
+  ir::SparseVector query;
+  NodeId initiator = p2p::kInvalidNode;
+  util::Rng rng{0};
+  std::function<void(const AsyncQueryResult&)> done;
+
+  AsyncQueryResult result;
+  std::unordered_set<NodeId> seen;
+  detail::WalkBookkeeping forwarded;
+  size_t budget = 0;
+  size_t responses = 0;
+  size_t ttl_left = 0;
+  size_t walk_cap = 0;
+  size_t in_flight = 0;
+  bool finished = false;
+
+  bool satisfied(const SearchOptions& options) const {
+    return result.trace.probes() >= budget ||
+           (options.max_responses != 0 && responses >= options.max_responses);
+  }
+};
+
+AsyncSearchEngine::AsyncSearchEngine(const p2p::Network& network,
+                                     p2p::EventQueue& queue, SearchOptions options,
+                                     LatencyModel latency)
+    : network_(&network), queue_(&queue), options_(options), latency_(latency) {
+  GES_CHECK(latency_.hop_mean >= 0.0);
+  GES_CHECK(latency_.hop_jitter >= 0.0);
+}
+
+double AsyncSearchEngine::next_latency(Run& run) {
+  const double jitter =
+      latency_.hop_jitter > 0.0
+          ? run.rng.uniform(-latency_.hop_jitter, latency_.hop_jitter)
+          : 0.0;
+  return std::max(1e-6, latency_.hop_mean + jitter);
+}
+
+void AsyncSearchEngine::schedule_message(const std::shared_ptr<Run>& run,
+                                         std::function<void()> handler) {
+  ++run->in_flight;
+  queue_->schedule_after(next_latency(*run),
+                         [this, run, handler = std::move(handler)] {
+                           handler();
+                           message_done(run);
+                         });
+}
+
+void AsyncSearchEngine::message_done(const std::shared_ptr<Run>& run) {
+  GES_CHECK(run->in_flight > 0);
+  --run->in_flight;
+  if (run->in_flight == 0 && !run->finished) {
+    run->finished = true;
+    run->result.completed_at = queue_->now();
+    runs_.erase(run->guid);
+    if (run->done) run->done(run->result);
+  }
+}
+
+bool AsyncSearchEngine::probe(const std::shared_ptr<Run>& run, NodeId node) {
+  run->seen.insert(node);
+  auto& trace = run->result.trace;
+  const auto probe_index = static_cast<uint32_t>(trace.probe_order.size());
+  trace.probe_order.push_back(node);
+  const auto docs = network_->index(node).evaluate(run->query,
+                                                   options_.doc_rel_threshold);
+  bool is_target = false;
+  for (const auto& d : docs) {
+    trace.retrieved.push_back({d.doc, d.score, probe_index});
+    ++run->responses;
+    if (d.score >= options_.target_rel_threshold) is_target = true;
+  }
+  if (!docs.empty()) {
+    // Query hit travels back to the initiator as its own message.
+    schedule_message(run, [this, run] { deliver_hit(run, 0); });
+  }
+  return is_target;
+}
+
+void AsyncSearchEngine::deliver_hit(const std::shared_ptr<Run>& run,
+                                    size_t /*new_docs*/) {
+  if (run->result.first_hit_at < 0.0) run->result.first_hit_at = queue_->now();
+}
+
+void AsyncSearchEngine::start_flood(const std::shared_ptr<Run>& run,
+                                    NodeId target) {
+  ++run->result.trace.target_count;
+  for (const NodeId next : network_->neighbors(target, LinkType::kSemantic)) {
+    ++run->result.trace.flood_messages;
+    schedule_message(run, [this, run, next, target] {
+      deliver_flood(run, next, target, 1);
+    });
+  }
+}
+
+void AsyncSearchEngine::deliver_flood(const std::shared_ptr<Run>& run, NodeId at,
+                                      NodeId from, size_t depth) {
+  if (run->seen.count(at) > 0) return;  // duplicate GUID: discarded
+  if (run->satisfied(options_)) return;
+  probe(run, at);
+  if (options_.flood_radius != 0 && depth >= options_.flood_radius) return;
+  for (const NodeId next : network_->neighbors(at, LinkType::kSemantic)) {
+    if (next == from) continue;
+    ++run->result.trace.flood_messages;
+    schedule_message(run,
+                     [this, run, next, at, depth] {
+                       deliver_flood(run, next, at, depth + 1);
+                     });
+  }
+}
+
+void AsyncSearchEngine::continue_walk(const std::shared_ptr<Run>& run,
+                                      NodeId from) {
+  if (run->satisfied(options_) || run->ttl_left == 0 ||
+      run->result.trace.walk_steps >= run->walk_cap) {
+    return;
+  }
+  const NodeId next = detail::pick_walk_target(*network_, options_, run->query,
+                                               from, run->forwarded, run->rng);
+  if (next == p2p::kInvalidNode) return;
+  --run->ttl_left;
+  ++run->result.trace.walk_steps;
+  schedule_message(run, [this, run, next] { deliver_walk(run, next); });
+}
+
+void AsyncSearchEngine::deliver_walk(const std::shared_ptr<Run>& run, NodeId at) {
+  if (run->satisfied(options_)) return;
+  if (run->seen.count(at) == 0) {
+    const bool is_target = probe(run, at);
+    if (is_target && !run->satisfied(options_)) start_flood(run, at);
+  }
+  continue_walk(run, at);
+}
+
+Guid AsyncSearchEngine::submit(const ir::SparseVector& query, NodeId initiator,
+                               uint64_t seed,
+                               std::function<void(const AsyncQueryResult&)> done) {
+  GES_CHECK_MSG(network_->alive(initiator), "initiator " << initiator << " is dead");
+  auto run = std::make_shared<Run>();
+  run->guid = next_guid_++;
+  run->query = query;
+  run->initiator = initiator;
+  run->rng = util::Rng(seed);
+  run->done = std::move(done);
+  run->result.guid = run->guid;
+  run->result.submitted_at = queue_->now();
+  run->budget =
+      options_.probe_budget == 0 ? network_->alive_count() : options_.probe_budget;
+  run->ttl_left = options_.ttl == 0 ? ~size_t{0} : options_.ttl;
+  run->walk_cap = 20 * network_->alive_count() + 1000;
+  runs_.emplace(run->guid, run);
+
+  // Bootstrap token keeps the run alive through the synchronous part.
+  ++run->in_flight;
+  const bool is_target = probe(run, initiator);
+  if (is_target && !run->satisfied(options_)) start_flood(run, initiator);
+  continue_walk(run, initiator);
+  message_done(run);
+  return run->guid;
+}
+
+}  // namespace ges::core

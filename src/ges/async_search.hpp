@@ -1,0 +1,89 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ges/search.hpp"
+#include "p2p/event_sim.hpp"
+#include "p2p/network.hpp"
+#include "p2p/search_trace.hpp"
+#include "util/rng.hpp"
+
+namespace ges::core {
+
+/// Per-hop message latency model for the asynchronous engine: each
+/// forwarded query message arrives after mean + uniform(-jitter, jitter)
+/// simulated seconds (clamped positive).
+struct LatencyModel {
+  double hop_mean = 0.05;
+  double hop_jitter = 0.02;
+};
+
+/// Outcome of one asynchronous query execution.
+struct AsyncQueryResult {
+  p2p::Guid guid = 0;
+  p2p::SearchTrace trace;
+
+  /// Simulated time the query was submitted / produced its first
+  /// retrieved document at the initiator / went quiescent.
+  p2p::SimTime submitted_at = 0.0;
+  p2p::SimTime first_hit_at = -1.0;  // -1 = no hits
+  p2p::SimTime completed_at = 0.0;
+
+  double time_to_first_hit() const {
+    return first_hit_at < 0.0 ? -1.0 : first_hit_at - submitted_at;
+  }
+  double completion_time() const { return completed_at - submitted_at; }
+};
+
+/// Message-level, event-driven execution of the GES search protocol
+/// (paper §4.5) on the discrete-event simulator: biased-walk messages
+/// hop with latency; a target node floods its semantic group, each flood
+/// message a timed event; query hits travel back to the initiator. The
+/// synchronous GesSearch is the zero-latency projection of this engine —
+/// it reports the same kind of trace, but AsyncSearchEngine additionally
+/// yields response-time behaviour (time to first hit, completion time)
+/// and supports many queries in flight at once.
+///
+/// The network and queue must outlive the engine; results are delivered
+/// through the callback when a query goes quiescent (no messages left in
+/// flight).
+class AsyncSearchEngine {
+ public:
+  AsyncSearchEngine(const p2p::Network& network, p2p::EventQueue& queue,
+                    SearchOptions options, LatencyModel latency = {});
+
+  /// Submit a query from `initiator`; the callback fires (during
+  /// EventQueue::run*) exactly once. Returns the query's GUID.
+  p2p::Guid submit(const ir::SparseVector& query, p2p::NodeId initiator,
+                   uint64_t seed, std::function<void(const AsyncQueryResult&)> done);
+
+  /// Queries still in flight.
+  size_t pending() const { return runs_.size(); }
+
+ private:
+  struct Run;
+
+  void deliver_walk(const std::shared_ptr<Run>& run, p2p::NodeId at);
+  void deliver_flood(const std::shared_ptr<Run>& run, p2p::NodeId at,
+                     p2p::NodeId from, size_t depth);
+  void deliver_hit(const std::shared_ptr<Run>& run, size_t new_docs);
+  void schedule_message(const std::shared_ptr<Run>& run,
+                        std::function<void()> handler);
+  void message_done(const std::shared_ptr<Run>& run);
+  bool probe(const std::shared_ptr<Run>& run, p2p::NodeId node);
+  void start_flood(const std::shared_ptr<Run>& run, p2p::NodeId target);
+  void continue_walk(const std::shared_ptr<Run>& run, p2p::NodeId from);
+  double next_latency(Run& run);
+
+  const p2p::Network* network_;
+  p2p::EventQueue* queue_;
+  SearchOptions options_;
+  LatencyModel latency_;
+  p2p::Guid next_guid_ = 1;
+  std::unordered_map<p2p::Guid, std::shared_ptr<Run>> runs_;
+};
+
+}  // namespace ges::core

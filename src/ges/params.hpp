@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "p2p/types.hpp"
+
+namespace ges::core {
+
+/// GES configuration (paper §5.4 defaults).
+struct GesParams {
+  // --- Topology adaptation -------------------------------------------
+
+  /// Minimum neighbors per node; nodes at or below it are "poorly
+  /// connected" and protected from semantic-neighbor drops.
+  size_t min_links = 3;
+
+  /// Maximum neighbors per node: 8 in the uniform-capacity experiments,
+  /// 128 in the heterogeneous ones.
+  size_t max_links = 8;
+
+  /// Finest capacity granularity: with capacity constraints enabled,
+  /// effective max_links = min(max_links, capacity / min_unit).
+  size_t min_unit = 4;
+
+  /// Whether the capacity constraint applies (heterogeneous runs).
+  bool capacity_constrained = false;
+
+  /// Maximum fraction of max_links devoted to semantic links.
+  double alpha = 0.5;
+
+  /// Node relevance threshold for semantic-vs-random classification
+  /// (REL_THRESHOLD / SEM_THRESHOLD in the paper).
+  double node_rel_threshold = 0.45;
+
+  /// TTL and MAX_RESPONSES of the periodic discovery random walks.
+  size_t walk_ttl = 60;
+  size_t walk_max_responses = 16;
+
+  /// §4.3 optimization (off in the paper's GES): a relevant node visited
+  /// by a discovery walk also answers with relevant candidates from its
+  /// own semantic host cache.
+  bool cache_assisted_discovery = false;
+
+  /// §4.3 optimization (off in the paper's GES): semantic neighbors
+  /// periodically exchange the contents of their semantic host caches.
+  bool gossip_host_caches = false;
+
+  /// §7 future work: nodes track a satisfaction degree (how full and how
+  /// relevant their link budget is) and throttle their discovery walks
+  /// accordingly, cutting maintenance traffic once the topology is good.
+  bool satisfaction_adaptive = false;
+
+  // --- Search ----------------------------------------------------------
+
+  /// Documents with REL(D,Q) >= doc_rel_threshold count as retrieved;
+  /// <= 0 means any positive score (short queries, paper §6.1(4)).
+  double doc_rel_threshold = 0.0;
+
+  /// Capacity-aware biased walks (paper §4.5, last part). Only
+  /// meaningful with heterogeneous capacities.
+  bool capacity_aware_search = false;
+
+  /// Controlled-flooding radius from the target node; 0 = probe the whole
+  /// semantic group.
+  size_t flood_radius = 0;
+
+  // --- Derived ---------------------------------------------------------
+
+  /// Effective max_links for a node of the given capacity:
+  /// min(max_links, capacity / min_unit), clamped below by min_links.
+  size_t effective_max_links(p2p::Capacity capacity) const {
+    if (!capacity_constrained) return max_links;
+    const auto by_capacity = static_cast<size_t>(capacity / static_cast<double>(min_unit));
+    const size_t limit = by_capacity < max_links ? by_capacity : max_links;
+    return limit < min_links ? min_links : limit;
+  }
+
+  /// MAX_SEM_LINKS for a node of the given capacity.
+  size_t max_sem_links(p2p::Capacity capacity) const {
+    return static_cast<size_t>(alpha * static_cast<double>(effective_max_links(capacity)));
+  }
+
+  /// MAX_RND_LINKS for a node of the given capacity.
+  size_t max_rnd_links(p2p::Capacity capacity) const {
+    return effective_max_links(capacity) - max_sem_links(capacity);
+  }
+};
+
+}  // namespace ges::core

@@ -1,0 +1,127 @@
+#include "ges/search.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ges/walk_policy.hpp"
+#include "util/check.hpp"
+
+namespace ges::core {
+
+using p2p::LinkType;
+using p2p::Network;
+using p2p::NodeId;
+using p2p::SearchTrace;
+
+namespace {
+
+/// Mutable state of one query execution.
+struct QueryRun {
+  const Network& net;
+  const SearchOptions& opt;
+  const ir::SparseVector& query;
+  util::Rng& rng;
+
+  SearchTrace trace;
+  std::unordered_set<NodeId> seen;  // nodes that processed the GUID
+  detail::WalkBookkeeping forwarded;  // walk bookkeeping
+  size_t budget;
+  size_t responses = 0;
+
+  QueryRun(const Network& n, const SearchOptions& o, const ir::SparseVector& q,
+           util::Rng& r)
+      : net(n), opt(o), query(q), rng(r) {
+    budget = o.probe_budget == 0 ? n.alive_count() : o.probe_budget;
+  }
+
+  bool out_of_budget() const { return trace.probes() >= budget; }
+  bool enough_responses() const {
+    return opt.max_responses != 0 && responses >= opt.max_responses;
+  }
+  bool done() const { return out_of_budget() || enough_responses(); }
+
+  /// Evaluate the query at `node`. Returns true when the node is a
+  /// semantic-group target.
+  bool probe(NodeId node) {
+    seen.insert(node);
+    const auto probe_index = static_cast<uint32_t>(trace.probe_order.size());
+    trace.probe_order.push_back(node);
+    const auto docs = net.index(node).evaluate(query, opt.doc_rel_threshold);
+    bool is_target = false;
+    for (const auto& d : docs) {
+      trace.retrieved.push_back({d.doc, d.score, probe_index});
+      ++responses;
+      if (d.score >= opt.target_rel_threshold) is_target = true;
+    }
+    return is_target;
+  }
+
+  /// Flood the semantic group of `target` (paper §4.5): BFS along
+  /// semantic links; nodes that already saw the GUID discard the message.
+  void flood(NodeId target) {
+    ++trace.target_count;
+    struct Item {
+      NodeId node;
+      NodeId from;
+      size_t depth;
+    };
+    std::deque<Item> frontier{{target, p2p::kInvalidNode, 0}};
+    while (!frontier.empty() && !done()) {
+      const Item item = frontier.front();
+      frontier.pop_front();
+      if (opt.flood_radius != 0 && item.depth >= opt.flood_radius) continue;
+      for (const NodeId next : net.neighbors(item.node, LinkType::kSemantic)) {
+        if (next == item.from) continue;
+        ++trace.flood_messages;
+        if (seen.count(next) > 0) continue;  // duplicate GUID: discarded
+        if (done()) break;
+        probe(next);
+        frontier.push_back({next, item.node, item.depth + 1});
+      }
+    }
+  }
+
+  /// One biased-walk forwarding decision at `node` (paper §4.5); the
+  /// policy is shared with the asynchronous engine.
+  NodeId pick_next(NodeId node) {
+    return detail::pick_walk_target(net, opt, query, node, forwarded, rng);
+  }
+};
+
+}  // namespace
+
+GesSearch::GesSearch(const Network& network, SearchOptions options)
+    : network_(&network), options_(options) {}
+
+SearchTrace GesSearch::search(const ir::SparseVector& query, NodeId initiator,
+                              util::Rng& rng) const {
+  GES_CHECK_MSG(network_->alive(initiator), "initiator " << initiator << " is dead");
+  QueryRun run(*network_, options_, query, rng);
+
+  NodeId current = initiator;
+  if (run.probe(current)) run.flood(current);
+
+  size_t ttl_left = options_.ttl == 0 ? ~size_t{0} : options_.ttl;
+  // Safety valve: a disconnected overlay can make the budget unreachable.
+  const size_t max_steps = 20 * network_->alive_count() + 1000;
+
+  while (!run.done() && ttl_left > 0 && run.trace.walk_steps < max_steps) {
+    const NodeId next = run.pick_next(current);
+    if (next == p2p::kInvalidNode) break;
+    ++run.trace.walk_steps;
+    --ttl_left;
+    current = next;
+    if (run.seen.count(current) == 0) {
+      const bool is_target = run.probe(current);
+      if (run.done()) break;
+      if (is_target) {
+        run.flood(current);
+        // Walks resume from the target node (current already is it).
+      }
+    }
+  }
+  return run.trace;
+}
+
+}  // namespace ges::core

@@ -1,0 +1,44 @@
+#include "ges/system.hpp"
+
+#include "util/check.hpp"
+
+namespace ges::core {
+
+GesSystem::GesSystem(const corpus::Corpus& corpus, GesBuildConfig config)
+    : config_(std::move(config)) {
+  util::Rng capacity_rng(util::derive_seed(config_.seed, 10));
+  auto capacities = config_.capacities.sample_many(corpus.num_nodes(), capacity_rng);
+  network_ = std::make_unique<p2p::Network>(corpus, std::move(capacities), config_.net);
+  adaptation_ = std::make_unique<TopologyAdaptation>(
+      *network_, config_.params, util::derive_seed(config_.seed, 11));
+}
+
+void GesSystem::build() {
+  GES_CHECK_MSG(!built_, "GesSystem::build() already ran");
+  built_ = true;
+  util::Rng boot_rng(util::derive_seed(config_.seed, 12));
+  p2p::bootstrap_random_graph(*network_, config_.bootstrap_avg_degree, boot_rng);
+  adaptation_->run_rounds(config_.adaptation_rounds);
+}
+
+SearchOptions GesSystem::default_search_options() const {
+  SearchOptions opt;
+  opt.doc_rel_threshold = config_.params.doc_rel_threshold;
+  opt.flood_radius = config_.params.flood_radius;
+  opt.capacity_aware = config_.params.capacity_aware_search;
+  opt.supernode_threshold = config_.capacities.supernode_threshold();
+  return opt;
+}
+
+p2p::SearchTrace GesSystem::search(const ir::SparseVector& query,
+                                   p2p::NodeId initiator, util::Rng& rng) const {
+  return search(query, initiator, default_search_options(), rng);
+}
+
+p2p::SearchTrace GesSystem::search(const ir::SparseVector& query,
+                                   p2p::NodeId initiator, const SearchOptions& options,
+                                   util::Rng& rng) const {
+  return GesSearch(*network_, options).search(query, initiator, rng);
+}
+
+}  // namespace ges::core

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+
+#include "corpus/corpus.hpp"
+#include "ges/params.hpp"
+#include "ges/search.hpp"
+#include "ges/topology_adaptation.hpp"
+#include "p2p/capacity.hpp"
+#include "p2p/network.hpp"
+
+namespace ges::core {
+
+/// Everything needed to stand up a GES deployment over a corpus.
+struct GesBuildConfig {
+  GesParams params;
+
+  /// Node-vector truncation size s (0 = full) and host-cache capacity.
+  p2p::NetworkConfig net;
+
+  /// Capacity assignment (uniform by default; gnutella() for the
+  /// heterogeneous experiments).
+  p2p::CapacityProfile capacities = p2p::CapacityProfile::uniform();
+
+  /// Average degree of the initial randomly-connected topology
+  /// (paper §5.4: the simulation starts from a random graph which the
+  /// adaptation then restructures).
+  double bootstrap_avg_degree = 6.0;
+
+  /// Adaptation rounds run by build().
+  size_t adaptation_rounds = 40;
+
+  uint64_t seed = 1;
+};
+
+/// Facade tying the corpus, overlay, topology adaptation and search
+/// protocol together — the high-level public API of the library.
+///
+///   GesSystem system(corpus, config);
+///   system.build();                       // bootstrap + adapt
+///   auto trace = system.search(query_vec, initiator, rng);
+class GesSystem {
+ public:
+  GesSystem(const corpus::Corpus& corpus, GesBuildConfig config);
+
+  /// Bootstrap the random topology and run the configured number of
+  /// adaptation rounds. Idempotent per instance (call once).
+  void build();
+
+  p2p::Network& network() { return *network_; }
+  const p2p::Network& network() const { return *network_; }
+  TopologyAdaptation& adaptation() { return *adaptation_; }
+  const GesBuildConfig& config() const { return config_; }
+
+  /// Search options derived from the build config; callers may tweak the
+  /// returned value and pass it to search().
+  SearchOptions default_search_options() const;
+
+  /// Run one query with the default options.
+  p2p::SearchTrace search(const ir::SparseVector& query, p2p::NodeId initiator,
+                          util::Rng& rng) const;
+
+  /// Run one query with explicit options.
+  p2p::SearchTrace search(const ir::SparseVector& query, p2p::NodeId initiator,
+                          const SearchOptions& options, util::Rng& rng) const;
+
+ private:
+  GesBuildConfig config_;
+  std::unique_ptr<p2p::Network> network_;
+  std::unique_ptr<TopologyAdaptation> adaptation_;
+  bool built_ = false;
+};
+
+}  // namespace ges::core

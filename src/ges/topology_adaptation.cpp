@@ -1,0 +1,388 @@
+#include "ges/topology_adaptation.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "p2p/random_walk.hpp"
+#include "util/check.hpp"
+
+namespace ges::core {
+
+using p2p::HostCacheEntry;
+using p2p::LinkType;
+using p2p::Network;
+using p2p::NodeId;
+
+TopologyAdaptation::TopologyAdaptation(Network& network, GesParams params, uint64_t seed)
+    : network_(&network), params_(params), rng_(seed) {
+  GES_CHECK(params.min_links >= 1);
+  GES_CHECK(params.max_links >= params.min_links);
+  GES_CHECK(params.alpha >= 0.0 && params.alpha <= 1.0);
+}
+
+AdaptationRoundStats TopologyAdaptation::run_round() {
+  AdaptationRoundStats stats;
+  auto nodes = network_->alive_nodes();
+  rng_.shuffle(nodes);
+  for (const NodeId node : nodes) node_step(node, stats);
+  return stats;
+}
+
+AdaptationRoundStats TopologyAdaptation::run_rounds(size_t rounds) {
+  AdaptationRoundStats total;
+  for (size_t r = 0; r < rounds; ++r) {
+    const AdaptationRoundStats s = run_round();
+    total.semantic_links_added += s.semantic_links_added;
+    total.semantic_links_dropped += s.semantic_links_dropped;
+    total.random_links_added += s.random_links_added;
+    total.random_links_dropped += s.random_links_dropped;
+    total.links_reclassified += s.links_reclassified;
+    total.walk_messages += s.walk_messages;
+    total.handshake_messages += s.handshake_messages;
+    total.cache_assists += s.cache_assists;
+    total.gossip_messages += s.gossip_messages;
+    total.discovery_skipped += s.discovery_skipped;
+  }
+  return total;
+}
+
+void TopologyAdaptation::node_step(NodeId node, AdaptationRoundStats& stats) {
+  if (!network_->alive(node)) return;
+  if (params_.satisfaction_adaptive &&
+      rng_.chance(node_satisfaction(node))) {
+    // Satisfied nodes throttle the expensive discovery traffic; cheap
+    // local maintenance (reclassification) still runs every round.
+    ++stats.discovery_skipped;
+  } else {
+    discover(node, stats);
+  }
+  if (params_.gossip_host_caches) gossip_caches(node, stats);
+  try_add_semantic(node, stats);
+  try_add_random(node, stats);
+  reclassify_links(node, stats);
+}
+
+double TopologyAdaptation::node_satisfaction(NodeId node) const {
+  const p2p::Capacity capacity = network_->capacity(node);
+  const size_t max_sem = params_.max_sem_links(capacity);
+  const size_t max_rnd = params_.max_rnd_links(capacity);
+
+  // Semantic side: each link contributes its relevance margin over the
+  // threshold (a barely-qualifying neighbor satisfies less than a
+  // strongly relevant one).
+  double sem = 1.0;
+  if (max_sem > 0) {
+    double filled = 0.0;
+    for (const NodeId peer : network_->neighbors(node, p2p::LinkType::kSemantic)) {
+      const double rel = network_->rel_nodes(node, peer);
+      const double margin =
+          params_.node_rel_threshold >= 1.0
+              ? 1.0
+              : (rel - params_.node_rel_threshold) / (1.0 - params_.node_rel_threshold);
+      filled += std::clamp(0.5 + 0.5 * margin, 0.0, 1.0);
+    }
+    sem = std::min(1.0, filled / static_cast<double>(max_sem));
+  }
+  double rnd = 1.0;
+  if (max_rnd > 0) {
+    rnd = std::min(1.0, static_cast<double>(network_->degree(
+                            node, p2p::LinkType::kRandom)) /
+                            static_cast<double>(max_rnd));
+  }
+  return std::min(sem, rnd);
+}
+
+void TopologyAdaptation::gossip_caches(NodeId node, AdaptationRoundStats& stats) {
+  const auto& semantic = network_->neighbors(node, p2p::LinkType::kSemantic);
+  if (semantic.empty()) return;
+  const NodeId peer = semantic[rng_.index(semantic.size())];
+  ++stats.gossip_messages;
+  // Merge the peer's semantic host cache, re-scoring for this node and
+  // keeping only entries that qualify from our perspective.
+  for (const auto* entry : network_->semantic_cache(peer).entries()) {
+    if (entry->node == node || !network_->alive(entry->node)) continue;
+    const double rel = network_->rel_nodes(node, entry->node);
+    if (rel < params_.node_rel_threshold) continue;
+    network_->semantic_cache(node).insert(make_entry(entry->node, rel, false));
+  }
+}
+
+HostCacheEntry TopologyAdaptation::make_entry(NodeId about, double rel,
+                                              bool with_vector) const {
+  HostCacheEntry entry;
+  entry.node = about;
+  entry.capacity = network_->capacity(about);
+  entry.degree = network_->degree(about);
+  entry.rel_score = rel;
+  if (with_vector) entry.vector = network_->node_vector(about);
+  return entry;
+}
+
+void TopologyAdaptation::discover(NodeId node, AdaptationRoundStats& stats) {
+  // Two periodic random-walk queries (paper §4.3): one requesting nodes
+  // with REL >= threshold (-> semantic host cache), one requesting nodes
+  // below the threshold (-> random host cache).
+  for (const bool want_relevant : {true, false}) {
+    const auto walk = p2p::random_walk(*network_, node, params_.walk_ttl,
+                                       params_.walk_max_responses * 4, rng_);
+    stats.walk_messages += walk.hops;
+    size_t responses = 0;
+    for (const NodeId seen : walk.visited) {
+      if (responses >= params_.walk_max_responses) break;
+      const double rel = network_->rel_nodes(node, seen);
+      const bool relevant = rel >= params_.node_rel_threshold;
+      if (relevant != want_relevant) continue;
+      ++responses;
+      if (relevant) {
+        // The semantic host cache stores no node vectors (paper §4.3).
+        network_->semantic_cache(node).insert(make_entry(seen, rel, false));
+        if (params_.cache_assisted_discovery) {
+          // §4.3 optimization: the relevant node also answers with
+          // qualifying candidates from its own semantic host cache.
+          for (const auto* entry : network_->semantic_cache(seen).entries()) {
+            if (responses >= params_.walk_max_responses) break;
+            if (entry->node == node || !network_->alive(entry->node)) continue;
+            const double assist_rel = network_->rel_nodes(node, entry->node);
+            if (assist_rel < params_.node_rel_threshold) continue;
+            network_->semantic_cache(node).insert(
+                make_entry(entry->node, assist_rel, false));
+            ++responses;
+            ++stats.cache_assists;
+          }
+        }
+      } else {
+        network_->random_cache(node).insert(make_entry(seen, rel, true));
+      }
+    }
+  }
+}
+
+bool TopologyAdaptation::accept_semantic(NodeId self, NodeId /*candidate*/, double rel,
+                                         NodeId* victim) const {
+  *victim = p2p::kInvalidNode;
+  const auto& sem = network_->neighbors(self, LinkType::kSemantic);
+  const size_t max_sem = params_.max_sem_links(network_->capacity(self));
+  if (sem.size() < max_sem) return true;
+  if (max_sem == 0) return false;
+
+  // Highest-relevance current neighbor; if the candidate beats all of
+  // them, the lowest-relevance neighbor is dropped unconditionally.
+  NodeId lowest = p2p::kInvalidNode;
+  double lowest_rel = 0.0;
+  double highest_rel = 0.0;
+  for (const NodeId n : sem) {
+    const double r = network_->rel_nodes(self, n);
+    if (lowest == p2p::kInvalidNode || r < lowest_rel) {
+      lowest = n;
+      lowest_rel = r;
+    }
+    highest_rel = std::max(highest_rel, r);
+  }
+  if (rel > highest_rel) {
+    *victim = lowest;
+    return true;
+  }
+
+  // Otherwise: among neighbors with lower relevance than the candidate
+  // that are not poorly connected, drop the lowest-relevance one.
+  NodeId best_victim = p2p::kInvalidNode;
+  double best_victim_rel = 0.0;
+  for (const NodeId n : sem) {
+    const double r = network_->rel_nodes(self, n);
+    if (r >= rel) continue;
+    if (network_->degree(n) <= params_.min_links) continue;  // poorly connected
+    if (best_victim == p2p::kInvalidNode || r < best_victim_rel) {
+      best_victim = n;
+      best_victim_rel = r;
+    }
+  }
+  if (best_victim == p2p::kInvalidNode) return false;
+  *victim = best_victim;
+  return true;
+}
+
+void TopologyAdaptation::try_add_semantic(NodeId node, AdaptationRoundStats& stats) {
+  if (params_.max_sem_links(network_->capacity(node)) == 0) return;
+  // Candidate: alive, not already a neighbor, highest relevance score.
+  const Network& net = *network_;
+  const HostCacheEntry* candidate = net.semantic_cache(node).best_by_relevance(
+      [&](const HostCacheEntry& e) {
+        return net.alive(e.node) && e.node != node && !net.has_link(node, e.node);
+      });
+  if (candidate == nullptr) return;
+  const NodeId peer = candidate->node;
+  const double rel = network_->rel_nodes(node, peer);
+  if (rel < params_.node_rel_threshold) {
+    // The cached score was stale; the peer no longer qualifies.
+    network_->semantic_cache(node).erase(peer);
+    return;
+  }
+
+  // Three-way handshake: both endpoints decide independently.
+  stats.handshake_messages += 3;
+  NodeId victim_self = p2p::kInvalidNode;
+  NodeId victim_peer = p2p::kInvalidNode;
+  if (!accept_semantic(node, peer, rel, &victim_self)) return;
+  if (!accept_semantic(peer, node, rel, &victim_peer)) return;
+
+  if (victim_self != p2p::kInvalidNode) {
+    network_->disconnect(node, victim_self);
+    ++stats.semantic_links_dropped;
+  }
+  if (victim_peer != p2p::kInvalidNode && victim_peer != node &&
+      network_->has_link(peer, victim_peer)) {
+    network_->disconnect(peer, victim_peer);
+    ++stats.semantic_links_dropped;
+  }
+  if (network_->connect(node, peer, LinkType::kSemantic)) {
+    ++stats.semantic_links_added;
+  }
+}
+
+bool TopologyAdaptation::accept_random(NodeId self, NodeId candidate,
+                                       NodeId* victim) const {
+  *victim = p2p::kInvalidNode;
+  const auto& rnd = network_->neighbors(self, LinkType::kRandom);
+  const size_t max_rnd = params_.max_rnd_links(network_->capacity(self));
+  if (rnd.size() < max_rnd) return true;
+  if (max_rnd == 0) return false;
+
+  const double cand_capacity = network_->capacity(candidate);
+  const uint32_t cand_degree = network_->degree(candidate);
+
+  // If the candidate's capacity beats every existing random neighbor's,
+  // accept unconditionally, dropping the best-connected neighbor (it can
+  // afford the loss).
+  double highest_capacity = 0.0;
+  for (const NodeId n : rnd) highest_capacity = std::max(highest_capacity, network_->capacity(n));
+  if (cand_capacity > highest_capacity) {
+    NodeId drop = p2p::kInvalidNode;
+    uint32_t drop_degree = 0;
+    for (const NodeId n : rnd) {
+      const uint32_t d = network_->degree(n);
+      if (drop == p2p::kInvalidNode || d > drop_degree) {
+        drop = n;
+        drop_degree = d;
+      }
+    }
+    *victim = drop;
+    return true;
+  }
+
+  // Otherwise: among neighbors with capacity <= the candidate's, take Z
+  // with the highest degree; replace only if the candidate has a lower
+  // degree than Z (protects poorly-connected neighbors, paper §4.3).
+  NodeId z = p2p::kInvalidNode;
+  uint32_t z_degree = 0;
+  for (const NodeId n : rnd) {
+    if (network_->capacity(n) > cand_capacity) continue;
+    const uint32_t d = network_->degree(n);
+    if (z == p2p::kInvalidNode || d > z_degree) {
+      z = n;
+      z_degree = d;
+    }
+  }
+  if (z == p2p::kInvalidNode || cand_degree >= z_degree) return false;
+  *victim = z;
+  return true;
+}
+
+void TopologyAdaptation::try_add_random(NodeId node, AdaptationRoundStats& stats) {
+  const Network& net = *network_;
+  const auto acceptable = [&](const HostCacheEntry& e) {
+    return net.alive(e.node) && e.node != node && !net.has_link(node, e.node);
+  };
+  // Prefer the highest-capacity candidate exceeding our own capacity;
+  // fall back to a uniformly random acceptable entry (paper §4.3).
+  const double own_capacity = net.capacity(node);
+  const HostCacheEntry* candidate = net.random_cache(node).best_by_capacity(
+      [&](const HostCacheEntry& e) { return acceptable(e) && e.capacity > own_capacity; });
+  if (candidate == nullptr) {
+    std::vector<const HostCacheEntry*> pool;
+    for (const auto* e : net.random_cache(node).entries()) {
+      if (acceptable(*e)) pool.push_back(e);
+    }
+    if (pool.empty()) return;
+    candidate = pool[rng_.index(pool.size())];
+  }
+  const NodeId peer = candidate->node;
+
+  stats.handshake_messages += 3;
+  NodeId victim_self = p2p::kInvalidNode;
+  NodeId victim_peer = p2p::kInvalidNode;
+  if (!accept_random(node, peer, &victim_self)) return;
+  if (!accept_random(peer, node, &victim_peer)) return;
+
+  if (victim_self != p2p::kInvalidNode) {
+    network_->disconnect(node, victim_self);
+    ++stats.random_links_dropped;
+  }
+  if (victim_peer != p2p::kInvalidNode && victim_peer != node &&
+      network_->has_link(peer, victim_peer)) {
+    network_->disconnect(peer, victim_peer);
+    ++stats.random_links_dropped;
+  }
+  if (network_->connect(node, peer, LinkType::kRandom)) {
+    ++stats.random_links_added;
+  }
+}
+
+void TopologyAdaptation::reclassify_links(NodeId node, AdaptationRoundStats& stats) {
+  // Paper §4.3 (end): when a semantic link's relevance drops below the
+  // threshold, drop the link and remember the peer in the random host
+  // cache; symmetrically for random links rising above the threshold.
+  const auto semantic = network_->neighbors(node, LinkType::kSemantic);
+  for (const NodeId peer : semantic) {
+    const double rel = network_->rel_nodes(node, peer);
+    if (rel >= params_.node_rel_threshold) continue;
+    network_->disconnect(node, peer);
+    network_->random_cache(node).insert(make_entry(peer, rel, true));
+    ++stats.links_reclassified;
+  }
+  const auto random = network_->neighbors(node, LinkType::kRandom);
+  for (const NodeId peer : random) {
+    const double rel = network_->rel_nodes(node, peer);
+    if (rel < params_.node_rel_threshold) continue;
+    network_->disconnect(node, peer);
+    network_->semantic_cache(node).insert(make_entry(peer, rel, false));
+    ++stats.links_reclassified;
+  }
+}
+
+size_t count_semantic_groups(const p2p::Network& network, size_t min_size) {
+  std::unordered_set<NodeId> seen;
+  size_t groups = 0;
+  for (const NodeId start : network.alive_nodes()) {
+    if (seen.count(start) > 0) continue;
+    if (network.degree(start, LinkType::kSemantic) == 0) continue;
+    // BFS over semantic links.
+    size_t size = 0;
+    std::vector<NodeId> frontier{start};
+    seen.insert(start);
+    while (!frontier.empty()) {
+      const NodeId current = frontier.back();
+      frontier.pop_back();
+      ++size;
+      for (const NodeId next : network.neighbors(current, LinkType::kSemantic)) {
+        if (seen.insert(next).second) frontier.push_back(next);
+      }
+    }
+    if (size >= min_size) ++groups;
+  }
+  return groups;
+}
+
+double mean_semantic_link_relevance(const p2p::Network& network) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const NodeId node : network.alive_nodes()) {
+    for (const NodeId peer : network.neighbors(node, LinkType::kSemantic)) {
+      if (peer < node) continue;  // each undirected link once
+      sum += network.rel_nodes(node, peer);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace ges::core

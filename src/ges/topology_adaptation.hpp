@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ges/params.hpp"
+#include "p2p/network.hpp"
+#include "util/rng.hpp"
+
+namespace ges::core {
+
+/// Statistics of one adaptation round (diagnostics and ablations).
+struct AdaptationRoundStats {
+  size_t semantic_links_added = 0;
+  size_t semantic_links_dropped = 0;
+  size_t random_links_added = 0;
+  size_t random_links_dropped = 0;
+  size_t links_reclassified = 0;  // threshold-crossing drops (paper §4.3 end)
+  size_t walk_messages = 0;
+  size_t handshake_messages = 0;  // 3 per attempted link handshake (§4.3)
+  size_t cache_assists = 0;       // candidates served from peers' caches
+  size_t gossip_messages = 0;     // host-cache exchange messages
+  size_t discovery_skipped = 0;   // node steps throttled by satisfaction
+};
+
+/// The distributed, content-based, capacity-aware topology-adaptation
+/// algorithm (paper §4.3). Each node periodically:
+///   1. issues two TTL-bounded random walks — one collecting nodes with
+///      REL >= node_rel_threshold into the semantic host cache, one
+///      collecting nodes below the threshold into the random host cache;
+///   2. attempts to add/replace one semantic neighbor (three-way
+///      handshake; both endpoints decide independently; peers at or below
+///      min_links are protected from drops);
+///   3. attempts to add/replace one random neighbor (capacity- and
+///      degree-aware rules, Gia-style);
+///   4. drops links whose relevance crossed the threshold, remembering
+///      the peer in the now-appropriate host cache.
+///
+/// The class never runs by itself — call run_round() (all alive nodes, in
+/// random order) or node_step(); wire it to an EventQueue for time-driven
+/// simulation.
+class TopologyAdaptation {
+ public:
+  TopologyAdaptation(p2p::Network& network, GesParams params, uint64_t seed);
+
+  const GesParams& params() const { return params_; }
+
+  /// One adaptation step for every alive node, in random order.
+  AdaptationRoundStats run_round();
+
+  /// Run `rounds` rounds; returns aggregate stats.
+  AdaptationRoundStats run_rounds(size_t rounds);
+
+  /// One adaptation step for a single node.
+  void node_step(p2p::NodeId node, AdaptationRoundStats& stats);
+
+  /// Satisfaction degree in [0, 1] (paper §7 future work): how full the
+  /// node's link budgets are, with semantic links weighted by how far
+  /// their relevance exceeds the threshold. 1 = fully satisfied (with
+  /// satisfaction_adaptive set, such nodes usually skip discovery).
+  double node_satisfaction(p2p::NodeId node) const;
+
+ private:
+  // Phase 1: discovery walks filling the two host caches.
+  void discover(p2p::NodeId node, AdaptationRoundStats& stats);
+
+  // Phase 2/3: neighbor addition with replacement.
+  void try_add_semantic(p2p::NodeId node, AdaptationRoundStats& stats);
+  void try_add_random(p2p::NodeId node, AdaptationRoundStats& stats);
+
+  // Phase 4: threshold-crossing link maintenance.
+  void reclassify_links(p2p::NodeId node, AdaptationRoundStats& stats);
+
+  // Optional §4.3 optimization: merge a semantic neighbor's semantic
+  // host cache into ours (relevance recomputed for this node).
+  void gossip_caches(p2p::NodeId node, AdaptationRoundStats& stats);
+
+  /// One endpoint's accept decision for a semantic candidate with
+  /// relevance `rel` (to this endpoint). On acceptance-with-replacement,
+  /// *victim holds the neighbor to drop (kInvalidNode when there is room).
+  bool accept_semantic(p2p::NodeId self, p2p::NodeId candidate, double rel,
+                       p2p::NodeId* victim) const;
+
+  /// One endpoint's accept decision for a random candidate.
+  bool accept_random(p2p::NodeId self, p2p::NodeId candidate,
+                     p2p::NodeId* victim) const;
+
+  p2p::HostCacheEntry make_entry(p2p::NodeId about, double rel, bool with_vector) const;
+
+  p2p::Network* network_;
+  GesParams params_;
+  util::Rng rng_;
+};
+
+/// Number of semantic connected components ("semantic groups") with at
+/// least `min_size` members; helper for diagnostics, tests and examples.
+size_t count_semantic_groups(const p2p::Network& network, size_t min_size = 2);
+
+/// Mean REL over all semantic links (0 when there are none) — a quality
+/// measure of the adaptation.
+double mean_semantic_link_relevance(const p2p::Network& network);
+
+}  // namespace ges::core

@@ -1,0 +1,99 @@
+#include "ges/virtual_nodes.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "ir/kmeans.hpp"
+#include "util/check.hpp"
+
+namespace ges::core {
+
+VirtualMapping build_virtual_corpus(const corpus::Corpus& corpus,
+                                    const VirtualNodeParams& params) {
+  GES_CHECK(params.max_virtual_per_node >= 1);
+  GES_CHECK(params.min_docs_per_virtual >= 1);
+
+  VirtualMapping mapping;
+  mapping.virtuals_of.resize(corpus.num_nodes());
+
+  // Copy the term dictionary by re-interning (TermIds are preserved
+  // because interning order is preserved).
+  for (size_t t = 0; t < corpus.dict.size(); ++t) {
+    mapping.virtual_corpus.dict.intern(corpus.dict.term(static_cast<ir::TermId>(t)));
+  }
+
+  // Documents keep their DocIds; only the owning node changes.
+  mapping.virtual_corpus.docs = corpus.docs;
+  mapping.virtual_corpus.queries = corpus.queries;
+
+  for (size_t p = 0; p < corpus.num_nodes(); ++p) {
+    const auto& docs = corpus.node_docs[p];
+    size_t clusters = 1;
+    if (docs.size() >= 2 * params.min_docs_per_virtual) {
+      clusters = std::min(params.max_virtual_per_node,
+                          docs.size() / params.min_docs_per_virtual);
+    }
+
+    std::vector<uint32_t> doc_cluster(docs.size(), 0);
+    if (clusters > 1) {
+      std::vector<const ir::SparseVector*> vectors;
+      vectors.reserve(docs.size());
+      for (const auto d : docs) vectors.push_back(&corpus.docs[d].vector);
+      ir::KMeansParams kmeans;
+      kmeans.clusters = clusters;
+      kmeans.max_iterations = params.kmeans_iterations;
+      kmeans.centroid_terms = 0;  // local collections are small
+      kmeans.seed = util::derive_seed(params.seed, p);
+      doc_cluster = ir::spherical_kmeans(vectors, kmeans).assignment;
+    }
+
+    // Materialize one virtual node per non-empty cluster.
+    std::unordered_map<uint32_t, p2p::NodeId> cluster_virtual;
+    for (size_t i = 0; i < docs.size(); ++i) {
+      const auto [it, inserted] = cluster_virtual.emplace(
+          doc_cluster[i],
+          static_cast<p2p::NodeId>(mapping.virtual_corpus.node_docs.size()));
+      if (inserted) {
+        mapping.virtual_corpus.node_docs.emplace_back();
+        mapping.physical_of.push_back(static_cast<p2p::NodeId>(p));
+        mapping.virtuals_of[p].push_back(it->second);
+      }
+      const p2p::NodeId v = it->second;
+      mapping.virtual_corpus.node_docs[v].push_back(docs[i]);
+      mapping.virtual_corpus.docs[docs[i]].node =
+          static_cast<corpus::NodeIndex>(v);
+    }
+  }
+  return mapping;
+}
+
+p2p::SearchTrace project_to_physical(const p2p::SearchTrace& trace,
+                                     const VirtualMapping& mapping) {
+  p2p::SearchTrace out;
+  out.walk_steps = trace.walk_steps;
+  out.flood_messages = trace.flood_messages;
+  out.target_count = trace.target_count;
+
+  // Collapse the probe order: the first probe of any virtual node hosted
+  // by a physical node probes that physical node.
+  std::unordered_map<p2p::NodeId, uint32_t> physical_probe_index;
+  std::vector<uint32_t> remap(trace.probe_order.size(), 0);
+  for (size_t i = 0; i < trace.probe_order.size(); ++i) {
+    const p2p::NodeId v = trace.probe_order[i];
+    GES_CHECK(v < mapping.virtual_count());
+    const p2p::NodeId p = mapping.physical_of[v];
+    const auto [it, inserted] =
+        physical_probe_index.emplace(p, static_cast<uint32_t>(out.probe_order.size()));
+    if (inserted) out.probe_order.push_back(p);
+    remap[i] = it->second;
+  }
+
+  out.retrieved.reserve(trace.retrieved.size());
+  for (const auto& r : trace.retrieved) {
+    GES_CHECK(r.probe_index < remap.size());
+    out.retrieved.push_back({r.doc, r.score, remap[r.probe_index]});
+  }
+  return out;
+}
+
+}  // namespace ges::core

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "p2p/search_trace.hpp"
+#include "p2p/types.hpp"
+
+namespace ges::core {
+
+/// The virtual-node extension the paper sketches as future work (§7):
+/// "A node with diverse topic documents could locally cluster its
+/// documents using data clustering techniques and each cluster
+/// corresponds to a virtual node. A node could host multiple virtual
+/// nodes, each of which independently participates in GES's topology
+/// adaptation and search protocol."
+///
+/// We implement it by *rewriting the corpus*: every physical node's
+/// documents are clustered locally (spherical k-means on the document
+/// vectors); each cluster becomes one virtual node holding those
+/// documents. GES then runs unchanged over the virtual corpus, and
+/// traces are projected back to physical nodes for cost accounting.
+struct VirtualNodeParams {
+  /// Upper bound on virtual nodes per physical node.
+  size_t max_virtual_per_node = 4;
+
+  /// Do not create clusters smaller than this; nodes with fewer than
+  /// 2 * min_docs_per_virtual documents are never split.
+  size_t min_docs_per_virtual = 4;
+
+  /// Local k-means iterations (cheap: a node clusters only its own docs).
+  size_t kmeans_iterations = 8;
+
+  uint64_t seed = 5;
+};
+
+/// The virtual corpus plus the mapping between the two node spaces.
+/// DocIds are preserved, so the original relevance judgments remain
+/// valid against the virtual corpus.
+struct VirtualMapping {
+  corpus::Corpus virtual_corpus;
+
+  /// physical_of[v] = physical node hosting virtual node v.
+  std::vector<p2p::NodeId> physical_of;
+
+  /// virtuals_of[p] = virtual nodes hosted by physical node p.
+  std::vector<std::vector<p2p::NodeId>> virtuals_of;
+
+  size_t virtual_count() const { return physical_of.size(); }
+  size_t physical_count() const { return virtuals_of.size(); }
+};
+
+/// Build the virtual corpus by locally clustering each node's documents.
+VirtualMapping build_virtual_corpus(const corpus::Corpus& corpus,
+                                    const VirtualNodeParams& params);
+
+/// Project a trace taken on the virtual overlay back to physical nodes:
+/// probes of co-hosted virtual nodes collapse into one physical probe
+/// (the physical node evaluates the query once), and retrieved documents
+/// are re-indexed accordingly. Recall-vs-cost over the projected trace is
+/// directly comparable to a plain GES trace on the physical corpus.
+p2p::SearchTrace project_to_physical(const p2p::SearchTrace& trace,
+                                     const VirtualMapping& mapping);
+
+}  // namespace ges::core

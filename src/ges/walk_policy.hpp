@@ -1,0 +1,82 @@
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ges/search.hpp"
+#include "ir/relevance.hpp"
+#include "p2p/network.hpp"
+#include "util/rng.hpp"
+
+namespace ges::core::detail {
+
+/// Per-node GUID bookkeeping of a biased walk: which random neighbors a
+/// node has already forwarded this query to (paper §4.5).
+using WalkBookkeeping =
+    std::unordered_map<p2p::NodeId, std::unordered_set<p2p::NodeId>>;
+
+/// One biased-walk forwarding decision at `node` (paper §4.5), shared by
+/// the synchronous (GesSearch) and asynchronous (AsyncSearchEngine)
+/// engines:
+///  * candidates are the alive random neighbors not yet forwarded to
+///    (flushing the bookkeeping when all have been tried);
+///  * capacity-aware mode forwards a non-supernode's query to a
+///    supernode neighbor when one exists;
+///  * otherwise the neighbor whose replicated node vector is most
+///    relevant to the query wins (ties broken by `rng`).
+/// Returns kInvalidNode when the node has no alive random neighbors.
+inline p2p::NodeId pick_walk_target(const p2p::Network& net,
+                                    const SearchOptions& options,
+                                    const ir::SparseVector& query,
+                                    p2p::NodeId node, WalkBookkeeping& forwarded,
+                                    util::Rng& rng) {
+  const auto& neighbors = net.neighbors(node, p2p::LinkType::kRandom);
+  std::vector<p2p::NodeId> alive;
+  alive.reserve(neighbors.size());
+  for (const p2p::NodeId n : neighbors) {
+    if (net.alive(n)) alive.push_back(n);
+  }
+  if (alive.empty()) return p2p::kInvalidNode;
+
+  auto& tried = forwarded[node];
+  std::vector<p2p::NodeId> available;
+  available.reserve(alive.size());
+  for (const p2p::NodeId n : alive) {
+    if (tried.count(n) == 0) available.push_back(n);
+  }
+  if (available.empty()) {
+    // Forward progress rule: flush the bookkeeping state and reuse.
+    tried.clear();
+    available = alive;
+  }
+  rng.shuffle(available);  // random tie-breaking among equal scores
+
+  p2p::NodeId choice = p2p::kInvalidNode;
+  const bool self_is_super =
+      options.capacity_aware && net.capacity(node) >= options.supernode_threshold;
+  if (options.capacity_aware && !self_is_super) {
+    // Prefer a supernode neighbor when one exists.
+    p2p::NodeId best_cap = available.front();
+    for (const p2p::NodeId n : available) {
+      if (net.capacity(n) > net.capacity(best_cap)) best_cap = n;
+    }
+    if (net.capacity(best_cap) >= options.supernode_threshold) choice = best_cap;
+  }
+  if (choice == p2p::kInvalidNode) {
+    // Most query-relevant neighbor according to the replicated one-hop
+    // node vectors (paper §4.4/§4.5).
+    double best_rel = -1.0;
+    for (const p2p::NodeId n : available) {
+      const ir::SparseVector* vec = net.replica(node, n);
+      const double rel = vec != nullptr ? ir::rel_node_query(*vec, query) : 0.0;
+      if (rel > best_rel) {
+        best_rel = rel;
+        choice = n;
+      }
+    }
+  }
+  tried.insert(choice);
+  return choice;
+}
+
+}  // namespace ges::core::detail

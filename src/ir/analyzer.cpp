@@ -1,0 +1,39 @@
+#include "ir/analyzer.hpp"
+
+#include <unordered_map>
+
+#include "ir/porter_stemmer.hpp"
+
+namespace ges::ir {
+
+TermId Analyzer::analyze_token(std::string_view token) const {
+  if (stop_.contains(token)) return kInvalidTerm;
+  if (!stem_) return dict_->intern(token);
+  return dict_->intern(porter_stem(token));
+}
+
+SparseVector Analyzer::count_vector(std::string_view text) const {
+  std::vector<std::string> tokens;
+  tokenizer_.tokenize_into(text, tokens);
+  std::unordered_map<TermId, uint32_t> counts;
+  counts.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    const TermId id = analyze_token(token);
+    if (id != kInvalidTerm) ++counts[id];
+  }
+  std::vector<std::pair<TermId, uint32_t>> pairs(counts.begin(), counts.end());
+  return SparseVector::from_counts(pairs);
+}
+
+SparseVector Analyzer::document_vector(std::string_view text) const {
+  SparseVector v = count_vector(text);
+  v.dampen();
+  v.normalize();
+  return v;
+}
+
+SparseVector Analyzer::query_vector(std::string_view text) const {
+  return document_vector(text);
+}
+
+}  // namespace ges::ir

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "ir/sparse_vector.hpp"
+#include "ir/stopwords.hpp"
+#include "ir/term_dictionary.hpp"
+#include "ir/tokenizer.hpp"
+#include "ir/types.hpp"
+
+namespace ges::ir {
+
+/// Text-analysis pipeline (paper §3): tokenize -> drop stop words ->
+/// Porter-stem -> intern -> term-frequency vector. Owns nothing; the term
+/// dictionary is shared across the corpus so TermIds are globally
+/// consistent.
+class Analyzer {
+ public:
+  /// `dict` must outlive the analyzer. `stop` may be the empty filter;
+  /// it is copied (cheap: a set of views into static storage), so
+  /// temporaries are fine.
+  Analyzer(TermDictionary& dict, StopWords stop = StopWords::smart(),
+           bool stem = true)
+      : dict_(&dict), stop_(std::move(stop)), stem_(stem) {}
+
+  /// Raw term-frequency vector of `text` (weights are counts >= 1).
+  SparseVector count_vector(std::string_view text) const;
+
+  /// Normalized dampened-tf document vector: counts -> 1+ln(f) -> L2=1.
+  SparseVector document_vector(std::string_view text) const;
+
+  /// Query vector: same pipeline as documents (queries in the paper are
+  /// short titles, so dampening is a near-no-op but applied for symmetry).
+  SparseVector query_vector(std::string_view text) const;
+
+  /// Analyze a single token (stop/stem/intern); returns kInvalidTerm when
+  /// the token is filtered out.
+  TermId analyze_token(std::string_view token) const;
+
+  const TermDictionary& dictionary() const { return *dict_; }
+
+ private:
+  TermDictionary* dict_;
+  StopWords stop_;
+  bool stem_;
+  Tokenizer tokenizer_;
+};
+
+}  // namespace ges::ir

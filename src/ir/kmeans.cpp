@@ -1,0 +1,81 @@
+#include "ir/kmeans.hpp"
+
+#include "util/check.hpp"
+
+namespace ges::ir {
+
+KMeansResult spherical_kmeans(const std::vector<const SparseVector*>& vectors,
+                              const KMeansParams& params) {
+  const size_t n = vectors.size();
+  const size_t k = params.clusters;
+  GES_CHECK(k >= 1);
+  GES_CHECK_MSG(k <= n, "more clusters (" << k << ") than vectors (" << n << ")");
+  for (const auto* v : vectors) GES_CHECK(v != nullptr);
+
+  util::Rng rng(params.seed);
+  KMeansResult result;
+
+  // Seed centroids with distinct random input vectors.
+  result.centroids.reserve(k);
+  for (const size_t pick : rng.sample_without_replacement(n, k)) {
+    result.centroids.push_back(*vectors[pick]);
+  }
+
+  result.assignment.assign(n, 0);
+  auto assign_all = [&]() {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_sim = -1.0;
+      for (size_t c = 0; c < k; ++c) {
+        const double sim = vectors[i]->dot(result.centroids[c]);
+        if (sim > best_sim) {
+          best_sim = sim;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = static_cast<uint32_t>(best);
+        changed = true;
+      }
+    }
+    return changed;
+  };
+
+  for (size_t iter = 0; iter < params.max_iterations; ++iter) {
+    const bool changed = assign_all();
+    ++result.iterations;
+    if (!changed && iter > 0) break;
+
+    std::vector<SparseVector> sums(k);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      sums[result.assignment[i]].add_scaled(*vectors[i]);
+      ++counts[result.assignment[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) sums[c] = *vectors[rng.index(n)];  // re-seed empty
+      if (params.centroid_terms != 0) sums[c].truncate_top(params.centroid_terms);
+      sums[c].normalize();
+      result.centroids[c] = std::move(sums[c]);
+    }
+  }
+  assign_all();  // final assignment against the final centroids
+
+  double sim_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sim_sum += vectors[i]->dot(result.centroids[result.assignment[i]]);
+  }
+  result.mean_similarity = n == 0 ? 0.0 : sim_sum / static_cast<double>(n);
+  return result;
+}
+
+KMeansResult spherical_kmeans(const std::vector<SparseVector>& vectors,
+                              const KMeansParams& params) {
+  std::vector<const SparseVector*> ptrs;
+  ptrs.reserve(vectors.size());
+  for (const auto& v : vectors) ptrs.push_back(&v);
+  return spherical_kmeans(ptrs, params);
+}
+
+}  // namespace ges::ir

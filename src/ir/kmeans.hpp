@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/sparse_vector.hpp"
+#include "util/rng.hpp"
+
+namespace ges::ir {
+
+/// Spherical k-means over sparse (normalized) vectors — the clustering
+/// behind SETS's designated-node topic segmentation (paper §5.1) and the
+/// local document clustering of the virtual-node extension (paper §7).
+struct KMeansParams {
+  size_t clusters = 2;
+
+  /// Maximum Lloyd iterations; stops earlier on a stable assignment.
+  size_t max_iterations = 12;
+
+  /// Centroids are truncated to this many terms after each update
+  /// (0 = no truncation). Keeps centroid-vector dot products cheap.
+  size_t centroid_terms = 1'000;
+
+  uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  /// assignment[i] = cluster of input vector i.
+  std::vector<uint32_t> assignment;
+
+  /// Normalized cluster centroids (clusters entries).
+  std::vector<SparseVector> centroids;
+
+  /// Iterations actually performed.
+  size_t iterations = 0;
+
+  /// Mean cosine of each vector to its centroid (clustering quality).
+  double mean_similarity = 0.0;
+};
+
+/// Cluster `vectors` (expected normalized; empty vectors allowed — they
+/// land in cluster 0 with similarity 0). clusters must be >= 1 and <=
+/// vectors.size(). Deterministic in params.seed. Empty clusters are
+/// re-seeded with a random input vector.
+KMeansResult spherical_kmeans(const std::vector<const SparseVector*>& vectors,
+                              const KMeansParams& params);
+
+/// Convenience overload for owned vectors.
+KMeansResult spherical_kmeans(const std::vector<SparseVector>& vectors,
+                              const KMeansParams& params);
+
+}  // namespace ges::ir

@@ -1,0 +1,78 @@
+#include "ir/local_index.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ges::ir {
+
+void LocalIndex::add_document(DocId doc, const SparseVector& vector) {
+  GES_CHECK_MSG(docs_.count(doc) == 0, "document " << doc << " already indexed");
+  for (const auto& e : vector.entries()) {
+    postings_[e.term].push_back({doc, e.weight});
+  }
+  docs_.emplace(doc, vector.size());
+}
+
+bool LocalIndex::remove_document(DocId doc) {
+  const auto it = docs_.find(doc);
+  if (it == docs_.end()) return false;
+  for (auto pit = postings_.begin(); pit != postings_.end();) {
+    auto& list = pit->second;
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [doc](const Posting& p) { return p.doc == doc; }),
+               list.end());
+    if (list.empty()) {
+      pit = postings_.erase(pit);
+    } else {
+      ++pit;
+    }
+  }
+  docs_.erase(it);
+  return true;
+}
+
+std::vector<ScoredDoc> LocalIndex::score_all(const SparseVector& query) const {
+  std::unordered_map<DocId, double> scores;
+  for (const auto& e : query.entries()) {
+    const auto pit = postings_.find(e.term);
+    if (pit == postings_.end()) continue;
+    for (const auto& p : pit->second) {
+      scores[p.doc] += static_cast<double>(e.weight) * p.weight;
+    }
+  }
+  std::vector<ScoredDoc> out;
+  out.reserve(scores.size());
+  for (const auto& [doc, score] : scores) out.push_back({doc, score});
+  std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  return out;
+}
+
+std::vector<ScoredDoc> LocalIndex::evaluate(const SparseVector& query,
+                                            double threshold) const {
+  std::vector<ScoredDoc> scored = score_all(query);
+  if (threshold <= 0.0) return scored;  // positive scores only, by construction
+  const auto cut = std::find_if(scored.begin(), scored.end(), [threshold](const ScoredDoc& d) {
+    return d.score < threshold;
+  });
+  scored.erase(cut, scored.end());
+  return scored;
+}
+
+std::vector<ScoredDoc> LocalIndex::top_k(const SparseVector& query, size_t k) const {
+  std::vector<ScoredDoc> scored = score_all(query);
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+std::vector<DocId> LocalIndex::document_ids() const {
+  std::vector<DocId> ids;
+  ids.reserve(docs_.size());
+  for (const auto& [doc, terms] : docs_) ids.push_back(doc);
+  return ids;
+}
+
+}  // namespace ges::ir

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/sparse_vector.hpp"
+#include "ir/types.hpp"
+
+namespace ges::ir {
+
+/// A document scored against a query.
+struct ScoredDoc {
+  DocId doc = kInvalidDoc;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredDoc&, const ScoredDoc&) = default;
+};
+
+/// Per-node inverted index over the node's local documents. Each visited
+/// node evaluates queries against its own contents (paper §1, §4.5); this
+/// index makes that evaluation proportional to the postings of the query's
+/// terms rather than to the node's whole collection.
+class LocalIndex {
+ public:
+  /// Index a (normalized) document vector under its global DocId.
+  void add_document(DocId doc, const SparseVector& vector);
+
+  /// Remove a previously added document. Returns false if unknown.
+  bool remove_document(DocId doc);
+
+  size_t document_count() const { return docs_.size(); }
+  size_t term_count() const { return postings_.size(); }
+
+  /// All documents with REL(D, Q) >= threshold (Eq. 1), sorted by
+  /// descending score (ties by ascending DocId). threshold <= 0 means
+  /// "any positive score".
+  std::vector<ScoredDoc> evaluate(const SparseVector& query, double threshold) const;
+
+  /// The k highest-scoring documents with positive scores.
+  std::vector<ScoredDoc> top_k(const SparseVector& query, size_t k) const;
+
+  /// Ids of all indexed documents (unordered).
+  std::vector<DocId> document_ids() const;
+
+ private:
+  struct Posting {
+    DocId doc;
+    float weight;
+  };
+
+  std::vector<ScoredDoc> score_all(const SparseVector& query) const;
+
+  std::unordered_map<TermId, std::vector<Posting>> postings_;
+  std::unordered_map<DocId, size_t> docs_;  // doc -> term count (for removal bookkeeping)
+};
+
+}  // namespace ges::ir

@@ -1,0 +1,23 @@
+#include "ir/node_vector.hpp"
+
+namespace ges::ir {
+
+SparseVector build_node_vector(std::span<const SparseVector> doc_count_vectors,
+                               size_t size) {
+  SparseVector sum;
+  for (const auto& counts : doc_count_vectors) sum.add_scaled(counts);
+  if (sum.empty()) return sum;
+  sum.dampen();
+  sum.normalize();
+  return truncate_node_vector(sum, size);
+}
+
+SparseVector truncate_node_vector(const SparseVector& full, size_t size) {
+  if (size == 0 || full.size() <= size) return full;
+  SparseVector truncated = full;
+  truncated.truncate_top(size);
+  truncated.normalize();
+  return truncated;
+}
+
+}  // namespace ges::ir

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <span>
+
+#include "ir/sparse_vector.hpp"
+
+namespace ges::ir {
+
+/// Build a node vector from a node's documents (paper §4.2):
+///  1. sum the documents' raw term-frequency vectors,
+///  2. replace each summed frequency f_t with 1 + ln(f_t),
+///  3. L2-normalize,
+///  4. if size > 0, keep the `size` heaviest terms and re-normalize
+///     ("node vector size" study, paper §6.2; size == 0 means full).
+SparseVector build_node_vector(std::span<const SparseVector> doc_count_vectors,
+                               size_t size = 0);
+
+/// Truncate an existing (normalized) node vector to its `size` heaviest
+/// terms and re-normalize. size == 0 is the identity.
+SparseVector truncate_node_vector(const SparseVector& full, size_t size);
+
+}  // namespace ges::ir

@@ -1,0 +1,286 @@
+#include "ir/porter_stemmer.hpp"
+
+#include <cstring>
+
+namespace ges::ir {
+
+namespace {
+
+// Direct port of Martin Porter's reference implementation (1980 algorithm,
+// original rule set). The buffer holds the word; k is the index of its
+// last letter and j marks the candidate stem end while matching suffixes.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word) : b_(word), k_(static_cast<int>(word.size()) - 1) {}
+
+  std::string run() {
+    if (k_ <= 1) return b_;  // words of length <= 2 are left unchanged
+    step1ab();
+    step1c();
+    step2();
+    step3();
+    step4();
+    step5();
+    b_.resize(static_cast<size_t>(k_) + 1);
+    return b_;
+  }
+
+ private:
+  bool cons(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !cons(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Number of consonant-vowel sequences ("measure") in b[0..j].
+  int m() const {
+    int n = 0;
+    int i = 0;
+    for (;;) {
+      if (i > j_) return n;
+      if (!cons(i)) break;
+      ++i;
+    }
+    ++i;
+    for (;;) {
+      for (;;) {
+        if (i > j_) return n;
+        if (cons(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      for (;;) {
+        if (i > j_) return n;
+        if (!cons(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool vowel_in_stem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!cons(i)) return true;
+    }
+    return false;
+  }
+
+  bool doublec(int j) const {
+    if (j < 1) return false;
+    if (b_[static_cast<size_t>(j)] != b_[static_cast<size_t>(j - 1)]) return false;
+    return cons(j);
+  }
+
+  // cvc(i) — consonant-vowel-consonant ending at i, where the final
+  // consonant is not w, x or y. Used to restore a trailing 'e'.
+  bool cvc(int i) const {
+    if (i < 2 || !cons(i) || cons(i - 1) || !cons(i - 2)) return false;
+    const char ch = b_[static_cast<size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool ends(const char* s) {
+    const auto length = static_cast<int>(std::strlen(s));
+    if (length > k_ + 1) return false;
+    if (std::memcmp(b_.data() + (k_ - length + 1), s, static_cast<size_t>(length)) != 0) {
+      return false;
+    }
+    j_ = k_ - length;
+    return true;
+  }
+
+  void set_to(const char* s) {
+    const auto length = static_cast<int>(std::strlen(s));
+    b_.resize(static_cast<size_t>(j_) + 1);
+    b_.append(s);
+    k_ = j_ + length;
+  }
+
+  void r(const char* s) {
+    if (m() > 0) set_to(s);
+  }
+
+  // step1ab: plurals and -ed / -ing.
+  void step1ab() {
+    if (b_[static_cast<size_t>(k_)] == 's') {
+      if (ends("sses")) {
+        k_ -= 2;
+      } else if (ends("ies")) {
+        set_to("i");
+      } else if (b_[static_cast<size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    if (ends("eed")) {
+      if (m() > 0) --k_;
+    } else if ((ends("ed") || ends("ing")) && vowel_in_stem()) {
+      k_ = j_;
+      if (ends("at")) {
+        set_to("ate");
+      } else if (ends("bl")) {
+        set_to("ble");
+      } else if (ends("iz")) {
+        set_to("ize");
+      } else if (doublec(k_)) {
+        --k_;
+        const char ch = b_[static_cast<size_t>(k_)];
+        if (ch == 'l' || ch == 's' || ch == 'z') ++k_;
+      } else if (m() == 1 && cvc(k_)) {
+        set_to("e");
+      }
+    }
+  }
+
+  // step1c: terminal y -> i when there is another vowel in the stem.
+  void step1c() {
+    if (ends("y") && vowel_in_stem()) b_[static_cast<size_t>(k_)] = 'i';
+  }
+
+  // step2: double suffixes -> single ones (m > 0).
+  void step2() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (ends("ational")) { r("ate"); break; }
+        if (ends("tional")) { r("tion"); break; }
+        break;
+      case 'c':
+        if (ends("enci")) { r("ence"); break; }
+        if (ends("anci")) { r("ance"); break; }
+        break;
+      case 'e':
+        if (ends("izer")) { r("ize"); break; }
+        break;
+      case 'l':
+        if (ends("abli")) { r("able"); break; }
+        if (ends("alli")) { r("al"); break; }
+        if (ends("entli")) { r("ent"); break; }
+        if (ends("eli")) { r("e"); break; }
+        if (ends("ousli")) { r("ous"); break; }
+        break;
+      case 'o':
+        if (ends("ization")) { r("ize"); break; }
+        if (ends("ation")) { r("ate"); break; }
+        if (ends("ator")) { r("ate"); break; }
+        break;
+      case 's':
+        if (ends("alism")) { r("al"); break; }
+        if (ends("iveness")) { r("ive"); break; }
+        if (ends("fulness")) { r("ful"); break; }
+        if (ends("ousness")) { r("ous"); break; }
+        break;
+      case 't':
+        if (ends("aliti")) { r("al"); break; }
+        if (ends("iviti")) { r("ive"); break; }
+        if (ends("biliti")) { r("ble"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // step3: -ic-, -full, -ness etc. (m > 0).
+  void step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (ends("icate")) { r("ic"); break; }
+        if (ends("ative")) { r(""); break; }
+        if (ends("alize")) { r("al"); break; }
+        break;
+      case 'i':
+        if (ends("iciti")) { r("ic"); break; }
+        break;
+      case 'l':
+        if (ends("ical")) { r("ic"); break; }
+        if (ends("ful")) { r(""); break; }
+        break;
+      case 's':
+        if (ends("ness")) { r(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // step4: strip -ant, -ence etc. in context <c>vcvc<v> (m > 1).
+  void step4() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (ends("al")) break;
+        return;
+      case 'c':
+        if (ends("ance")) break;
+        if (ends("ence")) break;
+        return;
+      case 'e':
+        if (ends("er")) break;
+        return;
+      case 'i':
+        if (ends("ic")) break;
+        return;
+      case 'l':
+        if (ends("able")) break;
+        if (ends("ible")) break;
+        return;
+      case 'n':
+        if (ends("ant")) break;
+        if (ends("ement")) break;
+        if (ends("ment")) break;
+        if (ends("ent")) break;
+        return;
+      case 'o':
+        if (ends("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' || b_[static_cast<size_t>(j_)] == 't')) {
+          break;
+        }
+        if (ends("ou")) break;  // e.g. -nou as in "homologou"
+        return;
+      case 's':
+        if (ends("ism")) break;
+        return;
+      case 't':
+        if (ends("ate")) break;
+        if (ends("iti")) break;
+        return;
+      case 'u':
+        if (ends("ous")) break;
+        return;
+      case 'v':
+        if (ends("ive")) break;
+        return;
+      case 'z':
+        if (ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (m() > 1) k_ = j_;
+  }
+
+  // step5: remove final -e and reduce -ll in long stems.
+  void step5() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      const int a = m();
+      if (a > 1 || (a == 1 && !cvc(k_ - 1))) --k_;
+    }
+    if (b_[static_cast<size_t>(k_)] == 'l' && doublec(k_) && m() > 1) --k_;
+  }
+
+  std::string b_;
+  int k_;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::string porter_stem(std::string_view word) { return Stemmer(word).run(); }
+
+}  // namespace ges::ir

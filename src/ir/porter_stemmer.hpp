@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ges::ir {
+
+/// Classic Porter (1980) suffix-stripping stemmer, as used by SMART-era
+/// IR systems and by the paper ("restarted"/"restarts"/"restarting" ->
+/// "restart"). Input must be lower-case alphabetic (the tokenizer's output
+/// form); other inputs are returned unchanged where the algorithm's rules
+/// do not apply.
+///
+/// This is the original algorithm (including the abli->able rule), not the
+/// later "Porter2"/Snowball revision.
+std::string porter_stem(std::string_view word);
+
+}  // namespace ges::ir

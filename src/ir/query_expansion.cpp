@@ -1,0 +1,41 @@
+#include "ir/query_expansion.hpp"
+
+#include <algorithm>
+
+namespace ges::ir {
+
+SparseVector expand_query(const SparseVector& query,
+                          std::span<const SparseVector> feedback,
+                          const QueryExpansionParams& params) {
+  if (feedback.empty() || params.added_terms == 0) return query;
+
+  // Centroid of the feedback documents.
+  SparseVector centroid;
+  for (const auto& doc : feedback) {
+    centroid.add_scaled(doc, 1.0 / static_cast<double>(feedback.size()));
+  }
+
+  // Candidate expansion terms: centroid terms not already in the query,
+  // ranked by centroid weight.
+  std::vector<TermWeight> candidates;
+  candidates.reserve(centroid.size());
+  for (const auto& e : centroid.entries()) {
+    if (query.weight(e.term) == 0.0f) candidates.push_back(e);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const TermWeight& a, const TermWeight& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.term < b.term;
+            });
+  if (candidates.size() > params.added_terms) candidates.resize(params.added_terms);
+
+  SparseVector expansion = SparseVector::from_pairs(std::move(candidates));
+  expansion.normalize();
+
+  SparseVector expanded = query;
+  expanded.add_scaled(expansion, params.expansion_weight);
+  expanded.normalize();
+  return expanded;
+}
+
+}  // namespace ges::ir

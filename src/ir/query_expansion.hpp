@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+
+#include "ir/sparse_vector.hpp"
+
+namespace ges::ir {
+
+/// Parameters for automatic query expansion (pseudo-relevance feedback,
+/// paper §6.3 / Mitra–Singhal–Buckley). The initial query retrieves
+/// `feedback_docs` top documents; the `added_terms` heaviest terms of
+/// their centroid (excluding terms already in the query) are added with
+/// weight `expansion_weight` relative to the original query.
+struct QueryExpansionParams {
+  size_t feedback_docs = 10;
+  size_t added_terms = 30;
+  double expansion_weight = 0.5;
+};
+
+/// Expand `query` using the given feedback document vectors (normalized
+/// document vectors of the initially retrieved top documents). Returns a
+/// normalized expanded query vector. With no feedback documents or
+/// added_terms == 0 the original query is returned unchanged.
+SparseVector expand_query(const SparseVector& query,
+                          std::span<const SparseVector> feedback,
+                          const QueryExpansionParams& params = {});
+
+}  // namespace ges::ir

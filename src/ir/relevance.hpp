@@ -1,0 +1,24 @@
+#pragma once
+
+#include "ir/sparse_vector.hpp"
+
+namespace ges::ir {
+
+/// REL(D, Q) — Eq. 1: dot product of (already normalized) document and
+/// query vectors.
+inline double rel_doc_query(const SparseVector& doc, const SparseVector& query) {
+  return doc.dot(query);
+}
+
+/// REL(X, Y) — Eq. 2: dot product of two node vectors.
+inline double rel_node_node(const SparseVector& x, const SparseVector& y) {
+  return x.dot(y);
+}
+
+/// REL(X, Q) — Eq. 3: dot product of a node vector and a query vector
+/// (used to bias walks towards relevant semantic groups).
+inline double rel_node_query(const SparseVector& node, const SparseVector& query) {
+  return node.dot(query);
+}
+
+}  // namespace ges::ir

@@ -1,0 +1,188 @@
+#include "ir/sparse_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ges::ir {
+
+SparseVector SparseVector::from_pairs(std::vector<TermWeight> pairs) {
+  SparseVector v;
+  v.entries_ = std::move(pairs);
+  v.canonicalize();
+  return v;
+}
+
+SparseVector SparseVector::from_counts(
+    const std::vector<std::pair<TermId, uint32_t>>& counts) {
+  std::vector<TermWeight> pairs;
+  pairs.reserve(counts.size());
+  for (const auto& [term, count] : counts) {
+    pairs.push_back({term, static_cast<float>(count)});
+  }
+  return from_pairs(std::move(pairs));
+}
+
+void SparseVector::canonicalize() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const TermWeight& a, const TermWeight& b) { return a.term < b.term; });
+  // Merge duplicates in place.
+  size_t out = 0;
+  for (size_t i = 0; i < entries_.size();) {
+    TermWeight merged = entries_[i];
+    size_t j = i + 1;
+    while (j < entries_.size() && entries_[j].term == merged.term) {
+      merged.weight += entries_[j].weight;
+      ++j;
+    }
+    if (merged.weight != 0.0f) entries_[out++] = merged;
+    i = j;
+  }
+  entries_.resize(out);
+}
+
+float SparseVector::weight(TermId term) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), term,
+      [](const TermWeight& e, TermId t) { return e.term < t; });
+  if (it == entries_.end() || it->term != term) return 0.0f;
+  return it->weight;
+}
+
+double SparseVector::norm() const {
+  double sq = 0.0;
+  for (const auto& e : entries_) sq += static_cast<double>(e.weight) * e.weight;
+  return std::sqrt(sq);
+}
+
+void SparseVector::normalize() {
+  const double n = norm();
+  if (n <= 0.0) return;
+  const auto inv = static_cast<float>(1.0 / n);
+  for (auto& e : entries_) e.weight *= inv;
+}
+
+void SparseVector::dampen() {
+  for (auto& e : entries_) {
+    GES_CHECK_MSG(e.weight >= 1.0f, "dampen() requires raw term frequencies >= 1");
+    e.weight = 1.0f + std::log(e.weight);
+  }
+}
+
+void SparseVector::truncate_top(size_t k) {
+  if (k == 0 || entries_.size() <= k) return;
+  auto heavier = [](const TermWeight& a, const TermWeight& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.term < b.term;
+  };
+  std::nth_element(entries_.begin(), entries_.begin() + static_cast<ptrdiff_t>(k - 1),
+                   entries_.end(), heavier);
+  entries_.resize(k);
+  std::sort(entries_.begin(), entries_.end(),
+            [](const TermWeight& a, const TermWeight& b) { return a.term < b.term; });
+}
+
+void SparseVector::add_scaled(const SparseVector& other, double scale) {
+  if (scale == 0.0 || other.empty()) return;
+  std::vector<TermWeight> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < entries_.size() || j < other.entries_.size()) {
+    if (j >= other.entries_.size() ||
+        (i < entries_.size() && entries_[i].term < other.entries_[j].term)) {
+      merged.push_back(entries_[i++]);
+    } else if (i >= entries_.size() || other.entries_[j].term < entries_[i].term) {
+      merged.push_back({other.entries_[j].term,
+                        static_cast<float>(other.entries_[j].weight * scale)});
+      ++j;
+    } else {
+      const float w = entries_[i].weight +
+                      static_cast<float>(other.entries_[j].weight * scale);
+      if (w != 0.0f) merged.push_back({entries_[i].term, w});
+      ++i;
+      ++j;
+    }
+  }
+  entries_ = std::move(merged);
+}
+
+namespace {
+
+/// Merge-join dot product, O(|a| + |b|).
+double dot_merge(const std::vector<TermWeight>& a, const std::vector<TermWeight>& b) {
+  double sum = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].term < b[j].term) {
+      ++i;
+    } else if (b[j].term < a[i].term) {
+      ++j;
+    } else {
+      sum += static_cast<double>(a[i].weight) * b[j].weight;
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+/// Galloping dot product for a much smaller `small` side:
+/// O(|small| * log |large|). This is the hot shape of the search
+/// protocol — a 3-4-term query against a ~1,800-term node vector.
+double dot_gallop(const std::vector<TermWeight>& small,
+                  const std::vector<TermWeight>& large) {
+  double sum = 0.0;
+  auto lo = large.begin();
+  for (const auto& e : small) {
+    lo = std::lower_bound(lo, large.end(), e.term,
+                          [](const TermWeight& x, TermId t) { return x.term < t; });
+    if (lo == large.end()) break;
+    if (lo->term == e.term) {
+      sum += static_cast<double>(e.weight) * lo->weight;
+      ++lo;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+double SparseVector::dot(const SparseVector& other) const {
+  const auto& a = entries_;
+  const auto& b = other.entries_;
+  // Binary-search when one side is far smaller; merge otherwise.
+  constexpr size_t kGallopRatio = 16;
+  if (a.size() * kGallopRatio < b.size()) return dot_gallop(a, b);
+  if (b.size() * kGallopRatio < a.size()) return dot_gallop(b, a);
+  return dot_merge(a, b);
+}
+
+double SparseVector::cosine(const SparseVector& other) const {
+  const double na = norm();
+  const double nb = other.norm();
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot(other) / (na * nb);
+}
+
+size_t SparseVector::overlap(const SparseVector& other) const {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    if (entries_[i].term < other.entries_[j].term) {
+      ++i;
+    } else if (other.entries_[j].term < entries_[i].term) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace ges::ir

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "ir/types.hpp"
+
+namespace ges::ir {
+
+/// One (term, weight) component of a sparse vector.
+struct TermWeight {
+  TermId term = kInvalidTerm;
+  float weight = 0.0f;
+
+  friend bool operator==(const TermWeight&, const TermWeight&) = default;
+};
+
+/// Sparse term vector: components sorted by ascending TermId with strictly
+/// unique terms and non-zero weights. This is the representation for
+/// documents, queries and node vectors (paper §3–§4.2). Dot products are
+/// linear merge joins; truncation keeps the heaviest components.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Build from arbitrary (term, weight) pairs: duplicates are summed,
+  /// zero-weight results dropped, and the result sorted by term.
+  static SparseVector from_pairs(std::vector<TermWeight> pairs);
+
+  /// Build from term counts (term -> frequency), weights = raw counts.
+  static SparseVector from_counts(const std::vector<std::pair<TermId, uint32_t>>& counts);
+
+  const std::vector<TermWeight>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Weight of `term`, or 0 if absent. O(log n).
+  float weight(TermId term) const;
+
+  /// Euclidean (L2) norm.
+  double norm() const;
+
+  /// Scale so that norm() == 1. No-op on empty or all-zero vectors.
+  void normalize();
+
+  /// Replace every weight w with 1 + ln(w) (dampened tf, paper §3).
+  /// Requires all weights >= 1.
+  void dampen();
+
+  /// Keep only the k heaviest components (ties broken by lower TermId for
+  /// determinism), then restore TermId order. k == 0 keeps everything
+  /// ("full-size node vector" in the paper).
+  void truncate_top(size_t k);
+
+  /// this += other * scale.
+  void add_scaled(const SparseVector& other, double scale = 1.0);
+
+  /// Dot product with another sparse vector (relevance numerator of
+  /// Eq. 1–3 when both sides are normalized).
+  double dot(const SparseVector& other) const;
+
+  /// Cosine similarity: dot / (|a| |b|); 0 when either norm is 0.
+  double cosine(const SparseVector& other) const;
+
+  /// Number of terms present in both vectors.
+  size_t overlap(const SparseVector& other) const;
+
+  friend bool operator==(const SparseVector&, const SparseVector&) = default;
+
+ private:
+  void canonicalize();
+
+  std::vector<TermWeight> entries_;
+};
+
+}  // namespace ges::ir

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string_view>
+#include <unordered_set>
+
+namespace ges::ir {
+
+/// Stop-word filter seeded with the SMART system's English stop list
+/// (Buckley, Cornell TR85-686), the list the paper uses. Entries are stored
+/// in tokenizer-normal form (lower-case, alphabetic only), so contraction
+/// fragments like "don" and "ll" are included explicitly.
+class StopWords {
+ public:
+  /// The default SMART-derived list.
+  static const StopWords& smart();
+
+  /// An empty filter (keeps everything) — useful in tests.
+  StopWords() = default;
+
+  explicit StopWords(std::unordered_set<std::string_view> words)
+      : words_(std::move(words)) {}
+
+  bool contains(std::string_view word) const { return words_.count(word) > 0; }
+  size_t size() const { return words_.size(); }
+
+ private:
+  // Views into string literals with static storage duration.
+  std::unordered_set<std::string_view> words_;
+};
+
+}  // namespace ges::ir

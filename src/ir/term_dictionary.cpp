@@ -1,0 +1,27 @@
+#include "ir/term_dictionary.hpp"
+
+#include "util/check.hpp"
+
+namespace ges::ir {
+
+TermId TermDictionary::intern(std::string_view term) {
+  const auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<TermId>(terms_.size());
+  GES_CHECK_MSG(id != kInvalidTerm, "term dictionary overflow");
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId TermDictionary::lookup(std::string_view term) const {
+  const auto it = ids_.find(std::string(term));
+  return it == ids_.end() ? kInvalidTerm : it->second;
+}
+
+const std::string& TermDictionary::term(TermId id) const {
+  GES_CHECK(id < terms_.size());
+  return terms_[id];
+}
+
+}  // namespace ges::ir

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/types.hpp"
+
+namespace ges::ir {
+
+/// Bidirectional term <-> TermId interning table. Ids are dense and
+/// allocated in first-seen order, so they double as indices into
+/// per-term arrays (document frequencies, etc.). Not thread-safe for
+/// concurrent interning; concurrent lookup of existing ids is safe once
+/// interning has finished.
+class TermDictionary {
+ public:
+  /// Intern `term`, returning its id (allocating a new one if unseen).
+  TermId intern(std::string_view term);
+
+  /// Id of `term` or kInvalidTerm if it was never interned.
+  TermId lookup(std::string_view term) const;
+
+  /// The term string for an id previously returned by intern().
+  const std::string& term(TermId id) const;
+
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace ges::ir

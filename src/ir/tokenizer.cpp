@@ -1,0 +1,30 @@
+#include "ir/tokenizer.hpp"
+
+#include <cctype>
+
+namespace ges::ir {
+
+std::vector<std::string> Tokenizer::tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  tokenize_into(text, out);
+  return out;
+}
+
+void Tokenizer::tokenize_into(std::string_view text, std::vector<std::string>& out) const {
+  std::string token;
+  auto flush = [&] {
+    if (token.size() >= min_length_ && token.size() <= max_length_) out.push_back(token);
+    token.clear();
+  };
+  for (const char c : text) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (std::isalpha(uc) != 0) {
+      token.push_back(static_cast<char>(std::tolower(uc)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+}
+
+}  // namespace ges::ir

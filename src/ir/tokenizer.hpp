@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ges::ir {
+
+/// Splits text into lower-cased alphabetic tokens. Any non-alphabetic
+/// character is a separator, so "restarted—quickly" yields {"restarted",
+/// "quickly"} and "don't" yields {"don"} (the 1-letter "t" falls below
+/// min_length). This matches classic VSM preprocessing for AP newswire.
+class Tokenizer {
+ public:
+  explicit Tokenizer(size_t min_length = 2, size_t max_length = 64)
+      : min_length_(min_length), max_length_(max_length) {}
+
+  /// Tokenize into a fresh vector.
+  std::vector<std::string> tokenize(std::string_view text) const;
+
+  /// Tokenize appending to `out` (avoids reallocation in hot loops).
+  void tokenize_into(std::string_view text, std::vector<std::string>& out) const;
+
+  size_t min_length() const { return min_length_; }
+  size_t max_length() const { return max_length_; }
+
+ private:
+  size_t min_length_;
+  size_t max_length_;
+};
+
+}  // namespace ges::ir

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ges::ir {
+
+/// Interned term identifier (index into the TermDictionary).
+using TermId = uint32_t;
+
+/// Document identifier, unique across the whole corpus.
+using DocId = uint32_t;
+
+inline constexpr TermId kInvalidTerm = ~TermId{0};
+inline constexpr DocId kInvalidDoc = ~DocId{0};
+
+}  // namespace ges::ir

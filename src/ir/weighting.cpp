@@ -1,0 +1,66 @@
+#include "ir/weighting.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ges::ir {
+
+const char* weighting_name(TermWeighting scheme) {
+  switch (scheme) {
+    case TermWeighting::kRawTf: return "raw-tf";
+    case TermWeighting::kDampenedTf: return "dampened-tf";
+    case TermWeighting::kTfIdf: return "tf-idf";
+  }
+  return "?";
+}
+
+DocumentFrequencies DocumentFrequencies::from_count_vectors(
+    std::span<const SparseVector> docs) {
+  DocumentFrequencies out;
+  out.num_docs_ = docs.size();
+  for (const auto& doc : docs) {
+    for (const auto& e : doc.entries()) ++out.df_[e.term];
+  }
+  return out;
+}
+
+size_t DocumentFrequencies::df(TermId term) const {
+  const auto it = df_.find(term);
+  return it == df_.end() ? 0 : it->second;
+}
+
+double DocumentFrequencies::idf(TermId term) const {
+  const size_t d = df(term);
+  if (d == 0 || num_docs_ == 0) return 0.0;
+  return std::log(static_cast<double>(num_docs_) / static_cast<double>(d));
+}
+
+SparseVector weight_counts(const SparseVector& counts, TermWeighting scheme,
+                           const DocumentFrequencies* df) {
+  GES_CHECK_MSG(scheme != TermWeighting::kTfIdf || df != nullptr,
+                "tf-idf weighting needs document frequencies");
+  std::vector<TermWeight> weighted;
+  weighted.reserve(counts.size());
+  for (const auto& e : counts.entries()) {
+    GES_CHECK_MSG(e.weight >= 1.0f, "weight_counts expects raw frequencies >= 1");
+    double w = 0.0;
+    switch (scheme) {
+      case TermWeighting::kRawTf:
+        w = e.weight;
+        break;
+      case TermWeighting::kDampenedTf:
+        w = 1.0 + std::log(e.weight);
+        break;
+      case TermWeighting::kTfIdf:
+        w = (1.0 + std::log(e.weight)) * df->idf(e.term);
+        break;
+    }
+    if (w > 0.0) weighted.push_back({e.term, static_cast<float>(w)});
+  }
+  SparseVector out = SparseVector::from_pairs(std::move(weighted));
+  out.normalize();
+  return out;
+}
+
+}  // namespace ges::ir

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <unordered_map>
+
+#include "ir/sparse_vector.hpp"
+
+namespace ges::ir {
+
+/// Term-weighting schemes (paper §3). The paper uses dampened tf
+/// (w_t = 1 + ln f_t) because tf-idf "requires some global information
+/// (the document frequency df)"; we implement both so the trade-off can
+/// be measured (bench/ablation_design_choices).
+enum class TermWeighting {
+  kRawTf,       // w_t = f_t
+  kDampenedTf,  // w_t = 1 + ln f_t
+  kTfIdf,       // w_t = (1 + ln f_t) * ln(N / df_t)
+};
+
+const char* weighting_name(TermWeighting scheme);
+
+/// Document frequencies of a collection — the global knowledge tf-idf
+/// needs (and a distributed system does not cheaply have).
+class DocumentFrequencies {
+ public:
+  DocumentFrequencies() = default;
+
+  /// Count document frequencies over raw count vectors.
+  static DocumentFrequencies from_count_vectors(std::span<const SparseVector> docs);
+
+  size_t num_docs() const { return num_docs_; }
+  size_t df(TermId term) const;
+
+  /// ln(N / df); 0 for terms never seen (they cannot match anyway).
+  double idf(TermId term) const;
+
+ private:
+  std::unordered_map<TermId, size_t> df_;
+  size_t num_docs_ = 0;
+};
+
+/// Turn a raw term-frequency vector into a normalized weighted vector
+/// under the given scheme. `df` is required for (and only for) kTfIdf.
+SparseVector weight_counts(const SparseVector& counts, TermWeighting scheme,
+                           const DocumentFrequencies* df = nullptr);
+
+}  // namespace ges::ir

@@ -1,0 +1,39 @@
+#include "p2p/capacity.hpp"
+
+#include "util/check.hpp"
+
+namespace ges::p2p {
+
+CapacityProfile::CapacityProfile(std::vector<Capacity> levels,
+                                 std::vector<double> probabilities,
+                                 Capacity supernode_threshold)
+    : levels_(std::move(levels)),
+      probabilities_(std::move(probabilities)),
+      supernode_threshold_(supernode_threshold) {
+  GES_CHECK(!levels_.empty());
+  GES_CHECK(levels_.size() == probabilities_.size());
+}
+
+CapacityProfile CapacityProfile::uniform(Capacity capacity) {
+  // With uniform capacities no node is "super"; use an unreachable
+  // threshold so the capacity-aware branch never triggers.
+  return CapacityProfile({capacity}, {1.0}, capacity * 1e9);
+}
+
+CapacityProfile CapacityProfile::gnutella() {
+  return CapacityProfile({1.0, 10.0, 100.0, 1'000.0, 10'000.0},
+                         {0.20, 0.45, 0.30, 0.049, 0.001}, 1'000.0);
+}
+
+Capacity CapacityProfile::sample(util::Rng& rng) const {
+  if (levels_.size() == 1) return levels_[0];
+  return levels_[rng.weighted_index(probabilities_)];
+}
+
+std::vector<Capacity> CapacityProfile::sample_many(size_t n, util::Rng& rng) const {
+  std::vector<Capacity> out(n);
+  for (auto& c : out) c = sample(rng);
+  return out;
+}
+
+}  // namespace ges::p2p

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "p2p/types.hpp"
+#include "util/rng.hpp"
+
+namespace ges::p2p {
+
+/// Capacity assignment profile (paper §5.4). The heterogeneous profile is
+/// the Gnutella measurement of Saroiu et al.: capacities 1, 10, 10^2,
+/// 10^3, 10^4 with probabilities 20 %, 45 %, 30 %, 4.9 %, 0.1 %; nodes
+/// with capacity >= 10^3 are supernodes.
+class CapacityProfile {
+ public:
+  /// Every node has the same capacity (the paper's default setting).
+  static CapacityProfile uniform(Capacity capacity = 1.0);
+
+  /// The Gnutella-like heterogeneous profile.
+  static CapacityProfile gnutella();
+
+  /// Draw one capacity.
+  Capacity sample(util::Rng& rng) const;
+
+  /// Draw capacities for `n` nodes.
+  std::vector<Capacity> sample_many(size_t n, util::Rng& rng) const;
+
+  /// Capacity at or above which a node counts as a supernode (paper §4.5).
+  Capacity supernode_threshold() const { return supernode_threshold_; }
+
+  bool is_heterogeneous() const { return levels_.size() > 1; }
+
+ private:
+  CapacityProfile(std::vector<Capacity> levels, std::vector<double> probabilities,
+                  Capacity supernode_threshold);
+
+  std::vector<Capacity> levels_;
+  std::vector<double> probabilities_;
+  Capacity supernode_threshold_;
+};
+
+}  // namespace ges::p2p

@@ -1,0 +1,33 @@
+#include "p2p/churn.hpp"
+
+namespace ges::p2p {
+
+ChurnProcess::ChurnProcess(Network& network, EventQueue& queue, ChurnParams params)
+    : network_(&network), queue_(&queue), params_(params), rng_(params.seed) {}
+
+void ChurnProcess::start() {
+  for (const NodeId node : network_->alive_nodes()) schedule_departure(node);
+}
+
+void ChurnProcess::schedule_departure(NodeId node) {
+  const double delay = rng_.exponential(1.0 / params_.mean_session);
+  queue_->schedule_after(delay, [this, node] {
+    if (!network_->alive(node)) return;
+    network_->deactivate(node);
+    ++departures_;
+    schedule_arrival(node);
+  });
+}
+
+void ChurnProcess::schedule_arrival(NodeId node) {
+  const double delay = rng_.exponential(1.0 / params_.mean_downtime);
+  queue_->schedule_after(delay, [this, node] {
+    if (network_->alive(node)) return;
+    network_->activate(node);
+    bootstrap_join(*network_, node, params_.bootstrap_links, rng_);
+    ++arrivals_;
+    schedule_departure(node);
+  });
+}
+
+}  // namespace ges::p2p

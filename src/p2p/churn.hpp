@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "p2p/event_sim.hpp"
+#include "p2p/network.hpp"
+#include "util/rng.hpp"
+
+namespace ges::p2p {
+
+/// Churn model parameters. Node sessions alternate between online
+/// (exponential with mean `mean_session`) and offline (exponential with
+/// mean `mean_downtime`); on rejoin a node bootstraps with
+/// `bootstrap_links` random links. This mirrors the join/leave dynamics
+/// the paper cites as the motivation for unstructured overlays (§1:
+/// ~1,600 arrivals+departures per minute in a 100,000-node network).
+struct ChurnParams {
+  double mean_session = 600.0;
+  double mean_downtime = 300.0;
+  size_t bootstrap_links = 3;
+  uint64_t seed = 7;
+};
+
+/// Drives churn on a network through an event queue. Construct, then call
+/// start() once; the process keeps itself scheduled for as long as the
+/// queue is run. The network and queue must outlive the process.
+class ChurnProcess {
+ public:
+  ChurnProcess(Network& network, EventQueue& queue, ChurnParams params);
+
+  /// Schedule the initial departure for every alive node.
+  void start();
+
+  size_t departures() const { return departures_; }
+  size_t arrivals() const { return arrivals_; }
+
+ private:
+  void schedule_departure(NodeId node);
+  void schedule_arrival(NodeId node);
+
+  Network* network_;
+  EventQueue* queue_;
+  ChurnParams params_;
+  util::Rng rng_;
+  size_t departures_ = 0;
+  size_t arrivals_ = 0;
+};
+
+}  // namespace ges::p2p

@@ -1,0 +1,55 @@
+#include "p2p/event_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace ges::p2p {
+
+void EventQueue::schedule(SimTime at, std::function<void()> handler) {
+  GES_CHECK_MSG(at >= now_, "cannot schedule in the past (at=" << at << ", now=" << now_ << ")");
+  queue_.push(Event{at, next_seq_++, std::move(handler)});
+}
+
+void EventQueue::schedule_after(SimTime delay, std::function<void()> handler) {
+  GES_CHECK(delay >= 0.0);
+  schedule(now_ + delay, std::move(handler));
+}
+
+void EventQueue::schedule_every(SimTime interval, std::function<void()> handler) {
+  GES_CHECK(interval > 0.0);
+  // Self-rescheduling wrapper; shared_ptr breaks the otherwise-recursive
+  // lambda type.
+  auto wrapper = std::make_shared<std::function<void()>>();
+  *wrapper = [this, interval, handler = std::move(handler), wrapper]() mutable {
+    handler();
+    schedule_after(interval, *wrapper);
+  };
+  schedule_after(interval, *wrapper);
+}
+
+void EventQueue::pop_and_run() {
+  // Move the handler out before running: the handler may schedule new
+  // events, which would invalidate references into the queue.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.at;
+  ++processed_;
+  event.handler();
+}
+
+void EventQueue::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().at <= until) pop_and_run();
+  now_ = std::max(now_, until);
+}
+
+void EventQueue::run(size_t max_events) {
+  size_t ran = 0;
+  while (!queue_.empty() && ran < max_events) {
+    pop_and_run();
+    ++ran;
+  }
+}
+
+}  // namespace ges::p2p

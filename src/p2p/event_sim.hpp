@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ges::p2p {
+
+/// Simulated time, in abstract seconds.
+using SimTime = double;
+
+/// Minimal discrete-event scheduler driving the network's time-based
+/// processes: topology-adaptation rounds, replica heartbeats, and churn
+/// arrivals. Events at equal timestamps run in scheduling order
+/// (deterministic). Handlers may schedule further events.
+class EventQueue {
+ public:
+  /// Schedule `handler` at absolute time `at` (>= now()).
+  void schedule(SimTime at, std::function<void()> handler);
+
+  /// Schedule `handler` `delay` seconds from now.
+  void schedule_after(SimTime delay, std::function<void()> handler);
+
+  /// Schedule `handler` every `interval` seconds, first firing at
+  /// now() + interval, until the queue stops being run.
+  void schedule_every(SimTime interval, std::function<void()> handler);
+
+  SimTime now() const { return now_; }
+  size_t pending() const { return queue_.size(); }
+  size_t processed() const { return processed_; }
+
+  /// Run events with timestamp <= `until`, then advance now() to `until`.
+  void run_until(SimTime until);
+
+  /// Run at most `max_events` events (default: drain everything pending,
+  /// including newly scheduled ones — beware schedule_every).
+  void run(size_t max_events = ~size_t{0});
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    std::function<void()> handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_and_run();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  size_t processed_ = 0;
+};
+
+}  // namespace ges::p2p

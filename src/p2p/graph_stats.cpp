@@ -1,0 +1,126 @@
+#include "p2p/graph_stats.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ges::p2p {
+
+namespace {
+
+std::vector<NodeId> filtered_neighbors(const Network& network, NodeId node,
+                                       std::optional<LinkType> filter) {
+  std::vector<NodeId> out;
+  auto add = [&](LinkType type) {
+    for (const NodeId n : network.neighbors(node, type)) {
+      if (network.alive(n)) out.push_back(n);
+    }
+  };
+  if (!filter || *filter == LinkType::kRandom) add(LinkType::kRandom);
+  if (!filter || *filter == LinkType::kSemantic) add(LinkType::kSemantic);
+  return out;
+}
+
+}  // namespace
+
+GraphStats compute_graph_stats(const Network& network,
+                               std::optional<LinkType> link_filter,
+                               size_t path_samples, uint64_t seed) {
+  GraphStats stats;
+  const auto alive = network.alive_nodes();
+  stats.nodes = alive.size();
+  if (alive.empty()) return stats;
+
+  // Degrees and link count.
+  size_t degree_sum = 0;
+  stats.min_degree = ~uint32_t{0};
+  for (const NodeId n : alive) {
+    const auto degree =
+        static_cast<uint32_t>(filtered_neighbors(network, n, link_filter).size());
+    degree_sum += degree;
+    stats.min_degree = std::min(stats.min_degree, degree);
+    stats.max_degree = std::max(stats.max_degree, degree);
+  }
+  stats.links = degree_sum / 2;
+  stats.mean_degree = static_cast<double>(degree_sum) / static_cast<double>(alive.size());
+
+  // Connected components.
+  std::unordered_map<NodeId, size_t> component_of;
+  std::vector<size_t> component_sizes;
+  for (const NodeId start : alive) {
+    if (component_of.count(start) > 0) continue;
+    const size_t id = component_sizes.size();
+    size_t size = 0;
+    std::deque<NodeId> frontier{start};
+    component_of[start] = id;
+    while (!frontier.empty()) {
+      const NodeId current = frontier.front();
+      frontier.pop_front();
+      ++size;
+      for (const NodeId next : filtered_neighbors(network, current, link_filter)) {
+        if (component_of.emplace(next, id).second) frontier.push_back(next);
+      }
+    }
+    component_sizes.push_back(size);
+  }
+  stats.components = component_sizes.size();
+  stats.largest_component =
+      *std::max_element(component_sizes.begin(), component_sizes.end());
+
+  // Clustering coefficient: closed/total connected triplets.
+  size_t triplets = 0;
+  size_t closed = 0;
+  for (const NodeId n : alive) {
+    const auto neighbors = filtered_neighbors(network, n, link_filter);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      for (size_t j = i + 1; j < neighbors.size(); ++j) {
+        ++triplets;
+        if (network.has_link(neighbors[i], neighbors[j])) ++closed;
+      }
+    }
+  }
+  stats.clustering_coefficient =
+      triplets == 0 ? 0.0 : static_cast<double>(closed) / static_cast<double>(triplets);
+
+  // Mean shortest path: BFS from sampled sources in the largest component.
+  size_t largest_id = 0;
+  for (size_t c = 0; c < component_sizes.size(); ++c) {
+    if (component_sizes[c] == stats.largest_component) {
+      largest_id = c;
+      break;
+    }
+  }
+  std::vector<NodeId> members;
+  for (const NodeId n : alive) {
+    if (component_of[n] == largest_id) members.push_back(n);
+  }
+  if (members.size() >= 2 && path_samples > 0) {
+    util::Rng rng(seed);
+    double distance_sum = 0.0;
+    size_t distance_count = 0;
+    const size_t samples = std::min(path_samples, members.size());
+    for (const size_t pick : rng.sample_without_replacement(members.size(), samples)) {
+      const NodeId source = members[pick];
+      std::unordered_map<NodeId, size_t> dist{{source, 0}};
+      std::deque<NodeId> frontier{source};
+      while (!frontier.empty()) {
+        const NodeId current = frontier.front();
+        frontier.pop_front();
+        for (const NodeId next : filtered_neighbors(network, current, link_filter)) {
+          if (dist.emplace(next, dist[current] + 1).second) frontier.push_back(next);
+        }
+      }
+      for (const auto& [node, d] : dist) {
+        if (node != source) {
+          distance_sum += static_cast<double>(d);
+          ++distance_count;
+        }
+      }
+    }
+    if (distance_count > 0) stats.mean_path_length = distance_sum / distance_count;
+  }
+  return stats;
+}
+
+}  // namespace ges::p2p

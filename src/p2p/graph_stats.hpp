@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "p2p/network.hpp"
+#include "util/rng.hpp"
+
+namespace ges::p2p {
+
+/// Structural statistics of the overlay (alive nodes only), for
+/// diagnostics, examples and tests. `link_filter` selects which links
+/// count: kRandom, kSemantic, or both (nullopt).
+struct GraphStats {
+  size_t nodes = 0;
+  size_t links = 0;
+  double mean_degree = 0.0;
+  uint32_t min_degree = 0;
+  uint32_t max_degree = 0;
+
+  /// Size of the largest connected component and total component count.
+  size_t largest_component = 0;
+  size_t components = 0;
+
+  /// Global clustering coefficient (closed triplets / all triplets).
+  double clustering_coefficient = 0.0;
+
+  /// Mean shortest-path length, estimated by BFS from sampled sources
+  /// within the largest component.
+  double mean_path_length = 0.0;
+};
+
+GraphStats compute_graph_stats(const Network& network,
+                               std::optional<LinkType> link_filter = std::nullopt,
+                               size_t path_samples = 16, uint64_t seed = 1);
+
+}  // namespace ges::p2p

@@ -1,0 +1,84 @@
+#include "p2p/host_cache.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ges::p2p {
+
+HostCache::HostCache(size_t max_size) : max_size_(max_size) {
+  GES_CHECK(max_size > 0);
+}
+
+void HostCache::insert(HostCacheEntry entry) {
+  GES_CHECK(entry.node != kInvalidNode);
+  const auto it = index_.find(entry.node);
+  if (it != index_.end()) {
+    slots_[it->second] = std::move(entry);  // refresh in place, keep FIFO position
+    return;
+  }
+  if (order_.size() >= max_size_) {
+    // Evict the oldest entry.
+    const size_t victim = order_.front();
+    order_.erase(order_.begin());
+    index_.erase(slots_[victim].node);
+    free_slots_.push_back(victim);
+  }
+  size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(entry);
+  } else {
+    slot = slots_.size();
+    slots_.push_back(std::move(entry));
+  }
+  index_.emplace(slots_[slot].node, slot);
+  order_.push_back(slot);
+}
+
+bool HostCache::erase(NodeId node) {
+  const auto it = index_.find(node);
+  if (it == index_.end()) return false;
+  const size_t slot = it->second;
+  order_.erase(std::find(order_.begin(), order_.end(), slot));
+  free_slots_.push_back(slot);
+  index_.erase(it);
+  return true;
+}
+
+const HostCacheEntry* HostCache::find(NodeId node) const {
+  const auto it = index_.find(node);
+  return it == index_.end() ? nullptr : &slots_[it->second];
+}
+
+std::vector<const HostCacheEntry*> HostCache::entries() const {
+  std::vector<const HostCacheEntry*> out;
+  out.reserve(order_.size());
+  for (const size_t slot : order_) out.push_back(&slots_[slot]);
+  return out;
+}
+
+const HostCacheEntry* HostCache::best_by_relevance(
+    const std::function<bool(const HostCacheEntry&)>& acceptable) const {
+  const HostCacheEntry* best = nullptr;
+  for (const size_t slot : order_) {
+    const auto& e = slots_[slot];
+    if (!acceptable(e)) continue;
+    if (best == nullptr || e.rel_score > best->rel_score) best = &e;
+  }
+  return best;
+}
+
+const HostCacheEntry* HostCache::best_by_capacity(
+    const std::function<bool(const HostCacheEntry&)>& acceptable) const {
+  const HostCacheEntry* best = nullptr;
+  for (const size_t slot : order_) {
+    const auto& e = slots_[slot];
+    if (!acceptable(e)) continue;
+    if (best == nullptr || e.capacity > best->capacity) best = &e;
+  }
+  return best;
+}
+
+}  // namespace ges::p2p

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/sparse_vector.hpp"
+#include "p2p/types.hpp"
+
+namespace ges::p2p {
+
+/// One host-cache entry (paper §4.3): address (NodeId stands in for
+/// IP:port), capacity, degree, optional node vector (random host cache
+/// only — the semantic cache omits vectors), and the precomputed
+/// relevance score ("keeping precomputed relevance scores in cache
+/// avoids recomputing").
+struct HostCacheEntry {
+  NodeId node = kInvalidNode;
+  Capacity capacity = 0.0;
+  uint32_t degree = 0;
+  double rel_score = 0.0;
+  ir::SparseVector vector;  // empty in the semantic host cache
+};
+
+/// Size-bounded FIFO host cache (paper §4.3: "each cache has a size
+/// constraint and uses FIFO as replacement strategy"). Re-inserting a
+/// node updates its entry in place without refreshing its FIFO position.
+class HostCache {
+ public:
+  explicit HostCache(size_t max_size);
+
+  /// Insert or update. When the cache is full, the oldest entry is
+  /// evicted to make room for a genuinely new node.
+  void insert(HostCacheEntry entry);
+
+  /// Remove a node's entry, if present. Returns true if removed.
+  bool erase(NodeId node);
+
+  bool contains(NodeId node) const { return index_.count(node) > 0; }
+  const HostCacheEntry* find(NodeId node) const;
+
+  size_t size() const { return order_.size(); }
+  size_t max_size() const { return max_size_; }
+  bool empty() const { return order_.empty(); }
+
+  /// Entries in FIFO order (oldest first).
+  std::vector<const HostCacheEntry*> entries() const;
+
+  /// The acceptable entry with the highest rel_score, or nullptr.
+  /// `acceptable` typically filters out dead nodes and current neighbors.
+  const HostCacheEntry* best_by_relevance(
+      const std::function<bool(const HostCacheEntry&)>& acceptable) const;
+
+  /// The acceptable entry with the highest capacity, or nullptr.
+  const HostCacheEntry* best_by_capacity(
+      const std::function<bool(const HostCacheEntry&)>& acceptable) const;
+
+ private:
+  size_t max_size_;
+  std::vector<HostCacheEntry> slots_;            // stable storage
+  std::vector<size_t> order_;                    // FIFO of slot indices
+  std::vector<size_t> free_slots_;               // recycled slot indices
+  std::unordered_map<NodeId, size_t> index_;     // node -> slot
+};
+
+}  // namespace ges::p2p

@@ -1,0 +1,319 @@
+#include "p2p/network.hpp"
+
+#include <algorithm>
+
+#include "ir/node_vector.hpp"
+#include "util/check.hpp"
+
+namespace ges::p2p {
+
+Network::Network(const corpus::Corpus& corpus, std::vector<Capacity> capacities,
+                 NetworkConfig config)
+    : corpus_(&corpus), config_(config) {
+  GES_CHECK_MSG(capacities.size() == corpus.num_nodes(),
+                "capacities (" << capacities.size() << ") must match corpus nodes ("
+                               << corpus.num_nodes() << ")");
+  peers_.resize(corpus.num_nodes());
+  alive_count_ = peers_.size();
+  for (size_t n = 0; n < peers_.size(); ++n) {
+    Peer& p = peers_[n];
+    p.capacity = capacities[n];
+    p.random_cache = HostCache(config_.host_cache_size);
+    p.semantic_cache = HostCache(config_.host_cache_size);
+    p.docs = corpus.node_docs[n];
+    for (const ir::DocId d : p.docs) {
+      p.index.add_document(d, corpus.docs[d].vector);
+    }
+    rebuild_node_vector(static_cast<NodeId>(n));
+  }
+}
+
+const Network::Peer& Network::peer(NodeId node) const {
+  GES_CHECK_MSG(node < peers_.size(), "node " << node << " out of range");
+  return peers_[node];
+}
+
+Network::Peer& Network::peer_mut(NodeId node) {
+  GES_CHECK_MSG(node < peers_.size(), "node " << node << " out of range");
+  return peers_[node];
+}
+
+std::vector<NodeId> Network::alive_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(alive_count_);
+  for (size_t n = 0; n < peers_.size(); ++n) {
+    if (peers_[n].alive) out.push_back(static_cast<NodeId>(n));
+  }
+  return out;
+}
+
+uint32_t Network::degree(NodeId node) const {
+  const Peer& p = peer(node);
+  return static_cast<uint32_t>(p.random_neighbors.size() + p.semantic_neighbors.size());
+}
+
+uint32_t Network::degree(NodeId node, LinkType type) const {
+  const Peer& p = peer(node);
+  return static_cast<uint32_t>(type == LinkType::kRandom ? p.random_neighbors.size()
+                                                         : p.semantic_neighbors.size());
+}
+
+const std::vector<NodeId>& Network::neighbors(NodeId node, LinkType type) const {
+  const Peer& p = peer(node);
+  return type == LinkType::kRandom ? p.random_neighbors : p.semantic_neighbors;
+}
+
+std::vector<NodeId> Network::all_neighbors(NodeId node) const {
+  const Peer& p = peer(node);
+  std::vector<NodeId> out;
+  out.reserve(p.random_neighbors.size() + p.semantic_neighbors.size());
+  out.insert(out.end(), p.random_neighbors.begin(), p.random_neighbors.end());
+  out.insert(out.end(), p.semantic_neighbors.begin(), p.semantic_neighbors.end());
+  return out;
+}
+
+bool Network::has_link(NodeId a, NodeId b) const {
+  return peer(a).link_types.count(b) > 0;
+}
+
+std::optional<LinkType> Network::link_type(NodeId a, NodeId b) const {
+  const auto& types = peer(a).link_types;
+  const auto it = types.find(b);
+  if (it == types.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Network::connect(NodeId a, NodeId b, LinkType type) {
+  if (a == b) return false;
+  Peer& pa = peer_mut(a);
+  Peer& pb = peer_mut(b);
+  if (!pa.alive || !pb.alive) return false;
+  if (pa.link_types.count(b) > 0) return false;
+  auto& la = type == LinkType::kRandom ? pa.random_neighbors : pa.semantic_neighbors;
+  auto& lb = type == LinkType::kRandom ? pb.random_neighbors : pb.semantic_neighbors;
+  la.push_back(b);
+  lb.push_back(a);
+  pa.link_types.emplace(b, type);
+  pb.link_types.emplace(a, type);
+  if (type == LinkType::kRandom) install_replicas(a, b);
+  return true;
+}
+
+bool Network::disconnect(NodeId a, NodeId b) {
+  Peer& pa = peer_mut(a);
+  const auto it = pa.link_types.find(b);
+  if (it == pa.link_types.end()) return false;
+  const LinkType type = it->second;
+  Peer& pb = peer_mut(b);
+  auto erase_from = [](std::vector<NodeId>& v, NodeId x) {
+    v.erase(std::find(v.begin(), v.end(), x));
+  };
+  erase_from(type == LinkType::kRandom ? pa.random_neighbors : pa.semantic_neighbors, b);
+  erase_from(type == LinkType::kRandom ? pb.random_neighbors : pb.semantic_neighbors, a);
+  pa.link_types.erase(b);
+  pb.link_types.erase(a);
+  if (type == LinkType::kRandom) flush_replicas(a, b);
+  return true;
+}
+
+bool Network::reclassify(NodeId a, NodeId b, LinkType type) {
+  const auto current = link_type(a, b);
+  if (!current || *current == type) return false;
+  Peer& pa = peer_mut(a);
+  Peer& pb = peer_mut(b);
+  auto move_between = [&](Peer& p, NodeId x) {
+    auto& from = *current == LinkType::kRandom ? p.random_neighbors : p.semantic_neighbors;
+    auto& to = type == LinkType::kRandom ? p.random_neighbors : p.semantic_neighbors;
+    from.erase(std::find(from.begin(), from.end(), x));
+    to.push_back(x);
+    p.link_types[x] = type;
+  };
+  move_between(pa, b);
+  move_between(pb, a);
+  if (type == LinkType::kRandom) {
+    install_replicas(a, b);
+  } else {
+    flush_replicas(a, b);
+  }
+  return true;
+}
+
+double Network::rel_nodes(NodeId a, NodeId b) const {
+  return peer(a).vector.dot(peer(b).vector);
+}
+
+NodeId Network::document_owner(ir::DocId doc) const {
+  if (doc < corpus_->docs.size()) {
+    // Corpus documents can be removed dynamically; verify membership.
+    const NodeId node = corpus_->docs[doc].node;
+    const auto& docs = peer(node).docs;
+    if (std::find(docs.begin(), docs.end(), doc) != docs.end()) return node;
+    return kInvalidNode;
+  }
+  const auto it = doc_owner_.find(doc);
+  return it == doc_owner_.end() ? kInvalidNode : it->second;
+}
+
+const ir::SparseVector& Network::document_vector(ir::DocId doc) const {
+  if (doc < corpus_->docs.size()) return corpus_->docs[doc].vector;
+  const size_t slot = doc - corpus_->docs.size();
+  GES_CHECK(slot < dynamic_docs_.size());
+  return dynamic_docs_[slot].vector;
+}
+
+const ir::SparseVector& Network::counts_of(ir::DocId doc) const {
+  if (doc < corpus_->docs.size()) return corpus_->docs[doc].counts;
+  const size_t slot = doc - corpus_->docs.size();
+  GES_CHECK(slot < dynamic_docs_.size());
+  return dynamic_docs_[slot].counts;
+}
+
+ir::DocId Network::add_document(NodeId node, const ir::SparseVector& counts) {
+  GES_CHECK(!counts.empty());
+  DynamicDoc dyn;
+  dyn.counts = counts;
+  dyn.vector = counts;
+  dyn.vector.dampen();
+  dyn.vector.normalize();
+  const auto doc =
+      static_cast<ir::DocId>(corpus_->docs.size() + dynamic_docs_.size());
+  dynamic_docs_.push_back(std::move(dyn));
+  doc_owner_.emplace(doc, node);
+  Peer& p = peer_mut(node);
+  p.docs.push_back(doc);
+  p.index.add_document(doc, dynamic_docs_.back().vector);
+  rebuild_node_vector(node);
+  return doc;
+}
+
+bool Network::remove_document(NodeId node, ir::DocId doc) {
+  Peer& p = peer_mut(node);
+  const auto it = std::find(p.docs.begin(), p.docs.end(), doc);
+  if (it == p.docs.end()) return false;
+  p.docs.erase(it);
+  p.index.remove_document(doc);
+  doc_owner_.erase(doc);
+  rebuild_node_vector(node);
+  return true;
+}
+
+void Network::rebuild_node_vector(NodeId node) {
+  Peer& p = peer_mut(node);
+  std::vector<ir::SparseVector> counts;
+  counts.reserve(p.docs.size());
+  for (const ir::DocId d : p.docs) counts.push_back(counts_of(d));
+  p.full_vector = ir::build_node_vector(counts, 0);
+  p.vector = ir::truncate_node_vector(p.full_vector, config_.node_vector_size);
+}
+
+const ir::SparseVector* Network::replica(NodeId owner, NodeId neighbor) const {
+  const auto& replicas = peer(owner).replicas;
+  const auto it = replicas.find(neighbor);
+  return it == replicas.end() ? nullptr : &it->second;
+}
+
+void Network::refresh_replicas(NodeId owner) {
+  Peer& p = peer_mut(owner);
+  for (const NodeId neighbor : p.random_neighbors) {
+    p.replicas[neighbor] = peer(neighbor).vector;
+  }
+}
+
+size_t Network::stale_replica_count(NodeId owner) const {
+  size_t stale = 0;
+  const Peer& p = peer(owner);
+  for (const auto& [neighbor, vec] : p.replicas) {
+    if (!(vec == peer(neighbor).vector)) ++stale;
+  }
+  return stale;
+}
+
+void Network::install_replicas(NodeId a, NodeId b) {
+  peer_mut(a).replicas[b] = peer(b).vector;
+  peer_mut(b).replicas[a] = peer(a).vector;
+}
+
+void Network::flush_replicas(NodeId a, NodeId b) {
+  peer_mut(a).replicas.erase(b);
+  peer_mut(b).replicas.erase(a);
+}
+
+void Network::deactivate(NodeId node) {
+  Peer& p = peer_mut(node);
+  if (!p.alive) return;
+  while (!p.link_types.empty()) {
+    disconnect(node, p.link_types.begin()->first);
+  }
+  p.replicas.clear();
+  p.alive = false;
+  --alive_count_;
+}
+
+void Network::activate(NodeId node) {
+  Peer& p = peer_mut(node);
+  if (p.alive) return;
+  p.alive = true;
+  ++alive_count_;
+  p.random_cache = HostCache(config_.host_cache_size);
+  p.semantic_cache = HostCache(config_.host_cache_size);
+}
+
+void Network::check_invariants() const {
+  for (size_t n = 0; n < peers_.size(); ++n) {
+    const Peer& p = peers_[n];
+    const auto id = static_cast<NodeId>(n);
+    GES_CHECK_MSG(p.alive || p.link_types.empty(), "dead node " << n << " has links");
+    GES_CHECK(p.link_types.size() ==
+              p.random_neighbors.size() + p.semantic_neighbors.size());
+    for (const auto& [peer_id, type] : p.link_types) {
+      GES_CHECK_MSG(peer_id != id, "self link at " << n);
+      const Peer& q = peer(peer_id);
+      const auto back = q.link_types.find(id);
+      GES_CHECK_MSG(back != q.link_types.end(),
+                    "asymmetric link " << n << " -> " << peer_id);
+      GES_CHECK_MSG(back->second == type,
+                    "type mismatch on link " << n << " <-> " << peer_id);
+    }
+    for (const NodeId r : p.random_neighbors) {
+      GES_CHECK(p.link_types.at(r) == LinkType::kRandom);
+      GES_CHECK_MSG(p.replicas.count(r) == 1,
+                    "missing replica of random neighbor " << r << " at " << n);
+    }
+    for (const NodeId s : p.semantic_neighbors) {
+      GES_CHECK(p.link_types.at(s) == LinkType::kSemantic);
+    }
+    GES_CHECK_MSG(p.replicas.size() == p.random_neighbors.size(),
+                  "replica set at " << n << " does not match random neighbors");
+  }
+}
+
+void bootstrap_random_graph(Network& network, double avg_degree, util::Rng& rng,
+                            LinkType type) {
+  const auto nodes = network.alive_nodes();
+  if (nodes.size() < 2) return;
+  const auto target_edges =
+      static_cast<size_t>(avg_degree * static_cast<double>(nodes.size()) / 2.0);
+  size_t edges = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = target_edges * 50 + 1000;
+  while (edges < target_edges && attempts < max_attempts) {
+    ++attempts;
+    const NodeId a = nodes[rng.index(nodes.size())];
+    const NodeId b = nodes[rng.index(nodes.size())];
+    if (network.connect(a, b, type)) ++edges;
+  }
+}
+
+void bootstrap_join(Network& network, NodeId node, size_t links, util::Rng& rng,
+                    LinkType type) {
+  GES_CHECK(network.alive(node));
+  auto candidates = network.alive_nodes();
+  rng.shuffle(candidates);
+  size_t made = 0;
+  for (const NodeId peer : candidates) {
+    if (made >= links) break;
+    if (network.connect(node, peer, type)) ++made;
+  }
+}
+
+}  // namespace ges::p2p

@@ -1,0 +1,192 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "ir/local_index.hpp"
+#include "ir/sparse_vector.hpp"
+#include "p2p/host_cache.hpp"
+#include "p2p/types.hpp"
+#include "util/rng.hpp"
+
+namespace ges::p2p {
+
+/// Network-wide configuration.
+struct NetworkConfig {
+  /// Node-vector truncation size s (paper §6.2); 0 = full-size vectors.
+  /// Both topology adaptation and search operate on the truncated vectors.
+  size_t node_vector_size = 0;
+
+  /// Capacity of each of the two host caches per node (paper §4.3).
+  size_t host_cache_size = 50;
+};
+
+/// The simulated Gnutella-like network: overlay topology (typed,
+/// symmetric links), per-node content (documents, local inverted index,
+/// node vector), host caches, and the selective one-hop replicas of
+/// random neighbors' node vectors (paper §4.4).
+///
+/// Topology invariants maintained by this class:
+///  * links are symmetric and carry the same type on both endpoints,
+///  * no self-links, no parallel links,
+///  * dead (churned-out) nodes have no links and cannot gain any.
+/// Degree *policies* (min/max links) belong to the adaptation layer.
+class Network {
+ public:
+  /// Build a network over the corpus: node i of the network hosts the
+  /// documents of corpus node i. The corpus must outlive the network.
+  Network(const corpus::Corpus& corpus, std::vector<Capacity> capacities,
+          NetworkConfig config);
+
+  const NetworkConfig& config() const { return config_; }
+  const corpus::Corpus& corpus() const { return *corpus_; }
+
+  size_t size() const { return peers_.size(); }
+  size_t alive_count() const { return alive_count_; }
+  bool alive(NodeId node) const { return peer(node).alive; }
+  std::vector<NodeId> alive_nodes() const;
+
+  Capacity capacity(NodeId node) const { return peer(node).capacity; }
+
+  /// Total degree (random + semantic links).
+  uint32_t degree(NodeId node) const;
+  uint32_t degree(NodeId node, LinkType type) const;
+
+  const std::vector<NodeId>& neighbors(NodeId node, LinkType type) const;
+  std::vector<NodeId> all_neighbors(NodeId node) const;
+
+  bool has_link(NodeId a, NodeId b) const;
+  std::optional<LinkType> link_type(NodeId a, NodeId b) const;
+
+  /// Create a link of the given type. Fails (returns false) on self
+  /// links, existing links, or dead endpoints. Creating a random link
+  /// installs one-hop node-vector replicas on both endpoints.
+  bool connect(NodeId a, NodeId b, LinkType type);
+
+  /// Remove a link. Removing a random link flushes the corresponding
+  /// replicas. Returns false if absent.
+  bool disconnect(NodeId a, NodeId b);
+
+  /// Change an existing link's type on both endpoints (paper §4.3: links
+  /// are reclassified when their relevance crosses the threshold).
+  /// Replicas are installed/flushed accordingly. Returns false if absent
+  /// or already of that type.
+  bool reclassify(NodeId a, NodeId b, LinkType type);
+
+  // --- Content ------------------------------------------------------
+
+  /// Node vector truncated to config().node_vector_size (what the
+  /// protocols see).
+  const ir::SparseVector& node_vector(NodeId node) const { return peer(node).vector; }
+
+  /// Untruncated node vector (for instrumentation, e.g. Fig. 2d).
+  const ir::SparseVector& full_node_vector(NodeId node) const {
+    return peer(node).full_vector;
+  }
+
+  /// REL(X, Y) — Eq. 2 on the protocol-visible (truncated) node vectors.
+  double rel_nodes(NodeId a, NodeId b) const;
+
+  const ir::LocalIndex& index(NodeId node) const { return peer(node).index; }
+  const std::vector<ir::DocId>& documents(NodeId node) const { return peer(node).docs; }
+
+  /// Owning node of a document (documents added dynamically included).
+  NodeId document_owner(ir::DocId doc) const;
+
+  /// Document vectors by id (corpus documents plus dynamic additions).
+  const ir::SparseVector& document_vector(ir::DocId doc) const;
+
+  /// Add a brand-new document (dynamic collections, paper §4.4); returns
+  /// its DocId. Rebuilds the node's vector.
+  ir::DocId add_document(NodeId node, const ir::SparseVector& counts);
+
+  /// Remove a document from its node. Rebuilds the node's vector.
+  /// Returns false if the node does not hold the document.
+  bool remove_document(NodeId node, ir::DocId doc);
+
+  // --- Host caches and replicas --------------------------------------
+
+  HostCache& random_cache(NodeId node) { return peer_mut(node).random_cache; }
+  HostCache& semantic_cache(NodeId node) { return peer_mut(node).semantic_cache; }
+  const HostCache& random_cache(NodeId node) const { return peer(node).random_cache; }
+  const HostCache& semantic_cache(NodeId node) const { return peer(node).semantic_cache; }
+
+  /// Replica of `neighbor`'s node vector held by `owner`, or nullptr when
+  /// `neighbor` is not a random neighbor of `owner`. Replicas may be
+  /// stale until the next heartbeat (paper §4.4).
+  const ir::SparseVector* replica(NodeId owner, NodeId neighbor) const;
+
+  /// Heartbeat: re-copy the current node vectors of all random neighbors.
+  void refresh_replicas(NodeId owner);
+
+  /// Number of stale replicas held by `owner` (differs from the
+  /// neighbor's current vector) — test/diagnostic helper.
+  size_t stale_replica_count(NodeId owner) const;
+
+  // --- Churn ----------------------------------------------------------
+
+  /// Node leaves: all its links are dropped (flushing replicas on both
+  /// sides); host caches of *other* nodes keep their possibly-dead
+  /// entries, as in Gnutella — consumers must check liveness.
+  void deactivate(NodeId node);
+
+  /// Node rejoins with empty caches and no links (bootstrap separately).
+  void activate(NodeId node);
+
+  /// Check structural invariants (symmetry, type agreement, liveness,
+  /// replica consistency with random links). Throws CheckFailure on
+  /// violation. O(V + E); intended for tests.
+  void check_invariants() const;
+
+ private:
+  struct Peer {
+    bool alive = true;
+    Capacity capacity = 1.0;
+    std::vector<NodeId> random_neighbors;
+    std::vector<NodeId> semantic_neighbors;
+    std::unordered_map<NodeId, LinkType> link_types;
+    HostCache random_cache{1};
+    HostCache semantic_cache{1};
+    std::unordered_map<NodeId, ir::SparseVector> replicas;
+    std::vector<ir::DocId> docs;
+    ir::LocalIndex index;
+    ir::SparseVector vector;       // truncated to node_vector_size
+    ir::SparseVector full_vector;  // untruncated
+  };
+
+  const Peer& peer(NodeId node) const;
+  Peer& peer_mut(NodeId node);
+  void rebuild_node_vector(NodeId node);
+  void install_replicas(NodeId a, NodeId b);
+  void flush_replicas(NodeId a, NodeId b);
+  const ir::SparseVector& counts_of(ir::DocId doc) const;
+
+  const corpus::Corpus* corpus_;
+  NetworkConfig config_;
+  std::vector<Peer> peers_;
+  size_t alive_count_ = 0;
+
+  // Documents added after construction (DocIds continue the corpus range).
+  struct DynamicDoc {
+    ir::SparseVector counts;
+    ir::SparseVector vector;
+  };
+  std::deque<DynamicDoc> dynamic_docs_;
+  std::unordered_map<ir::DocId, NodeId> doc_owner_;  // dynamic docs only
+};
+
+/// Connect alive nodes into a uniformly random graph with the given
+/// average degree (paper §5.4: "uniformly random graphs with an average
+/// degree of 8"), using links of type `type`. Existing links are kept.
+void bootstrap_random_graph(Network& network, double avg_degree, util::Rng& rng,
+                            LinkType type = LinkType::kRandom);
+
+/// Bootstrap a (re)joining node: connect it to up to `links` distinct
+/// random alive nodes (Gnutella bootstrap, paper §4.3).
+void bootstrap_join(Network& network, NodeId node, size_t links, util::Rng& rng,
+                    LinkType type = LinkType::kRandom);
+
+}  // namespace ges::p2p

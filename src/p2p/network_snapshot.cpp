@@ -1,0 +1,128 @@
+#include "p2p/network_snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace ges::p2p {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'E', 'S', 'N'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  GES_CHECK_MSG(in.good(), "truncated network snapshot");
+  return value;
+}
+
+}  // namespace
+
+void save_network_snapshot(const Network& network, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod<uint32_t>(out, kVersion);
+
+  // Corpus fingerprint.
+  const auto& corpus = network.corpus();
+  write_pod<uint64_t>(out, corpus.num_nodes());
+  write_pod<uint64_t>(out, corpus.num_docs());
+  write_pod<uint64_t>(out, corpus.dict.size());
+
+  // Per-node capacity and liveness.
+  write_pod<uint64_t>(out, network.size());
+  for (NodeId n = 0; n < network.size(); ++n) {
+    write_pod<double>(out, network.capacity(n));
+    write_pod<uint8_t>(out, network.alive(n) ? 1 : 0);
+  }
+
+  // Links, each once (lower endpoint first).
+  uint64_t link_count = 0;
+  for (NodeId n = 0; n < network.size(); ++n) {
+    for (const LinkType type : {LinkType::kRandom, LinkType::kSemantic}) {
+      for (const NodeId peer : network.neighbors(n, type)) {
+        if (peer > n) ++link_count;
+      }
+    }
+  }
+  write_pod<uint64_t>(out, link_count);
+  for (NodeId n = 0; n < network.size(); ++n) {
+    for (const LinkType type : {LinkType::kRandom, LinkType::kSemantic}) {
+      for (const NodeId peer : network.neighbors(n, type)) {
+        if (peer <= n) continue;
+        write_pod<uint32_t>(out, n);
+        write_pod<uint32_t>(out, peer);
+        write_pod<uint8_t>(out, static_cast<uint8_t>(type));
+      }
+    }
+  }
+  GES_CHECK_MSG(out.good(), "network snapshot write failed");
+}
+
+Network load_network_snapshot(const corpus::Corpus& corpus, std::istream& in,
+                              NetworkConfig config) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  GES_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                "not a GES network snapshot");
+  const auto version = read_pod<uint32_t>(in);
+  GES_CHECK_MSG(version == kVersion, "unsupported snapshot version " << version);
+
+  GES_CHECK_MSG(read_pod<uint64_t>(in) == corpus.num_nodes(),
+                "snapshot was taken over a different corpus (node count)");
+  GES_CHECK_MSG(read_pod<uint64_t>(in) == corpus.num_docs(),
+                "snapshot was taken over a different corpus (document count)");
+  GES_CHECK_MSG(read_pod<uint64_t>(in) == corpus.dict.size(),
+                "snapshot was taken over a different corpus (vocabulary)");
+
+  const auto nodes = read_pod<uint64_t>(in);
+  GES_CHECK(nodes == corpus.num_nodes());
+  std::vector<Capacity> capacities(nodes);
+  std::vector<bool> alive(nodes);
+  for (uint64_t n = 0; n < nodes; ++n) {
+    capacities[n] = read_pod<double>(in);
+    alive[n] = read_pod<uint8_t>(in) != 0;
+  }
+
+  Network network(corpus, std::move(capacities), config);
+  for (uint64_t n = 0; n < nodes; ++n) {
+    if (!alive[n]) network.deactivate(static_cast<NodeId>(n));
+  }
+
+  const auto links = read_pod<uint64_t>(in);
+  for (uint64_t i = 0; i < links; ++i) {
+    const auto a = read_pod<uint32_t>(in);
+    const auto b = read_pod<uint32_t>(in);
+    const auto type = read_pod<uint8_t>(in);
+    GES_CHECK_MSG(a < nodes && b < nodes, "link endpoint out of range");
+    GES_CHECK_MSG(type <= 1, "bad link type " << int{type});
+    GES_CHECK_MSG(network.connect(a, b, static_cast<LinkType>(type)),
+                  "duplicate or invalid link " << a << " <-> " << b);
+  }
+  return network;
+}
+
+void save_network_snapshot_file(const Network& network, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  GES_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  save_network_snapshot(network, out);
+}
+
+Network load_network_snapshot_file(const corpus::Corpus& corpus,
+                                   const std::string& path, NetworkConfig config) {
+  std::ifstream in(path, std::ios::binary);
+  GES_CHECK_MSG(in.good(), "cannot open " << path);
+  return load_network_snapshot(corpus, in, config);
+}
+
+}  // namespace ges::p2p

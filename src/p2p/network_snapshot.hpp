@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "p2p/network.hpp"
+
+namespace ges::p2p {
+
+/// Checkpointing of an overlay's *topology*: capacities, alive flags and
+/// typed links. Content state (documents, node vectors, indices) is
+/// rebuilt from the corpus on load, and replicas are re-installed by the
+/// link creation itself; host caches are transient soft state and are
+/// not saved (the adaptation refills them within a round).
+///
+/// A snapshot embeds a fingerprint of the corpus it was taken over
+/// (node/document/vocabulary counts); loading it against a different
+/// corpus fails with util::CheckFailure. Adapting a full-scale overlay
+/// takes minutes — snapshot it once, reload in seconds.
+void save_network_snapshot(const Network& network, std::ostream& out);
+
+/// Rebuild a network over `corpus` (which must match the snapshot's
+/// fingerprint) and restore the saved topology.
+Network load_network_snapshot(const corpus::Corpus& corpus, std::istream& in,
+                              NetworkConfig config);
+
+/// File convenience wrappers.
+void save_network_snapshot_file(const Network& network, const std::string& path);
+Network load_network_snapshot_file(const corpus::Corpus& corpus,
+                                   const std::string& path, NetworkConfig config);
+
+}  // namespace ges::p2p

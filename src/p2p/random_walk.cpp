@@ -1,0 +1,35 @@
+#include "p2p/random_walk.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace ges::p2p {
+
+WalkResult random_walk(const Network& network, NodeId start, size_t ttl,
+                       size_t max_responses, util::Rng& rng) {
+  GES_CHECK(network.alive(start));
+  WalkResult result;
+  std::unordered_set<NodeId> seen{start};
+  NodeId current = start;
+  NodeId previous = kInvalidNode;
+  for (size_t hop = 0; hop < ttl; ++hop) {
+    const auto neighbors = network.all_neighbors(current);
+    if (neighbors.empty()) break;
+    NodeId next = neighbors[rng.index(neighbors.size())];
+    if (next == previous && neighbors.size() > 1) {
+      // Avoid immediately bouncing back when another neighbor exists.
+      while (next == previous) next = neighbors[rng.index(neighbors.size())];
+    }
+    previous = current;
+    current = next;
+    ++result.hops;
+    if (seen.insert(current).second) {
+      result.visited.push_back(current);
+      if (result.visited.size() >= max_responses) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ges::p2p

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "p2p/network.hpp"
+#include "p2p/types.hpp"
+#include "util/rng.hpp"
+
+namespace ges::p2p {
+
+/// Result of a TTL-bounded random walk: the distinct nodes visited after
+/// the start node, in visit order, plus the number of hops actually taken
+/// (message count).
+struct WalkResult {
+  std::vector<NodeId> visited;
+  size_t hops = 0;
+};
+
+/// Random walk over all links (random + semantic) starting at `start`
+/// (paper §4.3: nodes discover candidates for their host caches by
+/// periodically issuing random-walk queries). At each step a uniformly
+/// random neighbor is chosen, avoiding the immediately preceding node
+/// when another choice exists. The walk takes at most `ttl` hops and
+/// records up to `max_responses` distinct nodes (excluding `start`).
+WalkResult random_walk(const Network& network, NodeId start, size_t ttl,
+                       size_t max_responses, util::Rng& rng);
+
+}  // namespace ges::p2p

@@ -1,0 +1,14 @@
+#include "p2p/replication.hpp"
+
+namespace ges::p2p {
+
+void schedule_replica_heartbeats(EventQueue& queue, Network& network,
+                                 SimTime interval) {
+  queue.schedule_every(interval, [&network] {
+    for (const NodeId node : network.alive_nodes()) {
+      network.refresh_replicas(node);
+    }
+  });
+}
+
+}  // namespace ges::p2p

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "p2p/event_sim.hpp"
+#include "p2p/network.hpp"
+
+namespace ges::p2p {
+
+/// Schedule periodic replica heartbeats for every node (paper §4.4: "a
+/// node periodically checks the replicated node vectors through heartbeat
+/// messages with each random neighbor"). Each heartbeat re-copies the
+/// current node vectors of the node's random neighbors, so replicas
+/// converge within one `interval` of any document change.
+///
+/// The network and queue must outlive the scheduled events.
+void schedule_replica_heartbeats(EventQueue& queue, Network& network,
+                                 SimTime interval);
+
+}  // namespace ges::p2p

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ir/types.hpp"
+#include "p2p/types.hpp"
+
+namespace ges::p2p {
+
+/// One document retrieved during a search, with the probe at which it was
+/// found. probe_index indexes SearchTrace::probe_order.
+struct RetrievedDoc {
+  ir::DocId doc = ir::kInvalidDoc;
+  double score = 0.0;
+  uint32_t probe_index = 0;
+};
+
+/// Instrumented record of one query execution, shared by GES and the
+/// baselines. `probe_order` lists the distinct nodes that evaluated the
+/// query, in evaluation order; recall@cost for *every* cost level can be
+/// derived from one exhaustive run (DESIGN.md §3), mirroring the paper's
+/// "% nodes probed" axis.
+struct SearchTrace {
+  std::vector<NodeId> probe_order;
+  std::vector<RetrievedDoc> retrieved;
+
+  size_t walk_steps = 0;       // biased/random walk hops
+  size_t flood_messages = 0;   // messages sent while flooding
+  size_t target_count = 0;     // semantic-group target nodes hit (GES)
+
+  size_t probes() const { return probe_order.size(); }
+  size_t messages() const { return walk_steps + flood_messages; }
+};
+
+}  // namespace ges::p2p

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ges::p2p {
+
+/// Overlay node identifier (dense index into the network's node table).
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// Node capacity — an abstract notion of how many messages per unit time a
+/// node can handle (paper §5.4, Gnutella-like profile: 1 .. 10^4).
+using Capacity = double;
+
+/// The two link classes of GES (paper §4.1): random links connect
+/// irrelevant nodes (and carry biased walks); semantic links organize
+/// relevant nodes into semantic groups (and carry floods).
+enum class LinkType : uint8_t { kRandom = 0, kSemantic = 1 };
+
+/// Globally unique query identifier (paper §4.5 bookkeeping).
+using Guid = uint64_t;
+
+inline const char* link_type_name(LinkType t) {
+  return t == LinkType::kRandom ? "random" : "semantic";
+}
+
+}  // namespace ges::p2p

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ges::util {
+
+/// Thrown by GES_CHECK on a violated runtime precondition or invariant.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "GES_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace ges::util
+
+/// Always-on invariant check (active in release builds too). Throws
+/// ges::util::CheckFailure so tests can assert on violations instead of
+/// aborting the process.
+#define GES_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) ::ges::util::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// GES_CHECK with an explanatory message (streamed into a string).
+#define GES_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream ges_check_os_;                                     \
+      ges_check_os_ << msg;                                                 \
+      ::ges::util::detail::check_failed(#expr, __FILE__, __LINE__, ges_check_os_.str()); \
+    }                                                                       \
+  } while (false)

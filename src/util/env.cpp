@@ -1,0 +1,51 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace ges::util {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+int64_t env_int(const char* name, int64_t fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(s->c_str(), &end, 10);
+  if (end == s->c_str() || *end != '\0') return fallback;
+  return v;
+}
+
+double env_double(const char* name, double fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s->c_str(), &end);
+  if (end == s->c_str() || *end != '\0') return fallback;
+  return v;
+}
+
+Scale env_scale(Scale fallback) {
+  const auto s = env_string("GES_SCALE");
+  if (!s) return fallback;
+  if (*s == "tiny") return Scale::kTiny;
+  if (*s == "small") return Scale::kSmall;
+  if (*s == "medium") return Scale::kMedium;
+  if (*s == "full") return Scale::kFull;
+  return fallback;
+}
+
+const char* scale_name(Scale s) {
+  switch (s) {
+    case Scale::kTiny: return "tiny";
+    case Scale::kSmall: return "small";
+    case Scale::kMedium: return "medium";
+    case Scale::kFull: return "full";
+  }
+  return "?";
+}
+
+}  // namespace ges::util

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ges::util {
+
+/// Value of an environment variable, if set and non-empty.
+std::optional<std::string> env_string(const char* name);
+
+/// Environment variable parsed as an integer; fallback when unset/invalid.
+int64_t env_int(const char* name, int64_t fallback);
+
+/// Environment variable parsed as a double; fallback when unset/invalid.
+double env_double(const char* name, double fallback);
+
+/// Experiment scale selected via GES_SCALE: "tiny", "small" (default for
+/// tests), "medium" (default for benches), or "full" (the paper's 1,880
+/// nodes / ~80k documents).
+enum class Scale { kTiny, kSmall, kMedium, kFull };
+
+/// Parse GES_SCALE, defaulting to the given scale.
+Scale env_scale(Scale fallback);
+
+const char* scale_name(Scale s);
+
+}  // namespace ges::util

@@ -1,0 +1,55 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ges::util {
+
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("GES_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { level_storage().store(level); }
+
+LogLevel log_level() { return level_storage().load(); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::string line = "[ges ";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace ges::util

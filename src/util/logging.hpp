@@ -1,0 +1,47 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ges::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set / query the global log threshold (messages below it are dropped).
+/// The initial threshold honours the GES_LOG env var
+/// (debug|info|warn|error|off), defaulting to warn so library output stays
+/// quiet under tests and benchmarks.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line to stderr (thread-safe, single write call).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace ges::util
+
+#define GES_LOG(level)                                             \
+  if (static_cast<int>(level) < static_cast<int>(::ges::util::log_level())) { \
+  } else                                                           \
+    ::ges::util::detail::LogLine(level)
+
+#define GES_DEBUG GES_LOG(::ges::util::LogLevel::kDebug)
+#define GES_INFO GES_LOG(::ges::util::LogLevel::kInfo)
+#define GES_WARN GES_LOG(::ges::util::LogLevel::kWarn)
+#define GES_ERROR GES_LOG(::ges::util::LogLevel::kError)

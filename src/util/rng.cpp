@@ -1,0 +1,171 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ges::util {
+
+uint64_t derive_seed(uint64_t root, uint64_t stream) {
+  SplitMix64 mix(root ^ (stream * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+  mix.next();
+  return mix.next();
+}
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 mix(seed);
+  for (auto& s : s_) s = mix.next();
+  // Avoid the all-zero state (cannot occur from SplitMix64 in practice,
+  // but cheap to guarantee).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t Rng::next() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::below(uint64_t bound) {
+  GES_CHECK(bound > 0);
+  // Lemire's method with rejection for exact uniformity.
+  __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+  auto lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    const uint64_t threshold = (~bound + 1) % bound;  // = 2^64 mod bound
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(next()) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) {
+  GES_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(span == 0 ? next() : below(span));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  GES_CHECK(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller; u1 in (0,1] so log is finite.
+  const double u1 = 1.0 - uniform01();
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double lambda) {
+  GES_CHECK(lambda > 0.0);
+  return -std::log(1.0 - uniform01()) / lambda;
+}
+
+uint64_t Rng::poisson(double mean) {
+  GES_CHECK(mean > 0.0);
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform01();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction, clamped at zero.
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<uint64_t>(draw + 0.5);
+}
+
+size_t Rng::weighted_index(const std::vector<double>& weights) {
+  GES_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    GES_CHECK(w >= 0.0);
+    total += w;
+  }
+  GES_CHECK(total > 0.0);
+  double x = uniform01() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  // Floating point slack: return the last positive-weight index.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;  // unreachable given the checks above
+}
+
+std::vector<size_t> Rng::sample_without_replacement(size_t n, size_t k) {
+  GES_CHECK(k <= n);
+  // Partial Fisher–Yates over an index vector; O(n) setup but simple and
+  // exact. Callers sampling from huge n with tiny k should use a set-based
+  // approach; our n is at most the network size.
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + static_cast<size_t>(below(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double alpha) : alpha_(alpha) {
+  GES_CHECK(n > 0);
+  GES_CHECK(alpha >= 0.0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t r = 1; r <= n; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r), alpha);
+    cdf_[r - 1] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::pmf(size_t rank) const {
+  GES_CHECK(rank >= 1 && rank <= cdf_.size());
+  const double hi = cdf_[rank - 1];
+  const double lo = rank >= 2 ? cdf_[rank - 2] : 0.0;
+  return hi - lo;
+}
+
+}  // namespace ges::util

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ges::util {
+
+/// SplitMix64 — used to expand a single 64-bit seed into independent
+/// sub-seeds (one per node / query / run) so experiments are deterministic
+/// and embarrassingly parallel.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Derive an independent sub-seed from a root seed and a stream index.
+/// Equal inputs always yield equal outputs; distinct streams are
+/// statistically independent (SplitMix64 is a bijective mixer).
+uint64_t derive_seed(uint64_t root, uint64_t stream);
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG used throughout
+/// the simulator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x6a09e667f3bcc908ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+  result_type operator()() { return next(); }
+
+  uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// unbiased multiply-shift rejection method.
+  uint64_t below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Standard normal via Box–Muller (no cached spare: stateless per call).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// Poisson-distributed count with the given mean (> 0). Uses inversion
+  /// for small means and normal approximation for large ones.
+  uint64_t poisson(double mean);
+
+  /// Index drawn from the (unnormalized, non-negative) weights. At least
+  /// one weight must be positive.
+  size_t weighted_index(const std::vector<double>& weights);
+
+  /// Uniformly random element index for a container of the given size (> 0).
+  size_t index(size_t size) { return static_cast<size_t>(below(size)); }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[static_cast<size_t>(below(i))]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> sample_without_replacement(size_t n, size_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(α) sampler over ranks {1..n} using precomputed inverse CDF.
+/// Rank r is drawn with probability proportional to 1 / r^α.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double alpha);
+
+  /// Draw a rank in [1, n].
+  size_t sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+  /// Probability of rank r (1-based).
+  double pmf(size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i+1)
+  double alpha_;
+};
+
+}  // namespace ges::util

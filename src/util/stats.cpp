@@ -1,0 +1,78 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ges::util {
+
+void Accumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Accumulator::variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  GES_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> samples) {
+  std::vector<std::pair<double, double>> cdf;
+  if (samples.empty()) return cdf;
+  std::sort(samples.begin(), samples.end());
+  const auto n = static_cast<double>(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const bool last_of_value = (i + 1 == samples.size()) || (samples[i + 1] != samples[i]);
+    if (last_of_value) cdf.emplace_back(samples[i], static_cast<double>(i + 1) / n);
+  }
+  return cdf;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  GES_CHECK(hi > lo);
+  GES_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<long long>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<long long>(bin, 0, static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+size_t Histogram::bin_count(size_t bin) const {
+  GES_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(size_t bin) const {
+  GES_CHECK(bin < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(size_t bin) const {
+  GES_CHECK(bin < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) / static_cast<double>(counts_.size());
+}
+
+}  // namespace ges::util

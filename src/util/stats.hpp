@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ges::util {
+
+/// Streaming accumulator for mean / variance / extrema (Welford's method).
+class Accumulator {
+ public:
+  void add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// p-th percentile (p in [0,100]) of the samples using linear interpolation
+/// between closest ranks. The input is copied and sorted; empty input -> 0.
+double percentile(std::vector<double> samples, double p);
+
+/// Empirical CDF: given samples, returns (value, cumulative fraction) pairs
+/// sorted by value, one pair per distinct sample value.
+std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> samples);
+
+/// Fixed-width histogram over [lo, hi) with the given number of bins.
+/// Samples outside the range are clamped into the boundary bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void add(double x);
+  size_t bin_count(size_t bin) const;
+  size_t bins() const { return counts_.size(); }
+  size_t total() const { return total_; }
+  double bin_lo(size_t bin) const;
+  double bin_hi(size_t bin) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace ges::util

@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace ges::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  GES_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GES_CHECK_MSG(cells.size() == header_.size(),
+                "row has " << cells.size() << " cells, header has " << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(const std::string& indent) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = indent;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += row[c];
+      line.append(width[c] - row[c].size(), ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(header_);
+  std::string rule = indent;
+  for (size_t c = 0; c < width.size(); ++c) {
+    if (c > 0) rule += "  ";
+    rule.append(width[c], '-');
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::render_csv() const {
+  auto join = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += ',';
+      line += row[c];
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = join(header_);
+  for (const auto& row : rows_) out += join(row);
+  return out;
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+std::string cell(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string cell(size_t value) { return std::to_string(value); }
+std::string cell(int value) { return std::to_string(value); }
+
+std::string pct_cell(double fraction, int decimals) {
+  return cell(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace ges::util

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ges::util {
+
+/// Column-aligned plain-text table for paper-style figure/table output.
+/// Rows are added as string cells (use cell() helpers for numbers); render()
+/// pads columns to their widest entry.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; its size must match the header.
+  void add_row(std::vector<std::string> cells);
+
+  size_t rows() const { return rows_.size(); }
+  size_t columns() const { return header_.size(); }
+
+  /// Render with aligned columns; every line prefixed by `indent`.
+  std::string render(const std::string& indent = "  ") const;
+
+  /// Render as CSV (comma-separated, no quoting; cells must be comma-free).
+  std::string render_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals (e.g. cell(71.63, 1) -> "71.6").
+std::string cell(double value, int decimals = 2);
+std::string cell(size_t value);
+std::string cell(int value);
+
+/// Format a fraction as a percentage string, e.g. pct_cell(0.716) -> "71.6%".
+std::string pct_cell(double fraction, int decimals = 1);
+
+}  // namespace ges::util

@@ -1,0 +1,70 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ges::util {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t chunks = std::min(n, size() * 4);
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t lo = c * chunk_size;
+    const size_t hi = std::min(n, lo + chunk_size);
+    if (lo >= hi) break;
+    futs.push_back(submit([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ges::util

@@ -1,0 +1,134 @@
+#include "baselines/random_walk_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "support/test_corpus.hpp"
+#include "util/check.hpp"
+
+namespace ges::baselines {
+namespace {
+
+using p2p::LinkType;
+using p2p::Network;
+using p2p::NodeId;
+
+class RandomSearchTest : public ::testing::Test {
+ protected:
+  RandomSearchTest()
+      : corpus_(test::clustered_corpus(30, 3)),
+        net_(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{}) {
+    util::Rng rng(1);
+    p2p::bootstrap_random_graph(net_, 8.0, rng);  // paper: avg degree 8
+  }
+
+  corpus::Corpus corpus_;
+  Network net_;
+};
+
+TEST_F(RandomSearchTest, ProbesDistinctNodes) {
+  util::Rng rng(2);
+  const auto trace =
+      random_walk_search(net_, corpus_.queries[0].vector, 0, {}, rng);
+  std::unordered_set<NodeId> unique(trace.probe_order.begin(), trace.probe_order.end());
+  EXPECT_EQ(unique.size(), trace.probes());
+}
+
+TEST_F(RandomSearchTest, ExhaustiveCoversConnectedNetwork) {
+  util::Rng rng(3);
+  const auto trace =
+      random_walk_search(net_, corpus_.queries[0].vector, 0, {}, rng);
+  EXPECT_GE(trace.probes(), net_.alive_count() * 9 / 10);
+}
+
+TEST_F(RandomSearchTest, ProbeBudgetRespected) {
+  RandomWalkSearchOptions opt;
+  opt.probe_budget = 7;
+  util::Rng rng(4);
+  const auto trace =
+      random_walk_search(net_, corpus_.queries[0].vector, 0, opt, rng);
+  EXPECT_LE(trace.probes(), 7u);
+}
+
+TEST_F(RandomSearchTest, TtlBoundsTotalHops) {
+  RandomWalkSearchOptions opt;
+  opt.ttl = 10;
+  util::Rng rng(5);
+  const auto trace =
+      random_walk_search(net_, corpus_.queries[0].vector, 0, opt, rng);
+  EXPECT_LE(trace.walk_steps, 10u);
+}
+
+TEST_F(RandomSearchTest, MaxResponsesStops) {
+  RandomWalkSearchOptions opt;
+  opt.max_responses = 2;
+  util::Rng rng(6);
+  const auto trace =
+      random_walk_search(net_, corpus_.queries[0].vector, 0, opt, rng);
+  EXPECT_GE(trace.retrieved.size(), 2u);
+  EXPECT_LT(trace.probes(), net_.alive_count());
+}
+
+TEST_F(RandomSearchTest, WalkerCountMustBePositive) {
+  RandomWalkSearchOptions opt;
+  opt.walkers = 0;
+  util::Rng rng(7);
+  EXPECT_THROW(random_walk_search(net_, corpus_.queries[0].vector, 0, opt, rng),
+               util::CheckFailure);
+}
+
+TEST_F(RandomSearchTest, DeterministicInRngSeed) {
+  auto run = [&](uint64_t seed) {
+    util::Rng rng(seed);
+    return random_walk_search(net_, corpus_.queries[0].vector, 0, {}, rng)
+        .probe_order;
+  };
+  EXPECT_EQ(run(8), run(8));
+}
+
+TEST(RandomSearchIsolated, StuckWalkersTerminate) {
+  const auto corpus = test::clustered_corpus(4, 1);
+  p2p::Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  util::Rng rng(9);
+  const auto trace = random_walk_search(net, corpus.queries[0].vector, 0, {}, rng);
+  EXPECT_EQ(trace.probes(), 1u);  // only the initiator
+}
+
+TEST(FloodingSearch, CoversNetworkInBfsOrder) {
+  const auto corpus = test::clustered_corpus(10, 2);
+  p2p::Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  // Line 0-1-2-...-9.
+  for (NodeId n = 0; n + 1 < 10; ++n) net.connect(n, n + 1, LinkType::kRandom);
+  const auto trace = flooding_search(net, corpus.queries[0].vector, 0, {});
+  ASSERT_EQ(trace.probes(), 10u);
+  for (NodeId n = 0; n < 10; ++n) EXPECT_EQ(trace.probe_order[n], n);
+}
+
+TEST(FloodingSearch, TtlLimitsDepth) {
+  const auto corpus = test::clustered_corpus(10, 2);
+  p2p::Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  for (NodeId n = 0; n + 1 < 10; ++n) net.connect(n, n + 1, LinkType::kRandom);
+  FloodingSearchOptions opt;
+  opt.ttl = 3;
+  const auto trace = flooding_search(net, corpus.queries[0].vector, 0, opt);
+  EXPECT_EQ(trace.probes(), 4u);  // initiator + depth 1..3
+}
+
+TEST(FloodingSearch, CountsDuplicateSuppressedMessages) {
+  // Triangle 0-1-2 plus an isolated node 3 (so the probe budget of
+  // "all alive nodes" is never exhausted and the flood runs to quiescence).
+  const auto corpus = test::clustered_corpus(4, 1);
+  p2p::Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  net.connect(0, 1, LinkType::kRandom);
+  net.connect(1, 2, LinkType::kRandom);
+  net.connect(2, 0, LinkType::kRandom);
+  const auto trace = flooding_search(net, corpus.queries[0].vector, 0, {});
+  EXPECT_EQ(trace.probes(), 3u);
+  // 0 sends to 1 and 2; then 1 and 2 each send one duplicate-suppressed
+  // message to the other: 4 messages, 3 probes.
+  EXPECT_EQ(trace.flood_messages, 4u);
+}
+
+}  // namespace
+}  // namespace ges::baselines

@@ -1,0 +1,211 @@
+#include "baselines/sets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "eval/metrics.hpp"
+#include "support/test_corpus.hpp"
+#include "util/check.hpp"
+
+namespace ges::baselines {
+namespace {
+
+using p2p::LinkType;
+using p2p::NodeId;
+
+class SetsTest : public ::testing::Test {
+ protected:
+  SetsTest() : corpus_(test::clustered_corpus(30, 3)) {}
+
+  SetsSystem make(size_t segments = 3, size_t routing_hops = 0) {
+    SetsParams params;
+    params.segments = segments;
+    params.seed = 11;
+    params.routing_hops = routing_hops;  // most tests disable routing cost
+    return SetsSystem(corpus_, test::uniform_capacities(corpus_),
+                      p2p::NetworkConfig{}, params);
+  }
+
+  corpus::Corpus corpus_;
+};
+
+TEST_F(SetsTest, ClusteringAssignsEveryNode) {
+  auto sets = make();
+  sets.build();
+  EXPECT_EQ(sets.segment_count(), 3u);
+  const auto& assignment = sets.segment_assignment();
+  ASSERT_EQ(assignment.size(), corpus_.num_nodes());
+  size_t members_total = 0;
+  for (size_t s = 0; s < sets.segment_count(); ++s) {
+    for (const NodeId m : sets.segment_members(s)) {
+      EXPECT_EQ(assignment[m], s);
+      ++members_total;
+    }
+  }
+  EXPECT_EQ(members_total, corpus_.num_nodes());
+}
+
+TEST_F(SetsTest, OrthogonalTopicsClusterPerfectly) {
+  // 3 orthogonal topics and C = 3: k-means must recover them — every
+  // segment is topic-pure.
+  auto sets = make();
+  sets.build();
+  for (size_t s = 0; s < sets.segment_count(); ++s) {
+    const auto& members = sets.segment_members(s);
+    ASSERT_FALSE(members.empty());
+    const auto topic = members.front() % 3;
+    for (const NodeId m : members) EXPECT_EQ(m % 3, topic);
+  }
+}
+
+TEST_F(SetsTest, CentroidsAreNormalized) {
+  auto sets = make();
+  sets.build();
+  for (size_t s = 0; s < sets.segment_count(); ++s) {
+    EXPECT_NEAR(sets.centroid(s).norm(), 1.0, 1e-5);
+  }
+}
+
+TEST_F(SetsTest, OverlayHasLocalAndLongLinks) {
+  auto sets = make();
+  sets.build();
+  auto& net = sets.network();
+  net.check_invariants();
+  size_t local = 0;
+  size_t lng = 0;
+  for (NodeId n = 0; n < net.size(); ++n) {
+    for (const NodeId peer : net.neighbors(n, LinkType::kSemantic)) {
+      EXPECT_EQ(sets.segment_assignment()[n], sets.segment_assignment()[peer]);
+      ++local;
+    }
+    for (const NodeId peer : net.neighbors(n, LinkType::kRandom)) {
+      EXPECT_NE(sets.segment_assignment()[n], sets.segment_assignment()[peer]);
+      ++lng;
+    }
+  }
+  EXPECT_GT(local, 0u);
+  EXPECT_GT(lng, 0u);
+}
+
+TEST_F(SetsTest, SearchBeforeBuildThrows) {
+  auto sets = make();
+  util::Rng rng(1);
+  EXPECT_THROW(sets.search(corpus_.queries[0].vector, 0, {}, rng),
+               util::CheckFailure);
+}
+
+TEST_F(SetsTest, SearchVisitsRelevantSegmentFirst) {
+  auto sets = make();
+  sets.build();
+  util::Rng rng(2);
+  SetsSearchOptions opt;
+  opt.route_segments = 1;
+  const auto trace = sets.search(corpus_.queries[0].vector, 0, opt, rng);
+  // The most relevant segment is probed first; it is topic-pure, so the
+  // first |segment| probed nodes all belong to the query's topic (the
+  // remaining budget then sweeps the other segments in id order).
+  const size_t segment_size = corpus_.num_nodes() / 3;
+  ASSERT_GE(trace.probes(), segment_size);
+  for (size_t i = 0; i < segment_size; ++i) {
+    EXPECT_EQ(trace.probe_order[i] % 3, 0u) << "probe " << i;
+  }
+  // Full recall for the query's topic after just that first segment.
+  const eval::Judgment judgment(corpus_.queries[0].relevant);
+  EXPECT_GT(eval::recall_at_probes(trace, judgment, segment_size), 0.9);
+}
+
+TEST_F(SetsTest, UnrankedTailVisitedInSegmentIdOrder) {
+  auto sets = make();
+  sets.build();
+  util::Rng rng(5);
+  SetsSearchOptions opt;
+  opt.route_segments = 1;
+  const auto trace = sets.search(corpus_.queries[0].vector, 0, opt, rng);
+  // Everything is still covered eventually.
+  EXPECT_EQ(trace.probes(), corpus_.num_nodes());
+}
+
+TEST_F(SetsTest, ExhaustiveSearchCoversAllNodes) {
+  auto sets = make();
+  sets.build();
+  util::Rng rng(3);
+  const auto trace = sets.search(corpus_.queries[1].vector, 0, {}, rng);
+  EXPECT_EQ(trace.probes(), corpus_.num_nodes());
+  std::unordered_set<NodeId> unique(trace.probe_order.begin(), trace.probe_order.end());
+  EXPECT_EQ(unique.size(), trace.probes());
+}
+
+TEST_F(SetsTest, ProbeBudgetRespected) {
+  auto sets = make();
+  sets.build();
+  util::Rng rng(4);
+  SetsSearchOptions opt;
+  opt.probe_budget = 6;
+  const auto trace = sets.search(corpus_.queries[0].vector, 0, opt, rng);
+  EXPECT_LE(trace.probes(), 6u);
+}
+
+TEST_F(SetsTest, RoutingHopsProbeForwardingNodes) {
+  auto sets = make(3, /*routing_hops=*/2);
+  sets.build();
+  util::Rng rng(6);
+  SetsSearchOptions opt;
+  opt.probe_budget = 4;
+  const auto trace = sets.search(corpus_.queries[0].vector, 0, opt, rng);
+  // Two routing probes precede the segment entry; they count as
+  // walk steps and as probed nodes ("involved in query processing").
+  EXPECT_GE(trace.walk_steps, 2u);
+  EXPECT_EQ(trace.probes(), 4u);
+}
+
+TEST_F(SetsTest, AutoRoutingHopsIsLogOfSegments) {
+  SetsParams params;
+  params.segments = 8;
+  SetsSystem sets(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{},
+                  params);
+  sets.build();
+  util::Rng rng(7);
+  SetsSearchOptions opt;
+  opt.route_segments = 1;
+  opt.probe_budget = 3;
+  const auto trace = sets.search(corpus_.queries[0].vector, 0, opt, rng);
+  EXPECT_GE(trace.walk_steps, 3u);  // ceil(log2(8)) = 3 routing hops
+}
+
+TEST_F(SetsTest, AutoSegmentCount) {
+  SetsParams params;  // segments = 0 -> auto
+  SetsSystem sets(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{},
+                  params);
+  sets.build();
+  EXPECT_EQ(sets.segment_count(), std::max<size_t>(2, corpus_.num_nodes() / 7));
+}
+
+TEST_F(SetsTest, TooManySegmentsRejected) {
+  SetsParams params;
+  params.segments = corpus_.num_nodes() + 1;
+  EXPECT_THROW(SetsSystem(corpus_, test::uniform_capacities(corpus_),
+                          p2p::NetworkConfig{}, params),
+               util::CheckFailure);
+}
+
+TEST_F(SetsTest, UsesFullNodeVectorsRegardlessOfConfig) {
+  p2p::NetworkConfig net_config;
+  net_config.node_vector_size = 2;  // must be overridden to full
+  SetsParams params;
+  params.segments = 3;
+  SetsSystem sets(corpus_, test::uniform_capacities(corpus_), net_config, params);
+  EXPECT_GT(sets.network().node_vector(0).size(), 2u);
+}
+
+TEST_F(SetsTest, DeterministicInSeed) {
+  auto run = [&] {
+    auto sets = make(3);
+    sets.build();
+    return sets.segment_assignment();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace ges::baselines

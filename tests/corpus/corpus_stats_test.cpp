@@ -1,0 +1,85 @@
+#include "corpus/corpus_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ges::corpus {
+namespace {
+
+/// Hand-built two-node corpus with one query.
+Corpus tiny_corpus() {
+  Corpus c;
+  c.dict.intern("alpha");
+  c.dict.intern("beta");
+  c.node_docs.resize(2);
+
+  auto add_doc = [&](NodeIndex node, std::vector<ir::TermWeight> counts) {
+    Document d;
+    d.id = static_cast<ir::DocId>(c.docs.size());
+    d.node = node;
+    d.counts = ir::SparseVector::from_pairs(std::move(counts));
+    d.vector = d.counts;
+    d.vector.dampen();
+    d.vector.normalize();
+    c.node_docs[node].push_back(d.id);
+    c.docs.push_back(std::move(d));
+  };
+  add_doc(0, {{0, 2.0f}});
+  add_doc(0, {{0, 1.0f}, {1, 1.0f}});
+  add_doc(0, {{1, 4.0f}});
+  add_doc(1, {{1, 1.0f}});
+
+  Query q;
+  q.id = 0;
+  q.vector = ir::SparseVector::from_pairs({{0, 1.0f}});
+  q.relevant = {0, 1};
+  c.queries.push_back(std::move(q));
+
+  Query q2;
+  q2.id = 1;
+  q2.vector = ir::SparseVector::from_pairs({{1, 1.0f}});
+  q2.relevant = {2, 3};
+  c.queries.push_back(std::move(q2));
+  return c;
+}
+
+TEST(CorpusStats, CountsBasics) {
+  const auto s = compute_stats(tiny_corpus());
+  EXPECT_EQ(s.nodes, 2u);
+  EXPECT_EQ(s.docs, 4u);
+  EXPECT_EQ(s.vocabulary, 2u);
+  EXPECT_EQ(s.queries, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_docs_per_node, 2.0);
+}
+
+TEST(CorpusStats, TermAndQueryAverages) {
+  const auto s = compute_stats(tiny_corpus());
+  // Unique terms per doc: 1, 2, 1, 1 -> mean 1.25.
+  EXPECT_DOUBLE_EQ(s.mean_unique_terms_per_doc, 1.25);
+  EXPECT_DOUBLE_EQ(s.mean_query_terms, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_relevant_per_query, 2.0);
+}
+
+TEST(CorpusStats, MultiQueryNodes) {
+  const auto s = compute_stats(tiny_corpus());
+  // Node 0 is relevant to both queries, node 1 only to query 1.
+  EXPECT_DOUBLE_EQ(s.frac_nodes_multi_query, 0.5);
+  EXPECT_EQ(s.max_queries_per_node, 2u);
+}
+
+TEST(CorpusStats, FormatMentionsKeyFields) {
+  const auto text = format_stats(compute_stats(tiny_corpus()));
+  EXPECT_NE(text.find("nodes: 2"), std::string::npos);
+  EXPECT_NE(text.find("documents: 4"), std::string::npos);
+  EXPECT_NE(text.find("docs/node mean: 2"), std::string::npos);
+}
+
+TEST(CorpusStats, EmptyCorpus) {
+  const Corpus empty;
+  const auto s = compute_stats(empty);
+  EXPECT_EQ(s.nodes, 0u);
+  EXPECT_EQ(s.docs, 0u);
+  EXPECT_DOUBLE_EQ(s.frac_nodes_multi_query, 0.0);
+}
+
+}  // namespace
+}  // namespace ges::corpus

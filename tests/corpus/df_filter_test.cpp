@@ -1,0 +1,127 @@
+#include "corpus/df_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/synthetic_corpus.hpp"
+#include "util/check.hpp"
+
+namespace ges::corpus {
+namespace {
+
+Corpus two_node_corpus() {
+  Corpus c;
+  c.node_docs.resize(2);
+  auto add_doc = [&](NodeIndex node, std::vector<ir::TermWeight> counts) {
+    Document d;
+    d.id = static_cast<ir::DocId>(c.docs.size());
+    d.node = node;
+    d.counts = ir::SparseVector::from_pairs(std::move(counts));
+    d.vector = d.counts;
+    d.vector.dampen();
+    d.vector.normalize();
+    c.node_docs[node].push_back(d.id);
+    c.docs.push_back(std::move(d));
+  };
+  // Term 0 appears in every document (df = 4/4); term 1 in half; the
+  // rest are rare.
+  add_doc(0, {{0, 3.0f}, {1, 1.0f}, {2, 1.0f}});
+  add_doc(0, {{0, 1.0f}, {3, 2.0f}});
+  add_doc(1, {{0, 2.0f}, {1, 1.0f}, {4, 1.0f}});
+  add_doc(1, {{0, 1.0f}, {5, 1.0f}});
+
+  Query q;
+  q.id = 0;
+  q.vector = ir::SparseVector::from_pairs({{0, 1.0f}, {2, 1.0f}});
+  q.vector.normalize();
+  q.relevant = {0};
+  c.queries.push_back(std::move(q));
+  return c;
+}
+
+TEST(DfFilter, RemovesTermsAboveThreshold) {
+  auto c = two_node_corpus();
+  const auto removed = remove_frequent_terms(c, 0.75, 0);  // df > 3 of 4
+  EXPECT_EQ(removed, (std::unordered_set<ir::TermId>{0}));
+  for (const auto& doc : c.docs) {
+    EXPECT_EQ(doc.counts.weight(0), 0.0f);
+    EXPECT_NEAR(doc.vector.norm(), 1.0, 1e-5);
+  }
+}
+
+TEST(DfFilter, KeepsTermsAtOrBelowThreshold) {
+  auto c = two_node_corpus();
+  const auto removed = remove_frequent_terms(c, 0.40, 0);  // term 1: df=2/4=0.5 > 0.4
+  EXPECT_TRUE(removed.count(0));
+  EXPECT_TRUE(removed.count(1));
+  EXPECT_FALSE(removed.count(2));
+  EXPECT_EQ(removed.size(), 2u);
+}
+
+TEST(DfFilter, FiltersQueriesAndRenormalizes) {
+  auto c = two_node_corpus();
+  remove_frequent_terms(c, 0.75, 0);
+  // Query loses term 0, keeps term 2, stays normalized.
+  EXPECT_EQ(c.queries[0].vector.weight(0), 0.0f);
+  EXPECT_GT(c.queries[0].vector.weight(2), 0.0f);
+  EXPECT_NEAR(c.queries[0].vector.norm(), 1.0, 1e-5);
+}
+
+TEST(DfFilter, KeepsOtherwiseEmptyQueryUnfiltered) {
+  auto c = two_node_corpus();
+  c.queries[0].vector = ir::SparseVector::from_pairs({{0, 1.0f}});
+  remove_frequent_terms(c, 0.75, 0);
+  EXPECT_GT(c.queries[0].vector.weight(0), 0.0f);  // left untouched
+}
+
+TEST(DfFilter, NeverEmptiesADocument) {
+  Corpus c;
+  c.node_docs.resize(1);
+  Document d;
+  d.id = 0;
+  d.node = 0;
+  d.counts = ir::SparseVector::from_pairs({{0, 1.0f}});
+  d.vector = d.counts;
+  d.vector.normalize();
+  c.node_docs[0].push_back(0);
+  c.docs.push_back(std::move(d));
+  remove_frequent_terms(c, 0.5, 0);  // term 0 has df 1.0 > 0.5
+  EXPECT_EQ(c.docs[0].counts.size(), 1u);  // fallback keeps the lowest-df term
+}
+
+TEST(DfFilter, NoopWhenNothingFrequent) {
+  auto c = two_node_corpus();
+  const auto before = c.docs[0].counts;
+  const auto removed = remove_frequent_terms(c, 1.0);
+  EXPECT_TRUE(removed.empty());
+  EXPECT_EQ(c.docs[0].counts, before);
+}
+
+TEST(DfFilter, InvalidFractionRejected) {
+  auto c = two_node_corpus();
+  EXPECT_THROW(remove_frequent_terms(c, 0.0, 0), util::CheckFailure);
+  EXPECT_THROW(remove_frequent_terms(c, 1.5, 0), util::CheckFailure);
+}
+
+TEST(DfFilter, AbsoluteFloorProtectsTinyCorpora) {
+  auto c = two_node_corpus();
+  // With the default floor (10 documents) nothing is frequent enough.
+  EXPECT_TRUE(remove_frequent_terms(c, 0.75).empty());
+}
+
+TEST(DfFilter, SyntheticGeneratorAppliesFilter) {
+  auto params = SyntheticCorpusParams::for_scale(util::Scale::kSmall);
+  params.seed = 9;
+  params.max_df_fraction = 1.0;  // off
+  const auto unfiltered = generate_synthetic_corpus(params);
+  params.max_df_fraction = 0.08;
+  const auto filtered = generate_synthetic_corpus(params);
+  // The filter strictly reduces total vocabulary usage.
+  size_t terms_unfiltered = 0;
+  size_t terms_filtered = 0;
+  for (const auto& d : unfiltered.docs) terms_unfiltered += d.counts.size();
+  for (const auto& d : filtered.docs) terms_filtered += d.counts.size();
+  EXPECT_LT(terms_filtered, terms_unfiltered);
+}
+
+}  // namespace
+}  // namespace ges::corpus

@@ -1,0 +1,36 @@
+// Full-scale corpus validation against the paper's §5.3 numbers
+// (1,880 nodes / ~80k documents; ~5s to generate).
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_stats.hpp"
+#include "corpus/synthetic_corpus.hpp"
+
+namespace ges::corpus {
+namespace {
+
+TEST(FullScaleCorpus, StatisticsMatchPaper) {
+  auto params = SyntheticCorpusParams::for_scale(util::Scale::kFull);
+  params.seed = 42;
+  const auto corpus = generate_synthetic_corpus(params);
+  const auto s = compute_stats(corpus);
+
+  EXPECT_EQ(s.nodes, 1880u);
+  // Paper: 80,008 documents; lognormal sampling puts us within a few %.
+  EXPECT_NEAR(static_cast<double>(s.docs), 80'008.0, 8'000.0);
+  // Paper: mean 42.5 docs/node, 1st percentile 1, 99th percentile 417.
+  EXPECT_NEAR(s.mean_docs_per_node, 42.5, 5.0);
+  EXPECT_LE(s.p1_docs_per_node, 2.0);
+  EXPECT_NEAR(s.p99_docs_per_node, 417.0, 120.0);
+  // Paper: ~179 unique terms per document (after stop/df filtering).
+  EXPECT_NEAR(s.mean_unique_terms_per_doc, 179.0, 50.0);
+  // Paper: 50 queries, ~3.5 terms each.
+  EXPECT_EQ(s.queries, 50u);
+  EXPECT_NEAR(s.mean_query_terms, 3.5, 0.5);
+  // Paper: > 50% of nodes hold relevant docs for >= 2 queries (max 12).
+  EXPECT_GT(s.frac_nodes_multi_query, 0.5);
+  EXPECT_GE(s.max_queries_per_node, 5u);
+}
+
+}  // namespace
+}  // namespace ges::corpus

@@ -1,0 +1,98 @@
+#include "corpus/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "corpus/corpus_stats.hpp"
+#include "corpus/synthetic_corpus.hpp"
+#include "util/check.hpp"
+
+namespace ges::corpus {
+namespace {
+
+Corpus sample_corpus() {
+  auto params = SyntheticCorpusParams::for_scale(util::Scale::kTiny);
+  params.seed = 17;
+  return generate_synthetic_corpus(params);
+}
+
+TEST(Serialization, RoundTripPreservesEverything) {
+  const auto original = sample_corpus();
+  std::stringstream buffer;
+  save_corpus(original, buffer);
+  const auto loaded = load_corpus(buffer);
+
+  ASSERT_EQ(loaded.num_docs(), original.num_docs());
+  ASSERT_EQ(loaded.num_nodes(), original.num_nodes());
+  ASSERT_EQ(loaded.dict.size(), original.dict.size());
+  for (size_t t = 0; t < original.dict.size(); ++t) {
+    EXPECT_EQ(loaded.dict.term(static_cast<ir::TermId>(t)),
+              original.dict.term(static_cast<ir::TermId>(t)));
+  }
+  for (size_t d = 0; d < original.num_docs(); ++d) {
+    EXPECT_EQ(loaded.docs[d].counts, original.docs[d].counts);
+    EXPECT_EQ(loaded.docs[d].vector, original.docs[d].vector);
+    EXPECT_EQ(loaded.docs[d].node, original.docs[d].node);
+    EXPECT_EQ(loaded.docs[d].topic, original.docs[d].topic);
+  }
+  EXPECT_EQ(loaded.node_docs, original.node_docs);
+  ASSERT_EQ(loaded.queries.size(), original.queries.size());
+  for (size_t q = 0; q < original.queries.size(); ++q) {
+    EXPECT_EQ(loaded.queries[q].id, original.queries[q].id);
+    EXPECT_EQ(loaded.queries[q].vector, original.queries[q].vector);
+    EXPECT_EQ(loaded.queries[q].relevant, original.queries[q].relevant);
+  }
+}
+
+TEST(Serialization, RoundTripPreservesStats) {
+  const auto original = sample_corpus();
+  std::stringstream buffer;
+  save_corpus(original, buffer);
+  const auto loaded = load_corpus(buffer);
+  const auto a = compute_stats(original);
+  const auto b = compute_stats(loaded);
+  EXPECT_EQ(a.docs, b.docs);
+  EXPECT_DOUBLE_EQ(a.mean_unique_terms_per_doc, b.mean_unique_terms_per_doc);
+  EXPECT_DOUBLE_EQ(a.frac_nodes_multi_query, b.frac_nodes_multi_query);
+}
+
+TEST(Serialization, RejectsGarbage) {
+  std::stringstream buffer("this is not a corpus");
+  EXPECT_THROW(load_corpus(buffer), util::CheckFailure);
+}
+
+TEST(Serialization, RejectsTruncatedStream) {
+  const auto original = sample_corpus();
+  std::stringstream buffer;
+  save_corpus(original, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_corpus(truncated), util::CheckFailure);
+}
+
+TEST(Serialization, RejectsWrongVersion) {
+  const auto original = sample_corpus();
+  std::stringstream buffer;
+  save_corpus(original, buffer);
+  std::string bytes = buffer.str();
+  bytes[4] = 99;  // clobber the version field
+  std::stringstream bad(bytes);
+  EXPECT_THROW(load_corpus(bad), util::CheckFailure);
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const auto original = sample_corpus();
+  const std::string path = ::testing::TempDir() + "/ges_corpus_test.bin";
+  save_corpus_file(original, path);
+  const auto loaded = load_corpus_file(path);
+  EXPECT_EQ(loaded.num_docs(), original.num_docs());
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, MissingFileThrows) {
+  EXPECT_THROW(load_corpus_file("/nonexistent/ges.bin"), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace ges::corpus

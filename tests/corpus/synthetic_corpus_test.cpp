@@ -1,0 +1,176 @@
+#include "corpus/synthetic_corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "corpus/corpus_stats.hpp"
+#include "util/check.hpp"
+
+namespace ges::corpus {
+namespace {
+
+SyntheticCorpusParams tiny_params(uint64_t seed = 1) {
+  auto p = SyntheticCorpusParams::for_scale(util::Scale::kTiny);
+  p.seed = seed;
+  return p;
+}
+
+TEST(SyntheticCorpus, DeterministicInSeed) {
+  const auto a = generate_synthetic_corpus(tiny_params(5));
+  const auto b = generate_synthetic_corpus(tiny_params(5));
+  ASSERT_EQ(a.num_docs(), b.num_docs());
+  for (size_t i = 0; i < a.num_docs(); ++i) {
+    EXPECT_EQ(a.docs[i].counts, b.docs[i].counts);
+    EXPECT_EQ(a.docs[i].topic, b.docs[i].topic);
+  }
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t q = 0; q < a.queries.size(); ++q) {
+    EXPECT_EQ(a.queries[q].vector, b.queries[q].vector);
+    EXPECT_EQ(a.queries[q].relevant, b.queries[q].relevant);
+  }
+}
+
+TEST(SyntheticCorpus, DifferentSeedsDiffer) {
+  const auto a = generate_synthetic_corpus(tiny_params(1));
+  const auto b = generate_synthetic_corpus(tiny_params(2));
+  bool any_diff = a.num_docs() != b.num_docs();
+  for (size_t i = 0; !any_diff && i < a.num_docs(); ++i) {
+    any_diff = !(a.docs[i].counts == b.docs[i].counts);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticCorpus, StructureIsConsistent) {
+  const auto c = generate_synthetic_corpus(tiny_params());
+  EXPECT_EQ(c.num_nodes(), tiny_params().nodes);
+  size_t total = 0;
+  for (size_t n = 0; n < c.num_nodes(); ++n) {
+    EXPECT_GE(c.node_docs[n].size(), 1u);  // every author has >= 1 document
+    for (const ir::DocId d : c.node_docs[n]) {
+      EXPECT_EQ(c.docs[d].node, n);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, c.num_docs());
+  for (size_t d = 0; d < c.num_docs(); ++d) {
+    EXPECT_EQ(c.docs[d].id, d);
+  }
+}
+
+TEST(SyntheticCorpus, DocumentVectorsNormalizedAndDampened) {
+  const auto c = generate_synthetic_corpus(tiny_params());
+  for (const auto& doc : c.docs) {
+    EXPECT_FALSE(doc.counts.empty());
+    EXPECT_NEAR(doc.vector.norm(), 1.0, 1e-5);
+    EXPECT_EQ(doc.counts.size(), doc.vector.size());
+    for (const auto& e : doc.counts.entries()) {
+      EXPECT_GE(e.weight, 1.0f);  // raw term frequencies
+    }
+  }
+}
+
+TEST(SyntheticCorpus, QueriesHaveExpectedShape) {
+  const auto p = tiny_params();
+  const auto c = generate_synthetic_corpus(p);
+  EXPECT_EQ(c.queries.size(), p.queries);
+  std::unordered_set<TopicId> topics;
+  for (const auto& q : c.queries) {
+    EXPECT_GE(q.vector.size(), p.query_terms_min);
+    EXPECT_LE(q.vector.size(), p.query_terms_max);
+    EXPECT_NEAR(q.vector.norm(), 1.0, 1e-5);
+    EXPECT_TRUE(topics.insert(q.topic).second) << "duplicate query topic";
+  }
+}
+
+TEST(SyntheticCorpus, JudgmentsMatchGenerativeTopics) {
+  const auto c = generate_synthetic_corpus(tiny_params());
+  for (const auto& q : c.queries) {
+    EXPECT_FALSE(q.relevant.empty());
+    EXPECT_TRUE(std::is_sorted(q.relevant.begin(), q.relevant.end()));
+    std::unordered_set<ir::DocId> relevant(q.relevant.begin(), q.relevant.end());
+    for (const auto& doc : c.docs) {
+      EXPECT_EQ(relevant.count(doc.id) > 0, doc.topic == q.topic);
+    }
+  }
+}
+
+TEST(SyntheticCorpus, AuthorsAreNotSingleTopic) {
+  // Paper §5.3: documents on a node are not restricted to one topic.
+  const auto c = generate_synthetic_corpus(tiny_params());
+  size_t multi_topic_nodes = 0;
+  size_t nodes_with_several_docs = 0;
+  for (const auto& docs : c.node_docs) {
+    if (docs.size() < 4) continue;
+    ++nodes_with_several_docs;
+    std::unordered_set<TopicId> topics;
+    for (const ir::DocId d : docs) topics.insert(c.docs[d].topic);
+    if (topics.size() >= 2) ++multi_topic_nodes;
+  }
+  if (nodes_with_several_docs > 0) {
+    EXPECT_GT(multi_topic_nodes, 0u);
+  }
+}
+
+TEST(SyntheticCorpus, VocabularyIsInterned) {
+  const auto p = tiny_params();
+  const auto c = generate_synthetic_corpus(p);
+  EXPECT_EQ(c.dict.size(), p.vocabulary);
+  EXPECT_EQ(c.dict.term(0), "term000000");
+}
+
+TEST(SyntheticCorpus, InvalidParamsRejected) {
+  auto p = tiny_params();
+  p.queries = p.topics + 1;
+  EXPECT_THROW(generate_synthetic_corpus(p), util::CheckFailure);
+
+  p = tiny_params();
+  p.topic_core_size = p.vocabulary + 1;
+  EXPECT_THROW(generate_synthetic_corpus(p), util::CheckFailure);
+
+  p = tiny_params();
+  p.query_term_pool = p.topic_core_size + 1;
+  EXPECT_THROW(generate_synthetic_corpus(p), util::CheckFailure);
+}
+
+TEST(SyntheticCorpus, SmallScaleStatisticsInBand) {
+  auto p = SyntheticCorpusParams::for_scale(util::Scale::kSmall);
+  p.seed = 3;
+  const auto c = generate_synthetic_corpus(p);
+  const auto s = compute_stats(c);
+  EXPECT_EQ(s.nodes, p.nodes);
+  EXPECT_GT(s.mean_docs_per_node, 5.0);
+  EXPECT_LT(s.mean_docs_per_node, 30.0);
+  EXPECT_GT(s.mean_unique_terms_per_doc, 50.0);
+  EXPECT_LT(s.mean_unique_terms_per_doc, 250.0);
+  EXPECT_GE(s.mean_query_terms, 3.0);
+  EXPECT_LE(s.mean_query_terms, 4.0);
+  // Many nodes serve several queries (paper: > 50% at full scale; the
+  // small preset has fewer queries, so use a weaker band).
+  EXPECT_GT(s.frac_nodes_multi_query, 0.10);
+}
+
+TEST(SyntheticCorpus, SomeRelevantDocsShareNoQueryTerms) {
+  // This is what caps recall below 100% with short queries (paper §6.1(4)).
+  size_t relevant_total = 0;
+  size_t no_overlap = 0;
+  for (const uint64_t seed : {4, 5, 6}) {
+    auto p = SyntheticCorpusParams::for_scale(util::Scale::kSmall);
+    p.seed = seed;
+    const auto c = generate_synthetic_corpus(p);
+    for (const auto& q : c.queries) {
+      for (const ir::DocId d : q.relevant) {
+        ++relevant_total;
+        if (c.docs[d].vector.overlap(q.vector) == 0) ++no_overlap;
+      }
+    }
+  }
+  ASSERT_GT(relevant_total, 0u);
+  const double frac = static_cast<double>(no_overlap) / relevant_total;
+  EXPECT_GT(frac, 0.0);   // a few unreachable docs...
+  EXPECT_LT(frac, 0.25);  // ...but only a small fraction
+}
+
+}  // namespace
+}  // namespace ges::corpus

@@ -1,0 +1,165 @@
+#include "corpus/trec_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ges::corpus {
+namespace {
+
+constexpr const char* kDocs = R"(
+<DOC>
+<DOCNO> AP890101-0001 </DOCNO>
+<BYLINE>By JANE SMITH</BYLINE>
+<TEXT>
+The economy grew strongly last quarter, officials said.
+</TEXT>
+</DOC>
+<DOC>
+<DOCNO> AP890101-0002 </DOCNO>
+<TEXT>
+No byline on this one; the paper drops such documents.
+</TEXT>
+</DOC>
+<DOC>
+<DOCNO> AP890101-0003 </DOCNO>
+<BYLINE>By JOHN DOE</BYLINE>
+<TEXT>
+Scientists restarted the particle accelerator.
+</TEXT>
+<TEXT>
+The restarting went smoothly.
+</TEXT>
+</DOC>
+<DOC>
+<DOCNO> AP890101-0004 </DOCNO>
+<BYLINE>By JANE SMITH</BYLINE>
+<TEXT>
+Markets rallied on the economic news.
+</TEXT>
+</DOC>
+)";
+
+constexpr const char* kTopics = R"(
+<top>
+<num> Number: 151 </num>
+<title> Topic: economy growth </title>
+</top>
+<top>
+<num> Number: 152 </num>
+<title> particle accelerator restart </title>
+</top>
+)";
+
+constexpr const char* kQrels = R"(151 0 AP890101-0001 1
+151 0 AP890101-0004 1
+151 0 AP890101-0002 1
+152 0 AP890101-0003 1
+152 0 AP890101-0001 0
+junk line that should be skipped
+)";
+
+TEST(TrecLoader, ParsesDocuments) {
+  std::istringstream in(kDocs);
+  const auto docs = parse_trec_docs(in);
+  ASSERT_EQ(docs.size(), 4u);
+  EXPECT_EQ(docs[0].docno, "AP890101-0001");
+  EXPECT_EQ(docs[0].author, "By JANE SMITH");
+  EXPECT_NE(docs[0].text.find("economy grew"), std::string::npos);
+  EXPECT_TRUE(docs[1].author.empty());
+  // Multiple TEXT sections concatenate.
+  EXPECT_NE(docs[2].text.find("restarted"), std::string::npos);
+  EXPECT_NE(docs[2].text.find("restarting"), std::string::npos);
+}
+
+TEST(TrecLoader, ParsesTopics) {
+  std::istringstream in(kTopics);
+  const auto topics = parse_trec_topics(in);
+  ASSERT_EQ(topics.size(), 2u);
+  EXPECT_EQ(topics[0].number, 151u);
+  EXPECT_EQ(topics[0].title, "economy growth");
+  EXPECT_EQ(topics[1].number, 152u);
+  EXPECT_EQ(topics[1].title, "particle accelerator restart");
+}
+
+TEST(TrecLoader, ParsesQrelsSkippingJunk) {
+  std::istringstream in(kQrels);
+  const auto qrels = parse_trec_qrels(in);
+  ASSERT_EQ(qrels.size(), 5u);
+  EXPECT_EQ(qrels[0].topic, 151u);
+  EXPECT_EQ(qrels[0].docno, "AP890101-0001");
+  EXPECT_EQ(qrels[0].relevance, 1);
+  EXPECT_EQ(qrels[4].relevance, 0);
+}
+
+TEST(TrecLoader, BuildsCorpusGroupedByAuthor) {
+  std::istringstream docs_in(kDocs);
+  std::istringstream topics_in(kTopics);
+  std::istringstream qrels_in(kQrels);
+  const auto corpus = build_corpus_from_trec(
+      parse_trec_docs(docs_in), parse_trec_topics(topics_in), parse_trec_qrels(qrels_in));
+
+  // Doc 2 is dropped (no byline); Jane Smith has two docs, John Doe one.
+  EXPECT_EQ(corpus.num_docs(), 3u);
+  EXPECT_EQ(corpus.num_nodes(), 2u);
+  EXPECT_EQ(corpus.node_docs[0].size(), 2u);  // Jane (first seen)
+  EXPECT_EQ(corpus.node_docs[1].size(), 1u);  // John
+}
+
+TEST(TrecLoader, JudgmentsFilteredToSurvivingDocs) {
+  std::istringstream docs_in(kDocs);
+  std::istringstream topics_in(kTopics);
+  std::istringstream qrels_in(kQrels);
+  const auto corpus = build_corpus_from_trec(
+      parse_trec_docs(docs_in), parse_trec_topics(topics_in), parse_trec_qrels(qrels_in));
+
+  ASSERT_EQ(corpus.queries.size(), 2u);
+  // Topic 151 judged {0001, 0004, 0002}; 0002 dropped -> 2 relevant.
+  EXPECT_EQ(corpus.queries[0].relevant.size(), 2u);
+  // Topic 152: 0003 relevant (relevance 1), 0001 judged non-relevant.
+  EXPECT_EQ(corpus.queries[1].relevant.size(), 1u);
+}
+
+TEST(TrecLoader, QueryVectorsAreAnalyzed) {
+  std::istringstream docs_in(kDocs);
+  std::istringstream topics_in(kTopics);
+  std::istringstream qrels_in(kQrels);
+  const auto corpus = build_corpus_from_trec(
+      parse_trec_docs(docs_in), parse_trec_topics(topics_in), parse_trec_qrels(qrels_in));
+
+  // "economy growth" stems to {economi, growth} and matches the first doc.
+  const auto& q = corpus.queries[0];
+  EXPECT_EQ(q.vector.size(), 2u);
+  EXPECT_GT(q.vector.dot(corpus.docs[0].vector), 0.0);
+}
+
+TEST(TrecLoader, StemmingUnifiesRestartFamily) {
+  std::istringstream docs_in(kDocs);
+  std::istringstream topics_in(kTopics);
+  std::istringstream qrels_in(kQrels);
+  const auto corpus = build_corpus_from_trec(
+      parse_trec_docs(docs_in), parse_trec_topics(topics_in), parse_trec_qrels(qrels_in));
+
+  // Doc 0003 contains "restarted" and "restarting"; both stem to
+  // "restart", giving the term frequency 2 in the counts vector.
+  const auto restart = corpus.dict.lookup("restart");
+  ASSERT_NE(restart, ir::kInvalidTerm);
+  const auto& doe_doc = corpus.docs[corpus.node_docs[1][0]];
+  EXPECT_FLOAT_EQ(doe_doc.counts.weight(restart), 2.0f);
+}
+
+TEST(TrecLoader, MissingDocnoThrows) {
+  std::istringstream in("<DOC><TEXT>orphan</TEXT></DOC>");
+  EXPECT_THROW(parse_trec_docs(in), util::CheckFailure);
+}
+
+TEST(TrecLoader, LoadMissingFileThrows) {
+  EXPECT_THROW(load_trec_corpus("/nonexistent/docs", "/nonexistent/topics",
+                                "/nonexistent/qrels"),
+               util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace ges::corpus

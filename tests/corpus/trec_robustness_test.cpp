@@ -1,0 +1,101 @@
+// Robustness of the TREC SGML parsers against malformed input: the
+// loaders must either parse leniently or fail with CheckFailure — never
+// crash or hang.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "corpus/trec_loader.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ges::corpus {
+namespace {
+
+std::vector<TrecRawDoc> parse_docs(const std::string& text) {
+  std::istringstream in(text);
+  return parse_trec_docs(in);
+}
+
+TEST(TrecRobustness, EmptyInput) {
+  EXPECT_TRUE(parse_docs("").empty());
+  std::istringstream topics("");
+  EXPECT_TRUE(parse_trec_topics(topics).empty());
+  std::istringstream qrels("");
+  EXPECT_TRUE(parse_trec_qrels(qrels).empty());
+}
+
+TEST(TrecRobustness, UnclosedDocIsIgnored) {
+  EXPECT_TRUE(parse_docs("<DOC><DOCNO>X</DOCNO><TEXT>hello").empty());
+}
+
+TEST(TrecRobustness, UnclosedInnerTagIgnored) {
+  const auto docs = parse_docs("<DOC><DOCNO>X</DOCNO><TEXT>no close</DOC>");
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_TRUE(docs[0].text.empty());
+}
+
+TEST(TrecRobustness, InterleavedGarbageBetweenDocs) {
+  const auto docs = parse_docs(
+      "garbage <DOC><DOCNO>A</DOCNO><TEXT>one</TEXT></DOC> 0x00<binary>"
+      "<DOC><DOCNO>B</DOCNO><TEXT>two</TEXT></DOC> trailing");
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_EQ(docs[0].docno, "A");
+  EXPECT_EQ(docs[1].docno, "B");
+}
+
+TEST(TrecRobustness, TopicsWithMissingFieldsSkipped) {
+  std::istringstream in(
+      "<top><num> Number: 7 </num></top>"                     // no title
+      "<top><title> only title </title></top>"                // no num
+      "<top><num> Number: 9 </num><title> ok </title></top>");
+  const auto topics = parse_trec_topics(in);
+  ASSERT_EQ(topics.size(), 1u);
+  EXPECT_EQ(topics[0].number, 9u);
+}
+
+TEST(TrecRobustness, QrelsWithMixedJunk) {
+  std::istringstream in(
+      "151 0 DOC-1 1\n"
+      "\n"
+      "not a line\n"
+      "152 0\n"           // too short
+      "153 0 DOC-2 0\n");
+  const auto qrels = parse_trec_qrels(in);
+  ASSERT_EQ(qrels.size(), 2u);
+}
+
+TEST(TrecRobustness, RandomBytesNeverCrash) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string noise;
+    for (int i = 0; i < 2000; ++i) {
+      noise.push_back(static_cast<char>(rng.uniform_int(1, 127)));
+    }
+    // Sprinkle tag fragments to exercise the scanner.
+    noise += "<DOC><DOCNO></TEXT><top><num></DOC>";
+    try {
+      parse_docs(noise);
+      std::istringstream t(noise);
+      parse_trec_topics(t);
+      std::istringstream q(noise);
+      parse_trec_qrels(q);
+    } catch (const util::CheckFailure&) {
+      // Acceptable: structured rejection.
+    }
+  }
+  SUCCEED();
+}
+
+TEST(TrecRobustness, BuildWithNoSurvivingDocsYieldsEmptyCorpus) {
+  // Author present but text empty -> doc dropped; corpus still valid.
+  const auto docs =
+      parse_docs("<DOC><DOCNO>A</DOCNO><BYLINE>By X</BYLINE></DOC>");
+  const auto corpus = build_corpus_from_trec(docs, {}, {});
+  EXPECT_EQ(corpus.num_docs(), 0u);
+  EXPECT_EQ(corpus.num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace ges::corpus

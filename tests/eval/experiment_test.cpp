@@ -1,0 +1,152 @@
+#include "eval/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/random_walk_search.hpp"
+#include "ges/system.hpp"
+#include "support/test_corpus.hpp"
+#include "util/check.hpp"
+
+namespace ges::eval {
+namespace {
+
+TEST(CostGrid, StandardIsSortedFractionalAndEndsAtOne) {
+  const auto grid = standard_cost_grid();
+  ASSERT_FALSE(grid.empty());
+  for (size_t i = 1; i < grid.size(); ++i) EXPECT_LT(grid[i - 1], grid[i]);
+  EXPECT_GT(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+}
+
+TEST(RecallCostCurve, InterpolatesLinearly) {
+  RecallCostCurve c;
+  c.cost = {0.1, 0.3};
+  c.recall = {0.2, 0.6};
+  EXPECT_DOUBLE_EQ(c.recall_at(0.05), 0.2);   // clamp below
+  EXPECT_DOUBLE_EQ(c.recall_at(0.1), 0.2);
+  EXPECT_NEAR(c.recall_at(0.2), 0.4, 1e-12);  // midpoint
+  EXPECT_DOUBLE_EQ(c.recall_at(0.5), 0.6);    // clamp above
+}
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  ExperimentTest() : corpus_(test::clustered_corpus(30, 3)) {
+    core::GesBuildConfig config;
+    config.seed = 3;
+    system_ = std::make_unique<core::GesSystem>(corpus_, config);
+    system_->build();
+  }
+
+  Searcher ges_searcher() {
+    return [this](const corpus::Query& q, p2p::NodeId initiator, util::Rng& rng) {
+      return system_->search(q.vector, initiator, rng);
+    };
+  }
+
+  corpus::Corpus corpus_;
+  std::unique_ptr<core::GesSystem> system_;
+};
+
+TEST_F(ExperimentTest, CurveIsMonotoneNonDecreasing) {
+  const auto curve = recall_cost_curve(corpus_, system_->network(), ges_searcher(),
+                                       standard_cost_grid(), 1);
+  ASSERT_EQ(curve.cost.size(), curve.recall.size());
+  for (size_t i = 1; i < curve.recall.size(); ++i) {
+    EXPECT_GE(curve.recall[i], curve.recall[i - 1] - 1e-12);
+  }
+  EXPECT_GE(curve.recall.back(), 0.9);  // orthogonal corpus: near-full recall
+}
+
+TEST_F(ExperimentTest, DeterministicInSeed) {
+  const auto a = recall_cost_curve(corpus_, system_->network(), ges_searcher(),
+                                   standard_cost_grid(), 5);
+  const auto b = recall_cost_curve(corpus_, system_->network(), ges_searcher(),
+                                   standard_cost_grid(), 5);
+  EXPECT_EQ(a.recall, b.recall);
+}
+
+TEST_F(ExperimentTest, CostStatsPopulated) {
+  SearchCostStats stats;
+  recall_cost_curve(corpus_, system_->network(), ges_searcher(),
+                    standard_cost_grid(), 1, &stats);
+  EXPECT_GT(stats.mean_walk_steps + stats.mean_flood_messages, 0.0);
+}
+
+TEST_F(ExperimentTest, PerQueryRecallHasOneEntryPerJudgedQuery) {
+  const auto recalls = per_query_recall_at_cost(corpus_, system_->network(),
+                                                ges_searcher(), 0.3, 1);
+  EXPECT_EQ(recalls.size(), corpus_.queries.size());
+  for (const double r : recalls) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST_F(ExperimentTest, CurvesTableRendersAllSeries) {
+  const auto curve = recall_cost_curve(corpus_, system_->network(), ges_searcher(),
+                                       {0.1, 0.5, 1.0}, 1);
+  const auto table = curves_table({"GES", "GES2"}, {curve, curve});
+  EXPECT_EQ(table.rows(), 3u);
+  EXPECT_EQ(table.columns(), 3u);
+}
+
+TEST_F(ExperimentTest, CurvesTableRejectsMismatch) {
+  const auto curve = recall_cost_curve(corpus_, system_->network(), ges_searcher(),
+                                       {0.1, 1.0}, 1);
+  EXPECT_THROW(curves_table({"only-one-name"}, {curve, curve}), util::CheckFailure);
+}
+
+TEST(AverageCurves, MeanAndStddev) {
+  RecallCostCurve a;
+  a.cost = {0.1, 0.5};
+  a.recall = {0.2, 0.6};
+  RecallCostCurve b;
+  b.cost = {0.1, 0.5};
+  b.recall = {0.4, 0.8};
+  const auto avg = average_curves({a, b});
+  EXPECT_EQ(avg.runs, 2u);
+  EXPECT_DOUBLE_EQ(avg.mean[0], 0.3);
+  EXPECT_DOUBLE_EQ(avg.mean[1], 0.7);
+  // Sample stddev of {0.2, 0.4} is sqrt(0.02).
+  EXPECT_NEAR(avg.stddev[0], std::sqrt(0.02), 1e-12);
+  const auto mean_curve = avg.mean_curve();
+  EXPECT_DOUBLE_EQ(mean_curve.recall_at(0.3), 0.5);
+}
+
+TEST(AverageCurves, SingleRunHasZeroStddev) {
+  RecallCostCurve a;
+  a.cost = {0.1};
+  a.recall = {0.2};
+  const auto avg = average_curves({a});
+  EXPECT_DOUBLE_EQ(avg.stddev[0], 0.0);
+}
+
+TEST(AverageCurves, MismatchedGridsRejected) {
+  RecallCostCurve a;
+  a.cost = {0.1};
+  a.recall = {0.2};
+  RecallCostCurve b;
+  b.cost = {0.2};
+  b.recall = {0.2};
+  EXPECT_THROW(average_curves({a, b}), util::CheckFailure);
+  EXPECT_THROW(average_curves({}), util::CheckFailure);
+}
+
+TEST(ExperimentNoJudgments, Throws) {
+  auto corpus = test::clustered_corpus(6, 2);
+  for (auto& q : corpus.queries) q.relevant.clear();
+  core::GesSystem system(corpus, core::GesBuildConfig{});
+  system.build();
+  const Searcher searcher = [&](const corpus::Query& q, p2p::NodeId initiator,
+                                util::Rng& rng) {
+    return system.search(q.vector, initiator, rng);
+  };
+  EXPECT_THROW(
+      recall_cost_curve(corpus, system.network(), searcher, {0.5, 1.0}, 1),
+      util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace ges::eval

@@ -1,0 +1,106 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ges::eval {
+namespace {
+
+/// Trace: probes n0..n3; relevant docs {1, 3, 5}; retrievals:
+/// probe 0 -> doc 1 (rel), probe 1 -> doc 2 (not rel),
+/// probe 2 -> doc 3 (rel), probe 3 -> nothing.
+p2p::SearchTrace sample_trace() {
+  p2p::SearchTrace t;
+  t.probe_order = {10, 11, 12, 13};
+  t.retrieved = {{1, 0.9, 0}, {2, 0.8, 1}, {3, 0.4, 2}};
+  return t;
+}
+
+Judgment sample_judgment() { return Judgment({1, 3, 5}); }
+
+TEST(Judgment, MembershipAndCount) {
+  const auto j = sample_judgment();
+  EXPECT_TRUE(j.is_relevant(1));
+  EXPECT_TRUE(j.is_relevant(5));
+  EXPECT_FALSE(j.is_relevant(2));
+  EXPECT_EQ(j.total_relevant(), 3u);
+}
+
+TEST(Recall, FullTrace) {
+  // 2 of 3 relevant docs retrieved.
+  EXPECT_NEAR(recall(sample_trace(), sample_judgment()), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Recall, AtProbePrefixes) {
+  const auto t = sample_trace();
+  const auto j = sample_judgment();
+  EXPECT_DOUBLE_EQ(recall_at_probes(t, j, 0), 0.0);
+  EXPECT_NEAR(recall_at_probes(t, j, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(recall_at_probes(t, j, 2), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(recall_at_probes(t, j, 3), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(recall_at_probes(t, j, 100), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Recall, NoRelevantDocsIsZero) {
+  EXPECT_DOUBLE_EQ(recall(sample_trace(), Judgment({})), 0.0);
+}
+
+TEST(Recall, VectorizedMatchesScalar) {
+  const auto t = sample_trace();
+  const auto j = sample_judgment();
+  const auto v = recall_at_probe_counts(t, j, {0, 1, 2, 3, 4, 100});
+  ASSERT_EQ(v.size(), 6u);
+  for (size_t i = 0; i < v.size(); ++i) {
+    const size_t probes = std::vector<size_t>{0, 1, 2, 3, 4, 100}[i];
+    EXPECT_DOUBLE_EQ(v[i], recall_at_probes(t, j, probes)) << probes;
+  }
+}
+
+TEST(Precision, RanksByScore) {
+  const auto t = sample_trace();
+  const auto j = sample_judgment();
+  // Ranked: doc1(0.9, rel), doc2(0.8, not), doc3(0.4, rel).
+  EXPECT_DOUBLE_EQ(precision_at(t, j, 1), 1.0);
+  EXPECT_DOUBLE_EQ(precision_at(t, j, 2), 0.5);
+  EXPECT_NEAR(precision_at(t, j, 3), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Precision, DenominatorIsREvenWhenFewerRetrieved) {
+  const auto t = sample_trace();
+  const auto j = sample_judgment();
+  // Only 3 docs retrieved; prec@15 = 2/15 (paper's high-end precision).
+  EXPECT_NEAR(precision_at(t, j, 15), 2.0 / 15.0, 1e-12);
+}
+
+TEST(Precision, ZeroRThrows) {
+  EXPECT_THROW(precision_at(sample_trace(), sample_judgment(), 0),
+               util::CheckFailure);
+}
+
+TEST(TopKResults, RanksByScoreThenDoc) {
+  const auto t = sample_trace();
+  const auto top2 = top_k_results(t, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].doc, 1u);
+  EXPECT_EQ(top2[1].doc, 2u);
+  // Asking for more than retrieved returns all of them.
+  EXPECT_EQ(top_k_results(t, 99).size(), 3u);
+  EXPECT_TRUE(top_k_results(p2p::SearchTrace{}, 5).empty());
+}
+
+TEST(ProcessingCost, FractionOfNodes) {
+  EXPECT_DOUBLE_EQ(processing_cost(sample_trace(), 40), 0.1);
+  EXPECT_THROW(processing_cost(sample_trace(), 0), util::CheckFailure);
+}
+
+TEST(Recall, EmptyTrace) {
+  const p2p::SearchTrace empty;
+  EXPECT_DOUBLE_EQ(recall(empty, sample_judgment()), 0.0);
+  const auto v = recall_at_probe_counts(empty, sample_judgment(), {0, 5});
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+}  // namespace
+}  // namespace ges::eval

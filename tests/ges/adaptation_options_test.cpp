@@ -1,0 +1,116 @@
+// Tests of the optional adaptation mechanisms: the §4.3 discovery
+// optimizations (cache-assisted discovery, host-cache gossip) and the §7
+// satisfaction-degree throttling.
+
+#include <gtest/gtest.h>
+
+#include "ges/topology_adaptation.hpp"
+#include "support/test_corpus.hpp"
+
+namespace ges::core {
+namespace {
+
+using p2p::LinkType;
+using p2p::Network;
+using p2p::NodeId;
+
+class AdaptationOptionsTest : public ::testing::Test {
+ protected:
+  AdaptationOptionsTest()
+      : corpus_(test::clustered_corpus(24, 3)),
+        net_(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{}) {
+    util::Rng rng(1);
+    p2p::bootstrap_random_graph(net_, 5.0, rng);
+  }
+
+  corpus::Corpus corpus_;
+  Network net_;
+};
+
+TEST_F(AdaptationOptionsTest, CacheAssistedDiscoveryProducesAssists) {
+  GesParams params;
+  params.cache_assisted_discovery = true;
+  TopologyAdaptation adapt(net_, params, 7);
+  const auto stats = adapt.run_rounds(6);
+  EXPECT_GT(stats.cache_assists, 0u);
+  net_.check_invariants();
+}
+
+TEST_F(AdaptationOptionsTest, CacheAssistEntriesQualify) {
+  GesParams params;
+  params.cache_assisted_discovery = true;
+  TopologyAdaptation adapt(net_, params, 7);
+  adapt.run_rounds(6);
+  for (const NodeId n : net_.alive_nodes()) {
+    for (const auto* e : net_.semantic_cache(n).entries()) {
+      EXPECT_GE(net_.rel_nodes(n, e->node), params.node_rel_threshold);
+    }
+  }
+}
+
+TEST_F(AdaptationOptionsTest, GossipSpreadsSemanticCandidates) {
+  GesParams params;
+  params.gossip_host_caches = true;
+  TopologyAdaptation adapt(net_, params, 7);
+  const auto stats = adapt.run_rounds(8);
+  EXPECT_GT(stats.gossip_messages, 0u);
+  net_.check_invariants();
+}
+
+TEST_F(AdaptationOptionsTest, SatisfactionGrowsWithAdaptation) {
+  GesParams params;
+  TopologyAdaptation adapt(net_, params, 7);
+  double before = 0.0;
+  for (const NodeId n : net_.alive_nodes()) before += adapt.node_satisfaction(n);
+  adapt.run_rounds(10);
+  double after = 0.0;
+  for (const NodeId n : net_.alive_nodes()) after += adapt.node_satisfaction(n);
+  EXPECT_GT(after, before);
+}
+
+TEST_F(AdaptationOptionsTest, SatisfactionBoundedZeroOne) {
+  TopologyAdaptation adapt(net_, GesParams{}, 7);
+  adapt.run_rounds(5);
+  for (const NodeId n : net_.alive_nodes()) {
+    const double s = adapt.node_satisfaction(n);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_F(AdaptationOptionsTest, SatisfactionThrottlingReducesWalkTraffic) {
+  // Two identical networks; one throttles with satisfaction. After the
+  // topology converges, the throttled one sends fewer discovery walks.
+  Network net_a(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{});
+  Network net_b(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{});
+  util::Rng ra(1);
+  util::Rng rb(1);
+  p2p::bootstrap_random_graph(net_a, 5.0, ra);
+  p2p::bootstrap_random_graph(net_b, 5.0, rb);
+
+  GesParams plain;
+  GesParams throttled = plain;
+  throttled.satisfaction_adaptive = true;
+  TopologyAdaptation adapt_plain(net_a, plain, 7);
+  TopologyAdaptation adapt_throttled(net_b, throttled, 7);
+
+  // Converge both, then compare steady-state rounds.
+  adapt_plain.run_rounds(10);
+  adapt_throttled.run_rounds(10);
+  const auto steady_plain = adapt_plain.run_rounds(5);
+  const auto steady_throttled = adapt_throttled.run_rounds(5);
+  EXPECT_GT(steady_throttled.discovery_skipped, 0u);
+  EXPECT_LT(steady_throttled.walk_messages, steady_plain.walk_messages);
+  net_b.check_invariants();
+}
+
+TEST_F(AdaptationOptionsTest, OptionsOffProducesNoExtraTraffic) {
+  TopologyAdaptation adapt(net_, GesParams{}, 7);
+  const auto stats = adapt.run_rounds(4);
+  EXPECT_EQ(stats.cache_assists, 0u);
+  EXPECT_EQ(stats.gossip_messages, 0u);
+  EXPECT_EQ(stats.discovery_skipped, 0u);
+}
+
+}  // namespace
+}  // namespace ges::core

@@ -1,0 +1,170 @@
+#include "ges/async_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "eval/metrics.hpp"
+#include "ges/topology_adaptation.hpp"
+#include "support/test_corpus.hpp"
+#include "util/check.hpp"
+
+namespace ges::core {
+namespace {
+
+using p2p::NodeId;
+
+class AsyncSearchTest : public ::testing::Test {
+ protected:
+  AsyncSearchTest()
+      : corpus_(test::clustered_corpus(24, 3)),
+        net_(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{}) {
+    util::Rng rng(1);
+    p2p::bootstrap_random_graph(net_, 5.0, rng);
+    TopologyAdaptation adapt(net_, GesParams{}, 7);
+    adapt.run_rounds(10);
+  }
+
+  AsyncQueryResult run_one(SearchOptions options = {}, uint32_t query = 0,
+                           NodeId initiator = 0, uint64_t seed = 42) {
+    p2p::EventQueue queue;
+    AsyncSearchEngine engine(net_, queue, options);
+    AsyncQueryResult result;
+    bool fired = false;
+    engine.submit(corpus_.queries[query].vector, initiator, seed,
+                  [&](const AsyncQueryResult& r) {
+                    result = r;
+                    fired = true;
+                  });
+    queue.run();
+    EXPECT_TRUE(fired) << "query never completed";
+    EXPECT_EQ(engine.pending(), 0u);
+    return result;
+  }
+
+  corpus::Corpus corpus_;
+  p2p::Network net_;
+};
+
+TEST_F(AsyncSearchTest, CompletesAndProbesDistinctNodes) {
+  const auto result = run_one();
+  std::unordered_set<NodeId> unique(result.trace.probe_order.begin(),
+                                    result.trace.probe_order.end());
+  EXPECT_EQ(unique.size(), result.trace.probes());
+  EXPECT_GT(result.trace.probes(), 1u);
+}
+
+TEST_F(AsyncSearchTest, FindsRelevantDocuments) {
+  const auto result = run_one();
+  const eval::Judgment judgment(corpus_.queries[0].relevant);
+  EXPECT_GT(eval::recall(result.trace, judgment), 0.9);
+}
+
+TEST_F(AsyncSearchTest, TimesAreOrdered) {
+  const auto result = run_one();
+  EXPECT_GE(result.first_hit_at, result.submitted_at);
+  EXPECT_GE(result.completed_at, result.first_hit_at);
+  EXPECT_GT(result.completion_time(), 0.0);
+  EXPECT_GE(result.time_to_first_hit(), 0.0);
+}
+
+TEST_F(AsyncSearchTest, FirstHitBeatsCompletion) {
+  // The initiator's own hit (or an early walk hit) should arrive long
+  // before the exhaustive search quiesces.
+  const auto result = run_one();
+  EXPECT_LT(result.time_to_first_hit(), result.completion_time());
+}
+
+TEST_F(AsyncSearchTest, ProbeBudgetRespected) {
+  SearchOptions options;
+  options.probe_budget = 5;
+  const auto result = run_one(options);
+  EXPECT_LE(result.trace.probes(), 5u);
+}
+
+TEST_F(AsyncSearchTest, TtlBoundsWalkSteps) {
+  SearchOptions options;
+  options.ttl = 4;
+  const auto result = run_one(options);
+  EXPECT_LE(result.trace.walk_steps, 4u);
+}
+
+TEST_F(AsyncSearchTest, DeterministicInSeed) {
+  const auto a = run_one({}, 0, 0, 9);
+  const auto b = run_one({}, 0, 0, 9);
+  EXPECT_EQ(a.trace.probe_order, b.trace.probe_order);
+  EXPECT_DOUBLE_EQ(a.completed_at, b.completed_at);
+}
+
+TEST_F(AsyncSearchTest, HigherLatencySlowsCompletion) {
+  p2p::EventQueue queue;
+  LatencyModel slow;
+  slow.hop_mean = 0.5;
+  slow.hop_jitter = 0.0;
+  LatencyModel fast;
+  fast.hop_mean = 0.05;
+  fast.hop_jitter = 0.0;
+  AsyncSearchEngine slow_engine(net_, queue, {}, slow);
+  AsyncSearchEngine fast_engine(net_, queue, {}, fast);
+  AsyncQueryResult slow_result;
+  AsyncQueryResult fast_result;
+  slow_engine.submit(corpus_.queries[0].vector, 0, 3,
+                     [&](const AsyncQueryResult& r) { slow_result = r; });
+  fast_engine.submit(corpus_.queries[0].vector, 0, 3,
+                     [&](const AsyncQueryResult& r) { fast_result = r; });
+  queue.run();
+  EXPECT_GT(slow_result.completion_time(), fast_result.completion_time());
+}
+
+TEST_F(AsyncSearchTest, ManyConcurrentQueriesAllComplete) {
+  p2p::EventQueue queue;
+  AsyncSearchEngine engine(net_, queue, {});
+  size_t completed = 0;
+  for (uint32_t q = 0; q < corpus_.queries.size(); ++q) {
+    engine.submit(corpus_.queries[q].vector, static_cast<NodeId>(q % net_.size()),
+                  100 + q, [&](const AsyncQueryResult&) { ++completed; });
+  }
+  EXPECT_EQ(engine.pending(), corpus_.queries.size());
+  queue.run();
+  EXPECT_EQ(completed, corpus_.queries.size());
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST_F(AsyncSearchTest, MatchesSyncEngineCoverage) {
+  // Same options, same topology: the async engine's exhaustive coverage
+  // should match the synchronous GesSearch's within a small margin (the
+  // traversal order differs, the reachable set does not).
+  const auto async_result = run_one();
+  util::Rng rng(42);
+  const auto sync_trace =
+      GesSearch(net_, {}).search(corpus_.queries[0].vector, 0, rng);
+  const double ratio = static_cast<double>(async_result.trace.probes()) /
+                       static_cast<double>(sync_trace.probes());
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.15);
+}
+
+TEST_F(AsyncSearchTest, IsolatedInitiatorCompletesImmediately) {
+  const auto corpus = test::clustered_corpus(4, 1);
+  p2p::Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  p2p::EventQueue queue;
+  AsyncSearchEngine engine(net, queue, {});
+  bool fired = false;
+  engine.submit(corpus.queries[0].vector, 0, 1, [&](const AsyncQueryResult& r) {
+    fired = true;
+    EXPECT_EQ(r.trace.probes(), 1u);
+  });
+  queue.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(AsyncSearchTest, DeadInitiatorThrows) {
+  net_.deactivate(0);
+  p2p::EventQueue queue;
+  AsyncSearchEngine engine(net_, queue, {});
+  EXPECT_THROW(engine.submit(corpus_.queries[0].vector, 0, 1, nullptr),
+               util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace ges::core

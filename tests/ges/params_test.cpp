@@ -1,0 +1,72 @@
+#include "ges/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ges::core {
+namespace {
+
+TEST(GesParams, UnconstrainedUsesMaxLinks) {
+  GesParams p;
+  p.max_links = 8;
+  p.capacity_constrained = false;
+  EXPECT_EQ(p.effective_max_links(1.0), 8u);
+  EXPECT_EQ(p.effective_max_links(10000.0), 8u);
+}
+
+TEST(GesParams, CapacityConstraintFormula) {
+  // Paper §5.4: max_links = min(max_links, C / min_unit), min_unit = 4,
+  // heterogeneous max_links = 128.
+  GesParams p;
+  p.max_links = 128;
+  p.min_unit = 4;
+  p.min_links = 3;
+  p.capacity_constrained = true;
+  EXPECT_EQ(p.effective_max_links(1.0), 3u);      // 0 -> clamped to min_links
+  EXPECT_EQ(p.effective_max_links(10.0), 3u);     // 2 -> clamped
+  EXPECT_EQ(p.effective_max_links(100.0), 25u);   // 100/4
+  EXPECT_EQ(p.effective_max_links(1000.0), 128u); // 250 -> capped at 128
+  EXPECT_EQ(p.effective_max_links(10000.0), 128u);
+}
+
+TEST(GesParams, AlphaSplitsSemanticAndRandom) {
+  GesParams p;
+  p.max_links = 8;
+  p.alpha = 0.5;
+  EXPECT_EQ(p.max_sem_links(1.0), 4u);
+  EXPECT_EQ(p.max_rnd_links(1.0), 4u);
+  p.alpha = 0.25;
+  EXPECT_EQ(p.max_sem_links(1.0), 2u);
+  EXPECT_EQ(p.max_rnd_links(1.0), 6u);
+}
+
+TEST(GesParams, SemPlusRndEqualsEffective) {
+  GesParams p;
+  p.max_links = 128;
+  p.capacity_constrained = true;
+  for (const double c : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    EXPECT_EQ(p.max_sem_links(c) + p.max_rnd_links(c), p.effective_max_links(c));
+  }
+}
+
+TEST(GesParams, AlphaExtremes) {
+  GesParams p;
+  p.max_links = 10;
+  p.alpha = 0.0;
+  EXPECT_EQ(p.max_sem_links(1.0), 0u);
+  EXPECT_EQ(p.max_rnd_links(1.0), 10u);
+  p.alpha = 1.0;
+  EXPECT_EQ(p.max_sem_links(1.0), 10u);
+  EXPECT_EQ(p.max_rnd_links(1.0), 0u);
+}
+
+TEST(GesParams, PaperDefaults) {
+  const GesParams p;
+  EXPECT_EQ(p.min_links, 3u);
+  EXPECT_EQ(p.max_links, 8u);
+  EXPECT_EQ(p.min_unit, 4u);
+  EXPECT_DOUBLE_EQ(p.alpha, 0.5);
+  EXPECT_DOUBLE_EQ(p.node_rel_threshold, 0.45);
+}
+
+}  // namespace
+}  // namespace ges::core

@@ -1,0 +1,65 @@
+// Parameterized property sweep: the GES search invariants must hold for
+// every node-vector size, flood radius and capacity mode combination.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "ges/system.hpp"
+#include "support/test_corpus.hpp"
+
+namespace ges::core {
+namespace {
+
+using Params = std::tuple<size_t /*vector size*/, size_t /*flood radius*/,
+                          bool /*capacity aware*/>;
+
+class SearchSweepTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(SearchSweepTest, InvariantsHoldAcrossConfigurations) {
+  const auto [vector_size, flood_radius, capacity_aware] = GetParam();
+  const auto corpus = test::clustered_corpus(24, 3);
+
+  GesBuildConfig config;
+  config.seed = 11;
+  config.net.node_vector_size = vector_size;
+  config.params.flood_radius = flood_radius;
+  config.params.capacity_aware_search = capacity_aware;
+  if (capacity_aware) {
+    config.capacities = p2p::CapacityProfile::gnutella();
+    config.params.max_links = 128;
+    config.params.capacity_constrained = true;
+  }
+  GesSystem system(corpus, config);
+  system.build();
+  system.network().check_invariants();
+
+  util::Rng rng(3);
+  for (const auto& query : corpus.queries) {
+    const auto trace = system.search(query.vector, 0, rng);
+    // Probes distinct and alive.
+    std::unordered_set<p2p::NodeId> seen;
+    for (const auto n : trace.probe_order) {
+      EXPECT_TRUE(seen.insert(n).second);
+      EXPECT_TRUE(system.network().alive(n));
+    }
+    // Retrieved documents live on their probing node, scored positive.
+    for (const auto& r : trace.retrieved) {
+      ASSERT_LT(r.probe_index, trace.probes());
+      EXPECT_EQ(system.network().document_owner(r.doc),
+                trace.probe_order[r.probe_index]);
+      EXPECT_GT(r.score, 0.0);
+    }
+    // Flood radius 0 or >= 1 always yields consistent counters.
+    if (trace.target_count == 0) EXPECT_EQ(trace.flood_messages, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, SearchSweepTest,
+    ::testing::Combine(::testing::Values<size_t>(0, 4, 16, 1000),
+                       ::testing::Values<size_t>(0, 1, 3),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace ges::core

@@ -1,0 +1,241 @@
+#include "ges/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "ges/topology_adaptation.hpp"
+#include "support/test_corpus.hpp"
+#include "util/check.hpp"
+
+namespace ges::core {
+namespace {
+
+using p2p::LinkType;
+using p2p::Network;
+using p2p::NodeId;
+
+/// Adapted network over the clustered corpus: topics form semantic groups.
+class SearchTest : public ::testing::Test {
+ protected:
+  SearchTest()
+      : corpus_(test::clustered_corpus(24, 3)),
+        net_(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{}) {
+    util::Rng rng(1);
+    p2p::bootstrap_random_graph(net_, 5.0, rng);
+    TopologyAdaptation adapt(net_, GesParams{}, 7);
+    adapt.run_rounds(10);
+  }
+
+  p2p::SearchTrace run(NodeId initiator, uint32_t query, SearchOptions opt = {}) {
+    util::Rng rng(42);
+    return GesSearch(net_, opt).search(corpus_.queries[query].vector, initiator, rng);
+  }
+
+  corpus::Corpus corpus_;
+  Network net_;
+};
+
+TEST_F(SearchTest, ProbesAreDistinctAliveNodes) {
+  const auto trace = run(0, 0);
+  std::unordered_set<NodeId> unique(trace.probe_order.begin(), trace.probe_order.end());
+  EXPECT_EQ(unique.size(), trace.probes());
+  for (const NodeId n : trace.probe_order) EXPECT_TRUE(net_.alive(n));
+}
+
+TEST_F(SearchTest, InitiatorIsFirstProbe) {
+  const auto trace = run(5, 0);
+  ASSERT_FALSE(trace.probe_order.empty());
+  EXPECT_EQ(trace.probe_order.front(), 5u);
+}
+
+TEST_F(SearchTest, RetrievedDocsHaveValidProbeIndices) {
+  const auto trace = run(0, 1);
+  for (const auto& r : trace.retrieved) {
+    ASSERT_LT(r.probe_index, trace.probes());
+    // The document really lives on the probed node.
+    const NodeId owner = net_.document_owner(r.doc);
+    EXPECT_EQ(owner, trace.probe_order[r.probe_index]);
+    EXPECT_GT(r.score, 0.0);
+  }
+}
+
+TEST_F(SearchTest, RetrievedDocsAreUnique) {
+  const auto trace = run(0, 2);
+  std::unordered_set<ir::DocId> docs;
+  for (const auto& r : trace.retrieved) {
+    EXPECT_TRUE(docs.insert(r.doc).second) << "doc retrieved twice";
+  }
+}
+
+TEST_F(SearchTest, ProbeBudgetRespected) {
+  SearchOptions opt;
+  opt.probe_budget = 5;
+  const auto trace = run(0, 0, opt);
+  EXPECT_LE(trace.probes(), 5u);
+}
+
+TEST_F(SearchTest, MaxResponsesStopsSearch) {
+  SearchOptions opt;
+  opt.max_responses = 3;
+  const auto trace = run(0, 0, opt);
+  // The search may slightly overshoot within one probe but must stop then.
+  EXPECT_GE(trace.retrieved.size(), 3u);
+  const uint32_t last_probe = trace.retrieved.back().probe_index;
+  EXPECT_GE(last_probe + 1, trace.probes() - 1);
+}
+
+TEST_F(SearchTest, TtlBoundsWalkSteps) {
+  SearchOptions opt;
+  opt.ttl = 4;
+  const auto trace = run(0, 0, opt);
+  EXPECT_LE(trace.walk_steps, 4u);
+}
+
+TEST_F(SearchTest, ExhaustiveRunCoversMostOfNetwork) {
+  const auto trace = run(0, 0);
+  // Connected adapted overlay: the unbounded search probes nearly all.
+  EXPECT_GE(trace.probes(), net_.alive_count() * 8 / 10);
+}
+
+TEST_F(SearchTest, FindsTargetsAndFloods) {
+  const auto trace = run(0, 0);
+  EXPECT_GT(trace.target_count, 0u);
+  EXPECT_GT(trace.flood_messages, 0u);
+}
+
+TEST_F(SearchTest, FloodRadiusLimitsGroupCoverage) {
+  SearchOptions narrow;
+  narrow.flood_radius = 1;
+  SearchOptions wide;
+  const auto t_narrow = run(0, 0, narrow);
+  const auto t_wide = run(0, 0, wide);
+  // With the same seed, the narrow flood sends no more flood messages.
+  EXPECT_LE(t_narrow.flood_messages, t_wide.flood_messages);
+}
+
+TEST_F(SearchTest, DeterministicGivenSeed) {
+  const auto a = run(0, 0);
+  const auto b = run(0, 0);
+  EXPECT_EQ(a.probe_order, b.probe_order);
+  EXPECT_EQ(a.walk_steps, b.walk_steps);
+}
+
+TEST_F(SearchTest, HighTargetThresholdDisablesFlooding) {
+  SearchOptions opt;
+  opt.target_rel_threshold = 10.0;  // unattainable for normalized vectors
+  const auto trace = run(0, 0, opt);
+  EXPECT_EQ(trace.target_count, 0u);
+  EXPECT_EQ(trace.flood_messages, 0u);
+}
+
+TEST_F(SearchTest, DocRelThresholdFiltersRetrieved) {
+  SearchOptions relaxed;
+  SearchOptions strict;
+  strict.doc_rel_threshold = 0.9;
+  const auto t_relaxed = run(0, 0, relaxed);
+  const auto t_strict = run(0, 0, strict);
+  EXPECT_LE(t_strict.retrieved.size(), t_relaxed.retrieved.size());
+  for (const auto& r : t_strict.retrieved) EXPECT_GE(r.score, 0.9);
+}
+
+TEST_F(SearchTest, DeadInitiatorThrows) {
+  net_.deactivate(0);
+  util::Rng rng(1);
+  EXPECT_THROW(GesSearch(net_, {}).search(corpus_.queries[0].vector, 0, rng),
+               util::CheckFailure);
+}
+
+TEST(SearchIsolated, InitiatorWithoutRandomLinksStillProbesItself) {
+  const auto corpus = test::clustered_corpus(4, 1);
+  Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  util::Rng rng(1);
+  const auto trace = GesSearch(net, {}).search(corpus.queries[0].vector, 0, rng);
+  EXPECT_EQ(trace.probes(), 1u);
+  EXPECT_FALSE(trace.retrieved.empty());
+}
+
+TEST(SearchCapacityAware, NonSupernodePrefersSupernodeNeighbor) {
+  // Star-ish topology: node 0 links to a supernode (1) and a weak node (2).
+  // Node 1 holds nothing relevant, node 2 is maximally relevant to the
+  // query — yet the capacity-aware walk must go to the supernode first.
+  const auto corpus = test::clustered_corpus(6, 2);
+  std::vector<p2p::Capacity> caps(corpus.num_nodes(), 1.0);
+  caps[1] = 1000.0;
+  Network net(corpus, caps, p2p::NetworkConfig{});
+  net.connect(0, 1, LinkType::kRandom);  // node 1: topic 1 (irrelevant)
+  net.connect(0, 2, LinkType::kRandom);  // node 2: topic 0 (relevant)
+
+  SearchOptions opt;
+  opt.capacity_aware = true;
+  opt.supernode_threshold = 1000.0;
+  opt.probe_budget = 2;
+  opt.target_rel_threshold = 10.0;  // keep it a pure walk
+  util::Rng rng(5);
+  const auto trace = GesSearch(net, opt).search(corpus.queries[0].vector, 0, rng);
+  ASSERT_EQ(trace.probes(), 2u);
+  EXPECT_EQ(trace.probe_order[1], 1u);  // the supernode, despite irrelevance
+
+  // Without capacity awareness the relevant neighbor wins.
+  opt.capacity_aware = false;
+  util::Rng rng2(5);
+  const auto trace2 = GesSearch(net, opt).search(corpus.queries[0].vector, 0, rng2);
+  ASSERT_EQ(trace2.probes(), 2u);
+  EXPECT_EQ(trace2.probe_order[1], 2u);
+}
+
+TEST(SearchBookkeeping, WalkEventuallyLeavesLocalLoop) {
+  // Line topology 0-1-2-3 over random links; the walk must traverse it
+  // fully despite having only one forward choice at each end.
+  const auto corpus = test::clustered_corpus(4, 1);
+  Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  net.connect(0, 1, LinkType::kRandom);
+  net.connect(1, 2, LinkType::kRandom);
+  net.connect(2, 3, LinkType::kRandom);
+  SearchOptions opt;
+  opt.target_rel_threshold = 10.0;  // pure walk
+  util::Rng rng(1);
+  const auto trace = GesSearch(net, opt).search(corpus.queries[0].vector, 0, rng);
+  EXPECT_EQ(trace.probes(), 4u);
+}
+
+TEST(SearchFlood, WalkResumesFromTargetAfterFlood) {
+  // Topology: initiator 0 --random-- 3 (target, topic 0) --semantic-- 6;
+  // 3 --random-- 9 (topic 0). After flooding {3, 6}, the walk must
+  // continue from the *target* (3), reaching 9 over 3's random link —
+  // unreachable from 0 directly.
+  const auto corpus = test::clustered_corpus(12, 3);
+  Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  net.connect(0, 3, LinkType::kRandom);
+  net.connect(3, 6, LinkType::kSemantic);
+  net.connect(3, 9, LinkType::kRandom);
+  SearchOptions opt;  // query 0 targets topic-0 nodes (0, 3, 6, 9)
+  util::Rng rng(2);
+  const auto trace = GesSearch(net, opt).search(corpus.queries[0].vector, 0, rng);
+  std::unordered_set<NodeId> probed(trace.probe_order.begin(), trace.probe_order.end());
+  EXPECT_TRUE(probed.count(3));
+  EXPECT_TRUE(probed.count(6));
+  EXPECT_TRUE(probed.count(9)) << "walk did not resume from the target";
+}
+
+TEST(SearchFlood, FloodCoversSemanticGroupOnly) {
+  // Two semantic components: {0,2,4} and {1,3,5} (clustered_corpus topics).
+  const auto corpus = test::clustered_corpus(6, 2);
+  Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  net.connect(0, 2, LinkType::kSemantic);
+  net.connect(2, 4, LinkType::kSemantic);
+  net.connect(1, 3, LinkType::kSemantic);
+  SearchOptions opt;  // default thresholds: node 0 is a target for query 0
+  util::Rng rng(1);
+  const auto trace = GesSearch(net, opt).search(corpus.queries[0].vector, 0, rng);
+  std::unordered_set<NodeId> probed(trace.probe_order.begin(), trace.probe_order.end());
+  EXPECT_TRUE(probed.count(0));
+  EXPECT_TRUE(probed.count(2));
+  EXPECT_TRUE(probed.count(4));
+  // No random links exist, so the other component is unreachable.
+  EXPECT_FALSE(probed.count(1));
+  EXPECT_FALSE(probed.count(3));
+}
+
+}  // namespace
+}  // namespace ges::core

@@ -1,0 +1,90 @@
+#include "ges/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+#include "support/test_corpus.hpp"
+#include "util/check.hpp"
+
+namespace ges::core {
+namespace {
+
+TEST(GesSystem, BuildProducesConnectedAdaptedOverlay) {
+  const auto corpus = test::clustered_corpus(30, 3);
+  GesBuildConfig config;
+  config.seed = 5;
+  GesSystem system(corpus, config);
+  system.build();
+  system.network().check_invariants();
+  EXPECT_GT(count_semantic_groups(system.network()), 0u);
+  size_t connected = 0;
+  for (const auto n : system.network().alive_nodes()) {
+    connected += system.network().degree(n) > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(connected, system.network().alive_count());
+}
+
+TEST(GesSystem, DoubleBuildThrows) {
+  const auto corpus = test::clustered_corpus(10, 2);
+  GesSystem system(corpus, GesBuildConfig{});
+  system.build();
+  EXPECT_THROW(system.build(), util::CheckFailure);
+}
+
+TEST(GesSystem, SearchFindsRelevantDocuments) {
+  const auto corpus = test::clustered_corpus(30, 3);
+  GesBuildConfig config;
+  config.seed = 6;
+  GesSystem system(corpus, config);
+  system.build();
+
+  util::Rng rng(1);
+  const auto& query = corpus.queries[0];
+  const auto trace = system.search(query.vector, 0, rng);
+  const eval::Judgment judgment(query.relevant);
+  EXPECT_GT(eval::recall(trace, judgment), 0.9);
+}
+
+TEST(GesSystem, DefaultOptionsReflectConfig) {
+  const auto corpus = test::clustered_corpus(10, 2);
+  GesBuildConfig config;
+  config.params.doc_rel_threshold = 0.1;
+  config.params.flood_radius = 2;
+  config.params.capacity_aware_search = true;
+  config.capacities = p2p::CapacityProfile::gnutella();
+  const GesSystem system(corpus, config);
+  const auto opt = system.default_search_options();
+  EXPECT_DOUBLE_EQ(opt.doc_rel_threshold, 0.1);
+  EXPECT_EQ(opt.flood_radius, 2u);
+  EXPECT_TRUE(opt.capacity_aware);
+  EXPECT_DOUBLE_EQ(opt.supernode_threshold, 1000.0);
+}
+
+TEST(GesSystem, DeterministicAcrossInstances) {
+  const auto corpus = test::clustered_corpus(20, 2);
+  auto fingerprint = [&] {
+    GesBuildConfig config;
+    config.seed = 9;
+    GesSystem system(corpus, config);
+    system.build();
+    size_t fp = 0;
+    for (const auto n : system.network().alive_nodes()) {
+      fp = fp * 31 + system.network().degree(n);
+    }
+    return fp;
+  };
+  EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+TEST(GesSystem, NodeVectorSizeFlowsThrough) {
+  const auto corpus = test::clustered_corpus(10, 2, 3, 32);
+  GesBuildConfig config;
+  config.net.node_vector_size = 5;
+  GesSystem system(corpus, config);
+  for (p2p::NodeId n = 0; n < 10; ++n) {
+    EXPECT_LE(system.network().node_vector(n).size(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace ges::core

@@ -1,0 +1,215 @@
+#include "ges/topology_adaptation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_corpus.hpp"
+
+namespace ges::core {
+namespace {
+
+using p2p::LinkType;
+using p2p::Network;
+using p2p::NodeId;
+
+class AdaptationTest : public ::testing::Test {
+ protected:
+  AdaptationTest()
+      : corpus_(test::clustered_corpus(24, 3)),
+        net_(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{}) {
+    util::Rng rng(1);
+    p2p::bootstrap_random_graph(net_, 5.0, rng);
+  }
+
+  corpus::Corpus corpus_;
+  Network net_;
+};
+
+TEST_F(AdaptationTest, PreservesStructuralInvariants) {
+  TopologyAdaptation adapt(net_, GesParams{}, 7);
+  adapt.run_rounds(8);
+  net_.check_invariants();
+}
+
+TEST_F(AdaptationTest, SemanticLinksConnectRelevantNodes) {
+  GesParams params;
+  TopologyAdaptation adapt(net_, params, 7);
+  adapt.run_rounds(10);
+  size_t semantic_links = 0;
+  for (const NodeId n : net_.alive_nodes()) {
+    for (const NodeId peer : net_.neighbors(n, LinkType::kSemantic)) {
+      ++semantic_links;
+      EXPECT_GE(net_.rel_nodes(n, peer), params.node_rel_threshold)
+          << n << " <-> " << peer;
+    }
+  }
+  EXPECT_GT(semantic_links, 0u);
+}
+
+TEST_F(AdaptationTest, SemanticGroupsMatchTopics) {
+  // 3 orthogonal topics -> adaptation should organize nodes into
+  // same-topic groups; cross-topic semantic links are impossible since
+  // cross-topic REL = 0 < threshold.
+  TopologyAdaptation adapt(net_, GesParams{}, 7);
+  adapt.run_rounds(12);
+  for (const NodeId n : net_.alive_nodes()) {
+    for (const NodeId peer : net_.neighbors(n, LinkType::kSemantic)) {
+      EXPECT_EQ(n % 3, peer % 3) << "cross-topic semantic link";
+    }
+  }
+  EXPECT_GE(count_semantic_groups(net_), 3u);
+  EXPECT_GT(mean_semantic_link_relevance(net_), 0.9);
+}
+
+TEST_F(AdaptationTest, RespectsMaxLinkBudgets) {
+  GesParams params;
+  params.max_links = 6;
+  TopologyAdaptation adapt(net_, params, 7);
+  adapt.run_rounds(10);
+  for (const NodeId n : net_.alive_nodes()) {
+    EXPECT_LE(net_.degree(n, LinkType::kSemantic), params.max_sem_links(1.0));
+    // Random-link count can exceed max_rnd_links only via the bootstrap
+    // graph (adaptation never *adds* beyond the budget).
+  }
+}
+
+TEST_F(AdaptationTest, FillsHostCaches) {
+  TopologyAdaptation adapt(net_, GesParams{}, 7);
+  AdaptationRoundStats stats;
+  adapt.node_step(0, stats);
+  EXPECT_GT(stats.walk_messages, 0u);
+  EXPECT_GT(net_.semantic_cache(0).size() + net_.random_cache(0).size(), 0u);
+}
+
+TEST_F(AdaptationTest, SemanticCacheEntriesCarryNoVectors) {
+  TopologyAdaptation adapt(net_, GesParams{}, 7);
+  adapt.run_rounds(3);
+  for (const NodeId n : net_.alive_nodes()) {
+    for (const auto* e : net_.semantic_cache(n).entries()) {
+      EXPECT_TRUE(e->vector.empty());
+    }
+    for (const auto* e : net_.random_cache(n).entries()) {
+      EXPECT_FALSE(e->vector.empty());
+    }
+  }
+}
+
+TEST_F(AdaptationTest, DeterministicInSeed) {
+  auto run = [&](uint64_t seed) {
+    Network net(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{});
+    util::Rng rng(1);
+    p2p::bootstrap_random_graph(net, 5.0, rng);
+    TopologyAdaptation adapt(net, GesParams{}, seed);
+    adapt.run_rounds(5);
+    size_t fingerprint = 0;
+    for (const NodeId n : net.alive_nodes()) {
+      fingerprint = fingerprint * 31 + net.degree(n, LinkType::kSemantic);
+    }
+    return fingerprint;
+  };
+  EXPECT_EQ(run(3), run(3));
+}
+
+TEST_F(AdaptationTest, ReclassifiesDriftedSemanticLinks) {
+  GesParams params;
+  TopologyAdaptation adapt(net_, params, 7);
+  adapt.run_rounds(6);
+
+  // Find a semantic link and make one endpoint drift away by replacing
+  // its documents with off-topic ones.
+  NodeId a = p2p::kInvalidNode;
+  NodeId b = p2p::kInvalidNode;
+  for (const NodeId n : net_.alive_nodes()) {
+    const auto& sem = net_.neighbors(n, LinkType::kSemantic);
+    if (!sem.empty()) {
+      a = n;
+      b = sem.front();
+      break;
+    }
+  }
+  ASSERT_NE(a, p2p::kInvalidNode);
+  for (const auto doc : std::vector<ir::DocId>(net_.documents(a).begin(),
+                                               net_.documents(a).end())) {
+    net_.remove_document(a, doc);
+  }
+  net_.add_document(a, ir::SparseVector::from_pairs({{9999, 5.0f}}));
+  ASSERT_LT(net_.rel_nodes(a, b), params.node_rel_threshold);
+
+  AdaptationRoundStats stats;
+  adapt.node_step(a, stats);
+  EXPECT_GT(stats.links_reclassified, 0u);
+  EXPECT_NE(net_.link_type(a, b), LinkType::kSemantic);
+  // The dropped peer is remembered in the random host cache.
+  EXPECT_TRUE(net_.random_cache(a).contains(b));
+}
+
+TEST_F(AdaptationTest, PromotesRandomLinkWhenRelevanceRises) {
+  GesParams params;
+  // Create a random link between two same-topic (highly relevant) nodes;
+  // the adaptation should drop it and remember the peer as a semantic
+  // candidate.
+  Network net(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{});
+  ASSERT_TRUE(net.connect(0, 3, LinkType::kRandom));  // same topic (0 and 3)
+  ASSERT_GE(net.rel_nodes(0, 3), params.node_rel_threshold);
+  TopologyAdaptation adapt(net, params, 7);
+  AdaptationRoundStats stats;
+  adapt.node_step(0, stats);
+  EXPECT_GT(stats.links_reclassified, 0u);
+  EXPECT_FALSE(net.has_link(0, 3));
+  EXPECT_TRUE(net.semantic_cache(0).contains(3));
+}
+
+TEST_F(AdaptationTest, DeadNodesAreSkipped) {
+  net_.deactivate(0);
+  TopologyAdaptation adapt(net_, GesParams{}, 7);
+  AdaptationRoundStats stats;
+  adapt.node_step(0, stats);  // must be a no-op, not a crash
+  EXPECT_EQ(net_.degree(0), 0u);
+  adapt.run_rounds(2);
+  net_.check_invariants();
+}
+
+TEST(AdaptationHeterogeneous, HighCapacityNodesGetHigherDegree) {
+  const auto corpus = test::clustered_corpus(60, 3);
+  std::vector<p2p::Capacity> caps(corpus.num_nodes(), 1.0);
+  for (size_t i = 0; i < caps.size(); i += 10) caps[i] = 1000.0;  // supernodes
+  p2p::Network net(corpus, caps, p2p::NetworkConfig{});
+  util::Rng rng(2);
+  p2p::bootstrap_random_graph(net, 4.0, rng);
+
+  GesParams params;
+  params.max_links = 128;
+  params.capacity_constrained = true;
+  TopologyAdaptation adapt(net, params, 11);
+  adapt.run_rounds(15);
+
+  double super_degree = 0.0;
+  double weak_degree = 0.0;
+  size_t supers = 0;
+  size_t weaks = 0;
+  for (const p2p::NodeId n : net.alive_nodes()) {
+    if (net.capacity(n) >= 1000.0) {
+      super_degree += net.degree(n);
+      ++supers;
+    } else {
+      weak_degree += net.degree(n);
+      ++weaks;
+    }
+  }
+  ASSERT_GT(supers, 0u);
+  ASSERT_GT(weaks, 0u);
+  EXPECT_GT(super_degree / supers, weak_degree / weaks);
+}
+
+TEST(AdaptationGroups, CountSemanticGroupsOnKnownTopology) {
+  const auto corpus = test::clustered_corpus(6, 2);
+  p2p::Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  net.connect(0, 2, LinkType::kSemantic);
+  net.connect(2, 4, LinkType::kSemantic);
+  net.connect(1, 3, LinkType::kSemantic);
+  EXPECT_EQ(count_semantic_groups(net), 2u);
+  EXPECT_EQ(count_semantic_groups(net, 3), 1u);
+  EXPECT_GT(mean_semantic_link_relevance(net), 0.9);
+}
+
+}  // namespace
+}  // namespace ges::core

@@ -1,0 +1,136 @@
+#include "ges/virtual_nodes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "eval/metrics.hpp"
+#include "ges/system.hpp"
+#include "support/test_corpus.hpp"
+
+namespace ges::core {
+namespace {
+
+/// A corpus where every node holds documents of TWO orthogonal topics —
+/// the diverse-node scenario the virtual-node extension targets.
+corpus::Corpus diverse_corpus(size_t nodes, size_t docs_per_topic = 5) {
+  // Build on clustered_corpus with 2 topics, then merge node pairs:
+  // node i of the result owns the docs of old nodes 2i (topic 0) and
+  // 2i+1 (topic 1).
+  auto base = test::clustered_corpus(nodes * 2, 2, docs_per_topic);
+  corpus::Corpus merged;
+  // Preserve the dictionary.
+  for (size_t t = 0; t < base.dict.size(); ++t) {
+    merged.dict.intern(base.dict.term(static_cast<ir::TermId>(t)));
+  }
+  merged.docs = base.docs;
+  merged.queries = base.queries;
+  merged.node_docs.resize(nodes);
+  for (size_t n = 0; n < nodes * 2; ++n) {
+    const auto target = static_cast<corpus::NodeIndex>(n / 2);
+    for (const auto d : base.node_docs[n]) {
+      merged.node_docs[target].push_back(d);
+      merged.docs[d].node = target;
+    }
+  }
+  return merged;
+}
+
+TEST(VirtualNodes, SplitsDiverseNodesByTopic) {
+  const auto corpus = diverse_corpus(6);
+  VirtualNodeParams params;
+  params.max_virtual_per_node = 2;
+  params.min_docs_per_virtual = 3;
+  const auto mapping = build_virtual_corpus(corpus, params);
+
+  EXPECT_EQ(mapping.physical_count(), 6u);
+  EXPECT_EQ(mapping.virtual_count(), 12u);  // every node splits in two
+  for (size_t p = 0; p < 6; ++p) {
+    EXPECT_EQ(mapping.virtuals_of[p].size(), 2u);
+  }
+  // Each virtual node is topic-pure.
+  for (p2p::NodeId v = 0; v < mapping.virtual_count(); ++v) {
+    std::unordered_set<corpus::TopicId> topics;
+    for (const auto d : mapping.virtual_corpus.node_docs[v]) {
+      topics.insert(mapping.virtual_corpus.docs[d].topic);
+    }
+    EXPECT_EQ(topics.size(), 1u) << "virtual node " << v << " mixes topics";
+  }
+}
+
+TEST(VirtualNodes, MappingIsConsistent) {
+  const auto corpus = diverse_corpus(5);
+  const auto mapping = build_virtual_corpus(corpus, VirtualNodeParams{});
+  size_t docs_total = 0;
+  for (p2p::NodeId v = 0; v < mapping.virtual_count(); ++v) {
+    const p2p::NodeId p = mapping.physical_of[v];
+    const auto& hosted = mapping.virtuals_of[p];
+    EXPECT_NE(std::find(hosted.begin(), hosted.end(), v), hosted.end());
+    for (const auto d : mapping.virtual_corpus.node_docs[v]) {
+      EXPECT_EQ(mapping.virtual_corpus.docs[d].node, v);
+      EXPECT_EQ(corpus.docs[d].node, p);  // doc stays on its physical node
+      ++docs_total;
+    }
+  }
+  EXPECT_EQ(docs_total, corpus.num_docs());
+  // Judgments still valid: same DocIds.
+  EXPECT_EQ(mapping.virtual_corpus.queries[0].relevant, corpus.queries[0].relevant);
+}
+
+TEST(VirtualNodes, SmallCollectionsNotSplit) {
+  const auto corpus = diverse_corpus(4, /*docs_per_topic=*/2);  // 4 docs per node
+  VirtualNodeParams params;
+  params.min_docs_per_virtual = 4;  // 2*4 > 4 docs -> never split
+  const auto mapping = build_virtual_corpus(corpus, params);
+  EXPECT_EQ(mapping.virtual_count(), mapping.physical_count());
+}
+
+TEST(VirtualNodes, DeterministicInSeed) {
+  const auto corpus = diverse_corpus(6);
+  const auto a = build_virtual_corpus(corpus, VirtualNodeParams{});
+  const auto b = build_virtual_corpus(corpus, VirtualNodeParams{});
+  EXPECT_EQ(a.physical_of, b.physical_of);
+}
+
+TEST(VirtualNodes, ProjectionCollapsesCoHostedProbes) {
+  const auto corpus = diverse_corpus(4);
+  const auto mapping = build_virtual_corpus(corpus, VirtualNodeParams{});
+  ASSERT_GE(mapping.virtuals_of[0].size(), 2u);
+
+  p2p::SearchTrace trace;
+  const auto v0 = mapping.virtuals_of[0][0];
+  const auto v1 = mapping.virtuals_of[0][1];
+  const auto other = mapping.virtuals_of[1][0];
+  trace.probe_order = {v0, other, v1};
+  trace.retrieved = {{mapping.virtual_corpus.node_docs[v1][0], 0.5, 2}};
+  trace.walk_steps = 3;
+
+  const auto projected = project_to_physical(trace, mapping);
+  EXPECT_EQ(projected.probe_order, (std::vector<p2p::NodeId>{0, 1}));
+  ASSERT_EQ(projected.retrieved.size(), 1u);
+  EXPECT_EQ(projected.retrieved[0].probe_index, 0u);  // v1 collapses into probe 0
+  EXPECT_EQ(projected.walk_steps, 3u);
+}
+
+TEST(VirtualNodes, GesRunsOnVirtualCorpus) {
+  const auto corpus = diverse_corpus(10);
+  const auto mapping = build_virtual_corpus(corpus, VirtualNodeParams{});
+
+  GesBuildConfig config;
+  config.seed = 3;
+  GesSystem system(mapping.virtual_corpus, config);
+  system.build();
+  system.network().check_invariants();
+
+  util::Rng rng(1);
+  const auto& query = corpus.queries[0];
+  const auto trace = system.search(query.vector, 0, rng);
+  const auto projected = project_to_physical(trace, mapping);
+  const eval::Judgment judgment(query.relevant);
+  EXPECT_GT(eval::recall(projected, judgment), 0.9);
+  // Physical probes never exceed physical nodes.
+  EXPECT_LE(projected.probes(), mapping.physical_count());
+}
+
+}  // namespace
+}  // namespace ges::core

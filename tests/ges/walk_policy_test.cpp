@@ -1,0 +1,145 @@
+// Direct unit tests of the shared biased-walk forwarding policy
+// (ges/walk_policy.hpp) — the most decision-dense piece of §4.5.
+
+#include "ges/walk_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_corpus.hpp"
+
+namespace ges::core::detail {
+namespace {
+
+using p2p::LinkType;
+using p2p::Network;
+using p2p::NodeId;
+
+class WalkPolicyTest : public ::testing::Test {
+ protected:
+  // Topics: node i % 3. Node 0 (topic 0) gets random links to 1 (topic
+  // 1), 2 (topic 2) and 3 (topic 0, maximally relevant to query 0).
+  WalkPolicyTest()
+      : corpus_(test::clustered_corpus(12, 3)),
+        net_(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{}) {
+    net_.connect(0, 1, LinkType::kRandom);
+    net_.connect(0, 2, LinkType::kRandom);
+    net_.connect(0, 3, LinkType::kRandom);
+  }
+
+  NodeId pick(SearchOptions options = {}, uint64_t seed = 1) {
+    util::Rng rng(seed);
+    return pick_walk_target(net_, options, corpus_.queries[0].vector, 0,
+                            bookkeeping_, rng);
+  }
+
+  corpus::Corpus corpus_;
+  Network net_;
+  WalkBookkeeping bookkeeping_;
+};
+
+TEST_F(WalkPolicyTest, PrefersMostRelevantReplica) {
+  EXPECT_EQ(pick(), 3u);  // same-topic neighbor wins via its replica
+}
+
+TEST_F(WalkPolicyTest, BookkeepingAvoidsRepeats) {
+  const NodeId first = pick();
+  EXPECT_EQ(first, 3u);
+  const NodeId second = pick();
+  EXPECT_NE(second, 3u);  // already forwarded there
+  const NodeId third = pick();
+  EXPECT_NE(third, second);
+  EXPECT_NE(third, 3u);
+}
+
+TEST_F(WalkPolicyTest, FlushesWhenExhaustedAndReuses) {
+  pick();
+  pick();
+  pick();  // all three neighbors tried
+  const NodeId fourth = pick();
+  // Flush-and-reuse: the best neighbor is chosen again.
+  EXPECT_EQ(fourth, 3u);
+}
+
+TEST_F(WalkPolicyTest, SkipsDeadNeighbors) {
+  net_.deactivate(3);
+  const NodeId choice = pick();
+  EXPECT_NE(choice, 3u);
+  EXPECT_TRUE(choice == 1u || choice == 2u);
+}
+
+TEST_F(WalkPolicyTest, NoRandomNeighborsReturnsInvalid) {
+  net_.disconnect(0, 1);
+  net_.disconnect(0, 2);
+  net_.disconnect(0, 3);
+  EXPECT_EQ(pick(), p2p::kInvalidNode);
+}
+
+TEST_F(WalkPolicyTest, SemanticLinksAreNotWalked) {
+  net_.disconnect(0, 1);
+  net_.disconnect(0, 2);
+  net_.disconnect(0, 3);
+  net_.connect(0, 6, LinkType::kSemantic);  // only a semantic link remains
+  EXPECT_EQ(pick(), p2p::kInvalidNode);
+}
+
+TEST(WalkPolicyCapacity, SupernodePreferenceAndSelfException) {
+  const auto corpus = test::clustered_corpus(8, 2);
+  std::vector<p2p::Capacity> caps(corpus.num_nodes(), 1.0);
+  caps[1] = 1000.0;  // supernode, wrong topic
+  caps[0] = 1000.0;  // the picking node itself is also a supernode
+  Network net(corpus, caps, p2p::NetworkConfig{});
+  net.connect(0, 1, LinkType::kRandom);
+  net.connect(0, 2, LinkType::kRandom);  // topic 0: relevant
+
+  SearchOptions options;
+  options.capacity_aware = true;
+  options.supernode_threshold = 1000.0;
+
+  // A supernode ignores the capacity rule and follows relevance.
+  WalkBookkeeping bk0;
+  util::Rng rng(1);
+  EXPECT_EQ(pick_walk_target(net, options, corpus.queries[0].vector, 0, bk0, rng),
+            2u);
+
+  // A weak node prefers its supernode neighbor despite irrelevance.
+  net.connect(3, 1, LinkType::kRandom);  // 3 is weak; 1 is the supernode
+  net.connect(3, 6, LinkType::kRandom);  // 6 topic 0: relevant but weak
+  WalkBookkeeping bk3;
+  EXPECT_EQ(pick_walk_target(net, options, corpus.queries[0].vector, 3, bk3, rng),
+            1u);
+}
+
+TEST(WalkPolicyReplica, UsesReplicaNotLiveVector) {
+  // The replica is installed at connect time; if the neighbor's content
+  // drifts afterwards, the (stale) replica still guides the choice —
+  // the realism the heartbeats exist to bound (paper §4.4).
+  const auto corpus = test::clustered_corpus(6, 2);
+  Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  net.connect(0, 2, LinkType::kRandom);  // topic 0, relevant at link time
+
+  // Node 2's collection is replaced by off-vocabulary junk; the stale
+  // replica still scores it relevant to a topic-0 query.
+  for (const auto doc :
+       std::vector<ir::DocId>(net.documents(2).begin(), net.documents(2).end())) {
+    net.remove_document(2, doc);
+  }
+  net.add_document(2, ir::SparseVector::from_pairs({{5000, 3.0f}}));
+  const auto& query = corpus.queries[0].vector;
+  ASSERT_GT(net.replica(0, 2)->dot(query), 0.0);      // stale: still relevant
+  EXPECT_DOUBLE_EQ(net.node_vector(2).dot(query), 0.0);  // live: junk
+
+  SearchOptions options;
+  WalkBookkeeping bk;
+  util::Rng rng(2);
+  EXPECT_EQ(pick_walk_target(net, options, query, 0, bk, rng), 2u);
+
+  // After a heartbeat the fresh replica demotes node 2 below a truly
+  // relevant neighbor.
+  net.connect(0, 4, LinkType::kRandom);  // topic 0, genuinely relevant
+  net.refresh_replicas(0);
+  WalkBookkeeping bk2;
+  EXPECT_EQ(pick_walk_target(net, options, query, 0, bk2, rng), 4u);
+}
+
+}  // namespace
+}  // namespace ges::core::detail

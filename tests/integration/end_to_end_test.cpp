@@ -1,0 +1,198 @@
+// Integration tests: the paper's qualitative claims must hold on a
+// small synthetic corpus — GES beats Random at a fixed probe budget,
+// semantic groups improve over the bootstrap topology, the recall
+// ceiling appears with short queries, and query expansion helps.
+
+#include <gtest/gtest.h>
+
+#include "baselines/random_walk_search.hpp"
+#include "baselines/sets.hpp"
+#include "corpus/synthetic_corpus.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "ges/system.hpp"
+#include "ir/query_expansion.hpp"
+#include "util/env.hpp"
+
+namespace ges {
+namespace {
+
+/// Shared fixture: one small synthetic corpus, one adapted GES system,
+/// one random-graph network for the Random baseline, one SETS system.
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto params = corpus::SyntheticCorpusParams::for_scale(util::Scale::kSmall);
+    params.seed = 7;
+    corpus_ = new corpus::Corpus(corpus::generate_synthetic_corpus(params));
+
+    core::GesBuildConfig config;
+    config.seed = 7;
+    config.net.node_vector_size = 0;  // full vectors, as in Fig. 1
+    ges_ = new core::GesSystem(*corpus_, config);
+    ges_->build();
+
+    random_net_ = new p2p::Network(
+        *corpus_, std::vector<p2p::Capacity>(corpus_->num_nodes(), 1.0),
+        p2p::NetworkConfig{});
+    util::Rng rng(7);
+    p2p::bootstrap_random_graph(*random_net_, 8.0, rng);
+
+    baselines::SetsParams sets_params;
+    sets_ = new baselines::SetsSystem(
+        *corpus_, std::vector<p2p::Capacity>(corpus_->num_nodes(), 1.0),
+        p2p::NetworkConfig{}, sets_params);
+    sets_->build();
+  }
+
+  static void TearDownTestSuite() {
+    delete sets_;
+    delete random_net_;
+    delete ges_;
+    delete corpus_;
+    sets_ = nullptr;
+    random_net_ = nullptr;
+    ges_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static eval::Searcher ges_searcher() {
+    return [](const corpus::Query& q, p2p::NodeId initiator, util::Rng& rng) {
+      return ges_->search(q.vector, initiator, rng);
+    };
+  }
+
+  static eval::Searcher random_searcher() {
+    return [](const corpus::Query& q, p2p::NodeId initiator, util::Rng& rng) {
+      return baselines::random_walk_search(*random_net_, q.vector, initiator, {},
+                                           rng);
+    };
+  }
+
+  static eval::Searcher sets_searcher() {
+    return [](const corpus::Query& q, p2p::NodeId initiator, util::Rng& rng) {
+      return sets_->search(q.vector, initiator, {}, rng);
+    };
+  }
+
+  static corpus::Corpus* corpus_;
+  static core::GesSystem* ges_;
+  static p2p::Network* random_net_;
+  static baselines::SetsSystem* sets_;
+};
+
+corpus::Corpus* EndToEndTest::corpus_ = nullptr;
+core::GesSystem* EndToEndTest::ges_ = nullptr;
+p2p::Network* EndToEndTest::random_net_ = nullptr;
+baselines::SetsSystem* EndToEndTest::sets_ = nullptr;
+
+TEST_F(EndToEndTest, GesOutperformsRandomAtModerateCost) {
+  const auto grid = std::vector<double>{0.2, 0.3, 0.4};
+  const auto ges_curve =
+      eval::recall_cost_curve(*corpus_, ges_->network(), ges_searcher(), grid, 1);
+  const auto random_curve =
+      eval::recall_cost_curve(*corpus_, *random_net_, random_searcher(), grid, 1);
+  // Paper Fig. 1: GES and SETS "outperform Random substantially".
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_GT(ges_curve.recall[i], random_curve.recall[i] + 0.1)
+        << "at cost " << grid[i];
+  }
+}
+
+TEST_F(EndToEndTest, SetsAlsoBeatsRandom) {
+  const auto grid = std::vector<double>{0.2, 0.3};
+  const auto sets_curve =
+      eval::recall_cost_curve(*corpus_, sets_->network(), sets_searcher(), grid, 1);
+  const auto random_curve =
+      eval::recall_cost_curve(*corpus_, *random_net_, random_searcher(), grid, 1);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_GT(sets_curve.recall[i], random_curve.recall[i]) << "at cost " << grid[i];
+  }
+}
+
+TEST_F(EndToEndTest, RecallCeilingBelowHundredWithShortQueries) {
+  // Paper §6.1(4): even probing the whole network, short queries cap
+  // recall below 100% (98.5% on TREC). Our synthetic corpus reproduces a
+  // ceiling in (90%, 100%).
+  const auto curve = eval::recall_cost_curve(*corpus_, ges_->network(),
+                                             ges_searcher(), {1.0}, 1);
+  EXPECT_GT(curve.recall.back(), 0.90);
+  EXPECT_LT(curve.recall.back(), 1.0);
+}
+
+TEST_F(EndToEndTest, AllSystemsConvergeAtFullCost) {
+  // At 100% probing every system evaluates every node, so recall is the
+  // same ceiling for all three (paper: "the recall achieved by all three
+  // systems is 98.5%").
+  const auto g = eval::recall_cost_curve(*corpus_, ges_->network(), ges_searcher(),
+                                         {1.0}, 1);
+  const auto r = eval::recall_cost_curve(*corpus_, *random_net_, random_searcher(),
+                                         {1.0}, 1);
+  const auto s = eval::recall_cost_curve(*corpus_, sets_->network(), sets_searcher(),
+                                         {1.0}, 1);
+  EXPECT_NEAR(g.recall.back(), r.recall.back(), 0.02);
+  EXPECT_NEAR(g.recall.back(), s.recall.back(), 0.02);
+}
+
+TEST_F(EndToEndTest, TruncatedNodeVectorsStillWork) {
+  // Paper §6.2: drastic truncation (s=20) degrades but does not destroy
+  // recall. Build a second GES system with s=20 on the same corpus.
+  core::GesBuildConfig config;
+  config.seed = 8;
+  config.net.node_vector_size = 20;
+  core::GesSystem truncated(*corpus_, config);
+  truncated.build();
+  const eval::Searcher searcher = [&](const corpus::Query& q, p2p::NodeId initiator,
+                                      util::Rng& rng) {
+    return truncated.search(q.vector, initiator, rng);
+  };
+  const auto curve = eval::recall_cost_curve(*corpus_, truncated.network(), searcher,
+                                             {0.3}, 1);
+  EXPECT_GT(curve.recall.back(), 0.25);
+}
+
+TEST_F(EndToEndTest, QueryExpansionImprovesRecallOfExpandedRun) {
+  // Paper §6.3: pseudo-relevance feedback improves recall. Compare
+  // centralized evaluation with and without expansion, averaged over
+  // queries (this isolates the IR effect from overlay effects).
+  double base_sum = 0.0;
+  double expanded_sum = 0.0;
+  size_t evaluated = 0;
+  for (const auto& query : corpus_->queries) {
+    if (query.relevant.empty()) continue;
+    // Centralized top-k retrieval over all documents.
+    auto score_all = [&](const ir::SparseVector& q) {
+      std::vector<std::pair<double, ir::DocId>> scored;
+      for (const auto& doc : corpus_->docs) {
+        const double s = doc.vector.dot(q);
+        if (s > 0.0) scored.emplace_back(s, doc.id);
+      }
+      std::sort(scored.begin(), scored.end(), std::greater<>());
+      return scored;
+    };
+    const auto base = score_all(query.vector);
+    std::vector<ir::SparseVector> feedback;
+    for (size_t i = 0; i < std::min<size_t>(10, base.size()); ++i) {
+      feedback.push_back(corpus_->docs[base[i].second].vector);
+    }
+    ir::QueryExpansionParams qe;
+    qe.added_terms = 30;
+    const auto expanded = ir::expand_query(query.vector, feedback, qe);
+    const auto expanded_scored = score_all(expanded);
+
+    const eval::Judgment judgment(query.relevant);
+    auto recall_of = [&](const std::vector<std::pair<double, ir::DocId>>& scored) {
+      size_t hits = 0;
+      for (const auto& [s, d] : scored) hits += judgment.is_relevant(d) ? 1 : 0;
+      return static_cast<double>(hits) / judgment.total_relevant();
+    };
+    base_sum += recall_of(base);
+    expanded_sum += recall_of(expanded_scored);
+    ++evaluated;
+  }
+  ASSERT_GT(evaluated, 0u);
+  EXPECT_GT(expanded_sum / evaluated, base_sum / evaluated);
+}
+
+}  // namespace
+}  // namespace ges

@@ -1,0 +1,69 @@
+// Workflow test: corpus -> adapt -> snapshot -> reload -> search must be
+// equivalent to searching the original overlay, across the serialization
+// boundary for both the corpus and the network. Equivalence is
+// order-insensitive: a snapshot restores the same links but not each
+// node's adjacency-list ordering, so tie-breaking during floods may
+// reorder probes — coverage and retrieved results must be identical.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "corpus/serialization.hpp"
+#include "corpus/synthetic_corpus.hpp"
+#include "ges/system.hpp"
+#include "p2p/network_snapshot.hpp"
+
+namespace ges {
+namespace {
+
+TEST(SnapshotWorkflow, ReloadedOverlayGivesIdenticalTraces) {
+  auto params = corpus::SyntheticCorpusParams::for_scale(util::Scale::kTiny);
+  params.seed = 21;
+  const auto corpus = corpus::generate_synthetic_corpus(params);
+
+  core::GesBuildConfig config;
+  config.seed = 21;
+  config.net.node_vector_size = 200;
+  core::GesSystem system(corpus, config);
+  system.build();
+
+  // Round-trip corpus and overlay through their binary formats.
+  std::stringstream corpus_bytes;
+  corpus::save_corpus(corpus, corpus_bytes);
+  const auto corpus2 = corpus::load_corpus(corpus_bytes);
+
+  std::stringstream net_bytes;
+  p2p::save_network_snapshot(system.network(), net_bytes);
+  const auto restored =
+      p2p::load_network_snapshot(corpus2, net_bytes, config.net);
+
+  for (size_t qi = 0; qi < corpus.queries.size(); ++qi) {
+    util::Rng rng_a(qi);
+    util::Rng rng_b(qi);
+    const core::SearchOptions options;
+    const auto a = core::GesSearch(system.network(), options)
+                       .search(corpus.queries[qi].vector, 0, rng_a);
+    const auto b = core::GesSearch(restored, options)
+                       .search(corpus2.queries[qi].vector, 0, rng_b);
+
+    auto sorted_probes = [](const p2p::SearchTrace& t) {
+      auto p = t.probe_order;
+      std::sort(p.begin(), p.end());
+      return p;
+    };
+    EXPECT_EQ(sorted_probes(a), sorted_probes(b)) << "query " << qi;
+
+    auto doc_scores = [](const p2p::SearchTrace& t) {
+      std::map<ir::DocId, double> m;
+      for (const auto& r : t.retrieved) m[r.doc] = r.score;
+      return m;
+    };
+    EXPECT_EQ(doc_scores(a), doc_scores(b)) << "query " << qi;
+  }
+}
+
+}  // namespace
+}  // namespace ges

@@ -1,0 +1,139 @@
+// Randomized stress tests: long interleavings of topology operations,
+// churn, document edits and searches must preserve every structural
+// invariant. Parameterized over seeds so each run exercises a different
+// trajectory.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "ges/search.hpp"
+#include "ges/topology_adaptation.hpp"
+#include "p2p/random_walk.hpp"
+#include "support/test_corpus.hpp"
+
+namespace ges {
+namespace {
+
+using p2p::LinkType;
+using p2p::Network;
+using p2p::NodeId;
+
+class StressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressTest, RandomOperationSoupPreservesInvariants) {
+  const auto corpus = test::clustered_corpus(20, 4);
+  Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  util::Rng rng(GetParam());
+  p2p::bootstrap_random_graph(net, 4.0, rng);
+
+  for (int op = 0; op < 400; ++op) {
+    const auto a = static_cast<NodeId>(rng.index(net.size()));
+    const auto b = static_cast<NodeId>(rng.index(net.size()));
+    switch (rng.index(6)) {
+      case 0:
+        net.connect(a, b, rng.chance(0.5) ? LinkType::kRandom : LinkType::kSemantic);
+        break;
+      case 1:
+        net.disconnect(a, b);
+        break;
+      case 2:
+        if (net.has_link(a, b)) {
+          net.reclassify(a, b, rng.chance(0.5) ? LinkType::kRandom
+                                               : LinkType::kSemantic);
+        }
+        break;
+      case 3:
+        if (net.alive(a) && net.alive_count() > 2) net.deactivate(a);
+        break;
+      case 4:
+        if (!net.alive(a)) {
+          net.activate(a);
+          p2p::bootstrap_join(net, a, 2, rng);
+        }
+        break;
+      case 5:
+        if (net.alive(a)) {
+          net.add_document(a, ir::SparseVector::from_pairs(
+                                  {{static_cast<ir::TermId>(rng.index(64)),
+                                    static_cast<float>(1 + rng.index(5))}}));
+        }
+        break;
+    }
+    if (op % 50 == 49) net.check_invariants();
+  }
+  net.check_invariants();
+}
+
+TEST_P(StressTest, AdaptationUnderChurnInterleaving) {
+  const auto corpus = test::clustered_corpus(24, 3);
+  Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  util::Rng rng(GetParam() + 1000);
+  p2p::bootstrap_random_graph(net, 4.0, rng);
+  core::TopologyAdaptation adapt(net, core::GesParams{}, GetParam());
+
+  core::AdaptationRoundStats stats;
+  for (int round = 0; round < 12; ++round) {
+    // Kill and revive a couple of nodes between node steps.
+    for (int c = 0; c < 2; ++c) {
+      const auto victim = static_cast<NodeId>(rng.index(net.size()));
+      if (net.alive(victim) && net.alive_count() > 3) {
+        net.deactivate(victim);
+      } else if (!net.alive(victim)) {
+        net.activate(victim);
+        p2p::bootstrap_join(net, victim, 2, rng);
+      }
+    }
+    for (const NodeId n : net.alive_nodes()) adapt.node_step(n, stats);
+    net.check_invariants();
+  }
+  // Semantic links that exist still satisfy the threshold.
+  for (const NodeId n : net.alive_nodes()) {
+    for (const NodeId peer : net.neighbors(n, LinkType::kSemantic)) {
+      EXPECT_GE(net.rel_nodes(n, peer), 0.45 - 1e-9);
+    }
+  }
+}
+
+TEST_P(StressTest, SearchInvariantsOnRandomTopology) {
+  const auto corpus = test::clustered_corpus(30, 3);
+  Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  util::Rng rng(GetParam() + 2000);
+  p2p::bootstrap_random_graph(net, 5.0, rng);
+  // Sprinkle semantic links between same-topic nodes.
+  for (int i = 0; i < 30; ++i) {
+    const auto a = static_cast<NodeId>(rng.index(net.size()));
+    const auto b = static_cast<NodeId>((a + 3 * (1 + rng.index(5))) % net.size());
+    if (a % 3 == b % 3) net.connect(a, b, LinkType::kSemantic);
+  }
+
+  core::SearchOptions options;
+  options.probe_budget = 1 + rng.index(net.size());
+  options.ttl = 1 + rng.index(200);
+  const auto& query = corpus.queries[rng.index(corpus.queries.size())];
+  const auto initiator = static_cast<NodeId>(rng.index(net.size()));
+  const auto trace =
+      core::GesSearch(net, options).search(query.vector, initiator, rng);
+
+  // Probes: distinct, alive, within budget; the initiator leads.
+  std::unordered_set<NodeId> seen;
+  for (const NodeId n : trace.probe_order) {
+    EXPECT_TRUE(seen.insert(n).second);
+    EXPECT_TRUE(net.alive(n));
+  }
+  EXPECT_LE(trace.probes(), options.probe_budget);
+  EXPECT_LE(trace.walk_steps, options.ttl);
+  ASSERT_FALSE(trace.probe_order.empty());
+  EXPECT_EQ(trace.probe_order.front(), initiator);
+  // Retrieved docs belong to the probing node and beat the threshold.
+  for (const auto& r : trace.retrieved) {
+    ASSERT_LT(r.probe_index, trace.probes());
+    EXPECT_EQ(net.document_owner(r.doc), trace.probe_order[r.probe_index]);
+    EXPECT_GT(r.score, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest, ::testing::Range<uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace ges

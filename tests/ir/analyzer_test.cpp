@@ -1,0 +1,100 @@
+#include "ir/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ges::ir {
+namespace {
+
+TEST(Analyzer, CountsTermFrequencies) {
+  TermDictionary dict;
+  const Analyzer a(dict, StopWords(), /*stem=*/false);
+  const auto v = a.count_vector("apple banana apple");
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_FLOAT_EQ(v.weight(dict.lookup("apple")), 2.0f);
+  EXPECT_FLOAT_EQ(v.weight(dict.lookup("banana")), 1.0f);
+}
+
+TEST(Analyzer, RemovesStopWords) {
+  TermDictionary dict;
+  const Analyzer a(dict);
+  const auto v = a.count_vector("the cat and the dog");
+  EXPECT_EQ(dict.lookup("the"), kInvalidTerm);
+  EXPECT_NE(dict.lookup("cat"), kInvalidTerm);
+  EXPECT_NE(dict.lookup("dog"), kInvalidTerm);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(Analyzer, StemsTokens) {
+  TermDictionary dict;
+  const Analyzer a(dict);
+  const auto v = a.count_vector("restarted restarting restarts");
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_FLOAT_EQ(v.weight(dict.lookup("restart")), 3.0f);
+}
+
+TEST(Analyzer, DocumentVectorIsDampenedAndNormalized) {
+  TermDictionary dict;
+  const Analyzer a(dict, StopWords(), /*stem=*/false);
+  const auto v = a.document_vector("xx xx xx yy");
+  EXPECT_NEAR(v.norm(), 1.0, 1e-6);
+  // Raw weights 3 and 1 -> 1+ln3 and 1; the ratio must be preserved.
+  const double ratio = v.weight(dict.lookup("xx")) / v.weight(dict.lookup("yy"));
+  EXPECT_NEAR(ratio, 1.0 + std::log(3.0), 1e-5);
+}
+
+TEST(Analyzer, QueryVectorMatchesDocumentPipeline) {
+  TermDictionary dict;
+  const Analyzer a(dict);
+  const auto q = a.query_vector("semantic search");
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_NEAR(q.norm(), 1.0, 1e-6);
+}
+
+TEST(Analyzer, AnalyzeTokenFiltersStops) {
+  TermDictionary dict;
+  const Analyzer a(dict);
+  EXPECT_EQ(a.analyze_token("the"), kInvalidTerm);
+  EXPECT_NE(a.analyze_token("networks"), kInvalidTerm);
+}
+
+TEST(Analyzer, SharedDictionaryAcrossAnalyzers) {
+  TermDictionary dict;
+  const Analyzer a(dict);
+  const Analyzer b(dict);
+  const auto va = a.count_vector("peers");
+  const auto vb = b.count_vector("peers");
+  EXPECT_EQ(va.entries()[0].term, vb.entries()[0].term);
+}
+
+TEST(Analyzer, EmptyTextYieldsEmptyVector) {
+  TermDictionary dict;
+  const Analyzer a(dict);
+  EXPECT_TRUE(a.count_vector("").empty());
+  EXPECT_TRUE(a.document_vector("the of and").empty());
+}
+
+TEST(TermDictionary, InternIsIdempotent) {
+  TermDictionary dict;
+  const TermId a = dict.intern("hello");
+  const TermId b = dict.intern("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_EQ(dict.term(a), "hello");
+}
+
+TEST(TermDictionary, LookupMissing) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.lookup("nothing"), kInvalidTerm);
+}
+
+TEST(TermDictionary, DenseIdsInOrder) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.intern("a"), 0u);
+  EXPECT_EQ(dict.intern("b"), 1u);
+  EXPECT_EQ(dict.intern("c"), 2u);
+}
+
+}  // namespace
+}  // namespace ges::ir

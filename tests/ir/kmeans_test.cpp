@@ -1,0 +1,118 @@
+#include "ir/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+
+namespace ges::ir {
+namespace {
+
+SparseVector unit(std::vector<TermWeight> entries) {
+  auto v = SparseVector::from_pairs(std::move(entries));
+  v.normalize();
+  return v;
+}
+
+/// Three well-separated groups on disjoint term blocks.
+std::vector<SparseVector> three_blobs() {
+  std::vector<SparseVector> vs;
+  for (TermId base : {0u, 100u, 200u}) {
+    for (uint32_t i = 0; i < 5; ++i) {
+      vs.push_back(unit({{base, 3.0f}, {base + 1 + i % 3, 1.0f + static_cast<float>(i)}}));
+    }
+  }
+  return vs;
+}
+
+TEST(KMeans, RecoversSeparatedClusters) {
+  const auto vs = three_blobs();
+  KMeansParams p;
+  p.clusters = 3;
+  p.seed = 7;
+  const auto result = spherical_kmeans(vs, p);
+  ASSERT_EQ(result.assignment.size(), vs.size());
+  // All members of one blob share a cluster; blobs map to distinct ids.
+  std::set<uint32_t> blob_clusters;
+  for (size_t blob = 0; blob < 3; ++blob) {
+    const uint32_t c = result.assignment[blob * 5];
+    blob_clusters.insert(c);
+    for (size_t i = 0; i < 5; ++i) EXPECT_EQ(result.assignment[blob * 5 + i], c);
+  }
+  EXPECT_EQ(blob_clusters.size(), 3u);
+  EXPECT_GT(result.mean_similarity, 0.8);
+}
+
+TEST(KMeans, SingleClusterTrivial) {
+  const auto vs = three_blobs();
+  KMeansParams p;
+  p.clusters = 1;
+  const auto result = spherical_kmeans(vs, p);
+  for (const auto c : result.assignment) EXPECT_EQ(c, 0u);
+  EXPECT_EQ(result.centroids.size(), 1u);
+}
+
+TEST(KMeans, CentroidsNormalizedAndTruncated) {
+  const auto vs = three_blobs();
+  KMeansParams p;
+  p.clusters = 2;
+  p.centroid_terms = 2;
+  const auto result = spherical_kmeans(vs, p);
+  for (const auto& c : result.centroids) {
+    EXPECT_LE(c.size(), 2u);
+    EXPECT_NEAR(c.norm(), 1.0, 1e-5);
+  }
+}
+
+TEST(KMeans, DeterministicInSeed) {
+  const auto vs = three_blobs();
+  KMeansParams p;
+  p.clusters = 3;
+  p.seed = 9;
+  EXPECT_EQ(spherical_kmeans(vs, p).assignment, spherical_kmeans(vs, p).assignment);
+}
+
+TEST(KMeans, MoreClustersThanVectorsThrows) {
+  const std::vector<SparseVector> vs{unit({{0, 1.0f}})};
+  KMeansParams p;
+  p.clusters = 2;
+  EXPECT_THROW(spherical_kmeans(vs, p), util::CheckFailure);
+}
+
+TEST(KMeans, ZeroClustersThrows) {
+  const auto vs = three_blobs();
+  KMeansParams p;
+  p.clusters = 0;
+  EXPECT_THROW(spherical_kmeans(vs, p), util::CheckFailure);
+}
+
+TEST(KMeans, KEqualsNIsPerfect) {
+  const auto vs = three_blobs();
+  KMeansParams p;
+  p.clusters = vs.size();
+  const auto result = spherical_kmeans(vs, p);
+  EXPECT_GT(result.mean_similarity, 0.99);
+}
+
+TEST(KMeans, HandlesEmptyVectors) {
+  std::vector<SparseVector> vs = three_blobs();
+  vs.emplace_back();  // an empty vector must not crash the clustering
+  KMeansParams p;
+  p.clusters = 3;
+  const auto result = spherical_kmeans(vs, p);
+  EXPECT_EQ(result.assignment.size(), vs.size());
+}
+
+TEST(KMeans, IterationsReported) {
+  const auto vs = three_blobs();
+  KMeansParams p;
+  p.clusters = 3;
+  p.max_iterations = 5;
+  const auto result = spherical_kmeans(vs, p);
+  EXPECT_GE(result.iterations, 1u);
+  EXPECT_LE(result.iterations, 5u);
+}
+
+}  // namespace
+}  // namespace ges::ir

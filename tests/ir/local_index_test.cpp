@@ -1,0 +1,151 @@
+#include "ir/local_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ges::ir {
+namespace {
+
+SparseVector vec(std::vector<TermWeight> entries) {
+  auto v = SparseVector::from_pairs(std::move(entries));
+  v.normalize();
+  return v;
+}
+
+TEST(LocalIndex, EvaluateScoresMatchDotProducts) {
+  LocalIndex index;
+  const auto d0 = vec({{0, 1.0f}, {1, 1.0f}});
+  const auto d1 = vec({{1, 1.0f}, {2, 1.0f}});
+  index.add_document(10, d0);
+  index.add_document(11, d1);
+  const auto q = vec({{1, 1.0f}});
+  const auto results = index.evaluate(q, 0.0);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    const auto& d = r.doc == 10 ? d0 : d1;
+    EXPECT_NEAR(r.score, d.dot(q), 1e-9);
+  }
+}
+
+TEST(LocalIndex, EvaluateSortsByScoreDesc) {
+  LocalIndex index;
+  index.add_document(1, vec({{0, 1.0f}}));                // exact match
+  index.add_document(2, vec({{0, 1.0f}, {1, 3.0f}}));     // diluted
+  const auto results = index.evaluate(vec({{0, 1.0f}}), 0.0);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].doc, 1u);
+  EXPECT_GE(results[0].score, results[1].score);
+}
+
+TEST(LocalIndex, ThresholdFilters) {
+  LocalIndex index;
+  index.add_document(1, vec({{0, 1.0f}}));
+  index.add_document(2, vec({{0, 1.0f}, {1, 10.0f}}));
+  const auto results = index.evaluate(vec({{0, 1.0f}}), 0.5);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].doc, 1u);
+}
+
+TEST(LocalIndex, NoMatchYieldsEmpty) {
+  LocalIndex index;
+  index.add_document(1, vec({{0, 1.0f}}));
+  EXPECT_TRUE(index.evaluate(vec({{5, 1.0f}}), 0.0).empty());
+}
+
+TEST(LocalIndex, TopKLimitsResults) {
+  LocalIndex index;
+  for (DocId d = 0; d < 10; ++d) {
+    index.add_document(d, vec({{0, 1.0f}, {d + 1, static_cast<float>(d + 1)}}));
+  }
+  const auto top = index.top_k(vec({{0, 1.0f}}), 3);
+  EXPECT_EQ(top.size(), 3u);
+  EXPECT_GE(top[0].score, top[1].score);
+  EXPECT_GE(top[1].score, top[2].score);
+}
+
+TEST(LocalIndex, RemoveDocument) {
+  LocalIndex index;
+  index.add_document(1, vec({{0, 1.0f}}));
+  index.add_document(2, vec({{0, 1.0f}}));
+  EXPECT_TRUE(index.remove_document(1));
+  EXPECT_FALSE(index.remove_document(1));
+  EXPECT_EQ(index.document_count(), 1u);
+  const auto results = index.evaluate(vec({{0, 1.0f}}), 0.0);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].doc, 2u);
+}
+
+TEST(LocalIndex, DuplicateAddThrows) {
+  LocalIndex index;
+  index.add_document(1, vec({{0, 1.0f}}));
+  EXPECT_THROW(index.add_document(1, vec({{1, 1.0f}})), util::CheckFailure);
+}
+
+TEST(LocalIndex, DocumentIds) {
+  LocalIndex index;
+  index.add_document(5, vec({{0, 1.0f}}));
+  index.add_document(9, vec({{1, 1.0f}}));
+  auto ids = index.document_ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<DocId>{5, 9}));
+}
+
+TEST(LocalIndex, TermCountTracksPostings) {
+  LocalIndex index;
+  index.add_document(1, vec({{0, 1.0f}, {1, 1.0f}}));
+  EXPECT_EQ(index.term_count(), 2u);
+  index.remove_document(1);
+  EXPECT_EQ(index.term_count(), 0u);
+}
+
+// Property: evaluate() agrees with brute-force dot products on random data.
+class LocalIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LocalIndexPropertyTest, MatchesBruteForce) {
+  util::Rng rng(GetParam());
+  LocalIndex index;
+  std::vector<std::pair<DocId, SparseVector>> docs;
+  for (DocId d = 0; d < 40; ++d) {
+    std::vector<TermWeight> entries;
+    const size_t n = rng.index(15) + 1;
+    for (size_t i = 0; i < n; ++i) {
+      entries.push_back({static_cast<TermId>(rng.index(30)),
+                         static_cast<float>(rng.uniform(0.1, 2.0))});
+    }
+    auto v = SparseVector::from_pairs(std::move(entries));
+    v.normalize();
+    index.add_document(d, v);
+    docs.emplace_back(d, std::move(v));
+  }
+  std::vector<TermWeight> qe;
+  for (size_t i = 0; i < 4; ++i) {
+    qe.push_back({static_cast<TermId>(rng.index(30)), 1.0f});
+  }
+  auto q = SparseVector::from_pairs(std::move(qe));
+  q.normalize();
+
+  const auto results = index.evaluate(q, 0.0);
+  // Brute force.
+  size_t positive = 0;
+  for (const auto& [id, v] : docs) {
+    const double score = v.dot(q);
+    if (score > 0.0) {
+      ++positive;
+      const auto it = std::find_if(results.begin(), results.end(),
+                                   [id = id](const ScoredDoc& s) { return s.doc == id; });
+      ASSERT_NE(it, results.end()) << "doc " << id << " missing";
+      EXPECT_NEAR(it->score, score, 1e-9);
+    }
+  }
+  EXPECT_EQ(results.size(), positive);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalIndexPropertyTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace ges::ir

@@ -1,0 +1,78 @@
+#include "ir/node_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ges::ir {
+namespace {
+
+SparseVector counts(std::vector<TermWeight> entries) {
+  return SparseVector::from_pairs(std::move(entries));
+}
+
+TEST(NodeVector, SumsDocumentCountsBeforeDampening) {
+  // Two docs each with f=1 for term 0 -> summed f=2 -> weight 1+ln2;
+  // term 1 appears once -> weight 1. (Paper §4.2: sum first, then dampen.)
+  const std::vector<SparseVector> docs{counts({{0, 1.0f}}),
+                                       counts({{0, 1.0f}, {1, 1.0f}})};
+  const auto nv = build_node_vector(docs);
+  EXPECT_NEAR(nv.norm(), 1.0, 1e-6);
+  const double ratio = nv.weight(0) / nv.weight(1);
+  EXPECT_NEAR(ratio, 1.0 + std::log(2.0), 1e-5);
+}
+
+TEST(NodeVector, EmptyDocsGiveEmptyVector) {
+  EXPECT_TRUE(build_node_vector({}).empty());
+}
+
+TEST(NodeVector, TruncationKeepsHeaviestAndRenormalizes) {
+  const std::vector<SparseVector> docs{
+      counts({{0, 10.0f}, {1, 5.0f}, {2, 2.0f}, {3, 1.0f}})};
+  const auto nv = build_node_vector(docs, 2);
+  EXPECT_EQ(nv.size(), 2u);
+  EXPECT_NE(nv.weight(0), 0.0f);
+  EXPECT_NE(nv.weight(1), 0.0f);
+  EXPECT_NEAR(nv.norm(), 1.0, 1e-6);
+}
+
+TEST(NodeVector, SizeZeroMeansFull) {
+  const std::vector<SparseVector> docs{counts({{0, 1.0f}, {1, 2.0f}, {2, 3.0f}})};
+  EXPECT_EQ(build_node_vector(docs, 0).size(), 3u);
+}
+
+TEST(NodeVector, TruncateExistingVector) {
+  const std::vector<SparseVector> docs{
+      counts({{0, 9.0f}, {1, 8.0f}, {2, 7.0f}, {3, 6.0f}})};
+  const auto full = build_node_vector(docs);
+  const auto t2 = truncate_node_vector(full, 2);
+  EXPECT_EQ(t2.size(), 2u);
+  EXPECT_NEAR(t2.norm(), 1.0, 1e-6);
+  // Truncating to at least the current size is the identity.
+  EXPECT_EQ(truncate_node_vector(full, 10), full);
+  EXPECT_EQ(truncate_node_vector(full, 0), full);
+}
+
+TEST(NodeVector, TruncationPreservesTopTermOrder) {
+  const std::vector<SparseVector> docs{
+      counts({{0, 100.0f}, {1, 50.0f}, {2, 10.0f}, {3, 1.0f}})};
+  const auto full = build_node_vector(docs);
+  const auto t3 = truncate_node_vector(full, 3);
+  // Weight order must be preserved: 0 > 1 > 2, term 3 dropped.
+  EXPECT_GT(t3.weight(0), t3.weight(1));
+  EXPECT_GT(t3.weight(1), t3.weight(2));
+  EXPECT_EQ(t3.weight(3), 0.0f);
+}
+
+TEST(NodeVector, ManyDocsAggregate) {
+  // 10 docs each mentioning term 7 once; node vector is a single term
+  // with weight 1 after normalization.
+  std::vector<SparseVector> docs(10, counts({{7, 1.0f}}));
+  const auto nv = build_node_vector(docs);
+  ASSERT_EQ(nv.size(), 1u);
+  EXPECT_NEAR(nv.weight(7), 1.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace ges::ir

@@ -1,0 +1,111 @@
+#include "ir/porter_stemmer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+namespace ges::ir {
+namespace {
+
+using Pair = std::pair<const char*, const char*>;
+
+class PorterParamTest : public ::testing::TestWithParam<Pair> {};
+
+TEST_P(PorterParamTest, StemsToExpected) {
+  const auto& [input, expected] = GetParam();
+  EXPECT_EQ(porter_stem(input), expected) << "input: " << input;
+}
+
+// Step 1a: plurals.
+INSTANTIATE_TEST_SUITE_P(Step1a, PorterParamTest,
+                         ::testing::Values(Pair{"caresses", "caress"},
+                                           Pair{"ponies", "poni"},
+                                           Pair{"ties", "ti"},
+                                           Pair{"caress", "caress"},
+                                           Pair{"cats", "cat"}));
+
+// Step 1b: -eed / -ed / -ing with restorations.
+INSTANTIATE_TEST_SUITE_P(Step1b, PorterParamTest,
+                         ::testing::Values(Pair{"feed", "feed"},
+                                           Pair{"agreed", "agre"},
+                                           Pair{"plastered", "plaster"},
+                                           Pair{"bled", "bled"},
+                                           Pair{"motoring", "motor"},
+                                           Pair{"sing", "sing"},
+                                           Pair{"conflated", "conflat"},
+                                           Pair{"troubled", "troubl"},
+                                           Pair{"sized", "size"},
+                                           Pair{"hopping", "hop"},
+                                           Pair{"tanned", "tan"},
+                                           Pair{"falling", "fall"},
+                                           Pair{"hissing", "hiss"},
+                                           Pair{"fizzed", "fizz"},
+                                           Pair{"failing", "fail"},
+                                           Pair{"filing", "file"}));
+
+// Step 1c: y -> i.
+INSTANTIATE_TEST_SUITE_P(Step1c, PorterParamTest,
+                         ::testing::Values(Pair{"happy", "happi"}, Pair{"sky", "sky"}));
+
+// Steps 2-4: derivational suffixes.
+INSTANTIATE_TEST_SUITE_P(
+    Steps2to4, PorterParamTest,
+    ::testing::Values(Pair{"relational", "relat"}, Pair{"conditional", "condit"},
+                      Pair{"rational", "ration"}, Pair{"digitizer", "digit"},
+                      Pair{"operator", "oper"}, Pair{"feudalism", "feudal"},
+                      Pair{"decisiveness", "decis"}, Pair{"hopefulness", "hope"},
+                      Pair{"callousness", "callous"}, Pair{"formality", "formal"},
+                      Pair{"sensitivity", "sensit"}, Pair{"sensibility", "sensibl"},
+                      Pair{"triplicate", "triplic"}, Pair{"formative", "form"},
+                      Pair{"formalize", "formal"}, Pair{"electricity", "electr"},
+                      Pair{"electrical", "electr"}, Pair{"hopeful", "hope"},
+                      Pair{"goodness", "good"}, Pair{"revival", "reviv"},
+                      Pair{"allowance", "allow"}, Pair{"inference", "infer"},
+                      Pair{"airliner", "airlin"}, Pair{"gyroscopic", "gyroscop"},
+                      Pair{"adjustable", "adjust"}, Pair{"defensible", "defens"},
+                      Pair{"irritant", "irrit"}, Pair{"replacement", "replac"},
+                      Pair{"adjustment", "adjust"}, Pair{"dependent", "depend"},
+                      Pair{"adoption", "adopt"}, Pair{"communism", "commun"},
+                      Pair{"activate", "activ"}, Pair{"effective", "effect"},
+                      Pair{"bowdlerize", "bowdler"}));
+
+// Step 5: final -e and -ll.
+INSTANTIATE_TEST_SUITE_P(Step5, PorterParamTest,
+                         ::testing::Values(Pair{"probate", "probat"},
+                                           Pair{"rate", "rate"},
+                                           Pair{"cease", "ceas"},
+                                           Pair{"controll", "control"},
+                                           Pair{"roll", "roll"}));
+
+// The paper's own example (§3 footnote 1).
+INSTANTIATE_TEST_SUITE_P(PaperExample, PorterParamTest,
+                         ::testing::Values(Pair{"restarted", "restart"},
+                                           Pair{"restarts", "restart"},
+                                           Pair{"restarting", "restart"}));
+
+TEST(PorterStemmer, ShortWordsUnchanged) {
+  EXPECT_EQ(porter_stem("a"), "a");
+  EXPECT_EQ(porter_stem("is"), "is");
+  EXPECT_EQ(porter_stem("be"), "be");
+}
+
+TEST(PorterStemmer, EmptyString) { EXPECT_EQ(porter_stem(""), ""); }
+
+TEST(PorterStemmer, IdempotentOnStems) {
+  for (const char* w : {"restart", "motor", "relat", "commun", "hope"}) {
+    const std::string once = porter_stem(w);
+    EXPECT_EQ(porter_stem(once), once) << w;
+  }
+}
+
+TEST(PorterStemmer, MergesInflectionalFamily) {
+  const std::string base = porter_stem("connect");
+  EXPECT_EQ(porter_stem("connected"), base);
+  EXPECT_EQ(porter_stem("connecting"), base);
+  EXPECT_EQ(porter_stem("connection"), base);
+  EXPECT_EQ(porter_stem("connections"), base);
+}
+
+}  // namespace
+}  // namespace ges::ir

@@ -1,0 +1,94 @@
+#include "ir/query_expansion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ges::ir {
+namespace {
+
+SparseVector vec(std::vector<TermWeight> entries) {
+  auto v = SparseVector::from_pairs(std::move(entries));
+  v.normalize();
+  return v;
+}
+
+TEST(QueryExpansion, NoFeedbackReturnsOriginal) {
+  const auto q = vec({{0, 1.0f}});
+  EXPECT_EQ(expand_query(q, {}), q);
+}
+
+TEST(QueryExpansion, ZeroAddedTermsReturnsOriginal) {
+  const auto q = vec({{0, 1.0f}});
+  const std::vector<SparseVector> fb{vec({{1, 1.0f}})};
+  QueryExpansionParams p;
+  p.added_terms = 0;
+  EXPECT_EQ(expand_query(q, fb, p), q);
+}
+
+TEST(QueryExpansion, AddsTopCentroidTerms) {
+  const auto q = vec({{0, 1.0f}});
+  const std::vector<SparseVector> fb{vec({{0, 1.0f}, {1, 5.0f}, {2, 0.1f}})};
+  QueryExpansionParams p;
+  p.added_terms = 1;
+  const auto expanded = expand_query(q, fb, p);
+  EXPECT_NE(expanded.weight(1), 0.0f);   // heaviest new term added
+  EXPECT_EQ(expanded.weight(2), 0.0f);   // beyond added_terms budget
+  EXPECT_NE(expanded.weight(0), 0.0f);   // original query kept
+}
+
+TEST(QueryExpansion, DoesNotDuplicateQueryTerms) {
+  const auto q = vec({{0, 1.0f}, {1, 1.0f}});
+  const std::vector<SparseVector> fb{vec({{0, 9.0f}, {1, 9.0f}, {2, 1.0f}})};
+  QueryExpansionParams p;
+  p.added_terms = 2;
+  const auto expanded = expand_query(q, fb, p);
+  // Terms 0/1 were already in the query; only term 2 is new.
+  EXPECT_EQ(expanded.size(), 3u);
+}
+
+TEST(QueryExpansion, ResultIsNormalized) {
+  const auto q = vec({{0, 1.0f}});
+  const std::vector<SparseVector> fb{vec({{1, 1.0f}, {2, 2.0f}})};
+  const auto expanded = expand_query(q, fb);
+  EXPECT_NEAR(expanded.norm(), 1.0, 1e-6);
+}
+
+TEST(QueryExpansion, ExpansionWeightControlsInfluence) {
+  const auto q = vec({{0, 1.0f}});
+  const std::vector<SparseVector> fb{vec({{1, 1.0f}})};
+  QueryExpansionParams weak;
+  weak.expansion_weight = 0.1;
+  QueryExpansionParams strong;
+  strong.expansion_weight = 2.0;
+  const auto e_weak = expand_query(q, fb, weak);
+  const auto e_strong = expand_query(q, fb, strong);
+  EXPECT_LT(e_weak.weight(1), e_strong.weight(1));
+  EXPECT_GT(e_weak.weight(0), e_strong.weight(0));
+}
+
+TEST(QueryExpansion, CentroidAveragesFeedbackDocs) {
+  const auto q = vec({{9, 1.0f}});
+  // Term 1 appears in both docs, term 2 in one: term 1 should dominate.
+  const std::vector<SparseVector> fb{vec({{1, 1.0f}, {2, 1.0f}}), vec({{1, 1.0f}})};
+  QueryExpansionParams p;
+  p.added_terms = 1;
+  const auto expanded = expand_query(q, fb, p);
+  EXPECT_NE(expanded.weight(1), 0.0f);
+  EXPECT_EQ(expanded.weight(2), 0.0f);
+}
+
+TEST(QueryExpansion, ExpandedQueryImprovesRecallOfRelatedDocs) {
+  // A doc sharing no terms with the query becomes reachable after
+  // expansion with feedback that bridges the vocabulary.
+  const auto q = vec({{0, 1.0f}});
+  const auto bridge = vec({{0, 1.0f}, {5, 1.0f}});
+  const auto hidden = vec({{5, 1.0f}});
+  EXPECT_EQ(q.dot(hidden), 0.0);
+  const std::vector<SparseVector> fb{bridge};
+  const auto expanded = expand_query(q, fb);
+  EXPECT_GT(expanded.dot(hidden), 0.0);
+}
+
+}  // namespace
+}  // namespace ges::ir

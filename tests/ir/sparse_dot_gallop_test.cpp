@@ -1,0 +1,74 @@
+// The adaptive dot product (merge vs galloping) must agree with a naive
+// reference on every size combination, including the crossover region.
+
+#include <gtest/gtest.h>
+
+#include "ir/sparse_vector.hpp"
+#include "util/rng.hpp"
+
+namespace ges::ir {
+namespace {
+
+SparseVector random_vector(util::Rng& rng, size_t terms, TermId vocab) {
+  std::vector<TermWeight> entries;
+  for (size_t i = 0; i < terms; ++i) {
+    entries.push_back({static_cast<TermId>(rng.index(vocab)),
+                       static_cast<float>(rng.uniform(0.1, 2.0))});
+  }
+  return SparseVector::from_pairs(std::move(entries));
+}
+
+double naive_dot(const SparseVector& a, const SparseVector& b) {
+  double sum = 0.0;
+  for (const auto& e : a.entries()) {
+    sum += static_cast<double>(e.weight) * b.weight(e.term);
+  }
+  return sum;
+}
+
+class DotShapeTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {};
+
+TEST_P(DotShapeTest, MatchesNaive) {
+  const auto [size_a, size_b, seed] = GetParam();
+  util::Rng rng(seed);
+  const auto a = random_vector(rng, size_a, 4000);
+  const auto b = random_vector(rng, size_b, 4000);
+  EXPECT_NEAR(a.dot(b), naive_dot(a, b), 1e-9);
+  EXPECT_NEAR(b.dot(a), naive_dot(a, b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DotShapeTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 3, 15, 16, 17, 300),
+                       ::testing::Values<size_t>(1, 4, 64, 256, 2000),
+                       ::testing::Values<uint64_t>(1, 2, 3)));
+
+TEST(DotShape, TinyVsHugeSharedTail) {
+  // Query terms at the very end of a big vector exercise the gallop's
+  // final lower_bound.
+  std::vector<TermWeight> big;
+  for (TermId t = 0; t < 3000; ++t) big.push_back({t, 1.0f});
+  const auto large = SparseVector::from_pairs(std::move(big));
+  const auto small = SparseVector::from_pairs({{2998, 2.0f}, {2999, 3.0f}});
+  EXPECT_DOUBLE_EQ(large.dot(small), 5.0);
+}
+
+TEST(DotShape, TinyVsHugeNoOverlap) {
+  std::vector<TermWeight> big;
+  for (TermId t = 0; t < 3000; t += 2) big.push_back({t, 1.0f});
+  const auto large = SparseVector::from_pairs(std::move(big));
+  const auto small = SparseVector::from_pairs({{1, 1.0f}, {2999, 1.0f}});
+  EXPECT_DOUBLE_EQ(large.dot(small), 0.0);
+}
+
+TEST(DotShape, EmptySides) {
+  const SparseVector empty;
+  const auto v = SparseVector::from_pairs({{0, 1.0f}});
+  EXPECT_DOUBLE_EQ(empty.dot(v), 0.0);
+  EXPECT_DOUBLE_EQ(v.dot(empty), 0.0);
+  EXPECT_DOUBLE_EQ(empty.dot(empty), 0.0);
+}
+
+}  // namespace
+}  // namespace ges::ir

@@ -1,0 +1,211 @@
+#include "ir/sparse_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ges::ir {
+namespace {
+
+SparseVector vec(std::vector<TermWeight> entries) {
+  return SparseVector::from_pairs(std::move(entries));
+}
+
+TEST(SparseVector, FromPairsSortsAndMergesDuplicates) {
+  const auto v = vec({{5, 1.0f}, {2, 2.0f}, {5, 3.0f}});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.entries()[0].term, 2u);
+  EXPECT_FLOAT_EQ(v.entries()[0].weight, 2.0f);
+  EXPECT_EQ(v.entries()[1].term, 5u);
+  EXPECT_FLOAT_EQ(v.entries()[1].weight, 4.0f);
+}
+
+TEST(SparseVector, FromPairsDropsZeros) {
+  const auto v = vec({{1, 1.0f}, {1, -1.0f}, {2, 0.0f}, {3, 2.0f}});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.entries()[0].term, 3u);
+}
+
+TEST(SparseVector, FromCounts) {
+  const auto v = SparseVector::from_counts({{7, 3}, {1, 1}});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.entries()[0].term, 1u);
+  EXPECT_FLOAT_EQ(v.entries()[1].weight, 3.0f);
+}
+
+TEST(SparseVector, WeightLookup) {
+  const auto v = vec({{1, 1.5f}, {9, 2.5f}});
+  EXPECT_FLOAT_EQ(v.weight(1), 1.5f);
+  EXPECT_FLOAT_EQ(v.weight(9), 2.5f);
+  EXPECT_FLOAT_EQ(v.weight(5), 0.0f);
+}
+
+TEST(SparseVector, NormAndNormalize) {
+  auto v = vec({{0, 3.0f}, {1, 4.0f}});
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  v.normalize();
+  EXPECT_NEAR(v.norm(), 1.0, 1e-6);
+  EXPECT_NEAR(v.weight(0), 0.6f, 1e-6);
+  EXPECT_NEAR(v.weight(1), 0.8f, 1e-6);
+}
+
+TEST(SparseVector, NormalizeEmptyIsNoop) {
+  SparseVector v;
+  v.normalize();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SparseVector, DampenAppliesOnePlusLog) {
+  auto v = vec({{0, 1.0f}, {1, static_cast<float>(std::exp(1.0))}});
+  v.dampen();
+  EXPECT_NEAR(v.weight(0), 1.0f, 1e-6);
+  EXPECT_NEAR(v.weight(1), 2.0f, 1e-6);
+}
+
+TEST(SparseVector, DampenRejectsSubUnitWeights) {
+  auto v = vec({{0, 0.5f}});
+  EXPECT_THROW(v.dampen(), util::CheckFailure);
+}
+
+TEST(SparseVector, TruncateKeepsHeaviest) {
+  auto v = vec({{0, 1.0f}, {1, 5.0f}, {2, 3.0f}, {3, 4.0f}});
+  v.truncate_top(2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_FLOAT_EQ(v.weight(1), 5.0f);
+  EXPECT_FLOAT_EQ(v.weight(3), 4.0f);
+  // Entries remain sorted by term id.
+  EXPECT_LT(v.entries()[0].term, v.entries()[1].term);
+}
+
+TEST(SparseVector, TruncateZeroKeepsAll) {
+  auto v = vec({{0, 1.0f}, {1, 2.0f}});
+  v.truncate_top(0);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(SparseVector, TruncateTiesBrokenByLowerTermId) {
+  auto v = vec({{3, 1.0f}, {1, 1.0f}, {2, 1.0f}});
+  v.truncate_top(2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_FLOAT_EQ(v.weight(1), 1.0f);
+  EXPECT_FLOAT_EQ(v.weight(2), 1.0f);
+}
+
+TEST(SparseVector, DotProduct) {
+  const auto a = vec({{0, 1.0f}, {2, 2.0f}, {4, 3.0f}});
+  const auto b = vec({{1, 5.0f}, {2, 4.0f}, {4, 1.0f}});
+  EXPECT_DOUBLE_EQ(a.dot(b), 2.0 * 4.0 + 3.0 * 1.0);
+}
+
+TEST(SparseVector, DotDisjointIsZero) {
+  const auto a = vec({{0, 1.0f}});
+  const auto b = vec({{1, 1.0f}});
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+}
+
+TEST(SparseVector, AddScaled) {
+  auto a = vec({{0, 1.0f}, {2, 2.0f}});
+  const auto b = vec({{1, 1.0f}, {2, 3.0f}});
+  a.add_scaled(b, 2.0);
+  EXPECT_FLOAT_EQ(a.weight(0), 1.0f);
+  EXPECT_FLOAT_EQ(a.weight(1), 2.0f);
+  EXPECT_FLOAT_EQ(a.weight(2), 8.0f);
+}
+
+TEST(SparseVector, AddScaledCancellationDropsEntry) {
+  auto a = vec({{0, 2.0f}});
+  const auto b = vec({{0, 1.0f}});
+  a.add_scaled(b, -2.0);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(SparseVector, CosineOfIdenticalDirectionIsOne) {
+  const auto a = vec({{0, 2.0f}, {1, 4.0f}});
+  const auto b = vec({{0, 1.0f}, {1, 2.0f}});
+  EXPECT_NEAR(a.cosine(b), 1.0, 1e-6);
+}
+
+TEST(SparseVector, CosineWithEmptyIsZero) {
+  const auto a = vec({{0, 1.0f}});
+  EXPECT_DOUBLE_EQ(a.cosine(SparseVector{}), 0.0);
+}
+
+TEST(SparseVector, Overlap) {
+  const auto a = vec({{0, 1.0f}, {1, 1.0f}, {2, 1.0f}});
+  const auto b = vec({{1, 1.0f}, {2, 1.0f}, {3, 1.0f}});
+  EXPECT_EQ(a.overlap(b), 2u);
+}
+
+// --- Property tests over random vectors --------------------------------
+
+SparseVector random_vector(util::Rng& rng, size_t max_terms, TermId vocab) {
+  std::vector<TermWeight> entries;
+  const size_t n = rng.index(max_terms) + 1;
+  for (size_t i = 0; i < n; ++i) {
+    entries.push_back({static_cast<TermId>(rng.index(vocab)),
+                       static_cast<float>(rng.uniform(0.1, 10.0))});
+  }
+  return SparseVector::from_pairs(std::move(entries));
+}
+
+class SparseVectorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SparseVectorPropertyTest, EntriesSortedUniquePositive) {
+  util::Rng rng(GetParam());
+  const auto v = random_vector(rng, 50, 100);
+  for (size_t i = 1; i < v.size(); ++i) {
+    EXPECT_LT(v.entries()[i - 1].term, v.entries()[i].term);
+  }
+  for (const auto& e : v.entries()) EXPECT_NE(e.weight, 0.0f);
+}
+
+TEST_P(SparseVectorPropertyTest, DotIsSymmetric) {
+  util::Rng rng(GetParam());
+  const auto a = random_vector(rng, 50, 100);
+  const auto b = random_vector(rng, 50, 100);
+  EXPECT_DOUBLE_EQ(a.dot(b), b.dot(a));
+}
+
+TEST_P(SparseVectorPropertyTest, CauchySchwarz) {
+  util::Rng rng(GetParam());
+  const auto a = random_vector(rng, 50, 100);
+  const auto b = random_vector(rng, 50, 100);
+  EXPECT_LE(std::abs(a.dot(b)), a.norm() * b.norm() + 1e-6);
+  EXPECT_LE(std::abs(a.cosine(b)), 1.0 + 1e-9);
+}
+
+TEST_P(SparseVectorPropertyTest, NormalizeGivesUnitNorm) {
+  util::Rng rng(GetParam());
+  auto v = random_vector(rng, 50, 100);
+  v.normalize();
+  EXPECT_NEAR(v.norm(), 1.0, 1e-5);
+}
+
+TEST_P(SparseVectorPropertyTest, TruncationNeverIncreasesNorm) {
+  util::Rng rng(GetParam());
+  auto v = random_vector(rng, 50, 100);
+  const double before = v.norm();
+  v.truncate_top(5);
+  EXPECT_LE(v.norm(), before + 1e-9);
+  EXPECT_LE(v.size(), 5u);
+}
+
+TEST_P(SparseVectorPropertyTest, AddScaledMatchesComponentwise) {
+  util::Rng rng(GetParam());
+  const auto a = random_vector(rng, 30, 60);
+  const auto b = random_vector(rng, 30, 60);
+  auto sum = a;
+  sum.add_scaled(b, 1.5);
+  for (TermId t = 0; t < 60; ++t) {
+    EXPECT_NEAR(sum.weight(t), a.weight(t) + 1.5f * b.weight(t), 1e-4) << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseVectorPropertyTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace ges::ir

@@ -1,0 +1,51 @@
+#include "ir/stopwords.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ges::ir {
+namespace {
+
+TEST(StopWords, SmartListHasExpectedSize) {
+  // The SMART list has 571 entries including single letters and
+  // contractions; our tokenizer-normal subset is somewhat smaller.
+  EXPECT_GE(StopWords::smart().size(), 450u);
+  EXPECT_LE(StopWords::smart().size(), 571u);
+}
+
+TEST(StopWords, ContainsClassicFunctionWords) {
+  const auto& s = StopWords::smart();
+  for (const char* w : {"of", "the", "and", "to", "in", "is", "it", "that",
+                        "was", "for", "on", "are", "with", "as", "at", "by"}) {
+    EXPECT_TRUE(s.contains(w)) << w;
+  }
+}
+
+TEST(StopWords, DoesNotContainContentWords) {
+  const auto& s = StopWords::smart();
+  for (const char* w : {"computer", "peer", "search", "semantic", "network",
+                        "gnutella", "restart", "president"}) {
+    EXPECT_FALSE(s.contains(w)) << w;
+  }
+}
+
+TEST(StopWords, ContainsContractionFragments) {
+  const auto& s = StopWords::smart();
+  EXPECT_TRUE(s.contains("don"));
+  EXPECT_TRUE(s.contains("doesn"));
+  EXPECT_TRUE(s.contains("ll"));
+  EXPECT_TRUE(s.contains("ve"));
+}
+
+TEST(StopWords, EmptyFilterKeepsEverything) {
+  const StopWords none;
+  EXPECT_EQ(none.size(), 0u);
+  EXPECT_FALSE(none.contains("the"));
+}
+
+TEST(StopWords, CaseSensitiveByDesign) {
+  // Input reaches the filter already lower-cased by the tokenizer.
+  EXPECT_FALSE(StopWords::smart().contains("The"));
+}
+
+}  // namespace
+}  // namespace ges::ir

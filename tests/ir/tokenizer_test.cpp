@@ -1,0 +1,63 @@
+#include "ir/tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ges::ir {
+namespace {
+
+TEST(Tokenizer, LowercasesAndSplits) {
+  Tokenizer t;
+  EXPECT_EQ(t.tokenize("Hello World"), (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(Tokenizer, NonAlphaAreSeparators) {
+  Tokenizer t;
+  EXPECT_EQ(t.tokenize("peer-to-peer, systems! 42x"),
+            (std::vector<std::string>{"peer", "to", "peer", "systems"}));
+}
+
+TEST(Tokenizer, ApostropheSplitsContractions) {
+  Tokenizer t;
+  // "don't" -> "don" + "t"; the single letter falls below min length.
+  EXPECT_EQ(t.tokenize("don't"), (std::vector<std::string>{"don"}));
+}
+
+TEST(Tokenizer, MinLengthFiltersShortTokens) {
+  Tokenizer t(3);
+  EXPECT_EQ(t.tokenize("a an the cat"), (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(Tokenizer, MaxLengthFiltersLongTokens) {
+  Tokenizer t(2, 5);
+  EXPECT_EQ(t.tokenize("short verylongtoken ok"),
+            (std::vector<std::string>{"short", "ok"}));
+}
+
+TEST(Tokenizer, EmptyInput) {
+  Tokenizer t;
+  EXPECT_TRUE(t.tokenize("").empty());
+  EXPECT_TRUE(t.tokenize("!!! 123 ...").empty());
+}
+
+TEST(Tokenizer, TokenizeIntoAppends) {
+  Tokenizer t;
+  std::vector<std::string> out{"existing"};
+  t.tokenize_into("new token", out);
+  EXPECT_EQ(out, (std::vector<std::string>{"existing", "new", "token"}));
+}
+
+TEST(Tokenizer, TrailingTokenFlushed) {
+  Tokenizer t;
+  EXPECT_EQ(t.tokenize("ends with word"),
+            (std::vector<std::string>{"ends", "with", "word"}));
+}
+
+TEST(Tokenizer, HighBytesAreSeparators) {
+  Tokenizer t;
+  // UTF-8 bytes outside ASCII letters act as separators (documents in the
+  // AP corpus are ASCII; this just must not crash or misbehave).
+  EXPECT_EQ(t.tokenize("caf\xc3\xa9 shop"), (std::vector<std::string>{"caf", "shop"}));
+}
+
+}  // namespace
+}  // namespace ges::ir

@@ -1,0 +1,88 @@
+#include "ir/weighting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ges::ir {
+namespace {
+
+SparseVector counts(std::vector<TermWeight> entries) {
+  return SparseVector::from_pairs(std::move(entries));
+}
+
+TEST(DocumentFrequencies, CountsAcrossDocs) {
+  const std::vector<SparseVector> docs{counts({{0, 2.0f}, {1, 1.0f}}),
+                                       counts({{0, 1.0f}}),
+                                       counts({{1, 3.0f}, {2, 1.0f}})};
+  const auto df = DocumentFrequencies::from_count_vectors(docs);
+  EXPECT_EQ(df.num_docs(), 3u);
+  EXPECT_EQ(df.df(0), 2u);
+  EXPECT_EQ(df.df(1), 2u);
+  EXPECT_EQ(df.df(2), 1u);
+  EXPECT_EQ(df.df(9), 0u);
+}
+
+TEST(DocumentFrequencies, IdfValues) {
+  const std::vector<SparseVector> docs{counts({{0, 1.0f}}), counts({{0, 1.0f}}),
+                                       counts({{1, 1.0f}})};
+  const auto df = DocumentFrequencies::from_count_vectors(docs);
+  EXPECT_NEAR(df.idf(0), std::log(3.0 / 2.0), 1e-12);
+  EXPECT_NEAR(df.idf(1), std::log(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(df.idf(9), 0.0);  // unseen
+}
+
+TEST(Weighting, RawTfPreservesRatios) {
+  const auto v = weight_counts(counts({{0, 4.0f}, {1, 2.0f}}), TermWeighting::kRawTf);
+  EXPECT_NEAR(v.norm(), 1.0, 1e-6);
+  EXPECT_NEAR(v.weight(0) / v.weight(1), 2.0, 1e-5);
+}
+
+TEST(Weighting, DampenedTfMatchesFormula) {
+  const auto v = weight_counts(counts({{0, static_cast<float>(std::exp(1.0))}, {1, 1.0f}}),
+                               TermWeighting::kDampenedTf);
+  EXPECT_NEAR(v.weight(0) / v.weight(1), 2.0, 1e-4);  // (1+ln e) / (1+ln 1)
+}
+
+TEST(Weighting, TfIdfDownweightsCommonTerms) {
+  const std::vector<SparseVector> docs{counts({{0, 1.0f}, {1, 1.0f}}),
+                                       counts({{0, 1.0f}}), counts({{0, 1.0f}})};
+  const auto df = DocumentFrequencies::from_count_vectors(docs);
+  const auto v =
+      weight_counts(counts({{0, 1.0f}, {1, 1.0f}}), TermWeighting::kTfIdf, &df);
+  // Term 0 appears in every doc -> idf 0 -> dropped entirely.
+  EXPECT_EQ(v.weight(0), 0.0f);
+  EXPECT_GT(v.weight(1), 0.0f);
+  EXPECT_NEAR(v.norm(), 1.0, 1e-6);
+}
+
+TEST(Weighting, TfIdfWithoutDfThrows) {
+  EXPECT_THROW(weight_counts(counts({{0, 1.0f}}), TermWeighting::kTfIdf),
+               util::CheckFailure);
+}
+
+TEST(Weighting, RejectsSubUnitFrequencies) {
+  EXPECT_THROW(weight_counts(counts({{0, 0.5f}}), TermWeighting::kRawTf),
+               util::CheckFailure);
+}
+
+TEST(Weighting, Names) {
+  EXPECT_STREQ(weighting_name(TermWeighting::kRawTf), "raw-tf");
+  EXPECT_STREQ(weighting_name(TermWeighting::kDampenedTf), "dampened-tf");
+  EXPECT_STREQ(weighting_name(TermWeighting::kTfIdf), "tf-idf");
+}
+
+TEST(Weighting, DampenedEqualsSparseVectorDampen) {
+  auto manual = counts({{0, 5.0f}, {1, 2.0f}});
+  manual.dampen();
+  manual.normalize();
+  const auto via_scheme =
+      weight_counts(counts({{0, 5.0f}, {1, 2.0f}}), TermWeighting::kDampenedTf);
+  EXPECT_NEAR(manual.weight(0), via_scheme.weight(0), 1e-6);
+  EXPECT_NEAR(manual.weight(1), via_scheme.weight(1), 1e-6);
+}
+
+}  // namespace
+}  // namespace ges::ir

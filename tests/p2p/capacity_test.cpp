@@ -1,0 +1,55 @@
+#include "p2p/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ges::p2p {
+namespace {
+
+TEST(CapacityProfile, UniformAlwaysSameValue) {
+  const auto p = CapacityProfile::uniform(2.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(p.sample(rng), 2.0);
+  EXPECT_FALSE(p.is_heterogeneous());
+}
+
+TEST(CapacityProfile, UniformHasNoSupernodes) {
+  const auto p = CapacityProfile::uniform(1.0);
+  EXPECT_GT(p.supernode_threshold(), 1.0);
+}
+
+TEST(CapacityProfile, GnutellaLevelsAndProportions) {
+  const auto p = CapacityProfile::gnutella();
+  EXPECT_TRUE(p.is_heterogeneous());
+  EXPECT_DOUBLE_EQ(p.supernode_threshold(), 1000.0);
+
+  util::Rng rng(2);
+  std::map<double, size_t> counts;
+  const size_t n = 100000;
+  for (const auto c : p.sample_many(n, rng)) ++counts[c];
+
+  // Paper §5.4: 20% / 45% / 30% / 4.9% / 0.1%.
+  EXPECT_NEAR(static_cast<double>(counts[1.0]) / n, 0.20, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[10.0]) / n, 0.45, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[100.0]) / n, 0.30, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1000.0]) / n, 0.049, 0.005);
+  EXPECT_NEAR(static_cast<double>(counts[10000.0]) / n, 0.001, 0.0008);
+}
+
+TEST(CapacityProfile, SampleManySize) {
+  const auto p = CapacityProfile::gnutella();
+  util::Rng rng(3);
+  EXPECT_EQ(p.sample_many(17, rng).size(), 17u);
+  EXPECT_TRUE(p.sample_many(0, rng).empty());
+}
+
+TEST(CapacityProfile, SamplingIsDeterministic) {
+  const auto p = CapacityProfile::gnutella();
+  util::Rng a(4);
+  util::Rng b(4);
+  EXPECT_EQ(p.sample_many(50, a), p.sample_many(50, b));
+}
+
+}  // namespace
+}  // namespace ges::p2p

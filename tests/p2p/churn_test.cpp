@@ -1,0 +1,89 @@
+#include "p2p/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_corpus.hpp"
+
+namespace ges::p2p {
+namespace {
+
+class ChurnTest : public ::testing::Test {
+ protected:
+  ChurnTest()
+      : corpus_(test::clustered_corpus(30, 3)),
+        net_(corpus_, test::uniform_capacities(corpus_), NetworkConfig{}) {
+    util::Rng rng(1);
+    bootstrap_random_graph(net_, 4.0, rng);
+  }
+
+  corpus::Corpus corpus_;
+  Network net_;
+  EventQueue queue_;
+};
+
+TEST_F(ChurnTest, ProducesDeparturesAndArrivals) {
+  ChurnParams params;
+  params.mean_session = 10.0;
+  params.mean_downtime = 5.0;
+  ChurnProcess churn(net_, queue_, params);
+  churn.start();
+  queue_.run_until(100.0);
+  EXPECT_GT(churn.departures(), 0u);
+  EXPECT_GT(churn.arrivals(), 0u);
+  net_.check_invariants();
+}
+
+TEST_F(ChurnTest, AliveCountStaysConsistent) {
+  ChurnParams params;
+  params.mean_session = 5.0;
+  params.mean_downtime = 5.0;
+  ChurnProcess churn(net_, queue_, params);
+  churn.start();
+  queue_.run_until(50.0);
+  size_t alive = 0;
+  for (NodeId n = 0; n < net_.size(); ++n) alive += net_.alive(n) ? 1 : 0;
+  EXPECT_EQ(alive, net_.alive_count());
+}
+
+TEST_F(ChurnTest, RejoinedNodesAreBootstrapped) {
+  ChurnParams params;
+  params.mean_session = 5.0;
+  params.mean_downtime = 2.0;
+  params.bootstrap_links = 2;
+  ChurnProcess churn(net_, queue_, params);
+  churn.start();
+  queue_.run_until(200.0);
+  ASSERT_GT(churn.arrivals(), 0u);
+  // Network keeps functioning: a majority of alive nodes stay connected.
+  size_t connected = 0;
+  for (const NodeId n : net_.alive_nodes()) {
+    connected += net_.degree(n) > 0 ? 1 : 0;
+  }
+  EXPECT_GT(connected, net_.alive_count() / 2);
+  net_.check_invariants();
+}
+
+TEST_F(ChurnTest, DeterministicInSeed) {
+  ChurnParams params;
+  params.mean_session = 8.0;
+  params.mean_downtime = 4.0;
+  params.seed = 42;
+
+  auto run = [&](Network& net) {
+    EventQueue queue;
+    ChurnProcess churn(net, queue, params);
+    churn.start();
+    queue.run_until(60.0);
+    return std::make_pair(churn.departures(), churn.arrivals());
+  };
+  Network net_a(corpus_, test::uniform_capacities(corpus_), NetworkConfig{});
+  Network net_b(corpus_, test::uniform_capacities(corpus_), NetworkConfig{});
+  util::Rng ra(1);
+  util::Rng rb(1);
+  bootstrap_random_graph(net_a, 4.0, ra);
+  bootstrap_random_graph(net_b, 4.0, rb);
+  EXPECT_EQ(run(net_a), run(net_b));
+}
+
+}  // namespace
+}  // namespace ges::p2p

@@ -1,0 +1,96 @@
+#include "p2p/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ges::p2p {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, EqualTimesRunInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NowAdvancesToEventTime) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule(5.5, [&] { seen = q.now(); });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+  EXPECT_DOUBLE_EQ(q.now(), 5.5);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule(1.0, [&] { ++ran; });
+  q.schedule(2.0, [&] { ++ran; });
+  q.schedule(3.0, [&] { ++ran; });
+  q.run_until(2.0);
+  EXPECT_EQ(ran, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.schedule_after(1.0, recurse);
+  };
+  q.schedule(0.0, recurse);
+  q.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, ScheduleEveryRepeats) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_every(1.0, [&] { ++fired; });
+  q.run_until(5.5);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(EventQueue, RunWithEventLimit) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_every(1.0, [&] { ++fired; });
+  q.run(3);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, SchedulingInPastThrows) {
+  EventQueue q;
+  q.schedule(2.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule(1.0, [] {}), util::CheckFailure);
+  EXPECT_THROW(q.schedule_after(-0.5, [] {}), util::CheckFailure);
+}
+
+TEST(EventQueue, ScheduleEveryRejectsNonPositiveInterval) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_every(0.0, [] {}), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace ges::p2p

@@ -1,0 +1,85 @@
+#include "p2p/graph_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_corpus.hpp"
+
+namespace ges::p2p {
+namespace {
+
+class GraphStatsTest : public ::testing::Test {
+ protected:
+  GraphStatsTest()
+      : corpus_(test::clustered_corpus(8, 2)),
+        net_(corpus_, test::uniform_capacities(corpus_), NetworkConfig{}) {}
+
+  corpus::Corpus corpus_;
+  Network net_;
+};
+
+TEST_F(GraphStatsTest, EmptyGraph) {
+  const auto s = compute_graph_stats(net_);
+  EXPECT_EQ(s.nodes, 8u);
+  EXPECT_EQ(s.links, 0u);
+  EXPECT_EQ(s.components, 8u);
+  EXPECT_EQ(s.largest_component, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 0.0);
+}
+
+TEST_F(GraphStatsTest, TriangleStats) {
+  net_.connect(0, 1, LinkType::kRandom);
+  net_.connect(1, 2, LinkType::kRandom);
+  net_.connect(2, 0, LinkType::kRandom);
+  const auto s = compute_graph_stats(net_);
+  EXPECT_EQ(s.links, 3u);
+  EXPECT_EQ(s.largest_component, 3u);
+  EXPECT_EQ(s.components, 6u);  // triangle + 5 isolated nodes
+  EXPECT_DOUBLE_EQ(s.clustering_coefficient, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_path_length, 1.0);
+  EXPECT_EQ(s.max_degree, 2u);
+}
+
+TEST_F(GraphStatsTest, LineHasZeroClustering) {
+  net_.connect(0, 1, LinkType::kRandom);
+  net_.connect(1, 2, LinkType::kRandom);
+  net_.connect(2, 3, LinkType::kRandom);
+  const auto s = compute_graph_stats(net_, std::nullopt, 16, 1);
+  EXPECT_DOUBLE_EQ(s.clustering_coefficient, 0.0);
+  EXPECT_EQ(s.largest_component, 4u);
+  // Mean path of a 4-line from all sources: (1+2+3 + 1+1+2 +...)/12 = 5/3.
+  EXPECT_NEAR(s.mean_path_length, 5.0 / 3.0, 1e-9);
+}
+
+TEST_F(GraphStatsTest, LinkFilterSeparatesTypes) {
+  net_.connect(0, 1, LinkType::kRandom);
+  net_.connect(2, 4, LinkType::kSemantic);
+  const auto all = compute_graph_stats(net_);
+  const auto rnd = compute_graph_stats(net_, LinkType::kRandom);
+  const auto sem = compute_graph_stats(net_, LinkType::kSemantic);
+  EXPECT_EQ(all.links, 2u);
+  EXPECT_EQ(rnd.links, 1u);
+  EXPECT_EQ(sem.links, 1u);
+}
+
+TEST_F(GraphStatsTest, DeadNodesExcluded) {
+  net_.connect(0, 1, LinkType::kRandom);
+  net_.deactivate(2);
+  const auto s = compute_graph_stats(net_);
+  EXPECT_EQ(s.nodes, 7u);
+}
+
+TEST(GraphStatsRandom, BootstrapGraphIsWellConnected) {
+  const auto corpus = test::clustered_corpus(60, 3);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  util::Rng rng(5);
+  bootstrap_random_graph(net, 8.0, rng);
+  const auto s = compute_graph_stats(net);
+  EXPECT_NEAR(s.mean_degree, 8.0, 1.0);
+  EXPECT_EQ(s.largest_component, 60u);  // avg degree 8 >> ln(60)
+  EXPECT_GT(s.mean_path_length, 1.0);
+  EXPECT_LT(s.mean_path_length, 4.0);
+  EXPECT_LT(s.clustering_coefficient, 0.5);  // random graph, not clustered
+}
+
+}  // namespace
+}  // namespace ges::p2p

@@ -1,0 +1,127 @@
+#include "p2p/host_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ges::p2p {
+namespace {
+
+HostCacheEntry entry(NodeId node, double rel = 0.0, double capacity = 1.0,
+                     uint32_t degree = 0) {
+  HostCacheEntry e;
+  e.node = node;
+  e.rel_score = rel;
+  e.capacity = capacity;
+  e.degree = degree;
+  return e;
+}
+
+TEST(HostCache, InsertAndFind) {
+  HostCache cache(4);
+  cache.insert(entry(1, 0.5));
+  ASSERT_TRUE(cache.contains(1));
+  EXPECT_DOUBLE_EQ(cache.find(1)->rel_score, 0.5);
+  EXPECT_EQ(cache.find(2), nullptr);
+}
+
+TEST(HostCache, FifoEvictionWhenFull) {
+  HostCache cache(3);
+  cache.insert(entry(1));
+  cache.insert(entry(2));
+  cache.insert(entry(3));
+  cache.insert(entry(4));  // evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(HostCache, ReinsertUpdatesWithoutRefreshingFifoPosition) {
+  HostCache cache(2);
+  cache.insert(entry(1, 0.1));
+  cache.insert(entry(2, 0.2));
+  cache.insert(entry(1, 0.9));  // update in place; 1 stays oldest
+  EXPECT_DOUBLE_EQ(cache.find(1)->rel_score, 0.9);
+  cache.insert(entry(3, 0.3));  // evicts 1, the oldest
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(HostCache, EraseFreesSlot) {
+  HostCache cache(2);
+  cache.insert(entry(1));
+  EXPECT_TRUE(cache.erase(1));
+  EXPECT_FALSE(cache.erase(1));
+  EXPECT_EQ(cache.size(), 0u);
+  cache.insert(entry(2));
+  cache.insert(entry(3));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(HostCache, EntriesInFifoOrder) {
+  HostCache cache(3);
+  cache.insert(entry(5));
+  cache.insert(entry(7));
+  cache.insert(entry(6));
+  const auto entries = cache.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0]->node, 5u);
+  EXPECT_EQ(entries[1]->node, 7u);
+  EXPECT_EQ(entries[2]->node, 6u);
+}
+
+TEST(HostCache, BestByRelevanceHonorsFilter) {
+  HostCache cache(4);
+  cache.insert(entry(1, 0.9));
+  cache.insert(entry(2, 0.5));
+  cache.insert(entry(3, 0.7));
+  const auto* best = cache.best_by_relevance(
+      [](const HostCacheEntry& e) { return e.node != 1; });
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->node, 3u);
+}
+
+TEST(HostCache, BestByRelevanceNoneAcceptable) {
+  HostCache cache(2);
+  cache.insert(entry(1, 0.9));
+  EXPECT_EQ(cache.best_by_relevance([](const HostCacheEntry&) { return false; }),
+            nullptr);
+}
+
+TEST(HostCache, BestByCapacity) {
+  HostCache cache(4);
+  cache.insert(entry(1, 0.0, 10.0));
+  cache.insert(entry(2, 0.0, 1000.0));
+  cache.insert(entry(3, 0.0, 100.0));
+  const auto* best = cache.best_by_capacity([](const HostCacheEntry&) { return true; });
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->node, 2u);
+}
+
+TEST(HostCache, ZeroCapacityRejected) {
+  EXPECT_THROW(HostCache(0), util::CheckFailure);
+}
+
+TEST(HostCache, InvalidNodeRejected) {
+  HostCache cache(2);
+  EXPECT_THROW(cache.insert(entry(kInvalidNode)), util::CheckFailure);
+}
+
+TEST(HostCache, EvictionAfterErasureKeepsOrder) {
+  HostCache cache(3);
+  cache.insert(entry(1));
+  cache.insert(entry(2));
+  cache.insert(entry(3));
+  cache.erase(2);
+  cache.insert(entry(4));
+  cache.insert(entry(5));  // now full again: {1,3,4} + 5 evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_TRUE(cache.contains(5));
+}
+
+}  // namespace
+}  // namespace ges::p2p

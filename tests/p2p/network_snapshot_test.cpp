@@ -1,0 +1,96 @@
+#include "p2p/network_snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ges/topology_adaptation.hpp"
+#include "support/test_corpus.hpp"
+#include "util/check.hpp"
+
+namespace ges::p2p {
+namespace {
+
+TEST(NetworkSnapshot, RoundTripPreservesTopology) {
+  const auto corpus = test::clustered_corpus(20, 2);
+  Network original(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  util::Rng rng(1);
+  bootstrap_random_graph(original, 5.0, rng);
+  core::TopologyAdaptation adapt(original, core::GesParams{}, 3);
+  adapt.run_rounds(5);
+  original.deactivate(7);
+
+  std::stringstream buffer;
+  save_network_snapshot(original, buffer);
+  const auto restored = load_network_snapshot(corpus, buffer, NetworkConfig{});
+
+  restored.check_invariants();
+  ASSERT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.alive_count(), original.alive_count());
+  for (NodeId n = 0; n < original.size(); ++n) {
+    EXPECT_EQ(restored.alive(n), original.alive(n));
+    EXPECT_DOUBLE_EQ(restored.capacity(n), original.capacity(n));
+    EXPECT_EQ(restored.degree(n, LinkType::kRandom),
+              original.degree(n, LinkType::kRandom));
+    EXPECT_EQ(restored.degree(n, LinkType::kSemantic),
+              original.degree(n, LinkType::kSemantic));
+    for (const NodeId peer : original.all_neighbors(n)) {
+      EXPECT_EQ(restored.link_type(n, peer), original.link_type(n, peer));
+    }
+  }
+  // Content is rebuilt identically from the corpus.
+  EXPECT_EQ(restored.node_vector(0), original.node_vector(0));
+}
+
+TEST(NetworkSnapshot, ReplicasReinstalledOnLoad) {
+  const auto corpus = test::clustered_corpus(6, 2);
+  Network original(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  original.connect(0, 1, LinkType::kRandom);
+  std::stringstream buffer;
+  save_network_snapshot(original, buffer);
+  const auto restored = load_network_snapshot(corpus, buffer, NetworkConfig{});
+  ASSERT_NE(restored.replica(0, 1), nullptr);
+  EXPECT_EQ(*restored.replica(0, 1), restored.node_vector(1));
+}
+
+TEST(NetworkSnapshot, RejectsMismatchedCorpus) {
+  const auto corpus = test::clustered_corpus(10, 2);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  std::stringstream buffer;
+  save_network_snapshot(net, buffer);
+  const auto other = test::clustered_corpus(12, 2);
+  EXPECT_THROW(load_network_snapshot(other, buffer, NetworkConfig{}),
+               util::CheckFailure);
+}
+
+TEST(NetworkSnapshot, RejectsGarbage) {
+  const auto corpus = test::clustered_corpus(4, 1);
+  std::stringstream garbage("nope");
+  EXPECT_THROW(load_network_snapshot(corpus, garbage, NetworkConfig{}),
+               util::CheckFailure);
+}
+
+TEST(NetworkSnapshot, VectorSizeConfigAppliesOnLoad) {
+  const auto corpus = test::clustered_corpus(6, 1, 3, 16);
+  Network original(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  std::stringstream buffer;
+  save_network_snapshot(original, buffer);
+  NetworkConfig truncated;
+  truncated.node_vector_size = 4;
+  const auto restored = load_network_snapshot(corpus, buffer, truncated);
+  EXPECT_LE(restored.node_vector(0).size(), 4u);
+}
+
+TEST(NetworkSnapshot, FileRoundTrip) {
+  const auto corpus = test::clustered_corpus(8, 2);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  net.connect(0, 1, LinkType::kSemantic);
+  const std::string path = ::testing::TempDir() + "/ges_net_snapshot.bin";
+  save_network_snapshot_file(net, path);
+  const auto restored = load_network_snapshot_file(corpus, path, NetworkConfig{});
+  EXPECT_EQ(restored.link_type(0, 1), LinkType::kSemantic);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ges::p2p

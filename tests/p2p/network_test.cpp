@@ -1,0 +1,197 @@
+#include "p2p/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_corpus.hpp"
+#include "util/check.hpp"
+
+namespace ges::p2p {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : corpus_(test::clustered_corpus(8, 2)),
+        net_(corpus_, test::uniform_capacities(corpus_), NetworkConfig{}) {}
+
+  corpus::Corpus corpus_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, InitialStateIsAliveAndLinkless) {
+  EXPECT_EQ(net_.size(), 8u);
+  EXPECT_EQ(net_.alive_count(), 8u);
+  for (NodeId n = 0; n < 8; ++n) {
+    EXPECT_TRUE(net_.alive(n));
+    EXPECT_EQ(net_.degree(n), 0u);
+  }
+  net_.check_invariants();
+}
+
+TEST_F(NetworkTest, NodeVectorsBuiltFromDocuments) {
+  for (NodeId n = 0; n < 8; ++n) {
+    EXPECT_FALSE(net_.node_vector(n).empty());
+    EXPECT_NEAR(net_.node_vector(n).norm(), 1.0, 1e-5);
+  }
+  // Same-topic nodes are highly relevant; cross-topic orthogonal.
+  EXPECT_GT(net_.rel_nodes(0, 2), 0.9);
+  EXPECT_DOUBLE_EQ(net_.rel_nodes(0, 1), 0.0);
+}
+
+TEST_F(NetworkTest, ConnectIsSymmetricAndTyped) {
+  ASSERT_TRUE(net_.connect(0, 1, LinkType::kRandom));
+  EXPECT_TRUE(net_.has_link(0, 1));
+  EXPECT_TRUE(net_.has_link(1, 0));
+  EXPECT_EQ(net_.link_type(0, 1), LinkType::kRandom);
+  EXPECT_EQ(net_.link_type(1, 0), LinkType::kRandom);
+  EXPECT_EQ(net_.degree(0, LinkType::kRandom), 1u);
+  EXPECT_EQ(net_.degree(0, LinkType::kSemantic), 0u);
+  net_.check_invariants();
+}
+
+TEST_F(NetworkTest, ConnectRejectsSelfDuplicateAndDead) {
+  EXPECT_FALSE(net_.connect(0, 0, LinkType::kRandom));
+  ASSERT_TRUE(net_.connect(0, 1, LinkType::kRandom));
+  EXPECT_FALSE(net_.connect(0, 1, LinkType::kSemantic));
+  EXPECT_FALSE(net_.connect(1, 0, LinkType::kRandom));
+  net_.deactivate(2);
+  EXPECT_FALSE(net_.connect(0, 2, LinkType::kRandom));
+}
+
+TEST_F(NetworkTest, RandomLinkInstallsReplicasBothSides) {
+  ASSERT_TRUE(net_.connect(0, 1, LinkType::kRandom));
+  ASSERT_NE(net_.replica(0, 1), nullptr);
+  ASSERT_NE(net_.replica(1, 0), nullptr);
+  EXPECT_EQ(*net_.replica(0, 1), net_.node_vector(1));
+}
+
+TEST_F(NetworkTest, SemanticLinkHasNoReplica) {
+  ASSERT_TRUE(net_.connect(0, 2, LinkType::kSemantic));
+  EXPECT_EQ(net_.replica(0, 2), nullptr);
+}
+
+TEST_F(NetworkTest, DisconnectFlushesReplicas) {
+  ASSERT_TRUE(net_.connect(0, 1, LinkType::kRandom));
+  ASSERT_TRUE(net_.disconnect(0, 1));
+  EXPECT_FALSE(net_.has_link(0, 1));
+  EXPECT_EQ(net_.replica(0, 1), nullptr);
+  EXPECT_EQ(net_.replica(1, 0), nullptr);
+  EXPECT_FALSE(net_.disconnect(0, 1));
+  net_.check_invariants();
+}
+
+TEST_F(NetworkTest, ReclassifyChangesTypeAndReplicas) {
+  ASSERT_TRUE(net_.connect(0, 2, LinkType::kRandom));
+  ASSERT_TRUE(net_.reclassify(0, 2, LinkType::kSemantic));
+  EXPECT_EQ(net_.link_type(2, 0), LinkType::kSemantic);
+  EXPECT_EQ(net_.replica(0, 2), nullptr);
+  ASSERT_TRUE(net_.reclassify(2, 0, LinkType::kRandom));
+  EXPECT_NE(net_.replica(0, 2), nullptr);
+  // No-op cases.
+  EXPECT_FALSE(net_.reclassify(0, 2, LinkType::kRandom));
+  EXPECT_FALSE(net_.reclassify(0, 5, LinkType::kRandom));
+  net_.check_invariants();
+}
+
+TEST_F(NetworkTest, DeactivateDropsAllLinks) {
+  net_.connect(0, 1, LinkType::kRandom);
+  net_.connect(0, 2, LinkType::kSemantic);
+  net_.connect(0, 3, LinkType::kRandom);
+  net_.deactivate(0);
+  EXPECT_FALSE(net_.alive(0));
+  EXPECT_EQ(net_.alive_count(), 7u);
+  EXPECT_EQ(net_.degree(0), 0u);
+  EXPECT_EQ(net_.degree(1), 0u);
+  EXPECT_EQ(net_.replica(1, 0), nullptr);
+  net_.check_invariants();
+}
+
+TEST_F(NetworkTest, ActivateRestoresMembershipWithFreshCaches) {
+  net_.random_cache(0).insert({1, 1.0, 0, 0.0, {}});
+  net_.deactivate(0);
+  net_.activate(0);
+  EXPECT_TRUE(net_.alive(0));
+  EXPECT_EQ(net_.alive_count(), 8u);
+  EXPECT_EQ(net_.random_cache(0).size(), 0u);  // caches reset on rejoin
+  EXPECT_EQ(net_.degree(0), 0u);
+}
+
+TEST_F(NetworkTest, RefreshReplicasPicksUpVectorDrift) {
+  ASSERT_TRUE(net_.connect(0, 1, LinkType::kRandom));
+  // Change node 1's documents: replica at 0 becomes stale.
+  net_.add_document(1, ir::SparseVector::from_pairs({{99, 5.0f}}));
+  EXPECT_EQ(net_.stale_replica_count(0), 1u);
+  net_.refresh_replicas(0);
+  EXPECT_EQ(net_.stale_replica_count(0), 0u);
+  EXPECT_EQ(*net_.replica(0, 1), net_.node_vector(1));
+}
+
+TEST_F(NetworkTest, AddDocumentUpdatesIndexAndVector) {
+  const auto before = net_.node_vector(0);
+  const auto doc = net_.add_document(0, ir::SparseVector::from_pairs({{77, 3.0f}}));
+  EXPECT_EQ(net_.document_owner(doc), 0u);
+  EXPECT_FALSE(net_.node_vector(0) == before);
+  const auto q = ir::SparseVector::from_pairs({{77, 1.0f}});
+  EXPECT_FALSE(net_.index(0).evaluate(q, 0.0).empty());
+}
+
+TEST_F(NetworkTest, RemoveDocumentUpdatesState) {
+  const auto doc = net_.add_document(0, ir::SparseVector::from_pairs({{77, 3.0f}}));
+  ASSERT_TRUE(net_.remove_document(0, doc));
+  EXPECT_FALSE(net_.remove_document(0, doc));
+  EXPECT_EQ(net_.document_owner(doc), kInvalidNode);
+  const auto q = ir::SparseVector::from_pairs({{77, 1.0f}});
+  EXPECT_TRUE(net_.index(0).evaluate(q, 0.0).empty());
+}
+
+TEST_F(NetworkTest, RemoveCorpusDocument) {
+  const auto doc = corpus_.node_docs[3][0];
+  ASSERT_TRUE(net_.remove_document(3, doc));
+  EXPECT_EQ(net_.document_owner(doc), kInvalidNode);
+  EXPECT_EQ(net_.documents(3).size(), corpus_.node_docs[3].size() - 1);
+}
+
+TEST_F(NetworkTest, DocumentVectorAccess) {
+  const auto& v = net_.document_vector(0);
+  EXPECT_EQ(v, corpus_.docs[0].vector);
+  const auto dyn = net_.add_document(0, ir::SparseVector::from_pairs({{5, 2.0f}}));
+  EXPECT_NEAR(net_.document_vector(dyn).norm(), 1.0, 1e-6);
+}
+
+TEST_F(NetworkTest, CapacityMismatchRejected) {
+  EXPECT_THROW(Network(corpus_, std::vector<Capacity>(3, 1.0), NetworkConfig{}),
+               util::CheckFailure);
+}
+
+TEST(NetworkVectorSize, TruncationAppliesToProtocolVectors) {
+  const auto corpus = test::clustered_corpus(4, 1, 2, 16);
+  NetworkConfig cfg;
+  cfg.node_vector_size = 4;
+  const Network net(corpus, test::uniform_capacities(corpus), cfg);
+  EXPECT_LE(net.node_vector(0).size(), 4u);
+  EXPECT_GT(net.full_node_vector(0).size(), 4u);
+  EXPECT_NEAR(net.node_vector(0).norm(), 1.0, 1e-5);
+}
+
+TEST(NetworkBootstrap, RandomGraphHitsTargetDegree) {
+  const auto corpus = test::clustered_corpus(40, 4);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  util::Rng rng(3);
+  bootstrap_random_graph(net, 6.0, rng);
+  size_t total_degree = 0;
+  for (NodeId n = 0; n < 40; ++n) total_degree += net.degree(n);
+  EXPECT_NEAR(static_cast<double>(total_degree) / 40.0, 6.0, 0.5);
+  net.check_invariants();
+}
+
+TEST(NetworkBootstrap, JoinConnectsNode) {
+  const auto corpus = test::clustered_corpus(10, 2);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  util::Rng rng(4);
+  bootstrap_join(net, 0, 3, rng);
+  EXPECT_EQ(net.degree(0), 3u);
+  net.check_invariants();
+}
+
+}  // namespace
+}  // namespace ges::p2p

@@ -1,0 +1,94 @@
+#include "p2p/random_walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "support/test_corpus.hpp"
+#include "util/check.hpp"
+
+namespace ges::p2p {
+namespace {
+
+class RandomWalkTest : public ::testing::Test {
+ protected:
+  RandomWalkTest()
+      : corpus_(test::clustered_corpus(20, 2)),
+        net_(corpus_, test::uniform_capacities(corpus_), NetworkConfig{}) {
+    util::Rng rng(1);
+    bootstrap_random_graph(net_, 4.0, rng);
+  }
+
+  corpus::Corpus corpus_;
+  Network net_;
+};
+
+TEST_F(RandomWalkTest, RespectsTtl) {
+  util::Rng rng(2);
+  const auto result = random_walk(net_, 0, 5, 100, rng);
+  EXPECT_LE(result.hops, 5u);
+  EXPECT_LE(result.visited.size(), 5u);
+}
+
+TEST_F(RandomWalkTest, RespectsMaxResponses) {
+  util::Rng rng(3);
+  const auto result = random_walk(net_, 0, 1000, 3, rng);
+  EXPECT_EQ(result.visited.size(), 3u);
+}
+
+TEST_F(RandomWalkTest, VisitedAreDistinctAndExcludeStart) {
+  util::Rng rng(4);
+  const auto result = random_walk(net_, 0, 50, 100, rng);
+  std::unordered_set<NodeId> unique(result.visited.begin(), result.visited.end());
+  EXPECT_EQ(unique.size(), result.visited.size());
+  EXPECT_EQ(unique.count(0), 0u);
+}
+
+TEST_F(RandomWalkTest, VisitedAreNeighborsReachable) {
+  util::Rng rng(5);
+  const auto result = random_walk(net_, 0, 30, 100, rng);
+  for (const NodeId n : result.visited) {
+    EXPECT_LT(n, net_.size());
+    EXPECT_TRUE(net_.alive(n));
+  }
+}
+
+TEST_F(RandomWalkTest, Deterministic) {
+  util::Rng a(6);
+  util::Rng b(6);
+  const auto ra = random_walk(net_, 0, 30, 100, a);
+  const auto rb = random_walk(net_, 0, 30, 100, b);
+  EXPECT_EQ(ra.visited, rb.visited);
+  EXPECT_EQ(ra.hops, rb.hops);
+}
+
+TEST(RandomWalk, IsolatedNodeYieldsEmptyWalk) {
+  const auto corpus = test::clustered_corpus(4, 1);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  util::Rng rng(7);
+  const auto result = random_walk(net, 0, 10, 10, rng);
+  EXPECT_TRUE(result.visited.empty());
+  EXPECT_EQ(result.hops, 0u);
+}
+
+TEST(RandomWalk, DeadStartThrows) {
+  const auto corpus = test::clustered_corpus(4, 1);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  net.deactivate(0);
+  util::Rng rng(8);
+  EXPECT_THROW(random_walk(net, 0, 10, 10, rng), util::CheckFailure);
+}
+
+TEST(RandomWalk, TwoNodeLineBouncesWhenForced) {
+  const auto corpus = test::clustered_corpus(2, 1);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  net.connect(0, 1, LinkType::kRandom);
+  util::Rng rng(9);
+  const auto result = random_walk(net, 0, 4, 10, rng);
+  // With a single neighbor the walk must still make progress (bounce).
+  EXPECT_EQ(result.visited, (std::vector<NodeId>{1}));
+  EXPECT_EQ(result.hops, 4u);
+}
+
+}  // namespace
+}  // namespace ges::p2p

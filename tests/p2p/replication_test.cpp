@@ -1,0 +1,56 @@
+#include "p2p/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_corpus.hpp"
+
+namespace ges::p2p {
+namespace {
+
+TEST(Replication, HeartbeatsRefreshStaleReplicas) {
+  const auto corpus = test::clustered_corpus(6, 2);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  net.connect(0, 1, LinkType::kRandom);
+  net.connect(0, 2, LinkType::kRandom);
+
+  EventQueue queue;
+  schedule_replica_heartbeats(queue, net, 10.0);
+
+  // Drift both neighbors' vectors.
+  net.add_document(1, ir::SparseVector::from_pairs({{50, 2.0f}}));
+  net.add_document(2, ir::SparseVector::from_pairs({{51, 2.0f}}));
+  EXPECT_EQ(net.stale_replica_count(0), 2u);
+
+  queue.run_until(10.0);  // first heartbeat
+  EXPECT_EQ(net.stale_replica_count(0), 0u);
+}
+
+TEST(Replication, ConvergesWithinOneInterval) {
+  const auto corpus = test::clustered_corpus(4, 1);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  net.connect(0, 1, LinkType::kRandom);
+
+  EventQueue queue;
+  schedule_replica_heartbeats(queue, net, 5.0);
+  queue.run_until(12.0);  // two heartbeats elapsed
+
+  net.add_document(1, ir::SparseVector::from_pairs({{60, 1.0f}}));
+  EXPECT_EQ(net.stale_replica_count(0), 1u);
+  queue.run_until(queue.now() + 5.0);
+  EXPECT_EQ(net.stale_replica_count(0), 0u);
+}
+
+TEST(Replication, SkipsDeadNodes) {
+  const auto corpus = test::clustered_corpus(4, 1);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  net.connect(0, 1, LinkType::kRandom);
+  net.deactivate(2);
+
+  EventQueue queue;
+  schedule_replica_heartbeats(queue, net, 1.0);
+  queue.run_until(3.0);  // must not throw on the dead node
+  EXPECT_EQ(net.stale_replica_count(0), 0u);
+}
+
+}  // namespace
+}  // namespace ges::p2p

@@ -1,0 +1,74 @@
+#pragma once
+
+// Hand-constructed corpora with perfectly controllable structure, used by
+// the p2p / ges / baselines / integration tests. Topics use disjoint term
+// blocks, so same-topic node vectors are highly relevant (REL ~ 1) and
+// different-topic ones are orthogonal (REL = 0) — ideal for asserting on
+// adaptation and search behaviour.
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "p2p/types.hpp"
+
+namespace ges::test {
+
+/// Corpus with `nodes` nodes; node i writes `docs_per_node` documents
+/// about topic (i % topics). Topic t owns terms
+/// [t*terms_per_topic, (t+1)*terms_per_topic). Each document covers the
+/// whole topic block with mild weight variation; one query per topic uses
+/// the block's first two terms, judged relevant = all docs of that topic.
+inline corpus::Corpus clustered_corpus(size_t nodes, size_t topics,
+                                       size_t docs_per_node = 3,
+                                       size_t terms_per_topic = 8) {
+  corpus::Corpus c;
+  for (size_t t = 0; t < topics * terms_per_topic; ++t) {
+    c.dict.intern("w" + std::to_string(t));
+  }
+  c.node_docs.resize(nodes);
+  for (size_t n = 0; n < nodes; ++n) {
+    const auto topic = static_cast<corpus::TopicId>(n % topics);
+    const auto base = static_cast<ir::TermId>(topic * terms_per_topic);
+    for (size_t k = 0; k < docs_per_node; ++k) {
+      std::vector<ir::TermWeight> counts;
+      for (size_t j = 0; j < terms_per_topic; ++j) {
+        // Vary frequencies slightly so documents are not identical.
+        const auto f = static_cast<float>(1 + (n + k + j) % 3);
+        counts.push_back({static_cast<ir::TermId>(base + j), f});
+      }
+      corpus::Document d;
+      d.id = static_cast<ir::DocId>(c.docs.size());
+      d.node = static_cast<corpus::NodeIndex>(n);
+      d.topic = topic;
+      d.counts = ir::SparseVector::from_pairs(std::move(counts));
+      d.vector = d.counts;
+      d.vector.dampen();
+      d.vector.normalize();
+      c.node_docs[n].push_back(d.id);
+      c.docs.push_back(std::move(d));
+    }
+  }
+  for (size_t t = 0; t < topics; ++t) {
+    corpus::Query q;
+    q.id = static_cast<uint32_t>(t);
+    q.topic = static_cast<corpus::TopicId>(t);
+    const auto base = static_cast<ir::TermId>(t * terms_per_topic);
+    q.vector = ir::SparseVector::from_pairs(
+        {{base, 1.0f}, {static_cast<ir::TermId>(base + 1), 1.0f}});
+    q.vector.normalize();
+    for (const auto& d : c.docs) {
+      if (d.topic == q.topic) q.relevant.push_back(d.id);
+    }
+    c.queries.push_back(std::move(q));
+  }
+  return c;
+}
+
+/// Uniform capacities for a corpus.
+inline std::vector<p2p::Capacity> uniform_capacities(const corpus::Corpus& c,
+                                                     p2p::Capacity value = 1.0) {
+  return std::vector<p2p::Capacity>(c.num_nodes(), value);
+}
+
+}  // namespace ges::test

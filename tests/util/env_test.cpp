@@ -1,0 +1,70 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace ges::util {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("GES_TEST_VAR");
+    unsetenv("GES_SCALE");
+  }
+};
+
+TEST_F(EnvTest, StringUnsetIsNullopt) {
+  unsetenv("GES_TEST_VAR");
+  EXPECT_FALSE(env_string("GES_TEST_VAR").has_value());
+}
+
+TEST_F(EnvTest, StringEmptyIsNullopt) {
+  setenv("GES_TEST_VAR", "", 1);
+  EXPECT_FALSE(env_string("GES_TEST_VAR").has_value());
+}
+
+TEST_F(EnvTest, StringSet) {
+  setenv("GES_TEST_VAR", "hello", 1);
+  EXPECT_EQ(env_string("GES_TEST_VAR").value(), "hello");
+}
+
+TEST_F(EnvTest, IntParsesAndFallsBack) {
+  setenv("GES_TEST_VAR", "123", 1);
+  EXPECT_EQ(env_int("GES_TEST_VAR", 7), 123);
+  setenv("GES_TEST_VAR", "notanumber", 1);
+  EXPECT_EQ(env_int("GES_TEST_VAR", 7), 7);
+  setenv("GES_TEST_VAR", "12x", 1);
+  EXPECT_EQ(env_int("GES_TEST_VAR", 7), 7);
+  unsetenv("GES_TEST_VAR");
+  EXPECT_EQ(env_int("GES_TEST_VAR", 7), 7);
+}
+
+TEST_F(EnvTest, DoubleParsesAndFallsBack) {
+  setenv("GES_TEST_VAR", "1.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("GES_TEST_VAR", 0.1), 1.5);
+  setenv("GES_TEST_VAR", "oops", 1);
+  EXPECT_DOUBLE_EQ(env_double("GES_TEST_VAR", 0.1), 0.1);
+}
+
+TEST_F(EnvTest, ScaleParsing) {
+  setenv("GES_SCALE", "tiny", 1);
+  EXPECT_EQ(env_scale(Scale::kMedium), Scale::kTiny);
+  setenv("GES_SCALE", "full", 1);
+  EXPECT_EQ(env_scale(Scale::kMedium), Scale::kFull);
+  setenv("GES_SCALE", "bogus", 1);
+  EXPECT_EQ(env_scale(Scale::kMedium), Scale::kMedium);
+  unsetenv("GES_SCALE");
+  EXPECT_EQ(env_scale(Scale::kSmall), Scale::kSmall);
+}
+
+TEST_F(EnvTest, ScaleNames) {
+  EXPECT_STREQ(scale_name(Scale::kTiny), "tiny");
+  EXPECT_STREQ(scale_name(Scale::kSmall), "small");
+  EXPECT_STREQ(scale_name(Scale::kMedium), "medium");
+  EXPECT_STREQ(scale_name(Scale::kFull), "full");
+}
+
+}  // namespace
+}  // namespace ges::util

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace ges::util {
+namespace {
+
+TEST(Check, PassingExpressionIsSilent) {
+  EXPECT_NO_THROW(GES_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingExpressionThrowsWithLocation) {
+  try {
+    GES_CHECK(false);
+    FAIL() << "GES_CHECK(false) did not throw";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("GES_CHECK failed"), std::string::npos);
+    EXPECT_NE(what.find("logging_check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageIsStreamedIntoWhat) {
+  try {
+    const int value = 41;
+    GES_CHECK_MSG(value == 42, "value was " << value);
+    FAIL() << "GES_CHECK_MSG did not throw";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 41"), std::string::npos);
+  }
+}
+
+TEST(Check, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  auto bump = [&calls] {
+    ++calls;
+    return true;
+  };
+  GES_CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+class LogLevelTest : public ::testing::Test {
+ protected:
+  LogLevelTest() : saved_(log_level()) {}
+  ~LogLevelTest() override { set_log_level(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LogLevelTest, SetAndGetRoundTrip) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                               LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST_F(LogLevelTest, SuppressedMacroDoesNotEvaluateStreamArgs) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "payload";
+  };
+  GES_DEBUG << expensive();
+  GES_ERROR << expensive();  // below kOff too
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LogLevelTest, EnabledMacroEvaluatesStreamArgs) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto payload = [&evaluations] {
+    ++evaluations;
+    return "payload";
+  };
+  GES_ERROR << payload();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogLevelTest, LogMessageRespectsThreshold) {
+  // Behavioural smoke test: must not crash at any level.
+  set_log_level(LogLevel::kWarn);
+  log_message(LogLevel::kDebug, "dropped");
+  log_message(LogLevel::kError, "emitted");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ges::util

@@ -1,0 +1,232 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ges::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(DeriveSeed, DeterministicAndStreamSeparated) {
+  EXPECT_EQ(derive_seed(42, 0), derive_seed(42, 0));
+  EXPECT_NE(derive_seed(42, 0), derive_seed(42, 1));
+  EXPECT_NE(derive_seed(42, 0), derive_seed(43, 0));
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(1);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowZeroBoundThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), CheckFailure);
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(2);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01HalfOpen) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceProbabilityApproximatelyRespected) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(6);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(100.0));
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(10);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng rng(11);
+  std::vector<double> empty;
+  EXPECT_THROW(rng.weighted_index(empty), CheckFailure);
+  std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zeros), CheckFailure);
+  std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW(rng.weighted_index(negative), CheckFailure);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(12);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(13);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // probability of identity ~ 1/100!
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(14);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const size_t s : sample) EXPECT_LT(s, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(15);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementTooManyThrows) {
+  Rng rng(16);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), CheckFailure);
+}
+
+TEST(ZipfSampler, PmfSumsToOneAndDecreases) {
+  const ZipfSampler zipf(100, 1.2);
+  double sum = 0.0;
+  double prev = 1.0;
+  for (size_t r = 1; r <= 100; ++r) {
+    const double p = zipf.pmf(r);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, SamplesMatchPmf) {
+  const ZipfSampler zipf(10, 1.0);
+  Rng rng(17);
+  std::vector<int> counts(11, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (size_t r = 1; r <= 10; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, zipf.pmf(r), 0.01);
+  }
+}
+
+TEST(ZipfSampler, AlphaZeroIsUniform) {
+  const ZipfSampler zipf(4, 0.0);
+  for (size_t r = 1; r <= 4; ++r) EXPECT_NEAR(zipf.pmf(r), 0.25, 1e-9);
+}
+
+TEST(ZipfSampler, RankBoundsChecked) {
+  const ZipfSampler zipf(5, 1.0);
+  EXPECT_THROW(zipf.pmf(0), CheckFailure);
+  EXPECT_THROW(zipf.pmf(6), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ges::util

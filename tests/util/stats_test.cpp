@@ -1,0 +1,110 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ges::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+}
+
+TEST(Accumulator, KnownMeanAndVariance) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance of the set is 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, SingleSample) {
+  EXPECT_DOUBLE_EQ(percentile({3.0}, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0}, 100.0), 3.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(Percentile, OutOfRangePThrows) {
+  EXPECT_THROW(percentile({1.0}, -1.0), CheckFailure);
+  EXPECT_THROW(percentile({1.0}, 101.0), CheckFailure);
+}
+
+TEST(EmpiricalCdf, Empty) { EXPECT_TRUE(empirical_cdf({}).empty()); }
+
+TEST(EmpiricalCdf, DistinctValues) {
+  const auto cdf = empirical_cdf({3.0, 1.0, 2.0, 4.0});
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].second, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[3].first, 4.0);
+  EXPECT_DOUBLE_EQ(cdf[3].second, 1.0);
+}
+
+TEST(EmpiricalCdf, MergesEqualValues) {
+  const auto cdf = empirical_cdf({1.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf[0].second, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cdf[1].second, 1.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-1.0);   // clamped to bin 0
+  h.add(100.0);  // clamped to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), CheckFailure);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckFailure);
+}
+
+TEST(Histogram, OutOfRangeBinThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.bin_count(2), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ges::util

@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ges::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render("");
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("x       1"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(Table, RowSizeMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), CheckFailure);
+}
+
+TEST(Table, EmptyHeaderThrows) { EXPECT_THROW(Table({}), CheckFailure); }
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"4", "5", "6"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(Cell, FormatsDoubles) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(cell(3.14159, 0), "3");
+  EXPECT_EQ(cell(-1.5, 1), "-1.5");
+}
+
+TEST(Cell, FormatsIntegers) {
+  EXPECT_EQ(cell(size_t{42}), "42");
+  EXPECT_EQ(cell(-7), "-7");
+}
+
+TEST(PctCell, FormatsFractions) {
+  EXPECT_EQ(pct_cell(0.716, 1), "71.6%");
+  EXPECT_EQ(pct_cell(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace ges::util
