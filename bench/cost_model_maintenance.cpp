@@ -7,12 +7,17 @@
 // re-bootstraps) per node per simulated minute, alongside the search
 // quality that the maintenance sustains.
 
+#include <chrono>
+
 #include "p2p/churn.hpp"
 #include "p2p/replication.hpp"
 #include "support/bench_common.hpp"
+#include "support/bench_json.hpp"
 
 int main() {
   using namespace ges;
+  using Clock = std::chrono::steady_clock;
+  bench::BenchJsonWriter json("cost_model_maintenance");
   const auto ctx = bench::make_context(util::Scale::kSmall);
   bench::print_banner("Maintenance cost vs churn (paper §1 motivation)", ctx);
 
@@ -48,8 +53,13 @@ int main() {
     p2p::EventQueue queue;
     size_t walk_messages = 0;
     size_t heartbeat_messages = 0;
+    size_t adaptation_rounds = 0;
+    double adaptation_seconds = 0.0;
     queue.schedule_every(kAdaptEvery, [&] {
+      const auto start = Clock::now();
       walk_messages += adaptation.run_round().walk_messages;
+      adaptation_seconds += std::chrono::duration<double>(Clock::now() - start).count();
+      ++adaptation_rounds;
     });
     queue.schedule_every(kHeartbeatEvery, [&] {
       for (const auto n : network.alive_nodes()) {
@@ -90,7 +100,16 @@ int main() {
                    util::cell(network.alive_count()),
                    util::cell(core::count_semantic_groups(network)),
                    util::pct_cell(curve.recall.back())});
+    if (adaptation_rounds > 0 && adaptation_seconds > 0.0) {
+      const double secs_per_round = adaptation_seconds / static_cast<double>(adaptation_rounds);
+      json.add(std::string("adaptation_round/") + level.name,
+               1.0 / secs_per_round, secs_per_round * 1e9,
+               {{"walk_msgs_per_node_min",
+                 static_cast<double>(walk_messages) / node_minutes},
+                {"recall_at_30pct", curve.recall.back()}});
+    }
   }
+  json.write();
   std::cout << table.render();
   std::cout << "\nMaintenance stays flat per node while churn rises; recall "
                "degrades only\nwith the offline fraction — the unstructured "

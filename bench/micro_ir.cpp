@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "support/bench_json_main.hpp"
+
 #include "ir/analyzer.hpp"
 #include "ir/local_index.hpp"
 #include "ir/node_vector.hpp"
@@ -93,6 +95,39 @@ void BM_LocalIndexEvaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalIndexEvaluate);
 
+// Supernode-sized collection with a dense vocabulary: every query term
+// hits long posting lists, stressing the scoring accumulator itself.
+void BM_LocalIndexEvaluateLarge(benchmark::State& state) {
+  util::Rng rng(3);
+  ir::LocalIndex index;
+  const auto docs = static_cast<ir::DocId>(state.range(0));
+  for (ir::DocId d = 0; d < docs; ++d) {
+    index.add_document(d, random_vector(rng, 180, 2000));
+  }
+  const auto query = random_vector(rng, 8, 2000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.evaluate(query, 0.0));
+  }
+}
+BENCHMARK(BM_LocalIndexEvaluateLarge)->Arg(400)->Arg(4000);
+
+void BM_LocalIndexRemoveReadd(benchmark::State& state) {
+  util::Rng rng(3);
+  ir::LocalIndex index;
+  std::vector<ir::SparseVector> vectors;
+  for (ir::DocId d = 0; d < 400; ++d) {
+    vectors.push_back(random_vector(rng, 180, 20000));
+    index.add_document(d, vectors.back());
+  }
+  ir::DocId victim = 0;
+  for (auto _ : state) {
+    index.remove_document(victim);
+    index.add_document(victim, vectors[victim]);
+    victim = (victim + 1) % 400;
+  }
+}
+BENCHMARK(BM_LocalIndexRemoveReadd);
+
 void BM_QueryExpansion(benchmark::State& state) {
   util::Rng rng(4);
   const auto query = random_vector(rng, 4, 20000);
@@ -119,4 +154,6 @@ BENCHMARK(BM_TruncateTop);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ges::bench::run_benchmarks_with_json(argc, argv, "micro_ir");
+}

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "support/bench_json_main.hpp"
+
 #include "baselines/random_walk_search.hpp"
 #include "baselines/sets.hpp"
 #include "corpus/synthetic_corpus.hpp"
@@ -36,6 +38,25 @@ void BM_AdaptationRound(benchmark::State& state) {
                           static_cast<int64_t>(net.alive_count()));
 }
 BENCHMARK(BM_AdaptationRound)->Unit(benchmark::kMillisecond);
+
+// The same round with the parallel plan phase disabled — isolates the
+// thread-pool contribution from the rel-cache contribution.
+void BM_AdaptationRoundSerial(benchmark::State& state) {
+  const auto& corpus = bench_corpus();
+  p2p::Network net(corpus, std::vector<p2p::Capacity>(corpus.num_nodes(), 1.0),
+                   p2p::NetworkConfig{});
+  util::Rng rng(1);
+  p2p::bootstrap_random_graph(net, 6.0, rng);
+  core::GesParams params;
+  params.parallel_rounds = false;
+  core::TopologyAdaptation adapt(net, params, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adapt.run_round());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(net.alive_count()));
+}
+BENCHMARK(BM_AdaptationRoundSerial)->Unit(benchmark::kMillisecond);
 
 const core::GesSystem& adapted_system() {
   static const auto system = [] {
@@ -119,4 +140,6 @@ BENCHMARK(BM_BootstrapRandomGraph)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ges::bench::run_benchmarks_with_json(argc, argv, "micro_overlay");
+}

@@ -1,0 +1,56 @@
+#pragma once
+
+// google-benchmark glue for BENCH_<name>.json emission (bench_json.hpp).
+// Including <benchmark/benchmark.h> pulls in a static initializer that
+// needs libbenchmark at link time, so this lives apart from the
+// benchmark-library-free BenchJsonWriter.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/bench_json.hpp"
+
+namespace ges::bench {
+
+/// Console reporter that additionally records every per-iteration run and
+/// writes BENCH_<name>.json when the benchmark binary finishes.
+class JsonConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonConsoleReporter(std::string bench_name)
+      : writer_(std::move(bench_name)) {}
+
+  ~JsonConsoleReporter() override {
+    if (!writer_.empty()) writer_.write();
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const auto iterations = static_cast<double>(run.iterations);
+      if (iterations <= 0.0 || run.real_accumulated_time <= 0.0) continue;
+      const double secs_per_op = run.real_accumulated_time / iterations;
+      writer_.add(run.benchmark_name(), 1.0 / secs_per_op, secs_per_op * 1e9);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchJsonWriter writer_;
+};
+
+/// main() body for a google-benchmark binary that emits BENCH_<name>.json.
+inline int run_benchmarks_with_json(int argc, char** argv, const char* bench_name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  {
+    JsonConsoleReporter reporter(bench_name);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }  // reporter destructor writes the JSON
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ges::bench

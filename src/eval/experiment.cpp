@@ -29,10 +29,11 @@ double RecallCostCurve::recall_at(double cost_fraction) const {
 namespace {
 
 /// A random alive initiator for query `index`, deterministic in `seed`.
-p2p::NodeId pick_initiator(const p2p::Network& network, uint64_t seed, size_t index) {
+/// `alive` is the experiment-wide snapshot of alive nodes: the O(n)
+/// rebuild happens once per experiment, not once per query.
+p2p::NodeId pick_initiator(const std::vector<p2p::NodeId>& alive, uint64_t seed,
+                           size_t index) {
   util::Rng rng(util::derive_seed(seed, 0xA11CE000 + index));
-  const auto alive = network.alive_nodes();
-  GES_CHECK(!alive.empty());
   return alive[rng.index(alive.size())];
 }
 
@@ -53,6 +54,8 @@ RecallCostCurve recall_cost_curve(const corpus::Corpus& corpus,
                                   const std::vector<double>& grid, uint64_t seed,
                                   SearchCostStats* cost_stats) {
   const auto counts = probe_counts_for(grid, network.alive_count());
+  const auto alive = network.alive_nodes();
+  GES_CHECK(!alive.empty());
 
   // Queries are independent and the network is read-only during search,
   // so evaluate them on the shared pool. Results land in per-query
@@ -69,7 +72,7 @@ RecallCostCurve recall_cost_curve(const corpus::Corpus& corpus,
     const auto& query = corpus.queries[qi];
     if (query.relevant.empty()) return;
     util::Rng rng(util::derive_seed(seed, 0xBEEF0000 + qi));
-    const auto trace = searcher(query, pick_initiator(network, seed, qi), rng);
+    const auto trace = searcher(query, pick_initiator(alive, seed, qi), rng);
     const Judgment judgment(query.relevant);
     QueryResult& r = results[qi];
     r.recalls = recall_at_probe_counts(trace, judgment, counts);
@@ -114,13 +117,29 @@ std::vector<double> per_query_recall_at_cost(const corpus::Corpus& corpus,
                                              uint64_t seed) {
   const size_t probes = static_cast<size_t>(
       std::llround(cost * static_cast<double>(network.alive_count())));
-  std::vector<double> recalls;
-  for (size_t qi = 0; qi < corpus.queries.size(); ++qi) {
+  const auto alive = network.alive_nodes();
+  GES_CHECK(!alive.empty());
+
+  // Same per-query-slot pattern as recall_cost_curve: parallel
+  // evaluation, order-preserving aggregation.
+  struct QueryResult {
+    bool evaluated = false;
+    double recall = 0.0;
+  };
+  std::vector<QueryResult> results(corpus.queries.size());
+  util::global_pool().parallel_for(corpus.queries.size(), [&](size_t qi) {
     const auto& query = corpus.queries[qi];
-    if (query.relevant.empty()) continue;
+    if (query.relevant.empty()) return;
     util::Rng rng(util::derive_seed(seed, 0xBEEF0000 + qi));
-    const auto trace = searcher(query, pick_initiator(network, seed, qi), rng);
-    recalls.push_back(recall_at_probes(trace, Judgment(query.relevant), probes));
+    const auto trace = searcher(query, pick_initiator(alive, seed, qi), rng);
+    results[qi].recall = recall_at_probes(trace, Judgment(query.relevant), probes);
+    results[qi].evaluated = true;
+  });
+
+  std::vector<double> recalls;
+  recalls.reserve(results.size());
+  for (const auto& r : results) {
+    if (r.evaluated) recalls.push_back(r.recall);
   }
   return recalls;
 }

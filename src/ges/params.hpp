@@ -51,6 +51,12 @@ struct GesParams {
   /// accordingly, cutting maintenance traffic once the topology is good.
   bool satisfaction_adaptive = false;
 
+  /// Engine option (not in the paper): run the read-only plan phase of
+  /// each adaptation round on the global thread pool. Per-node RNG
+  /// streams make the result bit-identical to the sequential plan phase,
+  /// so this only changes wall-clock time, never the topology.
+  bool parallel_rounds = true;
+
   // --- Search ----------------------------------------------------------
 
   /// Documents with REL(D,Q) >= doc_rel_threshold count as retrieved;

@@ -70,14 +70,17 @@ struct QueryRun {
     while (!frontier.empty() && !done()) {
       const Item item = frontier.front();
       frontier.pop_front();
-      if (opt.flood_radius != 0 && item.depth >= opt.flood_radius) continue;
+      // Nodes on the radius boundary are probed (by their parent's loop
+      // below) but never expand further, so only enqueue items that can.
+      const bool children_expand =
+          opt.flood_radius == 0 || item.depth + 1 < opt.flood_radius;
       for (const NodeId next : net.neighbors(item.node, LinkType::kSemantic)) {
         if (next == item.from) continue;
         ++trace.flood_messages;
         if (seen.count(next) > 0) continue;  // duplicate GUID: discarded
         if (done()) break;
         probe(next);
-        frontier.push_back({next, item.node, item.depth + 1});
+        if (children_expand) frontier.push_back({next, item.node, item.depth + 1});
       }
     }
   }

@@ -5,6 +5,7 @@
 
 #include "p2p/random_walk.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ges::core {
 
@@ -24,7 +25,27 @@ AdaptationRoundStats TopologyAdaptation::run_round() {
   AdaptationRoundStats stats;
   auto nodes = network_->alive_nodes();
   rng_.shuffle(nodes);
-  for (const NodeId node : nodes) node_step(node, stats);
+  const uint64_t round_seed = rng_.next();
+
+  // Phase 1 — plan: read-only against the frozen start-of-round state.
+  // Per-node RNG streams make the result independent of execution order,
+  // so the pool and the sequential fallback produce identical plans.
+  std::vector<NodePlan> plans(nodes.size());
+  const auto plan_one = [&](size_t i) {
+    util::Rng rng(util::derive_seed(round_seed, uint64_t{2} * nodes[i]));
+    plans[i] = plan_node(nodes[i], rng);
+  };
+  if (params_.parallel_rounds) {
+    util::global_pool().parallel_for(nodes.size(), plan_one);
+  } else {
+    for (size_t i = 0; i < nodes.size(); ++i) plan_one(i);
+  }
+
+  // Phase 2 — commit: serial, in the round's shuffled node order.
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    util::Rng rng(util::derive_seed(round_seed, uint64_t{2} * nodes[i] + 1));
+    commit_node(nodes[i], plans[i], rng, stats);
+  }
   return stats;
 }
 
@@ -47,19 +68,23 @@ AdaptationRoundStats TopologyAdaptation::run_rounds(size_t rounds) {
 }
 
 void TopologyAdaptation::node_step(NodeId node, AdaptationRoundStats& stats) {
-  if (!network_->alive(node)) return;
-  if (params_.satisfaction_adaptive &&
-      rng_.chance(node_satisfaction(node))) {
+  const NodePlan plan = plan_node(node, rng_);
+  commit_node(node, plan, rng_, stats);
+}
+
+TopologyAdaptation::NodePlan TopologyAdaptation::plan_node(NodeId node,
+                                                           util::Rng& rng) const {
+  NodePlan plan;
+  if (!network_->alive(node)) return plan;
+  if (params_.satisfaction_adaptive && rng.chance(node_satisfaction(node))) {
     // Satisfied nodes throttle the expensive discovery traffic; cheap
     // local maintenance (reclassification) still runs every round.
-    ++stats.discovery_skipped;
+    plan.discovery_skipped = true;
   } else {
-    discover(node, stats);
+    plan_discovery(node, rng, plan);
   }
-  if (params_.gossip_host_caches) gossip_caches(node, stats);
-  try_add_semantic(node, stats);
-  try_add_random(node, stats);
-  reclassify_links(node, stats);
+  if (params_.gossip_host_caches) plan_gossip(node, rng, plan);
+  return plan;
 }
 
 double TopologyAdaptation::node_satisfaction(NodeId node) const {
@@ -92,18 +117,19 @@ double TopologyAdaptation::node_satisfaction(NodeId node) const {
   return std::min(sem, rnd);
 }
 
-void TopologyAdaptation::gossip_caches(NodeId node, AdaptationRoundStats& stats) {
+void TopologyAdaptation::plan_gossip(NodeId node, util::Rng& rng,
+                                     NodePlan& plan) const {
   const auto& semantic = network_->neighbors(node, p2p::LinkType::kSemantic);
   if (semantic.empty()) return;
-  const NodeId peer = semantic[rng_.index(semantic.size())];
-  ++stats.gossip_messages;
+  const NodeId peer = semantic[rng.index(semantic.size())];
+  ++plan.gossip_messages;
   // Merge the peer's semantic host cache, re-scoring for this node and
   // keeping only entries that qualify from our perspective.
   for (const auto* entry : network_->semantic_cache(peer).entries()) {
     if (entry->node == node || !network_->alive(entry->node)) continue;
     const double rel = network_->rel_nodes(node, entry->node);
     if (rel < params_.node_rel_threshold) continue;
-    network_->semantic_cache(node).insert(make_entry(entry->node, rel, false));
+    plan.semantic_inserts.push_back(make_entry(entry->node, rel, false));
   }
 }
 
@@ -118,14 +144,15 @@ HostCacheEntry TopologyAdaptation::make_entry(NodeId about, double rel,
   return entry;
 }
 
-void TopologyAdaptation::discover(NodeId node, AdaptationRoundStats& stats) {
+void TopologyAdaptation::plan_discovery(NodeId node, util::Rng& rng,
+                                        NodePlan& plan) const {
   // Two periodic random-walk queries (paper §4.3): one requesting nodes
   // with REL >= threshold (-> semantic host cache), one requesting nodes
   // below the threshold (-> random host cache).
   for (const bool want_relevant : {true, false}) {
     const auto walk = p2p::random_walk(*network_, node, params_.walk_ttl,
-                                       params_.walk_max_responses * 4, rng_);
-    stats.walk_messages += walk.hops;
+                                       params_.walk_max_responses * 4, rng);
+    plan.walk_messages += walk.hops;
     size_t responses = 0;
     for (const NodeId seen : walk.visited) {
       if (responses >= params_.walk_max_responses) break;
@@ -135,7 +162,7 @@ void TopologyAdaptation::discover(NodeId node, AdaptationRoundStats& stats) {
       ++responses;
       if (relevant) {
         // The semantic host cache stores no node vectors (paper §4.3).
-        network_->semantic_cache(node).insert(make_entry(seen, rel, false));
+        plan.semantic_inserts.push_back(make_entry(seen, rel, false));
         if (params_.cache_assisted_discovery) {
           // §4.3 optimization: the relevant node also answers with
           // qualifying candidates from its own semantic host cache.
@@ -144,17 +171,34 @@ void TopologyAdaptation::discover(NodeId node, AdaptationRoundStats& stats) {
             if (entry->node == node || !network_->alive(entry->node)) continue;
             const double assist_rel = network_->rel_nodes(node, entry->node);
             if (assist_rel < params_.node_rel_threshold) continue;
-            network_->semantic_cache(node).insert(
-                make_entry(entry->node, assist_rel, false));
+            plan.semantic_inserts.push_back(make_entry(entry->node, assist_rel, false));
             ++responses;
-            ++stats.cache_assists;
+            ++plan.cache_assists;
           }
         }
       } else {
-        network_->random_cache(node).insert(make_entry(seen, rel, true));
+        plan.random_inserts.push_back(make_entry(seen, rel, true));
       }
     }
   }
+}
+
+void TopologyAdaptation::commit_node(NodeId node, const NodePlan& plan, util::Rng& rng,
+                                     AdaptationRoundStats& stats) {
+  if (!network_->alive(node)) return;
+  stats.walk_messages += plan.walk_messages;
+  stats.gossip_messages += plan.gossip_messages;
+  stats.cache_assists += plan.cache_assists;
+  if (plan.discovery_skipped) ++stats.discovery_skipped;
+  for (const auto& entry : plan.semantic_inserts) {
+    network_->semantic_cache(node).insert(entry);
+  }
+  for (const auto& entry : plan.random_inserts) {
+    network_->random_cache(node).insert(entry);
+  }
+  try_add_semantic(node, stats);
+  try_add_random(node, rng, stats);
+  reclassify_links(node, stats);
 }
 
 bool TopologyAdaptation::accept_semantic(NodeId self, NodeId /*candidate*/, double rel,
@@ -287,7 +331,8 @@ bool TopologyAdaptation::accept_random(NodeId self, NodeId candidate,
   return true;
 }
 
-void TopologyAdaptation::try_add_random(NodeId node, AdaptationRoundStats& stats) {
+void TopologyAdaptation::try_add_random(NodeId node, util::Rng& rng,
+                                        AdaptationRoundStats& stats) {
   const Network& net = *network_;
   const auto acceptable = [&](const HostCacheEntry& e) {
     return net.alive(e.node) && e.node != node && !net.has_link(node, e.node);
@@ -303,7 +348,7 @@ void TopologyAdaptation::try_add_random(NodeId node, AdaptationRoundStats& stats
       if (acceptable(*e)) pool.push_back(e);
     }
     if (pool.empty()) return;
-    candidate = pool[rng_.index(pool.size())];
+    candidate = pool[rng.index(pool.size())];
   }
   const NodeId peer = candidate->node;
 

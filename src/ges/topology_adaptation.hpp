@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "ges/params.hpp"
+#include "p2p/host_cache.hpp"
 #include "p2p/network.hpp"
 #include "util/rng.hpp"
 
@@ -35,6 +37,22 @@ struct AdaptationRoundStats {
 ///   4. drops links whose relevance crossed the threshold, remembering
 ///      the peer in the now-appropriate host cache.
 ///
+/// A round is executed in two phases:
+///   * Plan (read-only, parallelizable): every node runs its discovery
+///     walks, satisfaction throttle and gossip merge against the frozen
+///     start-of-round topology and host caches, producing a candidate
+///     list. Each node draws from its own RNG stream derived from
+///     (round seed, node id), so the phase's outcome is independent of
+///     execution order — running it on the thread pool or sequentially
+///     yields bit-identical plans.
+///   * Commit (serial, deterministic): in the round's shuffled node
+///     order, each node's candidates are inserted into its host caches
+///     and the link handshakes / reclassification are applied. All
+///     topology mutations happen here, one node at a time.
+/// Determinism contract: for a fixed seed the resulting topology is a
+/// pure function of the network state, whether or not the plan phase ran
+/// in parallel (GesParams::parallel_rounds).
+///
 /// The class never runs by itself — call run_round() (all alive nodes, in
 /// random order) or node_step(); wire it to an EventQueue for time-driven
 /// simulation.
@@ -44,13 +62,14 @@ class TopologyAdaptation {
 
   const GesParams& params() const { return params_; }
 
-  /// One adaptation step for every alive node, in random order.
+  /// One adaptation step for every alive node: parallel read-only plan
+  /// phase, then serial commit in random order (see class comment).
   AdaptationRoundStats run_round();
 
   /// Run `rounds` rounds; returns aggregate stats.
   AdaptationRoundStats run_rounds(size_t rounds);
 
-  /// One adaptation step for a single node.
+  /// One adaptation step for a single node (plan + commit back-to-back).
   void node_step(p2p::NodeId node, AdaptationRoundStats& stats);
 
   /// Satisfaction degree in [0, 1] (paper §7 future work): how full the
@@ -60,19 +79,34 @@ class TopologyAdaptation {
   double node_satisfaction(p2p::NodeId node) const;
 
  private:
-  // Phase 1: discovery walks filling the two host caches.
-  void discover(p2p::NodeId node, AdaptationRoundStats& stats);
+  /// Read-only output of one node's plan phase: candidate host-cache
+  /// entries and the message accounting of how they were discovered.
+  struct NodePlan {
+    bool discovery_skipped = false;
+    size_t walk_messages = 0;
+    size_t gossip_messages = 0;
+    size_t cache_assists = 0;
+    std::vector<p2p::HostCacheEntry> semantic_inserts;
+    std::vector<p2p::HostCacheEntry> random_inserts;
+  };
 
-  // Phase 2/3: neighbor addition with replacement.
+  /// Phase 1: discovery walks + gossip against the frozen network.
+  /// Must not mutate the network (runs concurrently across nodes).
+  NodePlan plan_node(p2p::NodeId node, util::Rng& rng) const;
+  void plan_discovery(p2p::NodeId node, util::Rng& rng, NodePlan& plan) const;
+  void plan_gossip(p2p::NodeId node, util::Rng& rng, NodePlan& plan) const;
+
+  /// Phase 2: apply a node's plan — cache inserts, link handshakes,
+  /// threshold reclassification. Serial only.
+  void commit_node(p2p::NodeId node, const NodePlan& plan, util::Rng& rng,
+                   AdaptationRoundStats& stats);
+
+  // Neighbor addition with replacement (commit phase).
   void try_add_semantic(p2p::NodeId node, AdaptationRoundStats& stats);
-  void try_add_random(p2p::NodeId node, AdaptationRoundStats& stats);
+  void try_add_random(p2p::NodeId node, util::Rng& rng, AdaptationRoundStats& stats);
 
-  // Phase 4: threshold-crossing link maintenance.
+  // Threshold-crossing link maintenance (commit phase).
   void reclassify_links(p2p::NodeId node, AdaptationRoundStats& stats);
-
-  // Optional §4.3 optimization: merge a semantic neighbor's semantic
-  // host cache into ours (relevance recomputed for this node).
-  void gossip_caches(p2p::NodeId node, AdaptationRoundStats& stats);
 
   /// One endpoint's accept decision for a semantic candidate with
   /// relevance `rel` (to this endpoint). On acceptance-with-replacement,

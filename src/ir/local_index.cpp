@@ -7,43 +7,80 @@
 namespace ges::ir {
 
 void LocalIndex::add_document(DocId doc, const SparseVector& vector) {
-  GES_CHECK_MSG(docs_.count(doc) == 0, "document " << doc << " already indexed");
+  GES_CHECK_MSG(doc_slot_.count(doc) == 0, "document " << doc << " already indexed");
+  const auto slot = static_cast<uint32_t>(slot_doc_.size());
+  std::vector<TermId> terms;
+  terms.reserve(vector.size());
   for (const auto& e : vector.entries()) {
-    postings_[e.term].push_back({doc, e.weight});
+    postings_[e.term].push_back({slot, e.weight});
+    terms.push_back(e.term);
   }
-  docs_.emplace(doc, vector.size());
+  doc_slot_.emplace(doc, slot);
+  slot_doc_.push_back(doc);
+  slot_terms_.push_back(std::move(terms));
 }
 
 bool LocalIndex::remove_document(DocId doc) {
-  const auto it = docs_.find(doc);
-  if (it == docs_.end()) return false;
-  for (auto pit = postings_.begin(); pit != postings_.end();) {
+  const auto it = doc_slot_.find(doc);
+  if (it == doc_slot_.end()) return false;
+  const uint32_t slot = it->second;
+
+  // Strip the document's own postings (its term list names exactly the
+  // posting lists that can contain it).
+  for (const TermId term : slot_terms_[slot]) {
+    const auto pit = postings_.find(term);
     auto& list = pit->second;
-    list.erase(std::remove_if(list.begin(), list.end(),
-                              [doc](const Posting& p) { return p.doc == doc; }),
-               list.end());
-    if (list.empty()) {
-      pit = postings_.erase(pit);
-    } else {
-      ++pit;
-    }
+    list.erase(std::find_if(list.begin(), list.end(),
+                            [slot](const Posting& p) { return p.slot == slot; }));
+    if (list.empty()) postings_.erase(pit);
   }
-  docs_.erase(it);
+  doc_slot_.erase(it);
+
+  // Keep slots dense: move the last document into the freed slot and
+  // rewrite its postings' slot ids.
+  const auto last = static_cast<uint32_t>(slot_doc_.size() - 1);
+  if (slot != last) {
+    for (const TermId term : slot_terms_[last]) {
+      auto& list = postings_.at(term);
+      std::find_if(list.begin(), list.end(),
+                   [last](const Posting& p) { return p.slot == last; })
+          ->slot = slot;
+    }
+    slot_doc_[slot] = slot_doc_[last];
+    slot_terms_[slot] = std::move(slot_terms_[last]);
+    doc_slot_[slot_doc_[slot]] = slot;
+  }
+  slot_doc_.pop_back();
+  slot_terms_.pop_back();
   return true;
 }
 
-std::vector<ScoredDoc> LocalIndex::score_all(const SparseVector& query) const {
-  std::unordered_map<DocId, double> scores;
+std::vector<ScoredDoc> LocalIndex::score_all(const SparseVector& query,
+                                             ScoreArena& arena) const {
+  if (arena.acc.size() < slot_doc_.size()) {
+    arena.acc.resize(slot_doc_.size(), 0.0);
+    arena.seen.resize(slot_doc_.size(), 0);
+  }
+  arena.touched.clear();
   for (const auto& e : query.entries()) {
     const auto pit = postings_.find(e.term);
     if (pit == postings_.end()) continue;
+    const double qw = e.weight;
     for (const auto& p : pit->second) {
-      scores[p.doc] += static_cast<double>(e.weight) * p.weight;
+      if (!arena.seen[p.slot]) {
+        arena.seen[p.slot] = 1;
+        arena.touched.push_back(p.slot);
+      }
+      arena.acc[p.slot] += qw * p.weight;
     }
   }
   std::vector<ScoredDoc> out;
-  out.reserve(scores.size());
-  for (const auto& [doc, score] : scores) out.push_back({doc, score});
+  out.reserve(arena.touched.size());
+  for (const uint32_t slot : arena.touched) {
+    out.push_back({slot_doc_[slot], arena.acc[slot]});
+    arena.acc[slot] = 0.0;  // restore the all-zero invariant
+    arena.seen[slot] = 0;
+  }
   std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
     if (a.score != b.score) return a.score > b.score;
     return a.doc < b.doc;
@@ -51,9 +88,19 @@ std::vector<ScoredDoc> LocalIndex::score_all(const SparseVector& query) const {
   return out;
 }
 
+ScoreArena& LocalIndex::thread_arena() {
+  static thread_local ScoreArena arena;
+  return arena;
+}
+
 std::vector<ScoredDoc> LocalIndex::evaluate(const SparseVector& query,
                                             double threshold) const {
-  std::vector<ScoredDoc> scored = score_all(query);
+  return evaluate(query, threshold, thread_arena());
+}
+
+std::vector<ScoredDoc> LocalIndex::evaluate(const SparseVector& query, double threshold,
+                                            ScoreArena& arena) const {
+  std::vector<ScoredDoc> scored = score_all(query, arena);
   if (threshold <= 0.0) return scored;  // positive scores only, by construction
   const auto cut = std::find_if(scored.begin(), scored.end(), [threshold](const ScoredDoc& d) {
     return d.score < threshold;
@@ -63,16 +110,13 @@ std::vector<ScoredDoc> LocalIndex::evaluate(const SparseVector& query,
 }
 
 std::vector<ScoredDoc> LocalIndex::top_k(const SparseVector& query, size_t k) const {
-  std::vector<ScoredDoc> scored = score_all(query);
+  std::vector<ScoredDoc> scored = score_all(query, thread_arena());
   if (scored.size() > k) scored.resize(k);
   return scored;
 }
 
 std::vector<DocId> LocalIndex::document_ids() const {
-  std::vector<DocId> ids;
-  ids.reserve(docs_.size());
-  for (const auto& [doc, terms] : docs_) ids.push_back(doc);
-  return ids;
+  return slot_doc_;
 }
 
 }  // namespace ges::ir

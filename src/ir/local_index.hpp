@@ -16,25 +16,49 @@ struct ScoredDoc {
   friend bool operator==(const ScoredDoc&, const ScoredDoc&) = default;
 };
 
+/// Reusable scoring scratch space: a dense per-document accumulator plus
+/// the list of slots touched by the current query. Between calls every
+/// accumulator entry is zero and every flag clear, so the arena never
+/// needs a full clear — only the touched slots are reset. One arena can
+/// serve indexes of any size (it grows to the largest seen) and any
+/// number of sequential queries; each search thread uses its own.
+struct ScoreArena {
+  std::vector<double> acc;      // slot -> accumulated score
+  std::vector<uint8_t> seen;    // slot -> touched this query?
+  std::vector<uint32_t> touched;
+};
+
 /// Per-node inverted index over the node's local documents. Each visited
 /// node evaluates queries against its own contents (paper §1, §4.5); this
 /// index makes that evaluation proportional to the postings of the query's
 /// terms rather than to the node's whole collection.
+///
+/// Documents occupy dense slots [0, document_count()), so query scoring
+/// accumulates into a flat array (no per-call hash map); removal visits
+/// only the removed document's own posting lists via a per-slot term
+/// list (plus the one document swapped into the freed slot).
 class LocalIndex {
  public:
   /// Index a (normalized) document vector under its global DocId.
   void add_document(DocId doc, const SparseVector& vector);
 
   /// Remove a previously added document. Returns false if unknown.
+  /// Cost is proportional to the removed document's postings, not the
+  /// index's total postings.
   bool remove_document(DocId doc);
 
-  size_t document_count() const { return docs_.size(); }
+  size_t document_count() const { return slot_doc_.size(); }
   size_t term_count() const { return postings_.size(); }
 
   /// All documents with REL(D, Q) >= threshold (Eq. 1), sorted by
   /// descending score (ties by ascending DocId). threshold <= 0 means
-  /// "any positive score".
+  /// "any positive score". Uses a thread-local ScoreArena.
   std::vector<ScoredDoc> evaluate(const SparseVector& query, double threshold) const;
+
+  /// Same, accumulating through a caller-provided arena (for callers that
+  /// manage their own scratch, e.g. batched evaluation loops).
+  std::vector<ScoredDoc> evaluate(const SparseVector& query, double threshold,
+                                  ScoreArena& arena) const;
 
   /// The k highest-scoring documents with positive scores.
   std::vector<ScoredDoc> top_k(const SparseVector& query, size_t k) const;
@@ -44,14 +68,18 @@ class LocalIndex {
 
  private:
   struct Posting {
-    DocId doc;
+    uint32_t slot;
     float weight;
   };
 
-  std::vector<ScoredDoc> score_all(const SparseVector& query) const;
+  std::vector<ScoredDoc> score_all(const SparseVector& query, ScoreArena& arena) const;
+
+  static ScoreArena& thread_arena();
 
   std::unordered_map<TermId, std::vector<Posting>> postings_;
-  std::unordered_map<DocId, size_t> docs_;  // doc -> term count (for removal bookkeeping)
+  std::unordered_map<DocId, uint32_t> doc_slot_;
+  std::vector<DocId> slot_doc_;                 // slot -> document id
+  std::vector<std::vector<TermId>> slot_terms_; // slot -> its posting terms
 };
 
 }  // namespace ges::ir

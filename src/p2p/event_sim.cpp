@@ -19,14 +19,15 @@ void EventQueue::schedule_after(SimTime delay, std::function<void()> handler) {
 
 void EventQueue::schedule_every(SimTime interval, std::function<void()> handler) {
   GES_CHECK(interval > 0.0);
-  // Self-rescheduling wrapper; shared_ptr breaks the otherwise-recursive
-  // lambda type.
-  auto wrapper = std::make_shared<std::function<void()>>();
-  *wrapper = [this, interval, handler = std::move(handler), wrapper]() mutable {
-    handler();
-    schedule_after(interval, *wrapper);
-  };
-  schedule_after(interval, *wrapper);
+  repeating_.push_back(std::make_unique<RepeatingTask>(
+      RepeatingTask{interval, std::move(handler)}));
+  RepeatingTask* task = repeating_.back().get();
+  schedule_after(interval, [this, task] { run_repeating(*task); });
+}
+
+void EventQueue::run_repeating(RepeatingTask& task) {
+  task.handler();
+  schedule_after(task.interval, [this, &task] { run_repeating(task); });
 }
 
 void EventQueue::pop_and_run() {

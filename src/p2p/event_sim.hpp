@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -50,8 +51,17 @@ class EventQueue {
     }
   };
 
-  void pop_and_run();
+  /// A schedule_every task, owned by the queue so the queued closures
+  /// can reference it without owning each other (no shared_ptr cycle).
+  struct RepeatingTask {
+    SimTime interval;
+    std::function<void()> handler;
+  };
 
+  void pop_and_run();
+  void run_repeating(RepeatingTask& task);
+
+  std::vector<std::unique_ptr<RepeatingTask>> repeating_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 0;

@@ -9,7 +9,7 @@ namespace ges::p2p {
 
 Network::Network(const corpus::Corpus& corpus, std::vector<Capacity> capacities,
                  NetworkConfig config)
-    : corpus_(&corpus), config_(config) {
+    : corpus_(&corpus), config_(config), rel_cache_(std::make_unique<RelCache>()) {
   GES_CHECK_MSG(capacities.size() == corpus.num_nodes(),
                 "capacities (" << capacities.size() << ") must match corpus nodes ("
                                << corpus.num_nodes() << ")");
@@ -139,7 +139,10 @@ bool Network::reclassify(NodeId a, NodeId b, LinkType type) {
 }
 
 double Network::rel_nodes(NodeId a, NodeId b) const {
-  return peer(a).vector.dot(peer(b).vector);
+  const Peer& pa = peer(a);
+  const Peer& pb = peer(b);
+  return rel_cache_->get(a, b, pa.vector_version, pb.vector_version,
+                         [&pa, &pb] { return pa.vector.dot(pb.vector); });
 }
 
 NodeId Network::document_owner(ir::DocId doc) const {
@@ -204,6 +207,7 @@ void Network::rebuild_node_vector(NodeId node) {
   for (const ir::DocId d : p.docs) counts.push_back(counts_of(d));
   p.full_vector = ir::build_node_vector(counts, 0);
   p.vector = ir::truncate_node_vector(p.full_vector, config_.node_vector_size);
+  ++p.vector_version;  // lazily invalidates this node's rel_nodes entries
 }
 
 const ir::SparseVector* Network::replica(NodeId owner, NodeId neighbor) const {

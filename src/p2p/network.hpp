@@ -1,6 +1,7 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "ir/local_index.hpp"
 #include "ir/sparse_vector.hpp"
 #include "p2p/host_cache.hpp"
+#include "p2p/rel_cache.hpp"
 #include "p2p/types.hpp"
 #include "util/rng.hpp"
 
@@ -88,7 +90,17 @@ class Network {
   }
 
   /// REL(X, Y) — Eq. 2 on the protocol-visible (truncated) node vectors.
+  /// Memoized per unordered pair in a version-stamped cache: the sparse
+  /// dot product is recomputed only after either endpoint's vector
+  /// changed (add/remove document). Thread-safe for concurrent readers.
   double rel_nodes(NodeId a, NodeId b) const;
+
+  /// Monotonic version of a node's vector; bumped on every rebuild
+  /// (document addition/removal). Stamps rel_nodes cache entries.
+  uint64_t node_vector_version(NodeId node) const { return peer(node).vector_version; }
+
+  /// The pairwise-relevance cache (hit/miss diagnostics for benches).
+  const RelCache& rel_cache() const { return *rel_cache_; }
 
   const ir::LocalIndex& index(NodeId node) const { return peer(node).index; }
   const std::vector<ir::DocId>& documents(NodeId node) const { return peer(node).docs; }
@@ -155,6 +167,7 @@ class Network {
     ir::LocalIndex index;
     ir::SparseVector vector;       // truncated to node_vector_size
     ir::SparseVector full_vector;  // untruncated
+    uint64_t vector_version = 0;   // bumped by rebuild_node_vector
   };
 
   const Peer& peer(NodeId node) const;
@@ -168,6 +181,7 @@ class Network {
   NetworkConfig config_;
   std::vector<Peer> peers_;
   size_t alive_count_ = 0;
+  std::unique_ptr<RelCache> rel_cache_;  // unique_ptr keeps Network movable
 
   // Documents added after construction (DocIds continue the corpus range).
   struct DynamicDoc {

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "p2p/types.hpp"
+
+namespace ges::p2p {
+
+/// Version-stamped memoization of pairwise node relevance (REL(X, Y),
+/// Eq. 2). Node vectors change only when a node's document set changes,
+/// yet topology adaptation re-scores the same node pairs thousands of
+/// times per round (walk responses, host-cache merges, handshakes, link
+/// reclassification). The cache stores one entry per unordered node pair
+/// stamped with both endpoints' vector versions; a lookup whose stamps
+/// match the peers' current versions is a hit, anything else is lazily
+/// recomputed and overwritten. Correctness therefore never depends on
+/// eager invalidation: add_document / remove_document only have to bump
+/// the owner's version.
+///
+/// The cache is sharded (mutex per shard) so the read-only scoring phase
+/// of a parallel adaptation round can probe it concurrently. Values are
+/// deterministic (a dot product of the two current vectors), so
+/// concurrent recomputation of the same pair is benign.
+class RelCache {
+ public:
+  /// Cached value for the unordered pair {a, b} if the entry carries
+  /// exactly the versions (va, vb); otherwise invokes `compute`, stores
+  /// the result under the fresh stamps, and returns it.
+  template <typename Compute>
+  double get(NodeId a, NodeId b, uint64_t va, uint64_t vb, Compute&& compute) {
+    if (b < a) {
+      const NodeId tn = a;
+      a = b;
+      b = tn;
+      const uint64_t tv = va;
+      va = vb;
+      vb = tv;
+    }
+    const uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+    Shard& shard = shards_[shard_of(key)];
+    {
+      std::lock_guard lock(shard.mu);
+      const auto it = shard.map.find(key);
+      if (it != shard.map.end() && it->second.va == va && it->second.vb == vb) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second.value;
+      }
+    }
+    // Compute outside the lock: dot products are the expensive part.
+    const double value = compute();
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard lock(shard.mu);
+      if (shard.map.size() >= kMaxEntriesPerShard && shard.map.count(key) == 0) {
+        shard.map.clear();  // epoch reset: bounded memory, lazily refilled
+      }
+      shard.map[key] = Entry{va, vb, value};
+    }
+    return value;
+  }
+
+  /// Drop every entry (diagnostics; never needed for correctness).
+  void clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard lock(s.mu);
+      s.map.clear();
+    }
+  }
+
+  /// Number of resident entries (approximate under concurrent use).
+  size_t size() const {
+    size_t total = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard lock(s.mu);
+      total += s.map.size();
+    }
+    return total;
+  }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    uint64_t va = 0;
+    uint64_t vb = 0;
+    double value = 0.0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Entry> map;
+  };
+
+  static constexpr size_t kShardCount = 64;  // power of two
+  static constexpr size_t kMaxEntriesPerShard = 1 << 15;
+
+  static size_t shard_of(uint64_t key) {
+    // Mix both halves so shards stay balanced when low NodeIds dominate.
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    return static_cast<size_t>(key >> 33) & (kShardCount - 1);
+  }
+
+  std::array<Shard, kShardCount> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace ges::p2p

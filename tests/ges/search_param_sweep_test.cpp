@@ -51,7 +51,9 @@ TEST_P(SearchSweepTest, InvariantsHoldAcrossConfigurations) {
       EXPECT_GT(r.score, 0.0);
     }
     // Flood radius 0 or >= 1 always yields consistent counters.
-    if (trace.target_count == 0) EXPECT_EQ(trace.flood_messages, 0u);
+    if (trace.target_count == 0) {
+      EXPECT_EQ(trace.flood_messages, 0u);
+    }
   }
 }
 

@@ -237,5 +237,51 @@ TEST(SearchFlood, FloodCoversSemanticGroupOnly) {
   EXPECT_FALSE(probed.count(3));
 }
 
+TEST(SearchFlood, MessageCountsMatchHandComputedBfs) {
+  // Regression guard for the flood frontier bookkeeping: on a hand-built
+  // semantic component the exact message count is derivable from the
+  // paper's protocol (one message per semantic neighbor except the link
+  // the flood arrived on; duplicates count as messages but are discarded).
+  //
+  //        0 --- 2 --- 6 --- 8
+  //         \    |
+  //          \   |
+  //            4          (plus the 2--4 chord closing a cycle)
+  const auto corpus = test::clustered_corpus(10, 2);
+  Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  net.connect(0, 2, LinkType::kSemantic);
+  net.connect(0, 4, LinkType::kSemantic);
+  net.connect(2, 6, LinkType::kSemantic);
+  net.connect(6, 8, LinkType::kSemantic);
+  net.connect(2, 4, LinkType::kSemantic);  // cycle => duplicate messages
+
+  const auto run_flood = [&](uint32_t radius) {
+    SearchOptions opt;
+    opt.flood_radius = radius;
+    util::Rng rng(1);
+    return GesSearch(net, opt).search(corpus.queries[0].vector, 0, rng);
+  };
+
+  // Unlimited radius: 0->{2,4}=2, 2->{6,4(dup)}=2, 4->{2(dup)}=1,
+  // 6->{8}=1, 8->{}=0. Total 6 messages, all five evens probed.
+  const auto unlimited = run_flood(0);
+  EXPECT_EQ(unlimited.flood_messages, 6u);
+  EXPECT_EQ(unlimited.probes(), 5u);
+
+  // Radius 1: only the target expands; its neighbors are probed but
+  // never forward. 0->{2,4} = 2 messages, probes {0,2,4}.
+  const auto r1 = run_flood(1);
+  EXPECT_EQ(r1.flood_messages, 2u);
+  EXPECT_EQ(r1.probes(), 3u);
+
+  // Radius 2: 0->{2,4}=2, then depth-1 nodes send but their children
+  // stop: 2->{6,4(dup)}=2, 4->{2(dup)}=1. Total 5, probes {0,2,4,6}.
+  const auto r2 = run_flood(2);
+  EXPECT_EQ(r2.flood_messages, 5u);
+  EXPECT_EQ(r2.probes(), 4u);
+
+  EXPECT_EQ(unlimited.target_count, 1u);
+}
+
 }  // namespace
 }  // namespace ges::core

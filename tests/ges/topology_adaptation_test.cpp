@@ -109,6 +109,65 @@ TEST_F(AdaptationTest, DeterministicInSeed) {
   EXPECT_EQ(run(3), run(3));
 }
 
+// The determinism contract of the two-phase round (see
+// topology_adaptation.hpp): running the plan phase on the thread pool
+// must yield a bit-identical overlay to running it serially, for the
+// same seed. Compares full adjacency (both link types) and host-cache
+// contents, not just a degree fingerprint.
+TEST_F(AdaptationTest, ParallelRoundsMatchSerialBitExactly) {
+  auto run = [&](bool parallel) {
+    Network net(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{});
+    util::Rng rng(1);
+    p2p::bootstrap_random_graph(net, 5.0, rng);
+    GesParams params;
+    params.parallel_rounds = parallel;
+    TopologyAdaptation adapt(net, params, 17);
+    adapt.run_rounds(6);
+
+    std::vector<std::vector<NodeId>> snapshot;
+    for (const NodeId n : net.alive_nodes()) {
+      snapshot.push_back(net.neighbors(n, LinkType::kSemantic));
+      snapshot.push_back(net.neighbors(n, LinkType::kRandom));
+      std::vector<NodeId> sem_cache;
+      for (const auto* e : net.semantic_cache(n).entries()) {
+        sem_cache.push_back(e->node);
+      }
+      snapshot.push_back(std::move(sem_cache));
+      std::vector<NodeId> rnd_cache;
+      for (const auto* e : net.random_cache(n).entries()) {
+        rnd_cache.push_back(e->node);
+      }
+      snapshot.push_back(std::move(rnd_cache));
+    }
+    return snapshot;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+// Round statistics must also be reproducible across parallel/serial.
+TEST_F(AdaptationTest, ParallelRoundStatsMatchSerial) {
+  auto run = [&](bool parallel) {
+    Network net(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{});
+    util::Rng rng(1);
+    p2p::bootstrap_random_graph(net, 5.0, rng);
+    GesParams params;
+    params.parallel_rounds = parallel;
+    TopologyAdaptation adapt(net, params, 23);
+    std::vector<size_t> counters;
+    for (int i = 0; i < 4; ++i) {
+      const auto stats = adapt.run_round();
+      counters.insert(counters.end(),
+                      {stats.walk_messages, stats.gossip_messages,
+                       stats.semantic_links_added, stats.random_links_added,
+                       stats.semantic_links_dropped, stats.random_links_dropped,
+                       stats.handshake_messages, stats.links_reclassified,
+                       stats.cache_assists, stats.discovery_skipped});
+    }
+    return counters;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
 TEST_F(AdaptationTest, ReclassifiesDriftedSemanticLinks) {
   GesParams params;
   TopologyAdaptation adapt(net_, params, 7);

@@ -102,6 +102,72 @@ TEST(LocalIndex, TermCountTracksPostings) {
   EXPECT_EQ(index.term_count(), 0u);
 }
 
+// The slot-compaction path: removing from the middle swap-moves the
+// last document's slot, which must not corrupt either doc's postings.
+TEST(LocalIndex, InterleavedRemovalKeepsScoresCorrect) {
+  util::Rng rng(31);
+  LocalIndex index;
+  std::vector<std::pair<DocId, SparseVector>> live;
+  DocId next_id = 0;
+  for (int step = 0; step < 200; ++step) {
+    if (live.empty() || rng.chance(0.6)) {
+      std::vector<TermWeight> entries;
+      const size_t n = rng.index(10) + 1;
+      for (size_t i = 0; i < n; ++i) {
+        entries.push_back({static_cast<TermId>(rng.index(25)),
+                           static_cast<float>(rng.uniform(0.1, 2.0))});
+      }
+      auto v = SparseVector::from_pairs(std::move(entries));
+      v.normalize();
+      index.add_document(next_id, v);
+      live.emplace_back(next_id++, std::move(v));
+    } else {
+      const size_t pick = rng.index(live.size());
+      EXPECT_TRUE(index.remove_document(live[pick].first));
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    }
+  }
+  ASSERT_EQ(index.document_count(), live.size());
+  const auto q = vec({{3, 1.0f}, {7, 1.0f}, {12, 1.0f}});
+  const auto results = index.evaluate(q, 0.0);
+  size_t positive = 0;
+  for (const auto& [id, v] : live) {
+    const double score = v.dot(q);
+    if (score > 0.0) {
+      ++positive;
+      const auto it = std::find_if(results.begin(), results.end(),
+                                   [id = id](const ScoredDoc& s) { return s.doc == id; });
+      ASSERT_NE(it, results.end()) << "doc " << id << " missing";
+      EXPECT_NEAR(it->score, score, 1e-9);
+    }
+  }
+  EXPECT_EQ(results.size(), positive);
+}
+
+// One caller-provided arena may be reused across differently-sized
+// indexes; evaluate() must leave it all-zeros for the next call.
+TEST(LocalIndex, CallerProvidedArenaIsReusable) {
+  LocalIndex small;
+  small.add_document(1, vec({{0, 1.0f}}));
+  LocalIndex big;
+  for (DocId d = 0; d < 50; ++d) {
+    big.add_document(d, vec({{0, 1.0f}, {d + 1, static_cast<float>(d % 5 + 1)}}));
+  }
+  ScoreArena arena;
+  const auto q = vec({{0, 1.0f}});
+  const auto r_big = big.evaluate(q, 0.0, arena);
+  EXPECT_EQ(r_big.size(), 50u);
+  const auto r_small = small.evaluate(q, 0.0, arena);
+  ASSERT_EQ(r_small.size(), 1u);
+  EXPECT_NEAR(r_small[0].score, 1.0, 1e-9);
+  const auto r_big2 = big.evaluate(q, 0.0, arena);
+  ASSERT_EQ(r_big2.size(), 50u);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(r_big2[i].doc, r_big[i].doc);
+    EXPECT_NEAR(r_big2[i].score, r_big[i].score, 1e-12);
+  }
+}
+
 // Property: evaluate() agrees with brute-force dot products on random data.
 class LocalIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 

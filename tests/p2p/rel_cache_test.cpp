@@ -1,0 +1,178 @@
+#include "p2p/rel_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ges/topology_adaptation.hpp"
+#include "p2p/network.hpp"
+#include "support/test_corpus.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ges::p2p {
+namespace {
+
+TEST(RelCache, HitsAfterFirstLookupAndInvalidatesOnVersionChange) {
+  RelCache cache;
+  size_t computes = 0;
+  const auto compute = [&computes] {
+    ++computes;
+    return 0.5;
+  };
+  EXPECT_DOUBLE_EQ(cache.get(1, 2, 0, 0, compute), 0.5);
+  EXPECT_EQ(computes, 1u);
+  // Same pair, either orientation: served from cache.
+  EXPECT_DOUBLE_EQ(cache.get(2, 1, 0, 0, compute), 0.5);
+  EXPECT_DOUBLE_EQ(cache.get(1, 2, 0, 0, compute), 0.5);
+  EXPECT_EQ(computes, 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+  // A bumped version on either endpoint forces recomputation.
+  EXPECT_DOUBLE_EQ(cache.get(1, 2, 1, 0, compute), 0.5);
+  EXPECT_EQ(computes, 2u);
+  // The swapped orientation carries the swapped versions: still cached.
+  EXPECT_DOUBLE_EQ(cache.get(2, 1, 0, 1, compute), 0.5);
+  EXPECT_EQ(computes, 2u);
+  EXPECT_DOUBLE_EQ(cache.get(1, 2, 1, 1, compute), 0.5);
+  EXPECT_EQ(computes, 3u);
+}
+
+TEST(RelCache, ConcurrentLookupsAgree) {
+  RelCache cache;
+  constexpr size_t kPairs = 2000;
+  std::vector<double> out(kPairs, 0.0);
+  util::global_pool().parallel_for(kPairs, [&](size_t i) {
+    const auto a = static_cast<NodeId>(i % 50);
+    const auto b = static_cast<NodeId>((i * 7) % 50);
+    out[i] = cache.get(a, b, 3, 3, [a, b] {
+      return static_cast<double>(std::min(a, b)) + static_cast<double>(a + b) / 1000.0;
+    });
+  });
+  for (size_t i = 0; i < kPairs; ++i) {
+    const auto a = static_cast<NodeId>(i % 50);
+    const auto b = static_cast<NodeId>((i * 7) % 50);
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(std::min(a, b)) +
+                                 static_cast<double>(a + b) / 1000.0);
+  }
+}
+
+/// Fresh, cache-free REL: what rel_nodes must always agree with.
+double fresh_rel(const Network& net, NodeId a, NodeId b) {
+  return net.node_vector(a).dot(net.node_vector(b));
+}
+
+void expect_all_pairs_fresh(const Network& net) {
+  for (NodeId a = 0; a < net.size(); ++a) {
+    for (NodeId b = a; b < static_cast<NodeId>(net.size()); ++b) {
+      ASSERT_DOUBLE_EQ(net.rel_nodes(a, b), fresh_rel(net, a, b))
+          << "stale rel for pair (" << a << ", " << b << ")";
+    }
+  }
+}
+
+// Property test of the tentpole contract: after any interleaving of
+// add_document / remove_document / deactivate / activate / adaptation
+// rounds, rel_nodes(a, b) equals a fresh dot product of the current
+// (truncated) node vectors.
+TEST(NetworkRelCache, StaysFreshUnderInterleavedMutations) {
+  const auto corpus = test::clustered_corpus(18, 3);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  util::Rng rng(99);
+  bootstrap_random_graph(net, 4.0, rng);
+  core::TopologyAdaptation adapt(net, core::GesParams{}, 5);
+
+  // Warm the cache over every pair.
+  expect_all_pairs_fresh(net);
+
+  std::vector<ir::DocId> added;
+  for (int step = 0; step < 60; ++step) {
+    const auto node = static_cast<NodeId>(rng.index(net.size()));
+    switch (rng.index(5)) {
+      case 0: {  // add a document with terms drawn from another topic
+        std::vector<ir::TermWeight> counts;
+        const auto base = static_cast<ir::TermId>(rng.index(3) * 8);
+        for (size_t j = 0; j < 4; ++j) {
+          counts.push_back({static_cast<ir::TermId>(base + j),
+                            static_cast<float>(1 + rng.index(3))});
+        }
+        added.push_back(
+            net.add_document(node, ir::SparseVector::from_pairs(std::move(counts))));
+        break;
+      }
+      case 1: {  // remove a dynamically added document (if any remain)
+        if (added.empty()) break;
+        const size_t pick = rng.index(added.size());
+        const ir::DocId doc = added[pick];
+        const NodeId owner = net.document_owner(doc);
+        if (owner != kInvalidNode) net.remove_document(owner, doc);
+        added.erase(added.begin() + static_cast<ptrdiff_t>(pick));
+        break;
+      }
+      case 2:  // churn out
+        if (net.alive_count() > 4) net.deactivate(node);
+        break;
+      case 3:  // churn back in
+        if (!net.alive(node)) {
+          net.activate(node);
+          bootstrap_join(net, node, 2, rng);
+        }
+        break;
+      default:
+        adapt.run_round();
+        break;
+    }
+    // Spot-check a handful of random pairs every step...
+    for (int k = 0; k < 8; ++k) {
+      const auto a = static_cast<NodeId>(rng.index(net.size()));
+      const auto b = static_cast<NodeId>(rng.index(net.size()));
+      ASSERT_DOUBLE_EQ(net.rel_nodes(a, b), fresh_rel(net, a, b));
+    }
+  }
+  // ...and every pair at the end.
+  expect_all_pairs_fresh(net);
+  net.check_invariants();
+}
+
+// Same property with node-vector truncation active: rebuilds must bump
+// the version even when truncation keeps the vector size constant.
+TEST(NetworkRelCache, StaysFreshUnderTruncation) {
+  const auto corpus = test::clustered_corpus(9, 3);
+  NetworkConfig config;
+  config.node_vector_size = 5;
+  Network net(corpus, test::uniform_capacities(corpus), config);
+  expect_all_pairs_fresh(net);
+
+  util::Rng rng(7);
+  for (int step = 0; step < 20; ++step) {
+    const auto node = static_cast<NodeId>(rng.index(net.size()));
+    std::vector<ir::TermWeight> counts;
+    for (size_t j = 0; j < 6; ++j) {
+      counts.push_back({static_cast<ir::TermId>(rng.index(24)),
+                        static_cast<float>(1 + rng.index(4))});
+    }
+    net.add_document(node, ir::SparseVector::from_pairs(std::move(counts)));
+    expect_all_pairs_fresh(net);
+  }
+}
+
+TEST(NetworkRelCache, VersionBumpsOnDocumentChanges) {
+  const auto corpus = test::clustered_corpus(6, 2);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  const uint64_t v0 = net.node_vector_version(0);
+  const auto doc = net.add_document(0, ir::SparseVector::from_pairs({{100, 2.0f}}));
+  EXPECT_GT(net.node_vector_version(0), v0);
+  const uint64_t v1 = net.node_vector_version(0);
+  EXPECT_TRUE(net.remove_document(0, doc));
+  EXPECT_GT(net.node_vector_version(0), v1);
+  // Other nodes' versions are untouched.
+  EXPECT_EQ(net.node_vector_version(1), 1u);
+}
+
+TEST(NetworkRelCache, CachesAcrossRepeatedQueries) {
+  const auto corpus = test::clustered_corpus(6, 2);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  const uint64_t misses_before = net.rel_cache().misses();
+  for (int i = 0; i < 10; ++i) net.rel_nodes(0, 2);
+  EXPECT_EQ(net.rel_cache().misses(), misses_before + 1);
+  EXPECT_GE(net.rel_cache().hits(), 9u);
+}
+
+}  // namespace
+}  // namespace ges::p2p
