@@ -1,0 +1,182 @@
+// Micro-benchmarks of the ingest & bring-up pipeline (google-benchmark):
+// end-to-end synthetic corpus build, TREC analysis + sharded interning,
+// dictionary interning, per-node index/vector bring-up, and corpus
+// (de)serialization. Thread-count arguments: 0 = strictly serial
+// reference path, N = dedicated N-thread pool. Items processed are
+// documents, so google-benchmark's items/s column reads as docs/sec.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/bench_json_main.hpp"
+
+#include "corpus/serialization.hpp"
+#include "corpus/synthetic_corpus.hpp"
+#include "corpus/trec_loader.hpp"
+#include "ir/sharded_term_dictionary.hpp"
+#include "p2p/network.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace ges;
+
+corpus::SyntheticCorpusParams bench_params() {
+  auto params = corpus::SyntheticCorpusParams::for_scale(
+      util::env_scale(util::Scale::kTiny));
+  params.seed = static_cast<uint64_t>(util::env_int("GES_SEED", 42));
+  return params;
+}
+
+std::unique_ptr<util::ThreadPool> pool_for(int64_t threads) {
+  return threads == 0 ? nullptr
+                      : std::make_unique<util::ThreadPool>(static_cast<size_t>(threads));
+}
+
+/// End-to-end synthetic corpus build (analysis, vectors, judgments, df
+/// filter). Arg = thread count, 0 = serial reference.
+void BM_SyntheticCorpusBuild(benchmark::State& state) {
+  const auto params = bench_params();
+  const auto pool = pool_for(state.range(0));
+  size_t docs = 0;
+  for (auto _ : state) {
+    const auto corpus = corpus::generate_synthetic_corpus(params, pool.get());
+    docs = corpus.num_docs();
+    benchmark::DoNotOptimize(corpus.num_docs());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(docs * state.iterations()));
+}
+BENCHMARK(BM_SyntheticCorpusBuild)->Arg(0)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Deterministic in-memory TREC-shaped raw docs for analysis benches.
+std::vector<corpus::TrecRawDoc> make_raw_docs(size_t count) {
+  static const char* kWords[] = {
+      "economy",   "markets",    "rallied",   "accelerator", "particle",
+      "scientist", "restarted",  "quarterly", "growth",      "policy",
+      "election",  "senate",     "drought",   "harvest",     "pipeline",
+      "satellite", "orbit",      "launch",    "computing",   "networks",
+      "estimates", "regulation", "tariffs",   "exports",     "inflation"};
+  util::Rng rng(7);
+  std::vector<corpus::TrecRawDoc> docs(count);
+  for (size_t i = 0; i < count; ++i) {
+    docs[i].docno = "AP-" + std::to_string(i);
+    docs[i].author = "Author " + std::to_string(rng.index(count / 8 + 1));
+    const size_t words = 120 + rng.index(120);
+    docs[i].text.reserve(words * 10);
+    for (size_t w = 0; w < words; ++w) {
+      if (!docs[i].text.empty()) docs[i].text += ' ';
+      docs[i].text += kWords[rng.index(std::size(kWords))];
+      docs[i].text += std::to_string(rng.index(400));  // widen the vocabulary
+    }
+  }
+  return docs;
+}
+
+/// TREC ingest: tokenize -> stop -> stem -> sharded intern -> remap ->
+/// vectors. Arg = thread count, 0 = serial reference.
+void BM_TrecIngest(benchmark::State& state) {
+  const auto raw = make_raw_docs(800);
+  const auto pool = pool_for(state.range(0));
+  for (auto _ : state) {
+    const auto corpus = corpus::build_corpus_from_trec(raw, {}, {}, 0.5, pool.get());
+    benchmark::DoNotOptimize(corpus.num_docs());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(raw.size() * state.iterations()));
+}
+BENCHMARK(BM_TrecIngest)->Arg(0)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Serial dictionary interning over a zipf-ish repeating term stream.
+void BM_DictionaryIntern(benchmark::State& state) {
+  util::Rng rng(3);
+  std::vector<std::string> stream;
+  stream.reserve(100'000);
+  for (size_t i = 0; i < 100'000; ++i) {
+    stream.push_back("term" + std::to_string(rng.index(20'000)));
+  }
+  for (auto _ : state) {
+    ir::TermDictionary dict;
+    for (const auto& term : stream) benchmark::DoNotOptimize(dict.intern(term));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(stream.size() * state.iterations()));
+}
+BENCHMARK(BM_DictionaryIntern);
+
+/// Concurrent sharded interning + deterministic freeze of the same stream.
+void BM_ShardedIntern(benchmark::State& state) {
+  util::Rng rng(3);
+  const size_t docs = 1'000;
+  std::vector<std::vector<std::string>> doc_terms(docs);
+  for (size_t d = 0; d < docs; ++d) {
+    for (size_t t = 0; t < 100; ++t) {
+      doc_terms[d].push_back("term" + std::to_string(rng.index(20'000)));
+    }
+  }
+  const auto pool = pool_for(state.range(0));
+  for (auto _ : state) {
+    ir::ShardedTermDictionary sharded;
+    util::for_each_index(pool.get(), docs, [&](size_t d) {
+      for (uint32_t t = 0; t < doc_terms[d].size(); ++t) {
+        benchmark::DoNotOptimize(sharded.intern(doc_terms[d][t], d, t));
+      }
+    });
+    ir::TermDictionary dict;
+    benchmark::DoNotOptimize(sharded.freeze_into(dict));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(docs * state.iterations()));
+}
+BENCHMARK(BM_ShardedIntern)->Arg(0)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+/// System bring-up: per-node LocalIndex build + node-vector construction
+/// (Network constructor). Arg 0 = serial, 1 = parallel on the global pool.
+void BM_NetworkBringUp(benchmark::State& state) {
+  const auto params = bench_params();
+  const auto corpus = corpus::generate_synthetic_corpus(params);
+  p2p::NetworkConfig config;
+  config.parallel_build = state.range(0) != 0;
+  const std::vector<p2p::Capacity> capacities(corpus.num_nodes(), 1.0);
+  for (auto _ : state) {
+    p2p::Network network(corpus, capacities, config);
+    benchmark::DoNotOptimize(network.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(corpus.num_docs() * state.iterations()));
+}
+BENCHMARK(BM_NetworkBringUp)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SerializeCorpus(benchmark::State& state) {
+  const auto corpus = corpus::generate_synthetic_corpus(bench_params());
+  for (auto _ : state) {
+    std::ostringstream out;
+    corpus::save_corpus(corpus, out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(corpus.num_docs() * state.iterations()));
+}
+BENCHMARK(BM_SerializeCorpus)->Unit(benchmark::kMillisecond);
+
+void BM_DeserializeCorpus(benchmark::State& state) {
+  const auto corpus = corpus::generate_synthetic_corpus(bench_params());
+  std::ostringstream out;
+  corpus::save_corpus(corpus, out);
+  const std::string bytes = out.str();
+  for (auto _ : state) {
+    std::istringstream in(bytes);
+    const auto loaded = corpus::load_corpus(in);
+    benchmark::DoNotOptimize(loaded.num_docs());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(corpus.num_docs() * state.iterations()));
+}
+BENCHMARK(BM_DeserializeCorpus)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return ges::bench::run_benchmarks_with_json(argc, argv, "micro_ingest");
+}

@@ -9,7 +9,8 @@ namespace ges::corpus {
 
 std::unordered_set<ir::TermId> remove_frequent_terms(Corpus& corpus,
                                                      double max_df_fraction,
-                                                     size_t min_df_absolute) {
+                                                     size_t min_df_absolute,
+                                                     util::ThreadPool* pool) {
   GES_CHECK(max_df_fraction > 0.0 && max_df_fraction <= 1.0);
   std::unordered_set<ir::TermId> removed;
   if (corpus.docs.empty()) return removed;
@@ -26,17 +27,21 @@ std::unordered_set<ir::TermId> remove_frequent_terms(Corpus& corpus,
   }
   if (removed.empty()) return removed;
 
-  for (auto& doc : corpus.docs) {
+  // Per-document rebuild: documents are independent and `df` / `removed`
+  // are read-only from here on, so this fans out across the pool.
+  util::for_each_index(pool, corpus.docs.size(), [&](size_t d) {
+    auto& doc = corpus.docs[d];
     std::vector<ir::TermWeight> kept;
     kept.reserve(doc.counts.size());
     ir::TermWeight fallback{ir::kInvalidTerm, 0.0f};
     size_t fallback_df = ~size_t{0};
     for (const auto& e : doc.counts.entries()) {
+      const auto it = df.find(e.term);
       if (removed.count(e.term) == 0) {
         kept.push_back(e);
-      } else if (df[e.term] < fallback_df) {
+      } else if (it->second < fallback_df) {
         fallback = e;
-        fallback_df = df[e.term];
+        fallback_df = it->second;
       }
     }
     if (kept.empty() && fallback.term != ir::kInvalidTerm) {
@@ -46,7 +51,7 @@ std::unordered_set<ir::TermId> remove_frequent_terms(Corpus& corpus,
     doc.vector = doc.counts;
     doc.vector.dampen();
     doc.vector.normalize();
-  }
+  });
 
   for (auto& query : corpus.queries) {
     std::vector<ir::TermWeight> kept;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "corpus/corpus.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ges::corpus {
 
@@ -18,8 +19,12 @@ namespace ges::corpus {
 /// untouched). Documents made empty by the filter keep a single
 /// lowest-df term so no document vanishes. Returns the set of removed
 /// terms.
+/// `pool` parallelizes the per-document vector rebuild (each document is
+/// independent; the df table is read-only by then). nullptr = serial; the
+/// result is identical either way.
 std::unordered_set<ir::TermId> remove_frequent_terms(Corpus& corpus,
                                                      double max_df_fraction,
-                                                     size_t min_df_absolute = 10);
+                                                     size_t min_df_absolute = 10,
+                                                     util::ThreadPool* pool = nullptr);
 
 }  // namespace ges::corpus

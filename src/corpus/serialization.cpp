@@ -1,6 +1,7 @@
 #include "corpus/serialization.hpp"
 
 #include <bit>
+#include <cstddef>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -20,146 +21,198 @@ constexpr uint32_t kVersion = 1;
 static_assert(std::endian::native == std::endian::little,
               "corpus serialization assumes a little-endian host");
 
-template <typename T>
-void write_pod(std::ostream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
+// Sparse-vector entries are written as their in-memory representation
+// (u32 term, f32 weight — 8 bytes, no padding), so whole entry arrays
+// move with a single memcpy instead of per-entry stream calls.
+static_assert(sizeof(ir::TermWeight) == 8 && offsetof(ir::TermWeight, weight) == 4,
+              "TermWeight must be {u32 term, f32 weight} with no padding");
+static_assert(sizeof(ir::DocId) == 4, "doc-id arrays are written as u32 blocks");
 
-template <typename T>
-T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  GES_CHECK_MSG(in.good(), "truncated corpus stream");
-  return value;
-}
-
-void write_string(std::ostream& out, const std::string& s) {
-  write_pod<uint64_t>(out, s.size());
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string read_string(std::istream& in) {
-  const auto size = read_pod<uint64_t>(in);
-  GES_CHECK_MSG(size <= (1u << 20), "implausible string length " << size);
-  std::string s(size, '\0');
-  in.read(s.data(), static_cast<std::streamsize>(size));
-  GES_CHECK_MSG(in.good(), "truncated corpus stream");
-  return s;
-}
-
-void write_vector(std::ostream& out, const ir::SparseVector& v) {
-  write_pod<uint64_t>(out, v.size());
-  for (const auto& e : v.entries()) {
-    write_pod<uint32_t>(out, e.term);
-    write_pod<float>(out, e.weight);
+/// Growable in-memory sink; the whole corpus is assembled here and
+/// flushed with one ostream write, so serialization cost is memory
+/// bandwidth rather than per-field stream-call overhead.
+class ByteSink {
+ public:
+  template <typename T>
+  void pod(T value) {
+    buf_.append(reinterpret_cast<const char*>(&value), sizeof(T));
   }
-}
 
-ir::SparseVector read_vector(std::istream& in) {
-  const auto size = read_pod<uint64_t>(in);
-  GES_CHECK_MSG(size <= (1u << 26), "implausible vector size " << size);
-  std::vector<ir::TermWeight> entries;
-  entries.reserve(size);
-  for (uint64_t i = 0; i < size; ++i) {
-    const auto term = read_pod<uint32_t>(in);
-    const auto weight = read_pod<float>(in);
-    entries.push_back({term, weight});
+  void bytes(const void* data, size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
   }
-  return ir::SparseVector::from_pairs(std::move(entries));
+
+  void string(const std::string& s) {
+    pod<uint64_t>(s.size());
+    buf_.append(s);
+  }
+
+  void vector(const ir::SparseVector& v) {
+    pod<uint64_t>(v.size());
+    bytes(v.entries().data(), v.size() * sizeof(ir::TermWeight));
+  }
+
+  void doc_ids(const std::vector<ir::DocId>& ids) {
+    bytes(ids.data(), ids.size() * sizeof(ir::DocId));
+  }
+
+  void reserve(size_t n) { buf_.reserve(n); }
+  const std::string& str() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a fully buffered corpus blob.
+class ByteSource {
+ public:
+  explicit ByteSource(std::string data) : data_(std::move(data)), pos_(0) {}
+
+  template <typename T>
+  T pod() {
+    T value{};
+    take(&value, sizeof(T));
+    return value;
+  }
+
+  void take(void* out, size_t size) {
+    GES_CHECK_MSG(size <= data_.size() - pos_, "truncated corpus stream");
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+  }
+
+  std::string string() {
+    const auto size = pod<uint64_t>();
+    GES_CHECK_MSG(size <= (1u << 20), "implausible string length " << size);
+    std::string s(size, '\0');
+    take(s.data(), size);
+    return s;
+  }
+
+  ir::SparseVector vector() {
+    const auto size = pod<uint64_t>();
+    GES_CHECK_MSG(size <= (1u << 26), "implausible vector size " << size);
+    std::vector<ir::TermWeight> entries(size);
+    take(entries.data(), size * sizeof(ir::TermWeight));
+    return ir::SparseVector::from_pairs(std::move(entries));
+  }
+
+ private:
+  std::string data_;
+  size_t pos_;
+};
+
+/// Drain the remainder of `in` in large blocks (the corpus occupies the
+/// rest of the stream by format contract).
+std::string slurp(std::istream& in) {
+  std::string data;
+  char block[1 << 16];
+  while (in.read(block, sizeof(block)) || in.gcount() > 0) {
+    data.append(block, static_cast<size_t>(in.gcount()));
+  }
+  return data;
 }
 
 }  // namespace
 
 void save_corpus(const Corpus& corpus, std::ostream& out) {
-  out.write(kMagic, sizeof(kMagic));
-  write_pod<uint32_t>(out, kVersion);
+  ByteSink sink;
+  // Rough pre-size: entries dominate (8 bytes each) plus headers.
+  size_t estimate = 64 + corpus.dict.size() * 16;
+  for (const auto& doc : corpus.docs) estimate += 32 + doc.counts.size() * 8;
+  sink.reserve(estimate);
 
-  write_pod<uint64_t>(out, corpus.dict.size());
+  sink.bytes(kMagic, sizeof(kMagic));
+  sink.pod<uint32_t>(kVersion);
+
+  sink.pod<uint64_t>(corpus.dict.size());
   for (size_t t = 0; t < corpus.dict.size(); ++t) {
-    write_string(out, corpus.dict.term(static_cast<ir::TermId>(t)));
+    sink.string(corpus.dict.term(static_cast<ir::TermId>(t)));
   }
 
-  write_pod<uint64_t>(out, corpus.docs.size());
+  sink.pod<uint64_t>(corpus.docs.size());
   for (const auto& doc : corpus.docs) {
-    write_pod<uint32_t>(out, doc.node);
-    write_pod<uint32_t>(out, doc.topic);
-    write_vector(out, doc.counts);
+    sink.pod<uint32_t>(doc.node);
+    sink.pod<uint32_t>(doc.topic);
+    sink.vector(doc.counts);
   }
 
-  write_pod<uint64_t>(out, corpus.node_docs.size());
+  sink.pod<uint64_t>(corpus.node_docs.size());
   for (const auto& docs : corpus.node_docs) {
-    write_pod<uint64_t>(out, docs.size());
-    for (const auto d : docs) write_pod<uint32_t>(out, d);
+    sink.pod<uint64_t>(docs.size());
+    sink.doc_ids(docs);
   }
 
-  write_pod<uint64_t>(out, corpus.queries.size());
+  sink.pod<uint64_t>(corpus.queries.size());
   for (const auto& q : corpus.queries) {
-    write_pod<uint32_t>(out, q.id);
-    write_pod<uint32_t>(out, q.topic);
-    write_vector(out, q.vector);
-    write_pod<uint64_t>(out, q.relevant.size());
-    for (const auto d : q.relevant) write_pod<uint32_t>(out, d);
+    sink.pod<uint32_t>(q.id);
+    sink.pod<uint32_t>(q.topic);
+    sink.vector(q.vector);
+    sink.pod<uint64_t>(q.relevant.size());
+    sink.doc_ids(q.relevant);
   }
+
+  out.write(sink.str().data(), static_cast<std::streamsize>(sink.str().size()));
   GES_CHECK_MSG(out.good(), "corpus write failed");
 }
 
 Corpus load_corpus(std::istream& in) {
+  ByteSource src(slurp(in));
+
   char magic[4];
-  in.read(magic, sizeof(magic));
-  GES_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+  src.take(magic, sizeof(magic));
+  GES_CHECK_MSG(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
                 "not a GES corpus stream");
-  const auto version = read_pod<uint32_t>(in);
+  const auto version = src.pod<uint32_t>();
   GES_CHECK_MSG(version == kVersion, "unsupported corpus version " << version);
 
   Corpus corpus;
-  const auto terms = read_pod<uint64_t>(in);
+  const auto terms = src.pod<uint64_t>();
   for (uint64_t t = 0; t < terms; ++t) {
-    const auto id = corpus.dict.intern(read_string(in));
+    const auto id = corpus.dict.intern(src.string());
     GES_CHECK_MSG(id == t, "duplicate term in dictionary at " << t);
   }
 
-  const auto docs = read_pod<uint64_t>(in);
+  const auto docs = src.pod<uint64_t>();
   corpus.docs.reserve(docs);
   for (uint64_t d = 0; d < docs; ++d) {
     Document doc;
     doc.id = static_cast<ir::DocId>(d);
-    doc.node = read_pod<uint32_t>(in);
-    doc.topic = read_pod<uint32_t>(in);
-    doc.counts = read_vector(in);
+    doc.node = src.pod<uint32_t>();
+    doc.topic = src.pod<uint32_t>();
+    doc.counts = src.vector();
     doc.vector = doc.counts;
     doc.vector.dampen();
     doc.vector.normalize();
     corpus.docs.push_back(std::move(doc));
   }
 
-  const auto nodes = read_pod<uint64_t>(in);
+  const auto nodes = src.pod<uint64_t>();
   corpus.node_docs.resize(nodes);
   for (uint64_t n = 0; n < nodes; ++n) {
-    const auto count = read_pod<uint64_t>(in);
+    const auto count = src.pod<uint64_t>();
     GES_CHECK(count <= docs);
-    corpus.node_docs[n].reserve(count);
-    for (uint64_t i = 0; i < count; ++i) {
-      const auto d = read_pod<uint32_t>(in);
+    corpus.node_docs[n].resize(count);
+    src.take(corpus.node_docs[n].data(), count * sizeof(ir::DocId));
+    for (const auto d : corpus.node_docs[n]) {
       GES_CHECK_MSG(d < docs, "document id out of range");
       GES_CHECK_MSG(corpus.docs[d].node == n, "node_docs inconsistent with docs");
-      corpus.node_docs[n].push_back(d);
     }
   }
 
-  const auto queries = read_pod<uint64_t>(in);
+  const auto queries = src.pod<uint64_t>();
   corpus.queries.reserve(queries);
   for (uint64_t q = 0; q < queries; ++q) {
     Query query;
-    query.id = read_pod<uint32_t>(in);
-    query.topic = read_pod<uint32_t>(in);
-    query.vector = read_vector(in);
-    const auto relevant = read_pod<uint64_t>(in);
+    query.id = src.pod<uint32_t>();
+    query.topic = src.pod<uint32_t>();
+    query.vector = src.vector();
+    const auto relevant = src.pod<uint64_t>();
     GES_CHECK(relevant <= docs);
-    query.relevant.reserve(relevant);
-    for (uint64_t i = 0; i < relevant; ++i) {
-      const auto d = read_pod<uint32_t>(in);
+    query.relevant.resize(relevant);
+    src.take(query.relevant.data(), relevant * sizeof(ir::DocId));
+    for (const auto d : query.relevant) {
       GES_CHECK_MSG(d < docs, "relevant doc id out of range");
-      query.relevant.push_back(d);
     }
     corpus.queries.push_back(std::move(query));
   }
@@ -169,13 +222,21 @@ Corpus load_corpus(std::istream& in) {
 void save_corpus_file(const Corpus& corpus, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   GES_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
-  save_corpus(corpus, out);
+  try {
+    save_corpus(corpus, out);
+  } catch (const util::CheckFailure& e) {
+    throw util::CheckFailure(std::string(e.what()) + " [while writing " + path + "]");
+  }
 }
 
 Corpus load_corpus_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   GES_CHECK_MSG(in.good(), "cannot open " << path);
-  return load_corpus(in);
+  try {
+    return load_corpus(in);
+  } catch (const util::CheckFailure& e) {
+    throw util::CheckFailure(std::string(e.what()) + " [while loading " + path + "]");
+  }
 }
 
 }  // namespace ges::corpus

@@ -12,6 +12,12 @@ namespace ges::corpus {
 /// seconds. The format is little-endian, versioned, and validated on
 /// load (util::CheckFailure on malformed input).
 ///
+/// I/O is block-wise: save_corpus assembles the whole blob in memory and
+/// issues a single write; load_corpus drains the remainder of the stream
+/// in 64 KiB blocks and parses from memory (entry arrays move by memcpy),
+/// so (de)serialization is bandwidth-bound, not stream-call-bound. A
+/// corpus must therefore be the final payload of its stream.
+///
 /// Format v1: magic "GESC", u32 version, dictionary (u64 count, each
 /// term length-prefixed), documents (u64 count; per doc: u32 node, u32
 /// topic, counts vector as u64 count + (u32 term, f32 weight) pairs),
@@ -21,7 +27,8 @@ namespace ges::corpus {
 void save_corpus(const Corpus& corpus, std::ostream& out);
 Corpus load_corpus(std::istream& in);
 
-/// File convenience wrappers (throw util::CheckFailure on I/O errors).
+/// File convenience wrappers (throw util::CheckFailure on I/O errors;
+/// failures name the offending path).
 void save_corpus_file(const Corpus& corpus, const std::string& path);
 Corpus load_corpus_file(const std::string& path);
 

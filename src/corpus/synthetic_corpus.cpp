@@ -84,6 +84,11 @@ std::vector<double> interest_weights(size_t count, double decay) {
 }  // namespace
 
 Corpus generate_synthetic_corpus(const SyntheticCorpusParams& params) {
+  return generate_synthetic_corpus(params, &util::global_pool());
+}
+
+Corpus generate_synthetic_corpus(const SyntheticCorpusParams& params,
+                                 util::ThreadPool* pool) {
   GES_CHECK(params.nodes > 0);
   GES_CHECK(params.vocabulary > 0);
   GES_CHECK(params.topics > 0);
@@ -127,10 +132,12 @@ Corpus generate_synthetic_corpus(const SyntheticCorpusParams& params) {
   }
   const ZipfSampler topic_zipf(params.topic_core_size, params.topic_alpha);
 
-  // Author interests and personal style vocabularies.
+  // Author interests and personal style vocabularies. Each node draws
+  // from its own derived RNG stream, so the loop parallelizes without
+  // changing a single sample.
   std::vector<std::vector<TopicId>> node_interests(params.nodes);
   std::vector<std::vector<ir::TermId>> node_style(params.nodes);
-  for (size_t n = 0; n < params.nodes; ++n) {
+  util::for_each_index(pool, params.nodes, [&](size_t n) {
     Rng rng(util::derive_seed(params.seed, 1'000'000 + n));
     const size_t count = std::min<size_t>(
         params.topics,
@@ -143,15 +150,19 @@ Corpus generate_synthetic_corpus(const SyntheticCorpusParams& params) {
       node_style[n].reserve(style.size());
       for (const size_t s : style) node_style[n].push_back(static_cast<ir::TermId>(s));
     }
-  }
+  });
 
-  // Documents.
+  // Documents: generated into per-node buffers (one derived RNG stream
+  // per node, disjoint output slots), then stitched serially in node
+  // order so DocIds come out exactly as the sequential loop assigns them.
   corpus.node_docs.resize(params.nodes);
-  for (size_t n = 0; n < params.nodes; ++n) {
+  std::vector<std::vector<Document>> per_node(params.nodes);
+  util::for_each_index(pool, params.nodes, [&](size_t n) {
     Rng rng(util::derive_seed(params.seed, 2'000'000 + n));
     const auto doc_count = static_cast<size_t>(std::max(
         1.0, rng.lognormal(params.docs_per_node_mu, params.docs_per_node_sigma) + 0.5));
     const auto weights = interest_weights(node_interests[n].size(), params.interest_decay);
+    per_node[n].reserve(doc_count);
     for (size_t d = 0; d < doc_count; ++d) {
       TopicId topic;
       if (rng.chance(params.offtopic_prob)) {
@@ -177,7 +188,6 @@ Corpus generate_synthetic_corpus(const SyntheticCorpusParams& params) {
         ++counts[term];
       }
       Document doc;
-      doc.id = static_cast<ir::DocId>(corpus.docs.size());
       doc.node = static_cast<NodeIndex>(n);
       doc.topic = topic;
       doc.counts = ir::SparseVector::from_counts(
@@ -185,9 +195,17 @@ Corpus generate_synthetic_corpus(const SyntheticCorpusParams& params) {
       doc.vector = doc.counts;
       doc.vector.dampen();
       doc.vector.normalize();
+      per_node[n].push_back(std::move(doc));
+    }
+  });
+  for (size_t n = 0; n < params.nodes; ++n) {
+    for (Document& doc : per_node[n]) {
+      doc.id = static_cast<ir::DocId>(corpus.docs.size());
       corpus.node_docs[n].push_back(doc.id);
       corpus.docs.push_back(std::move(doc));
     }
+    per_node[n].clear();
+    per_node[n].shrink_to_fit();
   }
 
   // Queries: one distinct topic per query, terms drawn from the top
@@ -219,14 +237,19 @@ Corpus generate_synthetic_corpus(const SyntheticCorpusParams& params) {
     }
     query.vector = ir::SparseVector::from_pairs(std::move(pairs));
     query.vector.normalize();
+    corpus.queries.push_back(std::move(query));
+  }
+  // Relevance judgments: a pure O(queries * docs) scan with no RNG, so it
+  // fans out per query while the draws above stay on one stream.
+  util::for_each_index(pool, corpus.queries.size(), [&](size_t q) {
+    Query& query = corpus.queries[q];
     for (const auto& doc : corpus.docs) {
       if (doc.topic == query.topic) query.relevant.push_back(doc.id);
     }
-    corpus.queries.push_back(std::move(query));
-  }
+  });
 
   if (params.max_df_fraction < 1.0) {
-    remove_frequent_terms(corpus, params.max_df_fraction);
+    remove_frequent_terms(corpus, params.max_df_fraction, 10, pool);
   }
 
   return corpus;

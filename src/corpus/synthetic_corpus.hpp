@@ -4,6 +4,7 @@
 
 #include "corpus/corpus.hpp"
 #include "util/env.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ges::corpus {
 
@@ -79,7 +80,15 @@ struct SyntheticCorpusParams {
   static SyntheticCorpusParams for_scale(util::Scale scale);
 };
 
-/// Generate a corpus from the parameters. Deterministic in `params.seed`.
+/// Generate a corpus from the parameters. Deterministic in `params.seed`
+/// alone: per-node and per-query RNG streams (util::derive_seed) make the
+/// output bit-identical at every thread count, so the default overload
+/// runs document generation on util::global_pool().
 Corpus generate_synthetic_corpus(const SyntheticCorpusParams& params);
+
+/// Same, with an explicit pool: nullptr runs strictly serially (the
+/// reference path); any pool produces byte-identical output.
+Corpus generate_synthetic_corpus(const SyntheticCorpusParams& params,
+                                 util::ThreadPool* pool);
 
 }  // namespace ges::corpus

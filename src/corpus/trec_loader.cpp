@@ -4,9 +4,13 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
 
 #include "corpus/df_filter.hpp"
 #include "ir/analyzer.hpp"
+#include "ir/sharded_term_dictionary.hpp"
 #include "util/check.hpp"
 
 namespace ges::corpus {
@@ -110,36 +114,105 @@ Corpus build_corpus_from_trec(const std::vector<TrecRawDoc>& docs,
                               const std::vector<TrecRawTopic>& topics,
                               const std::vector<TrecJudgment>& qrels,
                               double max_df_fraction) {
-  Corpus corpus;
-  ir::Analyzer analyzer(corpus.dict);
+  return build_corpus_from_trec(docs, topics, qrels, max_df_fraction,
+                                &util::global_pool());
+}
 
-  // Keep only documents with valid author and text; one node per author,
-  // in first-seen order (deterministic).
+Corpus build_corpus_from_trec(const std::vector<TrecRawDoc>& docs,
+                              const std::vector<TrecRawTopic>& topics,
+                              const std::vector<TrecJudgment>& qrels,
+                              double max_df_fraction, util::ThreadPool* pool) {
+  Corpus corpus;
+
+  // Phase 1 — parallel analysis. Each document is tokenized / stopped /
+  // stemmed without touching the global dictionary; its unique terms (in
+  // first-occurrence order) are interned into a sharded dictionary under
+  // provisional ids, tagged with (document index, within-document
+  // first-seen rank). Those coordinates are a pure function of the input,
+  // so the later freeze pass is thread-count invariant.
+  struct AnalyzedDoc {
+    std::vector<ir::ProvisionalTermId> terms;  // unique, first-seen order
+    std::vector<uint32_t> counts;              // parallel to `terms`
+    bool analyzed = false;                     // had author and text
+  };
+  ir::ShardedTermDictionary sharded;
+  // One immutable analyzer shared by all workers: stemmed_tokens() never
+  // touches the dictionary, so the scratch dict stays empty.
+  ir::TermDictionary scratch_dict;
+  const ir::Analyzer analyzer_nodict(scratch_dict);
+  std::vector<AnalyzedDoc> analyzed(docs.size());
+  util::for_each_index(pool, docs.size(), [&](size_t i) {
+    const auto& raw = docs[i];
+    if (raw.author.empty() || raw.text.empty()) return;
+    AnalyzedDoc& out = analyzed[i];
+    out.analyzed = true;
+    const auto tokens = analyzer_nodict.stemmed_tokens(raw.text);
+    // Doc-local interning: unique terms in first-seen order. Views into
+    // `tokens` are stable — the vector is fully built above.
+    std::unordered_map<std::string_view, uint32_t> local;
+    local.reserve(tokens.size());
+    std::vector<std::string_view> uniques;
+    for (const auto& token : tokens) {
+      const auto [it, inserted] =
+          local.emplace(std::string_view(token), static_cast<uint32_t>(uniques.size()));
+      if (inserted) {
+        uniques.push_back(token);
+        out.counts.push_back(1);
+      } else {
+        ++out.counts[it->second];
+      }
+    }
+    out.terms.reserve(uniques.size());
+    for (uint32_t u = 0; u < uniques.size(); ++u) {
+      out.terms.push_back(sharded.intern(uniques[u], i, u));
+    }
+  });
+
+  // Phase 2 — serial freeze: global dense TermIds in canonical
+  // first-occurrence order (bit-identical to serial interning).
+  const auto remap = sharded.freeze_into(corpus.dict);
+
+  // Phase 3 — parallel vector construction under the final ids.
+  std::vector<ir::SparseVector> doc_counts(docs.size());
+  util::for_each_index(pool, docs.size(), [&](size_t i) {
+    const AnalyzedDoc& a = analyzed[i];
+    if (!a.analyzed || a.terms.empty()) return;
+    std::vector<std::pair<ir::TermId, uint32_t>> pairs;
+    pairs.reserve(a.terms.size());
+    for (size_t t = 0; t < a.terms.size(); ++t) {
+      pairs.push_back({remap[a.terms[t].shard][a.terms[t].slot], a.counts[t]});
+    }
+    doc_counts[i] = ir::SparseVector::from_counts(pairs);
+  });
+
+  // Phase 4 — serial assembly: one node per author in first-seen order,
+  // dense DocIds in input order, exactly as the sequential loop.
   std::map<std::string, NodeIndex> author_nodes;
   std::map<std::string, ir::DocId> docno_ids;
-  for (const auto& raw : docs) {
-    if (raw.author.empty() || raw.text.empty()) continue;
-    ir::SparseVector counts = analyzer.count_vector(raw.text);
-    if (counts.empty()) continue;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    if (doc_counts[i].empty()) continue;
 
-    const auto [it, inserted] =
-        author_nodes.emplace(raw.author, static_cast<NodeIndex>(author_nodes.size()));
+    const auto [it, inserted] = author_nodes.emplace(
+        docs[i].author, static_cast<NodeIndex>(author_nodes.size()));
     if (inserted) corpus.node_docs.emplace_back();
 
     Document doc;
     doc.id = static_cast<ir::DocId>(corpus.docs.size());
     doc.node = it->second;
-    doc.counts = std::move(counts);
+    doc.counts = std::move(doc_counts[i]);
     doc.vector = doc.counts;
     doc.vector.dampen();
     doc.vector.normalize();
-    docno_ids[raw.docno] = doc.id;
+    docno_ids[docs[i].docno] = doc.id;
     corpus.node_docs[doc.node].push_back(doc.id);
     corpus.docs.push_back(std::move(doc));
   }
 
-  // Queries from topic titles; judgments filtered to surviving documents
-  // (the paper removes judgments for documents outside its 80,008 set).
+  // Queries from topic titles; query terms intern serially after all
+  // document terms, matching the sequential build order. Judgments are
+  // filtered to surviving documents (the paper removes judgments for
+  // documents outside its 80,008 set).
+  ir::Analyzer analyzer(corpus.dict);
   for (const auto& topic : topics) {
     Query query;
     query.id = topic.number;
@@ -155,7 +228,7 @@ Corpus build_corpus_from_trec(const std::vector<TrecRawDoc>& docs,
     corpus.queries.push_back(std::move(query));
   }
 
-  if (max_df_fraction < 1.0) remove_frequent_terms(corpus, max_df_fraction);
+  if (max_df_fraction < 1.0) remove_frequent_terms(corpus, max_df_fraction, 10, pool);
 
   return corpus;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "corpus/corpus.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ges::corpus {
 
@@ -45,10 +46,23 @@ std::vector<TrecJudgment> parse_trec_qrels(std::istream& in);
 /// queries are run through the full VSM pipeline (stop words + Porter +
 /// removal of terms appearing in more than `max_df_fraction` of the
 /// documents); judgments referencing dropped documents are discarded.
+///
+/// Document analysis (tokenize -> stop -> stem) and vector construction
+/// run on util::global_pool(); interning goes through a
+/// ShardedTermDictionary whose freeze pass assigns global TermIds in
+/// canonical first-occurrence order, so the corpus is bit-identical to a
+/// strictly serial build at every thread count.
 Corpus build_corpus_from_trec(const std::vector<TrecRawDoc>& docs,
                               const std::vector<TrecRawTopic>& topics,
                               const std::vector<TrecJudgment>& qrels,
                               double max_df_fraction = 0.10);
+
+/// Same, with an explicit pool: nullptr runs strictly serially (the
+/// reference path); any pool produces byte-identical output.
+Corpus build_corpus_from_trec(const std::vector<TrecRawDoc>& docs,
+                              const std::vector<TrecRawTopic>& topics,
+                              const std::vector<TrecJudgment>& qrels,
+                              double max_df_fraction, util::ThreadPool* pool);
 
 /// Convenience: load the three files from disk.
 Corpus load_trec_corpus(const std::string& docs_path, const std::string& topics_path,

@@ -12,6 +12,18 @@ TermId Analyzer::analyze_token(std::string_view token) const {
   return dict_->intern(porter_stem(token));
 }
 
+std::vector<std::string> Analyzer::stemmed_tokens(std::string_view text) const {
+  std::vector<std::string> tokens;
+  tokenizer_.tokenize_into(text, tokens);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (auto& token : tokens) {
+    if (stop_.contains(token)) continue;
+    out.push_back(stem_ ? porter_stem(token) : std::move(token));
+  }
+  return out;
+}
+
 SparseVector Analyzer::count_vector(std::string_view text) const {
   std::vector<std::string> tokens;
   tokenizer_.tokenize_into(text, tokens);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -37,6 +38,14 @@ class Analyzer {
   /// Analyze a single token (stop/stem/intern); returns kInvalidTerm when
   /// the token is filtered out.
   TermId analyze_token(std::string_view token) const;
+
+  /// Tokenize + stop + stem WITHOUT touching the dictionary, preserving
+  /// token order (duplicates included). This is the dictionary-free half
+  /// of the pipeline used by parallel ingest: workers analyze text into
+  /// stemmed tokens concurrently, then interning is resolved through a
+  /// ShardedTermDictionary. Safe to call from multiple threads on the
+  /// same Analyzer (tokenizer and stop list are immutable).
+  std::vector<std::string> stemmed_tokens(std::string_view text) const;
 
   const TermDictionary& dictionary() const { return *dict_; }
 

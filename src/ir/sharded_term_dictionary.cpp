@@ -1,0 +1,81 @@
+#include "ir/sharded_term_dictionary.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/check.hpp"
+
+namespace ges::ir {
+
+ShardedTermDictionary::ShardedTermDictionary(size_t shards)
+    : shards_(shards == 0 ? 1 : shards) {}
+
+ProvisionalTermId ShardedTermDictionary::intern(std::string_view term, uint64_t doc,
+                                                uint32_t pos) {
+  const size_t s = std::hash<std::string_view>{}(term) % shards_.size();
+  Shard& shard = shards_[s];
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.slots.find(term);
+  if (it != shard.slots.end()) {
+    auto& seen = shard.first_seen[it->second];
+    if (std::make_pair(doc, pos) < std::make_pair(seen.first, seen.second)) {
+      seen = {doc, pos};
+    }
+    return {static_cast<uint32_t>(s), it->second};
+  }
+  const auto slot = static_cast<uint32_t>(shard.terms.size());
+  shard.terms.emplace_back(term);
+  shard.slots.emplace(std::string_view(shard.terms.back()), slot);
+  shard.first_seen.emplace_back(doc, pos);
+  return {static_cast<uint32_t>(s), slot};
+}
+
+size_t ShardedTermDictionary::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    total += shard.terms.size();
+  }
+  return total;
+}
+
+std::vector<std::vector<TermId>> ShardedTermDictionary::freeze_into(
+    TermDictionary& dict) const {
+  std::vector<std::vector<TermId>> remap(shards_.size());
+
+  // Terms the base dictionary already knows keep their ids; the rest are
+  // ranked by earliest occurrence.
+  struct Pending {
+    uint64_t doc;
+    uint32_t pos;
+    uint32_t shard;
+    uint32_t slot;
+  };
+  std::vector<Pending> pending;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    std::lock_guard lock(shard.mu);
+    remap[s].assign(shard.terms.size(), kInvalidTerm);
+    for (uint32_t slot = 0; slot < shard.terms.size(); ++slot) {
+      const TermId existing = dict.lookup(shard.terms[slot]);
+      if (existing != kInvalidTerm) {
+        remap[s][slot] = existing;
+      } else {
+        pending.push_back({shard.first_seen[slot].first, shard.first_seen[slot].second,
+                           static_cast<uint32_t>(s), slot});
+      }
+    }
+  }
+
+  std::sort(pending.begin(), pending.end(), [this](const Pending& a, const Pending& b) {
+    if (a.doc != b.doc) return a.doc < b.doc;
+    if (a.pos != b.pos) return a.pos < b.pos;
+    return shards_[a.shard].terms[a.slot] < shards_[b.shard].terms[b.slot];
+  });
+  for (const Pending& p : pending) {
+    remap[p.shard][p.slot] = dict.intern(shards_[p.shard].terms[p.slot]);
+  }
+  return remap;
+}
+
+}  // namespace ges::ir

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/term_dictionary.hpp"
+#include "ir/types.hpp"
+
+namespace ges::ir {
+
+/// Provisional term id handed out during concurrent interning: the term
+/// is identified by (shard, slot-within-shard) until freeze_into()
+/// assigns global dense TermIds.
+struct ProvisionalTermId {
+  uint32_t shard = 0;
+  uint32_t slot = 0;
+};
+
+/// Thread-safe interning table for parallel ingest. Terms are
+/// hash-striped across independently locked shards; each shard stores
+/// its terms once (deque-backed, stable addresses) together with the
+/// earliest (doc, pos) occurrence reported by any caller.
+///
+/// Determinism contract: serial ingest assigns TermIds in order of first
+/// occurrence, i.e. ascending (document index, position of the term's
+/// first occurrence within that document). Workers interning documents
+/// in any order report exactly those (doc, pos) coordinates — which are
+/// a pure function of the input, not of scheduling — and intern() keeps
+/// the minimum per term. freeze_into() then sorts all terms by that key
+/// and appends them to a TermDictionary, reproducing the serial id
+/// assignment bit-for-bit at every thread count.
+class ShardedTermDictionary {
+ public:
+  explicit ShardedTermDictionary(size_t shards = 64);
+
+  /// Intern `term`, recording that it occurs in document `doc` at
+  /// position `pos` (any monotone within-document coordinate works, e.g.
+  /// the index in the document's first-seen unique-term sequence). Keeps
+  /// the smallest (doc, pos) seen so far. Thread-safe; the returned
+  /// provisional id is stable for the lifetime of this object.
+  ProvisionalTermId intern(std::string_view term, uint64_t doc, uint32_t pos);
+
+  /// Number of distinct terms interned so far. Takes all shard locks;
+  /// intended for tests and diagnostics, not hot paths.
+  size_t size() const;
+
+  /// Assign global dense ids: terms already present in `dict` keep their
+  /// ids; new terms are appended in ascending first-occurrence (doc, pos)
+  /// order (ties broken by term string, which cannot occur when callers
+  /// report per-document-unique positions). Returns the remap table:
+  /// remap[shard][slot] is the global TermId for a provisional id.
+  /// Call once, after all intern() calls have completed.
+  std::vector<std::vector<TermId>> freeze_into(TermDictionary& dict) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string_view, uint32_t> slots;  // keys view terms
+    std::deque<std::string> terms;
+    std::vector<std::pair<uint64_t, uint32_t>> first_seen;  // (doc, pos)
+  };
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ges::ir

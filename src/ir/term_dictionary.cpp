@@ -4,18 +4,30 @@
 
 namespace ges::ir {
 
+TermDictionary::TermDictionary(const TermDictionary& other) : terms_(other.terms_) {
+  ids_.reserve(terms_.size());
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    ids_.emplace(std::string_view(terms_[i]), static_cast<TermId>(i));
+  }
+}
+
+TermDictionary& TermDictionary::operator=(const TermDictionary& other) {
+  if (this != &other) *this = TermDictionary(other);
+  return *this;
+}
+
 TermId TermDictionary::intern(std::string_view term) {
-  const auto it = ids_.find(std::string(term));
+  const auto it = ids_.find(term);
   if (it != ids_.end()) return it->second;
   const auto id = static_cast<TermId>(terms_.size());
   GES_CHECK_MSG(id != kInvalidTerm, "term dictionary overflow");
   terms_.emplace_back(term);
-  ids_.emplace(terms_.back(), id);
+  ids_.emplace(std::string_view(terms_.back()), id);
   return id;
 }
 
 TermId TermDictionary::lookup(std::string_view term) const {
-  const auto it = ids_.find(std::string(term));
+  const auto it = ids_.find(term);
   return it == ids_.end() ? kInvalidTerm : it->second;
 }
 

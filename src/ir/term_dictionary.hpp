@@ -1,9 +1,9 @@
 #pragma once
 
+#include <deque>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "ir/types.hpp"
 
@@ -11,11 +11,24 @@ namespace ges::ir {
 
 /// Bidirectional term <-> TermId interning table. Ids are dense and
 /// allocated in first-seen order, so they double as indices into
-/// per-term arrays (document frequencies, etc.). Not thread-safe for
-/// concurrent interning; concurrent lookup of existing ids is safe once
-/// interning has finished.
+/// per-term arrays (document frequencies, etc.). Each term string is
+/// stored exactly once, in a deque-backed arena whose element addresses
+/// are stable; the id map keys are views into that storage.
+///
+/// Interning is single-threaded; concurrent lookup of existing ids is
+/// safe once interning has finished. For concurrent ingest, analyze
+/// documents against a ShardedTermDictionary and remap its provisional
+/// ids onto this class via freeze_into() — the result is bit-identical
+/// to serial interning (see sharded_term_dictionary.hpp).
 class TermDictionary {
  public:
+  TermDictionary() = default;
+  TermDictionary(TermDictionary&&) = default;
+  TermDictionary& operator=(TermDictionary&&) = default;
+  // Copies rebuild the id map so its keys view the copied storage.
+  TermDictionary(const TermDictionary& other);
+  TermDictionary& operator=(const TermDictionary& other);
+
   /// Intern `term`, returning its id (allocating a new one if unseen).
   TermId intern(std::string_view term);
 
@@ -29,8 +42,8 @@ class TermDictionary {
   bool empty() const { return terms_.empty(); }
 
  private:
-  std::unordered_map<std::string, TermId> ids_;
-  std::vector<std::string> terms_;
+  std::unordered_map<std::string_view, TermId> ids_;  // keys view terms_
+  std::deque<std::string> terms_;                     // stable addresses
 };
 
 }  // namespace ges::ir

@@ -4,6 +4,7 @@
 
 #include "ir/node_vector.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ges::p2p {
 
@@ -15,17 +16,23 @@ Network::Network(const corpus::Corpus& corpus, std::vector<Capacity> capacities,
                                << corpus.num_nodes() << ")");
   peers_.resize(corpus.num_nodes());
   alive_count_ = peers_.size();
-  for (size_t n = 0; n < peers_.size(); ++n) {
-    Peer& p = peers_[n];
-    p.capacity = capacities[n];
-    p.random_cache = HostCache(config_.host_cache_size);
-    p.semantic_cache = HostCache(config_.host_cache_size);
-    p.docs = corpus.node_docs[n];
-    for (const ir::DocId d : p.docs) {
-      p.index.add_document(d, corpus.docs[d].vector);
-    }
-    rebuild_node_vector(static_cast<NodeId>(n));
-  }
+  // Bring-up is embarrassingly parallel: each node's index and vector
+  // depend only on that node's documents (the corpus is read-only here
+  // and dynamic_docs_ is empty), so the peers build concurrently with no
+  // observable difference from the serial loop.
+  util::for_each_index(
+      config_.parallel_build ? &util::global_pool() : nullptr, peers_.size(),
+      [&](size_t n) {
+        Peer& p = peers_[n];
+        p.capacity = capacities[n];
+        p.random_cache = HostCache(config_.host_cache_size);
+        p.semantic_cache = HostCache(config_.host_cache_size);
+        p.docs = corpus.node_docs[n];
+        for (const ir::DocId d : p.docs) {
+          p.index.add_document(d, corpus.docs[d].vector);
+        }
+        rebuild_node_vector(static_cast<NodeId>(n));
+      });
 }
 
 const Network::Peer& Network::peer(NodeId node) const {

@@ -24,6 +24,12 @@ struct NetworkConfig {
 
   /// Capacity of each of the two host caches per node (paper §4.3).
   size_t host_cache_size = 50;
+
+  /// Build per-node local indexes and node vectors on util::global_pool()
+  /// during construction. Each node's content is independent, so the
+  /// result is identical to the serial build; this only changes wall-clock
+  /// bring-up time on multi-core hosts.
+  bool parallel_build = true;
 };
 
 /// The simulated Gnutella-like network: overlay topology (typed,

@@ -67,4 +67,12 @@ ThreadPool& global_pool() {
   return pool;
 }
 
+void for_each_index(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn) {
+  if (pool == nullptr) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->parallel_for(n, fn);
+}
+
 }  // namespace ges::util

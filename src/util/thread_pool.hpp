@@ -58,4 +58,12 @@ class ThreadPool {
 /// Process-wide pool for experiment sweeps (lazily constructed).
 ThreadPool& global_pool();
 
+/// Run fn(i) for each i in [0, n): on `pool` when non-null, inline (serial,
+/// ascending i) when null. The serial path defines the reference semantics;
+/// pool execution must be observationally identical, which callers obtain by
+/// keeping iterations independent (disjoint output slots, per-index RNG
+/// streams). This is the standard dispatch point for ingest and bring-up
+/// code that offers a serial baseline next to its parallel path.
+void for_each_index(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn);
+
 }  // namespace ges::util

@@ -1,0 +1,157 @@
+// Serial-vs-parallel ingest equivalence: the parallel pipelines must
+// produce a Corpus that is BYTE-IDENTICAL (via serialization) to the
+// strictly serial reference path, at every thread count, for both the
+// synthetic generator and the TREC loader.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/serialization.hpp"
+#include "corpus/synthetic_corpus.hpp"
+#include "corpus/trec_loader.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ges::corpus {
+namespace {
+
+std::string corpus_bytes(const Corpus& corpus) {
+  std::stringstream buffer;
+  save_corpus(corpus, buffer);
+  return buffer.str();
+}
+
+void expect_identical(const Corpus& a, const Corpus& b) {
+  ASSERT_EQ(a.num_docs(), b.num_docs());
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.dict.size(), b.dict.size());
+  for (size_t t = 0; t < a.dict.size(); ++t) {
+    ASSERT_EQ(a.dict.term(static_cast<ir::TermId>(t)),
+              b.dict.term(static_cast<ir::TermId>(t)))
+        << "term id " << t << " diverged";
+  }
+  for (size_t d = 0; d < a.num_docs(); ++d) {
+    ASSERT_TRUE(a.docs[d].counts == b.docs[d].counts) << "doc " << d;
+    ASSERT_TRUE(a.docs[d].vector == b.docs[d].vector) << "doc " << d;
+  }
+  ASSERT_EQ(corpus_bytes(a), corpus_bytes(b));
+}
+
+TEST(ParallelIngest, SyntheticMatchesSerialAtEveryThreadCount) {
+  auto params = SyntheticCorpusParams::for_scale(util::Scale::kTiny);
+  params.seed = 20260806;
+  params.style_mix = 0.1;  // exercise the style branch too
+  const auto serial = generate_synthetic_corpus(params, nullptr);
+  ASSERT_GT(serial.num_docs(), 0u);
+  for (const size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    const auto parallel = generate_synthetic_corpus(params, &pool);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelIngest, SyntheticDefaultOverloadMatchesSerial) {
+  auto params = SyntheticCorpusParams::for_scale(util::Scale::kTiny);
+  params.seed = 7;
+  const auto serial = generate_synthetic_corpus(params, nullptr);
+  const auto pooled = generate_synthetic_corpus(params);  // global pool
+  expect_identical(serial, pooled);
+}
+
+/// Deterministic in-memory TREC fixture: `authors` distinct bylines,
+/// `docs` documents of random words (some shared across docs so stemming
+/// and df-filtering have something to chew on).
+struct TrecFixture {
+  std::vector<TrecRawDoc> docs;
+  std::vector<TrecRawTopic> topics;
+  std::vector<TrecJudgment> qrels;
+};
+
+TrecFixture make_trec_fixture(size_t doc_count, size_t authors, uint64_t seed) {
+  static const char* kWords[] = {
+      "economy",    "markets",   "rallied",  "accelerator", "particle",
+      "scientists", "restarted", "quarterly", "growth",      "policy",
+      "election",   "senate",    "drought",   "harvest",     "pipeline",
+      "satellite",  "orbit",     "launch",    "computing",   "networks"};
+  util::Rng rng(seed);
+  TrecFixture fx;
+  for (size_t i = 0; i < doc_count; ++i) {
+    TrecRawDoc doc;
+    doc.docno = "AP0-" + std::to_string(i);
+    // A few docs drop the byline: the loader must skip them identically.
+    if (i % 7 != 3) doc.author = "Author " + std::to_string(rng.index(authors));
+    const size_t words = 6 + rng.index(30);
+    for (size_t w = 0; w < words; ++w) {
+      if (!doc.text.empty()) doc.text += ' ';
+      doc.text += kWords[rng.index(std::size(kWords))];
+    }
+    fx.docs.push_back(std::move(doc));
+  }
+  for (uint32_t t = 0; t < 3; ++t) {
+    fx.topics.push_back({151 + t, std::string(kWords[t]) + " " + kWords[t + 5]});
+    for (size_t i = 0; i < doc_count; i += 2 + t) {
+      fx.qrels.push_back({151 + t, "AP0-" + std::to_string(i), 1});
+    }
+  }
+  return fx;
+}
+
+TEST(ParallelIngest, TrecMatchesSerialAtEveryThreadCount) {
+  const auto fx = make_trec_fixture(60, 9, 99);
+  const auto serial =
+      build_corpus_from_trec(fx.docs, fx.topics, fx.qrels, 0.5, nullptr);
+  ASSERT_GT(serial.num_docs(), 0u);
+  ASSERT_GT(serial.dict.size(), 0u);
+  for (const size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    const auto parallel =
+        build_corpus_from_trec(fx.docs, fx.topics, fx.qrels, 0.5, &pool);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelIngest, TrecDefaultOverloadMatchesSerial) {
+  const auto fx = make_trec_fixture(24, 5, 3);
+  const auto serial =
+      build_corpus_from_trec(fx.docs, fx.topics, fx.qrels, 0.5, nullptr);
+  const auto pooled = build_corpus_from_trec(fx.docs, fx.topics, fx.qrels, 0.5);
+  expect_identical(serial, pooled);
+}
+
+TEST(ParallelIngest, TrecZeroDocuments) {
+  util::ThreadPool pool(4);
+  const auto corpus = build_corpus_from_trec({}, {}, {}, 0.5, &pool);
+  EXPECT_EQ(corpus.num_docs(), 0u);
+  EXPECT_EQ(corpus.num_nodes(), 0u);
+  EXPECT_TRUE(corpus.dict.empty());
+}
+
+TEST(ParallelIngest, TrecFewerDocumentsThanWorkers) {
+  const auto fx = make_trec_fixture(2, 2, 5);
+  const auto serial =
+      build_corpus_from_trec(fx.docs, fx.topics, fx.qrels, 1.0, nullptr);
+  util::ThreadPool pool(8);
+  const auto parallel =
+      build_corpus_from_trec(fx.docs, fx.topics, fx.qrels, 1.0, &pool);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelIngest, TrecQueryTermsInternAfterDocumentTerms) {
+  // A topic title containing a word absent from every document must get
+  // the highest TermIds, exactly as in a serial build.
+  TrecFixture fx = make_trec_fixture(10, 3, 11);
+  fx.topics.push_back({200, "zymurgy festival"});
+  util::ThreadPool pool(4);
+  const auto corpus = build_corpus_from_trec(fx.docs, fx.topics, fx.qrels, 1.0, &pool);
+  const auto id = corpus.dict.lookup("zymurgi");  // Porter stem of zymurgy
+  ASSERT_NE(id, ir::kInvalidTerm);
+  EXPECT_GE(id + 1, corpus.dict.size() - 1);  // among the last interned
+}
+
+}  // namespace
+}  // namespace ges::corpus

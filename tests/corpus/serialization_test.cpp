@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "corpus/corpus_stats.hpp"
@@ -92,6 +93,62 @@ TEST(Serialization, FileRoundTrip) {
 
 TEST(Serialization, MissingFileThrows) {
   EXPECT_THROW(load_corpus_file("/nonexistent/ges.bin"), util::CheckFailure);
+}
+
+TEST(Serialization, MissingFileMessageNamesPath) {
+  try {
+    load_corpus_file("/nonexistent/ges.bin");
+    FAIL() << "expected CheckFailure";
+  } catch (const util::CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/ges.bin"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialization, TruncatedFileMessageNamesPath) {
+  const auto original = sample_corpus();
+  const std::string path = ::testing::TempDir() + "/ges_truncated_test.bin";
+  {
+    std::stringstream buffer;
+    save_corpus(original, buffer);
+    const std::string full = buffer.str();
+    std::ofstream out(path, std::ios::binary);
+    out.write(full.data(), static_cast<std::streamsize>(full.size() / 2));
+  }
+  try {
+    load_corpus_file(path);
+    FAIL() << "expected CheckFailure";
+  } catch (const util::CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, SaveToUnopenablePathNamesPath) {
+  const auto original = sample_corpus();
+  try {
+    save_corpus_file(original, "/nonexistent/dir/ges.bin");
+    FAIL() << "expected CheckFailure";
+  } catch (const util::CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/dir/ges.bin"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialization, SaveLoadSaveIsByteStable) {
+  // Guards the buffered block-wise rewrite: a reloaded corpus must
+  // serialize to exactly the same bytes.
+  const auto original = sample_corpus();
+  std::stringstream first;
+  save_corpus(original, first);
+  std::stringstream copy(first.str());
+  const auto loaded = load_corpus(copy);
+  std::stringstream second;
+  save_corpus(loaded, second);
+  EXPECT_EQ(first.str(), second.str());
 }
 
 }  // namespace

@@ -1,0 +1,125 @@
+#include "ir/sharded_term_dictionary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ges::ir {
+namespace {
+
+TEST(ShardedTermDictionary, FreezeAssignsIdsInFirstOccurrenceOrder) {
+  ShardedTermDictionary sharded(4);
+  // Occurrences reported out of order — freeze must sort by (doc, pos).
+  const auto beta = sharded.intern("beta", 1, 0);
+  const auto alpha = sharded.intern("alpha", 0, 1);
+  const auto omega = sharded.intern("omega", 0, 0);
+  // A later re-occurrence of omega must not displace its first sighting.
+  sharded.intern("omega", 2, 5);
+  EXPECT_EQ(sharded.size(), 3u);
+
+  TermDictionary dict;
+  const auto remap = sharded.freeze_into(dict);
+  EXPECT_EQ(remap[omega.shard][omega.slot], 0u);
+  EXPECT_EQ(remap[alpha.shard][alpha.slot], 1u);
+  EXPECT_EQ(remap[beta.shard][beta.slot], 2u);
+  EXPECT_EQ(dict.term(0), "omega");
+  EXPECT_EQ(dict.term(1), "alpha");
+  EXPECT_EQ(dict.term(2), "beta");
+}
+
+TEST(ShardedTermDictionary, EarlierOccurrenceWinsRegardlessOfInternOrder) {
+  ShardedTermDictionary sharded(2);
+  const auto first = sharded.intern("shared", 5, 0);
+  const auto second = sharded.intern("shared", 1, 3);  // earlier doc, later call
+  EXPECT_EQ(first.shard, second.shard);
+  EXPECT_EQ(first.slot, second.slot);
+  sharded.intern("solo", 2, 0);
+
+  TermDictionary dict;
+  const auto remap = sharded.freeze_into(dict);
+  // "shared" first occurs in doc 1 < doc 2, so it gets the lower id.
+  EXPECT_EQ(remap[first.shard][first.slot], 0u);
+  EXPECT_EQ(dict.term(0), "shared");
+  EXPECT_EQ(dict.term(1), "solo");
+}
+
+TEST(ShardedTermDictionary, TermsAlreadyInBaseDictionaryKeepTheirIds) {
+  TermDictionary dict;
+  const TermId known = dict.intern("known");
+
+  ShardedTermDictionary sharded;
+  const auto k = sharded.intern("known", 9, 9);
+  const auto n = sharded.intern("novel", 0, 0);
+  const auto remap = sharded.freeze_into(dict);
+
+  EXPECT_EQ(remap[k.shard][k.slot], known);
+  EXPECT_EQ(remap[n.shard][n.slot], 1u);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(ShardedTermDictionary, ConcurrentInterningMatchesSerialReference) {
+  // Synthesize a document stream, intern it concurrently from a pool, and
+  // check the frozen dictionary equals the serial first-occurrence order.
+  const size_t docs = 300;
+  std::vector<std::vector<std::string>> doc_terms(docs);
+  util::Rng rng(42);
+  for (size_t d = 0; d < docs; ++d) {
+    const size_t terms = 1 + rng.index(20);
+    for (size_t t = 0; t < terms; ++t) {
+      doc_terms[d].push_back("w" + std::to_string(rng.index(500)));
+    }
+  }
+
+  // Serial reference: plain interning in document / position order.
+  TermDictionary reference;
+  for (size_t d = 0; d < docs; ++d) {
+    for (const auto& term : doc_terms[d]) reference.intern(term);
+  }
+
+  for (const size_t threads : {1u, 2u, 8u}) {
+    ShardedTermDictionary sharded;
+    util::ThreadPool pool(threads);
+    pool.parallel_for(docs, [&](size_t d) {
+      std::vector<std::string_view> uniques;
+      for (const auto& term : doc_terms[d]) {
+        bool is_new = true;
+        for (const auto& u : uniques) is_new = is_new && (u != term);
+        if (!is_new) continue;
+        uniques.push_back(term);
+        sharded.intern(term, d, static_cast<uint32_t>(uniques.size() - 1));
+      }
+    });
+    TermDictionary dict;
+    sharded.freeze_into(dict);
+    ASSERT_EQ(dict.size(), reference.size()) << "threads=" << threads;
+    for (size_t t = 0; t < reference.size(); ++t) {
+      ASSERT_EQ(dict.term(static_cast<TermId>(t)),
+                reference.term(static_cast<TermId>(t)))
+          << "threads=" << threads << " id=" << t;
+    }
+  }
+}
+
+TEST(TermDictionaryCopy, CopiedDictionaryLooksUpAgainstItsOwnStorage) {
+  TermDictionary a;
+  a.intern("alpha");
+  a.intern("beta");
+  TermDictionary b = a;
+  a.intern("gamma");
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.lookup("alpha"), 0u);
+  EXPECT_EQ(b.lookup("beta"), 1u);
+  EXPECT_EQ(b.lookup("gamma"), kInvalidTerm);
+  TermDictionary c;
+  c.intern("unrelated");
+  c = b;
+  EXPECT_EQ(c.lookup("beta"), 1u);
+  EXPECT_EQ(c.lookup("unrelated"), kInvalidTerm);
+}
+
+}  // namespace
+}  // namespace ges::ir

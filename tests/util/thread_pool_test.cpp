@@ -66,5 +66,34 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_GE(global_pool().size(), 1u);
 }
 
+TEST(ThreadPool, ParallelForFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ForEachIndex, NullPoolRunsSeriallyInAscendingOrder) {
+  std::vector<size_t> order;
+  for_each_index(nullptr, 5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ForEachIndex, PoolCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);  // not a multiple of the chunking
+  for_each_index(&pool, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ForEachIndex, ZeroItemsIsNoopOnBothPaths) {
+  bool called = false;
+  for_each_index(nullptr, 0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+  ThreadPool pool(2);
+  for_each_index(&pool, 0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
 }  // namespace
 }  // namespace ges::util
