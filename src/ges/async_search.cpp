@@ -26,6 +26,7 @@ struct AsyncSearchEngine::Run {
   size_t ttl_left = 0;
   size_t walk_cap = 0;
   size_t in_flight = 0;
+  uint64_t message_seq = 0;  // per-run fault nonce
   bool finished = false;
 
   bool satisfied(const SearchOptions& options) const {
@@ -36,8 +37,13 @@ struct AsyncSearchEngine::Run {
 
 AsyncSearchEngine::AsyncSearchEngine(const p2p::Network& network,
                                      p2p::EventQueue& queue, SearchOptions options,
-                                     LatencyModel latency)
-    : network_(&network), queue_(&queue), options_(options), latency_(latency) {
+                                     LatencyModel latency,
+                                     const p2p::FaultInjector* faults)
+    : network_(&network),
+      queue_(&queue),
+      options_(options),
+      latency_(latency),
+      faults_(faults) {
   GES_CHECK(latency_.hop_mean >= 0.0);
   GES_CHECK(latency_.hop_jitter >= 0.0);
 }
@@ -51,13 +57,34 @@ double AsyncSearchEngine::next_latency(Run& run) {
 }
 
 void AsyncSearchEngine::schedule_message(const std::shared_ptr<Run>& run,
+                                         p2p::FaultChannel channel, p2p::NodeId from,
+                                         p2p::NodeId to,
                                          std::function<void()> handler) {
   ++run->in_flight;
-  queue_->schedule_after(next_latency(*run),
-                         [this, run, handler = std::move(handler)] {
-                           handler();
-                           message_done(run);
-                         });
+  double delay = next_latency(*run);
+  auto wrapped = [this, run, handler = std::move(handler)] {
+    handler();
+    message_done(run);
+  };
+  if (faults_ != nullptr && faults_->enabled()) {
+    const uint64_t key = p2p::FaultInjector::pair_key(from, to);
+    const uint64_t nonce = run->guid * 0x10000ULL + run->message_seq++;
+    if (faults_->blocked(from, to) ||
+        faults_->drop_message(channel, key, nonce)) {
+      // Lost in transit: the in-flight slot is held until the arrival
+      // time so completion reflects the initiator's wait, but the
+      // handler never runs.
+      queue_->schedule_after(delay, [this, run] { message_done(run); });
+      return;
+    }
+    delay += faults_->delivery_delay(channel, key, nonce);
+    if (faults_->duplicate_message(channel, key, nonce)) {
+      // Second copy; idempotent handlers / GUID bookkeeping absorb it.
+      ++run->in_flight;
+      queue_->schedule_after(delay, wrapped);
+    }
+  }
+  queue_->schedule_after(delay, std::move(wrapped));
 }
 
 void AsyncSearchEngine::message_done(const std::shared_ptr<Run>& run) {
@@ -86,7 +113,8 @@ bool AsyncSearchEngine::probe(const std::shared_ptr<Run>& run, NodeId node) {
   }
   if (!docs.empty()) {
     // Query hit travels back to the initiator as its own message.
-    schedule_message(run, [this, run] { deliver_hit(run, 0); });
+    schedule_message(run, p2p::FaultChannel::kWalk, node, run->initiator,
+                     [this, run] { deliver_hit(run, 0); });
   }
   return is_target;
 }
@@ -101,9 +129,10 @@ void AsyncSearchEngine::start_flood(const std::shared_ptr<Run>& run,
   ++run->result.trace.target_count;
   for (const NodeId next : network_->neighbors(target, LinkType::kSemantic)) {
     ++run->result.trace.flood_messages;
-    schedule_message(run, [this, run, next, target] {
-      deliver_flood(run, next, target, 1);
-    });
+    schedule_message(run, p2p::FaultChannel::kFlood, target, next,
+                     [this, run, next, target] {
+                       deliver_flood(run, next, target, 1);
+                     });
   }
 }
 
@@ -116,7 +145,7 @@ void AsyncSearchEngine::deliver_flood(const std::shared_ptr<Run>& run, NodeId at
   for (const NodeId next : network_->neighbors(at, LinkType::kSemantic)) {
     if (next == from) continue;
     ++run->result.trace.flood_messages;
-    schedule_message(run,
+    schedule_message(run, p2p::FaultChannel::kFlood, at, next,
                      [this, run, next, at, depth] {
                        deliver_flood(run, next, at, depth + 1);
                      });
@@ -134,7 +163,8 @@ void AsyncSearchEngine::continue_walk(const std::shared_ptr<Run>& run,
   if (next == p2p::kInvalidNode) return;
   --run->ttl_left;
   ++run->result.trace.walk_steps;
-  schedule_message(run, [this, run, next] { deliver_walk(run, next); });
+  schedule_message(run, p2p::FaultChannel::kWalk, from, next,
+                   [this, run, next] { deliver_walk(run, next); });
 }
 
 void AsyncSearchEngine::deliver_walk(const std::shared_ptr<Run>& run, NodeId at) {

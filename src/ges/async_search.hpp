@@ -7,6 +7,7 @@
 
 #include "ges/search.hpp"
 #include "p2p/event_sim.hpp"
+#include "p2p/fault_injection.hpp"
 #include "p2p/network.hpp"
 #include "p2p/search_trace.hpp"
 #include "util/rng.hpp"
@@ -52,8 +53,16 @@ struct AsyncQueryResult {
 /// flight).
 class AsyncSearchEngine {
  public:
+  /// With a fault injector, every message (walk hop, flood edge, query
+  /// hit) can be dropped, blocked by a partition, delayed, or delivered
+  /// twice. Lost messages still occupy their in-flight slot until the
+  /// scheduled arrival time, so completion_time reflects the timeout a
+  /// real initiator would wait; duplicates are discarded by the GUID
+  /// bookkeeping. A null/zero-rate injector is byte-identical to the
+  /// fault-free engine.
   AsyncSearchEngine(const p2p::Network& network, p2p::EventQueue& queue,
-                    SearchOptions options, LatencyModel latency = {});
+                    SearchOptions options, LatencyModel latency = {},
+                    const p2p::FaultInjector* faults = nullptr);
 
   /// Submit a query from `initiator`; the callback fires (during
   /// EventQueue::run*) exactly once. Returns the query's GUID.
@@ -70,7 +79,8 @@ class AsyncSearchEngine {
   void deliver_flood(const std::shared_ptr<Run>& run, p2p::NodeId at,
                      p2p::NodeId from, size_t depth);
   void deliver_hit(const std::shared_ptr<Run>& run, size_t new_docs);
-  void schedule_message(const std::shared_ptr<Run>& run,
+  void schedule_message(const std::shared_ptr<Run>& run, p2p::FaultChannel channel,
+                        p2p::NodeId from, p2p::NodeId to,
                         std::function<void()> handler);
   void message_done(const std::shared_ptr<Run>& run);
   bool probe(const std::shared_ptr<Run>& run, p2p::NodeId node);
@@ -82,6 +92,7 @@ class AsyncSearchEngine {
   p2p::EventQueue* queue_;
   SearchOptions options_;
   LatencyModel latency_;
+  const p2p::FaultInjector* faults_;
   p2p::Guid next_guid_ = 1;
   std::unordered_map<p2p::Guid, std::shared_ptr<Run>> runs_;
 };

@@ -51,6 +51,15 @@ struct GesParams {
   /// accordingly, cutting maintenance traffic once the topology is good.
   bool satisfaction_adaptive = false;
 
+  /// Retry-with-backoff for handshakes aborted by network faults (lost
+  /// leg, partition cut, peer death mid-handshake): after a fault-aborted
+  /// handshake a node skips its link attempts for handshake_backoff_base
+  /// rounds, doubling per consecutive failure up to handshake_backoff_max
+  /// rounds; any fully-delivered handshake resets the backoff. Only
+  /// fault-caused aborts arm it — a clean rejection is not congestion.
+  size_t handshake_backoff_base = 1;
+  size_t handshake_backoff_max = 8;
+
   /// Engine option (not in the paper): run the read-only plan phase of
   /// each adaptation round on the global thread pool. Per-node RNG
   /// streams make the result bit-identical to the sequential plan phase,

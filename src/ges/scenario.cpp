@@ -1,0 +1,95 @@
+#include "ges/scenario.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ges::core {
+
+ScenarioRunner::ScenarioRunner(const corpus::Corpus& corpus, ScenarioParams params)
+    : params_(std::move(params)) {
+  util::Rng capacity_rng(util::derive_seed(params_.seed, 10));
+  auto capacities =
+      params_.capacities.sample_many(corpus.num_nodes(), capacity_rng);
+  network_ =
+      std::make_unique<p2p::Network>(corpus, std::move(capacities), params_.net);
+  faults_ = std::make_unique<p2p::FaultInjector>(params_.faults);
+  adaptation_ = std::make_unique<TopologyAdaptation>(
+      *network_, params_.params, util::derive_seed(params_.seed, 11));
+  adaptation_->set_fault_injector(faults_.get());
+  heartbeats_ = std::make_unique<p2p::ReplicaHeartbeatProcess>(
+      *network_, queue_, params_.heartbeat_interval, faults_.get());
+  if (params_.churn_enabled) {
+    churn_ = std::make_unique<p2p::ChurnProcess>(*network_, queue_, params_.churn);
+    churn_->set_heartbeats(heartbeats_.get());
+    churn_->set_rejoin_hook(
+        [this](p2p::NodeId node) { adaptation_->reclassify_node(node); });
+  }
+}
+
+void ScenarioRunner::start() {
+  GES_CHECK_MSG(!started_, "ScenarioRunner::start() already ran");
+  started_ = true;
+  util::Rng boot_rng(util::derive_seed(params_.seed, 12));
+  p2p::bootstrap_random_graph(*network_, params_.bootstrap_avg_degree, boot_rng);
+  bootstrap_degree_.resize(network_->size());
+  for (p2p::NodeId n = 0; n < network_->size(); ++n) {
+    bootstrap_degree_[n] = network_->alive(n) ? network_->degree(n) : 0;
+  }
+  heartbeats_->start();
+  if (churn_ != nullptr) churn_->start();
+}
+
+void ScenarioRunner::run(const std::function<void(size_t)>& after_round) {
+  if (!started_) start();
+  for (size_t r = 0; r < params_.rounds; ++r) {
+    queue_.run_until(queue_.now() + params_.round_interval);
+    const auto stats = adaptation_->run_round();
+    total_stats_.semantic_links_added += stats.semantic_links_added;
+    total_stats_.semantic_links_dropped += stats.semantic_links_dropped;
+    total_stats_.random_links_added += stats.random_links_added;
+    total_stats_.random_links_dropped += stats.random_links_dropped;
+    total_stats_.links_reclassified += stats.links_reclassified;
+    total_stats_.walk_messages += stats.walk_messages;
+    total_stats_.handshake_messages += stats.handshake_messages;
+    total_stats_.cache_assists += stats.cache_assists;
+    total_stats_.gossip_messages += stats.gossip_messages;
+    total_stats_.discovery_skipped += stats.discovery_skipped;
+    total_stats_.handshake_aborts += stats.handshake_aborts;
+    total_stats_.handshake_deaths += stats.handshake_deaths;
+    total_stats_.handshake_retries += stats.handshake_retries;
+    total_stats_.backoff_skips += stats.backoff_skips;
+    if (after_round) after_round(r);
+  }
+}
+
+p2p::InvariantOptions ScenarioRunner::invariant_options(size_t degree_slack) const {
+  p2p::InvariantOptions options;
+  const GesParams& p = params_.params;
+  const p2p::Network* net = network_.get();
+  options.max_semantic_links = [p, net](p2p::NodeId node) {
+    return p.max_sem_links(net->capacity(node));
+  };
+  const std::vector<uint32_t>* boot = &bootstrap_degree_;
+  options.max_total_links = [p, net, boot](p2p::NodeId node) {
+    // The adaptation budgets the two link types independently: semantic
+    // degree never exceeds max_sem_links, while the random side starts at
+    // the node's bootstrap degree (installed without consulting the
+    // policy) and only shrinks toward max_rnd_links via replacement.
+    const p2p::Capacity cap = net->capacity(node);
+    const size_t bootstrap =
+        node < boot->size() ? static_cast<size_t>((*boot)[node]) : 0;
+    return p.max_sem_links(cap) + std::max(p.max_rnd_links(cap), bootstrap);
+  };
+  options.degree_slack = degree_slack;
+  return options;
+}
+
+p2p::SearchTrace ScenarioRunner::search(const ir::SparseVector& query,
+                                        p2p::NodeId initiator,
+                                        const SearchOptions& options,
+                                        util::Rng& rng) const {
+  return GesSearch(*network_, options, faults_.get()).search(query, initiator, rng);
+}
+
+}  // namespace ges::core

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "ges/params.hpp"
+#include "ges/search.hpp"
+#include "ges/topology_adaptation.hpp"
+#include "p2p/capacity.hpp"
+#include "p2p/churn.hpp"
+#include "p2p/event_sim.hpp"
+#include "p2p/fault_injection.hpp"
+#include "p2p/invariants.hpp"
+#include "p2p/network.hpp"
+#include "p2p/replication.hpp"
+
+namespace ges::core {
+
+/// One fault/churn scenario: a GES deployment driven round by round on
+/// the event queue with a fault plan applied to every protocol message.
+struct ScenarioParams {
+  GesParams params;
+  p2p::NetworkConfig net;
+  p2p::CapacityProfile capacities = p2p::CapacityProfile::uniform();
+  double bootstrap_avg_degree = 6.0;
+
+  /// Message/partition fault plan; all-zero rates reproduce the
+  /// fault-free deployment byte for byte.
+  p2p::FaultPlan faults;
+
+  bool churn_enabled = false;
+  p2p::ChurnParams churn;
+
+  /// Simulated seconds between replica heartbeats / adaptation rounds.
+  p2p::SimTime heartbeat_interval = 5.0;
+  p2p::SimTime round_interval = 10.0;
+
+  size_t rounds = 20;
+  uint64_t seed = 1;
+};
+
+/// Wires Network + EventQueue + FaultInjector + TopologyAdaptation +
+/// ReplicaHeartbeatProcess + ChurnProcess into one deterministic run:
+/// interleaves event-queue time (heartbeats, churn, message delays) with
+/// adaptation rounds, calling an optional callback after each round. Used
+/// by the scenario fuzzer and the golden-trace determinism tests; for a
+/// fixed ScenarioParams the entire evolution is a pure function of the
+/// seeds, including under GesParams::parallel_rounds.
+class ScenarioRunner {
+ public:
+  ScenarioRunner(const corpus::Corpus& corpus, ScenarioParams params);
+
+  /// Bootstrap the random graph and start the heartbeat (and churn)
+  /// processes. Idempotent per instance (call once, before run()).
+  void start();
+
+  /// Run the configured rounds: each round advances the queue by
+  /// round_interval, then runs one adaptation round. `after_round`
+  /// (optional) fires after every round with the 0-based round index.
+  void run(const std::function<void(size_t round)>& after_round = {});
+
+  p2p::Network& network() { return *network_; }
+  const p2p::Network& network() const { return *network_; }
+  p2p::EventQueue& queue() { return queue_; }
+  p2p::FaultInjector& faults() { return *faults_; }
+  TopologyAdaptation& adaptation() { return *adaptation_; }
+  p2p::ReplicaHeartbeatProcess& heartbeats() { return *heartbeats_; }
+  p2p::ChurnProcess* churn() { return churn_.get(); }
+  const ScenarioParams& params() const { return params_; }
+  const AdaptationRoundStats& total_stats() const { return total_stats_; }
+
+  /// Invariant options matching this scenario's degree policy: semantic
+  /// links are strictly capped by GesParams::max_sem_links; the random
+  /// side is capped by the larger of max_rnd_links and the node's
+  /// bootstrap degree (the random bootstrap graph predates the policy and
+  /// only shrinks toward the budget via replacement), plus `degree_slack`
+  /// for churn rejoin links installed past the policy.
+  p2p::InvariantOptions invariant_options(size_t degree_slack = 0) const;
+
+  /// Run one query under this scenario's fault injector.
+  p2p::SearchTrace search(const ir::SparseVector& query, p2p::NodeId initiator,
+                          const SearchOptions& options, util::Rng& rng) const;
+
+ private:
+  ScenarioParams params_;
+  p2p::EventQueue queue_;
+  std::unique_ptr<p2p::Network> network_;
+  std::unique_ptr<p2p::FaultInjector> faults_;
+  std::unique_ptr<TopologyAdaptation> adaptation_;
+  std::unique_ptr<p2p::ReplicaHeartbeatProcess> heartbeats_;
+  std::unique_ptr<p2p::ChurnProcess> churn_;
+  std::vector<uint32_t> bootstrap_degree_;  // node -> degree after bootstrap
+  AdaptationRoundStats total_stats_;
+  bool started_ = false;
+};
+
+}  // namespace ges::core

@@ -22,6 +22,7 @@ struct QueryRun {
   const SearchOptions& opt;
   const ir::SparseVector& query;
   util::Rng& rng;
+  const p2p::FaultInjector* faults;
 
   SearchTrace trace;
   std::unordered_set<NodeId> seen;  // nodes that processed the GUID
@@ -30,9 +31,19 @@ struct QueryRun {
   size_t responses = 0;
 
   QueryRun(const Network& n, const SearchOptions& o, const ir::SparseVector& q,
-           util::Rng& r)
-      : net(n), opt(o), query(q), rng(r) {
+           util::Rng& r, const p2p::FaultInjector* f)
+      : net(n), opt(o), query(q), rng(r), faults(f) {
     budget = o.probe_budget == 0 ? n.alive_count() : o.probe_budget;
+  }
+
+  /// Message from `a` to `b` lost (drop or partition cut)? Nonces count
+  /// the trace's messages so retries of the same edge fault
+  /// independently; the hash never touches `rng`.
+  bool message_lost(p2p::FaultChannel channel, NodeId a, NodeId b) const {
+    if (faults == nullptr) return false;
+    return faults->blocked(a, b) ||
+           faults->drop_message(channel, p2p::FaultInjector::pair_key(a, b),
+                                trace.walk_steps + trace.flood_messages);
   }
 
   bool out_of_budget() const { return trace.probes() >= budget; }
@@ -76,7 +87,9 @@ struct QueryRun {
           opt.flood_radius == 0 || item.depth + 1 < opt.flood_radius;
       for (const NodeId next : net.neighbors(item.node, LinkType::kSemantic)) {
         if (next == item.from) continue;
+        const bool lost = message_lost(p2p::FaultChannel::kFlood, item.node, next);
         ++trace.flood_messages;
+        if (lost) continue;  // branch pruned: the message never arrived
         if (seen.count(next) > 0) continue;  // duplicate GUID: discarded
         if (done()) break;
         probe(next);
@@ -94,13 +107,14 @@ struct QueryRun {
 
 }  // namespace
 
-GesSearch::GesSearch(const Network& network, SearchOptions options)
-    : network_(&network), options_(options) {}
+GesSearch::GesSearch(const Network& network, SearchOptions options,
+                     const p2p::FaultInjector* faults)
+    : network_(&network), options_(options), faults_(faults) {}
 
 SearchTrace GesSearch::search(const ir::SparseVector& query, NodeId initiator,
                               util::Rng& rng) const {
   GES_CHECK_MSG(network_->alive(initiator), "initiator " << initiator << " is dead");
-  QueryRun run(*network_, options_, query, rng);
+  QueryRun run(*network_, options_, query, rng, faults_);
 
   NodeId current = initiator;
   if (run.probe(current)) run.flood(current);
@@ -112,8 +126,10 @@ SearchTrace GesSearch::search(const ir::SparseVector& query, NodeId initiator,
   while (!run.done() && ttl_left > 0 && run.trace.walk_steps < max_steps) {
     const NodeId next = run.pick_next(current);
     if (next == p2p::kInvalidNode) break;
+    const bool lost = run.message_lost(p2p::FaultChannel::kWalk, current, next);
     ++run.trace.walk_steps;
     --ttl_left;
+    if (lost) break;  // the query message died in transit; walk ends
     current = next;
     if (run.seen.count(current) == 0) {
       const bool is_target = run.probe(current);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "ir/sparse_vector.hpp"
+#include "p2p/fault_injection.hpp"
 #include "p2p/network.hpp"
 #include "p2p/search_trace.hpp"
 #include "util/rng.hpp"
@@ -53,8 +54,15 @@ struct SearchOptions {
 /// duplicates discarded) — paper §4.5.
 class GesSearch {
  public:
-  /// The network must outlive the searcher.
-  GesSearch(const p2p::Network& network, SearchOptions options);
+  /// The network must outlive the searcher. With a fault injector, walk
+  /// and flood messages become lossy (drops and partition cuts): a lost
+  /// walk message kills the query's walk, a lost flood message prunes
+  /// that flood branch — both still cost their message. Fault decisions
+  /// hash the injector seed with the message's edge and per-trace
+  /// sequence number, so they never perturb `rng`'s stream: a zero-rate
+  /// or absent injector reproduces the fault-free trace byte for byte.
+  GesSearch(const p2p::Network& network, SearchOptions options,
+            const p2p::FaultInjector* faults = nullptr);
 
   const SearchOptions& options() const { return options_; }
 
@@ -67,6 +75,7 @@ class GesSearch {
  private:
   const p2p::Network* network_;
   SearchOptions options_;
+  const p2p::FaultInjector* faults_;
 };
 
 }  // namespace ges::core

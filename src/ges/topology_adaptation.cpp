@@ -24,6 +24,8 @@ TopologyAdaptation::TopologyAdaptation(Network& network, GesParams params, uint6
 AdaptationRoundStats TopologyAdaptation::run_round() {
   AdaptationRoundStats stats;
   auto nodes = network_->alive_nodes();
+  // Partition state advances once per round, before any plan-phase read.
+  if (faults_ != nullptr) faults_->begin_round(nodes, round_);
   rng_.shuffle(nodes);
   const uint64_t round_seed = rng_.next();
 
@@ -46,6 +48,7 @@ AdaptationRoundStats TopologyAdaptation::run_round() {
     util::Rng rng(util::derive_seed(round_seed, uint64_t{2} * nodes[i] + 1));
     commit_node(nodes[i], plans[i], rng, stats);
   }
+  ++round_;
   return stats;
 }
 
@@ -63,6 +66,10 @@ AdaptationRoundStats TopologyAdaptation::run_rounds(size_t rounds) {
     total.cache_assists += s.cache_assists;
     total.gossip_messages += s.gossip_messages;
     total.discovery_skipped += s.discovery_skipped;
+    total.handshake_aborts += s.handshake_aborts;
+    total.handshake_deaths += s.handshake_deaths;
+    total.handshake_retries += s.handshake_retries;
+    total.backoff_skips += s.backoff_skips;
   }
   return total;
 }
@@ -70,6 +77,72 @@ AdaptationRoundStats TopologyAdaptation::run_rounds(size_t rounds) {
 void TopologyAdaptation::node_step(NodeId node, AdaptationRoundStats& stats) {
   const NodePlan plan = plan_node(node, rng_);
   commit_node(node, plan, rng_, stats);
+}
+
+size_t TopologyAdaptation::reclassify_node(NodeId node) {
+  AdaptationRoundStats stats;
+  if (network_->alive(node)) reclassify_links(node, stats);
+  return stats.links_reclassified;
+}
+
+bool TopologyAdaptation::in_backoff(NodeId node) const {
+  const auto it = backoff_.find(node);
+  return it != backoff_.end() && round_ < it->second.next_round;
+}
+
+void TopologyAdaptation::arm_backoff(NodeId node) {
+  Backoff& b = backoff_[node];
+  b.strikes = b.strikes < 31 ? b.strikes + 1 : b.strikes;
+  const size_t base = std::max<size_t>(1, params_.handshake_backoff_base);
+  uint64_t wait = base;
+  for (uint32_t s = 1; s < b.strikes && wait < params_.handshake_backoff_max; ++s) {
+    wait *= 2;  // exponential per consecutive fault abort
+  }
+  wait = std::min<uint64_t>(wait, std::max<size_t>(base, params_.handshake_backoff_max));
+  b.next_round = round_ + 1 + wait;
+}
+
+void TopologyAdaptation::clear_backoff(NodeId node) { backoff_.erase(node); }
+
+bool TopologyAdaptation::handshake_delivered(NodeId node, NodeId peer, uint64_t salt,
+                                             AdaptationRoundStats& stats) {
+  if (faults_ == nullptr || !faults_->enabled()) {
+    stats.handshake_messages += 3;
+    return true;
+  }
+  const auto it = backoff_.find(node);
+  if (it != backoff_.end() && it->second.strikes > 0) ++stats.handshake_retries;
+
+  const uint64_t key = p2p::FaultInjector::pair_key(node, peer);
+  const uint64_t nonce = (round_ << 3) + salt * 4;
+  using p2p::FaultChannel;
+  // Leg 1 — request (node -> peer).
+  ++stats.handshake_messages;
+  if (faults_->blocked(node, peer) ||
+      faults_->drop_message(FaultChannel::kHandshake, key, nonce)) {
+    ++stats.handshake_aborts;
+    arm_backoff(node);
+    return false;
+  }
+  // The peer can die right after taking the request (§4.2's churn case);
+  // the initiator times out and aborts with nothing committed anywhere.
+  if (faults_->kill_mid_handshake(key, nonce)) {
+    network_->deactivate(peer);
+    ++stats.handshake_deaths;
+    arm_backoff(node);
+    return false;
+  }
+  // Leg 2 — response (peer -> node), leg 3 — confirm (node -> peer).
+  for (uint64_t leg = 1; leg <= 2; ++leg) {
+    ++stats.handshake_messages;
+    if (faults_->drop_message(FaultChannel::kHandshake, key, nonce + leg)) {
+      ++stats.handshake_aborts;
+      arm_backoff(node);
+      return false;
+    }
+  }
+  clear_backoff(node);
+  return true;
 }
 
 TopologyAdaptation::NodePlan TopologyAdaptation::plan_node(NodeId node,
@@ -123,6 +196,12 @@ void TopologyAdaptation::plan_gossip(NodeId node, util::Rng& rng,
   if (semantic.empty()) return;
   const NodeId peer = semantic[rng.index(semantic.size())];
   ++plan.gossip_messages;
+  if (faults_ != nullptr &&
+      (faults_->blocked(node, peer) ||
+       faults_->drop_message(p2p::FaultChannel::kGossip,
+                             p2p::FaultInjector::pair_key(node, peer), round_))) {
+    return;  // the exchange was sent but never arrived
+  }
   // Merge the peer's semantic host cache, re-scoring for this node and
   // keeping only entries that qualify from our perspective.
   for (const auto* entry : network_->semantic_cache(peer).entries()) {
@@ -150,8 +229,14 @@ void TopologyAdaptation::plan_discovery(NodeId node, util::Rng& rng,
   // with REL >= threshold (-> semantic host cache), one requesting nodes
   // below the threshold (-> random host cache).
   for (const bool want_relevant : {true, false}) {
-    const auto walk = p2p::random_walk(*network_, node, params_.walk_ttl,
-                                       params_.walk_max_responses * 4, rng);
+    // Fault nonces separate the two walks of each round; hop indices are
+    // added inside random_walk. Decisions stay independent of plan-phase
+    // execution order (stateless injector), so serial and parallel
+    // rounds see identical fault patterns.
+    const uint64_t walk_nonce = (round_ * 2 + (want_relevant ? 0 : 1)) << 12;
+    const auto walk =
+        p2p::random_walk(*network_, node, params_.walk_ttl,
+                         params_.walk_max_responses * 4, rng, faults_, walk_nonce);
     plan.walk_messages += walk.hops;
     size_t responses = 0;
     for (const NodeId seen : walk.visited) {
@@ -196,8 +281,15 @@ void TopologyAdaptation::commit_node(NodeId node, const NodePlan& plan, util::Rn
   for (const auto& entry : plan.random_inserts) {
     network_->random_cache(node).insert(entry);
   }
-  try_add_semantic(node, stats);
-  try_add_random(node, rng, stats);
+  if (faults_ != nullptr && in_backoff(node)) {
+    // Retry-with-backoff: after a fault-aborted handshake the node sits
+    // out its link attempts for a few rounds; cheap local maintenance
+    // (reclassification) still runs.
+    ++stats.backoff_skips;
+  } else {
+    try_add_semantic(node, stats);
+    try_add_random(node, rng, stats);
+  }
   reclassify_links(node, stats);
 }
 
@@ -262,13 +354,20 @@ void TopologyAdaptation::try_add_semantic(NodeId node, AdaptationRoundStats& sta
     return;
   }
 
-  // Three-way handshake: both endpoints decide independently.
-  stats.handshake_messages += 3;
+  // Three-way handshake: both endpoints decide independently. A leg
+  // lost to a fault (or the peer dying mid-handshake) aborts with
+  // nothing committed on either side.
+  if (!handshake_delivered(node, peer, /*salt=*/0, stats)) return;
   NodeId victim_self = p2p::kInvalidNode;
   NodeId victim_peer = p2p::kInvalidNode;
   if (!accept_semantic(node, peer, rel, &victim_self)) return;
   if (!accept_semantic(peer, node, rel, &victim_peer)) return;
 
+  // Commit order matters for fault tolerance: install the confirmed link
+  // first, then drop the replaced victims, so no abort path can shed a
+  // victim without gaining the new link (half-committed state).
+  if (!network_->connect(node, peer, LinkType::kSemantic)) return;
+  ++stats.semantic_links_added;
   if (victim_self != p2p::kInvalidNode) {
     network_->disconnect(node, victim_self);
     ++stats.semantic_links_dropped;
@@ -277,9 +376,6 @@ void TopologyAdaptation::try_add_semantic(NodeId node, AdaptationRoundStats& sta
       network_->has_link(peer, victim_peer)) {
     network_->disconnect(peer, victim_peer);
     ++stats.semantic_links_dropped;
-  }
-  if (network_->connect(node, peer, LinkType::kSemantic)) {
-    ++stats.semantic_links_added;
   }
 }
 
@@ -352,12 +448,15 @@ void TopologyAdaptation::try_add_random(NodeId node, util::Rng& rng,
   }
   const NodeId peer = candidate->node;
 
-  stats.handshake_messages += 3;
+  if (!handshake_delivered(node, peer, /*salt=*/1, stats)) return;
   NodeId victim_self = p2p::kInvalidNode;
   NodeId victim_peer = p2p::kInvalidNode;
   if (!accept_random(node, peer, &victim_self)) return;
   if (!accept_random(peer, node, &victim_peer)) return;
 
+  // Link-then-drop, as in try_add_semantic: aborts never half-commit.
+  if (!network_->connect(node, peer, LinkType::kRandom)) return;
+  ++stats.random_links_added;
   if (victim_self != p2p::kInvalidNode) {
     network_->disconnect(node, victim_self);
     ++stats.random_links_dropped;
@@ -366,9 +465,6 @@ void TopologyAdaptation::try_add_random(NodeId node, util::Rng& rng,
       network_->has_link(peer, victim_peer)) {
     network_->disconnect(peer, victim_peer);
     ++stats.random_links_dropped;
-  }
-  if (network_->connect(node, peer, LinkType::kRandom)) {
-    ++stats.random_links_added;
   }
 }
 

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "ges/params.hpp"
+#include "p2p/fault_injection.hpp"
 #include "p2p/host_cache.hpp"
 #include "p2p/network.hpp"
 #include "util/rng.hpp"
@@ -22,6 +24,10 @@ struct AdaptationRoundStats {
   size_t cache_assists = 0;       // candidates served from peers' caches
   size_t gossip_messages = 0;     // host-cache exchange messages
   size_t discovery_skipped = 0;   // node steps throttled by satisfaction
+  size_t handshake_aborts = 0;    // handshakes losing a leg to a fault
+  size_t handshake_deaths = 0;    // peers that died mid-handshake
+  size_t handshake_retries = 0;   // attempts made after a prior fault abort
+  size_t backoff_skips = 0;       // node steps skipped while backing off
 };
 
 /// The distributed, content-based, capacity-aware topology-adaptation
@@ -62,6 +68,18 @@ class TopologyAdaptation {
 
   const GesParams& params() const { return params_; }
 
+  /// Inject message faults (paper-motivated churn/loss hardening): walk
+  /// hops, gossip exchanges and handshake legs become lossy; partitions
+  /// advance once per round; a peer can die mid-handshake. Fault-aborted
+  /// handshakes retry with per-node exponential backoff and NEVER leave
+  /// half-committed state — victims are only dropped once the new link is
+  /// fully confirmed. Null (default) restores the failure-free engine
+  /// with bit-identical behaviour. The injector must outlive this object.
+  void set_fault_injector(p2p::FaultInjector* faults) { faults_ = faults; }
+
+  /// Rounds run so far (salts fault decisions and backoff bookkeeping).
+  uint64_t rounds_run() const { return round_; }
+
   /// One adaptation step for every alive node: parallel read-only plan
   /// phase, then serial commit in random order (see class comment).
   AdaptationRoundStats run_round();
@@ -71,6 +89,11 @@ class TopologyAdaptation {
 
   /// One adaptation step for a single node (plan + commit back-to-back).
   void node_step(p2p::NodeId node, AdaptationRoundStats& stats);
+
+  /// Threshold-reclassify a single node's links (paper §4.3 end) outside
+  /// a full round — e.g. right after a churn rejoin, whose bootstrap
+  /// links may already qualify as semantic. Returns links reclassified.
+  size_t reclassify_node(p2p::NodeId node);
 
   /// Satisfaction degree in [0, 1] (paper §7 future work): how full the
   /// node's link budgets are, with semantic links weighted by how far
@@ -120,9 +143,31 @@ class TopologyAdaptation {
 
   p2p::HostCacheEntry make_entry(p2p::NodeId about, double rel, bool with_vector) const;
 
+  /// Run the three legs of a handshake with `peer` under the fault
+  /// injector. Returns true when every leg was delivered (link decisions
+  /// may still reject); false aborts cleanly — nothing was committed —
+  /// and arms the initiator's backoff. `salt` separates the semantic and
+  /// random handshakes of one round. May deactivate `peer`
+  /// (mid-handshake death).
+  bool handshake_delivered(p2p::NodeId node, p2p::NodeId peer, uint64_t salt,
+                           AdaptationRoundStats& stats);
+
+  /// Fault-retry bookkeeping (see GesParams::handshake_backoff_*).
+  bool in_backoff(p2p::NodeId node) const;
+  void arm_backoff(p2p::NodeId node);
+  void clear_backoff(p2p::NodeId node);
+
+  struct Backoff {
+    uint64_t next_round = 0;  // earliest round allowed to attempt again
+    uint32_t strikes = 0;     // consecutive fault aborts
+  };
+
   p2p::Network* network_;
   GesParams params_;
   util::Rng rng_;
+  p2p::FaultInjector* faults_ = nullptr;
+  uint64_t round_ = 0;
+  std::unordered_map<p2p::NodeId, Backoff> backoff_;
 };
 
 /// Number of semantic connected components ("semantic groups") with at

@@ -25,6 +25,10 @@ void ChurnProcess::schedule_arrival(NodeId node) {
     if (network_->alive(node)) return;
     network_->activate(node);
     bootstrap_join(*network_, node, params_.bootstrap_links, rng_);
+    // Rejoin is more than new links: the node's heartbeat loop died with
+    // it, and the fresh bootstrap links may already qualify as semantic.
+    if (heartbeats_ != nullptr) heartbeats_->register_node(node);
+    if (rejoin_hook_) rejoin_hook_(node);
     ++arrivals_;
     schedule_departure(node);
   });

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "p2p/event_sim.hpp"
 #include "p2p/network.hpp"
+#include "p2p/replication.hpp"
 #include "util/rng.hpp"
 
 namespace ges::p2p {
@@ -24,9 +26,23 @@ struct ChurnParams {
 /// Drives churn on a network through an event queue. Construct, then call
 /// start() once; the process keeps itself scheduled for as long as the
 /// queue is run. The network and queue must outlive the process.
+///
+/// A rejoining node does more than add random links: when wired to a
+/// ReplicaHeartbeatProcess its heartbeat loop is re-registered (the old
+/// loop died with the node), and the rejoin hook lets the protocol layer
+/// reclassify the fresh bootstrap links whose relevance already crosses
+/// the semantic threshold — otherwise a rejoined node carries stale
+/// semantic state until an adaptation round happens to visit it.
 class ChurnProcess {
  public:
   ChurnProcess(Network& network, EventQueue& queue, ChurnParams params);
+
+  /// Re-register rejoining nodes with this heartbeat process.
+  void set_heartbeats(ReplicaHeartbeatProcess* heartbeats) { heartbeats_ = heartbeats; }
+
+  /// Called after a node rejoined and bootstrapped (e.g. wire
+  /// TopologyAdaptation::reclassify_node to repair its link types).
+  void set_rejoin_hook(std::function<void(NodeId)> hook) { rejoin_hook_ = std::move(hook); }
 
   /// Schedule the initial departure for every alive node.
   void start();
@@ -42,6 +58,8 @@ class ChurnProcess {
   EventQueue* queue_;
   ChurnParams params_;
   util::Rng rng_;
+  ReplicaHeartbeatProcess* heartbeats_ = nullptr;
+  std::function<void(NodeId)> rejoin_hook_;
   size_t departures_ = 0;
   size_t arrivals_ = 0;
 };

@@ -1,0 +1,104 @@
+#include "p2p/fault_injection.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ges::p2p {
+
+FaultPlan FaultPlan::uniform(double rate, uint64_t seed) {
+  GES_CHECK(rate >= 0.0 && rate <= 1.0);
+  FaultPlan plan;
+  plan.drop_rate = rate;
+  plan.heartbeat_loss_rate = rate;
+  plan.handshake_death_rate = rate / 4.0;
+  plan.seed = seed;
+  return plan;
+}
+
+double FaultInjector::unit(FaultChannel channel, uint64_t key, uint64_t nonce,
+                           uint64_t salt) const {
+  // Two rounds of seed derivation mix (seed, channel, salt) and
+  // (key, nonce) into one SplitMix64 stream; the first output, mapped to
+  // [0, 1), is the decision variate. Pure function of its inputs.
+  const uint64_t stream =
+      util::derive_seed(plan_.seed, (static_cast<uint64_t>(channel) << 56) ^ salt);
+  util::SplitMix64 mix(util::derive_seed(stream, util::derive_seed(key, nonce)));
+  return static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::drop_message(FaultChannel channel, uint64_t key,
+                                 uint64_t nonce) const {
+  if (plan_.drop_rate <= 0.0) return false;
+  const bool dropped = unit(channel, key, nonce, 0x01) < plan_.drop_rate;
+  if (dropped) ++counters_.messages_dropped;
+  return dropped;
+}
+
+SimTime FaultInjector::delivery_delay(FaultChannel channel, uint64_t key,
+                                      uint64_t nonce) const {
+  if (plan_.delay_rate <= 0.0 || plan_.max_delay <= 0.0) return 0.0;
+  if (unit(channel, key, nonce, 0x02) >= plan_.delay_rate) return 0.0;
+  ++counters_.messages_delayed;
+  return unit(channel, key, nonce, 0x03) * plan_.max_delay;
+}
+
+bool FaultInjector::duplicate_message(FaultChannel channel, uint64_t key,
+                                      uint64_t nonce) const {
+  if (plan_.duplicate_rate <= 0.0) return false;
+  const bool dup = unit(channel, key, nonce, 0x04) < plan_.duplicate_rate;
+  if (dup) ++counters_.messages_duplicated;
+  return dup;
+}
+
+bool FaultInjector::lose_heartbeat(uint64_t key, uint64_t nonce) const {
+  if (plan_.heartbeat_loss_rate <= 0.0) return false;
+  const bool lost =
+      unit(FaultChannel::kHeartbeat, key, nonce, 0x05) < plan_.heartbeat_loss_rate;
+  if (lost) ++counters_.heartbeats_lost;
+  return lost;
+}
+
+bool FaultInjector::kill_mid_handshake(uint64_t key, uint64_t nonce) const {
+  if (plan_.handshake_death_rate <= 0.0) return false;
+  const bool death =
+      unit(FaultChannel::kHandshake, key, nonce, 0x06) < plan_.handshake_death_rate;
+  if (death) ++counters_.handshake_deaths;
+  return death;
+}
+
+bool FaultInjector::deliver(EventQueue& queue, FaultChannel channel, uint64_t key,
+                            uint64_t nonce, SimTime base_delay,
+                            std::function<void()> handler) const {
+  if (drop_message(channel, key, nonce)) return false;
+  const SimTime delay = base_delay + delivery_delay(channel, key, nonce);
+  if (duplicate_message(channel, key, nonce)) {
+    queue.schedule_after(delay, handler);
+  }
+  queue.schedule_after(delay, std::move(handler));
+  return true;
+}
+
+void FaultInjector::begin_round(const std::vector<NodeId>& alive, uint64_t round) {
+  if (!partitioned_.empty() && round >= partition_expires_round_) {
+    partitioned_.clear();  // partition heals
+  }
+  if (plan_.partition_rate <= 0.0 || !partitioned_.empty() || alive.size() < 2) {
+    return;
+  }
+  if (unit(FaultChannel::kHandshake, 0, round, 0x07) >= plan_.partition_rate) return;
+  const auto cut =
+      std::max<size_t>(1, static_cast<size_t>(plan_.partition_fraction *
+                                              static_cast<double>(alive.size())));
+  // Membership of the isolated side is drawn from a round-derived RNG so
+  // the same (plan seed, round, alive set) always cuts the same nodes.
+  util::Rng rng(util::derive_seed(plan_.seed, 0x9A47B00ULL ^ round));
+  for (const size_t i : rng.sample_without_replacement(alive.size(), std::min(cut, alive.size()))) {
+    partitioned_.insert(alive[i]);
+  }
+  partition_expires_round_ = round + std::max<size_t>(1, plan_.partition_rounds);
+  ++counters_.partitions_started;
+}
+
+}  // namespace ges::p2p

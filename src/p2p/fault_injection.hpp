@@ -1,0 +1,162 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "p2p/event_sim.hpp"
+#include "p2p/types.hpp"
+
+namespace ges::p2p {
+
+/// Which protocol a faulted message belongs to. Channels seed independent
+/// decision streams, so e.g. raising the walk drop rate never changes
+/// which heartbeats are lost under the same FaultPlan seed.
+enum class FaultChannel : uint8_t {
+  kWalk = 1,       // discovery / search walk hops
+  kFlood = 2,      // semantic-group flood messages
+  kHandshake = 3,  // topology-adaptation three-way handshake legs
+  kHeartbeat = 4,  // replica heartbeat messages
+  kGossip = 5,     // host-cache gossip exchanges
+};
+
+/// Seeded description of every fault the simulator can inject (the fault
+/// taxonomy of DESIGN.md §9). All-zero rates mean a fault-free run: the
+/// injector then makes no random decisions at all, so protocol RNG
+/// streams — and therefore regression traces — are byte-identical to a
+/// run without any injector wired in.
+struct FaultPlan {
+  /// Per-message loss probability (walks, floods, handshake legs, gossip).
+  double drop_rate = 0.0;
+
+  /// Probability that a delivered message is late, and the uniform bound
+  /// on the extra delivery delay (event-queue protocols only).
+  double delay_rate = 0.0;
+  SimTime max_delay = 2.0;
+
+  /// Probability that a delivered message arrives twice (protocols are
+  /// expected to be idempotent / discard duplicates by GUID).
+  double duplicate_rate = 0.0;
+
+  /// Probability that the remote endpoint of a handshake dies after
+  /// accepting but before the commit leg (paper §4.2's motivation for
+  /// three-way handshakes under Gnutella-scale churn).
+  double handshake_death_rate = 0.0;
+
+  /// Per-neighbor heartbeat loss probability (paper §4.4 replica checks);
+  /// a lost heartbeat leaves the replica stale until the next interval.
+  double heartbeat_loss_rate = 0.0;
+
+  /// Burst partitions: with this per-round probability, a random
+  /// `partition_fraction` of the alive nodes is cut off from the rest for
+  /// `partition_rounds` adaptation rounds. Messages across the cut are
+  /// lost; messages within either side are unaffected.
+  double partition_rate = 0.0;
+  double partition_fraction = 0.2;
+  size_t partition_rounds = 2;
+
+  uint64_t seed = 1;
+
+  /// True when any fault can ever fire.
+  bool enabled() const {
+    return drop_rate > 0.0 || delay_rate > 0.0 || duplicate_rate > 0.0 ||
+           handshake_death_rate > 0.0 || heartbeat_loss_rate > 0.0 ||
+           partition_rate > 0.0;
+  }
+
+  /// Uniform message-level fault preset: drop `rate` everywhere, lose
+  /// heartbeats at `rate`, kill handshake peers at `rate` / 4.
+  static FaultPlan uniform(double rate, uint64_t seed);
+};
+
+/// Tallies of the faults actually fired (diagnostics; atomic so the
+/// parallel plan phase of an adaptation round can count concurrently).
+struct FaultCounters {
+  std::atomic<uint64_t> messages_dropped{0};
+  std::atomic<uint64_t> messages_delayed{0};
+  std::atomic<uint64_t> messages_duplicated{0};
+  std::atomic<uint64_t> messages_blocked{0};  // lost crossing a partition
+  std::atomic<uint64_t> heartbeats_lost{0};
+  std::atomic<uint64_t> handshake_deaths{0};
+  std::atomic<uint64_t> partitions_started{0};
+};
+
+/// Deterministic fault oracle threaded through message delivery. Every
+/// decision is a pure hash of (plan seed, channel, key, nonce) — no
+/// internal RNG stream — so decisions are independent of call order and
+/// the parallel plan phase of an adaptation round sees exactly the faults
+/// the serial phase would. Callers supply `key` (usually the directed
+/// pair of endpoints) and `nonce` (round / tick / per-message sequence)
+/// to separate repeated decisions about the same edge.
+///
+/// Partition state is mutated serially via begin_round() and read
+/// concurrently; the rest of the class is const and thread-safe.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(plan) {}
+
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return plan_.enabled(); }
+
+  /// Directed edge key for per-message decisions.
+  static uint64_t pair_key(NodeId from, NodeId to) {
+    return (static_cast<uint64_t>(from) << 32) | static_cast<uint64_t>(to);
+  }
+
+  // --- Stateless per-message decisions --------------------------------
+
+  /// Message lost in transit (does not include partition cuts; callers
+  /// check blocked() first so the two are counted separately).
+  bool drop_message(FaultChannel channel, uint64_t key, uint64_t nonce) const;
+
+  /// Extra delivery delay in [0, max_delay); 0.0 = on time.
+  SimTime delivery_delay(FaultChannel channel, uint64_t key, uint64_t nonce) const;
+
+  /// Message delivered twice.
+  bool duplicate_message(FaultChannel channel, uint64_t key, uint64_t nonce) const;
+
+  /// Heartbeat from `key` (owner, neighbor) lost this tick.
+  bool lose_heartbeat(uint64_t key, uint64_t nonce) const;
+
+  /// The remote endpoint of handshake `key` dies mid-handshake.
+  bool kill_mid_handshake(uint64_t key, uint64_t nonce) const;
+
+  /// Schedule `handler` on `queue` subject to drop / extra delay /
+  /// duplication on `channel`. Returns false when the message was dropped
+  /// (nothing scheduled). `base_delay` is the fault-free latency.
+  bool deliver(EventQueue& queue, FaultChannel channel, uint64_t key, uint64_t nonce,
+               SimTime base_delay, std::function<void()> handler) const;
+
+  // --- Burst partitions (serial mutation, concurrent reads) -----------
+
+  /// Advance partition state to `round`: expire a finished partition and
+  /// maybe start a new one over the given alive set. Call once per
+  /// adaptation round, before any plan-phase reads.
+  void begin_round(const std::vector<NodeId>& alive, uint64_t round);
+
+  bool partition_active() const { return !partitioned_.empty(); }
+  bool partitioned(NodeId node) const { return partitioned_.count(node) > 0; }
+
+  /// True when a message between `a` and `b` would cross the cut.
+  bool blocked(NodeId a, NodeId b) const {
+    if (partitioned_.empty()) return false;
+    const bool cut = partitioned(a) != partitioned(b);
+    if (cut) ++counters_.messages_blocked;
+    return cut;
+  }
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  /// Uniform [0, 1) decision variate for (channel, key, nonce, salt).
+  double unit(FaultChannel channel, uint64_t key, uint64_t nonce, uint64_t salt) const;
+
+  FaultPlan plan_;
+  std::unordered_set<NodeId> partitioned_;
+  uint64_t partition_expires_round_ = 0;
+  mutable FaultCounters counters_;
+};
+
+}  // namespace ges::p2p

@@ -1,0 +1,212 @@
+#include "p2p/invariants.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace ges::p2p {
+
+namespace {
+
+class Sweep {
+ public:
+  Sweep(const Network& network, const InvariantOptions& options)
+      : net_(network), opt_(options) {}
+
+  InvariantReport run() {
+    size_t alive_seen = 0;
+    for (NodeId n = 0; n < net_.size(); ++n) {
+      ++report_.nodes_checked;
+      if (net_.alive(n)) {
+        ++alive_seen;
+        check_links(n);
+        check_replicas(n);
+        check_degrees(n);
+        check_caches(n);
+      } else {
+        check_dead(n);
+      }
+    }
+    if (alive_seen != net_.alive_count()) {
+      std::ostringstream os;
+      os << "alive_count() is " << net_.alive_count() << " but " << alive_seen
+         << " nodes have the alive flag";
+      fail(kInvalidNode, os.str());
+    }
+    return std::move(report_);
+  }
+
+ private:
+  void fail(NodeId node, const std::string& message) {
+    report_.violations.push_back({node, message});
+  }
+
+  void check_dead(NodeId n) {
+    if (net_.degree(n) != 0) {
+      fail(n, "dead node " + std::to_string(n) + " still has links");
+    }
+    if (net_.replica_count(n) != 0) {
+      fail(n, "dead node " + std::to_string(n) + " still holds replicas");
+    }
+  }
+
+  void check_links(NodeId n) {
+    std::unordered_set<NodeId> distinct;
+    for (const LinkType type : {LinkType::kRandom, LinkType::kSemantic}) {
+      for (const NodeId m : net_.neighbors(n, type)) {
+        ++report_.links_checked;
+        std::ostringstream os;
+        if (m == n) {
+          os << "self link at node " << n;
+          fail(n, os.str());
+          continue;
+        }
+        if (!distinct.insert(m).second) {
+          os << "parallel link " << n << " <-> " << m;
+          fail(n, os.str());
+          continue;
+        }
+        if (!net_.alive(m)) {
+          os << "link from " << n << " to dead node " << m;
+          fail(n, os.str());
+        }
+        const auto forward = net_.link_type(n, m);
+        if (!forward || *forward != type) {
+          os << "neighbor list of " << n << " disagrees with its link record for "
+             << m;
+          fail(n, os.str());
+          continue;
+        }
+        const auto back = net_.link_type(m, n);
+        if (!back) {
+          os << "asymmetric link " << n << " -> " << m;
+          fail(n, os.str());
+        } else if (*back != type) {
+          os << "type mismatch on link " << n << " <-> " << m;
+          fail(n, os.str());
+        }
+      }
+    }
+    if (net_.link_record_count(n) != distinct.size()) {
+      std::ostringstream os;
+      os << "node " << n << " has " << net_.link_record_count(n)
+         << " link records but " << distinct.size() << " listed neighbors";
+      fail(n, os.str());
+    }
+  }
+
+  void check_replicas(NodeId n) {
+    const auto& random = net_.neighbors(n, LinkType::kRandom);
+    for (const NodeId m : random) {
+      ++report_.replicas_checked;
+      const ir::SparseVector* rep = net_.replica(n, m);
+      std::ostringstream os;
+      if (rep == nullptr) {
+        os << "node " << n << " misses the replica of random neighbor " << m;
+        fail(n, os.str());
+        continue;
+      }
+      if (opt_.expect_fresh_replicas && !(*rep == net_.node_vector(m))) {
+        os << "stale replica of " << m << " at node " << n
+           << " (fresh replicas expected)";
+        fail(n, os.str());
+      }
+    }
+    if (net_.replica_count(n) != random.size()) {
+      std::ostringstream os;
+      os << "node " << n << " holds " << net_.replica_count(n) << " replicas for "
+         << random.size() << " random neighbors";
+      fail(n, os.str());
+    }
+  }
+
+  void check_degrees(NodeId n) {
+    if (opt_.max_semantic_links) {
+      const size_t sem = net_.degree(n, LinkType::kSemantic);
+      const size_t cap = opt_.max_semantic_links(n);
+      if (sem > cap) {
+        std::ostringstream os;
+        os << "node " << n << " has " << sem << " semantic links, cap " << cap;
+        fail(n, os.str());
+      }
+    }
+    if (opt_.max_total_links) {
+      const size_t total = net_.degree(n);
+      const size_t cap = opt_.max_total_links(n) + opt_.degree_slack;
+      if (total > cap) {
+        std::ostringstream os;
+        os << "node " << n << " has degree " << total << ", cap " << cap
+           << " (incl. slack " << opt_.degree_slack << ")";
+        fail(n, os.str());
+      }
+    }
+  }
+
+  void check_cache(NodeId n, const HostCache& cache, bool semantic) {
+    if (cache.size() > cache.max_size()) {
+      std::ostringstream os;
+      os << (semantic ? "semantic" : "random") << " host cache of " << n
+         << " exceeds its bound: " << cache.size() << " > " << cache.max_size();
+      fail(n, os.str());
+    }
+    std::unordered_set<NodeId> distinct;
+    for (const HostCacheEntry* entry : cache.entries()) {
+      ++report_.cache_entries_checked;
+      std::ostringstream os;
+      if (entry->node == kInvalidNode) {
+        os << "invalid entry in a host cache of " << n;
+        fail(n, os.str());
+        continue;
+      }
+      if (entry->node == n) {
+        os << "node " << n << " caches itself";
+        fail(n, os.str());
+      }
+      if (!distinct.insert(entry->node).second) {
+        os << "duplicate host-cache entry for " << entry->node << " at " << n;
+        fail(n, os.str());
+      }
+      if (semantic && !entry->vector.empty()) {
+        os << "semantic host cache of " << n << " stores a node vector for "
+           << entry->node << " (paper §4.3 keeps it vector-free)";
+        fail(n, os.str());
+      }
+    }
+  }
+
+  void check_caches(NodeId n) {
+    check_cache(n, net_.random_cache(n), /*semantic=*/false);
+    check_cache(n, net_.semantic_cache(n), /*semantic=*/true);
+  }
+
+  const Network& net_;
+  const InvariantOptions& opt_;
+  InvariantReport report_;
+};
+
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) os << '\n';
+    os << violations[i].message;
+  }
+  return os.str();
+}
+
+InvariantReport check_overlay_invariants(const Network& network,
+                                         const InvariantOptions& options) {
+  return Sweep(network, options).run();
+}
+
+void expect_overlay_invariants(const Network& network,
+                               const InvariantOptions& options) {
+  const InvariantReport report = check_overlay_invariants(network, options);
+  GES_CHECK_MSG(report.ok(), report.violations.size()
+                                 << " overlay invariant violation(s):\n"
+                                 << report.to_string());
+}
+
+}  // namespace ges::p2p

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "p2p/network.hpp"
+
+namespace ges::p2p {
+
+/// What check_overlay_invariants verifies beyond the always-on structural
+/// core (link symmetry and type agreement, no self/parallel links, no
+/// links to dead nodes, replica set == random-neighbor set, host-cache
+/// size bounds and entry sanity).
+struct InvariantOptions {
+  /// Per-node cap on semantic links; empty = skip the check. The
+  /// adaptation layer owns degree policy, so the caller supplies the
+  /// bound (e.g. GesParams::max_sem_links of the node's capacity).
+  std::function<size_t(NodeId)> max_semantic_links;
+
+  /// Per-node cap on total links; empty = skip.
+  std::function<size_t(NodeId)> max_total_links;
+
+  /// Allowance on top of max_total_links for links installed outside the
+  /// adaptation's accept rules (bootstrap joins of churned-in nodes
+  /// connect without consulting the degree policy).
+  size_t degree_slack = 0;
+
+  /// Require every replica to equal its source node vector. Only valid
+  /// in a quiescent network right after a lossless heartbeat; the
+  /// general guarantee is convergence within one heartbeat interval.
+  bool expect_fresh_replicas = false;
+};
+
+struct InvariantViolation {
+  NodeId node = kInvalidNode;
+  std::string message;
+};
+
+/// Outcome of one invariant sweep. `violations` is empty on a clean
+/// overlay; the `*_checked` tallies let tests assert the sweep actually
+/// covered something.
+struct InvariantReport {
+  std::vector<InvariantViolation> violations;
+  size_t nodes_checked = 0;
+  size_t links_checked = 0;
+  size_t replicas_checked = 0;
+  size_t cache_entries_checked = 0;
+
+  bool ok() const { return violations.empty(); }
+
+  /// All violation messages, newline-joined ("" when ok).
+  std::string to_string() const;
+};
+
+/// Sweep every node of the overlay and report violations instead of
+/// throwing — the scenario fuzzer collects everything wrong with a
+/// topology in one pass. O(V + E).
+InvariantReport check_overlay_invariants(const Network& network,
+                                         const InvariantOptions& options = {});
+
+/// Throwing form: util::CheckFailure listing every violation. Backing
+/// implementation of Network::check_invariants().
+void expect_overlay_invariants(const Network& network,
+                               const InvariantOptions& options = {});
+
+}  // namespace ges::p2p

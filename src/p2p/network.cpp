@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ir/node_vector.hpp"
+#include "p2p/invariants.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -230,6 +231,15 @@ void Network::refresh_replicas(NodeId owner) {
   }
 }
 
+bool Network::refresh_replica(NodeId owner, NodeId neighbor) {
+  Peer& p = peer_mut(owner);
+  if (!p.alive) return false;
+  const auto it = p.link_types.find(neighbor);
+  if (it == p.link_types.end() || it->second != LinkType::kRandom) return false;
+  p.replicas[neighbor] = peer(neighbor).vector;
+  return true;
+}
+
 size_t Network::stale_replica_count(NodeId owner) const {
   size_t stale = 0;
   const Peer& p = peer(owner);
@@ -270,32 +280,9 @@ void Network::activate(NodeId node) {
 }
 
 void Network::check_invariants() const {
-  for (size_t n = 0; n < peers_.size(); ++n) {
-    const Peer& p = peers_[n];
-    const auto id = static_cast<NodeId>(n);
-    GES_CHECK_MSG(p.alive || p.link_types.empty(), "dead node " << n << " has links");
-    GES_CHECK(p.link_types.size() ==
-              p.random_neighbors.size() + p.semantic_neighbors.size());
-    for (const auto& [peer_id, type] : p.link_types) {
-      GES_CHECK_MSG(peer_id != id, "self link at " << n);
-      const Peer& q = peer(peer_id);
-      const auto back = q.link_types.find(id);
-      GES_CHECK_MSG(back != q.link_types.end(),
-                    "asymmetric link " << n << " -> " << peer_id);
-      GES_CHECK_MSG(back->second == type,
-                    "type mismatch on link " << n << " <-> " << peer_id);
-    }
-    for (const NodeId r : p.random_neighbors) {
-      GES_CHECK(p.link_types.at(r) == LinkType::kRandom);
-      GES_CHECK_MSG(p.replicas.count(r) == 1,
-                    "missing replica of random neighbor " << r << " at " << n);
-    }
-    for (const NodeId s : p.semantic_neighbors) {
-      GES_CHECK(p.link_types.at(s) == LinkType::kSemantic);
-    }
-    GES_CHECK_MSG(p.replicas.size() == p.random_neighbors.size(),
-                  "replica set at " << n << " does not match random neighbors");
-  }
+  // The structural core of the overlay-invariant catalogue; degree bounds
+  // and freshness checks are opt-in via check_overlay_invariants.
+  expect_overlay_invariants(*this);
 }
 
 void bootstrap_random_graph(Network& network, double avg_degree, util::Rng& rng,

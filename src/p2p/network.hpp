@@ -140,9 +140,23 @@ class Network {
   /// Heartbeat: re-copy the current node vectors of all random neighbors.
   void refresh_replicas(NodeId owner);
 
+  /// One heartbeat message worth of refresh: re-copy `neighbor`'s current
+  /// node vector. Returns false (no-op) when `owner` is dead or
+  /// `neighbor` is no longer a random neighbor — delayed heartbeat events
+  /// may outlive the link they were sent over.
+  bool refresh_replica(NodeId owner, NodeId neighbor);
+
   /// Number of stale replicas held by `owner` (differs from the
   /// neighbor's current vector) — test/diagnostic helper.
   size_t stale_replica_count(NodeId owner) const;
+
+  /// Number of replicas held by `owner` (== its random degree when the
+  /// replica invariant holds).
+  size_t replica_count(NodeId owner) const { return peer(owner).replicas.size(); }
+
+  /// Number of link records at `node` (== its degree when the neighbor
+  /// lists and the link map agree) — invariant-checker accessor.
+  size_t link_record_count(NodeId node) const { return peer(node).link_types.size(); }
 
   // --- Churn ----------------------------------------------------------
 

@@ -7,7 +7,8 @@
 namespace ges::p2p {
 
 WalkResult random_walk(const Network& network, NodeId start, size_t ttl,
-                       size_t max_responses, util::Rng& rng) {
+                       size_t max_responses, util::Rng& rng,
+                       const FaultInjector* faults, uint64_t fault_nonce) {
   GES_CHECK(network.alive(start));
   WalkResult result;
   std::unordered_set<NodeId> seen{start};
@@ -20,6 +21,15 @@ WalkResult random_walk(const Network& network, NodeId start, size_t ttl,
     if (next == previous && neighbors.size() > 1) {
       // Avoid immediately bouncing back when another neighbor exists.
       while (next == previous) next = neighbors[rng.index(neighbors.size())];
+    }
+    if (faults != nullptr &&
+        (faults->blocked(current, next) ||
+         faults->drop_message(FaultChannel::kWalk, FaultInjector::pair_key(current, next),
+                              fault_nonce + hop))) {
+      // The query message was sent (costs a hop) but never arrived.
+      ++result.hops;
+      result.truncated_by_fault = true;
+      break;
     }
     previous = current;
     current = next;

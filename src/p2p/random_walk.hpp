@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "p2p/fault_injection.hpp"
 #include "p2p/network.hpp"
 #include "p2p/types.hpp"
 #include "util/rng.hpp"
@@ -10,10 +11,12 @@ namespace ges::p2p {
 
 /// Result of a TTL-bounded random walk: the distinct nodes visited after
 /// the start node, in visit order, plus the number of hops actually taken
-/// (message count).
+/// (message count). `truncated_by_fault` marks a walk whose query message
+/// was lost in transit (dropped or blocked by a partition).
 struct WalkResult {
   std::vector<NodeId> visited;
   size_t hops = 0;
+  bool truncated_by_fault = false;
 };
 
 /// Random walk over all links (random + semantic) starting at `start`
@@ -22,7 +25,15 @@ struct WalkResult {
 /// random neighbor is chosen, avoiding the immediately preceding node
 /// when another choice exists. The walk takes at most `ttl` hops and
 /// records up to `max_responses` distinct nodes (excluding `start`).
+///
+/// When `faults` is non-null, every hop is a message on FaultChannel::
+/// kWalk keyed by its directed edge: a dropped or partition-blocked hop
+/// still costs a message but ends the walk (the query is lost; decisions
+/// are salted with `fault_nonce` so repeated walks fault independently).
+/// A null injector draws no fault decisions at all.
 WalkResult random_walk(const Network& network, NodeId start, size_t ttl,
-                       size_t max_responses, util::Rng& rng);
+                       size_t max_responses, util::Rng& rng,
+                       const FaultInjector* faults = nullptr,
+                       uint64_t fault_nonce = 0);
 
 }  // namespace ges::p2p

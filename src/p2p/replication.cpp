@@ -1,6 +1,64 @@
 #include "p2p/replication.hpp"
 
+#include "util/check.hpp"
+
 namespace ges::p2p {
+
+ReplicaHeartbeatProcess::ReplicaHeartbeatProcess(Network& network, EventQueue& queue,
+                                                 SimTime interval,
+                                                 const FaultInjector* faults)
+    : network_(&network),
+      queue_(&queue),
+      interval_(interval),
+      faults_(faults),
+      active_(network.size(), 0),
+      ticks_(network.size(), 0) {
+  GES_CHECK(interval > 0.0);
+}
+
+void ReplicaHeartbeatProcess::start() {
+  for (const NodeId node : network_->alive_nodes()) register_node(node);
+}
+
+void ReplicaHeartbeatProcess::register_node(NodeId node) {
+  GES_CHECK_MSG(node < active_.size(), "node " << node << " out of range");
+  if (active_[node] != 0 || !network_->alive(node)) return;
+  active_[node] = 1;
+  queue_->schedule_after(interval_, [this, node] { beat(node); });
+}
+
+void ReplicaHeartbeatProcess::beat(NodeId node) {
+  if (!network_->alive(node)) {
+    // The node churned out; its loop dies here. activate() + register_node
+    // (via ChurnProcess) starts a fresh loop on rejoin.
+    active_[node] = 0;
+    return;
+  }
+  ++beats_;
+  const uint64_t tick = ticks_[node]++;
+  for (const NodeId neighbor : network_->neighbors(node, LinkType::kRandom)) {
+    ++sent_;
+    if (faults_ != nullptr) {
+      const uint64_t key = FaultInjector::pair_key(node, neighbor);
+      if (faults_->blocked(node, neighbor) || faults_->lose_heartbeat(key, tick)) {
+        ++lost_;  // replica stays stale; next interval retries
+        continue;
+      }
+      const SimTime delay = faults_->delivery_delay(FaultChannel::kHeartbeat, key, tick);
+      if (delay > 0.0) {
+        // Late response: refresh_replica no-ops if the link (or node) is
+        // gone by delivery time.
+        Network* net = network_;
+        queue_->schedule_after(delay, [net, node, neighbor] {
+          net->refresh_replica(node, neighbor);
+        });
+        continue;
+      }
+    }
+    network_->refresh_replica(node, neighbor);
+  }
+  queue_->schedule_after(interval_, [this, node] { beat(node); });
+}
 
 void schedule_replica_heartbeats(EventQueue& queue, Network& network,
                                  SimTime interval) {

@@ -1,17 +1,68 @@
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "p2p/event_sim.hpp"
+#include "p2p/fault_injection.hpp"
 #include "p2p/network.hpp"
 
 namespace ges::p2p {
 
-/// Schedule periodic replica heartbeats for every node (paper §4.4: "a
-/// node periodically checks the replicated node vectors through heartbeat
-/// messages with each random neighbor"). Each heartbeat re-copies the
-/// current node vectors of the node's random neighbors, so replicas
-/// converge within one `interval` of any document change.
+/// Per-node replica heartbeat loops (paper §4.4: "a node periodically
+/// checks the replicated node vectors through heartbeat messages with
+/// each random neighbor"). Every registered node runs its own repeating
+/// event; each firing sends one heartbeat message per random neighbor,
+/// re-copying that neighbor's current node vector, so replicas converge
+/// within one `interval` of any document change.
 ///
-/// The network and queue must outlive the scheduled events.
+/// A node's loop dies with the node: when it churns out, the next firing
+/// notices and stops rescheduling. A rejoining node must therefore be
+/// re-registered (ChurnProcess does this when wired to the process) —
+/// exactly the soft-state re-registration real Gnutella peers perform.
+///
+/// With a FaultInjector, each per-neighbor heartbeat can be lost
+/// (heartbeat_loss_rate or a partition cut) — the replica simply stays
+/// stale until the next interval retries — or delayed/duplicated through
+/// the event queue; delayed refreshes are safe no-ops when the link or
+/// node they refer to is gone by delivery time.
+///
+/// The network, queue and injector must outlive the process.
+class ReplicaHeartbeatProcess {
+ public:
+  ReplicaHeartbeatProcess(Network& network, EventQueue& queue, SimTime interval,
+                          const FaultInjector* faults = nullptr);
+
+  /// Register every currently-alive node, phase-aligned to now().
+  void start();
+
+  /// (Re)start `node`'s heartbeat loop; no-op while a loop is active.
+  void register_node(NodeId node);
+
+  /// Whether `node` currently has a live heartbeat loop.
+  bool registered(NodeId node) const { return active_[node] != 0; }
+
+  size_t beats() const { return beats_; }
+  size_t heartbeats_sent() const { return sent_; }
+  size_t heartbeats_lost() const { return lost_; }
+
+ private:
+  void beat(NodeId node);
+
+  Network* network_;
+  EventQueue* queue_;
+  SimTime interval_;
+  const FaultInjector* faults_;
+  std::vector<uint8_t> active_;  // node -> loop scheduled
+  std::vector<uint64_t> ticks_;  // node -> heartbeat tick (fault nonce)
+  size_t beats_ = 0;             // node-level firings
+  size_t sent_ = 0;              // per-neighbor heartbeat messages
+  size_t lost_ = 0;              // lost to drops / partitions
+};
+
+/// Legacy convenience: one global repeating event refreshing every alive
+/// node's replicas. No per-node registration, no fault injection; prefer
+/// ReplicaHeartbeatProcess for churn/fault scenarios.
 void schedule_replica_heartbeats(EventQueue& queue, Network& network,
                                  SimTime interval);
 

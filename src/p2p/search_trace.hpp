@@ -15,6 +15,10 @@ struct RetrievedDoc {
   ir::DocId doc = ir::kInvalidDoc;
   double score = 0.0;
   uint32_t probe_index = 0;
+
+  friend bool operator==(const RetrievedDoc& a, const RetrievedDoc& b) {
+    return a.doc == b.doc && a.score == b.score && a.probe_index == b.probe_index;
+  }
 };
 
 /// Instrumented record of one query execution, shared by GES and the
@@ -32,6 +36,13 @@ struct SearchTrace {
 
   size_t probes() const { return probe_order.size(); }
   size_t messages() const { return walk_steps + flood_messages; }
+
+  /// Exact equality (determinism / golden-trace tests).
+  friend bool operator==(const SearchTrace& a, const SearchTrace& b) {
+    return a.probe_order == b.probe_order && a.retrieved == b.retrieved &&
+           a.walk_steps == b.walk_steps && a.flood_messages == b.flood_messages &&
+           a.target_count == b.target_count;
+  }
 };
 
 }  // namespace ges::p2p

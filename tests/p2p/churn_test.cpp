@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "p2p/invariants.hpp"
+#include "p2p/replication.hpp"
 #include "support/test_corpus.hpp"
 
 namespace ges::p2p {
@@ -61,6 +63,91 @@ TEST_F(ChurnTest, RejoinedNodesAreBootstrapped) {
   }
   EXPECT_GT(connected, net_.alive_count() / 2);
   net_.check_invariants();
+}
+
+TEST_F(ChurnTest, LongRunKeepsOverlayInvariantsAndBookkeeping) {
+  ChurnParams params;
+  params.mean_session = 6.0;
+  params.mean_downtime = 3.0;
+  params.seed = 11;
+  ChurnProcess churn(net_, queue_, params);
+  churn.start();
+
+  // Long run with periodic checkpoints: after every slice the overlay
+  // must be structurally sound and the arrival/departure ledger must
+  // reconcile with the alive set. Every node starts alive, so
+  // alive == size - departures + arrivals at all times.
+  for (int slice = 1; slice <= 40; ++slice) {
+    queue_.run_until(25.0 * slice);
+    expect_overlay_invariants(net_);
+    ASSERT_EQ(net_.alive_count(),
+              net_.size() - churn.departures() + churn.arrivals())
+        << "slice " << slice;
+    ASSERT_GE(churn.departures(), churn.arrivals());  // leave precedes rejoin
+  }
+  EXPECT_GT(churn.departures(), 50u);  // the run actually exercised churn
+
+  // Dead nodes never retain or receive links along the way (spot check
+  // at the end; expect_overlay_invariants covered intermediate states).
+  for (NodeId n = 0; n < net_.size(); ++n) {
+    if (!net_.alive(n)) {
+      EXPECT_EQ(net_.degree(n), 0u);
+    }
+  }
+}
+
+TEST_F(ChurnTest, RejoinRestartsHeartbeatLoopAndFiresRejoinHook) {
+  ChurnParams params;
+  params.mean_session = 5.0;
+  params.mean_downtime = 2.0;
+  params.seed = 3;
+  ReplicaHeartbeatProcess heartbeats(net_, queue_, 4.0);
+  heartbeats.start();
+
+  ChurnProcess churn(net_, queue_, params);
+  std::vector<NodeId> rejoined;
+  churn.set_heartbeats(&heartbeats);
+  churn.set_rejoin_hook([&](NodeId node) {
+    rejoined.push_back(node);
+    EXPECT_TRUE(net_.alive(node));      // hook runs after reactivation
+    EXPECT_GT(net_.degree(node), 0u);   // ... and after bootstrap_join
+  });
+  churn.start();
+  queue_.run_until(300.0);
+  ASSERT_GT(churn.arrivals(), 0u);
+  EXPECT_EQ(rejoined.size(), churn.arrivals());
+
+  // Every alive node has a live heartbeat loop again — including the
+  // rejoined ones whose original loop died with them — so replicas of all
+  // random neighbors go fresh within one more interval.
+  for (const NodeId n : net_.alive_nodes()) {
+    EXPECT_TRUE(heartbeats.registered(n)) << "node " << n;
+  }
+  queue_.run_until(queue_.now() + 4.0);
+  for (const NodeId n : net_.alive_nodes()) {
+    EXPECT_EQ(net_.stale_replica_count(n), 0u) << "node " << n;
+  }
+}
+
+TEST_F(ChurnTest, WithoutHeartbeatWiringRejoinedNodesStayUnregistered) {
+  // Regression guard for the bug the wiring fixes: a rejoining node's
+  // heartbeat loop is NOT revived unless the churn process knows about
+  // the heartbeat process.
+  ChurnParams params;
+  params.mean_session = 4.0;
+  params.mean_downtime = 2.0;
+  params.seed = 5;
+  ReplicaHeartbeatProcess heartbeats(net_, queue_, 4.0);
+  heartbeats.start();
+  ChurnProcess churn(net_, queue_, params);  // no set_heartbeats
+  churn.start();
+  queue_.run_until(200.0);
+  ASSERT_GT(churn.arrivals(), 0u);
+  size_t unregistered = 0;
+  for (const NodeId n : net_.alive_nodes()) {
+    unregistered += heartbeats.registered(n) ? 0 : 1;
+  }
+  EXPECT_GT(unregistered, 0u);
 }
 
 TEST_F(ChurnTest, DeterministicInSeed) {

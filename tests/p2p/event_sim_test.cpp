@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace ges::p2p {
 namespace {
@@ -90,6 +93,109 @@ TEST(EventQueue, SchedulingInPastThrows) {
 TEST(EventQueue, ScheduleEveryRejectsNonPositiveInterval) {
   EventQueue q;
   EXPECT_THROW(q.schedule_every(0.0, [] {}), util::CheckFailure);
+}
+
+// --- Randomized property tests against a reference model ---------------
+
+/// Reference semantics: events sorted by (time, scheduling order).
+std::vector<int> model_order(const std::vector<std::pair<SimTime, int>>& events) {
+  std::vector<std::pair<SimTime, int>> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<int> ids;
+  ids.reserve(sorted.size());
+  for (const auto& [at, id] : sorted) ids.push_back(id);
+  return ids;
+}
+
+TEST(EventQueueProperty, RandomSchedulesMatchStableSortModel) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(seed);
+    EventQueue q;
+    std::vector<std::pair<SimTime, int>> events;
+    std::vector<int> ran;
+    const size_t n = 50 + rng.below(100);
+    for (size_t i = 0; i < n; ++i) {
+      // Coarse grid forces many equal-timestamp collisions.
+      const SimTime at = static_cast<SimTime>(rng.below(10));
+      const int id = static_cast<int>(i);
+      events.emplace_back(at, id);
+      q.schedule(at, [&ran, id] { ran.push_back(id); });
+    }
+    q.run();
+    EXPECT_EQ(ran, model_order(events)) << "seed " << seed;
+    EXPECT_EQ(q.processed(), n);
+  }
+}
+
+TEST(EventQueueProperty, RunUntilPartitionsTheScheduleAtTheBoundary) {
+  for (uint64_t seed = 100; seed < 115; ++seed) {
+    util::Rng rng(seed);
+    EventQueue q;
+    std::vector<std::pair<SimTime, int>> events;
+    std::vector<int> ran;
+    for (size_t i = 0; i < 80; ++i) {
+      const SimTime at = static_cast<SimTime>(rng.below(20));
+      events.emplace_back(at, static_cast<int>(i));
+      q.schedule(at, [&ran, i] { ran.push_back(static_cast<int>(i)); });
+    }
+    const SimTime boundary = static_cast<SimTime>(rng.below(20));
+    q.run_until(boundary);
+
+    // Exactly the events with timestamp <= boundary ran, in model order;
+    // the clock sits at the boundary even if nothing fired there.
+    std::vector<std::pair<SimTime, int>> within;
+    for (const auto& e : events) {
+      if (e.first <= boundary) within.push_back(e);
+    }
+    EXPECT_EQ(ran, model_order(within)) << "seed " << seed;
+    EXPECT_EQ(q.pending(), events.size() - within.size());
+    EXPECT_DOUBLE_EQ(q.now(), boundary);
+
+    q.run();  // the remainder still runs, after the boundary
+    EXPECT_EQ(ran, model_order(events)) << "seed " << seed;
+  }
+}
+
+TEST(EventQueueProperty, ScheduleEveryInterleavesWithOneShotEvents) {
+  for (uint64_t seed = 200; seed < 210; ++seed) {
+    util::Rng rng(seed);
+    EventQueue q;
+    const SimTime interval = 1.0 + rng.uniform(0.0, 2.0);
+    std::vector<SimTime> tick_times;
+    q.schedule_every(interval, [&] { tick_times.push_back(q.now()); });
+
+    size_t oneshot_ran = 0;
+    const size_t oneshots = 5 + rng.below(10);
+    for (size_t i = 0; i < oneshots; ++i) {
+      q.schedule(rng.uniform(0.0, 10.0), [&] { ++oneshot_ran; });
+    }
+
+    const size_t max_events = 10 + rng.below(20);
+    q.run(max_events);
+    EXPECT_EQ(tick_times.size() + oneshot_ran, max_events) << "seed " << seed;
+
+    // Ticks land exactly on multiples of the interval, phase-aligned to 0.
+    for (size_t i = 0; i < tick_times.size(); ++i) {
+      EXPECT_DOUBLE_EQ(tick_times[i], static_cast<SimTime>(i + 1) * interval);
+    }
+    // run(max) never reorders: everything that ran is <= everything pending.
+    EXPECT_EQ(q.processed(), max_events);
+  }
+}
+
+TEST(EventQueueProperty, HandlersSchedulingAtNowRunInSamePass) {
+  // An event scheduling a follow-up at the current timestamp must run it
+  // after every already-queued event at that timestamp (FIFO among equals).
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] {
+    order.push_back(0);
+    q.schedule(1.0, [&] { order.push_back(2); });
+  });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
 }  // namespace

@@ -1,0 +1,179 @@
+#include "p2p/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace ges::p2p {
+namespace {
+
+TEST(FaultPlan, ZeroRatesAreDisabled) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  FaultInjector faults(plan);
+  for (uint64_t nonce = 0; nonce < 100; ++nonce) {
+    EXPECT_FALSE(faults.drop_message(FaultChannel::kWalk, 7, nonce));
+    EXPECT_FALSE(faults.duplicate_message(FaultChannel::kFlood, 7, nonce));
+    EXPECT_FALSE(faults.lose_heartbeat(7, nonce));
+    EXPECT_FALSE(faults.kill_mid_handshake(7, nonce));
+    EXPECT_DOUBLE_EQ(faults.delivery_delay(FaultChannel::kWalk, 7, nonce), 0.0);
+  }
+  EXPECT_EQ(faults.counters().messages_dropped.load(), 0u);
+}
+
+TEST(FaultPlan, UniformPresetEnablesMessageFaults) {
+  const FaultPlan plan = FaultPlan::uniform(0.2, 9);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_DOUBLE_EQ(plan.drop_rate, 0.2);
+  EXPECT_DOUBLE_EQ(plan.heartbeat_loss_rate, 0.2);
+  EXPECT_DOUBLE_EQ(plan.handshake_death_rate, 0.05);
+  EXPECT_EQ(plan.seed, 9u);
+}
+
+TEST(FaultInjector, DecisionsAreDeterministicAndOrderIndependent) {
+  FaultPlan plan;
+  plan.drop_rate = 0.5;
+  plan.seed = 123;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+
+  std::vector<bool> forward;
+  std::vector<bool> backward;
+  for (uint64_t nonce = 0; nonce < 256; ++nonce) {
+    forward.push_back(a.drop_message(FaultChannel::kWalk, 42, nonce));
+  }
+  for (uint64_t nonce = 256; nonce-- > 0;) {
+    backward.push_back(b.drop_message(FaultChannel::kWalk, 42, nonce));
+  }
+  std::reverse(backward.begin(), backward.end());
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(FaultInjector, ChannelsKeysAndNoncesSeedIndependentStreams) {
+  FaultPlan plan;
+  plan.drop_rate = 0.5;
+  plan.seed = 7;
+  FaultInjector faults(plan);
+
+  auto stream = [&](FaultChannel channel, uint64_t key) {
+    std::vector<bool> out;
+    for (uint64_t nonce = 0; nonce < 512; ++nonce) {
+      out.push_back(faults.drop_message(channel, key, nonce));
+    }
+    return out;
+  };
+  const auto walk = stream(FaultChannel::kWalk, 1);
+  EXPECT_NE(walk, stream(FaultChannel::kFlood, 1));  // channel matters
+  EXPECT_NE(walk, stream(FaultChannel::kWalk, 2));   // key matters
+  EXPECT_NE(stream(FaultChannel::kWalk, 1),
+            [&] {  // seed matters
+              FaultPlan other = plan;
+              other.seed = 8;
+              FaultInjector f2(other);
+              std::vector<bool> out;
+              for (uint64_t nonce = 0; nonce < 512; ++nonce) {
+                out.push_back(f2.drop_message(FaultChannel::kWalk, 1, nonce));
+              }
+              return out;
+            }());
+}
+
+TEST(FaultInjector, RatesAreApproximatelyHonored) {
+  FaultPlan plan;
+  plan.drop_rate = 0.3;
+  plan.delay_rate = 0.25;
+  plan.max_delay = 1.5;
+  plan.seed = 5;
+  FaultInjector faults(plan);
+
+  const size_t trials = 20000;
+  size_t drops = 0;
+  size_t delays = 0;
+  for (uint64_t nonce = 0; nonce < trials; ++nonce) {
+    drops += faults.drop_message(FaultChannel::kWalk, 99, nonce) ? 1 : 0;
+    const SimTime d = faults.delivery_delay(FaultChannel::kWalk, 99, nonce);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, plan.max_delay);
+    delays += d > 0.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / trials, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(delays) / trials, 0.25, 0.02);
+  EXPECT_EQ(faults.counters().messages_dropped.load(), drops);
+}
+
+TEST(FaultInjector, DeliverDropsDelaysAndDuplicates) {
+  FaultPlan plan;
+  plan.drop_rate = 0.4;
+  plan.duplicate_rate = 0.2;
+  plan.delay_rate = 0.3;
+  plan.seed = 31;
+  FaultInjector faults(plan);
+
+  EventQueue queue;
+  size_t delivered = 0;
+  size_t scheduled = 0;
+  const size_t trials = 2000;
+  for (uint64_t nonce = 0; nonce < trials; ++nonce) {
+    if (faults.deliver(queue, FaultChannel::kGossip, 5, nonce, 1.0,
+                       [&] { ++delivered; })) {
+      ++scheduled;
+    }
+  }
+  queue.run();
+  EXPECT_LT(scheduled, trials);                 // some dropped
+  EXPECT_GT(delivered, scheduled);              // some duplicated
+  EXPECT_EQ(scheduled, trials - faults.counters().messages_dropped.load());
+  EXPECT_EQ(delivered,
+            scheduled + faults.counters().messages_duplicated.load());
+  EXPECT_GT(faults.counters().messages_delayed.load(), 0u);
+}
+
+TEST(FaultInjector, PartitionsCutOnlyCrossEdgesAndExpire) {
+  FaultPlan plan;
+  plan.partition_rate = 1.0;  // every round starts one (when none active)
+  plan.partition_fraction = 0.25;
+  plan.partition_rounds = 2;
+  plan.seed = 17;
+  FaultInjector faults(plan);
+
+  std::vector<NodeId> alive(20);
+  for (NodeId n = 0; n < 20; ++n) alive[n] = n;
+
+  faults.begin_round(alive, 0);
+  ASSERT_TRUE(faults.partition_active());
+  EXPECT_EQ(faults.counters().partitions_started.load(), 1u);
+
+  size_t isolated = 0;
+  for (const NodeId n : alive) isolated += faults.partitioned(n) ? 1 : 0;
+  EXPECT_EQ(isolated, 5u);  // 25 % of 20
+
+  NodeId in = kInvalidNode;
+  NodeId out = kInvalidNode;
+  for (const NodeId n : alive) (faults.partitioned(n) ? in : out) = n;
+  EXPECT_TRUE(faults.blocked(in, out));
+  EXPECT_TRUE(faults.blocked(out, in));
+  EXPECT_FALSE(faults.blocked(out, out));
+  EXPECT_FALSE(faults.blocked(in, in));
+
+  faults.begin_round(alive, 1);  // still within partition_rounds
+  EXPECT_TRUE(faults.partition_active());
+  faults.begin_round(alive, 2);  // expired; rate 1.0 starts a fresh one
+  EXPECT_TRUE(faults.partition_active());
+  EXPECT_EQ(faults.counters().partitions_started.load(), 2u);
+}
+
+TEST(FaultInjector, NoPartitionAtZeroRate) {
+  FaultPlan plan;
+  plan.drop_rate = 0.5;  // enabled, but no partitions
+  FaultInjector faults(plan);
+  std::vector<NodeId> alive{0, 1, 2, 3};
+  for (uint64_t round = 0; round < 10; ++round) {
+    faults.begin_round(alive, round);
+    EXPECT_FALSE(faults.partition_active());
+    EXPECT_FALSE(faults.blocked(0, 1));
+  }
+}
+
+}  // namespace
+}  // namespace ges::p2p

@@ -1,0 +1,104 @@
+#include "p2p/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_corpus.hpp"
+#include "util/check.hpp"
+
+namespace ges::p2p {
+namespace {
+
+class InvariantsTest : public ::testing::Test {
+ protected:
+  InvariantsTest()
+      : corpus_(test::clustered_corpus(12, 2)),
+        net_(corpus_, test::uniform_capacities(corpus_), NetworkConfig{}) {
+    util::Rng rng(3);
+    bootstrap_random_graph(net_, 4.0, rng);
+  }
+
+  corpus::Corpus corpus_;
+  Network net_;
+};
+
+TEST_F(InvariantsTest, CleanOverlayPassesAndSweepCoversEverything) {
+  const InvariantReport report = check_overlay_invariants(net_);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.nodes_checked, net_.size());
+  EXPECT_GT(report.links_checked, 0u);
+  EXPECT_EQ(report.replicas_checked, report.links_checked);  // all random
+  EXPECT_EQ(report.to_string(), "");
+  expect_overlay_invariants(net_);  // throwing form agrees
+}
+
+TEST_F(InvariantsTest, DeadNodesAreCheckedForLeftoverState) {
+  net_.deactivate(3);
+  const InvariantReport report = check_overlay_invariants(net_);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.nodes_checked, net_.size());
+}
+
+TEST_F(InvariantsTest, SelfCacheEntryIsReported) {
+  HostCacheEntry entry;
+  entry.node = 5;
+  net_.random_cache(5).insert(entry);
+  const InvariantReport report = check_overlay_invariants(net_);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].node, 5u);
+  EXPECT_NE(report.violations[0].message.find("caches itself"), std::string::npos);
+  EXPECT_THROW(expect_overlay_invariants(net_), util::CheckFailure);
+}
+
+TEST_F(InvariantsTest, SemanticCacheVectorIsReported) {
+  HostCacheEntry entry;
+  entry.node = 7;
+  entry.vector = ir::SparseVector::from_pairs({{1, 1.0f}});
+  net_.semantic_cache(2).insert(entry);
+  const InvariantReport report = check_overlay_invariants(net_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("vector-free"), std::string::npos);
+}
+
+TEST_F(InvariantsTest, DegreeCapsAreEnforcedWithSlack) {
+  InvariantOptions options;
+  options.max_total_links = [](NodeId) { return size_t{0}; };
+  const InvariantReport strict = check_overlay_invariants(net_, options);
+  EXPECT_FALSE(strict.ok());  // every linked node exceeds cap 0
+
+  options.degree_slack = net_.size();  // slack absorbs any degree here
+  const InvariantReport slack = check_overlay_invariants(net_, options);
+  EXPECT_TRUE(slack.ok()) << slack.to_string();
+}
+
+TEST_F(InvariantsTest, SemanticCapIsStrict) {
+  net_.disconnect(0, net_.neighbors(0, LinkType::kRandom).front());
+  net_.connect(0, 11, LinkType::kSemantic);
+  InvariantOptions options;
+  options.max_semantic_links = [](NodeId) { return size_t{0}; };
+  options.degree_slack = 100;  // slack applies to total degree only
+  const InvariantReport report = check_overlay_invariants(net_, options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("semantic links"), std::string::npos);
+}
+
+TEST_F(InvariantsTest, FreshReplicaExpectationDetectsStaleness) {
+  InvariantOptions fresh;
+  fresh.expect_fresh_replicas = true;
+  EXPECT_TRUE(check_overlay_invariants(net_, fresh).ok());
+
+  const NodeId neighbor = net_.neighbors(0, LinkType::kRandom).front();
+  net_.add_document(neighbor, ir::SparseVector::from_pairs({{90, 2.0f}}));
+  const InvariantReport stale = check_overlay_invariants(net_, fresh);
+  EXPECT_FALSE(stale.ok());
+  EXPECT_NE(stale.to_string().find("stale replica"), std::string::npos);
+
+  // Default options tolerate staleness (convergence is the guarantee).
+  EXPECT_TRUE(check_overlay_invariants(net_).ok());
+
+  net_.refresh_replicas(0);
+  for (const NodeId n : net_.alive_nodes()) net_.refresh_replicas(n);
+  EXPECT_TRUE(check_overlay_invariants(net_, fresh).ok());
+}
+
+}  // namespace
+}  // namespace ges::p2p

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "p2p/fault_injection.hpp"
 #include "support/test_corpus.hpp"
 
 namespace ges::p2p {
@@ -50,6 +51,122 @@ TEST(Replication, SkipsDeadNodes) {
   schedule_replica_heartbeats(queue, net, 1.0);
   queue.run_until(3.0);  // must not throw on the dead node
   EXPECT_EQ(net.stale_replica_count(0), 0u);
+}
+
+TEST(HeartbeatProcess, ConvergesWithinOneIntervalAfterDocumentChange) {
+  const auto corpus = test::clustered_corpus(6, 2);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  net.connect(0, 1, LinkType::kRandom);
+  net.connect(0, 2, LinkType::kRandom);
+  net.connect(1, 2, LinkType::kRandom);
+
+  EventQueue queue;
+  ReplicaHeartbeatProcess heartbeats(net, queue, 5.0);
+  heartbeats.start();
+  queue.run_until(11.0);  // settle two beats
+
+  net.add_document(1, ir::SparseVector::from_pairs({{70, 2.0f}}));
+  EXPECT_EQ(net.stale_replica_count(0), 1u);
+  EXPECT_EQ(net.stale_replica_count(2), 1u);
+
+  queue.run_until(queue.now() + 5.0);  // one full interval later
+  EXPECT_EQ(net.stale_replica_count(0), 0u);
+  EXPECT_EQ(net.stale_replica_count(2), 0u);
+  EXPECT_GT(heartbeats.heartbeats_sent(), 0u);
+  EXPECT_EQ(heartbeats.heartbeats_lost(), 0u);
+}
+
+TEST(HeartbeatProcess, LoopDiesWithTheNodeAndRevivesOnReregistration) {
+  const auto corpus = test::clustered_corpus(4, 1);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  net.connect(0, 1, LinkType::kRandom);
+
+  EventQueue queue;
+  ReplicaHeartbeatProcess heartbeats(net, queue, 2.0);
+  heartbeats.start();
+  EXPECT_TRUE(heartbeats.registered(0));
+
+  net.deactivate(0);
+  queue.run_until(10.0);  // the pending beat notices and stops
+  EXPECT_FALSE(heartbeats.registered(0));
+
+  net.activate(0);
+  net.connect(0, 1, LinkType::kRandom);
+  net.add_document(1, ir::SparseVector::from_pairs({{80, 1.0f}}));
+  EXPECT_EQ(net.stale_replica_count(0), 1u);
+  queue.run_until(30.0);  // without re-registration the replica stays stale
+  EXPECT_EQ(net.stale_replica_count(0), 1u);
+
+  heartbeats.register_node(0);
+  EXPECT_TRUE(heartbeats.registered(0));
+  queue.run_until(queue.now() + 2.0);
+  EXPECT_EQ(net.stale_replica_count(0), 0u);
+}
+
+TEST(HeartbeatProcess, TotalLossKeepsReplicasStale) {
+  const auto corpus = test::clustered_corpus(4, 1);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  net.connect(0, 1, LinkType::kRandom);
+
+  FaultPlan plan;
+  plan.heartbeat_loss_rate = 1.0;
+  FaultInjector faults(plan);
+
+  EventQueue queue;
+  ReplicaHeartbeatProcess heartbeats(net, queue, 2.0, &faults);
+  heartbeats.start();
+  net.add_document(1, ir::SparseVector::from_pairs({{81, 1.0f}}));
+  queue.run_until(20.0);
+  EXPECT_EQ(net.stale_replica_count(0), 1u);  // nothing ever got through
+  EXPECT_GT(heartbeats.heartbeats_lost(), 0u);
+  EXPECT_EQ(heartbeats.heartbeats_lost(), heartbeats.heartbeats_sent());
+}
+
+TEST(HeartbeatProcess, DelayedHeartbeatSurvivesLinkRemoval) {
+  const auto corpus = test::clustered_corpus(4, 1);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  net.connect(0, 1, LinkType::kRandom);
+
+  FaultPlan plan;
+  plan.delay_rate = 1.0;  // every heartbeat arrives late
+  plan.max_delay = 3.0;
+  FaultInjector faults(plan);
+
+  EventQueue queue;
+  ReplicaHeartbeatProcess heartbeats(net, queue, 2.0, &faults);
+  heartbeats.start();
+  queue.run_until(1.9);
+  net.disconnect(0, 1);  // delayed refresh events now dangle
+  net.deactivate(1);
+  queue.run_until(20.0);  // must be clean no-ops, no throw
+  EXPECT_EQ(net.replica_count(0), 0u);
+}
+
+TEST(HeartbeatProcess, PartitionCutsHeartbeats) {
+  const auto corpus = test::clustered_corpus(6, 1);
+  Network net(corpus, test::uniform_capacities(corpus), NetworkConfig{});
+  net.connect(0, 1, LinkType::kRandom);
+
+  FaultPlan plan;
+  plan.partition_rate = 1.0;
+  plan.partition_fraction = 0.5;
+  plan.seed = 2;
+  FaultInjector faults(plan);
+  std::vector<NodeId> alive = net.alive_nodes();
+  faults.begin_round(alive, 0);
+  ASSERT_TRUE(faults.partition_active());
+
+  EventQueue queue;
+  ReplicaHeartbeatProcess heartbeats(net, queue, 2.0, &faults);
+  heartbeats.start();
+  net.add_document(1, ir::SparseVector::from_pairs({{82, 1.0f}}));
+  queue.run_until(10.0);
+  if (faults.partitioned(0) != faults.partitioned(1)) {
+    EXPECT_EQ(net.stale_replica_count(0), 1u);
+    EXPECT_GT(heartbeats.heartbeats_lost(), 0u);
+  } else {
+    EXPECT_EQ(net.stale_replica_count(0), 0u);
+  }
 }
 
 }  // namespace
