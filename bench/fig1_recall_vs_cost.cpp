@@ -5,13 +5,19 @@
 // ahead of GES below ~30 % probing; GES ahead beyond it; all three meet
 // at the short-query recall ceiling (98.5 % on TREC) at 100 % probing.
 
+#include "obs/telemetry.hpp"
 #include "support/bench_common.hpp"
+#include "support/bench_json.hpp"
 
 int main() {
   using namespace ges;
   const auto ctx = bench::make_context();
   bench::print_banner("Figure 1: recall vs processing cost (GES / SETS / Random)",
                       ctx);
+  bench::BenchJsonWriter json("fig1_recall_vs_cost");
+  // Telemetry is observation-only, so turning it on here only adds the
+  // ges.search.* counters to the emitted JSON (embedded below).
+  obs::global().set_enabled(true);
 
   // GES_REPEATS > 1 re-runs the whole experiment with shifted seeds and
   // averages the curves (reported with ± stddev at key points).
@@ -68,5 +74,21 @@ int main() {
             << " walk steps, " << util::cell(ges_stats.mean_flood_messages, 1)
             << " flood messages, " << util::cell(ges_stats.mean_targets, 1)
             << " target nodes\n";
+
+  for (size_t i = 0; i < grid.size(); ++i) {
+    json.add("recall_at_cost/" + util::cell(grid[i] * 100.0, 0) + "pct", 0.0, 0.0,
+             {{"cost_fraction", grid[i]},
+              {"ges_recall", ges_curve.recall[i]},
+              {"sets_recall", sets_curve.recall[i]},
+              {"random_recall", random_curve.recall[i]}});
+  }
+  json.add("ges_per_query_cost", 0.0, 0.0,
+           {{"walk_steps", ges_stats.mean_walk_steps},
+            {"flood_messages", ges_stats.mean_flood_messages},
+            {"targets", ges_stats.mean_targets},
+            {"repeats", static_cast<double>(repeats)}});
+  json.set_metrics(obs::global().metrics().snapshot());
+  json.write();
+  std::cout << "\nwrote " << json.path() << "\n";
   return 0;
 }

@@ -1,76 +1,14 @@
 #pragma once
 
-// JSON emission for the bench binaries: every bench writes a
-// machine-readable BENCH_<name>.json next to its human-readable output,
-// seeding the perf trajectory across PRs (compare ops/sec between
-// commits). This header is benchmark-library-free so the plain
-// figure/table benches can use BenchJsonWriter; google-benchmark
-// binaries use bench_json_main.hpp on top.
+// Compatibility shim: the BENCH_<name>.json emitter moved into the
+// observability library (obs/bench_emitter.hpp, schema "ges.bench.v1")
+// so benches, examples and CI share one schema. Bench binaries keep
+// including this header and using ges::bench::BenchJsonWriter.
 
-#include <fstream>
-#include <iomanip>
-#include <sstream>
-#include <string>
-#include <utility>
-#include <vector>
+#include "obs/bench_emitter.hpp"
 
 namespace ges::bench {
 
-class BenchJsonWriter {
- public:
-  explicit BenchJsonWriter(std::string bench_name) : name_(std::move(bench_name)) {}
-
-  /// Record one benchmark result; `extra` holds free-form numeric
-  /// counters (items/sec, recall, message rates, ...).
-  void add(const std::string& entry_name, double ops_per_sec, double ns_per_op,
-           const std::vector<std::pair<std::string, double>>& extra = {}) {
-    std::ostringstream os;
-    os << "    {\"name\": " << quoted(entry_name)
-       << ", \"ops_per_sec\": " << number(ops_per_sec)
-       << ", \"ns_per_op\": " << number(ns_per_op);
-    for (const auto& [key, value] : extra) {
-      os << ", " << quoted(key) << ": " << number(value);
-    }
-    os << "}";
-    entries_.push_back(os.str());
-  }
-
-  std::string path() const { return "BENCH_" + name_ + ".json"; }
-
-  /// Write BENCH_<name>.json into the working directory.
-  void write() const {
-    std::ofstream out(path());
-    out << "{\n  \"bench\": " << quoted(name_) << ",\n  \"entries\": [\n";
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      out << entries_[i] << (i + 1 < entries_.size() ? ",\n" : "\n");
-    }
-    out << "  ]\n}\n";
-  }
-
-  bool empty() const { return entries_.empty(); }
-
- private:
-  static std::string quoted(const std::string& s) {
-    std::string out = "\"";
-    for (const char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    return out + "\"";
-  }
-
-  static std::string number(double v) {
-    std::ostringstream os;
-    os << std::setprecision(12) << v;
-    const std::string s = os.str();
-    // JSON has no inf/nan literals.
-    return (s.find("inf") != std::string::npos || s.find("nan") != std::string::npos)
-               ? "null"
-               : s;
-  }
-
-  std::string name_;
-  std::vector<std::string> entries_;
-};
+using obs::BenchJsonWriter;
 
 }  // namespace ges::bench

@@ -8,11 +8,13 @@
 // cost — +63.8% at 2%, +8-19% in the 5-40% range, +7.4% at 50%.
 
 #include "support/bench_common.hpp"
+#include "support/bench_json.hpp"
 
 int main() {
   using namespace ges;
   const auto ctx = bench::make_context();
   bench::print_banner("Table 1: GES(1000+heter) improvement over SETS", ctx);
+  bench::BenchJsonWriter json("table1_heterogeneity");
 
   core::GesBuildConfig config;
   config.net.node_vector_size = 1000;
@@ -51,7 +53,15 @@ int main() {
                    util::pct_cell(u), util::pct_cell(s),
                    util::pct_cell(s > 0.0 ? (g - s) / s : 0.0), paper[i],
                    util::pct_cell(u > 0.0 ? (g - u) / u : 0.0)});
+    json.add("cost/" + util::cell(grid[i] * 100.0, 0) + "pct", 0.0, 0.0,
+             {{"cost_fraction", grid[i]},
+              {"ges_heter_recall", g},
+              {"ges_uniform_recall", u},
+              {"sets_recall", s},
+              {"improvement_vs_sets", s > 0.0 ? (g - s) / s : 0.0},
+              {"improvement_vs_uniform", u > 0.0 ? (g - u) / u : 0.0}});
   }
+  json.write();
   std::cout << table.render();
   std::cout << "\npaper reference row (GES(1000+heter):SETS): 63.8 / 8.3 / 16.1 / "
                "17.9 / 13.3 / 18.5 / 7.4 %\n"

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validate telemetry artifacts against their stable schemas.
+
+Stdlib-only. Checks three document kinds by shape:
+
+  ges.metrics.v1   <prefix>.metrics.json from ScenarioRunner / obs exporters
+  ges.bench.v1     BENCH_<name>.json from the unified bench emitter
+  chrome trace     <prefix>.trace.json (trace_event JSON: ph "X"/"i",
+                   non-negative ts/dur, numeric args)
+
+Usage: check_telemetry_json.py FILE [FILE...]
+Exits non-zero on the first invalid file; prints one OK line per valid one.
+"""
+
+import json
+import sys
+
+METRIC_KINDS = {"counter", "gauge", "histogram"}
+
+
+def fail(path, message):
+    print(f"FAIL {path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_number(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def check_metrics(path, doc):
+    if doc.get("schema") != "ges.metrics.v1":
+        fail(path, "schema is not ges.metrics.v1")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        fail(path, "metrics is not a list")
+    names = []
+    for i, m in enumerate(metrics):
+        where = f"metrics[{i}]"
+        if not isinstance(m, dict):
+            fail(path, f"{where} is not an object")
+        name = m.get("name")
+        if not isinstance(name, str) or not name:
+            fail(path, f"{where} has no name")
+        names.append(name)
+        kind = m.get("kind")
+        if kind not in METRIC_KINDS:
+            fail(path, f"{where} ({name}) has unknown kind {kind!r}")
+        if kind == "counter":
+            if not isinstance(m.get("value"), int) or m["value"] < 0:
+                fail(path, f"{where} ({name}) counter value is not a non-negative int")
+        elif kind == "gauge":
+            if m.get("value") is not None and not is_number(m["value"]):
+                fail(path, f"{where} ({name}) gauge value is not numeric/null")
+        else:  # histogram
+            buckets = m.get("buckets")
+            if not isinstance(buckets, list) or not all(
+                isinstance(b, int) and b >= 0 for b in buckets
+            ):
+                fail(path, f"{where} ({name}) buckets are not non-negative ints")
+            if not isinstance(m.get("count"), int) or m["count"] != sum(buckets):
+                fail(path, f"{where} ({name}) count != sum(buckets)")
+            if not (is_number(m.get("lo")) and is_number(m.get("hi")) and m["lo"] < m["hi"]):
+                fail(path, f"{where} ({name}) needs numeric lo < hi")
+    if names != sorted(names):
+        fail(path, "metrics are not sorted by name")
+    return f"{len(metrics)} metrics"
+
+
+def check_trace(path, doc):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, "traceEvents is not a list")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(path, f"{where} is not an object")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            fail(path, f"{where} has no name")
+        if not isinstance(ev.get("cat"), str):
+            fail(path, f"{where} has no cat")
+        ph = ev.get("ph")
+        if ph not in {"X", "i"}:
+            fail(path, f"{where} has unexpected ph {ph!r}")
+        if not is_number(ev.get("ts")) or ev["ts"] < 0:
+            fail(path, f"{where} ts is not a non-negative number")
+        if ph == "X" and (not is_number(ev.get("dur")) or ev["dur"] < 0):
+            fail(path, f"{where} complete event dur is not a non-negative number")
+        if not isinstance(ev.get("tid"), int):
+            fail(path, f"{where} tid is not an int")
+        args = ev.get("args", {})
+        if not isinstance(args, dict) or not all(
+            is_number(v) or v is None for v in args.values()
+        ):
+            fail(path, f"{where} args are not numeric/null")
+    return f"{len(events)} trace events"
+
+
+def check_bench(path, doc):
+    if doc.get("schema") != "ges.bench.v1":
+        fail(path, "schema is not ges.bench.v1")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        fail(path, "bench name missing")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        fail(path, "entries missing or empty")
+    for i, e in enumerate(entries):
+        where = f"entries[{i}]"
+        if not isinstance(e, dict) or not isinstance(e.get("name"), str):
+            fail(path, f"{where} has no name")
+        for key in ("ops_per_sec", "ns_per_op"):
+            if not (is_number(e.get(key)) or e.get(key) is None):
+                fail(path, f"{where} {key} is not numeric/null")
+    extra = ""
+    if "metrics" in doc:
+        extra = ", embedded " + check_metrics(path, doc["metrics"])
+    return f"{len(entries)} entries{extra}"
+
+
+def classify(path, doc):
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    if "traceEvents" in doc:
+        return check_trace(path, doc)
+    schema = doc.get("schema")
+    if schema == "ges.metrics.v1":
+        return check_metrics(path, doc)
+    if schema == "ges.bench.v1":
+        return check_bench(path, doc)
+    fail(path, f"unrecognized document (schema={schema!r})")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(path, str(e))
+        print(f"OK {path}: {classify(path, doc)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

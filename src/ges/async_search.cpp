@@ -1,6 +1,7 @@
 #include "ges/async_search.hpp"
 
 #include "ges/walk_policy.hpp"
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace ges::core {
@@ -60,6 +61,7 @@ void AsyncSearchEngine::schedule_message(const std::shared_ptr<Run>& run,
                                          p2p::FaultChannel channel, p2p::NodeId from,
                                          p2p::NodeId to,
                                          std::function<void()> handler) {
+  GES_COUNT("ges.async.messages", 1);
   ++run->in_flight;
   double delay = next_latency(*run);
   auto wrapped = [this, run, handler = std::move(handler)] {
@@ -93,6 +95,20 @@ void AsyncSearchEngine::message_done(const std::shared_ptr<Run>& run) {
   if (run->in_flight == 0 && !run->finished) {
     run->finished = true;
     run->result.completed_at = queue_->now();
+    GES_COUNT("ges.async.completed", 1);
+#if GES_OBS
+    // The engine is event-driven and strictly serial, so the query span
+    // (submit → last message drained) is safe to record here with sim
+    // timestamps taken straight from the result.
+    if (obs::enabled()) {
+      obs::global().trace().record_complete(
+          "query", "search", run->result.submitted_at,
+          run->result.completed_at - run->result.submitted_at, run->guid,
+          {{"probes", static_cast<double>(run->result.trace.probes())},
+           {"hits", static_cast<double>(run->result.trace.retrieved.size())},
+           {"first_hit_at", run->result.first_hit_at}});
+    }
+#endif
     runs_.erase(run->guid);
     if (run->done) run->done(run->result);
   }
@@ -121,7 +137,10 @@ bool AsyncSearchEngine::probe(const std::shared_ptr<Run>& run, NodeId node) {
 
 void AsyncSearchEngine::deliver_hit(const std::shared_ptr<Run>& run,
                                     size_t /*new_docs*/) {
-  if (run->result.first_hit_at < 0.0) run->result.first_hit_at = queue_->now();
+  if (run->result.first_hit_at < 0.0) {
+    run->result.first_hit_at = queue_->now();
+    GES_INSTANT("first_hit", "search", run->guid);
+  }
 }
 
 void AsyncSearchEngine::start_flood(const std::shared_ptr<Run>& run,
@@ -180,6 +199,7 @@ Guid AsyncSearchEngine::submit(const ir::SparseVector& query, NodeId initiator,
                                uint64_t seed,
                                std::function<void(const AsyncQueryResult&)> done) {
   GES_CHECK_MSG(network_->alive(initiator), "initiator " << initiator << " is dead");
+  GES_COUNT("ges.async.queries", 1);
   auto run = std::make_shared<Run>();
   run->guid = next_guid_++;
   run->query = query;

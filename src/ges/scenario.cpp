@@ -1,7 +1,10 @@
 #include "ges/scenario.hpp"
 
 #include <algorithm>
+#include <fstream>
 
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace ges::core {
@@ -25,6 +28,17 @@ ScenarioRunner::ScenarioRunner(const corpus::Corpus& corpus, ScenarioParams para
     churn_->set_rejoin_hook(
         [this](p2p::NodeId node) { adaptation_->reclassify_node(node); });
   }
+  // Timestamp spans/instants with this scenario's simulated clock. The
+  // clock (and the opt-in enable below) are observation-only: nothing in
+  // the run reads telemetry state, so the simulation is byte-identical
+  // with telemetry on or off.
+  obs::global().set_sim_clock([q = &queue_] { return q->now(); });
+  owns_sim_clock_ = true;
+  if (!params_.telemetry_out.empty()) obs::global().set_enabled(true);
+}
+
+ScenarioRunner::~ScenarioRunner() {
+  if (owns_sim_clock_) obs::global().clear_sim_clock();
 }
 
 void ScenarioRunner::start() {
@@ -44,7 +58,17 @@ void ScenarioRunner::run(const std::function<void(size_t)>& after_round) {
   if (!started_) start();
   for (size_t r = 0; r < params_.rounds; ++r) {
     queue_.run_until(queue_.now() + params_.round_interval);
+    // Round span: opened after the queue drain (serial context), closed
+    // after the adaptation round commits. Sim time does not advance
+    // inside run_round, so the span renders as a round marker at the
+    // round boundary carrying the per-round stats.
+    GES_SPAN(span, "round", "scenario", r);
     const auto stats = adaptation_->run_round();
+    span.arg("handshake_messages", static_cast<double>(stats.handshake_messages));
+    span.arg("links_added", static_cast<double>(stats.semantic_links_added +
+                                                stats.random_links_added));
+    span.arg("links_dropped", static_cast<double>(stats.semantic_links_dropped +
+                                                  stats.random_links_dropped));
     total_stats_.semantic_links_added += stats.semantic_links_added;
     total_stats_.semantic_links_dropped += stats.semantic_links_dropped;
     total_stats_.random_links_added += stats.random_links_added;
@@ -61,6 +85,7 @@ void ScenarioRunner::run(const std::function<void(size_t)>& after_round) {
     total_stats_.backoff_skips += stats.backoff_skips;
     if (after_round) after_round(r);
   }
+  if (!params_.telemetry_out.empty()) write_telemetry(params_.telemetry_out);
 }
 
 p2p::InvariantOptions ScenarioRunner::invariant_options(size_t degree_slack) const {
@@ -89,7 +114,35 @@ p2p::SearchTrace ScenarioRunner::search(const ir::SparseVector& query,
                                         p2p::NodeId initiator,
                                         const SearchOptions& options,
                                         util::Rng& rng) const {
-  return GesSearch(*network_, options, faults_.get()).search(query, initiator, rng);
+  // Scenario queries run serially, so unlike GesSearch itself (which the
+  // eval harness parallelizes) this wrapper can record the query span.
+  GES_SPAN(span, "query", "search", initiator);
+  const auto trace =
+      GesSearch(*network_, options, faults_.get()).search(query, initiator, rng);
+  span.arg("probes", static_cast<double>(trace.probes()));
+  span.arg("walk_steps", static_cast<double>(trace.walk_steps));
+  span.arg("flood_messages", static_cast<double>(trace.flood_messages));
+  span.arg("hits", static_cast<double>(trace.retrieved.size()));
+  return trace;
+}
+
+void ScenarioRunner::write_telemetry(const std::string& prefix) const {
+  const auto snapshot = obs::global().metrics().snapshot();
+  {
+    std::ofstream os(prefix + ".metrics.json");
+    GES_CHECK_MSG(os.good(), "cannot open " << prefix << ".metrics.json");
+    obs::write_metrics_json(snapshot, os);
+  }
+  {
+    std::ofstream os(prefix + ".metrics.prom");
+    GES_CHECK_MSG(os.good(), "cannot open " << prefix << ".metrics.prom");
+    obs::write_prometheus(snapshot, os);
+  }
+  {
+    std::ofstream os(prefix + ".trace.json");
+    GES_CHECK_MSG(os.good(), "cannot open " << prefix << ".trace.json");
+    obs::global().trace().export_chrome_trace(os);
+  }
 }
 
 }  // namespace ges::core

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "corpus/corpus.hpp"
@@ -39,6 +40,14 @@ struct ScenarioParams {
 
   size_t rounds = 20;
   uint64_t seed = 1;
+
+  /// When non-empty, telemetry is enabled for this run and at the end of
+  /// run() the runner writes `<telemetry_out>.metrics.json` (ges.metrics.v1),
+  /// `<telemetry_out>.metrics.prom` (Prometheus text) and
+  /// `<telemetry_out>.trace.json` (Chrome trace_event, loadable in
+  /// Perfetto). Telemetry is observation-only: the simulation output is
+  /// byte-identical with or without it.
+  std::string telemetry_out;
 };
 
 /// Wires Network + EventQueue + FaultInjector + TopologyAdaptation +
@@ -51,6 +60,7 @@ struct ScenarioParams {
 class ScenarioRunner {
  public:
   ScenarioRunner(const corpus::Corpus& corpus, ScenarioParams params);
+  ~ScenarioRunner();
 
   /// Bootstrap the random graph and start the heartbeat (and churn)
   /// processes. Idempotent per instance (call once, before run()).
@@ -83,6 +93,11 @@ class ScenarioRunner {
   p2p::SearchTrace search(const ir::SparseVector& query, p2p::NodeId initiator,
                           const SearchOptions& options, util::Rng& rng) const;
 
+  /// Write the telemetry artifacts for this run to
+  /// `<prefix>.metrics.json` / `<prefix>.metrics.prom` / `<prefix>.trace.json`.
+  /// run() calls this automatically when params.telemetry_out is set.
+  void write_telemetry(const std::string& prefix) const;
+
  private:
   ScenarioParams params_;
   p2p::EventQueue queue_;
@@ -94,6 +109,7 @@ class ScenarioRunner {
   std::vector<uint32_t> bootstrap_degree_;  // node -> degree after bootstrap
   AdaptationRoundStats total_stats_;
   bool started_ = false;
+  bool owns_sim_clock_ = false;  // this runner wired obs::global()'s clock
 };
 
 }  // namespace ges::core

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "ges/walk_policy.hpp"
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace ges::core {
@@ -140,6 +141,16 @@ SearchTrace GesSearch::search(const ir::SparseVector& query, NodeId initiator,
       }
     }
   }
+  // Counters only — searches run concurrently in the eval harness, so
+  // spans (order-sensitive) are left to serial callers (ScenarioRunner,
+  // AsyncSearchEngine). Never touches `rng`.
+  GES_COUNT("ges.search.queries", 1);
+  GES_COUNT("ges.search.walk_steps", run.trace.walk_steps);
+  GES_COUNT("ges.search.flood_messages", run.trace.flood_messages);
+  GES_COUNT("ges.search.probes", run.trace.probes());
+  GES_COUNT("ges.search.targets", run.trace.target_count);
+  GES_COUNT("ges.search.retrieved_docs", run.trace.retrieved.size());
+  GES_HIST("ges.search.probes_per_query", 0.0, 256.0, 32, run.trace.probes());
   return run.trace;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/telemetry.hpp"
 #include "p2p/random_walk.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -49,6 +50,24 @@ AdaptationRoundStats TopologyAdaptation::run_round() {
     commit_node(nodes[i], plans[i], rng, stats);
   }
   ++round_;
+  // Round totals are recorded here, after the serial commit barrier, so
+  // the exported counters are identical whether the plan phase ran on
+  // the pool or sequentially.
+  GES_COUNT("ges.adapt.rounds", 1);
+  GES_COUNT("ges.adapt.walk_messages", stats.walk_messages);
+  GES_COUNT("ges.adapt.handshake_messages", stats.handshake_messages);
+  GES_COUNT("ges.adapt.handshake_aborts", stats.handshake_aborts);
+  GES_COUNT("ges.adapt.handshake_deaths", stats.handshake_deaths);
+  GES_COUNT("ges.adapt.handshake_retries", stats.handshake_retries);
+  GES_COUNT("ges.adapt.backoff_skips", stats.backoff_skips);
+  GES_COUNT("ges.adapt.gossip_messages", stats.gossip_messages);
+  GES_COUNT("ges.adapt.cache_assists", stats.cache_assists);
+  GES_COUNT("ges.adapt.discovery_skipped", stats.discovery_skipped);
+  GES_COUNT("ges.adapt.semantic_links_added", stats.semantic_links_added);
+  GES_COUNT("ges.adapt.semantic_links_dropped", stats.semantic_links_dropped);
+  GES_COUNT("ges.adapt.random_links_added", stats.random_links_added);
+  GES_COUNT("ges.adapt.random_links_dropped", stats.random_links_dropped);
+  GES_COUNT("ges.adapt.links_reclassified", stats.links_reclassified);
   return stats;
 }
 
@@ -110,39 +129,47 @@ bool TopologyAdaptation::handshake_delivered(NodeId node, NodeId peer, uint64_t 
     stats.handshake_messages += 3;
     return true;
   }
-  const auto it = backoff_.find(node);
-  if (it != backoff_.end() && it->second.strikes > 0) ++stats.handshake_retries;
+  // handshake_delivered only runs in the serial commit phase, so the
+  // three-leg attempt gets a span (track = initiating node's lane).
+  GES_SPAN(span, "handshake", "adapt", node);
+  span.arg("peer", static_cast<double>(peer));
+  const bool ok = [&] {
+    const auto it = backoff_.find(node);
+    if (it != backoff_.end() && it->second.strikes > 0) ++stats.handshake_retries;
 
-  const uint64_t key = p2p::FaultInjector::pair_key(node, peer);
-  const uint64_t nonce = (round_ << 3) + salt * 4;
-  using p2p::FaultChannel;
-  // Leg 1 — request (node -> peer).
-  ++stats.handshake_messages;
-  if (faults_->blocked(node, peer) ||
-      faults_->drop_message(FaultChannel::kHandshake, key, nonce)) {
-    ++stats.handshake_aborts;
-    arm_backoff(node);
-    return false;
-  }
-  // The peer can die right after taking the request (§4.2's churn case);
-  // the initiator times out and aborts with nothing committed anywhere.
-  if (faults_->kill_mid_handshake(key, nonce)) {
-    network_->deactivate(peer);
-    ++stats.handshake_deaths;
-    arm_backoff(node);
-    return false;
-  }
-  // Leg 2 — response (peer -> node), leg 3 — confirm (node -> peer).
-  for (uint64_t leg = 1; leg <= 2; ++leg) {
+    const uint64_t key = p2p::FaultInjector::pair_key(node, peer);
+    const uint64_t nonce = (round_ << 3) + salt * 4;
+    using p2p::FaultChannel;
+    // Leg 1 — request (node -> peer).
     ++stats.handshake_messages;
-    if (faults_->drop_message(FaultChannel::kHandshake, key, nonce + leg)) {
+    if (faults_->blocked(node, peer) ||
+        faults_->drop_message(FaultChannel::kHandshake, key, nonce)) {
       ++stats.handshake_aborts;
       arm_backoff(node);
       return false;
     }
-  }
-  clear_backoff(node);
-  return true;
+    // The peer can die right after taking the request (§4.2's churn case);
+    // the initiator times out and aborts with nothing committed anywhere.
+    if (faults_->kill_mid_handshake(key, nonce)) {
+      network_->deactivate(peer);
+      ++stats.handshake_deaths;
+      arm_backoff(node);
+      return false;
+    }
+    // Leg 2 — response (peer -> node), leg 3 — confirm (node -> peer).
+    for (uint64_t leg = 1; leg <= 2; ++leg) {
+      ++stats.handshake_messages;
+      if (faults_->drop_message(FaultChannel::kHandshake, key, nonce + leg)) {
+        ++stats.handshake_aborts;
+        arm_backoff(node);
+        return false;
+      }
+    }
+    clear_backoff(node);
+    return true;
+  }();
+  span.arg("ok", ok ? 1.0 : 0.0);
+  return ok;
 }
 
 TopologyAdaptation::NodePlan TopologyAdaptation::plan_node(NodeId node,

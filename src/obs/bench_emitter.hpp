@@ -1,0 +1,102 @@
+#pragma once
+
+// The unified BENCH_<name>.json emitter (schema "ges.bench.v1"): every
+// bench binary writes one machine-readable file next to its
+// human-readable output, seeding the perf trajectory across PRs. Lives in
+// obs so benches, examples and CI share one schema; bench binaries reach
+// it through bench/support/bench_json.hpp, and google-benchmark binaries
+// layer bench/support/bench_json_main.hpp on top. Optionally embeds a
+// telemetry metrics snapshot ("ges.metrics.v1") so a bench can ship its
+// message/hop counters alongside its timings.
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace ges::obs {
+
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  /// Record one benchmark result; `extra` holds free-form numeric
+  /// counters (items/sec, recall, message rates, ...).
+  void add(const std::string& entry_name, double ops_per_sec, double ns_per_op,
+           const std::vector<std::pair<std::string, double>>& extra = {}) {
+    std::ostringstream os;
+    os << "    {\"name\": " << quoted(entry_name)
+       << ", \"ops_per_sec\": " << number(ops_per_sec)
+       << ", \"ns_per_op\": " << number(ns_per_op);
+    for (const auto& [key, value] : extra) {
+      os << ", " << quoted(key) << ": " << number(value);
+    }
+    os << "}";
+    entries_.push_back(os.str());
+  }
+
+  /// Embed a telemetry metrics snapshot under a "metrics" key.
+  void set_metrics(const MetricsSnapshot& snapshot) {
+    std::ostringstream os;
+    write_metrics_json(snapshot, os);
+    metrics_json_ = os.str();
+    while (!metrics_json_.empty() && metrics_json_.back() == '\n') {
+      metrics_json_.pop_back();
+    }
+  }
+
+  std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+  /// Write BENCH_<name>.json into the working directory.
+  void write() const {
+    std::ofstream out(path());
+    out << "{\n  \"schema\": \"ges.bench.v1\",\n  \"bench\": " << quoted(name_)
+        << ",\n  \"entries\": [\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      out << entries_[i] << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    out << "  ]";
+    if (!metrics_json_.empty()) {
+      out << ",\n  \"metrics\": ";
+      // Indent the embedded document to keep the file readable.
+      for (const char c : metrics_json_) {
+        out << c;
+        if (c == '\n') out << "  ";
+      }
+    }
+    out << "\n}\n";
+  }
+
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  static std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+
+  static std::string number(double v) {
+    std::ostringstream os;
+    os << std::setprecision(12) << v;
+    const std::string s = os.str();
+    // JSON has no inf/nan literals.
+    return (s.find("inf") != std::string::npos || s.find("nan") != std::string::npos)
+               ? "null"
+               : s;
+  }
+
+  std::string name_;
+  std::vector<std::string> entries_;
+  std::string metrics_json_;
+};
+
+}  // namespace ges::obs

@@ -1,0 +1,98 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ges::obs {
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+}  // namespace
+
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& os) {
+  os << "{\n  \"schema\": \"ges.metrics.v1\",\n  \"metrics\": [\n";
+  for (size_t i = 0; i < snapshot.metrics.size(); ++i) {
+    const MetricSnapshot& m = snapshot.metrics[i];
+    os << "    {\"name\": " << quoted(m.name) << ", \"kind\": \""
+       << metric_kind_name(m.kind) << "\"";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        os << ", \"value\": " << m.value;
+        break;
+      case MetricKind::kGauge:
+        os << ", \"value\": " << number(m.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        os << ", \"lo\": " << number(m.lo) << ", \"hi\": " << number(m.hi)
+           << ", \"count\": " << m.value << ", \"buckets\": [";
+        for (size_t b = 0; b < m.buckets.size(); ++b) {
+          if (b > 0) os << ", ";
+          os << m.buckets[b];
+        }
+        os << "]";
+        break;
+      }
+    }
+    os << "}" << (i + 1 < snapshot.metrics.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "ges_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void write_prometheus(const MetricsSnapshot& snapshot, std::ostream& os) {
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    const std::string name = prometheus_name(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        os << "# TYPE " << name << " counter\n" << name << " " << m.value << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << "# TYPE " << name << " gauge\n" << name << " " << number(m.gauge)
+           << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        uint64_t cumulative = 0;
+        const double width =
+            (m.hi - m.lo) / static_cast<double>(m.buckets.empty() ? 1 : m.buckets.size());
+        for (size_t b = 0; b < m.buckets.size(); ++b) {
+          cumulative += m.buckets[b];
+          const double le = m.lo + width * static_cast<double>(b + 1);
+          os << name << "_bucket{le=\"" << number(le) << "\"} " << cumulative << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << m.value << "\n"
+           << name << "_count " << m.value << "\n";
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace ges::obs

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace ges::obs {
+
+/// Stable machine-readable metrics dump, schema "ges.metrics.v1":
+///   {"schema": "ges.metrics.v1", "metrics": [
+///     {"name": "...", "kind": "counter", "value": N},
+///     {"name": "...", "kind": "gauge", "value": X},
+///     {"name": "...", "kind": "histogram", "lo": A, "hi": B,
+///      "count": N, "buckets": [...]} ]}
+/// Metrics appear sorted by name; two identical snapshots serialize to
+/// byte-identical documents (validated by scripts/check_telemetry_json.py).
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& os);
+
+/// Prometheus text exposition format. Metric names are sanitized
+/// ("p2p.walk.hops" -> "ges_p2p_walk_hops"); histograms emit cumulative
+/// _bucket{le="..."} series plus _count.
+void write_prometheus(const MetricsSnapshot& snapshot, std::ostream& os);
+
+/// The sanitized Prometheus name for a registry metric name.
+std::string prometheus_name(std::string_view name);
+
+}  // namespace ges::obs

@@ -1,0 +1,184 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ges::obs {
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+const MetricSnapshot* MetricsSnapshot::find(std::string_view name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  const MetricSnapshot* m = find(name);
+  return (m != nullptr && m->kind == MetricKind::kCounter) ? m->value : 0;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const {
+  const MetricSnapshot* m = find(name);
+  return (m != nullptr && m->kind == MetricKind::kGauge) ? m->gauge : 0.0;
+}
+
+namespace detail {
+
+size_t shard_slot() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+uint64_t CounterFamily::total() const {
+  uint64_t sum = 0;
+  for (const auto& cell : cells) sum += cell.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void CounterFamily::reset() {
+  for (auto& cell : cells) cell.v.store(0, std::memory_order_relaxed);
+}
+
+HistogramFamily::HistogramFamily(std::string name_in, double lo_in, double hi_in,
+                                 size_t buckets)
+    : name(std::move(name_in)),
+      lo(lo_in),
+      hi(hi_in),
+      bucket_count(buckets),
+      cells(new std::atomic<uint64_t>[kShards * buckets]) {
+  GES_CHECK(hi > lo);
+  GES_CHECK(buckets > 0);
+  reset();
+}
+
+void HistogramFamily::add(double x) {
+  if (std::isnan(x)) return;
+  double t = (x - lo) / (hi - lo);
+  t = std::clamp(t, 0.0, 1.0);
+  const size_t bucket = std::min(
+      bucket_count - 1, static_cast<size_t>(t * static_cast<double>(bucket_count)));
+  cells[shard_slot() * bucket_count + bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> HistogramFamily::merged() const {
+  std::vector<uint64_t> out(bucket_count, 0);
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    for (size_t b = 0; b < bucket_count; ++b) {
+      out[b] += cells[shard * bucket_count + b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void HistogramFamily::reset() {
+  for (size_t i = 0; i < kShards * bucket_count; ++i) {
+    cells[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace detail
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  if (const auto it = counter_index_.find(name); it != counter_index_.end()) {
+    return Counter(it->second);
+  }
+  GES_CHECK_MSG(kinds_.find(name) == kinds_.end(),
+                "metric '" << std::string(name) << "' already registered as a "
+                           << metric_kind_name(kinds_.find(name)->second));
+  auto& family = counters_.emplace_back();
+  family.name = std::string(name);
+  kinds_.emplace(family.name, MetricKind::kCounter);
+  counter_index_.emplace(family.name, &family);
+  return Counter(&family);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  if (const auto it = gauge_index_.find(name); it != gauge_index_.end()) {
+    return Gauge(it->second);
+  }
+  GES_CHECK_MSG(kinds_.find(name) == kinds_.end(),
+                "metric '" << std::string(name) << "' already registered as a "
+                           << metric_kind_name(kinds_.find(name)->second));
+  auto& family = gauges_.emplace_back();
+  family.name = std::string(name);
+  kinds_.emplace(family.name, MetricKind::kGauge);
+  gauge_index_.emplace(family.name, &family);
+  return Gauge(&family);
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name, double lo, double hi,
+                                     size_t buckets) {
+  std::lock_guard lock(mutex_);
+  if (const auto it = histogram_index_.find(name); it != histogram_index_.end()) {
+    GES_CHECK_MSG(it->second->lo == lo && it->second->hi == hi &&
+                      it->second->bucket_count == buckets,
+                  "histogram '" << std::string(name)
+                                << "' re-registered with different buckets");
+    return Histogram(it->second);
+  }
+  GES_CHECK_MSG(kinds_.find(name) == kinds_.end(),
+                "metric '" << std::string(name) << "' already registered as a "
+                           << metric_kind_name(kinds_.find(name)->second));
+  auto& family = histograms_.emplace_back(std::string(name), lo, hi, buckets);
+  kinds_.emplace(family.name, MetricKind::kHistogram);
+  histogram_index_.emplace(family.name, &family);
+  return Histogram(&family);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot out;
+  out.metrics.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& c : counters_) {
+    MetricSnapshot m;
+    m.name = c.name;
+    m.kind = MetricKind::kCounter;
+    m.value = c.total();
+    out.metrics.push_back(std::move(m));
+  }
+  for (const auto& g : gauges_) {
+    MetricSnapshot m;
+    m.name = g.name;
+    m.kind = MetricKind::kGauge;
+    m.gauge = g.value.load(std::memory_order_relaxed);
+    out.metrics.push_back(std::move(m));
+  }
+  for (const auto& h : histograms_) {
+    MetricSnapshot m;
+    m.name = h.name;
+    m.kind = MetricKind::kHistogram;
+    m.lo = h.lo;
+    m.hi = h.hi;
+    m.buckets = h.merged();
+    for (const uint64_t b : m.buckets) m.value += b;
+    out.metrics.push_back(std::move(m));
+  }
+  std::sort(out.metrics.begin(), out.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& c : counters_) c.reset();
+  for (auto& g : gauges_) g.value.store(0.0, std::memory_order_relaxed);
+  for (auto& h : histograms_) h.reset();
+}
+
+}  // namespace ges::obs

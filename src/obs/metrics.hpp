@@ -1,0 +1,171 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ges::obs {
+
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+
+const char* metric_kind_name(MetricKind kind);
+
+/// Point-in-time value of one metric (see MetricsRegistry::snapshot()).
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t value = 0;   // counter total, or histogram total count
+  double gauge = 0.0;   // gauge value
+  double lo = 0.0;      // histogram range [lo, hi)
+  double hi = 0.0;
+  std::vector<uint64_t> buckets;  // histogram bucket counts
+};
+
+/// All metrics at one barrier, sorted by name (stable export order).
+struct MetricsSnapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  const MetricSnapshot* find(std::string_view name) const;
+  /// Counter total by name; 0 when absent (or not a counter).
+  uint64_t counter(std::string_view name) const;
+  /// Gauge value by name; 0.0 when absent.
+  double gauge(std::string_view name) const;
+};
+
+namespace detail {
+
+/// Number of per-thread cells each counter/histogram is sharded over.
+/// Threads map onto cells by a sticky thread-local slot; increments are
+/// relaxed atomics, so concurrent writers never contend on one line.
+/// Merging sums unsigned integers — commutative and associative — so a
+/// snapshot taken at a barrier is bit-identical however the work was
+/// scheduled across threads.
+constexpr size_t kShards = 16;
+
+size_t shard_slot();
+
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> v{0};
+};
+
+struct CounterFamily {
+  std::string name;
+  std::array<ShardCell, kShards> cells;
+
+  void add(uint64_t n) {
+    cells[shard_slot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t total() const;
+  void reset();
+};
+
+struct GaugeFamily {
+  std::string name;
+  std::atomic<double> value{0.0};
+};
+
+struct HistogramFamily {
+  HistogramFamily(std::string name, double lo, double hi, size_t buckets);
+
+  std::string name;
+  double lo;
+  double hi;
+  size_t bucket_count;
+  // kShards * bucket_count cells, shard-major.
+  std::unique_ptr<std::atomic<uint64_t>[]> cells;
+
+  void add(double x);
+  std::vector<uint64_t> merged() const;
+  void reset();
+};
+
+}  // namespace detail
+
+/// Monotonic counter handle. Cheap to copy; add() is one relaxed
+/// fetch_add on a per-thread cell. A default-constructed handle is inert.
+class Counter {
+ public:
+  Counter() = default;
+  void add(uint64_t n = 1) {
+    if (family_ != nullptr) family_->add(n);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterFamily* family) : family_(family) {}
+  detail::CounterFamily* family_ = nullptr;
+};
+
+/// Last-value gauge handle. set() is a relaxed atomic store; call it from
+/// serial contexts only — concurrent last-write-wins is not deterministic.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) {
+    if (family_ != nullptr) family_->value.store(v, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::GaugeFamily* family) : family_(family) {}
+  detail::GaugeFamily* family_ = nullptr;
+};
+
+/// Fixed-bucket histogram handle. Records only integer bucket counts (no
+/// floating-point sums) so parallel recording merges deterministically.
+/// Out-of-range samples clamp into the boundary buckets; NaN is ignored.
+class Histogram {
+ public:
+  Histogram() = default;
+  void add(double x) {
+    if (family_ != nullptr) family_->add(x);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramFamily* family) : family_(family) {}
+  detail::HistogramFamily* family_ = nullptr;
+};
+
+/// Named metrics with per-thread sharded cells (see detail::kShards).
+/// Registration is mutex-guarded and idempotent per name; handles stay
+/// valid for the registry's lifetime (reset() zeroes values, it never
+/// invalidates handles). snapshot() merges the cells; take it at a
+/// barrier (no concurrent writers) for an exact, deterministic view.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name, double lo, double hi, size_t buckets);
+
+  /// Merge all cells into a by-name-sorted snapshot.
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every value; registrations (and outstanding handles) survive.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  // Deques keep family addresses stable across registrations.
+  std::deque<detail::CounterFamily> counters_;
+  std::deque<detail::GaugeFamily> gauges_;
+  std::deque<detail::HistogramFamily> histograms_;
+  std::map<std::string, MetricKind, std::less<>> kinds_;
+  std::map<std::string, detail::CounterFamily*, std::less<>> counter_index_;
+  std::map<std::string, detail::GaugeFamily*, std::less<>> gauge_index_;
+  std::map<std::string, detail::HistogramFamily*, std::less<>> histogram_index_;
+};
+
+}  // namespace ges::obs

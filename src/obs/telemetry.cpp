@@ -1,0 +1,59 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ges::obs {
+
+namespace detail {
+
+namespace {
+bool env_telemetry_on() {
+  const char* env = std::getenv("GES_TELEMETRY");
+  return env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0';
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{env_telemetry_on()};
+
+}  // namespace detail
+
+void Telemetry::set_sim_clock(std::function<double()> clock) {
+  std::lock_guard lock(clock_mutex_);
+  clock_ = std::move(clock);
+}
+
+double Telemetry::now() const {
+  std::lock_guard lock(clock_mutex_);
+  return clock_ ? clock_() : 0.0;
+}
+
+void Telemetry::reset() {
+  metrics_.reset();
+  trace_.clear();
+}
+
+Telemetry& global() {
+  static Telemetry instance;
+  return instance;
+}
+
+Span::Span(const char* name, const char* category, uint64_t track)
+    : active_(enabled()) {
+  if (!active_) return;
+  event_.type = TraceEvent::Type::kComplete;
+  event_.name = name;
+  event_.category = category;
+  event_.track = track;
+  event_.ts = global().now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  // Enable state may have flipped mid-span; record iff we started one.
+  event_.dur = global().now() - event_.ts;
+  if (event_.dur < 0.0) event_.dur = 0.0;
+  global().trace().record(std::move(event_));
+}
+
+}  // namespace ges::obs

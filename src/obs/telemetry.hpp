@@ -1,0 +1,164 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+/// Compile-time switch for the instrumentation macros below. On by
+/// default; configure with -DGES_OBS=0 (CMake option GES_OBS_INSTRUMENT)
+/// to compile every GES_COUNT / GES_SPAN / ... call site away entirely.
+#ifndef GES_OBS
+#define GES_OBS 1
+#endif
+
+namespace ges::obs {
+
+namespace detail {
+/// Process-wide runtime switch, initialized from GES_TELEMETRY=1.
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Fast runtime gate: one relaxed atomic load. Every instrumentation
+/// macro checks this before touching the registry or recorder, so a
+/// disabled run pays (at most) this load per call site.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// The process-wide telemetry context: a metrics registry, a trace
+/// recorder, and a sim-time clock for spans. Observation only — nothing
+/// here feeds back into the simulation (no RNG draws, no protocol state),
+/// so enabling telemetry never changes a trace or an overlay.
+class Telemetry {
+ public:
+  MetricsRegistry& metrics() { return metrics_; }
+  TraceRecorder& trace() { return trace_; }
+
+  void set_enabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+  /// Clock used to timestamp spans/instants, normally an EventQueue's
+  /// now() (ScenarioRunner wires this). Null clock reads as 0.0.
+  void set_sim_clock(std::function<double()> clock);
+  void clear_sim_clock() { set_sim_clock({}); }
+  double now() const;
+
+  /// Zero all metric values and drop all trace events (registrations and
+  /// outstanding handles survive). Call between deterministic runs.
+  void reset();
+
+ private:
+  MetricsRegistry metrics_;
+  TraceRecorder trace_;
+  mutable std::mutex clock_mutex_;
+  std::function<double()> clock_;
+};
+
+/// The process-wide instance the instrumentation macros record into.
+Telemetry& global();
+
+/// RAII span: reads the sim clock on construction, records a complete
+/// trace event on destruction. Inert when telemetry is disabled (or under
+/// GES_OBS=0, where GES_SPAN declares a NullSpan instead).
+class Span {
+ public:
+  Span(const char* name, const char* category, uint64_t track);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void arg(const char* key, double value) {
+    if (active_) event_.args.emplace_back(key, value);
+  }
+  void set_track(uint64_t track) { event_.track = track; }
+
+ private:
+  bool active_;
+  TraceEvent event_;
+};
+
+/// GES_SPAN's stand-in when GES_OBS=0: same surface, no code.
+class NullSpan {
+ public:
+  void arg(const char*, double) {}
+  void set_track(uint64_t) {}
+};
+
+}  // namespace ges::obs
+
+#if GES_OBS
+
+/// Bump a named counter by n. The handle is registered once per call
+/// site (function-local static) on first enabled hit; afterwards the
+/// cost is one relaxed load + one relaxed fetch_add. Safe from parallel
+/// phases (per-thread sharded cells).
+#define GES_COUNT(name, n)                                            \
+  do {                                                                \
+    if (::ges::obs::enabled()) {                                      \
+      static ::ges::obs::Counter ges_obs_counter_ =                   \
+          ::ges::obs::global().metrics().counter(name);               \
+      ges_obs_counter_.add(static_cast<uint64_t>(n));                 \
+    }                                                                 \
+  } while (0)
+
+/// Record x into a named fixed-bucket histogram. Parallel-safe.
+#define GES_HIST(name, lo, hi, buckets, x)                            \
+  do {                                                                \
+    if (::ges::obs::enabled()) {                                      \
+      static ::ges::obs::Histogram ges_obs_hist_ =                    \
+          ::ges::obs::global().metrics().histogram(name, lo, hi, buckets); \
+      ges_obs_hist_.add(static_cast<double>(x));                      \
+    }                                                                 \
+  } while (0)
+
+/// Set a named gauge. Serial contexts only (last write wins).
+#define GES_GAUGE_SET(name, v)                                        \
+  do {                                                                \
+    if (::ges::obs::enabled()) {                                      \
+      static ::ges::obs::Gauge ges_obs_gauge_ =                       \
+          ::ges::obs::global().metrics().gauge(name);                 \
+      ges_obs_gauge_.set(static_cast<double>(v));                     \
+    }                                                                 \
+  } while (0)
+
+/// Declare a sim-time span covering the rest of the scope. Serial
+/// contexts only (the trace must be order-deterministic).
+#define GES_SPAN(var, name, category, track) \
+  ::ges::obs::Span var((name), (category), static_cast<uint64_t>(track))
+
+/// Record a zero-duration instant event at the current sim time. Serial
+/// contexts only.
+#define GES_INSTANT(name, category, track)                            \
+  do {                                                                \
+    if (::ges::obs::enabled()) {                                      \
+      ::ges::obs::global().trace().record_instant(                    \
+          (name), (category), ::ges::obs::global().now(),             \
+          static_cast<uint64_t>(track));                              \
+    }                                                                 \
+  } while (0)
+
+/// Compile code only when instrumentation is built in (for blocks that
+/// need more than the one-line macros, e.g. spans with computed args).
+#define GES_OBS_ONLY(...) __VA_ARGS__
+
+#else  // !GES_OBS
+
+#define GES_COUNT(name, n) \
+  do {                     \
+  } while (0)
+#define GES_HIST(name, lo, hi, buckets, x) \
+  do {                                     \
+  } while (0)
+#define GES_GAUGE_SET(name, v) \
+  do {                         \
+  } while (0)
+#define GES_SPAN(var, name, category, track) \
+  [[maybe_unused]] ::ges::obs::NullSpan var {}
+#define GES_INSTANT(name, category, track) \
+  do {                                     \
+  } while (0)
+#define GES_OBS_ONLY(...)
+
+#endif  // GES_OBS

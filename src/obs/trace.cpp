@@ -1,0 +1,145 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ges::obs {
+
+namespace {
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t capacity) : capacity_(capacity) {
+  GES_CHECK(capacity > 0);
+  ring_.reserve(std::min<size_t>(capacity, 1024));
+}
+
+void TraceRecorder::set_capacity(size_t capacity) {
+  GES_CHECK(capacity > 0);
+  std::lock_guard lock(mutex_);
+  capacity_ = capacity;
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+size_t TraceRecorder::capacity() const {
+  std::lock_guard lock(mutex_);
+  return capacity_;
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  std::lock_guard lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  // Full: overwrite the oldest retained event.
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void TraceRecorder::record_complete(std::string name, std::string category,
+                                    double ts, double dur, uint64_t track,
+                                    std::vector<std::pair<std::string, double>> args) {
+  TraceEvent ev;
+  ev.type = TraceEvent::Type::kComplete;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.ts = ts;
+  ev.dur = dur;
+  ev.track = track;
+  ev.args = std::move(args);
+  record(std::move(ev));
+}
+
+void TraceRecorder::record_instant(std::string name, std::string category,
+                                   double ts, uint64_t track,
+                                   std::vector<std::pair<std::string, double>> args) {
+  TraceEvent ev;
+  ev.type = TraceEvent::Type::kInstant;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.ts = ts;
+  ev.track = track;
+  ev.args = std::move(args);
+  record(std::move(ev));
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+size_t TraceRecorder::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Oldest retained event first: once the ring wrapped, that is next_.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRecorder::export_chrome_trace(std::ostream& os) const {
+  const auto evs = events();
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (size_t i = 0; i < evs.size(); ++i) {
+    const TraceEvent& ev = evs[i];
+    os << "  {\"name\": " << json_quote(ev.name) << ", \"cat\": "
+       << json_quote(ev.category) << ", \"pid\": 1, \"tid\": " << ev.track
+       << ", \"ts\": " << json_number(ev.ts * 1e6);
+    if (ev.type == TraceEvent::Type::kComplete) {
+      os << ", \"ph\": \"X\", \"dur\": " << json_number(ev.dur * 1e6);
+    } else {
+      os << ", \"ph\": \"i\", \"s\": \"t\"";
+    }
+    if (!ev.args.empty()) {
+      os << ", \"args\": {";
+      for (size_t a = 0; a < ev.args.size(); ++a) {
+        if (a > 0) os << ", ";
+        os << json_quote(ev.args[a].first) << ": " << json_number(ev.args[a].second);
+      }
+      os << "}";
+    }
+    os << "}" << (i + 1 < evs.size() ? ",\n" : "\n");
+  }
+  os << "]}\n";
+}
+
+}  // namespace ges::obs

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ges::obs {
+
+/// One trace event, timestamped in *simulated* seconds (the EventQueue
+/// clock, not wall time — traces are therefore deterministic artifacts).
+struct TraceEvent {
+  enum class Type : uint8_t { kComplete, kInstant };
+
+  Type type = Type::kInstant;
+  std::string name;      // span / event name ("round", "heartbeat", ...)
+  std::string category;  // span taxonomy bucket ("scenario", "search", ...)
+  double ts = 0.0;       // start time, sim seconds
+  double dur = 0.0;      // duration, sim seconds (complete events only)
+  uint64_t track = 0;    // rendered as the tid lane (node id, guid, round)
+  std::vector<std::pair<std::string, double>> args;
+};
+
+/// Bounded ring buffer of trace events. When full, the oldest events are
+/// overwritten (and counted in dropped()) so a long scenario keeps its
+/// most recent window. Recording is mutex-guarded; for deterministic
+/// traces record only from serial execution contexts (event-queue
+/// handlers, the adaptation commit phase, round boundaries) — parallel
+/// phases must stick to sharded metrics.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = kDefaultCapacity);
+
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  /// Change the buffer size; clears all recorded events.
+  void set_capacity(size_t capacity);
+  size_t capacity() const;
+
+  void record(TraceEvent event);
+  void record_complete(std::string name, std::string category, double ts,
+                       double dur, uint64_t track,
+                       std::vector<std::pair<std::string, double>> args = {});
+  void record_instant(std::string name, std::string category, double ts,
+                      uint64_t track,
+                      std::vector<std::pair<std::string, double>> args = {});
+
+  size_t size() const;
+  size_t dropped() const;
+  void clear();
+
+  /// Retained events, oldest first (recording order).
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON ("X"/"i" phases, ts in microseconds) —
+  /// loads directly in chrome://tracing and Perfetto.
+  void export_chrome_trace(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  size_t capacity_;
+  size_t next_ = 0;   // ring write position once full
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace ges::obs

@@ -1,5 +1,7 @@
 #include "p2p/churn.hpp"
 
+#include "obs/telemetry.hpp"
+
 namespace ges::p2p {
 
 ChurnProcess::ChurnProcess(Network& network, EventQueue& queue, ChurnParams params)
@@ -15,6 +17,8 @@ void ChurnProcess::schedule_departure(NodeId node) {
     if (!network_->alive(node)) return;
     network_->deactivate(node);
     ++departures_;
+    GES_COUNT("p2p.churn.departures", 1);
+    GES_INSTANT("leave", "churn", node);
     schedule_arrival(node);
   });
 }
@@ -30,6 +34,8 @@ void ChurnProcess::schedule_arrival(NodeId node) {
     if (heartbeats_ != nullptr) heartbeats_->register_node(node);
     if (rejoin_hook_) rejoin_hook_(node);
     ++arrivals_;
+    GES_COUNT("p2p.churn.arrivals", 1);
+    GES_INSTANT("join", "churn", node);
     schedule_departure(node);
   });
 }

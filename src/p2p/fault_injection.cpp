@@ -1,11 +1,64 @@
 #include "p2p/fault_injection.hpp"
 
 #include <algorithm>
+#include <array>
+#include <mutex>
+#include <string>
 
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace ges::p2p {
+
+const char* fault_channel_name(FaultChannel channel) {
+  switch (channel) {
+    case FaultChannel::kWalk: return "walk";
+    case FaultChannel::kFlood: return "flood";
+    case FaultChannel::kHandshake: return "handshake";
+    case FaultChannel::kHeartbeat: return "heartbeat";
+    case FaultChannel::kGossip: return "gossip";
+  }
+  return "?";
+}
+
+#if GES_OBS
+namespace {
+
+/// Telemetry counter for (verb, channel), e.g. p2p.fault.dropped.walk.
+/// The per-call-site cache keeps the hot path at one relaxed add; fault
+/// decisions run in the parallel plan phase, which the sharded counter
+/// cells absorb without perturbing determinism.
+obs::Counter& per_channel_counter(std::array<obs::Counter, 5>& cache,
+                                  std::once_flag& once, const char* verb,
+                                  FaultChannel channel) {
+  std::call_once(once, [&cache, verb] {
+    for (size_t i = 0; i < cache.size(); ++i) {
+      const auto ch = static_cast<FaultChannel>(i + 1);
+      cache[i] = obs::global().metrics().counter(
+          std::string("p2p.fault.") + verb + "." + fault_channel_name(ch));
+    }
+  });
+  return cache[static_cast<size_t>(channel) - 1];
+}
+
+}  // namespace
+
+#define GES_FAULT_COUNT(verb, channel)                               \
+  do {                                                               \
+    if (::ges::obs::enabled()) {                                     \
+      static std::array<obs::Counter, 5> ges_fault_cache_;           \
+      static std::once_flag ges_fault_once_;                         \
+      per_channel_counter(ges_fault_cache_, ges_fault_once_, (verb), \
+                          (channel))                                 \
+          .add(1);                                                   \
+    }                                                                \
+  } while (0)
+#else
+#define GES_FAULT_COUNT(verb, channel) \
+  do {                                 \
+  } while (0)
+#endif
 
 FaultPlan FaultPlan::uniform(double rate, uint64_t seed) {
   GES_CHECK(rate >= 0.0 && rate <= 1.0);
@@ -32,7 +85,10 @@ bool FaultInjector::drop_message(FaultChannel channel, uint64_t key,
                                  uint64_t nonce) const {
   if (plan_.drop_rate <= 0.0) return false;
   const bool dropped = unit(channel, key, nonce, 0x01) < plan_.drop_rate;
-  if (dropped) ++counters_.messages_dropped;
+  if (dropped) {
+    ++counters_.messages_dropped;
+    GES_FAULT_COUNT("dropped", channel);
+  }
   return dropped;
 }
 
@@ -41,6 +97,7 @@ SimTime FaultInjector::delivery_delay(FaultChannel channel, uint64_t key,
   if (plan_.delay_rate <= 0.0 || plan_.max_delay <= 0.0) return 0.0;
   if (unit(channel, key, nonce, 0x02) >= plan_.delay_rate) return 0.0;
   ++counters_.messages_delayed;
+  GES_FAULT_COUNT("delayed", channel);
   return unit(channel, key, nonce, 0x03) * plan_.max_delay;
 }
 
@@ -48,7 +105,10 @@ bool FaultInjector::duplicate_message(FaultChannel channel, uint64_t key,
                                       uint64_t nonce) const {
   if (plan_.duplicate_rate <= 0.0) return false;
   const bool dup = unit(channel, key, nonce, 0x04) < plan_.duplicate_rate;
-  if (dup) ++counters_.messages_duplicated;
+  if (dup) {
+    ++counters_.messages_duplicated;
+    GES_FAULT_COUNT("duplicated", channel);
+  }
   return dup;
 }
 
@@ -56,7 +116,10 @@ bool FaultInjector::lose_heartbeat(uint64_t key, uint64_t nonce) const {
   if (plan_.heartbeat_loss_rate <= 0.0) return false;
   const bool lost =
       unit(FaultChannel::kHeartbeat, key, nonce, 0x05) < plan_.heartbeat_loss_rate;
-  if (lost) ++counters_.heartbeats_lost;
+  if (lost) {
+    ++counters_.heartbeats_lost;
+    GES_COUNT("p2p.fault.heartbeats_lost", 1);
+  }
   return lost;
 }
 
@@ -64,7 +127,10 @@ bool FaultInjector::kill_mid_handshake(uint64_t key, uint64_t nonce) const {
   if (plan_.handshake_death_rate <= 0.0) return false;
   const bool death =
       unit(FaultChannel::kHandshake, key, nonce, 0x06) < plan_.handshake_death_rate;
-  if (death) ++counters_.handshake_deaths;
+  if (death) {
+    ++counters_.handshake_deaths;
+    GES_COUNT("p2p.fault.handshake_deaths", 1);
+  }
   return death;
 }
 
@@ -99,6 +165,17 @@ void FaultInjector::begin_round(const std::vector<NodeId>& alive, uint64_t round
   }
   partition_expires_round_ = round + std::max<size_t>(1, plan_.partition_rounds);
   ++counters_.partitions_started;
+  // begin_round runs serially (before any plan-phase read), so a trace
+  // event here is deterministic.
+  GES_COUNT("p2p.fault.partitions_started", 1);
+#if GES_OBS
+  if (obs::enabled()) {
+    obs::global().trace().record_instant(
+        "partition_start", "fault", obs::global().now(), round,
+        {{"isolated_nodes", static_cast<double>(partitioned_.size())},
+         {"heals_at_round", static_cast<double>(partition_expires_round_)}});
+  }
+#endif
 }
 
 }  // namespace ges::p2p

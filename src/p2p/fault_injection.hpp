@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "p2p/event_sim.hpp"
 #include "p2p/types.hpp"
 
@@ -21,6 +22,10 @@ enum class FaultChannel : uint8_t {
   kHeartbeat = 4,  // replica heartbeat messages
   kGossip = 5,     // host-cache gossip exchanges
 };
+
+/// Lower-case channel label ("walk", "flood", ...) — used for telemetry
+/// metric names like p2p.fault.dropped.walk.
+const char* fault_channel_name(FaultChannel channel);
 
 /// Seeded description of every fault the simulator can inject (the fault
 /// taxonomy of DESIGN.md §9). All-zero rates mean a fault-free run: the
@@ -143,7 +148,10 @@ class FaultInjector {
   bool blocked(NodeId a, NodeId b) const {
     if (partitioned_.empty()) return false;
     const bool cut = partitioned(a) != partitioned(b);
-    if (cut) ++counters_.messages_blocked;
+    if (cut) {
+      ++counters_.messages_blocked;
+      GES_COUNT("p2p.fault.blocked", 1);
+    }
     return cut;
   }
 

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace ges::p2p {
@@ -39,6 +40,12 @@ WalkResult random_walk(const Network& network, NodeId start, size_t ttl,
       if (result.visited.size() >= max_responses) break;
     }
   }
+  // Observation only (counters never touch `rng`); sharded cells make
+  // this safe from the parallel adaptation plan phase.
+  GES_COUNT("p2p.walk.walks", 1);
+  GES_COUNT("p2p.walk.hops", result.hops);
+  GES_COUNT("p2p.walk.responses", result.visited.size());
+  if (result.truncated_by_fault) GES_COUNT("p2p.walk.truncated_by_fault", 1);
   return result;
 }
 

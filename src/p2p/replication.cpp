@@ -1,5 +1,6 @@
 #include "p2p/replication.hpp"
 
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace ges::p2p {
@@ -35,6 +36,12 @@ void ReplicaHeartbeatProcess::beat(NodeId node) {
     return;
   }
   ++beats_;
+  // beat() runs inside an event-queue handler, i.e. strictly serially, so
+  // a span here is deterministic. Track = the beating node's lane.
+  GES_SPAN(span, "heartbeat", "replica", node);
+  GES_COUNT("p2p.heartbeat.beats", 1);
+  const uint64_t sent_before = sent_;
+  const uint64_t lost_before = lost_;
   const uint64_t tick = ticks_[node]++;
   for (const NodeId neighbor : network_->neighbors(node, LinkType::kRandom)) {
     ++sent_;
@@ -57,6 +64,10 @@ void ReplicaHeartbeatProcess::beat(NodeId node) {
     }
     network_->refresh_replica(node, neighbor);
   }
+  GES_COUNT("p2p.heartbeat.sent", sent_ - sent_before);
+  GES_COUNT("p2p.heartbeat.lost", lost_ - lost_before);
+  span.arg("sent", static_cast<double>(sent_ - sent_before));
+  span.arg("lost", static_cast<double>(lost_ - lost_before));
   queue_->schedule_after(interval_, [this, node] { beat(node); });
 }
 

@@ -3,20 +3,21 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <mutex>
+#include <utility>
 
 namespace ges::util {
 
 namespace {
 
 LogLevel initial_level() {
-  const char* env = std::getenv("GES_LOG");
-  if (env == nullptr) return LogLevel::kWarn;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
-  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  // GES_LOG_LEVEL is the documented variable; GES_LOG predates it and
+  // stays honoured so existing wrappers keep working.
+  for (const char* var : {"GES_LOG_LEVEL", "GES_LOG"}) {
+    const char* env = std::getenv(var);
+    if (env == nullptr) continue;
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+  }
   return LogLevel::kWarn;
 }
 
@@ -25,7 +26,28 @@ std::atomic<LogLevel>& level_storage() {
   return level;
 }
 
-const char* level_name(LogLevel level) {
+void default_sink(LogLevel level, const std::string& message) {
+  std::string line = "[ges ";
+  line += log_level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+LogSink& sink_storage() {
+  static LogSink sink;  // empty = default stderr sink
+  return sink;
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
@@ -36,20 +58,38 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
-}  // namespace
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
 
 void set_log_level(LogLevel level) { level_storage().store(level); }
 
 LogLevel log_level() { return level_storage().load(); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard lock(sink_mutex());
+  sink_storage() = std::move(sink);
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::string line = "[ges ";
-  line += level_name(level);
-  line += "] ";
-  line += message;
-  line += '\n';
-  std::fwrite(line.data(), 1, line.size(), stderr);
+  if (level == LogLevel::kOff) return;  // kOff is a threshold, not a level
+  std::lock_guard lock(sink_mutex());
+  const LogSink& sink = sink_storage();
+  if (sink) {
+    sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
 }
 
 }  // namespace ges::util

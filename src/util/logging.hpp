@@ -1,20 +1,38 @@
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace ges::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+const char* log_level_name(LogLevel level);
+
+/// Parse "debug" / "info" / "warn" / "error" / "off"; nullopt otherwise.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
 /// Set / query the global log threshold (messages below it are dropped).
-/// The initial threshold honours the GES_LOG env var
-/// (debug|info|warn|error|off), defaulting to warn so library output stays
-/// quiet under tests and benchmarks.
+/// The initial threshold honours the GES_LOG_LEVEL env var (GES_LOG is
+/// accepted as a legacy alias; values debug|info|warn|error|off),
+/// defaulting to warn so library output stays quiet under tests and
+/// benchmarks.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one log line to stderr (thread-safe, single write call).
+/// Where emitted log lines go. The sink receives the level and the
+/// unterminated message body (no "[ges LEVEL]" prefix, no newline);
+/// filtering already happened. Pass {} to restore the default stderr
+/// sink. Sink swaps and calls are serialized, so tests can capture lines
+/// without racing concurrent loggers.
+using LogSink = std::function<void(LogLevel, const std::string& message)>;
+void set_log_sink(LogSink sink);
+
+/// Emit one log line through the current sink (thread-safe). The default
+/// sink writes "[ges LEVEL] message\n" to stderr in a single write call.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

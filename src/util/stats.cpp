@@ -23,20 +23,37 @@ double Accumulator::variance() const {
 
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
+namespace {
+
+/// Drop NaNs (they have no rank and poison std::sort's ordering).
+void erase_nans(std::vector<double>& samples) {
+  samples.erase(std::remove_if(samples.begin(), samples.end(),
+                               [](double x) { return std::isnan(x); }),
+                samples.end());
+}
+
+}  // namespace
+
 double percentile(std::vector<double> samples, double p) {
+  erase_nans(samples);
   if (samples.empty()) return 0.0;
-  GES_CHECK(p >= 0.0 && p <= 100.0);
+  if (!(p > 0.0)) p = 0.0;  // also maps NaN p to the minimum
+  if (p > 100.0) p = 100.0;
   std::sort(samples.begin(), samples.end());
   if (samples.size() == 1) return samples[0];
   const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
   const auto lo = static_cast<size_t>(rank);
   const size_t hi = std::min(lo + 1, samples.size() - 1);
   const double frac = rank - static_cast<double>(lo);
+  // Exact ranks (p = 0/100 included) skip interpolation so no FP
+  // round-off can leak in from the frac arithmetic.
+  if (frac <= 0.0) return samples[lo];
   return samples[lo] * (1.0 - frac) + samples[hi] * frac;
 }
 
 std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> samples) {
   std::vector<std::pair<double, double>> cdf;
+  erase_nans(samples);
   if (samples.empty()) return cdf;
   std::sort(samples.begin(), samples.end());
   const auto n = static_cast<double>(samples.size());
@@ -53,11 +70,27 @@ Histogram::Histogram(double lo, double hi, size_t bins) : lo_(lo), hi_(hi), coun
 }
 
 void Histogram::add(double x) {
-  const double t = (x - lo_) / (hi_ - lo_);
-  auto bin = static_cast<long long>(t * static_cast<double>(counts_.size()));
-  bin = std::clamp<long long>(bin, 0, static_cast<long long>(counts_.size()) - 1);
-  ++counts_[static_cast<size_t>(bin)];
+  if (std::isnan(x)) {
+    ++nan_count_;  // NaN belongs to no bin; don't skew total()
+    return;
+  }
+  // Clamp in double space before the integer cast: casting an
+  // out-of-range double (huge x, or ±inf) to an integer is UB.
+  double t = (x - lo_) / (hi_ - lo_);
+  t = std::clamp(t, 0.0, 1.0);
+  const size_t bin = std::min(
+      counts_.size() - 1, static_cast<size_t>(t * static_cast<double>(counts_.size())));
+  ++counts_[bin];
   ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  GES_CHECK_MSG(lo_ == other.lo_ && hi_ == other.hi_ &&
+                    counts_.size() == other.counts_.size(),
+                "Histogram::merge needs identical ranges and bin counts");
+  for (size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  nan_count_ += other.nan_count_;
 }
 
 size_t Histogram::bin_count(size_t bin) const {

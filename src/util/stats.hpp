@@ -30,16 +30,21 @@ class Accumulator {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// p-th percentile (p in [0,100]) of the samples using linear interpolation
-/// between closest ranks. The input is copied and sorted; empty input -> 0.
+/// p-th percentile of the samples using linear interpolation between
+/// closest ranks. The input is copied and sorted; NaN samples are
+/// discarded first (they have no rank), p is clamped into [0, 100]
+/// (p <= 0 -> min, p >= 100 -> max, NaN p -> min), and an input with no
+/// valid samples returns 0.
 double percentile(std::vector<double> samples, double p);
 
 /// Empirical CDF: given samples, returns (value, cumulative fraction) pairs
-/// sorted by value, one pair per distinct sample value.
+/// sorted by value, one pair per distinct sample value. NaN samples are
+/// discarded; fractions are over the valid samples only.
 std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> samples);
 
 /// Fixed-width histogram over [lo, hi) with the given number of bins.
-/// Samples outside the range are clamped into the boundary bins.
+/// Samples outside the range (including ±inf) are clamped into the
+/// boundary bins; NaN samples are ignored (counted in nan_count()).
 class Histogram {
  public:
   Histogram(double lo, double hi, size_t bins);
@@ -48,13 +53,20 @@ class Histogram {
   size_t bin_count(size_t bin) const;
   size_t bins() const { return counts_.size(); }
   size_t total() const { return total_; }
+  size_t nan_count() const { return nan_count_; }
   double bin_lo(size_t bin) const;
   double bin_hi(size_t bin) const;
+
+  /// Add `other`'s counts into this histogram (the reduction step for
+  /// per-thread histogram cells). Both histograms must have identical
+  /// [lo, hi) ranges and bin counts.
+  void merge(const Histogram& other);
 
  private:
   double lo_, hi_;
   std::vector<size_t> counts_;
   size_t total_ = 0;
+  size_t nan_count_ = 0;
 };
 
 }  // namespace ges::util

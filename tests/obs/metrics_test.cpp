@@ -1,0 +1,169 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ges::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulateAndSnapshotSorted) {
+  MetricsRegistry reg;
+  Counter b = reg.counter("b.count");
+  Counter a = reg.counter("a.count");
+  a.add(3);
+  b.add();
+  b.add(4);
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 2u);
+  EXPECT_EQ(snap.metrics[0].name, "a.count");  // sorted by name
+  EXPECT_EQ(snap.metrics[1].name, "b.count");
+  EXPECT_EQ(snap.counter("a.count"), 3u);
+  EXPECT_EQ(snap.counter("b.count"), 5u);
+  EXPECT_EQ(snap.counter("missing"), 0u);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameFamily) {
+  MetricsRegistry reg;
+  Counter a = reg.counter("x");
+  Counter b = reg.counter("x");
+  a.add(1);
+  b.add(2);
+  EXPECT_EQ(reg.snapshot().counter("x"), 3u);
+}
+
+TEST(MetricsRegistry, DefaultConstructedHandlesAreInert) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.add(5);
+  g.set(1.0);
+  h.add(0.5);  // no crash, no effect
+}
+
+TEST(MetricsRegistry, KindCollisionThrows) {
+  MetricsRegistry reg;
+  reg.counter("name");
+  EXPECT_THROW(reg.gauge("name"), util::CheckFailure);
+  EXPECT_THROW(reg.histogram("name", 0, 1, 4), util::CheckFailure);
+}
+
+TEST(MetricsRegistry, HistogramRebucketMismatchThrows) {
+  MetricsRegistry reg;
+  reg.histogram("h", 0.0, 10.0, 5);
+  EXPECT_NO_THROW(reg.histogram("h", 0.0, 10.0, 5));  // idempotent
+  EXPECT_THROW(reg.histogram("h", 0.0, 10.0, 6), util::CheckFailure);
+  EXPECT_THROW(reg.histogram("h", 0.0, 20.0, 5), util::CheckFailure);
+}
+
+TEST(MetricsRegistry, HistogramBucketsClampAndIgnoreNan) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("h", 0.0, 10.0, 5);
+  h.add(-100.0);  // clamps into bucket 0
+  h.add(0.0);
+  h.add(5.0);
+  h.add(1e308);  // clamps into the last bucket
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(std::numeric_limits<double>::quiet_NaN());  // ignored entirely
+
+  const auto snap = reg.snapshot();
+  const auto* m = snap.find("h");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::kHistogram);
+  EXPECT_EQ(m->value, 5u);  // NaN not counted
+  ASSERT_EQ(m->buckets.size(), 5u);
+  EXPECT_EQ(m->buckets[0], 2u);
+  EXPECT_EQ(m->buckets[2], 1u);
+  EXPECT_EQ(m->buckets[4], 2u);
+}
+
+TEST(MetricsRegistry, GaugeHoldsLastValue) {
+  MetricsRegistry reg;
+  Gauge g = reg.gauge("g");
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_DOUBLE_EQ(reg.snapshot().gauge("g"), -2.25);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsHandles) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("c");
+  Histogram h = reg.histogram("h", 0.0, 1.0, 2);
+  c.add(7);
+  h.add(0.1);
+  reg.reset();
+  EXPECT_EQ(reg.snapshot().counter("c"), 0u);
+  EXPECT_EQ(reg.snapshot().find("h")->value, 0u);
+  c.add(2);  // the old handle still works
+  h.add(0.9);
+  EXPECT_EQ(reg.snapshot().counter("c"), 2u);
+  EXPECT_EQ(reg.snapshot().find("h")->value, 1u);
+}
+
+// The determinism contract: however increments are spread over threads,
+// a snapshot taken at the barrier is exactly the serial total.
+TEST(MetricsRegistry, ParallelAddsMatchSerialExactly) {
+  constexpr size_t kItems = 10000;
+
+  MetricsRegistry serial_reg;
+  Counter serial_c = serial_reg.counter("c");
+  Histogram serial_h = serial_reg.histogram("h", 0.0, 100.0, 10);
+  for (size_t i = 0; i < kItems; ++i) {
+    serial_c.add(i % 7);
+    serial_h.add(static_cast<double>(i % 101));
+  }
+
+  MetricsRegistry parallel_reg;
+  Counter parallel_c = parallel_reg.counter("c");
+  Histogram parallel_h = parallel_reg.histogram("h", 0.0, 100.0, 10);
+  util::global_pool().parallel_for(kItems, [&](size_t i) {
+    parallel_c.add(i % 7);
+    parallel_h.add(static_cast<double>(i % 101));
+  });
+
+  const auto a = serial_reg.snapshot();
+  const auto b = parallel_reg.snapshot();
+  EXPECT_EQ(a.counter("c"), b.counter("c"));
+  EXPECT_EQ(a.find("h")->buckets, b.find("h")->buckets);
+  EXPECT_EQ(a.find("h")->value, b.find("h")->value);
+
+  // And the exported JSON documents are byte-identical.
+  std::ostringstream ja;
+  std::ostringstream jb;
+  write_metrics_json(a, ja);
+  write_metrics_json(b, jb);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(Export, MetricsJsonSchemaAndPrometheusNames) {
+  MetricsRegistry reg;
+  reg.counter("p2p.walk.hops").add(12);
+  reg.gauge("ges.adapt.satisfaction").set(0.5);
+  reg.histogram("ges.search.probes_per_query", 0.0, 8.0, 4).add(3.0);
+
+  std::ostringstream json;
+  write_metrics_json(reg.snapshot(), json);
+  const std::string doc = json.str();
+  EXPECT_NE(doc.find("\"schema\": \"ges.metrics.v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p2p.walk.hops\""), std::string::npos);
+  EXPECT_NE(doc.find("\"kind\": \"histogram\""), std::string::npos);
+
+  EXPECT_EQ(prometheus_name("p2p.walk.hops"), "ges_p2p_walk_hops");
+  std::ostringstream prom;
+  write_prometheus(reg.snapshot(), prom);
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("ges_p2p_walk_hops 12"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ges_p2p_walk_hops counter"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("ges_ges_search_probes_per_query_count 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ges::obs

@@ -1,0 +1,274 @@
+// Scenario-level tests of the telemetry layer's two core guarantees:
+//
+//  1. Observation-only: enabling telemetry changes nothing about the
+//     simulation — network snapshots and search traces are byte-identical
+//     with telemetry on and off (golden-trace test).
+//  2. Deterministic: two same-seed runs (including under parallel
+//     adaptation rounds) export byte-identical metrics and trace JSON,
+//     and the counters agree exactly with the simulation's own ground
+//     truth (AdaptationRoundStats, heartbeat/churn tallies, SearchTrace).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ges/scenario.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
+#include "p2p/network_snapshot.hpp"
+#include "support/test_corpus.hpp"
+
+namespace ges::core {
+namespace {
+
+#if !GES_OBS
+
+TEST(TelemetryScenario, SkippedWithoutInstrumentation) {
+  GTEST_SKIP() << "built with -DGES_OBS_INSTRUMENT=OFF";
+}
+
+#else
+
+using p2p::FaultPlan;
+using p2p::NodeId;
+
+constexpr size_t kNodes = 24;
+constexpr size_t kTopics = 3;
+
+ScenarioParams scenario_params(uint64_t seed, bool churn, bool parallel) {
+  ScenarioParams sp;
+  sp.params.max_links = 6;
+  sp.params.min_links = 2;
+  sp.params.walk_ttl = 20;
+  sp.params.parallel_rounds = parallel;
+  sp.faults = FaultPlan::uniform(0.1, util::derive_seed(seed, 77));
+  sp.faults.delay_rate = 0.05;
+  sp.faults.duplicate_rate = 0.02;
+  sp.faults.partition_rate = 0.1;
+  sp.churn_enabled = churn;
+  sp.churn.mean_session = 60.0;
+  sp.churn.mean_downtime = 25.0;
+  sp.churn.bootstrap_links = 2;
+  sp.churn.seed = util::derive_seed(seed, 78);
+  sp.rounds = 10;
+  sp.seed = seed;
+  return sp;
+}
+
+struct RunResult {
+  std::string snapshot;
+  std::vector<p2p::SearchTrace> traces;
+  std::string metrics_json;
+  std::string trace_json;
+  AdaptationRoundStats stats;
+  size_t beats = 0;
+  size_t heartbeats_sent = 0;
+  size_t heartbeats_lost = 0;
+  size_t departures = 0;
+  size_t arrivals = 0;
+  obs::MetricsSnapshot metrics;
+  size_t trace_events = 0;
+};
+
+/// Run one full scenario + 5 queries; telemetry state is reset first so
+/// the exported artifacts cover exactly this run.
+RunResult run_scenario(const corpus::Corpus& corpus, const ScenarioParams& sp,
+                       bool telemetry) {
+  obs::global().reset();
+  obs::global().set_enabled(telemetry);
+  RunResult out;
+  {
+    ScenarioRunner runner(corpus, sp);
+    runner.run();
+    util::Rng rng(util::derive_seed(sp.seed, 80));
+    SearchOptions sopt;
+    sopt.ttl = 25;
+    for (size_t q = 0; q < 5; ++q) {
+      const auto alive = runner.network().alive_nodes();
+      const NodeId initiator = alive[rng.index(alive.size())];
+      const auto& query = corpus.queries[q % corpus.queries.size()].vector;
+      out.traces.push_back(runner.search(query, initiator, sopt, rng));
+    }
+    std::ostringstream snap;
+    p2p::save_network_snapshot(runner.network(), snap);
+    out.snapshot = snap.str();
+    out.stats = runner.total_stats();
+    out.beats = runner.heartbeats().beats();
+    out.heartbeats_sent = runner.heartbeats().heartbeats_sent();
+    out.heartbeats_lost = runner.heartbeats().heartbeats_lost();
+    if (runner.churn() != nullptr) {
+      out.departures = runner.churn()->departures();
+      out.arrivals = runner.churn()->arrivals();
+    }
+  }
+  out.metrics = obs::global().metrics().snapshot();
+  std::ostringstream mj;
+  obs::write_metrics_json(out.metrics, mj);
+  out.metrics_json = mj.str();
+  std::ostringstream tj;
+  obs::global().trace().export_chrome_trace(tj);
+  out.trace_json = tj.str();
+  out.trace_events = obs::global().trace().size();
+  obs::global().set_enabled(false);
+  return out;
+}
+
+TEST(TelemetryScenario, EnablingTelemetryChangesNoSimulationOutput) {
+  const auto corpus = test::clustered_corpus(kNodes, kTopics);
+  const ScenarioParams sp = scenario_params(42, /*churn=*/true, /*parallel=*/false);
+  const RunResult off = run_scenario(corpus, sp, /*telemetry=*/false);
+  const RunResult on = run_scenario(corpus, sp, /*telemetry=*/true);
+
+  EXPECT_EQ(off.snapshot, on.snapshot);
+  EXPECT_EQ(off.departures, on.departures);
+  EXPECT_EQ(off.arrivals, on.arrivals);
+  ASSERT_EQ(off.traces.size(), on.traces.size());
+  for (size_t i = 0; i < off.traces.size(); ++i) {
+    EXPECT_TRUE(off.traces[i] == on.traces[i]) << "trace " << i;
+  }
+
+  // The disabled run recorded nothing; the enabled run recorded plenty.
+  EXPECT_EQ(off.trace_events, 0u);
+  EXPECT_EQ(off.metrics.counter("ges.adapt.rounds"), 0u);
+  EXPECT_GT(on.trace_events, 0u);
+  EXPECT_EQ(on.metrics.counter("ges.adapt.rounds"), sp.rounds);
+}
+
+TEST(TelemetryScenario, SameSeedRunsExportByteIdenticalArtifacts) {
+  const auto corpus = test::clustered_corpus(kNodes, kTopics);
+  const ScenarioParams sp = scenario_params(7, /*churn=*/true, /*parallel=*/false);
+  const RunResult a = run_scenario(corpus, sp, /*telemetry=*/true);
+  const RunResult b = run_scenario(corpus, sp, /*telemetry=*/true);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+}
+
+TEST(TelemetryScenario, ParallelRoundsExportMatchesSerial) {
+  // Counters are integer-only and sharded; the trace records only from
+  // serial contexts — so the parallel plan phase must not perturb a
+  // single exported byte.
+  const auto corpus = test::clustered_corpus(kNodes, kTopics);
+  const ScenarioParams serial =
+      scenario_params(9, /*churn=*/false, /*parallel=*/false);
+  const ScenarioParams parallel =
+      scenario_params(9, /*churn=*/false, /*parallel=*/true);
+  const RunResult a = run_scenario(corpus, serial, /*telemetry=*/true);
+  const RunResult b = run_scenario(corpus, parallel, /*telemetry=*/true);
+  EXPECT_EQ(a.snapshot, b.snapshot);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+}
+
+TEST(TelemetryScenario, CountersMatchSimulationGroundTruth) {
+  const auto corpus = test::clustered_corpus(kNodes, kTopics);
+  const ScenarioParams sp = scenario_params(3, /*churn=*/true, /*parallel=*/false);
+  const RunResult r = run_scenario(corpus, sp, /*telemetry=*/true);
+
+  // Adaptation: the exported counters are exactly the summed round stats.
+  EXPECT_EQ(r.metrics.counter("ges.adapt.rounds"), sp.rounds);
+  EXPECT_EQ(r.metrics.counter("ges.adapt.walk_messages"), r.stats.walk_messages);
+  EXPECT_EQ(r.metrics.counter("ges.adapt.handshake_messages"),
+            r.stats.handshake_messages);
+  EXPECT_EQ(r.metrics.counter("ges.adapt.handshake_aborts"),
+            r.stats.handshake_aborts);
+  EXPECT_EQ(r.metrics.counter("ges.adapt.handshake_deaths"),
+            r.stats.handshake_deaths);
+  EXPECT_EQ(r.metrics.counter("ges.adapt.backoff_skips"), r.stats.backoff_skips);
+  EXPECT_EQ(r.metrics.counter("ges.adapt.gossip_messages"),
+            r.stats.gossip_messages);
+  EXPECT_EQ(r.metrics.counter("ges.adapt.semantic_links_added"),
+            r.stats.semantic_links_added);
+  EXPECT_EQ(r.metrics.counter("ges.adapt.links_reclassified"),
+            r.stats.links_reclassified);
+
+  // Heartbeats and churn: counters equal the processes' own tallies.
+  EXPECT_EQ(r.metrics.counter("p2p.heartbeat.beats"), r.beats);
+  EXPECT_EQ(r.metrics.counter("p2p.heartbeat.sent"), r.heartbeats_sent);
+  EXPECT_EQ(r.metrics.counter("p2p.heartbeat.lost"), r.heartbeats_lost);
+  EXPECT_EQ(r.metrics.counter("p2p.churn.departures"), r.departures);
+  EXPECT_EQ(r.metrics.counter("p2p.churn.arrivals"), r.arrivals);
+
+  // Queries: counters equal the summed SearchTrace ground truth.
+  size_t walk_steps = 0;
+  size_t flood_messages = 0;
+  size_t probes = 0;
+  size_t retrieved = 0;
+  for (const auto& t : r.traces) {
+    walk_steps += t.walk_steps;
+    flood_messages += t.flood_messages;
+    probes += t.probes();
+    retrieved += t.retrieved.size();
+  }
+  EXPECT_EQ(r.metrics.counter("ges.search.queries"), r.traces.size());
+  EXPECT_EQ(r.metrics.counter("ges.search.walk_steps"), walk_steps);
+  EXPECT_EQ(r.metrics.counter("ges.search.flood_messages"), flood_messages);
+  EXPECT_EQ(r.metrics.counter("ges.search.probes"), probes);
+  EXPECT_EQ(r.metrics.counter("ges.search.retrieved_docs"), retrieved);
+
+  // The trace carries spans for every taxonomy bucket the run exercised.
+  size_t heartbeat_spans = 0;
+  size_t handshake_spans = 0;
+  size_t round_spans = 0;
+  size_t query_spans = 0;
+  size_t churn_instants = 0;
+  for (const auto& ev : obs::global().trace().events()) {
+    if (ev.category == "replica" && ev.name == "heartbeat") ++heartbeat_spans;
+    if (ev.category == "adapt" && ev.name == "handshake") ++handshake_spans;
+    if (ev.category == "scenario" && ev.name == "round") ++round_spans;
+    if (ev.category == "search" && ev.name == "query") ++query_spans;
+    if (ev.category == "churn") ++churn_instants;
+  }
+  EXPECT_EQ(round_spans, sp.rounds);
+  EXPECT_EQ(query_spans, r.traces.size());
+  EXPECT_EQ(heartbeat_spans, r.beats);
+  EXPECT_GT(handshake_spans, 0u);
+  EXPECT_EQ(churn_instants, r.departures + r.arrivals);
+
+  // Fault decisions show up per channel, consistent with the injector.
+  uint64_t dropped = 0;
+  for (const char* ch : {"walk", "flood", "handshake", "heartbeat", "gossip"}) {
+    dropped += r.metrics.counter(std::string("p2p.fault.dropped.") + ch);
+  }
+  EXPECT_GT(dropped, 0u);
+}
+
+TEST(TelemetryScenario, TelemetryOutWritesAllThreeArtifacts) {
+  const auto corpus = test::clustered_corpus(kNodes, kTopics);
+  obs::global().reset();
+  ScenarioParams sp = scenario_params(5, /*churn=*/false, /*parallel=*/false);
+  sp.rounds = 4;
+  const std::string prefix = ::testing::TempDir() + "/ges_telemetry_out";
+  sp.telemetry_out = prefix;  // enables telemetry on construction
+  {
+    ScenarioRunner runner(corpus, sp);
+    EXPECT_TRUE(obs::enabled());
+    runner.run();
+  }
+  obs::global().set_enabled(false);
+
+  for (const char* suffix : {".metrics.json", ".metrics.prom", ".trace.json"}) {
+    const std::string path = prefix + suffix;
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_FALSE(content.str().empty()) << path;
+    if (std::string(suffix) == ".metrics.json") {
+      EXPECT_NE(content.str().find("ges.metrics.v1"), std::string::npos);
+      EXPECT_NE(content.str().find("ges.adapt.rounds"), std::string::npos);
+    }
+    if (std::string(suffix) == ".trace.json") {
+      EXPECT_NE(content.str().find("traceEvents"), std::string::npos);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+#endif  // GES_OBS
+
+}  // namespace
+}  // namespace ges::core

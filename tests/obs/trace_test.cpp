@@ -1,0 +1,83 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace ges::obs {
+namespace {
+
+TEST(TraceRecorder, RecordsInOrder) {
+  TraceRecorder rec(8);
+  rec.record_complete("round", "scenario", 1.0, 0.5, 0);
+  rec.record_instant("join", "churn", 2.0, 7);
+  ASSERT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.dropped(), 0u);
+
+  const auto events = rec.events();
+  EXPECT_EQ(events[0].name, "round");
+  EXPECT_EQ(events[0].type, TraceEvent::Type::kComplete);
+  EXPECT_DOUBLE_EQ(events[0].ts, 1.0);
+  EXPECT_DOUBLE_EQ(events[0].dur, 0.5);
+  EXPECT_EQ(events[1].name, "join");
+  EXPECT_EQ(events[1].type, TraceEvent::Type::kInstant);
+  EXPECT_EQ(events[1].track, 7u);
+}
+
+TEST(TraceRecorder, RingOverwritesOldestAndCountsDrops) {
+  TraceRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.record_instant("e" + std::to_string(i), "t", static_cast<double>(i), 0);
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const auto events = rec.events();  // oldest retained first
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "e6");
+  EXPECT_EQ(events[3].name, "e9");
+}
+
+TEST(TraceRecorder, ClearAndSetCapacity) {
+  TraceRecorder rec(4);
+  rec.record_instant("a", "t", 0.0, 0);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  rec.set_capacity(2);
+  EXPECT_EQ(rec.capacity(), 2u);
+  rec.record_instant("b", "t", 0.0, 0);
+  rec.record_instant("c", "t", 0.0, 0);
+  rec.record_instant("d", "t", 0.0, 0);
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.events()[0].name, "c");
+}
+
+TEST(TraceRecorder, ChromeExportShape) {
+  TraceRecorder rec(8);
+  rec.record_complete("heartbeat", "replica", 5.0, 0.0, 3, {{"sent", 2.0}});
+  rec.record_instant("leave", "churn", 6.5, 11);
+
+  std::ostringstream os;
+  rec.export_chrome_trace(os);
+  const std::string doc = os.str();
+
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);   // complete
+  EXPECT_NE(doc.find("\"ph\": \"i\""), std::string::npos);   // instant
+  EXPECT_NE(doc.find("\"name\": \"heartbeat\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cat\": \"replica\""), std::string::npos);
+  // Sim seconds -> microseconds.
+  EXPECT_NE(doc.find("\"ts\": 5000000"), std::string::npos);
+  EXPECT_NE(doc.find("\"ts\": 6500000"), std::string::npos);
+  EXPECT_NE(doc.find("\"tid\": 11"), std::string::npos);
+  EXPECT_NE(doc.find("\"sent\": 2"), std::string::npos);
+
+  // Deterministic: exporting the same recorder twice is byte-identical.
+  std::ostringstream again;
+  rec.export_chrome_trace(again);
+  EXPECT_EQ(doc, again.str());
+}
+
+}  // namespace
+}  // namespace ges::obs

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -85,6 +89,58 @@ TEST_F(LogLevelTest, LogMessageRespectsThreshold) {
   log_message(LogLevel::kDebug, "dropped");
   log_message(LogLevel::kError, "emitted");
   SUCCEED();
+}
+
+TEST(ParseLogLevel, AcceptsAllNamesAndRejectsJunk) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarn);  // case-insensitive
+}
+
+TEST(LogLevelName, RoundTripsThroughParse) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                               LogLevel::kError, LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+}
+
+class LogSinkTest : public ::testing::Test {
+ protected:
+  LogSinkTest() : saved_(log_level()) {
+    set_log_sink([this](LogLevel level, const std::string& message) {
+      captured_.emplace_back(level, message);
+    });
+  }
+  ~LogSinkTest() override {
+    set_log_sink({});  // restore the default stderr sink
+    set_log_level(saved_);
+  }
+  LogLevel saved_;
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LogSinkTest, CapturesFilteredLines) {
+  set_log_level(LogLevel::kInfo);
+  GES_DEBUG << "below threshold " << 1;
+  GES_INFO << "hello " << 42;
+  GES_ERROR << "boom";
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "hello 42");
+  EXPECT_EQ(captured_[1].first, LogLevel::kError);
+  EXPECT_EQ(captured_[1].second, "boom");
+}
+
+TEST_F(LogSinkTest, ResettingSinkRestoresDefault) {
+  set_log_level(LogLevel::kError);
+  set_log_sink({});
+  log_message(LogLevel::kError, "to stderr, not the captured vector");
+  EXPECT_TRUE(captured_.empty());
 }
 
 }  // namespace

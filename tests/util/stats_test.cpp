@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/check.hpp"
 
 namespace ges::util {
@@ -58,12 +60,47 @@ TEST(Percentile, Interpolates) {
   EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
 }
 
-TEST(Percentile, OutOfRangePThrows) {
-  EXPECT_THROW(percentile({1.0}, -1.0), CheckFailure);
-  EXPECT_THROW(percentile({1.0}, 101.0), CheckFailure);
+TEST(Percentile, OutOfRangePClampsToExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 101.0), 5.0);
+}
+
+TEST(Percentile, NanSamplesAreDiscarded) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> v{nan, 2.0, nan, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  // All-NaN collapses to the empty case.
+  EXPECT_EQ(percentile({nan, nan}, 50.0), 0.0);
+}
+
+TEST(Percentile, NanPMapsToMinimum) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, nan), 1.0);
+}
+
+TEST(Percentile, ExactRanksSkipInterpolation) {
+  // 5 samples put p=25/50/75 on exact ranks; the result must be the
+  // sample itself, bit for bit, with no FP round-off from interpolation.
+  std::vector<double> v{0.1, 0.2, 0.3, 0.4, 0.5};
+  EXPECT_EQ(percentile(v, 25.0), 0.2);
+  EXPECT_EQ(percentile(v, 50.0), 0.3);
+  EXPECT_EQ(percentile(v, 75.0), 0.4);
 }
 
 TEST(EmpiricalCdf, Empty) { EXPECT_TRUE(empirical_cdf({}).empty()); }
+
+TEST(EmpiricalCdf, DropsNans) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto cdf = empirical_cdf({nan, 1.0, nan, 2.0});
+  ASSERT_EQ(cdf.size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].second, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[1].second, 1.0);
+  EXPECT_TRUE(empirical_cdf({nan, nan}).empty());
+}
 
 TEST(EmpiricalCdf, DistinctValues) {
   const auto cdf = empirical_cdf({3.0, 1.0, 2.0, 4.0});
@@ -104,6 +141,42 @@ TEST(Histogram, InvalidConstruction) {
 TEST(Histogram, OutOfRangeBinThrows) {
   Histogram h(0.0, 1.0, 2);
   EXPECT_THROW(h.bin_count(2), CheckFailure);
+}
+
+TEST(Histogram, NanAndInfinityHandling) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());  // no bin, not in total()
+  h.add(std::numeric_limits<double>::infinity());   // clamps to the last bin
+  h.add(-std::numeric_limits<double>::infinity());  // clamps to bin 0
+  h.add(1e308);                                     // clamps to the last bin
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.nan_count(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+}
+
+TEST(Histogram, MergeSumsBinsTotalsAndNans) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(5.0);
+  a.add(std::numeric_limits<double>::quiet_NaN());
+  b.add(5.0);
+  b.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.nan_count(), 1u);
+  EXPECT_EQ(a.bin_count(0), 1u);
+  EXPECT_EQ(a.bin_count(2), 2u);
+  EXPECT_EQ(a.bin_count(4), 1u);
+  // b is untouched.
+  EXPECT_EQ(b.total(), 2u);
+}
+
+TEST(Histogram, MergeRejectsMismatchedShapes) {
+  Histogram a(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(Histogram(0.0, 10.0, 4)), CheckFailure);
+  EXPECT_THROW(a.merge(Histogram(0.0, 20.0, 5)), CheckFailure);
 }
 
 }  // namespace
