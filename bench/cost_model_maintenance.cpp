@@ -51,13 +51,13 @@ int main() {
     adaptation.run_rounds(12);  // converge before measuring
 
     p2p::EventQueue queue;
-    size_t walk_messages = 0;
+    core::AdaptationRoundStats adapt_total;
     size_t heartbeat_messages = 0;
     size_t adaptation_rounds = 0;
     double adaptation_seconds = 0.0;
     queue.schedule_every(kAdaptEvery, [&] {
       const auto start = Clock::now();
-      walk_messages += adaptation.run_round().walk_messages;
+      adapt_total += adaptation.run_round();
       adaptation_seconds += std::chrono::duration<double>(Clock::now() - start).count();
       ++adaptation_rounds;
     });
@@ -95,7 +95,7 @@ int main() {
                     kSimMinutes
               : 0.0;
     table.add_row({level.name, util::cell(churn_rate, 1),
-                   util::cell(static_cast<double>(walk_messages) / node_minutes, 1),
+                   util::cell(static_cast<double>(adapt_total.walk_messages) / node_minutes, 1),
                    util::cell(static_cast<double>(heartbeat_messages) / node_minutes, 1),
                    util::cell(network.alive_count()),
                    util::cell(core::count_semantic_groups(network)),
@@ -105,7 +105,7 @@ int main() {
       json.add(std::string("adaptation_round/") + level.name,
                1.0 / secs_per_round, secs_per_round * 1e9,
                {{"walk_msgs_per_node_min",
-                 static_cast<double>(walk_messages) / node_minutes},
+                 static_cast<double>(adapt_total.walk_messages) / node_minutes},
                 {"recall_at_30pct", curve.recall.back()}});
     }
   }

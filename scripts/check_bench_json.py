@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json artifacts from the unified bench emitter.
+
+Stdlib-only, stricter than the generic schema pass in
+check_telemetry_json.py: every entry must carry consistent positive
+rates (ops_per_sec * ns_per_op ~= 1e9), extras must be numeric, and an
+optional floor can be enforced on a named extra — CI uses that to keep
+the event-core speedup from regressing:
+
+  check_bench_json.py BENCH_micro_event_sim.json \\
+      --require-extra timer_wheel:speedup:2.0
+
+Usage: check_bench_json.py FILE [FILE...] [--require-extra ENTRY:KEY:MIN]
+Exits non-zero on the first invalid file; prints one OK line per valid one.
+"""
+
+import json
+import sys
+
+RATE_TOLERANCE = 1e-6  # ops_per_sec vs ns_per_op round-trip slack
+
+
+def fail(path, message):
+    print(f"FAIL {path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_number(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def check_entry(path, where, entry):
+    if not isinstance(entry, dict):
+        fail(path, f"{where} is not an object")
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        fail(path, f"{where} has no name")
+    ops = entry.get("ops_per_sec")
+    ns = entry.get("ns_per_op")
+    # 0.0 is the emitter's "no rate measured" convention; null is an
+    # inf/nan that was sanitized away.
+    for key, value in (("ops_per_sec", ops), ("ns_per_op", ns)):
+        if value is not None and not (is_number(value) and value >= 0):
+            fail(path, f"{where} ({name}) {key} is not non-negative/null")
+    if is_number(ops) and is_number(ns) and ops > 0 and ns > 0:
+        relative = abs(ops * ns - 1e9) / 1e9
+        if relative > RATE_TOLERANCE:
+            fail(path, f"{where} ({name}) ops_per_sec and ns_per_op disagree "
+                       f"(relative error {relative:.2e})")
+    # Free-form counters are flattened into the entry object.
+    extra = {k: v for k, v in entry.items()
+             if k not in ("name", "ops_per_sec", "ns_per_op")}
+    for key, value in extra.items():
+        if not (is_number(value) or value is None):
+            fail(path, f"{where} ({name}) extra {key!r} is not numeric/null")
+    return name, extra
+
+
+def check_bench(path, doc, requirements):
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    if doc.get("schema") != "ges.bench.v1":
+        fail(path, f"schema is not ges.bench.v1 (got {doc.get('schema')!r})")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        fail(path, "bench name missing")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        fail(path, "entries missing or empty")
+    extras = {}
+    for i, entry in enumerate(entries):
+        name, extra = check_entry(path, f"entries[{i}]", entry)
+        extras[name] = extra
+    for entry_name, key, floor in requirements:
+        if entry_name not in extras:
+            continue  # the requirement targets a different bench file
+        value = extras[entry_name].get(key)
+        if not is_number(value):
+            fail(path, f"entry {entry_name!r} has no numeric extra {key!r}")
+        if value < floor:
+            fail(path, f"entry {entry_name!r} {key}={value:.4g} is below "
+                       f"the required floor {floor:g}")
+    return f"{len(entries)} entries"
+
+
+def parse_args(argv):
+    paths, requirements = [], []
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--require-extra":
+            i += 1
+            if i >= len(argv):
+                fail("<args>", "--require-extra needs ENTRY:KEY:MIN")
+            spec = argv[i]
+            try:
+                entry, key, floor = spec.rsplit(":", 2)
+                requirements.append((entry, key, float(floor)))
+            except ValueError:
+                fail("<args>", f"bad --require-extra spec {spec!r}")
+        else:
+            paths.append(arg)
+        i += 1
+    return paths, requirements
+
+
+def main(argv):
+    paths, requirements = parse_args(argv)
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(path, str(e))
+        print(f"OK {path}: {check_bench(path, doc, requirements)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

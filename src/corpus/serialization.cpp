@@ -77,7 +77,17 @@ class ByteSource {
 
   void take(void* out, size_t size) {
     GES_CHECK_MSG(size <= data_.size() - pos_, "truncated corpus stream");
+    // GCC (-O2+) cannot see through the moved-from SSO union of `data_`
+    // and flags this memcpy as maybe-uninitialized; the bounds check
+    // above guarantees the read stays inside the buffered blob.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
     std::memcpy(out, data_.data() + pos_, size);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
     pos_ += size;
   }
 

@@ -22,6 +22,7 @@ struct AsyncSearchEngine::Run {
   AsyncQueryResult result;
   std::unordered_set<NodeId> seen;
   detail::WalkBookkeeping forwarded;
+  std::vector<p2p::TimerHandle> timers;  // one per in-flight message event
   size_t budget = 0;
   size_t responses = 0;
   size_t ttl_left = 0;
@@ -76,22 +77,27 @@ void AsyncSearchEngine::schedule_message(const std::shared_ptr<Run>& run,
       // Lost in transit: the in-flight slot is held until the arrival
       // time so completion reflects the initiator's wait, but the
       // handler never runs.
-      queue_->schedule_after(delay, [this, run] { message_done(run); });
+      run->timers.push_back(
+          queue_->schedule_after(delay, [this, run] { message_done(run); }));
       return;
     }
     delay += faults_->delivery_delay(channel, key, nonce);
     if (faults_->duplicate_message(channel, key, nonce)) {
       // Second copy; idempotent handlers / GUID bookkeeping absorb it.
       ++run->in_flight;
-      queue_->schedule_after(delay, wrapped);
+      run->timers.push_back(queue_->schedule_after(delay, wrapped));
     }
   }
-  queue_->schedule_after(delay, std::move(wrapped));
+  run->timers.push_back(queue_->schedule_after(delay, std::move(wrapped)));
 }
 
 void AsyncSearchEngine::message_done(const std::shared_ptr<Run>& run) {
   GES_CHECK(run->in_flight > 0);
   --run->in_flight;
+  maybe_finish(run);
+}
+
+void AsyncSearchEngine::maybe_finish(const std::shared_ptr<Run>& run) {
   if (run->in_flight == 0 && !run->finished) {
     run->finished = true;
     run->result.completed_at = queue_->now();
@@ -112,6 +118,25 @@ void AsyncSearchEngine::message_done(const std::shared_ptr<Run>& run) {
     runs_.erase(run->guid);
     if (run->done) run->done(run->result);
   }
+}
+
+bool AsyncSearchEngine::cancel(Guid guid) {
+  auto it = runs_.find(guid);
+  if (it == runs_.end()) return false;
+  auto run = it->second;
+  size_t released = 0;
+  for (auto& timer : run->timers) released += timer.cancel() ? 1 : 0;
+  run->timers.clear();
+  ++cancelled_;
+  GES_COUNT("ges.async.cancelled", 1);
+  GES_CHECK_MSG(run->in_flight >= released, "in-flight underflow on cancel");
+  run->in_flight -= released;
+  // Outside dispatch every in-flight message owns a live timer, so the
+  // run finishes right here; from inside one of the run's own handlers
+  // the current message still holds its in-flight slot and that
+  // handler's message_done completes the run at the same sim time.
+  maybe_finish(run);
+  return true;
 }
 
 bool AsyncSearchEngine::probe(const std::shared_ptr<Run>& run, NodeId node) {

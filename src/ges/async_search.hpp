@@ -69,6 +69,17 @@ class AsyncSearchEngine {
   p2p::Guid submit(const ir::SparseVector& query, p2p::NodeId initiator,
                    uint64_t seed, std::function<void(const AsyncQueryResult&)> done);
 
+  /// Abort an in-flight query: every outstanding message timer is
+  /// cancelled on the event queue (the dead closures never fire) and the
+  /// done callback runs immediately with the partial result
+  /// (completed_at = now). Returns false for an unknown/finished GUID.
+  /// The initiator going away mid-query — churned out with the rest of
+  /// its timers — is the motivating caller.
+  bool cancel(p2p::Guid guid);
+
+  /// Queries cancelled via cancel().
+  size_t cancelled() const { return cancelled_; }
+
   /// Queries still in flight.
   size_t pending() const { return runs_.size(); }
 
@@ -83,6 +94,7 @@ class AsyncSearchEngine {
                         p2p::NodeId from, p2p::NodeId to,
                         std::function<void()> handler);
   void message_done(const std::shared_ptr<Run>& run);
+  void maybe_finish(const std::shared_ptr<Run>& run);
   bool probe(const std::shared_ptr<Run>& run, p2p::NodeId node);
   void start_flood(const std::shared_ptr<Run>& run, p2p::NodeId target);
   void continue_walk(const std::shared_ptr<Run>& run, p2p::NodeId from);
@@ -94,6 +106,7 @@ class AsyncSearchEngine {
   LatencyModel latency_;
   const p2p::FaultInjector* faults_;
   p2p::Guid next_guid_ = 1;
+  size_t cancelled_ = 0;
   std::unordered_map<p2p::Guid, std::shared_ptr<Run>> runs_;
 };
 

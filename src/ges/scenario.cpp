@@ -22,6 +22,11 @@ ScenarioRunner::ScenarioRunner(const corpus::Corpus& corpus, ScenarioParams para
   adaptation_->set_fault_injector(faults_.get());
   heartbeats_ = std::make_unique<p2p::ReplicaHeartbeatProcess>(
       *network_, queue_, params_.heartbeat_interval, faults_.get());
+  // Fault-injected mid-handshake deaths bypass churn's departure path;
+  // suspend the victim's heartbeat so dead nodes own zero live timers
+  // (asserted by expect_overlay_invariants).
+  adaptation_->set_death_hook(
+      [this](p2p::NodeId node) { heartbeats_->suspend_node(node); });
   if (params_.churn_enabled) {
     churn_ = std::make_unique<p2p::ChurnProcess>(*network_, queue_, params_.churn);
     churn_->set_heartbeats(heartbeats_.get());
@@ -69,20 +74,7 @@ void ScenarioRunner::run(const std::function<void(size_t)>& after_round) {
                                                 stats.random_links_added));
     span.arg("links_dropped", static_cast<double>(stats.semantic_links_dropped +
                                                   stats.random_links_dropped));
-    total_stats_.semantic_links_added += stats.semantic_links_added;
-    total_stats_.semantic_links_dropped += stats.semantic_links_dropped;
-    total_stats_.random_links_added += stats.random_links_added;
-    total_stats_.random_links_dropped += stats.random_links_dropped;
-    total_stats_.links_reclassified += stats.links_reclassified;
-    total_stats_.walk_messages += stats.walk_messages;
-    total_stats_.handshake_messages += stats.handshake_messages;
-    total_stats_.cache_assists += stats.cache_assists;
-    total_stats_.gossip_messages += stats.gossip_messages;
-    total_stats_.discovery_skipped += stats.discovery_skipped;
-    total_stats_.handshake_aborts += stats.handshake_aborts;
-    total_stats_.handshake_deaths += stats.handshake_deaths;
-    total_stats_.handshake_retries += stats.handshake_retries;
-    total_stats_.backoff_skips += stats.backoff_skips;
+    total_stats_ += stats;
     if (after_round) after_round(r);
   }
   if (!params_.telemetry_out.empty()) write_telemetry(params_.telemetry_out);
@@ -107,6 +99,13 @@ p2p::InvariantOptions ScenarioRunner::invariant_options(size_t degree_slack) con
     return p.max_sem_links(cap) + std::max(p.max_rnd_links(cap), bootstrap);
   };
   options.degree_slack = degree_slack;
+  // A churned-out node must not keep its heartbeat loop ticking: the
+  // churn layer suspends the timer at departure, so a dead node owning a
+  // live timer is a leak the sweep should flag.
+  const p2p::ReplicaHeartbeatProcess* hb = heartbeats_.get();
+  options.live_timers = [hb](p2p::NodeId node) {
+    return hb->live_timer_count(node);
+  };
   return options;
 }
 

@@ -71,26 +71,38 @@ AdaptationRoundStats TopologyAdaptation::run_round() {
   return stats;
 }
 
+AdaptationRoundStats& AdaptationRoundStats::operator+=(
+    const AdaptationRoundStats& other) {
+  semantic_links_added += other.semantic_links_added;
+  semantic_links_dropped += other.semantic_links_dropped;
+  random_links_added += other.random_links_added;
+  random_links_dropped += other.random_links_dropped;
+  links_reclassified += other.links_reclassified;
+  walk_messages += other.walk_messages;
+  handshake_messages += other.handshake_messages;
+  cache_assists += other.cache_assists;
+  gossip_messages += other.gossip_messages;
+  discovery_skipped += other.discovery_skipped;
+  handshake_aborts += other.handshake_aborts;
+  handshake_deaths += other.handshake_deaths;
+  handshake_retries += other.handshake_retries;
+  backoff_skips += other.backoff_skips;
+  return *this;
+}
+
 AdaptationRoundStats TopologyAdaptation::run_rounds(size_t rounds) {
   AdaptationRoundStats total;
-  for (size_t r = 0; r < rounds; ++r) {
-    const AdaptationRoundStats s = run_round();
-    total.semantic_links_added += s.semantic_links_added;
-    total.semantic_links_dropped += s.semantic_links_dropped;
-    total.random_links_added += s.random_links_added;
-    total.random_links_dropped += s.random_links_dropped;
-    total.links_reclassified += s.links_reclassified;
-    total.walk_messages += s.walk_messages;
-    total.handshake_messages += s.handshake_messages;
-    total.cache_assists += s.cache_assists;
-    total.gossip_messages += s.gossip_messages;
-    total.discovery_skipped += s.discovery_skipped;
-    total.handshake_aborts += s.handshake_aborts;
-    total.handshake_deaths += s.handshake_deaths;
-    total.handshake_retries += s.handshake_retries;
-    total.backoff_skips += s.backoff_skips;
-  }
+  for (size_t r = 0; r < rounds; ++r) total += run_round();
   return total;
+}
+
+p2p::TimerHandle TopologyAdaptation::schedule_rounds(p2p::EventQueue& queue,
+                                                     p2p::SimTime interval,
+                                                     AdaptationRoundStats* total) {
+  return queue.schedule_every(interval, [this, total] {
+    const AdaptationRoundStats stats = run_round();
+    if (total != nullptr) *total += stats;
+  });
 }
 
 void TopologyAdaptation::node_step(NodeId node, AdaptationRoundStats& stats) {
@@ -152,6 +164,7 @@ bool TopologyAdaptation::handshake_delivered(NodeId node, NodeId peer, uint64_t 
     // the initiator times out and aborts with nothing committed anywhere.
     if (faults_->kill_mid_handshake(key, nonce)) {
       network_->deactivate(peer);
+      if (on_death_) on_death_(peer);
       ++stats.handshake_deaths;
       arm_backoff(node);
       return false;

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "ges/params.hpp"
+#include "p2p/event_sim.hpp"
 #include "p2p/fault_injection.hpp"
 #include "p2p/host_cache.hpp"
 #include "p2p/network.hpp"
@@ -28,6 +30,9 @@ struct AdaptationRoundStats {
   size_t handshake_deaths = 0;    // peers that died mid-handshake
   size_t handshake_retries = 0;   // attempts made after a prior fault abort
   size_t backoff_skips = 0;       // node steps skipped while backing off
+
+  /// Field-wise accumulation (round stats into run totals).
+  AdaptationRoundStats& operator+=(const AdaptationRoundStats& other);
 };
 
 /// The distributed, content-based, capacity-aware topology-adaptation
@@ -77,6 +82,15 @@ class TopologyAdaptation {
   /// with bit-identical behaviour. The injector must outlive this object.
   void set_fault_injector(p2p::FaultInjector* faults) { faults_ = faults; }
 
+  /// Called right after a peer is killed mid-handshake by the fault
+  /// injector (the only path where this class deactivates a node). Lets
+  /// the scenario layer tear down the victim's periodic processes —
+  /// e.g. suspend its replica-heartbeat timer — so dead nodes own zero
+  /// live timers. Must not mutate topology or consume protocol RNG.
+  void set_death_hook(std::function<void(p2p::NodeId)> hook) {
+    on_death_ = std::move(hook);
+  }
+
   /// Rounds run so far (salts fault decisions and backoff bookkeeping).
   uint64_t rounds_run() const { return round_; }
 
@@ -86,6 +100,15 @@ class TopologyAdaptation {
 
   /// Run `rounds` rounds; returns aggregate stats.
   AdaptationRoundStats run_rounds(size_t rounds);
+
+  /// Drive run_round() as a cancellable periodic task on `queue`: one
+  /// round every `interval` simulated seconds, starting one interval from
+  /// now. When `total` is non-null each round's stats are accumulated
+  /// into it. Cancel the returned handle to stop adapting (e.g. when the
+  /// deployment is torn down mid-run); this object, the queue and `total`
+  /// must outlive the timer.
+  p2p::TimerHandle schedule_rounds(p2p::EventQueue& queue, p2p::SimTime interval,
+                                   AdaptationRoundStats* total = nullptr);
 
   /// One adaptation step for a single node (plan + commit back-to-back).
   void node_step(p2p::NodeId node, AdaptationRoundStats& stats);
@@ -166,6 +189,7 @@ class TopologyAdaptation {
   GesParams params_;
   util::Rng rng_;
   p2p::FaultInjector* faults_ = nullptr;
+  std::function<void(p2p::NodeId)> on_death_;
   uint64_t round_ = 0;
   std::unordered_map<p2p::NodeId, Backoff> backoff_;
 };

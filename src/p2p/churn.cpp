@@ -5,17 +5,30 @@
 namespace ges::p2p {
 
 ChurnProcess::ChurnProcess(Network& network, EventQueue& queue, ChurnParams params)
-    : network_(&network), queue_(&queue), params_(params), rng_(params.seed) {}
+    : network_(&network),
+      queue_(&queue),
+      params_(params),
+      rng_(params.seed),
+      sessions_(network.size()) {}
 
 void ChurnProcess::start() {
   for (const NodeId node : network_->alive_nodes()) schedule_departure(node);
 }
 
+size_t ChurnProcess::stop() {
+  size_t stopped = 0;
+  for (auto& session : sessions_) stopped += session.cancel() ? 1 : 0;
+  return stopped;
+}
+
 void ChurnProcess::schedule_departure(NodeId node) {
   const double delay = rng_.exponential(1.0 / params_.mean_session);
-  queue_->schedule_after(delay, [this, node] {
+  sessions_[node] = queue_->schedule_after(delay, [this, node] {
     if (!network_->alive(node)) return;
     network_->deactivate(node);
+    // The node's timers die with it: a churned-out node must own zero
+    // live heartbeat timers (checked by the overlay invariant sweep).
+    if (heartbeats_ != nullptr) heartbeats_->suspend_node(node);
     ++departures_;
     GES_COUNT("p2p.churn.departures", 1);
     GES_INSTANT("leave", "churn", node);
@@ -25,12 +38,13 @@ void ChurnProcess::schedule_departure(NodeId node) {
 
 void ChurnProcess::schedule_arrival(NodeId node) {
   const double delay = rng_.exponential(1.0 / params_.mean_downtime);
-  queue_->schedule_after(delay, [this, node] {
+  sessions_[node] = queue_->schedule_after(delay, [this, node] {
     if (network_->alive(node)) return;
     network_->activate(node);
     bootstrap_join(*network_, node, params_.bootstrap_links, rng_);
-    // Rejoin is more than new links: the node's heartbeat loop died with
-    // it, and the fresh bootstrap links may already qualify as semantic.
+    // Rejoin is more than new links: the node's heartbeat timer was
+    // suspended with it (resumed in-phase when still pending), and the
+    // fresh bootstrap links may already qualify as semantic.
     if (heartbeats_ != nullptr) heartbeats_->register_node(node);
     if (rejoin_hook_) rejoin_hook_(node);
     ++arrivals_;

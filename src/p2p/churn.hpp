@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "p2p/event_sim.hpp"
 #include "p2p/network.hpp"
@@ -25,19 +26,23 @@ struct ChurnParams {
 
 /// Drives churn on a network through an event queue. Construct, then call
 /// start() once; the process keeps itself scheduled for as long as the
-/// queue is run. The network and queue must outlive the process.
+/// queue is run (each node owns one cancellable session timer — its next
+/// departure or arrival — so stop() can halt churn cleanly mid-run). The
+/// network and queue must outlive the process.
 ///
 /// A rejoining node does more than add random links: when wired to a
-/// ReplicaHeartbeatProcess its heartbeat loop is re-registered (the old
-/// loop died with the node), and the rejoin hook lets the protocol layer
-/// reclassify the fresh bootstrap links whose relevance already crosses
-/// the semantic threshold — otherwise a rejoined node carries stale
-/// semantic state until an adaptation round happens to visit it.
+/// ReplicaHeartbeatProcess its heartbeat loop is suspended at the
+/// departure (a churned-out node owns zero live timers) and re-registered
+/// on rejoin, and the rejoin hook lets the protocol layer reclassify the
+/// fresh bootstrap links whose relevance already crosses the semantic
+/// threshold — otherwise a rejoined node carries stale semantic state
+/// until an adaptation round happens to visit it.
 class ChurnProcess {
  public:
   ChurnProcess(Network& network, EventQueue& queue, ChurnParams params);
 
-  /// Re-register rejoining nodes with this heartbeat process.
+  /// Suspend/re-register nodes with this heartbeat process as they
+  /// leave/rejoin.
   void set_heartbeats(ReplicaHeartbeatProcess* heartbeats) { heartbeats_ = heartbeats; }
 
   /// Called after a node rejoined and bootstrapped (e.g. wire
@@ -46,6 +51,11 @@ class ChurnProcess {
 
   /// Schedule the initial departure for every alive node.
   void start();
+
+  /// Cancel every pending session timer: no further departures or
+  /// arrivals fire. Nodes currently offline stay offline. Returns the
+  /// number of timers cancelled.
+  size_t stop();
 
   size_t departures() const { return departures_; }
   size_t arrivals() const { return arrivals_; }
@@ -60,6 +70,7 @@ class ChurnProcess {
   util::Rng rng_;
   ReplicaHeartbeatProcess* heartbeats_ = nullptr;
   std::function<void(NodeId)> rejoin_hook_;
+  std::vector<TimerHandle> sessions_;  // node -> next departure/arrival
   size_t departures_ = 0;
   size_t arrivals_ = 0;
 };

@@ -1,55 +1,277 @@
 #include "p2p/event_sim.hpp"
 
 #include <algorithm>
-#include <memory>
+#include <cmath>
+#include <limits>
 
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace ges::p2p {
 
-void EventQueue::schedule(SimTime at, std::function<void()> handler) {
-  GES_CHECK_MSG(at >= now_, "cannot schedule in the past (at=" << at << ", now=" << now_ << ")");
-  queue_.push(Event{at, next_seq_++, std::move(handler)});
+// --- TimerHandle --------------------------------------------------------
+
+bool TimerHandle::valid() const noexcept {
+  return queue_ != nullptr && queue_->handle_valid(slot_, generation_);
 }
 
-void EventQueue::schedule_after(SimTime delay, std::function<void()> handler) {
-  GES_CHECK(delay >= 0.0);
-  schedule(now_ + delay, std::move(handler));
+bool TimerHandle::live() const noexcept {
+  return queue_ != nullptr && queue_->handle_live(slot_, generation_);
 }
 
-void EventQueue::schedule_every(SimTime interval, std::function<void()> handler) {
-  GES_CHECK(interval > 0.0);
-  repeating_.push_back(std::make_unique<RepeatingTask>(
-      RepeatingTask{interval, std::move(handler)}));
-  RepeatingTask* task = repeating_.back().get();
-  schedule_after(interval, [this, task] { run_repeating(*task); });
+bool TimerHandle::cancel() noexcept {
+  return queue_ != nullptr && queue_->cancel_slot(slot_, generation_);
 }
 
-void EventQueue::run_repeating(RepeatingTask& task) {
-  task.handler();
-  schedule_after(task.interval, [this, &task] { run_repeating(task); });
+bool TimerHandle::resume() noexcept {
+  return queue_ != nullptr && queue_->resume_slot(slot_, generation_);
 }
 
-void EventQueue::pop_and_run() {
-  // Move the handler out before running: the handler may schedule new
-  // events, which would invalidate references into the queue.
-  Event event = queue_.top();
-  queue_.pop();
-  now_ = event.at;
+SimTime TimerHandle::fire_time() const noexcept {
+  return queue_ == nullptr ? -1.0 : queue_->slot_fire_time(slot_, generation_);
+}
+
+// --- Slab ---------------------------------------------------------------
+
+EventQueue::EventQueue() : buckets_(kBuckets) {}
+
+EventQueue::~EventQueue() = default;
+
+uint32_t EventQueue::alloc_slot() {
+  if (free_head_ != kNoSlot) {
+    const uint32_t slot = free_head_;
+    free_head_ = slot_ref(slot).next_free;
+    return slot;
+  }
+  GES_CHECK_MSG(slot_count_ < (uint32_t{1} << kSlotBits), "event slab exhausted");
+  if ((slot_count_ & (kSlotChunkSize - 1)) == 0) {
+    chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+  }
+  return slot_count_++;
+}
+
+void EventQueue::free_slot(uint32_t slot) {
+  Slot& s = slot_ref(slot);
+  s.handler.reset();
+  s.state = SlotState::kFree;
+  ++s.generation;  // every outstanding handle to this slot goes inert
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+// --- Handle backends ----------------------------------------------------
+
+bool EventQueue::handle_valid(uint32_t slot, uint32_t generation) const noexcept {
+  return slot < slot_count_ && slot_ref(slot).generation == generation &&
+         slot_ref(slot).state != SlotState::kFree;
+}
+
+bool EventQueue::handle_live(uint32_t slot, uint32_t generation) const noexcept {
+  return slot < slot_count_ && slot_ref(slot).generation == generation &&
+         slot_ref(slot).state == SlotState::kLive;
+}
+
+bool EventQueue::cancel_slot(uint32_t slot, uint32_t generation) noexcept {
+  if (!handle_live(slot, generation)) return false;
+  slot_ref(slot).state = SlotState::kCancelled;
+  --live_;
+  ++cancelled_total_;
+  GES_COUNT("p2p.events.cancelled", 1);
+  return true;
+}
+
+bool EventQueue::resume_slot(uint32_t slot, uint32_t generation) noexcept {
+  if (slot >= slot_count_ || slot_ref(slot).generation != generation ||
+      slot_ref(slot).state != SlotState::kCancelled) {
+    return false;
+  }
+  slot_ref(slot).state = SlotState::kLive;
+  ++live_;
+  GES_COUNT("p2p.events.resumed", 1);
+  return true;
+}
+
+SimTime EventQueue::slot_fire_time(uint32_t slot, uint32_t generation) const noexcept {
+  return handle_valid(slot, generation) ? slot_ref(slot).at : -1.0;
+}
+
+// --- Two-tier calendar queue --------------------------------------------
+
+void EventQueue::rebase_wheel(SimTime start) {
+  // Only legal with an empty wheel: every bucket has been drained.
+  wheel_start_ = start;
+  cursor_ = 0;
+  bucket_width_ =
+      std::max(kMinBucketWidth, have_ema_ ? delay_ema_ * (kSpanFactor / kBuckets)
+                                          : bucket_width_);
+  inv_bucket_width_ = 1.0 / bucket_width_;
+  wheel_end_ = wheel_start_ + bucket_width_ * kBuckets;
+  const SimTime end = wheel_end_;
+  // One linear pass over the unsorted overflow pool: entries inside the
+  // new horizon drop into their buckets (out-of-order appends just mark
+  // the bucket for its one deferred sort), the rest compact in place.
+  size_t keep = 0;
+  for (const Entry e : overflow_) {
+    const SimTime at = e.at();
+    if (at < end) {
+      const double rel = (at - wheel_start_) * inv_bucket_width_;
+      size_t idx = rel <= 0.0 ? 0 : static_cast<size_t>(rel);
+      if (idx >= kBuckets) idx = kBuckets - 1;
+      buckets_[idx].append(e);
+      ++wheel_count_;
+    } else {
+      overflow_[keep++] = e;
+    }
+  }
+  overflow_.resize(keep);
+}
+
+void EventQueue::insert_entry(SimTime at, uint64_t seq, uint32_t slot) {
+  GES_DCHECK_MSG(seq < kMaxSeq, "sequence numbers exhausted");
+  GES_DCHECK_MSG(at >= 0.0, "negative sim time breaks entry-key ordering");
+  const Entry entry = Entry::make(at, seq, slot);
+  // Rebase an idle queue at now(), NOT at the event's own time: anchoring
+  // at `at` would fold everything scheduled between now and `at` into
+  // bucket 0 as one big unsorted run (first-insert pathology).
+  if (wheel_count_ == 0 && overflow_.empty()) rebase_wheel(now_);
+  if (at < wheel_end_) {
+    const double rel = (at - wheel_start_) * inv_bucket_width_;
+    // rel < 0 happens when the wheel was rebased to a later overflow
+    // event and a nearer one arrives: bucket 0 still dispatches first,
+    // and the in-bucket merge keeps exact (at, seq) order.
+    size_t idx = rel <= 0.0 ? 0 : static_cast<size_t>(rel);
+    if (idx >= kBuckets) idx = kBuckets - 1;  // fp edge of the horizon
+    if (idx < cursor_) cursor_ = idx;
+    buckets_[idx].append(entry);
+    ++wheel_count_;
+  } else {
+    overflow_.push_back(entry);
+  }
+}
+
+bool EventQueue::peek_next(Entry* out) {
+  if (wheel_count_ == 0) {
+    if (overflow_.empty()) return false;
+    // Anchor the new wheel at the pool's earliest entry so the rebase is
+    // guaranteed to bucket at least one event. (Min key == min (at, seq),
+    // whose at is the minimum time.)
+    Entry min_entry = overflow_.front();
+    for (const Entry& e : overflow_) {
+      if (e.key < min_entry.key) min_entry = e;
+    }
+    rebase_wheel(min_entry.at());
+  }
+  while (buckets_[cursor_].empty()) ++cursor_;
+  *out = buckets_[cursor_].front();
+  return true;
+}
+
+bool EventQueue::dispatch_one(SimTime limit, bool* invoked) {
+  Entry top;
+  if (!peek_next(&top)) return false;
+  const SimTime top_at = top.at();
+  if (top_at > limit) return false;
+  buckets_[cursor_].pop();
+  --wheel_count_;
+  now_ = std::max(now_, top_at);
+  // One-entry lookahead: the next slot to dispatch was written hundreds
+  // of thousands of events ago and is almost certainly cold. Prefetching
+  // it here overlaps its miss with the current handler's work.
+  if (!buckets_[cursor_].empty()) {
+    __builtin_prefetch(&slot_ref(buckets_[cursor_].front().slot()));
+  }
+
+  const uint32_t slot_id = top.slot();
+  // Chunk addresses never move, so `s` stays valid even when the handler
+  // schedules new events and grows the slab — handlers run in place.
+  Slot& s = slot_ref(slot_id);
+  if (s.state == SlotState::kCancelled) {
+    free_slot(slot_id);  // reap: no user code runs
+    *invoked = false;
+    return true;
+  }
   ++processed_;
-  event.handler();
+  GES_COUNT("p2p.events.fired", 1);
+  *invoked = true;
+
+  if (s.interval <= 0.0) {
+    // One-shot: detach the slot before invoking, so a handle held by the
+    // handler itself already reads as fired — but keep it off the
+    // freelist until the handler is done executing from its storage.
+    s.state = SlotState::kFree;
+    ++s.generation;
+    --live_;
+    s.handler();
+    s.handler.reset();
+    s.next_free = free_head_;
+    free_head_ = slot_id;
+  } else {
+    s.handler();
+    if (s.state == SlotState::kCancelled) {
+      // The task cancelled itself (or its owner did, mid-handler): reap
+      // now, without scheduling a phantom next firing.
+      free_slot(slot_id);
+    } else {
+      s.at = top_at + s.interval;
+      s.seq = next_seq_++;
+      insert_entry(s.at, s.seq, slot_id);
+    }
+  }
+  return true;
+}
+
+// --- Public API ---------------------------------------------------------
+
+TimerHandle EventQueue::schedule_slot(SimTime at, SimTime interval,
+                                      util::UniqueFunction handler) {
+  GES_CHECK_MSG(!std::isnan(at), "cannot schedule at NaN");
+  GES_DCHECK_MSG(at >= now_,
+                 "stale schedule clamped (at=" << at << ", now=" << now_ << ")");
+  if (at < now_) at = now_;  // stale timestamps fire now, in seq order
+  const SimTime delay = at - now_;
+  delay_ema_ = have_ema_ ? delay_ema_ + (delay - delay_ema_) * kEmaAlpha : delay;
+  have_ema_ = true;
+  GES_COUNT("p2p.events.scheduled", 1);
+
+  const uint32_t slot_id = alloc_slot();
+  Slot& slot = slot_ref(slot_id);
+  slot.at = at;
+  slot.interval = interval;
+  slot.seq = next_seq_++;
+  slot.state = SlotState::kLive;
+  slot.handler = std::move(handler);
+  ++live_;
+  insert_entry(at, slot.seq, slot_id);
+  return TimerHandle(this, slot_id, slot.generation);
+}
+
+TimerHandle EventQueue::schedule(SimTime at, util::UniqueFunction handler) {
+  return schedule_slot(at, 0.0, std::move(handler));
+}
+
+TimerHandle EventQueue::schedule_after(SimTime delay, util::UniqueFunction handler) {
+  GES_CHECK(delay >= 0.0);
+  return schedule_slot(now_ + delay, 0.0, std::move(handler));
+}
+
+TimerHandle EventQueue::schedule_every(SimTime interval, util::UniqueFunction handler) {
+  GES_CHECK(interval > 0.0);
+  return schedule_slot(now_ + interval, interval, std::move(handler));
 }
 
 void EventQueue::run_until(SimTime until) {
-  while (!queue_.empty() && queue_.top().at <= until) pop_and_run();
+  bool invoked;
+  while (dispatch_one(until, &invoked)) {
+  }
   now_ = std::max(now_, until);
 }
 
 void EventQueue::run(size_t max_events) {
   size_t ran = 0;
-  while (!queue_.empty() && ran < max_events) {
-    pop_and_run();
-    ++ran;
+  bool invoked;
+  while (ran < max_events && dispatch_one(std::numeric_limits<SimTime>::infinity(),
+                                          &invoked)) {
+    if (invoked) ++ran;
   }
 }
 

@@ -1,34 +1,146 @@
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
+
+#include "util/check.hpp"
+#include "util/unique_function.hpp"
 
 namespace ges::p2p {
 
 /// Simulated time, in abstract seconds.
 using SimTime = double;
 
-/// Minimal discrete-event scheduler driving the network's time-based
-/// processes: topology-adaptation rounds, replica heartbeats, and churn
-/// arrivals. Events at equal timestamps run in scheduling order
-/// (deterministic). Handlers may schedule further events.
+class EventQueue;
+
+/// Non-owning, cancellable reference to a scheduled event. Returned by
+/// EventQueue::schedule / schedule_after (one-shot) and schedule_every
+/// (periodic: the handle refers to the whole repeating task, surviving
+/// every firing until cancelled). Handles are cheap values: copy them
+/// freely, drop them without affecting the timer.
+///
+/// Lifecycle: a handle is `live` while its event is scheduled and not
+/// cancelled. cancel() flips it to cancelled — the slot stays parked in
+/// the scheduler until its fire time passes (so resume() can revive it
+/// with its original time and tie-breaking sequence number, which is what
+/// keeps churn-rejoin heartbeats byte-identical to the old zombie-loop
+/// semantics), then is reaped without running any user code. After a
+/// one-shot fires, or a cancelled slot is reaped, the slot's generation
+/// advances and every outstanding handle to it becomes inert (valid()
+/// false, cancel()/resume() return false).
+class TimerHandle {
+ public:
+  TimerHandle() noexcept = default;
+
+  /// Whether the handle still refers to a parked slot (live or
+  /// cancelled-but-not-yet-reaped).
+  bool valid() const noexcept;
+
+  /// Whether the event is scheduled and not cancelled.
+  bool live() const noexcept;
+
+  /// Cancel a live event: its handler will never run again (periodic
+  /// tasks stop repeating) and `pending()` drops immediately. Returns
+  /// true iff the state changed (false on a dead/fired/cancelled handle).
+  /// Safe to call from inside any event handler, including the
+  /// cancelled event's own (a periodic task may cancel itself).
+  bool cancel() noexcept;
+
+  /// Revive a cancelled event whose fire time has not passed yet: it
+  /// fires at its originally scheduled time, in its original tie-break
+  /// position among equal-time events. Returns false when the slot was
+  /// already reaped (fire time passed) or is not cancelled.
+  bool resume() noexcept;
+
+  /// Next fire time of a valid handle, -1.0 otherwise.
+  SimTime fire_time() const noexcept;
+
+ private:
+  friend class EventQueue;
+  TimerHandle(EventQueue* queue, uint32_t slot, uint32_t generation) noexcept
+      : queue_(queue), slot_(slot), generation_(generation) {}
+
+  EventQueue* queue_ = nullptr;
+  uint32_t slot_ = 0;
+  uint32_t generation_ = 0;
+};
+
+/// Discrete-event scheduler driving the network's time-based processes:
+/// topology-adaptation rounds, replica heartbeats, churn arrivals, async
+/// search message hops. Events at equal timestamps run in scheduling
+/// order (deterministic, tie-broken by a global sequence number);
+/// handlers may schedule further events and cancel any live handle.
+///
+/// Internally a two-tier calendar queue rather than one binary heap:
+///
+///   * Near-future tier: a timer wheel of kBuckets buckets, each two
+///     flat vectors of 16-byte entries. Appends that arrive in (at, seq)
+///     order — the common case: equal-time storms (phase-aligned
+///     heartbeats) append strictly increasing sequence numbers — extend
+///     the bucket's main sorted run for free; the minority that arrive
+///     out of order go to a small `stray` side-run, sorted once when the
+///     cursor reaches the bucket. Dispatch merges the two runs with one
+///     comparison per event, so a 10k-entry heartbeat storm is never
+///     re-sorted just because a handful of churn events interleaved it.
+///     The bucket width adapts to the EMA of scheduled delays, so the
+///     wheel horizon tracks the workload's natural timescale.
+///   * Overflow tier: events beyond the wheel horizon wait in one
+///     unsorted pool — O(1) insert — and are partitioned into the wheel
+///     in a single linear pass when it rebases past its horizon (the
+///     bucket sorts restore exact order). The tier invariant — every
+///     overflow entry fires at or after every wheel entry — means
+///     dispatch never compares across tiers.
+///
+/// Handlers live in a slab of reusable slots (freelist, generation
+/// counters for ABA-safe handles) as inline-storage UniqueFunctions:
+/// captures up to util::UniqueFunction::kInlineCapacity bytes never
+/// touch the allocator. The slab grows in fixed-size chunks whose
+/// addresses never move, so handlers run in place — scheduling from
+/// inside a handler can grow the slab without relocating the closure
+/// that is currently executing. Dispatch order is exactly (at, seq)
+/// regardless of tiering, so traces are byte-identical to the old
+/// binary-heap scheduler.
 class EventQueue {
  public:
-  /// Schedule `handler` at absolute time `at` (>= now()).
-  void schedule(SimTime at, std::function<void()> handler);
+  /// Whether stale-timestamp scheduling throws (debug builds) instead of
+  /// clamping to now() (release). Tests branch on this.
+  static constexpr bool kStrictScheduleChecks = GES_DEBUG_CHECKS != 0;
+
+  EventQueue();
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedule `handler` at absolute time `at`. A stale `at` (< now())
+  /// is clamped to now() — the event fires in this timestamp's tie-break
+  /// order, never before already-queued equal-time events — and trips a
+  /// GES_DCHECK in debug builds.
+  TimerHandle schedule(SimTime at, util::UniqueFunction handler);
 
   /// Schedule `handler` `delay` seconds from now.
-  void schedule_after(SimTime delay, std::function<void()> handler);
+  TimerHandle schedule_after(SimTime delay, util::UniqueFunction handler);
 
   /// Schedule `handler` every `interval` seconds, first firing at
-  /// now() + interval, until the queue stops being run.
-  void schedule_every(SimTime interval, std::function<void()> handler);
+  /// now() + interval, until the handle is cancelled (or the queue stops
+  /// being run). The returned handle refers to the whole periodic task.
+  TimerHandle schedule_every(SimTime interval, util::UniqueFunction handler);
 
   SimTime now() const { return now_; }
-  size_t pending() const { return queue_.size(); }
+
+  /// Live (scheduled, non-cancelled) events. A periodic task counts as
+  /// one. Cancelled-but-unreaped slots are excluded: a churned-out
+  /// node's timers stop counting the moment they are cancelled.
+  size_t pending() const { return live_; }
+  size_t live() const { return live_; }
+
+  /// Cumulative cancellations (resume() does not decrement).
+  size_t cancelled() const { return cancelled_total_; }
+
+  /// Handlers actually invoked (cancelled events reaped in passing are
+  /// not processed — they run no user code).
   size_t processed() const { return processed_; }
 
   /// Run events with timestamp <= `until`, then advance now() to `until`.
@@ -39,33 +151,189 @@ class EventQueue {
   void run(size_t max_events = ~size_t{0});
 
  private:
-  struct Event {
-    SimTime at;
-    uint64_t seq;
-    std::function<void()> handler;
+  friend class TimerHandle;
+
+  enum class SlotState : uint8_t { kFree, kLive, kCancelled };
+
+  /// Slab slot: one scheduled event (or periodic task) and its handler.
+  struct Slot {
+    SimTime at = 0.0;
+    SimTime interval = 0.0;  // > 0: periodic task
+    uint64_t seq = 0;
+    uint32_t generation = 0;
+    uint32_t next_free = kNoSlot;
+    SlotState state = SlotState::kFree;
+    util::UniqueFunction handler;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+
+  /// Slot ids fit 24 bits (16M concurrent events) and sequence numbers
+  /// 40 bits, so (at, seq, slot) packs into one 128-bit sort key:
+  /// sim time is never negative, which makes the IEEE-754 bit pattern of
+  /// `at` order exactly like the double itself, and equal-`at` entries
+  /// always differ in seq. One branchless integer comparison replaces
+  /// the branchy double-then-u64 compare — on the randomly ordered
+  /// entries the bucket sorts see, that is the difference between a
+  /// pipeline of mispredicts and straight-line code.
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr uint64_t kSlotMask = (uint64_t{1} << kSlotBits) - 1;
+  static constexpr uint64_t kMaxSeq = uint64_t{1} << (64 - kSlotBits);
+
+  /// Wheel/overflow entry (16 bytes): everything dispatch ordering
+  /// needs, without touching the slab.
+  struct Entry {
+    unsigned __int128 key;  // (bits(at) << 64) | (seq << kSlotBits) | slot
+
+    static Entry make(SimTime at, uint64_t seq, uint32_t slot) {
+      uint64_t at_bits;
+      static_assert(sizeof(at_bits) == sizeof(at));
+      __builtin_memcpy(&at_bits, &at, sizeof(at_bits));
+      return Entry{(static_cast<unsigned __int128>(at_bits) << 64) |
+                   (seq << kSlotBits) | slot};
+    }
+    SimTime at() const {
+      const uint64_t at_bits = static_cast<uint64_t>(key >> 64);
+      SimTime at;
+      __builtin_memcpy(&at, &at_bits, sizeof(at));
+      return at;
+    }
+    uint32_t slot() const {
+      return static_cast<uint32_t>(static_cast<uint64_t>(key) & kSlotMask);
+    }
+  };
+  struct EntryBefore {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.key < b.key;
     }
   };
 
-  /// A schedule_every task, owned by the queue so the queued closures
-  /// can reference it without owning each other (no shared_ptr cycle).
-  struct RepeatingTask {
-    SimTime interval;
-    std::function<void()> handler;
+  /// One wheel bucket: two sorted runs merged at consume time.
+  ///
+  /// Appends that keep (at, seq) order extend `run` for free — that is
+  /// the heartbeat-storm shape, thousands of equal-time entries in seq
+  /// order. The few that arrive out of order go to `stray`, which gets
+  /// its one deferred sort (of the unread tail) when first read. front()
+  /// is then a one-comparison merge of the two run heads.
+  ///
+  /// Contract: pop() consumes whatever the immediately preceding front()
+  /// returned (it replays the side choice front() cached).
+  struct Bucket {
+    std::vector<Entry> run;    // appends that kept (at, seq) order
+    std::vector<Entry> stray;  // out-of-order appends, sorted lazily
+    size_t run_head = 0;
+    size_t stray_head = 0;
+    bool stray_sorted = true;
+    bool front_in_stray = false;
+
+    bool empty() const {
+      return run_head == run.size() && stray_head == stray.size();
+    }
+    void append(Entry e) {
+      if (run.empty() || !EntryBefore{}(e, run.back())) {
+        run.push_back(e);
+        return;
+      }
+      if (stray_sorted && stray_head < stray.size() &&
+          EntryBefore{}(e, stray.back())) {
+        stray_sorted = false;
+      }
+      stray.push_back(e);
+    }
+    /// Next entry in (at, seq) order. Only valid when !empty().
+    const Entry& front() {
+      if (stray_head < stray.size()) {
+        if (!stray_sorted) {
+          std::sort(stray.begin() + static_cast<ptrdiff_t>(stray_head),
+                    stray.end(), EntryBefore{});
+          stray_sorted = true;
+        }
+        if (run_head == run.size() ||
+            EntryBefore{}(stray[stray_head], run[run_head])) {
+          front_in_stray = true;
+          return stray[stray_head];
+        }
+      }
+      front_in_stray = false;
+      return run[run_head];
+    }
+    void pop() {
+      if (front_in_stray) {
+        ++stray_head;
+      } else {
+        ++run_head;
+      }
+      if (empty()) {
+        run.clear();
+        stray.clear();
+        run_head = stray_head = 0;
+        stray_sorted = true;
+        front_in_stray = false;
+      }
+    }
   };
 
-  void pop_and_run();
-  void run_repeating(RepeatingTask& task);
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+  /// Slab chunk granularity: slots are allocated in fixed-size chunks
+  /// whose addresses never move, so a handler keeps executing from its
+  /// slot even while it grows the slab.
+  static constexpr size_t kSlotChunkShift = 12;
+  static constexpr size_t kSlotChunkSize = size_t{1} << kSlotChunkShift;
 
-  std::vector<std::unique_ptr<RepeatingTask>> repeating_;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  static constexpr size_t kBuckets = 2048;
+  /// Wheel horizon as a multiple of the typical scheduled delay.
+  static constexpr double kSpanFactor = 4.0;
+  static constexpr double kMinBucketWidth = 1e-9;
+  static constexpr double kEmaAlpha = 1.0 / 64.0;
+
+  uint32_t alloc_slot();
+  void free_slot(uint32_t slot);
+  TimerHandle schedule_slot(SimTime at, SimTime interval, util::UniqueFunction handler);
+  void insert_entry(SimTime at, uint64_t seq, uint32_t slot);
+  void rebase_wheel(SimTime start);
+
+  /// Min entry across both tiers (advances cursor_, rebases from the
+  /// overflow tier when the wheel empties). False when nothing is queued.
+  bool peek_next(Entry* out);
+
+  /// Dispatch (or reap) the next entry if its time is <= limit.
+  /// *invoked reports whether a handler ran (false: cancelled reap).
+  bool dispatch_one(SimTime limit, bool* invoked);
+
+  // TimerHandle backends.
+  bool handle_valid(uint32_t slot, uint32_t generation) const noexcept;
+  bool handle_live(uint32_t slot, uint32_t generation) const noexcept;
+  bool cancel_slot(uint32_t slot, uint32_t generation) noexcept;
+  bool resume_slot(uint32_t slot, uint32_t generation) noexcept;
+  SimTime slot_fire_time(uint32_t slot, uint32_t generation) const noexcept;
+
+  Slot& slot_ref(uint32_t slot) {
+    return chunks_[slot >> kSlotChunkShift][slot & (kSlotChunkSize - 1)];
+  }
+  const Slot& slot_ref(uint32_t slot) const {
+    return chunks_[slot >> kSlotChunkShift][slot & (kSlotChunkSize - 1)];
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  uint32_t slot_count_ = 0;
+  uint32_t free_head_ = kNoSlot;
+
+  std::vector<Bucket> buckets_;
+  size_t cursor_ = 0;        // first possibly-non-empty bucket
+  size_t wheel_count_ = 0;   // entries parked in buckets (incl. cancelled)
+  SimTime wheel_start_ = 0.0;
+  SimTime bucket_width_ = 1.0;
+  // Derived from wheel_start_/bucket_width_ at rebase, cached so the
+  // per-insert bucket-index computation is one multiply, not a divide.
+  SimTime wheel_end_ = static_cast<SimTime>(kBuckets);
+  SimTime inv_bucket_width_ = 1.0;
+  std::vector<Entry> overflow_;  // unsorted pool, all >= wheel_end() at insert
+
   SimTime now_ = 0.0;
+  SimTime delay_ema_ = 0.0;  // EMA of scheduled delays (adapts the wheel)
+  bool have_ema_ = false;
   uint64_t next_seq_ = 0;
   size_t processed_ = 0;
+  size_t live_ = 0;
+  size_t cancelled_total_ = 0;
 };
 
 }  // namespace ges::p2p

@@ -49,6 +49,13 @@ class Sweep {
     if (net_.replica_count(n) != 0) {
       fail(n, "dead node " + std::to_string(n) + " still holds replicas");
     }
+    if (opt_.live_timers) {
+      const size_t live = opt_.live_timers(n);
+      if (live != 0) {
+        fail(n, "dead node " + std::to_string(n) + " still owns " +
+                    std::to_string(live) + " live timer(s)");
+      }
+    }
   }
 
   void check_links(NodeId n) {

@@ -30,6 +30,12 @@ struct InvariantOptions {
   /// in a quiescent network right after a lossless heartbeat; the
   /// general guarantee is convergence within one heartbeat interval.
   bool expect_fresh_replicas = false;
+
+  /// Live event-queue timers owned by a node (e.g.
+  /// ReplicaHeartbeatProcess::live_timer_count); empty = skip. A dead
+  /// node owning a live timer is a leak: the churn layer must cancel or
+  /// suspend per-node timers at departure.
+  std::function<size_t(NodeId)> live_timers;
 };
 
 struct InvariantViolation {

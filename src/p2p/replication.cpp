@@ -13,6 +13,7 @@ ReplicaHeartbeatProcess::ReplicaHeartbeatProcess(Network& network, EventQueue& q
       interval_(interval),
       faults_(faults),
       active_(network.size(), 0),
+      timers_(network.size()),
       ticks_(network.size(), 0) {
   GES_CHECK(interval > 0.0);
 }
@@ -25,14 +26,27 @@ void ReplicaHeartbeatProcess::register_node(NodeId node) {
   GES_CHECK_MSG(node < active_.size(), "node " << node << " out of range");
   if (active_[node] != 0 || !network_->alive(node)) return;
   active_[node] = 1;
-  queue_->schedule_after(interval_, [this, node] { beat(node); });
+  // A suspended timer whose fire time has not passed resumes in place
+  // (original phase and tie-break position); otherwise start fresh.
+  if (!timers_[node].resume()) {
+    timers_[node] = queue_->schedule_every(interval_, [this, node] { beat(node); });
+  }
+}
+
+void ReplicaHeartbeatProcess::suspend_node(NodeId node) {
+  GES_CHECK_MSG(node < active_.size(), "node " << node << " out of range");
+  if (active_[node] == 0) return;
+  active_[node] = 0;
+  timers_[node].cancel();
 }
 
 void ReplicaHeartbeatProcess::beat(NodeId node) {
   if (!network_->alive(node)) {
-    // The node churned out; its loop dies here. activate() + register_node
-    // (via ChurnProcess) starts a fresh loop on rejoin.
+    // The node died outside churn's bookkeeping (direct deactivate); the
+    // loop cancels itself here. register_node starts a fresh one on
+    // rejoin.
     active_[node] = 0;
+    timers_[node].cancel();
     return;
   }
   ++beats_;
@@ -68,7 +82,7 @@ void ReplicaHeartbeatProcess::beat(NodeId node) {
   GES_COUNT("p2p.heartbeat.lost", lost_ - lost_before);
   span.arg("sent", static_cast<double>(sent_ - sent_before));
   span.arg("lost", static_cast<double>(lost_ - lost_before));
-  queue_->schedule_after(interval_, [this, node] { beat(node); });
+  // The periodic timer reschedules itself; no manual re-arm.
 }
 
 void schedule_replica_heartbeats(EventQueue& queue, Network& network,

@@ -16,10 +16,18 @@ namespace ges::p2p {
 /// re-copying that neighbor's current node vector, so replicas converge
 /// within one `interval` of any document change.
 ///
-/// A node's loop dies with the node: when it churns out, the next firing
-/// notices and stops rescheduling. A rejoining node must therefore be
-/// re-registered (ChurnProcess does this when wired to the process) —
-/// exactly the soft-state re-registration real Gnutella peers perform.
+/// Each loop is one cancellable periodic timer (EventQueue::schedule_every).
+/// A node's loop dies with the node: ChurnProcess suspends it at the
+/// departure (suspend_node cancels the timer, so a dead node owns zero
+/// live timers — asserted by the overlay invariant sweep), and a node
+/// deactivated outside churn is caught by the next firing, which cancels
+/// itself. A rejoining node must be re-registered (ChurnProcess does this
+/// when wired to the process) — exactly the soft-state re-registration
+/// real Gnutella peers perform. Re-registration before the suspended
+/// timer's fire time resumes it in place, preserving the node's original
+/// heartbeat phase and tie-break position (byte-identical to the old
+/// zombie-loop scheduler); after that time it starts a fresh loop
+/// phase-aligned to now().
 ///
 /// With a FaultInjector, each per-neighbor heartbeat can be lost
 /// (heartbeat_loss_rate or a partition cut) — the replica simply stays
@@ -37,10 +45,22 @@ class ReplicaHeartbeatProcess {
   void start();
 
   /// (Re)start `node`'s heartbeat loop; no-op while a loop is active.
+  /// Resumes a suspended (not yet expired) timer in its original phase,
+  /// otherwise starts a fresh periodic timer.
   void register_node(NodeId node);
+
+  /// Cancel `node`'s heartbeat timer (churn departure). The timer stays
+  /// resumable until its fire time passes; no-op when not registered.
+  void suspend_node(NodeId node);
 
   /// Whether `node` currently has a live heartbeat loop.
   bool registered(NodeId node) const { return active_[node] != 0; }
+
+  /// Live event-queue timers owned by `node` (0 or 1) — wired into the
+  /// overlay invariant sweep: a churned-out node must own none.
+  size_t live_timer_count(NodeId node) const {
+    return node < timers_.size() && timers_[node].live() ? 1 : 0;
+  }
 
   size_t beats() const { return beats_; }
   size_t heartbeats_sent() const { return sent_; }
@@ -53,8 +73,9 @@ class ReplicaHeartbeatProcess {
   EventQueue* queue_;
   SimTime interval_;
   const FaultInjector* faults_;
-  std::vector<uint8_t> active_;  // node -> loop scheduled
-  std::vector<uint64_t> ticks_;  // node -> heartbeat tick (fault nonce)
+  std::vector<uint8_t> active_;      // node -> loop registered
+  std::vector<TimerHandle> timers_;  // node -> periodic beat timer
+  std::vector<uint64_t> ticks_;      // node -> heartbeat tick (fault nonce)
   size_t beats_ = 0;             // node-level firings
   size_t sent_ = 0;              // per-neighbor heartbeat messages
   size_t lost_ = 0;              // lost to drops / partitions

@@ -41,3 +41,29 @@ namespace detail {
       ::ges::util::detail::check_failed(#expr, __FILE__, __LINE__, ges_check_os_.str()); \
     }                                                                       \
   } while (false)
+
+/// Debug-mode-only check: active in builds without NDEBUG (or when
+/// forced with -DGES_DEBUG_CHECKS=1), compiled to nothing in release.
+/// Use for conditions the code tolerates (clamps, lazy repair) but that
+/// indicate a caller bug worth failing loudly on in development — e.g.
+/// EventQueue::schedule clamps stale timestamps in release but throws
+/// here so the stale caller gets fixed.
+#ifndef GES_DEBUG_CHECKS
+#ifdef NDEBUG
+#define GES_DEBUG_CHECKS 0
+#else
+#define GES_DEBUG_CHECKS 1
+#endif
+#endif
+
+#if GES_DEBUG_CHECKS
+#define GES_DCHECK(expr) GES_CHECK(expr)
+#define GES_DCHECK_MSG(expr, msg) GES_CHECK_MSG(expr, msg)
+#else
+#define GES_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#define GES_DCHECK_MSG(expr, msg) \
+  do {                            \
+  } while (false)
+#endif

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace ges::util {
+
+/// Move-only `void()` callable with inline storage: captures up to
+/// kInlineCapacity bytes live inside the object itself — no heap
+/// allocation on construction, move, or invocation. Larger callables
+/// (or over-aligned ones, or those without a noexcept move) fall back to
+/// a single heap allocation, moved around as one pointer.
+///
+/// This is the event-arena companion type: the discrete-event scheduler
+/// stores one UniqueFunction per slab slot, so the common small-lambda
+/// handler ([this, node]-style captures) schedules with zero mallocs,
+/// where std::function heap-allocated every closure.
+class UniqueFunction {
+ public:
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  UniqueFunction() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, UniqueFunction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vtable_ = inline_vtable<D>();
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      vtable_ = heap_vtable<D>();
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  /// Destroy the held callable (no-op when empty).
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  /// Whether the held callable lives in the inline buffer (diagnostics).
+  bool is_inline() const noexcept {
+    return vtable_ != nullptr && vtable_->inline_storage;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineCapacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static void inline_invoke(void* p) {
+    (*static_cast<D*>(p))();
+  }
+  template <typename D>
+  static void inline_relocate(void* from, void* to) noexcept {
+    ::new (to) D(std::move(*static_cast<D*>(from)));
+    static_cast<D*>(from)->~D();
+  }
+  template <typename D>
+  static void inline_destroy(void* p) noexcept {
+    static_cast<D*>(p)->~D();
+  }
+
+  template <typename D>
+  static void heap_invoke(void* p) {
+    (**static_cast<D**>(p))();
+  }
+  template <typename D>
+  static void heap_relocate(void* from, void* to) noexcept {
+    ::new (to) D*(*static_cast<D**>(from));
+  }
+  template <typename D>
+  static void heap_destroy(void* p) noexcept {
+    delete *static_cast<D**>(p);
+  }
+
+  template <typename D>
+  static const VTable* inline_vtable() {
+    static constexpr VTable vt{&inline_invoke<D>, &inline_relocate<D>,
+                               &inline_destroy<D>, true};
+    return &vt;
+  }
+  template <typename D>
+  static const VTable* heap_vtable() {
+    static constexpr VTable vt{&heap_invoke<D>, &heap_relocate<D>,
+                               &heap_destroy<D>, false};
+    return &vt;
+  }
+
+  void move_from(UniqueFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(other.storage_, storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace ges::util

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -97,6 +98,15 @@ TEST_P(FuzzGrid, InvariantsHoldAfterEveryRound) {
   const auto& query = corpus.queries[seed % corpus.queries.size()].vector;
   const auto trace = runner.search(query, initiator, sopt, rng);
   EXPECT_GE(trace.probes(), 1u);
+
+  // Per-seed event-core accounting, greppable from CI logs: processed
+  // handlers, timers still live at teardown, and timers cancelled (e.g.
+  // heartbeats suspended by churn departures).
+  const auto& queue = runner.queue();
+  std::cout << "[fuzz-summary] seed=" << seed << " fault_rate=" << fault_rate
+            << " churn=" << churn << " events_processed=" << queue.processed()
+            << " events_live=" << queue.live()
+            << " events_cancelled=" << queue.cancelled() << "\n";
 }
 
 // >= 10 seeds x 3 fault rates (including 0) x churn on/off = 60 scenarios.

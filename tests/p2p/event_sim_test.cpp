@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -82,11 +83,24 @@ TEST(EventQueue, RunWithEventLimit) {
   EXPECT_EQ(fired, 3);
 }
 
-TEST(EventQueue, SchedulingInPastThrows) {
+TEST(EventQueue, StaleScheduleClampsOrThrows) {
+  // Regression: scheduling at a timestamp already in the past used to
+  // corrupt dispatch order. Strict (debug-check) builds reject it;
+  // release builds clamp to now() and fire in this timestamp's
+  // tie-break order, after already-queued equal-time events.
   EventQueue q;
   q.schedule(2.0, [] {});
   q.run();
-  EXPECT_THROW(q.schedule(1.0, [] {}), util::CheckFailure);
+  if constexpr (EventQueue::kStrictScheduleChecks) {
+    EXPECT_THROW(q.schedule(1.0, [] {}), util::CheckFailure);
+  } else {
+    std::vector<int> order;
+    q.schedule(2.0, [&] { order.push_back(0); });  // at == now(): fine
+    q.schedule(1.0, [&] { order.push_back(1); });  // stale: clamped to 2.0
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_DOUBLE_EQ(q.now(), 2.0);  // the clamp never rewinds the clock
+  }
   EXPECT_THROW(q.schedule_after(-0.5, [] {}), util::CheckFailure);
 }
 
@@ -184,6 +198,140 @@ TEST(EventQueueProperty, ScheduleEveryInterleavesWithOneShotEvents) {
   }
 }
 
+// --- Cancellable handles ------------------------------------------------
+
+TEST(TimerHandle, CancelPreventsOneShotFromFiring) {
+  EventQueue q;
+  int fired = 0;
+  TimerHandle h = q.schedule(1.0, [&] { ++fired; });
+  EXPECT_TRUE(h.live());
+  EXPECT_DOUBLE_EQ(h.fire_time(), 1.0);
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.live());
+  EXPECT_FALSE(h.cancel());  // already cancelled: no state change
+  EXPECT_EQ(q.pending(), 0u);
+  q.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(q.processed(), 0u);
+  EXPECT_EQ(q.cancelled(), 1u);
+  EXPECT_FALSE(h.valid());  // reaped in passing once its time came
+}
+
+TEST(TimerHandle, CancelStopsPeriodicTask) {
+  EventQueue q;
+  int fired = 0;
+  TimerHandle h = q.schedule_every(1.0, [&] { ++fired; });
+  q.run_until(3.5);
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(h.cancel());
+  q.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(TimerHandle, HandleGoesInertAfterOneShotFires) {
+  EventQueue q;
+  TimerHandle h = q.schedule(1.0, [] {});
+  q.run();
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(h.live());
+  EXPECT_FALSE(h.cancel());
+  EXPECT_FALSE(h.resume());
+  EXPECT_DOUBLE_EQ(h.fire_time(), -1.0);
+}
+
+TEST(TimerHandle, StaleHandleCannotTouchARecycledSlot) {
+  // After a slot is reaped its generation advances; a handle from the
+  // previous occupant must not cancel whoever reuses the slot.
+  EventQueue q;
+  TimerHandle old = q.schedule(1.0, [] {});
+  q.run();
+  int fired = 0;
+  TimerHandle fresh = q.schedule(2.0, [&] { ++fired; });  // reuses the slot
+  EXPECT_FALSE(old.cancel());
+  EXPECT_TRUE(fresh.live());
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerHandle, CancellationDuringDispatchSkipsLaterEqualTimeEvent) {
+  // A handler cancelling an event queued at the very same timestamp
+  // (but later in tie-break order) must prevent it from running in the
+  // same dispatch pass.
+  EventQueue q;
+  std::vector<int> order;
+  TimerHandle victim;
+  q.schedule(1.0, [&] {
+    order.push_back(0);
+    EXPECT_TRUE(victim.cancel());
+  });
+  victim = q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+  EXPECT_EQ(q.processed(), 2u);
+}
+
+TEST(TimerHandle, PeriodicTaskCanCancelItselfMidHandler) {
+  EventQueue q;
+  int fired = 0;
+  TimerHandle h;
+  h = q.schedule_every(1.0, [&] {
+    if (++fired == 3) {
+      EXPECT_TRUE(h.cancel());
+    }
+  });
+  q.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_FALSE(h.valid());  // reaped immediately, no phantom firing
+}
+
+TEST(TimerHandle, ResumeRevivesWithOriginalTimeAndOrder) {
+  // cancel() parks the slot; resume() before its fire time revives it in
+  // its original (at, seq) position — the phase-preservation contract
+  // churn rejoin relies on for byte-identical heartbeat traces.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(2.0, [&] { order.push_back(0); });
+  TimerHandle h = q.schedule(2.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_TRUE(h.cancel());
+  EXPECT_TRUE(h.valid());  // parked, not reaped
+  EXPECT_TRUE(h.resume());
+  EXPECT_FALSE(h.resume());  // already live
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TimerHandle, ResumeFailsOnceFireTimePassed) {
+  EventQueue q;
+  int fired = 0;
+  TimerHandle h = q.schedule(1.0, [&] { ++fired; });
+  EXPECT_TRUE(h.cancel());
+  q.run_until(5.0);  // reaps the parked slot in passing
+  EXPECT_FALSE(h.resume());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CountersTrackLiveCancelledProcessed) {
+  EventQueue q;
+  TimerHandle a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  TimerHandle c = q.schedule_every(1.5, [] {});
+  EXPECT_EQ(q.live(), 3u);
+  EXPECT_EQ(q.pending(), 3u);
+  EXPECT_TRUE(a.cancel());
+  EXPECT_EQ(q.live(), 2u);
+  EXPECT_EQ(q.cancelled(), 1u);
+  q.run_until(2.0);  // fires the 2.0 one-shot and one periodic tick
+  EXPECT_EQ(q.processed(), 2u);
+  EXPECT_EQ(q.live(), 1u);  // the periodic task stays live
+  EXPECT_TRUE(c.cancel());
+  EXPECT_EQ(q.live(), 0u);
+  EXPECT_EQ(q.cancelled(), 2u);
+}
+
 TEST(EventQueueProperty, HandlersSchedulingAtNowRunInSamePass) {
   // An event scheduling a follow-up at the current timestamp must run it
   // after every already-queued event at that timestamp (FIFO among equals).
@@ -196,6 +344,80 @@ TEST(EventQueueProperty, HandlersSchedulingAtNowRunInSamePass) {
   q.schedule(1.0, [&] { order.push_back(1); });
   q.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueProperty, RandomCancelResumeMatchesReferenceModel) {
+  // Drive the tiered wheel through randomized interleavings of
+  // schedule / cancel / resume / run_until and replay the same ops on a
+  // transparent reference model (flat vector, stable (at, seq) order,
+  // cancelled flags). Fired sequences must match exactly: this is the
+  // determinism contract the wheel's tiering must never violate.
+  struct ModelEvent {
+    SimTime at;
+    int id;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  for (uint64_t seed = 300; seed < 330; ++seed) {
+    util::Rng rng(seed);
+    EventQueue q;
+    std::vector<ModelEvent> model;  // index order == seq order
+    std::vector<TimerHandle> handles;
+    std::vector<int> ran;
+
+    auto model_run_until = [&](SimTime until) {
+      std::vector<int> fired;
+      for (;;) {
+        int best = -1;
+        for (int i = 0; i < static_cast<int>(model.size()); ++i) {
+          const ModelEvent& e = model[i];
+          if (e.fired || e.at > until) continue;
+          if (best < 0 || e.at < model[best].at ||
+              (e.at == model[best].at && i < best)) {
+            best = i;
+          }
+        }
+        if (best < 0) return fired;
+        model[best].fired = true;
+        if (!model[best].cancelled) fired.push_back(model[best].id);
+      }
+    };
+
+    SimTime model_now = 0.0;
+    for (int round = 0; round < 60; ++round) {
+      const uint32_t op = rng.below(10);
+      if (op < 6 || model.empty()) {
+        // Coarse grid forces equal-timestamp collisions across buckets;
+        // occasional long delays exercise the overflow tier.
+        const SimTime delay = static_cast<SimTime>(rng.below(8)) +
+                              (rng.below(10) == 0 ? 100.0 : 0.0);
+        const int id = static_cast<int>(model.size());
+        model.push_back({model_now + delay, id});
+        handles.push_back(
+            q.schedule(model_now + delay, [&ran, id] { ran.push_back(id); }));
+      } else if (op < 8) {
+        const size_t pick = rng.below(static_cast<uint32_t>(handles.size()));
+        if (handles[pick].cancel()) model[pick].cancelled = true;
+      } else if (op == 8) {
+        const size_t pick = rng.below(static_cast<uint32_t>(handles.size()));
+        if (handles[pick].resume()) model[pick].cancelled = false;
+      } else {
+        model_now += static_cast<SimTime>(rng.below(12));
+        const std::vector<int> expect = model_run_until(model_now);
+        const size_t before = ran.size();
+        q.run_until(model_now);
+        EXPECT_EQ(std::vector<int>(ran.begin() + before, ran.end()), expect)
+            << "seed " << seed << " round " << round;
+      }
+    }
+    const std::vector<int> expect =
+        model_run_until(std::numeric_limits<SimTime>::infinity());
+    const size_t before = ran.size();
+    q.run();
+    EXPECT_EQ(std::vector<int>(ran.begin() + before, ran.end()), expect)
+        << "seed " << seed;
+    EXPECT_EQ(q.pending(), 0u);
+  }
 }
 
 }  // namespace
