@@ -1,0 +1,394 @@
+// Query-path data plane: the epoch-stamped QueryWorkspace engine vs the
+// pre-rewrite execution it replaced. The workload is the search
+// protocol's real hot path at deployment scale — a 20,000+-node overlay
+// (GES_SCALE-dependent) with topic-clustered content, running mixed
+// biased-walk + semantic-flood queries to a probe budget. The baseline
+// below is the pre-change query loop kept verbatim: a fresh
+// unordered_set visited set, unordered_map-of-unordered_set walk
+// bookkeeping, fresh candidate vectors and a fresh std::deque flood
+// frontier per query, and unmemoized sparse REL(replica, Q) dots. An FNV
+// checksum over every trace (probe order, retrieved docs, scores,
+// message counts) proves the workspace engine makes byte-identical
+// decisions; the timings show the per-probe win.
+//
+// BENCH_micro_query_path.json carries the headline `speedup` on the
+// `query_path` entry so CI can floor-check the ratio across PRs.
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "ges/search.hpp"
+#include "ir/relevance.hpp"
+#include "p2p/network.hpp"
+#include "support/bench_json.hpp"
+#include "util/check.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using ges::corpus::Corpus;
+using ges::core::GesSearch;
+using ges::core::SearchOptions;
+using ges::ir::SparseVector;
+using ges::p2p::LinkType;
+using ges::p2p::Network;
+using ges::p2p::NodeId;
+using ges::p2p::SearchTrace;
+
+// --- Verbatim pre-change query execution ---------------------------------
+
+/// The query loop as it stood before the workspace rewrite, preserved as
+/// the measured baseline: every per-query structure allocated fresh,
+/// every REL(replica, Q) a sparse-sparse dot.
+class LegacySearch {
+ public:
+  LegacySearch(const Network& net, SearchOptions options)
+      : net_(&net), options_(options) {}
+
+  SearchTrace search(const SparseVector& query, NodeId initiator,
+                     ges::util::Rng& rng) const {
+    Run run{*net_, options_, query, rng};
+    NodeId current = initiator;
+    if (run.probe(current)) run.flood(current);
+
+    size_t ttl_left = options_.ttl == 0 ? ~size_t{0} : options_.ttl;
+    const size_t max_steps = 20 * net_->alive_count() + 1000;
+    while (!run.done() && ttl_left > 0 && run.trace.walk_steps < max_steps) {
+      const NodeId next = run.pick_next(current);
+      if (next == ges::p2p::kInvalidNode) break;
+      ++run.trace.walk_steps;
+      --ttl_left;
+      current = next;
+      if (run.seen.count(current) == 0) {
+        const bool is_target = run.probe(current);
+        if (run.done()) break;
+        if (is_target) run.flood(current);
+      }
+    }
+    return run.trace;
+  }
+
+ private:
+  struct Run {
+    const Network& net;
+    const SearchOptions& opt;
+    const SparseVector& query;
+    ges::util::Rng& rng;
+
+    SearchTrace trace;
+    std::unordered_set<NodeId> seen;
+    std::unordered_map<NodeId, std::unordered_set<NodeId>> forwarded;
+    size_t budget;
+    size_t responses = 0;
+
+    Run(const Network& n, const SearchOptions& o, const SparseVector& q,
+        ges::util::Rng& r)
+        : net(n), opt(o), query(q), rng(r) {
+      budget = o.probe_budget == 0 ? n.alive_count() : o.probe_budget;
+    }
+
+    bool done() const {
+      return trace.probes() >= budget ||
+             (opt.max_responses != 0 && responses >= opt.max_responses);
+    }
+
+    bool probe(NodeId node) {
+      seen.insert(node);
+      const auto probe_index = static_cast<uint32_t>(trace.probe_order.size());
+      trace.probe_order.push_back(node);
+      const auto docs =
+          net.index(node).evaluate(query, opt.doc_rel_threshold);
+      bool is_target = false;
+      for (const auto& d : docs) {
+        trace.retrieved.push_back({d.doc, d.score, probe_index});
+        ++responses;
+        if (d.score >= opt.target_rel_threshold) is_target = true;
+      }
+      return is_target;
+    }
+
+    void flood(NodeId target) {
+      ++trace.target_count;
+      struct Item {
+        NodeId node, from;
+        size_t depth;
+      };
+      std::deque<Item> frontier;  // fresh per flood, as before
+      frontier.push_back({target, ges::p2p::kInvalidNode, 0});
+      while (!frontier.empty() && !done()) {
+        const Item item = frontier.front();
+        frontier.pop_front();
+        const bool children_expand =
+            opt.flood_radius == 0 || item.depth + 1 < opt.flood_radius;
+        for (const NodeId next : net.neighbors(item.node, LinkType::kSemantic)) {
+          if (next == item.from) continue;
+          ++trace.flood_messages;
+          if (seen.count(next) > 0) continue;
+          if (done()) break;
+          probe(next);
+          if (children_expand) frontier.push_back({next, item.node, item.depth + 1});
+        }
+      }
+    }
+
+    NodeId pick_next(NodeId node) {
+      const auto& neighbors = net.neighbors(node, LinkType::kRandom);
+      std::vector<NodeId> alive;
+      alive.reserve(neighbors.size());
+      for (const NodeId n : neighbors) {
+        if (net.alive(n)) alive.push_back(n);
+      }
+      if (alive.empty()) return ges::p2p::kInvalidNode;
+
+      auto& tried = forwarded[node];
+      std::vector<NodeId> available;
+      available.reserve(alive.size());
+      for (const NodeId n : alive) {
+        if (tried.count(n) == 0) available.push_back(n);
+      }
+      if (available.empty()) {
+        tried.clear();
+        available = alive;
+      }
+      rng.shuffle(available);  // unconditionally, as before
+
+      NodeId choice = ges::p2p::kInvalidNode;
+      if (opt.capacity_aware && net.capacity(node) < opt.supernode_threshold) {
+        NodeId best_cap = available.front();
+        for (size_t i = 1; i < available.size(); ++i) {
+          if (net.capacity(available[i]) > net.capacity(best_cap)) {
+            best_cap = available[i];
+          }
+        }
+        if (net.capacity(best_cap) >= opt.supernode_threshold) choice = best_cap;
+      }
+      if (choice == ges::p2p::kInvalidNode) {
+        double best_rel = -1.0;
+        for (const NodeId n : available) {
+          const SparseVector* vec = net.replica(node, n);
+          const double rel =
+              vec != nullptr ? ges::ir::rel_node_query(*vec, query) : 0.0;
+          if (rel > best_rel) {
+            best_rel = rel;
+            choice = n;
+          }
+        }
+      }
+      tried.insert(choice);
+      return choice;
+    }
+  };
+
+  const Network* net_;
+  SearchOptions options_;
+};
+
+// --- Workload -------------------------------------------------------------
+
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t fold(uint64_t h, uint64_t v) { return (h ^ v) * kFnvPrime; }
+
+uint64_t trace_checksum(uint64_t h, const SearchTrace& trace) {
+  for (const NodeId n : trace.probe_order) h = fold(h, n);
+  for (const auto& d : trace.retrieved) {
+    h = fold(h, d.doc);
+    h = fold(h, std::bit_cast<uint64_t>(d.score));
+    h = fold(h, d.probe_index);
+  }
+  h = fold(h, trace.walk_steps);
+  h = fold(h, trace.flood_messages);
+  h = fold(h, trace.target_count);
+  return h;
+}
+
+/// Topic-clustered corpus at overlay scale, matching the paper's hot
+/// shape: ~180-term documents (paper §5.3) whose union gives node
+/// vectors of several hundred terms, probed by 3-term queries — so each
+/// walk-step relevance evaluation is a real sparse dot, not a toy one.
+Corpus build_corpus(size_t nodes, size_t topics, uint64_t seed) {
+  constexpr size_t kTermsPerTopic = 400;
+  constexpr size_t kTermsPerDoc = 180;
+  constexpr size_t kDocsPerNode = 3;
+  Corpus c;
+  ges::util::Rng rng(seed);
+  for (size_t t = 0; t < topics * kTermsPerTopic; ++t) {
+    std::string name = "t";
+    name += std::to_string(t);
+    c.dict.intern(name);
+  }
+  c.node_docs.resize(nodes);
+  for (size_t n = 0; n < nodes; ++n) {
+    const auto topic = static_cast<ges::corpus::TopicId>(n % topics);
+    const auto base = static_cast<ges::ir::TermId>(topic * kTermsPerTopic);
+    for (size_t k = 0; k < kDocsPerNode; ++k) {
+      // 180 distinct topic terms per document; the query's first terms
+      // are always present so every same-topic document scores.
+      const auto picks = rng.sample_without_replacement(kTermsPerTopic - 3,
+                                                        kTermsPerDoc - 3);
+      std::vector<ges::ir::TermWeight> counts;
+      counts.reserve(kTermsPerDoc);
+      for (size_t j = 0; j < 3; ++j) {
+        counts.push_back({static_cast<ges::ir::TermId>(base + j),
+                          static_cast<float>(1 + rng.below(4))});
+      }
+      for (const size_t pick : picks) {
+        counts.push_back({static_cast<ges::ir::TermId>(base + 3 + pick),
+                          static_cast<float>(1 + rng.below(4))});
+      }
+      ges::corpus::Document d;
+      d.id = static_cast<ges::ir::DocId>(c.docs.size());
+      d.node = static_cast<ges::corpus::NodeIndex>(n);
+      d.topic = topic;
+      d.counts = SparseVector::from_pairs(std::move(counts));
+      d.vector = d.counts;
+      d.vector.dampen();
+      d.vector.normalize();
+      c.node_docs[n].push_back(d.id);
+      c.docs.push_back(std::move(d));
+    }
+  }
+  for (size_t t = 0; t < topics; ++t) {
+    ges::corpus::Query q;
+    q.id = static_cast<uint32_t>(t);
+    q.topic = static_cast<ges::corpus::TopicId>(t);
+    const auto base = static_cast<ges::ir::TermId>(t * kTermsPerTopic);
+    q.vector = SparseVector::from_pairs(
+        {{base, 1.0f},
+         {static_cast<ges::ir::TermId>(base + 1), 1.0f},
+         {static_cast<ges::ir::TermId>(base + 2), 1.0f}});
+    q.vector.normalize();
+    c.queries.push_back(std::move(q));
+  }
+  return c;
+}
+
+struct MeasuredRun {
+  uint64_t checksum = 0;
+  size_t probes = 0;
+  double seconds = 0.0;
+};
+
+template <class Engine>
+MeasuredRun run_queries(const Engine& engine, const Corpus& corpus,
+                        size_t queries, size_t nodes, uint64_t seed) {
+  using Clock = std::chrono::steady_clock;
+  MeasuredRun out;
+  const auto start = Clock::now();
+  for (size_t q = 0; q < queries; ++q) {
+    ges::util::Rng rng(ges::util::derive_seed(seed, q));
+    const auto& query = corpus.queries[q % corpus.queries.size()].vector;
+    const auto initiator = static_cast<NodeId>((q * 7919) % nodes);
+    const SearchTrace trace = engine.search(query, initiator, rng);
+    out.checksum = trace_checksum(out.checksum, trace);
+    out.probes += trace.probes();
+  }
+  out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ges;
+  bench::BenchJsonWriter json("micro_query_path");
+
+  size_t nodes = 20000;
+  size_t queries = 8;
+  switch (util::env_scale(util::Scale::kMedium)) {
+    case util::Scale::kTiny:
+      nodes = 2000;
+      queries = 4;
+      break;
+    case util::Scale::kSmall:
+      nodes = 8000;
+      queries = 6;
+      break;
+    case util::Scale::kMedium:
+      break;
+    case util::Scale::kFull:
+      nodes = 32000;
+      break;
+  }
+  const auto seed = static_cast<uint64_t>(util::env_int("GES_SEED", 42));
+  const size_t topics = std::max<size_t>(8, nodes / 200);
+
+  const Corpus corpus = build_corpus(nodes, topics, seed);
+  p2p::NetworkConfig config;
+  Network net(corpus, std::vector<p2p::Capacity>(nodes, 1.0), config);
+
+  // Random side: bootstrap graph (walks). Semantic side: a ring through
+  // each topic group (floods) — adaptation at this scale would dominate
+  // bring-up without changing what the query loop does per probe.
+  util::Rng boot(util::derive_seed(seed, 1));
+  p2p::bootstrap_random_graph(net, 6.0, boot);
+  for (size_t n = 0; n < nodes; ++n) {
+    for (size_t k = 1; k <= 2; ++k) {
+      const size_t next = n + k * topics;  // k-th next node of n's topic
+      if (next < nodes) {
+        net.connect(static_cast<NodeId>(n), static_cast<NodeId>(next),
+                    LinkType::kSemantic);
+      }
+    }
+  }
+
+  SearchOptions options;
+  options.ttl = 4 * nodes;          // bounded walk, heavy revisit traffic
+  options.probe_budget = nodes / 4;  // mixed walk+flood to a real budget
+
+  const LegacySearch legacy(net, options);
+  SearchOptions ws_options = options;
+  ws_options.use_workspace = true;
+  const GesSearch workspace(net, ws_options);
+
+  // Interleave two timed runs of each engine and keep the faster one, so
+  // a scheduling hiccup cannot flip the comparison; the first legacy run
+  // also warms the page cache for both.
+  MeasuredRun lg = run_queries(legacy, corpus, queries, nodes, seed);
+  MeasuredRun ws = run_queries(workspace, corpus, queries, nodes, seed);
+  const MeasuredRun lg2 = run_queries(legacy, corpus, queries, nodes, seed);
+  const MeasuredRun ws2 = run_queries(workspace, corpus, queries, nodes, seed);
+  if (lg2.seconds < lg.seconds) lg = lg2;
+  if (ws2.seconds < ws.seconds) ws = ws2;
+
+  // The workspace engine must be a drop-in: same probes, same traces.
+  GES_CHECK_MSG(ws.probes == lg.probes,
+                "probe count diverged: workspace " << ws.probes << " vs legacy "
+                                                   << lg.probes);
+  GES_CHECK_MSG(ws.checksum == lg.checksum,
+                "trace checksum diverged from the pre-change query path");
+
+  const double lg_rate = static_cast<double>(lg.probes) / lg.seconds;
+  const double ws_rate = static_cast<double>(ws.probes) / ws.seconds;
+  const double speedup = ws_rate / lg_rate;
+
+  util::Table table({"engine", "probes", "wall s", "Kprobes/s", "ns/probe"});
+  table.add_row({"pre-change loop (baseline)", util::cell(lg.probes),
+                 util::cell(lg.seconds, 3), util::cell(lg_rate / 1e3, 2),
+                 util::cell(1e9 / lg_rate, 1)});
+  table.add_row({"query workspace", util::cell(ws.probes),
+                 util::cell(ws.seconds, 3), util::cell(ws_rate / 1e3, 2),
+                 util::cell(1e9 / ws_rate, 1)});
+  std::cout << "Query-path data plane: " << nodes << " nodes, " << topics
+            << " topic groups, " << queries << " queries to a "
+            << options.probe_budget << "-probe budget\n\n"
+            << table.render() << "\nspeedup: " << speedup
+            << "x (trace checksums verified identical)\n";
+
+  json.add("legacy_path", lg_rate, 1e9 / lg_rate,
+           {{"probes", static_cast<double>(lg.probes)}});
+  json.add("query_path", ws_rate, 1e9 / ws_rate,
+           {{"probes", static_cast<double>(ws.probes)}, {"speedup", speedup}});
+  json.write();
+  return 0;
+}

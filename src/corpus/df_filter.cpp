@@ -17,7 +17,7 @@ std::unordered_set<ir::TermId> remove_frequent_terms(Corpus& corpus,
 
   std::unordered_map<ir::TermId, size_t> df;
   for (const auto& doc : corpus.docs) {
-    for (const auto& e : doc.counts.entries()) ++df[e.term];
+    for (const ir::TermId term : doc.counts.terms()) ++df[term];
   }
   const double limit =
       std::max(max_df_fraction * static_cast<double>(corpus.docs.size()),

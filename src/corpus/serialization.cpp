@@ -49,7 +49,15 @@ class ByteSink {
 
   void vector(const ir::SparseVector& v) {
     pod<uint64_t>(v.size());
-    bytes(v.entries().data(), v.size() * sizeof(ir::TermWeight));
+    // Interleave the SoA arrays back into the on-disk AoS layout; the
+    // format bytes are unchanged from the interleaved-storage era.
+    const auto terms = v.terms();
+    const auto weights = v.weights();
+    interleave_.resize(terms.size());
+    for (size_t i = 0; i < terms.size(); ++i) {
+      interleave_[i] = {terms[i], weights[i]};
+    }
+    bytes(interleave_.data(), interleave_.size() * sizeof(ir::TermWeight));
   }
 
   void doc_ids(const std::vector<ir::DocId>& ids) {
@@ -61,6 +69,7 @@ class ByteSink {
 
  private:
   std::string buf_;
+  std::vector<ir::TermWeight> interleave_;  // reused vector() scratch
 };
 
 /// Bounds-checked reader over a fully buffered corpus blob.

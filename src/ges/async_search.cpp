@@ -1,5 +1,6 @@
 #include "ges/async_search.hpp"
 
+#include "ges/query_workspace.hpp"
 #include "ges/walk_policy.hpp"
 #include "obs/telemetry.hpp"
 #include "util/check.hpp"
@@ -12,6 +13,8 @@ using p2p::NodeId;
 
 /// Mutable state of one in-flight query. Conceptually the per-node GUID
 /// bookkeeping lives on the nodes; the simulator centralizes it per run.
+/// `ws` (checked out of the engine's pool) selects the data plane, as in
+/// the synchronous QueryRun: null falls back to the legacy containers.
 struct AsyncSearchEngine::Run {
   Guid guid = 0;
   ir::SparseVector query;
@@ -20,8 +23,9 @@ struct AsyncSearchEngine::Run {
   std::function<void(const AsyncQueryResult&)> done;
 
   AsyncQueryResult result;
-  std::unordered_set<NodeId> seen;
-  detail::WalkBookkeeping forwarded;
+  std::unique_ptr<QueryWorkspace> ws;
+  std::unordered_set<NodeId> legacy_seen;
+  detail::WalkBookkeeping legacy_forwarded;
   std::vector<p2p::TimerHandle> timers;  // one per in-flight message event
   size_t budget = 0;
   size_t responses = 0;
@@ -30,6 +34,17 @@ struct AsyncSearchEngine::Run {
   size_t in_flight = 0;
   uint64_t message_seq = 0;  // per-run fault nonce
   bool finished = false;
+
+  bool seen(NodeId node) const {
+    return ws != nullptr ? ws->seen(node) : legacy_seen.count(node) > 0;
+  }
+  void mark_seen(NodeId node) {
+    if (ws != nullptr) {
+      ws->mark_seen(node);
+    } else {
+      legacy_seen.insert(node);
+    }
+  }
 
   bool satisfied(const SearchOptions& options) const {
     return result.trace.probes() >= budget ||
@@ -48,6 +63,15 @@ AsyncSearchEngine::AsyncSearchEngine(const p2p::Network& network,
       faults_(faults) {
   GES_CHECK(latency_.hop_mean >= 0.0);
   GES_CHECK(latency_.hop_jitter >= 0.0);
+}
+
+AsyncSearchEngine::~AsyncSearchEngine() = default;
+
+std::unique_ptr<QueryWorkspace> AsyncSearchEngine::acquire_workspace() {
+  if (workspace_pool_.empty()) return std::make_unique<QueryWorkspace>();
+  auto ws = std::move(workspace_pool_.back());
+  workspace_pool_.pop_back();
+  return ws;
 }
 
 double AsyncSearchEngine::next_latency(Run& run) {
@@ -101,6 +125,13 @@ void AsyncSearchEngine::maybe_finish(const std::shared_ptr<Run>& run) {
   if (run->in_flight == 0 && !run->finished) {
     run->finished = true;
     run->result.completed_at = queue_->now();
+    if (run->ws != nullptr) {
+      run->result.trace.rel_evals = run->ws->rel_evals();
+      run->result.trace.rel_memo_hits = run->ws->rel_memo_hits();
+      GES_COUNT("ges.search.rel_evals", run->result.trace.rel_evals);
+      GES_COUNT("ges.search.rel_memo_hits", run->result.trace.rel_memo_hits);
+      workspace_pool_.push_back(std::move(run->ws));
+    }
     GES_COUNT("ges.async.completed", 1);
 #if GES_OBS
     // The engine is event-driven and strictly serial, so the query span
@@ -140,12 +171,15 @@ bool AsyncSearchEngine::cancel(Guid guid) {
 }
 
 bool AsyncSearchEngine::probe(const std::shared_ptr<Run>& run, NodeId node) {
-  run->seen.insert(node);
+  run->mark_seen(node);
   auto& trace = run->result.trace;
   const auto probe_index = static_cast<uint32_t>(trace.probe_order.size());
   trace.probe_order.push_back(node);
-  const auto docs = network_->index(node).evaluate(run->query,
-                                                   options_.doc_rel_threshold);
+  const auto& index = network_->index(node);
+  const auto docs =
+      run->ws != nullptr
+          ? index.evaluate(run->query, options_.doc_rel_threshold, run->ws->arena())
+          : index.evaluate(run->query, options_.doc_rel_threshold);
   bool is_target = false;
   for (const auto& d : docs) {
     trace.retrieved.push_back({d.doc, d.score, probe_index});
@@ -182,7 +216,7 @@ void AsyncSearchEngine::start_flood(const std::shared_ptr<Run>& run,
 
 void AsyncSearchEngine::deliver_flood(const std::shared_ptr<Run>& run, NodeId at,
                                       NodeId from, size_t depth) {
-  if (run->seen.count(at) > 0) return;  // duplicate GUID: discarded
+  if (run->seen(at)) return;  // duplicate GUID: discarded
   if (run->satisfied(options_)) return;
   probe(run, at);
   if (options_.flood_radius != 0 && depth >= options_.flood_radius) return;
@@ -202,8 +236,11 @@ void AsyncSearchEngine::continue_walk(const std::shared_ptr<Run>& run,
       run->result.trace.walk_steps >= run->walk_cap) {
     return;
   }
-  const NodeId next = detail::pick_walk_target(*network_, options_, run->query,
-                                               from, run->forwarded, run->rng);
+  const NodeId next =
+      run->ws != nullptr
+          ? detail::pick_walk_target(*network_, options_, from, *run->ws, run->rng)
+          : detail::pick_walk_target(*network_, options_, run->query, from,
+                                     run->legacy_forwarded, run->rng);
   if (next == p2p::kInvalidNode) return;
   --run->ttl_left;
   ++run->result.trace.walk_steps;
@@ -213,7 +250,7 @@ void AsyncSearchEngine::continue_walk(const std::shared_ptr<Run>& run,
 
 void AsyncSearchEngine::deliver_walk(const std::shared_ptr<Run>& run, NodeId at) {
   if (run->satisfied(options_)) return;
-  if (run->seen.count(at) == 0) {
+  if (!run->seen(at)) {
     const bool is_target = probe(run, at);
     if (is_target && !run->satisfied(options_)) start_flood(run, at);
   }
@@ -237,6 +274,13 @@ Guid AsyncSearchEngine::submit(const ir::SparseVector& query, NodeId initiator,
       options_.probe_budget == 0 ? network_->alive_count() : options_.probe_budget;
   run->ttl_left = options_.ttl == 0 ? ~size_t{0} : options_.ttl;
   run->walk_cap = 20 * network_->alive_count() + 1000;
+  run->result.trace.probe_order.reserve(
+      std::min(run->budget, network_->alive_count()));
+  run->result.trace.retrieved.reserve(64);
+  if (options_.use_workspace) {
+    run->ws = acquire_workspace();
+    run->ws->begin_query(*network_, run->query);
+  }
   runs_.emplace(run->guid, run);
 
   // Bootstrap token keeps the run alive through the synchronous part.

@@ -4,6 +4,7 @@
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "ges/search.hpp"
 #include "p2p/event_sim.hpp"
@@ -13,6 +14,8 @@
 #include "util/rng.hpp"
 
 namespace ges::core {
+
+class QueryWorkspace;
 
 /// Per-hop message latency model for the asynchronous engine: each
 /// forwarded query message arrives after mean + uniform(-jitter, jitter)
@@ -63,6 +66,7 @@ class AsyncSearchEngine {
   AsyncSearchEngine(const p2p::Network& network, p2p::EventQueue& queue,
                     SearchOptions options, LatencyModel latency = {},
                     const p2p::FaultInjector* faults = nullptr);
+  ~AsyncSearchEngine();
 
   /// Submit a query from `initiator`; the callback fires (during
   /// EventQueue::run*) exactly once. Returns the query's GUID.
@@ -99,6 +103,7 @@ class AsyncSearchEngine {
   void start_flood(const std::shared_ptr<Run>& run, p2p::NodeId target);
   void continue_walk(const std::shared_ptr<Run>& run, p2p::NodeId from);
   double next_latency(Run& run);
+  std::unique_ptr<QueryWorkspace> acquire_workspace();
 
   const p2p::Network* network_;
   p2p::EventQueue* queue_;
@@ -108,6 +113,12 @@ class AsyncSearchEngine {
   p2p::Guid next_guid_ = 1;
   size_t cancelled_ = 0;
   std::unordered_map<p2p::Guid, std::shared_ptr<Run>> runs_;
+
+  /// Queries interleave, so unlike GesSearch one thread-local workspace
+  /// cannot serve them: each in-flight Run checks a workspace out of this
+  /// pool at submit and returns it (with its warmed capacities) when the
+  /// run finishes. Pool depth == max concurrent queries seen.
+  std::vector<std::unique_ptr<QueryWorkspace>> workspace_pool_;
 };
 
 }  // namespace ges::core

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "ir/local_index.hpp"
+#include "ir/relevance.hpp"
+#include "ir/sparse_vector.hpp"
+#include "p2p/network.hpp"
+#include "p2p/types.hpp"
+
+namespace ges::core {
+
+/// Reusable per-query scratch state for the GES query execution data
+/// plane. One workspace serves any number of *sequential* queries with
+/// zero steady-state allocation: every per-query structure is either
+/// epoch-stamped (begin_query bumps the epoch instead of clearing) or a
+/// pooled buffer whose capacity survives across queries.
+///
+/// Contents:
+///  * an epoch-stamped dense visited set (replaces the per-query
+///    `unordered_set<NodeId>` GUID bookkeeping),
+///  * flat per-node walk bookkeeping — a tried-neighbor list per visited
+///    node, slots handed out lazily from a pool (replaces the
+///    `unordered_map<NodeId, unordered_set<NodeId>>`),
+///  * a densified query view (TermId -> weight scatter array) so scoring
+///    a node vector against the query is one linear pass with O(1)
+///    lookups,
+///  * an epoch-stamped per-neighbor relevance memo: revisited nodes never
+///    recompute REL(replica, Q) for the same query. Entries are keyed by
+///    (owner, network-wide replica stamp) so a mid-query heartbeat
+///    refresh or install — which bumps the stamp — transparently
+///    invalidates the memo, keeping traces byte-identical to the
+///    memo-free path,
+///  * pooled candidate / frontier buffers for pick_walk_target and flood,
+///    and a ScoreArena for LocalIndex evaluation.
+///
+/// Engines own workspaces thread-locally (GesSearch) or per in-flight
+/// run from a pool (AsyncSearchEngine); a workspace must never be shared
+/// by interleaved queries.
+class QueryWorkspace {
+ public:
+  /// One flood-frontier element (BFS along semantic links).
+  struct FloodItem {
+    p2p::NodeId node = p2p::kInvalidNode;
+    p2p::NodeId from = p2p::kInvalidNode;
+    uint32_t depth = 0;
+  };
+
+  /// Start a new query: bump the epoch (logically clearing the visited
+  /// set, walk bookkeeping and relevance memo in O(1)), size the
+  /// node-indexed arrays to the network, bind the densified query view,
+  /// and zero the per-query counters.
+  void begin_query(const p2p::Network& net, const ir::SparseVector& query) {
+    if (++epoch_ == 0) {
+      // u32 wraparound after ~4B queries: stale stamps could alias the
+      // fresh epoch, so pay one full clear and restart at 1.
+      std::fill(seen_epoch_.begin(), seen_epoch_.end(), 0u);
+      std::fill(walk_epoch_.begin(), walk_epoch_.end(), 0u);
+      for (auto& e : rel_memo_) e.epoch = 0;
+      epoch_ = 1;
+    }
+    const size_t nodes = net.size();
+    if (seen_epoch_.size() < nodes) {
+      seen_epoch_.resize(nodes, 0u);
+      walk_epoch_.resize(nodes, 0u);
+      walk_slot_.resize(nodes, 0u);
+      rel_memo_.resize(nodes);
+    }
+    query_view_.bind(query);
+    tried_in_use_ = 0;
+    rel_evals_ = 0;
+    rel_memo_hits_ = 0;
+  }
+
+  // --- Visited set (GUID bookkeeping) --------------------------------
+
+  bool seen(p2p::NodeId node) const { return seen_epoch_[node] == epoch_; }
+  void mark_seen(p2p::NodeId node) { seen_epoch_[node] = epoch_; }
+
+  // --- Walk bookkeeping ----------------------------------------------
+
+  /// The list of neighbors `node` has already forwarded this query to.
+  /// First touch per (query, node) assigns a pooled slot and returns it
+  /// empty; the list's capacity is reused across queries.
+  std::vector<p2p::NodeId>& tried(p2p::NodeId node) {
+    if (walk_epoch_[node] != epoch_) {
+      walk_epoch_[node] = epoch_;
+      if (tried_in_use_ == tried_pool_.size()) tried_pool_.emplace_back();
+      walk_slot_[node] = static_cast<uint32_t>(tried_in_use_++);
+      tried_pool_[walk_slot_[node]].clear();
+    }
+    return tried_pool_[walk_slot_[node]];
+  }
+
+  // --- Relevance memo ------------------------------------------------
+
+  /// REL(replica held by `owner` of `neighbor`, bound query), memoized
+  /// per neighbor for the current query. A hit requires the same owner
+  /// and an unchanged network-wide replica stamp — every write to any
+  /// replica slot bumps that counter, so an unchanged value proves the
+  /// memoized slot's bytes are unchanged without touching the slot's
+  /// hash map. Staleness divergence between owners forces a recompute
+  /// (owner mismatch), as does any mid-query install or heartbeat
+  /// refresh anywhere in the network (stamp mismatch — conservative for
+  /// unrelated slots, but the recompute reads the same bytes and returns
+  /// the bit-identical value). The synchronous engine never mutates the
+  /// network mid-query, so there every same-owner revisit is a hit.
+  double rel(const p2p::Network& net, p2p::NodeId owner, p2p::NodeId neighbor) {
+    const uint64_t net_stamp = net.replica_stamp();
+    RelEntry& entry = rel_memo_[neighbor];
+    if (entry.epoch == epoch_ && entry.owner == owner && entry.stamp == net_stamp) {
+      ++rel_memo_hits_;
+      return entry.value;
+    }
+    ++rel_evals_;
+    const auto view = net.replica_view(owner, neighbor);
+    const double value =
+        view.vector != nullptr ? query_view_.dot(*view.vector) : 0.0;
+    entry.epoch = epoch_;
+    entry.owner = owner;
+    entry.stamp = net_stamp;
+    entry.value = value;
+    return value;
+  }
+
+  uint64_t rel_evals() const { return rel_evals_; }
+  uint64_t rel_memo_hits() const { return rel_memo_hits_; }
+
+  // --- Pooled buffers -------------------------------------------------
+
+  const ir::DensifiedQuery& query_view() const { return query_view_; }
+  std::vector<p2p::NodeId>& alive_buffer() { return alive_buf_; }
+  std::vector<p2p::NodeId>& available_buffer() { return available_buf_; }
+  std::vector<FloodItem>& flood_frontier() { return flood_frontier_; }
+  ir::ScoreArena& arena() { return arena_; }
+
+ private:
+  struct RelEntry {
+    uint32_t epoch = 0;
+    p2p::NodeId owner = p2p::kInvalidNode;
+    uint64_t stamp = 0;
+    double value = 0.0;
+  };
+
+  std::vector<uint32_t> seen_epoch_;   // node -> epoch it was last visited
+  std::vector<uint32_t> walk_epoch_;   // node -> epoch of its tried slot
+  std::vector<uint32_t> walk_slot_;    // node -> index into tried_pool_
+  std::vector<std::vector<p2p::NodeId>> tried_pool_;
+  size_t tried_in_use_ = 0;
+  std::vector<RelEntry> rel_memo_;     // neighbor -> memoized REL(X, Q)
+  ir::DensifiedQuery query_view_;
+  std::vector<p2p::NodeId> alive_buf_;
+  std::vector<p2p::NodeId> available_buf_;
+  std::vector<FloodItem> flood_frontier_;
+  ir::ScoreArena arena_;
+  uint32_t epoch_ = 0;
+  uint64_t rel_evals_ = 0;
+  uint64_t rel_memo_hits_ = 0;
+};
+
+}  // namespace ges::core

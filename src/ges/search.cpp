@@ -1,9 +1,10 @@
 #include "ges/search.hpp"
 
-#include <deque>
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "ges/query_workspace.hpp"
 #include "ges/walk_policy.hpp"
 #include "obs/telemetry.hpp"
 #include "util/check.hpp"
@@ -17,24 +18,54 @@ using p2p::SearchTrace;
 
 namespace {
 
-/// Mutable state of one query execution.
+/// The per-thread workspace behind GesSearch. search() is const and runs
+/// concurrently from the parallel eval harness (per_query_recall_at_cost
+/// fans queries across the shared pool), so each thread owns its own
+/// workspace; queries on one thread are sequential and share it.
+QueryWorkspace& thread_workspace() {
+  static thread_local QueryWorkspace ws;
+  return ws;
+}
+
+/// Mutable state of one query execution. `ws` selects the data plane:
+/// non-null uses the epoch-stamped workspace structures, null the legacy
+/// per-query containers — both making exactly the same decisions.
 struct QueryRun {
   const Network& net;
   const SearchOptions& opt;
   const ir::SparseVector& query;
   util::Rng& rng;
   const p2p::FaultInjector* faults;
+  QueryWorkspace* ws;
 
   SearchTrace trace;
-  std::unordered_set<NodeId> seen;  // nodes that processed the GUID
-  detail::WalkBookkeeping forwarded;  // walk bookkeeping
+  std::unordered_set<NodeId> legacy_seen;      // nodes that processed the GUID
+  detail::WalkBookkeeping legacy_forwarded;    // walk bookkeeping
+  std::vector<QueryWorkspace::FloodItem> legacy_frontier;
   size_t budget;
   size_t responses = 0;
 
   QueryRun(const Network& n, const SearchOptions& o, const ir::SparseVector& q,
-           util::Rng& r, const p2p::FaultInjector* f)
-      : net(n), opt(o), query(q), rng(r), faults(f) {
+           util::Rng& r, const p2p::FaultInjector* f, QueryWorkspace* w)
+      : net(n), opt(o), query(q), rng(r), faults(f), ws(w) {
     budget = o.probe_budget == 0 ? n.alive_count() : o.probe_budget;
+    // Reserve the trace up front: probes are bounded by the budget (and
+    // by the alive population), so the probe order never reallocates.
+    trace.probe_order.reserve(std::min(budget, n.alive_count()));
+    trace.retrieved.reserve(64);
+    if (ws != nullptr) ws->begin_query(n, q);
+  }
+
+  bool seen(NodeId node) const {
+    return ws != nullptr ? ws->seen(node) : legacy_seen.count(node) > 0;
+  }
+
+  void mark_seen(NodeId node) {
+    if (ws != nullptr) {
+      ws->mark_seen(node);
+    } else {
+      legacy_seen.insert(node);
+    }
   }
 
   /// Message from `a` to `b` lost (drop or partition cut)? Nonces count
@@ -56,10 +87,13 @@ struct QueryRun {
   /// Evaluate the query at `node`. Returns true when the node is a
   /// semantic-group target.
   bool probe(NodeId node) {
-    seen.insert(node);
+    mark_seen(node);
     const auto probe_index = static_cast<uint32_t>(trace.probe_order.size());
     trace.probe_order.push_back(node);
-    const auto docs = net.index(node).evaluate(query, opt.doc_rel_threshold);
+    const auto& index = net.index(node);
+    const auto docs = ws != nullptr
+                          ? index.evaluate(query, opt.doc_rel_threshold, ws->arena())
+                          : index.evaluate(query, opt.doc_rel_threshold);
     bool is_target = false;
     for (const auto& d : docs) {
       trace.retrieved.push_back({d.doc, d.score, probe_index});
@@ -71,17 +105,17 @@ struct QueryRun {
 
   /// Flood the semantic group of `target` (paper §4.5): BFS along
   /// semantic links; nodes that already saw the GUID discard the message.
+  /// The frontier is one reusable buffer consumed by index — FIFO order
+  /// identical to the deque it replaced, without a fresh allocation per
+  /// flood.
   void flood(NodeId target) {
     ++trace.target_count;
-    struct Item {
-      NodeId node;
-      NodeId from;
-      size_t depth;
-    };
-    std::deque<Item> frontier{{target, p2p::kInvalidNode, 0}};
-    while (!frontier.empty() && !done()) {
-      const Item item = frontier.front();
-      frontier.pop_front();
+    auto& frontier = ws != nullptr ? ws->flood_frontier() : legacy_frontier;
+    frontier.clear();
+    frontier.push_back({target, p2p::kInvalidNode, 0});
+    size_t head = 0;
+    while (head < frontier.size() && !done()) {
+      const QueryWorkspace::FloodItem item = frontier[head++];
       // Nodes on the radius boundary are probed (by their parent's loop
       // below) but never expand further, so only enqueue items that can.
       const bool children_expand =
@@ -91,7 +125,7 @@ struct QueryRun {
         const bool lost = message_lost(p2p::FaultChannel::kFlood, item.node, next);
         ++trace.flood_messages;
         if (lost) continue;  // branch pruned: the message never arrived
-        if (seen.count(next) > 0) continue;  // duplicate GUID: discarded
+        if (seen(next)) continue;  // duplicate GUID: discarded
         if (done()) break;
         probe(next);
         if (children_expand) frontier.push_back({next, item.node, item.depth + 1});
@@ -102,7 +136,15 @@ struct QueryRun {
   /// One biased-walk forwarding decision at `node` (paper §4.5); the
   /// policy is shared with the asynchronous engine.
   NodeId pick_next(NodeId node) {
-    return detail::pick_walk_target(net, opt, query, node, forwarded, rng);
+    if (ws != nullptr) return detail::pick_walk_target(net, opt, node, *ws, rng);
+    return detail::pick_walk_target(net, opt, query, node, legacy_forwarded, rng);
+  }
+
+  void finish_counters() {
+    if (ws != nullptr) {
+      trace.rel_evals = ws->rel_evals();
+      trace.rel_memo_hits = ws->rel_memo_hits();
+    }
   }
 };
 
@@ -115,7 +157,8 @@ GesSearch::GesSearch(const Network& network, SearchOptions options,
 SearchTrace GesSearch::search(const ir::SparseVector& query, NodeId initiator,
                               util::Rng& rng) const {
   GES_CHECK_MSG(network_->alive(initiator), "initiator " << initiator << " is dead");
-  QueryRun run(*network_, options_, query, rng, faults_);
+  QueryWorkspace* ws = options_.use_workspace ? &thread_workspace() : nullptr;
+  QueryRun run(*network_, options_, query, rng, faults_, ws);
 
   NodeId current = initiator;
   if (run.probe(current)) run.flood(current);
@@ -132,7 +175,7 @@ SearchTrace GesSearch::search(const ir::SparseVector& query, NodeId initiator,
     --ttl_left;
     if (lost) break;  // the query message died in transit; walk ends
     current = next;
-    if (run.seen.count(current) == 0) {
+    if (!run.seen(current)) {
       const bool is_target = run.probe(current);
       if (run.done()) break;
       if (is_target) {
@@ -141,6 +184,7 @@ SearchTrace GesSearch::search(const ir::SparseVector& query, NodeId initiator,
       }
     }
   }
+  run.finish_counters();
   // Counters only — searches run concurrently in the eval harness, so
   // spans (order-sensitive) are left to serial callers (ScenarioRunner,
   // AsyncSearchEngine). Never touches `rng`.
@@ -150,6 +194,8 @@ SearchTrace GesSearch::search(const ir::SparseVector& query, NodeId initiator,
   GES_COUNT("ges.search.probes", run.trace.probes());
   GES_COUNT("ges.search.targets", run.trace.target_count);
   GES_COUNT("ges.search.retrieved_docs", run.trace.retrieved.size());
+  GES_COUNT("ges.search.rel_evals", run.trace.rel_evals);
+  GES_COUNT("ges.search.rel_memo_hits", run.trace.rel_memo_hits);
   GES_HIST("ges.search.probes_per_query", 0.0, 256.0, 32, run.trace.probes());
   return run.trace;
 }

@@ -45,6 +45,13 @@ struct SearchOptions {
 
   /// Capacity at or above which a node is a supernode.
   p2p::Capacity supernode_threshold = 1e18;
+
+  /// Execute on the reusable QueryWorkspace data plane (epoch-stamped
+  /// visited set, flat walk bookkeeping, memoized REL(X, Q), pooled
+  /// buffers). Off = the allocation-per-step legacy containers. Both
+  /// paths produce byte-identical traces — the toggle exists for the
+  /// equivalence suites and A/B benchmarks, and defaults to on.
+  bool use_workspace = true;
 };
 
 /// The GES search protocol: biased walks over random links guided by the

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "ges/query_workspace.hpp"
 #include "ges/search.hpp"
 #include "ir/relevance.hpp"
 #include "p2p/network.hpp"
@@ -11,19 +14,65 @@
 namespace ges::core::detail {
 
 /// Per-node GUID bookkeeping of a biased walk: which random neighbors a
-/// node has already forwarded this query to (paper §4.5).
+/// node has already forwarded this query to (paper §4.5). Legacy
+/// hash-map representation, kept as the workspace-off reference path for
+/// the byte-identity suites (SearchOptions::use_workspace == false).
 using WalkBookkeeping =
     std::unordered_map<p2p::NodeId, std::unordered_set<p2p::NodeId>>;
 
+/// Candidate selection shared by the legacy and workspace paths:
+///  * random tie-breaking shuffle — skipped when only one candidate
+///    exists, which consumes exactly the same rng draws (a one-element
+///    Fisher–Yates draws nothing; regression-tested);
+///  * capacity-aware mode forwards a non-supernode's query to a
+///    supernode neighbor when one exists, with one capacity() lookup per
+///    candidate (the running max is tracked by value, not re-fetched);
+///  * otherwise the neighbor whose replicated node vector is most
+///    relevant to the query wins, with relevance supplied by `rel_of`.
+template <typename RelFn>
+inline p2p::NodeId select_walk_candidate(const p2p::Network& net,
+                                         const SearchOptions& options,
+                                         p2p::NodeId node,
+                                         std::vector<p2p::NodeId>& available,
+                                         util::Rng& rng, RelFn&& rel_of) {
+  if (available.size() > 1) rng.shuffle(available);
+
+  p2p::NodeId choice = p2p::kInvalidNode;
+  if (options.capacity_aware &&
+      net.capacity(node) < options.supernode_threshold) {
+    // Prefer a supernode neighbor when one exists.
+    p2p::NodeId best_cap = available.front();
+    p2p::Capacity best_cap_value = net.capacity(best_cap);
+    for (size_t i = 1; i < available.size(); ++i) {
+      const p2p::Capacity c = net.capacity(available[i]);
+      if (c > best_cap_value) {
+        best_cap = available[i];
+        best_cap_value = c;
+      }
+    }
+    if (best_cap_value >= options.supernode_threshold) choice = best_cap;
+  }
+  if (choice == p2p::kInvalidNode) {
+    // Most query-relevant neighbor according to the replicated one-hop
+    // node vectors (paper §4.4/§4.5).
+    double best_rel = -1.0;
+    for (const p2p::NodeId n : available) {
+      const double rel = rel_of(n);
+      if (rel > best_rel) {
+        best_rel = rel;
+        choice = n;
+      }
+    }
+  }
+  return choice;
+}
+
 /// One biased-walk forwarding decision at `node` (paper §4.5), shared by
 /// the synchronous (GesSearch) and asynchronous (AsyncSearchEngine)
-/// engines:
+/// engines — legacy path over hash-map bookkeeping:
 ///  * candidates are the alive random neighbors not yet forwarded to
 ///    (flushing the bookkeeping when all have been tried);
-///  * capacity-aware mode forwards a non-supernode's query to a
-///    supernode neighbor when one exists;
-///  * otherwise the neighbor whose replicated node vector is most
-///    relevant to the query wins (ties broken by `rng`).
+///  * selection as in select_walk_candidate.
 /// Returns kInvalidNode when the node has no alive random neighbors.
 inline p2p::NodeId pick_walk_target(const p2p::Network& net,
                                     const SearchOptions& options,
@@ -49,33 +98,51 @@ inline p2p::NodeId pick_walk_target(const p2p::Network& net,
     tried.clear();
     available = alive;
   }
-  rng.shuffle(available);  // random tie-breaking among equal scores
-
-  p2p::NodeId choice = p2p::kInvalidNode;
-  const bool self_is_super =
-      options.capacity_aware && net.capacity(node) >= options.supernode_threshold;
-  if (options.capacity_aware && !self_is_super) {
-    // Prefer a supernode neighbor when one exists.
-    p2p::NodeId best_cap = available.front();
-    for (const p2p::NodeId n : available) {
-      if (net.capacity(n) > net.capacity(best_cap)) best_cap = n;
-    }
-    if (net.capacity(best_cap) >= options.supernode_threshold) choice = best_cap;
-  }
-  if (choice == p2p::kInvalidNode) {
-    // Most query-relevant neighbor according to the replicated one-hop
-    // node vectors (paper §4.4/§4.5).
-    double best_rel = -1.0;
-    for (const p2p::NodeId n : available) {
-      const ir::SparseVector* vec = net.replica(node, n);
-      const double rel = vec != nullptr ? ir::rel_node_query(*vec, query) : 0.0;
-      if (rel > best_rel) {
-        best_rel = rel;
-        choice = n;
-      }
-    }
-  }
+  const p2p::NodeId choice =
+      select_walk_candidate(net, options, node, available, rng, [&](p2p::NodeId n) {
+        const ir::SparseVector* vec = net.replica(node, n);
+        return vec != nullptr ? ir::rel_node_query(*vec, query) : 0.0;
+      });
   tried.insert(choice);
+  return choice;
+}
+
+/// Workspace path: identical decisions (byte-identical rng consumption
+/// and choices), but the candidate buffers, tried lists and relevance
+/// evaluations all come from the reusable QueryWorkspace — zero
+/// steady-state allocation and memoized REL(X, Q) on revisits. The query
+/// is the one bound by ws.begin_query().
+inline p2p::NodeId pick_walk_target(const p2p::Network& net,
+                                    const SearchOptions& options,
+                                    p2p::NodeId node, QueryWorkspace& ws,
+                                    util::Rng& rng) {
+  const auto& neighbors = net.neighbors(node, p2p::LinkType::kRandom);
+  auto& alive = ws.alive_buffer();
+  alive.clear();
+  for (const p2p::NodeId n : neighbors) {
+    if (net.alive(n)) alive.push_back(n);
+  }
+  if (alive.empty()) return p2p::kInvalidNode;
+
+  auto& tried = ws.tried(node);
+  auto& available = ws.available_buffer();
+  available.clear();
+  for (const p2p::NodeId n : alive) {
+    if (std::find(tried.begin(), tried.end(), n) == tried.end()) {
+      available.push_back(n);
+    }
+  }
+  if (available.empty()) {
+    // Forward progress rule: flush the bookkeeping state and reuse.
+    tried.clear();
+    available = alive;
+  }
+  const p2p::NodeId choice =
+      select_walk_candidate(net, options, node, available, rng,
+                            [&](p2p::NodeId n) { return ws.rel(net, node, n); });
+  // `choice` is never already in `tried`: it came from `available`
+  // (filtered against `tried`) or follows a flush.
+  tried.push_back(choice);
   return choice;
 }
 

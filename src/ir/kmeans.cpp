@@ -1,5 +1,6 @@
 #include "ir/kmeans.hpp"
 
+#include "ir/relevance.hpp"
 #include "util/check.hpp"
 
 namespace ges::ir {
@@ -22,13 +23,18 @@ KMeansResult spherical_kmeans(const std::vector<const SparseVector*>& vectors,
   }
 
   result.assignment.assign(n, 0);
+  // Each vector is scored against every centroid; binding it once into a
+  // densified view turns the k merge joins into k linear passes with O(1)
+  // term lookups (bit-identical scores — see DensifiedQuery).
+  DensifiedQuery view;
   auto assign_all = [&]() {
     bool changed = false;
     for (size_t i = 0; i < n; ++i) {
+      view.bind(*vectors[i]);
       size_t best = 0;
       double best_sim = -1.0;
       for (size_t c = 0; c < k; ++c) {
-        const double sim = vectors[i]->dot(result.centroids[c]);
+        const double sim = view.dot(result.centroids[c]);
         if (sim > best_sim) {
           best_sim = sim;
           best = c;

@@ -9,11 +9,11 @@ namespace ges::ir {
 void LocalIndex::add_document(DocId doc, const SparseVector& vector) {
   GES_CHECK_MSG(doc_slot_.count(doc) == 0, "document " << doc << " already indexed");
   const auto slot = static_cast<uint32_t>(slot_doc_.size());
-  std::vector<TermId> terms;
-  terms.reserve(vector.size());
-  for (const auto& e : vector.entries()) {
-    postings_[e.term].push_back({slot, e.weight});
-    terms.push_back(e.term);
+  const auto vterms = vector.terms();
+  const auto vweights = vector.weights();
+  std::vector<TermId> terms(vterms.begin(), vterms.end());
+  for (size_t i = 0; i < vterms.size(); ++i) {
+    postings_[vterms[i]].push_back({slot, vweights[i]});
   }
   doc_slot_.emplace(doc, slot);
   slot_doc_.push_back(doc);
@@ -62,10 +62,12 @@ std::vector<ScoredDoc> LocalIndex::score_all(const SparseVector& query,
     arena.seen.resize(slot_doc_.size(), 0);
   }
   arena.touched.clear();
-  for (const auto& e : query.entries()) {
-    const auto pit = postings_.find(e.term);
+  const auto qterms = query.terms();
+  const auto qweights = query.weights();
+  for (size_t t = 0; t < qterms.size(); ++t) {
+    const auto pit = postings_.find(qterms[t]);
     if (pit == postings_.end()) continue;
-    const double qw = e.weight;
+    const double qw = qweights[t];
     for (const auto& p : pit->second) {
       if (!arena.seen[p.slot]) {
         arena.seen[p.slot] = 1;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ir/relevance.hpp"
+
 namespace ges::ir {
 
 SparseVector expand_query(const SparseVector& query,
@@ -16,11 +18,16 @@ SparseVector expand_query(const SparseVector& query,
   }
 
   // Candidate expansion terms: centroid terms not already in the query,
-  // ranked by centroid weight.
+  // ranked by centroid weight. Query membership is an O(1) densified
+  // lookup instead of a per-term binary search.
+  DensifiedQuery query_view;
+  query_view.bind(query);
   std::vector<TermWeight> candidates;
   candidates.reserve(centroid.size());
-  for (const auto& e : centroid.entries()) {
-    if (query.weight(e.term) == 0.0f) candidates.push_back(e);
+  const auto cterms = centroid.terms();
+  const auto cweights = centroid.weights();
+  for (size_t i = 0; i < cterms.size(); ++i) {
+    if (!query_view.contains(cterms[i])) candidates.push_back({cterms[i], cweights[i]});
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const TermWeight& a, const TermWeight& b) {

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "ir/sparse_vector.hpp"
 
 namespace ges::ir {
@@ -20,5 +23,78 @@ inline double rel_node_node(const SparseVector& x, const SparseVector& y) {
 inline double rel_node_query(const SparseVector& node, const SparseVector& query) {
   return node.dot(query);
 }
+
+/// Epoch-stamped dense view of one sparse vector: a TermId -> weight
+/// scatter array that turns scoring *many* vectors against one bound
+/// vector into a single linear pass per vector with O(1) term lookups —
+/// no merge join, no binary search. Rebinding bumps the epoch instead of
+/// clearing the arrays, so a long-lived view costs O(|bound vector|) per
+/// bind regardless of how large the term space has grown.
+///
+/// Bit-compatibility: dot() accumulates the matched products in ascending
+/// term order of the argument vector — the same order every
+/// SparseVector::dot strategy uses — and IEEE multiplication commutes
+/// bitwise, so view scores are bit-identical to SparseVector::dot. The
+/// golden-trace suites rely on this.
+class DensifiedQuery {
+ public:
+  /// Make `v` the bound vector. The view keeps no reference: the scatter
+  /// array snapshots the weights.
+  void bind(const SparseVector& v) {
+    if (++epoch_ == 0) {
+      // u32 wraparound: stale stamps could alias the new epoch; reset.
+      std::fill(epoch_of_.begin(), epoch_of_.end(), 0u);
+      epoch_ = 1;
+    }
+    const auto terms = v.terms();
+    const auto weights = v.weights();
+    max_term_ = terms.empty() ? 0 : terms.back();
+    if (!terms.empty() && max_term_ >= epoch_of_.size()) {
+      epoch_of_.resize(max_term_ + 1, 0u);
+      weight_of_.resize(max_term_ + 1, 0.0f);
+    }
+    for (size_t i = 0; i < terms.size(); ++i) {
+      epoch_of_[terms[i]] = epoch_;
+      weight_of_[terms[i]] = weights[i];
+    }
+    bound_size_ = terms.size();
+  }
+
+  bool contains(TermId term) const {
+    return term < epoch_of_.size() && epoch_of_[term] == epoch_;
+  }
+
+  /// Weight of `term` in the bound vector, or 0 if absent. O(1).
+  float weight(TermId term) const {
+    return contains(term) ? weight_of_[term] : 0.0f;
+  }
+
+  /// Dot product of the bound vector with `v`: one linear pass over `v`'s
+  /// SoA arrays. Bit-identical to bound.dot(v) (see class comment).
+  double dot(const SparseVector& v) const {
+    if (bound_size_ == 0) return 0.0;
+    double sum = 0.0;
+    const auto terms = v.terms();
+    const auto weights = v.weights();
+    for (size_t i = 0; i < terms.size(); ++i) {
+      const TermId term = terms[i];
+      if (term > max_term_) break;  // sorted: no further matches possible
+      if (epoch_of_[term] == epoch_) {
+        sum += static_cast<double>(weight_of_[term]) * weights[i];
+      }
+    }
+    return sum;
+  }
+
+  /// Number of components in the bound vector (0 before any bind).
+  size_t bound_size() const { return bound_size_; }
+
+ private:
+  std::vector<uint32_t> epoch_of_;  // term -> epoch of its last bind
+  std::vector<float> weight_of_;    // term -> weight under that epoch
+  TermId max_term_ = 0;
+  size_t bound_size_ = 0;
+  uint32_t epoch_ = 0;
+};
 
 }  // namespace ges::ir

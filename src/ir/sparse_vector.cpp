@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "util/check.hpp"
 
@@ -9,8 +10,7 @@ namespace ges::ir {
 
 SparseVector SparseVector::from_pairs(std::vector<TermWeight> pairs) {
   SparseVector v;
-  v.entries_ = std::move(pairs);
-  v.canonicalize();
+  v.canonicalize_from(std::move(pairs));
   return v;
 }
 
@@ -24,35 +24,46 @@ SparseVector SparseVector::from_counts(
   return from_pairs(std::move(pairs));
 }
 
-void SparseVector::canonicalize() {
-  std::sort(entries_.begin(), entries_.end(),
+SparseVector SparseVector::from_sorted_soa(std::vector<TermId> terms,
+                                           std::vector<float> weights) {
+  GES_CHECK(terms.size() == weights.size());
+  SparseVector v;
+  v.terms_ = std::move(terms);
+  v.weights_ = std::move(weights);
+  return v;
+}
+
+void SparseVector::canonicalize_from(std::vector<TermWeight> pairs) {
+  std::sort(pairs.begin(), pairs.end(),
             [](const TermWeight& a, const TermWeight& b) { return a.term < b.term; });
-  // Merge duplicates in place.
-  size_t out = 0;
-  for (size_t i = 0; i < entries_.size();) {
-    TermWeight merged = entries_[i];
+  terms_.clear();
+  weights_.clear();
+  terms_.reserve(pairs.size());
+  weights_.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size();) {
+    TermWeight merged = pairs[i];
     size_t j = i + 1;
-    while (j < entries_.size() && entries_[j].term == merged.term) {
-      merged.weight += entries_[j].weight;
+    while (j < pairs.size() && pairs[j].term == merged.term) {
+      merged.weight += pairs[j].weight;
       ++j;
     }
-    if (merged.weight != 0.0f) entries_[out++] = merged;
+    if (merged.weight != 0.0f) {
+      terms_.push_back(merged.term);
+      weights_.push_back(merged.weight);
+    }
     i = j;
   }
-  entries_.resize(out);
 }
 
 float SparseVector::weight(TermId term) const {
-  const auto it = std::lower_bound(
-      entries_.begin(), entries_.end(), term,
-      [](const TermWeight& e, TermId t) { return e.term < t; });
-  if (it == entries_.end() || it->term != term) return 0.0f;
-  return it->weight;
+  const auto it = std::lower_bound(terms_.begin(), terms_.end(), term);
+  if (it == terms_.end() || *it != term) return 0.0f;
+  return weights_[static_cast<size_t>(it - terms_.begin())];
 }
 
 double SparseVector::norm() const {
   double sq = 0.0;
-  for (const auto& e : entries_) sq += static_cast<double>(e.weight) * e.weight;
+  for (const float w : weights_) sq += static_cast<double>(w) * w;
   return std::sqrt(sq);
 }
 
@@ -60,68 +71,93 @@ void SparseVector::normalize() {
   const double n = norm();
   if (n <= 0.0) return;
   const auto inv = static_cast<float>(1.0 / n);
-  for (auto& e : entries_) e.weight *= inv;
+  for (auto& w : weights_) w *= inv;
 }
 
 void SparseVector::dampen() {
-  for (auto& e : entries_) {
-    GES_CHECK_MSG(e.weight >= 1.0f, "dampen() requires raw term frequencies >= 1");
-    e.weight = 1.0f + std::log(e.weight);
+  for (auto& w : weights_) {
+    GES_CHECK_MSG(w >= 1.0f, "dampen() requires raw term frequencies >= 1");
+    w = 1.0f + std::log(w);
   }
 }
 
 void SparseVector::truncate_top(size_t k) {
-  if (k == 0 || entries_.size() <= k) return;
-  auto heavier = [](const TermWeight& a, const TermWeight& b) {
-    if (a.weight != b.weight) return a.weight > b.weight;
-    return a.term < b.term;
+  if (k == 0 || terms_.size() <= k) return;
+  // Select on an index permutation (the SoA arrays cannot be partitioned
+  // as pairs in place); the kept set matches the AoS selection exactly —
+  // (weight desc, term asc) is a total order here since terms are unique.
+  std::vector<uint32_t> order(terms_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  auto heavier = [this](uint32_t a, uint32_t b) {
+    if (weights_[a] != weights_[b]) return weights_[a] > weights_[b];
+    return terms_[a] < terms_[b];
   };
-  std::nth_element(entries_.begin(), entries_.begin() + static_cast<ptrdiff_t>(k - 1),
-                   entries_.end(), heavier);
-  entries_.resize(k);
-  std::sort(entries_.begin(), entries_.end(),
-            [](const TermWeight& a, const TermWeight& b) { return a.term < b.term; });
+  std::nth_element(order.begin(), order.begin() + static_cast<ptrdiff_t>(k - 1),
+                   order.end(), heavier);
+  order.resize(k);
+  // Restore TermId order, then gather both arrays through the permutation.
+  std::sort(order.begin(), order.end());
+  std::vector<TermId> terms;
+  std::vector<float> weights;
+  terms.reserve(k);
+  weights.reserve(k);
+  for (const uint32_t idx : order) {
+    terms.push_back(terms_[idx]);
+    weights.push_back(weights_[idx]);
+  }
+  terms_ = std::move(terms);
+  weights_ = std::move(weights);
 }
 
 void SparseVector::add_scaled(const SparseVector& other, double scale) {
   if (scale == 0.0 || other.empty()) return;
-  std::vector<TermWeight> merged;
-  merged.reserve(entries_.size() + other.entries_.size());
+  std::vector<TermId> terms;
+  std::vector<float> weights;
+  terms.reserve(terms_.size() + other.terms_.size());
+  weights.reserve(terms_.size() + other.terms_.size());
   size_t i = 0;
   size_t j = 0;
-  while (i < entries_.size() || j < other.entries_.size()) {
-    if (j >= other.entries_.size() ||
-        (i < entries_.size() && entries_[i].term < other.entries_[j].term)) {
-      merged.push_back(entries_[i++]);
-    } else if (i >= entries_.size() || other.entries_[j].term < entries_[i].term) {
-      merged.push_back({other.entries_[j].term,
-                        static_cast<float>(other.entries_[j].weight * scale)});
+  while (i < terms_.size() || j < other.terms_.size()) {
+    if (j >= other.terms_.size() ||
+        (i < terms_.size() && terms_[i] < other.terms_[j])) {
+      terms.push_back(terms_[i]);
+      weights.push_back(weights_[i]);
+      ++i;
+    } else if (i >= terms_.size() || other.terms_[j] < terms_[i]) {
+      terms.push_back(other.terms_[j]);
+      weights.push_back(static_cast<float>(other.weights_[j] * scale));
       ++j;
     } else {
-      const float w = entries_[i].weight +
-                      static_cast<float>(other.entries_[j].weight * scale);
-      if (w != 0.0f) merged.push_back({entries_[i].term, w});
+      const float w =
+          weights_[i] + static_cast<float>(other.weights_[j] * scale);
+      if (w != 0.0f) {
+        terms.push_back(terms_[i]);
+        weights.push_back(w);
+      }
       ++i;
       ++j;
     }
   }
-  entries_ = std::move(merged);
+  terms_ = std::move(terms);
+  weights_ = std::move(weights);
 }
 
 namespace {
 
-/// Merge-join dot product, O(|a| + |b|).
-double dot_merge(const std::vector<TermWeight>& a, const std::vector<TermWeight>& b) {
+/// Merge-join dot product, O(|a| + |b|). Branches touch only the term
+/// arrays; weights load on matches.
+double dot_merge(std::span<const TermId> ta, std::span<const float> wa,
+                 std::span<const TermId> tb, std::span<const float> wb) {
   double sum = 0.0;
   size_t i = 0;
   size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i].term < b[j].term) {
+  while (i < ta.size() && j < tb.size()) {
+    if (ta[i] < tb[j]) {
       ++i;
-    } else if (b[j].term < a[i].term) {
+    } else if (tb[j] < ta[i]) {
       ++j;
     } else {
-      sum += static_cast<double>(a[i].weight) * b[j].weight;
+      sum += static_cast<double>(wa[i]) * wb[j];
       ++i;
       ++j;
     }
@@ -132,16 +168,16 @@ double dot_merge(const std::vector<TermWeight>& a, const std::vector<TermWeight>
 /// Galloping dot product for a much smaller `small` side:
 /// O(|small| * log |large|). This is the hot shape of the search
 /// protocol — a 3-4-term query against a ~1,800-term node vector.
-double dot_gallop(const std::vector<TermWeight>& small,
-                  const std::vector<TermWeight>& large) {
+double dot_gallop(std::span<const TermId> ts, std::span<const float> ws,
+                  std::span<const TermId> tl, std::span<const float> wl) {
   double sum = 0.0;
-  auto lo = large.begin();
-  for (const auto& e : small) {
-    lo = std::lower_bound(lo, large.end(), e.term,
-                          [](const TermWeight& x, TermId t) { return x.term < t; });
-    if (lo == large.end()) break;
-    if (lo->term == e.term) {
-      sum += static_cast<double>(e.weight) * lo->weight;
+  const TermId* lo = tl.data();
+  const TermId* const end = tl.data() + tl.size();
+  for (size_t i = 0; i < ts.size(); ++i) {
+    lo = std::lower_bound(lo, end, ts[i]);
+    if (lo == end) break;
+    if (*lo == ts[i]) {
+      sum += static_cast<double>(ws[i]) * wl[static_cast<size_t>(lo - tl.data())];
       ++lo;
     }
   }
@@ -151,13 +187,17 @@ double dot_gallop(const std::vector<TermWeight>& small,
 }  // namespace
 
 double SparseVector::dot(const SparseVector& other) const {
-  const auto& a = entries_;
-  const auto& b = other.entries_;
-  // Binary-search when one side is far smaller; merge otherwise.
+  // Binary-search when one side is far smaller; merge otherwise. All
+  // strategies accumulate matches in ascending-term order with
+  // double(float) * float products, so the result is bit-identical.
   constexpr size_t kGallopRatio = 16;
-  if (a.size() * kGallopRatio < b.size()) return dot_gallop(a, b);
-  if (b.size() * kGallopRatio < a.size()) return dot_gallop(b, a);
-  return dot_merge(a, b);
+  if (size() * kGallopRatio < other.size()) {
+    return dot_gallop(terms_, weights_, other.terms_, other.weights_);
+  }
+  if (other.size() * kGallopRatio < size()) {
+    return dot_gallop(other.terms_, other.weights_, terms_, weights_);
+  }
+  return dot_merge(terms_, weights_, other.terms_, other.weights_);
 }
 
 double SparseVector::cosine(const SparseVector& other) const {
@@ -171,10 +211,10 @@ size_t SparseVector::overlap(const SparseVector& other) const {
   size_t count = 0;
   size_t i = 0;
   size_t j = 0;
-  while (i < entries_.size() && j < other.entries_.size()) {
-    if (entries_[i].term < other.entries_[j].term) {
+  while (i < terms_.size() && j < other.terms_.size()) {
+    if (terms_[i] < other.terms_[j]) {
       ++i;
-    } else if (other.entries_[j].term < entries_[i].term) {
+    } else if (other.terms_[j] < terms_[i]) {
       ++j;
     } else {
       ++count;

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <iterator>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -8,7 +10,9 @@
 
 namespace ges::ir {
 
-/// One (term, weight) component of a sparse vector.
+/// One (term, weight) component of a sparse vector. The interchange type
+/// for building vectors and for call sites that want both fields at once;
+/// storage inside SparseVector is structure-of-arrays.
 struct TermWeight {
   TermId term = kInvalidTerm;
   float weight = 0.0f;
@@ -18,10 +22,62 @@ struct TermWeight {
 
 /// Sparse term vector: components sorted by ascending TermId with strictly
 /// unique terms and non-zero weights. This is the representation for
-/// documents, queries and node vectors (paper §3–§4.2). Dot products are
-/// linear merge joins; truncation keeps the heaviest components.
+/// documents, queries and node vectors (paper §3–§4.2).
+///
+/// Storage is SoA — one contiguous TermId array plus one float array — so
+/// the hot kernels (dot/overlap merges, galloping probes, posting scans)
+/// stream term ids without dragging weights through the cache, and touch
+/// weights only on matches. `entries()` remains as a zip view for callers
+/// that want (term, weight) pairs.
 class SparseVector {
  public:
+  /// Zip view over the SoA arrays, yielding TermWeight values. Supports
+  /// range-for and indexing; iterator dereference returns by value.
+  class EntryRange {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::input_iterator_tag;
+      using value_type = TermWeight;
+      using difference_type = ptrdiff_t;
+      using pointer = const TermWeight*;
+      using reference = TermWeight;
+
+      iterator() = default;
+      iterator(const TermId* t, const float* w) : term_(t), weight_(w) {}
+      TermWeight operator*() const { return {*term_, *weight_}; }
+      iterator& operator++() {
+        ++term_;
+        ++weight_;
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator copy = *this;
+        ++*this;
+        return copy;
+      }
+      friend bool operator==(const iterator&, const iterator&) = default;
+
+     private:
+      const TermId* term_ = nullptr;
+      const float* weight_ = nullptr;
+    };
+
+    EntryRange(const TermId* terms, const float* weights, size_t size)
+        : terms_(terms), weights_(weights), size_(size) {}
+
+    iterator begin() const { return {terms_, weights_}; }
+    iterator end() const { return {terms_ + size_, weights_ + size_}; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    TermWeight operator[](size_t i) const { return {terms_[i], weights_[i]}; }
+
+   private:
+    const TermId* terms_;
+    const float* weights_;
+    size_t size_;
+  };
+
   SparseVector() = default;
 
   /// Build from arbitrary (term, weight) pairs: duplicates are summed,
@@ -31,9 +87,18 @@ class SparseVector {
   /// Build from term counts (term -> frequency), weights = raw counts.
   static SparseVector from_counts(const std::vector<std::pair<TermId, uint32_t>>& counts);
 
-  const std::vector<TermWeight>& entries() const { return entries_; }
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  /// Adopt already-canonical SoA arrays (sorted, unique, non-zero). The
+  /// caller vouches for the invariants; used by the merge kernels.
+  static SparseVector from_sorted_soa(std::vector<TermId> terms,
+                                      std::vector<float> weights);
+
+  /// The SoA component arrays, parallel and sorted by ascending TermId.
+  std::span<const TermId> terms() const { return terms_; }
+  std::span<const float> weights() const { return weights_; }
+
+  EntryRange entries() const { return {terms_.data(), weights_.data(), terms_.size()}; }
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
 
   /// Weight of `term`, or 0 if absent. O(log n).
   float weight(TermId term) const;
@@ -57,7 +122,10 @@ class SparseVector {
   void add_scaled(const SparseVector& other, double scale = 1.0);
 
   /// Dot product with another sparse vector (relevance numerator of
-  /// Eq. 1–3 when both sides are normalized).
+  /// Eq. 1–3 when both sides are normalized). Two-pointer merge for
+  /// comparable sizes, galloping probes when one side is far smaller;
+  /// both accumulate the matched products in ascending-term order, so the
+  /// result is bit-identical across strategies.
   double dot(const SparseVector& other) const;
 
   /// Cosine similarity: dot / (|a| |b|); 0 when either norm is 0.
@@ -69,9 +137,10 @@ class SparseVector {
   friend bool operator==(const SparseVector&, const SparseVector&) = default;
 
  private:
-  void canonicalize();
+  void canonicalize_from(std::vector<TermWeight> pairs);
 
-  std::vector<TermWeight> entries_;
+  std::vector<TermId> terms_;
+  std::vector<float> weights_;
 };
 
 }  // namespace ges::ir

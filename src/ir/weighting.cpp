@@ -20,7 +20,7 @@ DocumentFrequencies DocumentFrequencies::from_count_vectors(
   DocumentFrequencies out;
   out.num_docs_ = docs.size();
   for (const auto& doc : docs) {
-    for (const auto& e : doc.entries()) ++out.df_[e.term];
+    for (const TermId term : doc.terms()) ++out.df_[term];
   }
   return out;
 }
@@ -42,21 +42,23 @@ SparseVector weight_counts(const SparseVector& counts, TermWeighting scheme,
                 "tf-idf weighting needs document frequencies");
   std::vector<TermWeight> weighted;
   weighted.reserve(counts.size());
-  for (const auto& e : counts.entries()) {
-    GES_CHECK_MSG(e.weight >= 1.0f, "weight_counts expects raw frequencies >= 1");
+  const auto cterms = counts.terms();
+  const auto cweights = counts.weights();
+  for (size_t i = 0; i < cterms.size(); ++i) {
+    GES_CHECK_MSG(cweights[i] >= 1.0f, "weight_counts expects raw frequencies >= 1");
     double w = 0.0;
     switch (scheme) {
       case TermWeighting::kRawTf:
-        w = e.weight;
+        w = cweights[i];
         break;
       case TermWeighting::kDampenedTf:
-        w = 1.0 + std::log(e.weight);
+        w = 1.0 + std::log(cweights[i]);
         break;
       case TermWeighting::kTfIdf:
-        w = (1.0 + std::log(e.weight)) * df->idf(e.term);
+        w = (1.0 + std::log(cweights[i])) * df->idf(cterms[i]);
         break;
     }
-    if (w > 0.0) weighted.push_back({e.term, static_cast<float>(w)});
+    if (w > 0.0) weighted.push_back({cterms[i], static_cast<float>(w)});
   }
   SparseVector out = SparseVector::from_pairs(std::move(weighted));
   out.normalize();

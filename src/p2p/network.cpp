@@ -221,13 +221,20 @@ void Network::rebuild_node_vector(NodeId node) {
 const ir::SparseVector* Network::replica(NodeId owner, NodeId neighbor) const {
   const auto& replicas = peer(owner).replicas;
   const auto it = replicas.find(neighbor);
-  return it == replicas.end() ? nullptr : &it->second;
+  return it == replicas.end() ? nullptr : &it->second.vector;
+}
+
+Network::ReplicaView Network::replica_view(NodeId owner, NodeId neighbor) const {
+  const auto& replicas = peer(owner).replicas;
+  const auto it = replicas.find(neighbor);
+  if (it == replicas.end()) return {};
+  return {&it->second.vector, it->second.stamp};
 }
 
 void Network::refresh_replicas(NodeId owner) {
   Peer& p = peer_mut(owner);
   for (const NodeId neighbor : p.random_neighbors) {
-    p.replicas[neighbor] = peer(neighbor).vector;
+    p.replicas[neighbor] = {peer(neighbor).vector, ++replica_stamp_};
   }
 }
 
@@ -236,22 +243,22 @@ bool Network::refresh_replica(NodeId owner, NodeId neighbor) {
   if (!p.alive) return false;
   const auto it = p.link_types.find(neighbor);
   if (it == p.link_types.end() || it->second != LinkType::kRandom) return false;
-  p.replicas[neighbor] = peer(neighbor).vector;
+  p.replicas[neighbor] = {peer(neighbor).vector, ++replica_stamp_};
   return true;
 }
 
 size_t Network::stale_replica_count(NodeId owner) const {
   size_t stale = 0;
   const Peer& p = peer(owner);
-  for (const auto& [neighbor, vec] : p.replicas) {
-    if (!(vec == peer(neighbor).vector)) ++stale;
+  for (const auto& [neighbor, slot] : p.replicas) {
+    if (!(slot.vector == peer(neighbor).vector)) ++stale;
   }
   return stale;
 }
 
 void Network::install_replicas(NodeId a, NodeId b) {
-  peer_mut(a).replicas[b] = peer(b).vector;
-  peer_mut(b).replicas[a] = peer(a).vector;
+  peer_mut(a).replicas[b] = {peer(b).vector, ++replica_stamp_};
+  peer_mut(b).replicas[a] = {peer(a).vector, ++replica_stamp_};
 }
 
 void Network::flush_replicas(NodeId a, NodeId b) {

@@ -137,6 +137,25 @@ class Network {
   /// stale until the next heartbeat (paper §4.4).
   const ir::SparseVector* replica(NodeId owner, NodeId neighbor) const;
 
+  /// A replica together with its copy stamp: a network-wide monotonic id
+  /// assigned every time the replica is (re)copied (install or heartbeat
+  /// refresh). An unchanged stamp for a given (owner, neighbor) therefore
+  /// guarantees unchanged replica bytes — the validity key the per-query
+  /// relevance memo uses to stay byte-identical under mid-query
+  /// heartbeats. stamp == 0 / vector == nullptr means "no replica held".
+  struct ReplicaView {
+    const ir::SparseVector* vector = nullptr;
+    uint64_t stamp = 0;
+  };
+  ReplicaView replica_view(NodeId owner, NodeId neighbor) const;
+
+  /// The network-wide replica copy counter: bumped on every install and
+  /// heartbeat refresh, i.e. on every write to any replica slot. While
+  /// this value is unchanged, every held replica's bytes are unchanged —
+  /// the O(1) fast path the per-query relevance memo checks before
+  /// falling back to a per-slot replica_view lookup.
+  uint64_t replica_stamp() const { return replica_stamp_; }
+
   /// Heartbeat: re-copy the current node vectors of all random neighbors.
   void refresh_replicas(NodeId owner);
 
@@ -174,6 +193,11 @@ class Network {
   void check_invariants() const;
 
  private:
+  struct ReplicaSlot {
+    ir::SparseVector vector;
+    uint64_t stamp = 0;  // assigned from replica_stamp_ on every copy
+  };
+
   struct Peer {
     bool alive = true;
     Capacity capacity = 1.0;
@@ -182,7 +206,7 @@ class Network {
     std::unordered_map<NodeId, LinkType> link_types;
     HostCache random_cache{1};
     HostCache semantic_cache{1};
-    std::unordered_map<NodeId, ir::SparseVector> replicas;
+    std::unordered_map<NodeId, ReplicaSlot> replicas;
     std::vector<ir::DocId> docs;
     ir::LocalIndex index;
     ir::SparseVector vector;       // truncated to node_vector_size
@@ -201,6 +225,7 @@ class Network {
   NetworkConfig config_;
   std::vector<Peer> peers_;
   size_t alive_count_ = 0;
+  uint64_t replica_stamp_ = 0;  // last copy stamp handed out (0 = none)
   std::unique_ptr<RelCache> rel_cache_;  // unique_ptr keeps Network movable
 
   // Documents added after construction (DocIds continue the corpus range).

@@ -34,6 +34,14 @@ struct SearchTrace {
   size_t flood_messages = 0;   // messages sent while flooding
   size_t target_count = 0;     // semantic-group target nodes hit (GES)
 
+  /// Query-data-plane diagnostics: REL(X, Q) evaluations the walk policy
+  /// actually computed, and lookups served by the per-query relevance
+  /// memo instead. Deliberately excluded from operator== — the memo
+  /// changes *work*, never the trace, so workspace-on and workspace-off
+  /// runs must compare equal while reporting different eval counts.
+  uint64_t rel_evals = 0;
+  uint64_t rel_memo_hits = 0;
+
   size_t probes() const { return probe_order.size(); }
   size_t messages() const { return walk_steps + flood_messages; }
 

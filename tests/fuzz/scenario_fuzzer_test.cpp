@@ -99,14 +99,19 @@ TEST_P(FuzzGrid, InvariantsHoldAfterEveryRound) {
   const auto trace = runner.search(query, initiator, sopt, rng);
   EXPECT_GE(trace.probes(), 1u);
 
-  // Per-seed event-core accounting, greppable from CI logs: processed
-  // handlers, timers still live at teardown, and timers cancelled (e.g.
-  // heartbeats suspended by churn departures).
+  // Per-seed event-core and query-data-plane accounting, greppable from
+  // CI logs: processed handlers, timers still live at teardown, timers
+  // cancelled (e.g. heartbeats suspended by churn departures), and the
+  // probe search's relevance-evaluation counters (memo hits > 0 shows the
+  // per-query memo is exercised under faults and churn, not just in
+  // clean-room tests).
   const auto& queue = runner.queue();
   std::cout << "[fuzz-summary] seed=" << seed << " fault_rate=" << fault_rate
             << " churn=" << churn << " events_processed=" << queue.processed()
             << " events_live=" << queue.live()
-            << " events_cancelled=" << queue.cancelled() << "\n";
+            << " events_cancelled=" << queue.cancelled()
+            << " rel_evals=" << trace.rel_evals
+            << " rel_memo_hits=" << trace.rel_memo_hits << "\n";
 }
 
 // >= 10 seeds x 3 fault rates (including 0) x churn on/off = 60 scenarios.

@@ -1,0 +1,155 @@
+// Unit tests of the epoch-stamped QueryWorkspace: visited-set and
+// bookkeeping reuse across queries, pooled tried-list slots, and the
+// (owner, replica stamp) keyed relevance memo — including invalidation
+// when a heartbeat refreshes a replica mid-query.
+
+#include "ges/query_workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ges/walk_policy.hpp"
+#include "ir/relevance.hpp"
+#include "support/test_corpus.hpp"
+
+namespace ges::core {
+namespace {
+
+using p2p::LinkType;
+using p2p::Network;
+using p2p::NodeId;
+
+class QueryWorkspaceTest : public ::testing::Test {
+ protected:
+  QueryWorkspaceTest()
+      : corpus_(test::clustered_corpus(12, 3)),
+        net_(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{}) {
+    net_.connect(0, 1, LinkType::kRandom);
+    net_.connect(0, 2, LinkType::kRandom);
+    net_.connect(0, 3, LinkType::kRandom);
+  }
+
+  const ir::SparseVector& query() const { return corpus_.queries[0].vector; }
+
+  corpus::Corpus corpus_;
+  Network net_;
+  QueryWorkspace ws_;
+};
+
+TEST_F(QueryWorkspaceTest, SeenResetsLogicallyAcrossQueries) {
+  ws_.begin_query(net_, query());
+  EXPECT_FALSE(ws_.seen(4));
+  ws_.mark_seen(4);
+  ws_.mark_seen(7);
+  EXPECT_TRUE(ws_.seen(4));
+  EXPECT_TRUE(ws_.seen(7));
+
+  ws_.begin_query(net_, query());  // epoch bump, no physical clear
+  EXPECT_FALSE(ws_.seen(4));
+  EXPECT_FALSE(ws_.seen(7));
+  ws_.mark_seen(7);
+  EXPECT_TRUE(ws_.seen(7));
+  EXPECT_FALSE(ws_.seen(4));
+}
+
+TEST_F(QueryWorkspaceTest, TriedListsArePooledAndEpochScoped) {
+  ws_.begin_query(net_, query());
+  auto& tried0 = ws_.tried(0);
+  EXPECT_TRUE(tried0.empty());
+  tried0.push_back(1);
+  tried0.push_back(3);
+  EXPECT_EQ(ws_.tried(0).size(), 2u);  // same slot on revisit
+  ws_.tried(5).push_back(2);           // second node, second slot
+  EXPECT_EQ(ws_.tried(0).size(), 2u);  // undisturbed
+
+  ws_.begin_query(net_, query());
+  EXPECT_TRUE(ws_.tried(0).empty());  // fresh per query
+  EXPECT_TRUE(ws_.tried(5).empty());
+}
+
+TEST_F(QueryWorkspaceTest, RelMatchesUnmemoizedEvaluationExactly) {
+  ws_.begin_query(net_, query());
+  for (const NodeId n : {1u, 2u, 3u}) {
+    const ir::SparseVector* replica = net_.replica(0, n);
+    ASSERT_NE(replica, nullptr);
+    EXPECT_EQ(ws_.rel(net_, 0, n), ir::rel_node_query(*replica, query()));
+  }
+}
+
+TEST_F(QueryWorkspaceTest, MemoHitsOnRevisitAndResetsPerQuery) {
+  ws_.begin_query(net_, query());
+  const double first = ws_.rel(net_, 0, 3);
+  EXPECT_EQ(ws_.rel_evals(), 1u);
+  EXPECT_EQ(ws_.rel_memo_hits(), 0u);
+  EXPECT_EQ(ws_.rel(net_, 0, 3), first);
+  EXPECT_EQ(ws_.rel_evals(), 1u);
+  EXPECT_EQ(ws_.rel_memo_hits(), 1u);
+
+  ws_.begin_query(net_, query());  // new query: memo logically empty
+  EXPECT_EQ(ws_.rel(net_, 0, 3), first);
+  EXPECT_EQ(ws_.rel_evals(), 1u);
+  EXPECT_EQ(ws_.rel_memo_hits(), 0u);
+}
+
+TEST_F(QueryWorkspaceTest, MemoInvalidatedByReplicaRefresh) {
+  // Make node 3's live vector drift away from its replica held by 0.
+  ws_.begin_query(net_, query());
+  const double stale = ws_.rel(net_, 0, 3);
+  EXPECT_GT(stale, 0.0);  // same topic as query 0
+
+  for (const auto doc :
+       std::vector<ir::DocId>(net_.documents(3).begin(), net_.documents(3).end())) {
+    net_.remove_document(3, doc);
+  }
+  net_.add_document(3, ir::SparseVector::from_pairs({{5000, 3.0f}}));
+
+  // Replica not refreshed yet: memo stays valid (stamp unchanged).
+  EXPECT_EQ(ws_.rel(net_, 0, 3), stale);
+  EXPECT_EQ(ws_.rel_memo_hits(), 1u);
+
+  // A mid-query heartbeat bumps the copy stamp: memo must recompute.
+  ASSERT_TRUE(net_.refresh_replica(0, 3));
+  const uint64_t evals_before = ws_.rel_evals();
+  EXPECT_DOUBLE_EQ(ws_.rel(net_, 0, 3), 0.0);  // fresh replica: off-topic junk
+  EXPECT_EQ(ws_.rel_evals(), evals_before + 1);
+}
+
+TEST_F(QueryWorkspaceTest, MemoDistinguishesOwners) {
+  // Two owners hold replicas of node 3 with different copy stamps: the
+  // memo may not serve owner 2 a value cached for owner 0 once their
+  // copies diverge.
+  net_.connect(2, 3, LinkType::kRandom);
+  for (const auto doc :
+       std::vector<ir::DocId>(net_.documents(3).begin(), net_.documents(3).end())) {
+    net_.remove_document(3, doc);
+  }
+  net_.add_document(3, ir::SparseVector::from_pairs({{5000, 3.0f}}));
+  ASSERT_TRUE(net_.refresh_replica(2, 3));  // only owner 2 refreshes
+
+  ws_.begin_query(net_, query());
+  const double via0 = ws_.rel(net_, 0, 3);  // stale copy, still on-topic
+  const double via2 = ws_.rel(net_, 2, 3);  // fresh copy, junk
+  EXPECT_GT(via0, 0.0);
+  EXPECT_DOUBLE_EQ(via2, 0.0);
+  EXPECT_EQ(ws_.rel_evals(), 2u);
+  EXPECT_EQ(ws_.rel_memo_hits(), 0u);
+}
+
+TEST_F(QueryWorkspaceTest, WorkspacePickAgreesWithLegacyPick) {
+  // Drive the two pick_walk_target overloads side by side through a full
+  // try/flush cycle: identical choices and identical rng consumption.
+  SearchOptions options;
+  detail::WalkBookkeeping legacy;
+  util::Rng rng_legacy(9);
+  util::Rng rng_ws(9);
+  ws_.begin_query(net_, query());
+  for (int step = 0; step < 8; ++step) {
+    const NodeId a =
+        detail::pick_walk_target(net_, options, query(), 0, legacy, rng_legacy);
+    const NodeId b = detail::pick_walk_target(net_, options, 0, ws_, rng_ws);
+    EXPECT_EQ(a, b) << "step " << step;
+    EXPECT_EQ(rng_legacy.next(), rng_ws.next()) << "rng drift at step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace ges::core

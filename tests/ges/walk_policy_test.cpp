@@ -141,5 +141,68 @@ TEST(WalkPolicyReplica, UsesReplicaNotLiveVector) {
   EXPECT_EQ(pick_walk_target(net, options, query, 0, bk2, rng), 4u);
 }
 
+TEST(WalkPolicyRngRegression, SingleCandidateConsumesNoDraws) {
+  // The single-candidate shuffle skip must consume exactly what the old
+  // always-shuffle code consumed: nothing (a one-element Fisher–Yates
+  // loop body never runs). The stream must stay untouched.
+  const auto corpus = test::clustered_corpus(6, 2);
+  Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  net.connect(0, 2, LinkType::kRandom);  // exactly one random neighbor
+
+  util::Rng rng(1234);
+  util::Rng untouched(1234);
+  WalkBookkeeping bk;
+  EXPECT_EQ(pick_walk_target(net, SearchOptions{}, corpus.queries[0].vector, 0,
+                             bk, rng),
+            2u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rng.next(), untouched.next());
+}
+
+TEST(WalkPolicyRngRegression, MultiCandidateConsumesExactlyOneShuffle) {
+  // With k > 1 candidates the pick consumes exactly the draws of one
+  // k-element shuffle — no more (no stray capacity/relevance draws), no
+  // fewer. Reproduce the consumption on a twin stream and compare.
+  const auto corpus = test::clustered_corpus(12, 3);
+  Network net(corpus, test::uniform_capacities(corpus), p2p::NetworkConfig{});
+  net.connect(0, 1, LinkType::kRandom);
+  net.connect(0, 2, LinkType::kRandom);
+  net.connect(0, 3, LinkType::kRandom);
+
+  util::Rng rng(99);
+  util::Rng twin(99);
+  WalkBookkeeping bk;
+  pick_walk_target(net, SearchOptions{}, corpus.queries[0].vector, 0, bk, rng);
+
+  std::vector<p2p::NodeId> dummy = {1, 2, 3};  // draw count depends on size only
+  twin.shuffle(dummy);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rng.next(), twin.next());
+}
+
+TEST(WalkPolicyRngRegression, CapacityAwarePathDrawsMatchPlainPath) {
+  // Hoisting the capacity lookups must not change rng consumption: the
+  // capacity scan never draws, so capacity-aware and plain picks consume
+  // identical streams on the same candidates.
+  const auto corpus = test::clustered_corpus(12, 3);
+  std::vector<p2p::Capacity> caps(corpus.num_nodes(), 1.0);
+  caps[1] = 1000.0;
+  Network net(corpus, caps, p2p::NetworkConfig{});
+  net.connect(0, 1, LinkType::kRandom);
+  net.connect(0, 2, LinkType::kRandom);
+  net.connect(0, 3, LinkType::kRandom);
+
+  SearchOptions cap_aware;
+  cap_aware.capacity_aware = true;
+  cap_aware.supernode_threshold = 1000.0;
+
+  util::Rng rng_cap(7);
+  util::Rng rng_plain(7);
+  WalkBookkeeping bk_cap;
+  WalkBookkeeping bk_plain;
+  pick_walk_target(net, cap_aware, corpus.queries[0].vector, 0, bk_cap, rng_cap);
+  pick_walk_target(net, SearchOptions{}, corpus.queries[0].vector, 0, bk_plain,
+                   rng_plain);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rng_cap.next(), rng_plain.next());
+}
+
 }  // namespace
 }  // namespace ges::core::detail

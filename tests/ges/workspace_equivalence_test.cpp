@@ -1,0 +1,191 @@
+// Golden-trace byte-identity of the query data plane: with
+// SearchOptions::use_workspace on or off, every engine must make exactly
+// the same decisions — same probe order, same retrieved documents, same
+// message counts — on the same seeds. Covered: the synchronous GesSearch
+// (serial and through the parallel eval harness), the asynchronous
+// message-level engine (with latency jitter, faults, and interleaved
+// in-flight queries sharing the engine's workspace pool), and searches on
+// a faulted + churned ScenarioRunner deployment.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/experiment.hpp"
+#include "ges/async_search.hpp"
+#include "ges/scenario.hpp"
+#include "ges/topology_adaptation.hpp"
+#include "support/test_corpus.hpp"
+
+namespace ges::core {
+namespace {
+
+using p2p::NodeId;
+
+SearchOptions with_workspace(SearchOptions options, bool on) {
+  options.use_workspace = on;
+  return options;
+}
+
+class WorkspaceEquivalenceTest : public ::testing::Test {
+ protected:
+  WorkspaceEquivalenceTest()
+      : corpus_(test::clustered_corpus(36, 3)),
+        net_(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{}) {
+    util::Rng rng(11);
+    p2p::bootstrap_random_graph(net_, 5.0, rng);
+    TopologyAdaptation adapt(net_, GesParams{}, 13);
+    adapt.run_rounds(8);
+  }
+
+  corpus::Corpus corpus_;
+  p2p::Network net_;
+};
+
+TEST_F(WorkspaceEquivalenceTest, GesSearchTracesAreByteIdentical) {
+  SearchOptions base;
+  base.ttl = 40;
+  std::vector<SearchOptions> variants = {base};
+  variants.push_back(base);
+  variants.back().capacity_aware = true;
+  variants.back().supernode_threshold = 0.5;  // everyone is a supernode
+  variants.push_back(base);
+  variants.back().probe_budget = 7;
+  variants.push_back(base);
+  variants.back().max_responses = 5;
+  variants.push_back(base);
+  variants.back().flood_radius = 1;
+
+  for (size_t v = 0; v < variants.size(); ++v) {
+    const GesSearch on(net_, with_workspace(variants[v], true));
+    const GesSearch off(net_, with_workspace(variants[v], false));
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      for (size_t q = 0; q < corpus_.queries.size(); ++q) {
+        util::Rng rng_on(seed);
+        util::Rng rng_off(seed);
+        const auto initiator = static_cast<NodeId>((seed * 7 + q) % 36);
+        const auto a = on.search(corpus_.queries[q].vector, initiator, rng_on);
+        const auto b = off.search(corpus_.queries[q].vector, initiator, rng_off);
+        EXPECT_TRUE(a == b) << "variant " << v << " seed " << seed << " query " << q;
+        EXPECT_EQ(rng_on.next(), rng_off.next())
+            << "rng streams diverged: variant " << v << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST_F(WorkspaceEquivalenceTest, WorkspaceReportsEvalCountersLegacyDoesNot) {
+  SearchOptions base;
+  base.ttl = 40;
+  const GesSearch on(net_, with_workspace(base, true));
+  const GesSearch off(net_, with_workspace(base, false));
+  util::Rng rng_on(3);
+  util::Rng rng_off(3);
+  const auto a = on.search(corpus_.queries[0].vector, 0, rng_on);
+  const auto b = off.search(corpus_.queries[0].vector, 0, rng_off);
+  EXPECT_TRUE(a == b);  // counters are diagnostics, not trace content
+  EXPECT_GT(a.rel_evals, 0u);
+  EXPECT_EQ(b.rel_evals, 0u);
+  // Walks revisit nodes (flush-and-reuse), so the memo must actually hit.
+  EXPECT_GT(a.rel_memo_hits, 0u);
+}
+
+TEST_F(WorkspaceEquivalenceTest, AsyncEnginesAgreeUnderFaultsAndInterleaving) {
+  p2p::FaultPlan plan = p2p::FaultPlan::uniform(0.08, 991);
+  plan.delay_rate = 0.05;
+  plan.duplicate_rate = 0.03;
+  p2p::FaultInjector faults(plan);
+
+  SearchOptions base;
+  base.ttl = 35;
+  LatencyModel latency;  // default mean + jitter exercises rng-timed hops
+
+  auto run_all = [&](bool workspace) {
+    p2p::EventQueue queue;
+    AsyncSearchEngine engine(net_, queue, with_workspace(base, workspace),
+                             latency, &faults);
+    // Several queries in flight at once: per-run workspaces from the pool
+    // must not bleed state across interleaved executions.
+    std::vector<AsyncQueryResult> results(6);
+    for (size_t q = 0; q < results.size(); ++q) {
+      const auto& query = corpus_.queries[q % corpus_.queries.size()].vector;
+      engine.submit(query, static_cast<NodeId>(q * 5 % 36),
+                    util::derive_seed(17, q),
+                    [&results, q](const AsyncQueryResult& r) { results[q] = r; });
+    }
+    queue.run();
+    EXPECT_EQ(engine.pending(), 0u);
+    return results;
+  };
+
+  const auto on = run_all(true);
+  const auto off = run_all(false);
+  ASSERT_EQ(on.size(), off.size());
+  for (size_t q = 0; q < on.size(); ++q) {
+    EXPECT_TRUE(on[q].trace == off[q].trace) << "query " << q;
+    EXPECT_EQ(on[q].submitted_at, off[q].submitted_at) << "query " << q;
+    EXPECT_EQ(on[q].first_hit_at, off[q].first_hit_at) << "query " << q;
+    EXPECT_EQ(on[q].completed_at, off[q].completed_at) << "query " << q;
+  }
+}
+
+TEST(WorkspaceEquivalenceScenario, FaultedChurnedDeploymentTracesAgree) {
+  const auto corpus = test::clustered_corpus(24, 3);
+  ScenarioParams sp;
+  sp.params.max_links = 6;
+  sp.params.min_links = 2;
+  sp.params.walk_ttl = 20;
+  sp.faults = p2p::FaultPlan::uniform(0.1, util::derive_seed(5, 77));
+  sp.faults.partition_rate = 0.05;
+  sp.churn_enabled = true;
+  sp.churn.mean_session = 60.0;
+  sp.churn.mean_downtime = 25.0;
+  sp.churn.bootstrap_links = 2;
+  sp.churn.seed = util::derive_seed(5, 78);
+  sp.rounds = 8;
+  sp.seed = 5;
+
+  ScenarioRunner runner(corpus, sp);
+  runner.run();
+
+  SearchOptions options;
+  options.ttl = 30;
+  const auto alive = runner.network().alive_nodes();
+  ASSERT_FALSE(alive.empty());
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    util::Rng pick(util::derive_seed(seed, 80));
+    const NodeId initiator = alive[pick.index(alive.size())];
+    const auto& query = corpus.queries[seed % corpus.queries.size()].vector;
+    util::Rng rng_on(seed);
+    util::Rng rng_off(seed);
+    const auto a =
+        runner.search(query, initiator, with_workspace(options, true), rng_on);
+    const auto b =
+        runner.search(query, initiator, with_workspace(options, false), rng_off);
+    EXPECT_TRUE(a == b) << "seed " << seed;
+  }
+}
+
+TEST_F(WorkspaceEquivalenceTest, ParallelEvalHarnessAgreesWithWorkspace) {
+  // per_query_recall_at_cost fans queries across the thread pool: each
+  // worker reuses its own thread-local workspace. The recall vector must
+  // match the workspace-off run exactly — same traces, any thread.
+  auto searcher = [&](bool workspace) {
+    return eval::Searcher([this, workspace](const corpus::Query& query,
+                                            NodeId initiator, util::Rng& rng) {
+      const GesSearch engine(net_, with_workspace(SearchOptions{}, workspace));
+      return engine.search(query.vector, initiator, rng);
+    });
+  };
+  const auto on = eval::per_query_recall_at_cost(corpus_, net_, searcher(true),
+                                                 /*cost=*/0.5, /*seed=*/21);
+  const auto off = eval::per_query_recall_at_cost(corpus_, net_, searcher(false),
+                                                  /*cost=*/0.5, /*seed=*/21);
+  ASSERT_EQ(on.size(), off.size());
+  for (size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(on[i], off[i]) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ges::core

@@ -1,0 +1,270 @@
+// Randomized equivalence suite for the SoA SparseVector: every public
+// operation is checked bit-for-bit against a straight array-of-structs
+// reference implementation that mirrors the documented FP semantics
+// (ascending-term merge, double(float) * float products). This is the
+// safety net under the data-plane rewrite — any drift in canonicalization,
+// dot dispatch (merge vs gallop), add_scaled or truncate_top shows up here
+// before it can perturb a golden trace.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ir/relevance.hpp"
+#include "ir/sparse_vector.hpp"
+#include "util/rng.hpp"
+
+namespace ges::ir {
+namespace {
+
+// --- Reference AoS implementation ---------------------------------------
+
+using Entries = std::vector<TermWeight>;
+
+Entries ref_canonicalize(std::vector<TermWeight> pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const TermWeight& a, const TermWeight& b) { return a.term < b.term; });
+  Entries out;
+  for (size_t i = 0; i < pairs.size();) {
+    TermWeight merged = pairs[i];
+    size_t j = i + 1;
+    while (j < pairs.size() && pairs[j].term == merged.term) {
+      merged.weight += pairs[j].weight;
+      ++j;
+    }
+    if (merged.weight != 0.0f) out.push_back(merged);
+    i = j;
+  }
+  return out;
+}
+
+double ref_dot(const Entries& a, const Entries& b) {
+  double sum = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].term < b[j].term) {
+      ++i;
+    } else if (b[j].term < a[i].term) {
+      ++j;
+    } else {
+      sum += static_cast<double>(a[i].weight) * b[j].weight;
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+Entries ref_add_scaled(const Entries& a, const Entries& b, double scale) {
+  if (scale == 0.0 || b.empty()) return a;
+  Entries out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a[i].term < b[j].term)) {
+      out.push_back(a[i++]);
+    } else if (i >= a.size() || b[j].term < a[i].term) {
+      out.push_back({b[j].term, static_cast<float>(b[j].weight * scale)});
+      ++j;
+    } else {
+      const float w = a[i].weight + static_cast<float>(b[j].weight * scale);
+      if (w != 0.0f) out.push_back({a[i].term, w});
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+Entries ref_truncate_top(Entries a, size_t k) {
+  if (k == 0 || a.size() <= k) return a;
+  std::sort(a.begin(), a.end(), [](const TermWeight& x, const TermWeight& y) {
+    if (x.weight != y.weight) return x.weight > y.weight;
+    return x.term < y.term;
+  });
+  a.resize(k);
+  std::sort(a.begin(), a.end(),
+            [](const TermWeight& x, const TermWeight& y) { return x.term < y.term; });
+  return a;
+}
+
+Entries entries_of(const SparseVector& v) {
+  Entries out;
+  for (const TermWeight tw : v.entries()) out.push_back(tw);
+  return out;
+}
+
+void expect_same(const SparseVector& soa, const Entries& ref) {
+  ASSERT_EQ(soa.size(), ref.size());
+  const auto terms = soa.terms();
+  const auto weights = soa.weights();
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(terms[i], ref[i].term) << "term " << i;
+    EXPECT_EQ(weights[i], ref[i].weight) << "weight " << i;  // bit-exact
+  }
+}
+
+// --- Randomized inputs ---------------------------------------------------
+
+/// Raw (term, weight) pairs: duplicate terms, occasional exact zeros and
+/// negative weights, all legal inputs of from_pairs.
+std::vector<TermWeight> random_pairs(util::Rng& rng, size_t max_len,
+                                     TermId universe) {
+  const size_t len = rng.index(max_len + 1);
+  std::vector<TermWeight> pairs;
+  pairs.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    const auto term = static_cast<TermId>(rng.below(universe));
+    float w = static_cast<float>(rng.uniform(-2.0, 2.0));
+    if (rng.chance(0.05)) w = 0.0f;
+    pairs.push_back({term, w});
+  }
+  return pairs;
+}
+
+TEST(SparseVectorSoa, CanonicalizationMatchesReference) {
+  util::Rng rng(101);
+  for (int iter = 0; iter < 400; ++iter) {
+    auto pairs = random_pairs(rng, 40, 25);  // small universe: many dups
+    const auto ref = ref_canonicalize(pairs);
+    const auto soa = SparseVector::from_pairs(std::move(pairs));
+    expect_same(soa, ref);
+    EXPECT_EQ(entries_of(soa), ref);  // zip view agrees with the arrays
+  }
+}
+
+TEST(SparseVectorSoa, DotMatchesReferenceAcrossShapes) {
+  util::Rng rng(202);
+  // (max_len_a, max_len_b, universe): comparable sizes (merge path),
+  // lopsided sizes (gallop path both ways), tiny universe (dense
+  // overlap), huge universe (mostly disjoint).
+  const struct {
+    size_t la, lb;
+    TermId universe;
+  } shapes[] = {
+      {20, 20, 30},    {20, 20, 100000}, {3, 400, 600},
+      {400, 3, 600},   {1, 1, 4},        {50, 50, 60},
+  };
+  for (const auto& s : shapes) {
+    for (int iter = 0; iter < 200; ++iter) {
+      const auto pa = random_pairs(rng, s.la, s.universe);
+      const auto pb = random_pairs(rng, s.lb, s.universe);
+      const auto ra = ref_canonicalize(pa);
+      const auto rb = ref_canonicalize(pb);
+      const auto va = SparseVector::from_pairs(pa);
+      const auto vb = SparseVector::from_pairs(pb);
+      const double expected = ref_dot(ra, rb);
+      EXPECT_EQ(va.dot(vb), expected);  // bit-identical, not just close
+      EXPECT_EQ(vb.dot(va), expected);  // gallop operand swap commutes
+    }
+  }
+}
+
+TEST(SparseVectorSoa, EmptyAndDisjointAndSupersetDots) {
+  const SparseVector empty;
+  const auto a = SparseVector::from_pairs({{1, 1.0f}, {5, 2.0f}, {9, 3.0f}});
+  const auto disjoint = SparseVector::from_pairs({{2, 1.0f}, {6, 2.0f}});
+  EXPECT_EQ(empty.dot(a), 0.0);
+  EXPECT_EQ(a.dot(empty), 0.0);
+  EXPECT_EQ(empty.dot(empty), 0.0);
+  EXPECT_EQ(a.dot(disjoint), 0.0);
+
+  // Superset containing all of a's terms: every component matches.
+  std::vector<TermWeight> sup;
+  for (TermId t = 0; t < 12; ++t) sup.push_back({t, 0.5f});
+  const auto superset = SparseVector::from_pairs(sup);
+  EXPECT_EQ(a.dot(superset), ref_dot(entries_of(a), entries_of(superset)));
+}
+
+TEST(SparseVectorSoa, AddScaledMatchesReference) {
+  util::Rng rng(303);
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto pa = random_pairs(rng, 30, 40);
+    const auto pb = random_pairs(rng, 30, 40);
+    const double scale = rng.chance(0.1) ? 0.0 : rng.uniform(-1.5, 1.5);
+    const auto ref =
+        ref_add_scaled(ref_canonicalize(pa), ref_canonicalize(pb), scale);
+    auto v = SparseVector::from_pairs(pa);
+    v.add_scaled(SparseVector::from_pairs(pb), scale);
+    expect_same(v, ref);
+  }
+}
+
+TEST(SparseVectorSoa, TruncateTopMatchesReference) {
+  util::Rng rng(404);
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto pairs = random_pairs(rng, 40, 200);
+    const auto ref = ref_canonicalize(pairs);
+    const size_t k = rng.index(ref.size() + 3);
+    auto v = SparseVector::from_pairs(pairs);
+    v.truncate_top(k);
+    expect_same(v, ref_truncate_top(ref, k));
+  }
+}
+
+TEST(SparseVectorSoa, WeightNormOverlapMatchReference) {
+  util::Rng rng(505);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto pa = random_pairs(rng, 25, 50);
+    const auto pb = random_pairs(rng, 25, 50);
+    const auto ra = ref_canonicalize(pa);
+    const auto va = SparseVector::from_pairs(pa);
+    const auto vb = SparseVector::from_pairs(pb);
+
+    double sq = 0.0;
+    for (const auto& e : ra) sq += static_cast<double>(e.weight) * e.weight;
+    EXPECT_EQ(va.norm(), std::sqrt(sq));  // same accumulation order: bit-exact
+    for (const auto& e : ra) EXPECT_EQ(va.weight(e.term), e.weight);
+    EXPECT_EQ(va.weight(static_cast<TermId>(10000)), 0.0f);
+
+    size_t overlap = 0;
+    for (const auto& e : ra) {
+      if (std::binary_search(vb.terms().begin(), vb.terms().end(), e.term)) {
+        ++overlap;
+      }
+    }
+    EXPECT_EQ(va.overlap(vb), overlap);
+  }
+}
+
+// --- DensifiedQuery ------------------------------------------------------
+
+TEST(DensifiedQuery, DotIsBitIdenticalToSparseDot) {
+  util::Rng rng(606);
+  DensifiedQuery view;  // one instance reused across binds (epoch reuse)
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto q = SparseVector::from_pairs(random_pairs(rng, 6, 400));
+    const auto v = SparseVector::from_pairs(random_pairs(rng, 200, 400));
+    view.bind(q);
+    EXPECT_EQ(view.dot(v), q.dot(v));
+    for (const TermId t : q.terms()) {
+      EXPECT_TRUE(view.contains(t));
+      EXPECT_EQ(view.weight(t), q.weight(t));
+    }
+  }
+}
+
+TEST(DensifiedQuery, EmptyBindAndRebindAreSafe) {
+  DensifiedQuery view;
+  const SparseVector empty;
+  const auto v = SparseVector::from_pairs({{3, 1.0f}, {7, 2.0f}});
+  view.bind(empty);
+  EXPECT_EQ(view.dot(v), 0.0);
+  EXPECT_FALSE(view.contains(3));
+
+  // Rebinding to a smaller term universe must not leak the old epoch's
+  // entries (term 900 was in range for the first bind, not the second).
+  const auto wide = SparseVector::from_pairs({{900, 1.0f}});
+  view.bind(wide);
+  EXPECT_TRUE(view.contains(900));
+  view.bind(v);
+  EXPECT_FALSE(view.contains(900));
+  EXPECT_EQ(view.dot(wide), 0.0);
+  EXPECT_EQ(view.dot(v), v.dot(v));
+}
+
+}  // namespace
+}  // namespace ges::ir
