@@ -1,0 +1,306 @@
+// Query-result cache under a repeat-heavy workload: the same GES overlay
+// serves a Zipf(1.0)-distributed request stream (popular queries repeat
+// often, as Gnutella query logs do) with the result cache off and on.
+// Each query rank is a FIXED (query vector, initiator, rng seed) triple,
+// so the cache-off run re-executes byte-identical searches and the
+// cache-on run must return the exact same (doc, score) sequences — a
+// per-rank FNV checksum enforces that recall is unchanged, while the
+// probe counters show the work saved. Cache-on searches run in strict
+// mode, so every hit is additionally re-verified against the owners'
+// live indexes inside the engine.
+//
+// A second phase replays each rank from several different initiators:
+// only the first origin's walk stores (initiator + walk-path fanout), so
+// later origins measure the response-path payoff — their walks terminate
+// at the first cached node they touch.
+//
+// BENCH_micro_result_cache.json carries the headline `probe_reduction`
+// on the `result_cache` entry so CI can floor-check the ratio across
+// PRs (scripts/check_bench_json.py --require-extra
+// result_cache:probe_reduction:1.5).
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "ges/result_cache.hpp"
+#include "ges/search.hpp"
+#include "p2p/network.hpp"
+#include "support/bench_json.hpp"
+#include "util/check.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using ges::core::GesSearch;
+using ges::core::ResultCacheBank;
+using ges::core::SearchOptions;
+using ges::corpus::Corpus;
+using ges::ir::SparseVector;
+using ges::p2p::LinkType;
+using ges::p2p::Network;
+using ges::p2p::NodeId;
+using ges::p2p::SearchTrace;
+
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t fold(uint64_t h, uint64_t v) { return (h ^ v) * kFnvPrime; }
+
+/// Checksum of the retrieved (doc, score) sequence only: a cache hit
+/// legitimately re-attributes documents to the answering node, so
+/// probe_index is excluded — the recall-relevant content must match.
+uint64_t result_checksum(uint64_t h, const SearchTrace& trace) {
+  for (const auto& d : trace.retrieved) {
+    h = fold(h, d.doc);
+    h = fold(h, std::bit_cast<uint64_t>(d.score));
+  }
+  return h;
+}
+
+/// Topic-clustered corpus: one 3-term query per topic over ~60-term
+/// documents, so every same-topic node scores and fresh searches do real
+/// per-probe evaluation work.
+Corpus build_corpus(size_t nodes, size_t topics, uint64_t seed) {
+  constexpr size_t kTermsPerTopic = 150;
+  constexpr size_t kTermsPerDoc = 60;
+  constexpr size_t kDocsPerNode = 2;
+  Corpus c;
+  ges::util::Rng rng(seed);
+  for (size_t t = 0; t < topics * kTermsPerTopic; ++t) {
+    std::string name = "t";
+    name += std::to_string(t);
+    c.dict.intern(name);
+  }
+  c.node_docs.resize(nodes);
+  for (size_t n = 0; n < nodes; ++n) {
+    const auto topic = static_cast<ges::corpus::TopicId>(n % topics);
+    const auto base = static_cast<ges::ir::TermId>(topic * kTermsPerTopic);
+    for (size_t k = 0; k < kDocsPerNode; ++k) {
+      const auto picks = rng.sample_without_replacement(kTermsPerTopic - 3,
+                                                        kTermsPerDoc - 3);
+      std::vector<ges::ir::TermWeight> counts;
+      counts.reserve(kTermsPerDoc);
+      for (size_t j = 0; j < 3; ++j) {
+        counts.push_back({static_cast<ges::ir::TermId>(base + j),
+                          static_cast<float>(1 + rng.below(4))});
+      }
+      for (const size_t pick : picks) {
+        counts.push_back({static_cast<ges::ir::TermId>(base + 3 + pick),
+                          static_cast<float>(1 + rng.below(4))});
+      }
+      ges::corpus::Document d;
+      d.id = static_cast<ges::ir::DocId>(c.docs.size());
+      d.node = static_cast<ges::corpus::NodeIndex>(n);
+      d.topic = topic;
+      d.counts = SparseVector::from_pairs(std::move(counts));
+      d.vector = d.counts;
+      d.vector.dampen();
+      d.vector.normalize();
+      c.node_docs[n].push_back(d.id);
+      c.docs.push_back(std::move(d));
+    }
+  }
+  for (size_t t = 0; t < topics; ++t) {
+    ges::corpus::Query q;
+    q.id = static_cast<uint32_t>(t);
+    q.topic = static_cast<ges::corpus::TopicId>(t);
+    const auto base = static_cast<ges::ir::TermId>(t * kTermsPerTopic);
+    q.vector = SparseVector::from_pairs(
+        {{base, 1.0f},
+         {static_cast<ges::ir::TermId>(base + 1), 1.0f},
+         {static_cast<ges::ir::TermId>(base + 2), 1.0f}});
+    q.vector.normalize();
+    c.queries.push_back(std::move(q));
+  }
+  return c;
+}
+
+struct MeasuredRun {
+  uint64_t checksum = 0;  // folded per-request result checksums
+  size_t probes = 0;
+  size_t cache_hits = 0;
+  double seconds = 0.0;
+};
+
+/// Run the request stream: requests[i] is a query rank; rank r always
+/// executes as (query vector of rank r, initiator f(r), Rng(seed, r)).
+MeasuredRun run_stream(const GesSearch& engine, const Corpus& corpus,
+                       const std::vector<size_t>& requests, size_t nodes,
+                       uint64_t seed) {
+  using Clock = std::chrono::steady_clock;
+  MeasuredRun out;
+  const auto start = Clock::now();
+  for (const size_t rank : requests) {
+    ges::util::Rng rng(ges::util::derive_seed(seed, rank));
+    const auto& query = corpus.queries[rank % corpus.queries.size()].vector;
+    const auto initiator = static_cast<NodeId>((rank * 7919) % nodes);
+    const SearchTrace trace = engine.search(query, initiator, rng);
+    out.checksum = fold(out.checksum, result_checksum(0, trace));
+    out.probes += trace.probes();
+    out.cache_hits += trace.cache_hits;
+  }
+  out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
+}
+
+/// Multi-origin replay: every rank issued once from each of `origins`
+/// distinct initiators (fixed per (rank, origin) pair).
+MeasuredRun run_origins(const GesSearch& engine, const Corpus& corpus,
+                        size_t ranks, size_t origins, size_t nodes,
+                        uint64_t seed) {
+  using Clock = std::chrono::steady_clock;
+  MeasuredRun out;
+  const auto start = Clock::now();
+  for (size_t o = 0; o < origins; ++o) {
+    for (size_t rank = 0; rank < ranks; ++rank) {
+      ges::util::Rng rng(ges::util::derive_seed(seed, rank * origins + o));
+      const auto& query = corpus.queries[rank % corpus.queries.size()].vector;
+      const auto initiator =
+          static_cast<NodeId>((rank * 7919 + o * 104729) % nodes);
+      const SearchTrace trace = engine.search(query, initiator, rng);
+      out.probes += trace.probes();
+      out.cache_hits += trace.cache_hits;
+    }
+  }
+  out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ges;
+  bench::BenchJsonWriter json("micro_result_cache");
+
+  size_t nodes = 2400;
+  size_t ranks = 24;     // distinct (query, initiator, seed) triples
+  size_t requests = 400;  // Zipf-sampled stream length
+  switch (util::env_scale(util::Scale::kMedium)) {
+    case util::Scale::kTiny:
+      nodes = 600;
+      ranks = 12;
+      requests = 120;
+      break;
+    case util::Scale::kSmall:
+      nodes = 1200;
+      ranks = 16;
+      requests = 240;
+      break;
+    case util::Scale::kMedium:
+      break;
+    case util::Scale::kFull:
+      nodes = 6000;
+      ranks = 32;
+      requests = 800;
+      break;
+  }
+  const auto seed = static_cast<uint64_t>(util::env_int("GES_SEED", 42));
+  const size_t topics = ranks;
+
+  const Corpus corpus = build_corpus(nodes, topics, seed);
+  p2p::NetworkConfig config;
+  Network net(corpus, std::vector<p2p::Capacity>(nodes, 1.0), config);
+
+  // Random side: bootstrap graph (walks). Semantic side: a ring through
+  // each topic group (floods), as in micro_query_path — adaptation at
+  // this scale would dominate bring-up without changing the probe work.
+  util::Rng boot(util::derive_seed(seed, 1));
+  p2p::bootstrap_random_graph(net, 6.0, boot);
+  for (size_t n = 0; n < nodes; ++n) {
+    for (size_t k = 1; k <= 2; ++k) {
+      const size_t next = n + k * topics;
+      if (next < nodes) {
+        net.connect(static_cast<NodeId>(n), static_cast<NodeId>(next),
+                    LinkType::kSemantic);
+      }
+    }
+  }
+
+  SearchOptions options;
+  options.ttl = 4 * nodes;
+  options.probe_budget = nodes / 8;
+  options.use_workspace = true;
+
+  // Zipf(1.0) request stream over the rank universe, drawn once and
+  // replayed identically against both engines.
+  std::vector<size_t> stream;
+  stream.reserve(requests);
+  {
+    util::Rng zipf_rng(util::derive_seed(seed, 2));
+    util::ZipfSampler zipf(ranks, 1.0);
+    for (size_t i = 0; i < requests; ++i) {
+      stream.push_back(zipf.sample(zipf_rng) - 1);  // ranks are 1-based
+    }
+  }
+
+  const GesSearch uncached(net, options);
+  SearchOptions cached_options = options;
+  cached_options.use_result_cache = true;
+  cached_options.strict_result_cache = true;
+
+  ResultCacheBank bank(net);
+  const GesSearch cached(net, cached_options, nullptr, &bank);
+
+  const MeasuredRun off = run_stream(uncached, corpus, stream, nodes, seed);
+  const MeasuredRun on = run_stream(cached, corpus, stream, nodes, seed);
+
+  // Recall gate: identical (doc, score) sequences request for request.
+  GES_CHECK_MSG(on.checksum == off.checksum,
+                "cached results diverged from fresh evaluation");
+  GES_CHECK_MSG(on.cache_hits > 0, "repeat-heavy stream produced no hits");
+  GES_CHECK_MSG(off.cache_hits == 0, "cache-off run reported cache hits");
+
+  const double reduction =
+      static_cast<double>(off.probes) / static_cast<double>(on.probes);
+
+  ResultCacheBank origin_bank(net);
+  const GesSearch origin_cached(net, cached_options, nullptr, &origin_bank);
+  const size_t origins = 4;
+  const MeasuredRun mo_off =
+      run_origins(uncached, corpus, ranks, origins, nodes, seed);
+  const MeasuredRun mo_on =
+      run_origins(origin_cached, corpus, ranks, origins, nodes, seed);
+  const double mo_reduction =
+      static_cast<double>(mo_off.probes) / static_cast<double>(mo_on.probes);
+
+  const double off_rate = static_cast<double>(stream.size()) / off.seconds;
+  const double on_rate = static_cast<double>(stream.size()) / on.seconds;
+
+  util::Table table({"engine", "requests", "probes", "probes/query", "hits"});
+  table.add_row({"uncached", util::cell(stream.size()), util::cell(off.probes),
+                 util::cell(static_cast<double>(off.probes) / stream.size(), 1),
+                 util::cell(off.cache_hits)});
+  table.add_row({"result cache (strict)", util::cell(stream.size()),
+                 util::cell(on.probes),
+                 util::cell(static_cast<double>(on.probes) / stream.size(), 1),
+                 util::cell(on.cache_hits)});
+  std::cout << "Result cache on a Zipf(1.0) repeat stream: " << nodes
+            << " nodes, " << ranks << " query ranks, " << stream.size()
+            << " requests, " << options.probe_budget << "-probe budget\n\n"
+            << table.render() << "\nprobe reduction: " << reduction
+            << "x (recall checksums identical)\nmulti-origin replay: "
+            << mo_off.probes << " -> " << mo_on.probes << " probes ("
+            << mo_reduction << "x, " << mo_on.cache_hits << " path hits)\n";
+
+  json.add("uncached_path", off_rate, 1e9 / off_rate,
+           {{"probes", static_cast<double>(off.probes)}});
+  json.add("result_cache", on_rate, 1e9 / on_rate,
+           {{"probes", static_cast<double>(on.probes)},
+            {"probe_reduction", reduction},
+            {"hits", static_cast<double>(on.cache_hits)},
+            {"recall_match", 1.0}});
+  json.add("multi_origin",
+           static_cast<double>(ranks * origins) / mo_on.seconds,
+           1e9 * mo_on.seconds / static_cast<double>(ranks * origins),
+           {{"probes", static_cast<double>(mo_on.probes)},
+            {"probe_reduction", mo_reduction},
+            {"hits", static_cast<double>(mo_on.cache_hits)}});
+  json.write();
+  return 0;
+}

@@ -50,14 +50,21 @@ int main(int argc, char** argv) {
   runner.run();
 
   // A few queries on the adapted overlay so the trace has query spans.
+  // Each runs twice with the result cache in strict mode: the repeat is
+  // served from the initiator's cache, so the export carries a live
+  // ges.cache.* family (CI floor-checks its presence with
+  // check_telemetry_json.py --expect-family ges.cache.).
   util::Rng rng(util::derive_seed(seed, 79));
   core::SearchOptions sopt;
   sopt.ttl = 30;
+  sopt.use_result_cache = true;
+  sopt.strict_result_cache = true;
   for (size_t q = 0; q < 5; ++q) {
     const auto alive = runner.network().alive_nodes();
     const auto initiator = alive[rng.index(alive.size())];
-    runner.search(corpus.queries[q % corpus.queries.size()].vector, initiator,
-                  sopt, rng);
+    const auto& query = corpus.queries[q % corpus.queries.size()].vector;
+    runner.search(query, initiator, sopt, rng);
+    runner.search(query, initiator, sopt, rng);
   }
   runner.write_telemetry(sp.telemetry_out);  // refresh with the query spans
 
@@ -69,7 +76,9 @@ int main(int argc, char** argv) {
        {"ges.adapt.rounds", "ges.adapt.handshake_messages",
         "ges.adapt.handshake_aborts", "p2p.heartbeat.sent", "p2p.heartbeat.lost",
         "p2p.churn.departures", "p2p.churn.arrivals", "p2p.walk.hops",
-        "ges.search.queries", "ges.search.probes", "p2p.fault.blocked"}) {
+        "ges.search.queries", "ges.search.probes", "p2p.fault.blocked",
+        "ges.cache.hits", "ges.cache.misses", "ges.cache.stores",
+        "ges.cache.invalidations"}) {
     std::cout << "  " << name << " = " << snapshot.counter(name) << "\n";
   }
   std::cout << "\ntrace events recorded: " << obs::global().trace().size()

@@ -8,8 +8,16 @@ Stdlib-only. Checks three document kinds by shape:
   chrome trace     <prefix>.trace.json (trace_event JSON: ph "X"/"i",
                    non-negative ts/dur, numeric args)
 
-Usage: check_telemetry_json.py FILE [FILE...]
-Exits non-zero on the first invalid file; prints one OK line per valid one.
+A repeatable --expect-family PREFIX flag declares a metric family that
+must appear (by name prefix) in at least one validated ges.metrics.v1
+document — including metrics embedded in bench documents. A declared
+family with no exported metric fails the run: a subsystem whose counters
+silently vanish from the export (renamed, never registered, compiled
+out) is a telemetry regression, not a clean pass.
+
+Usage: check_telemetry_json.py FILE [FILE...] [--expect-family PREFIX]
+Exits non-zero on the first invalid file or missing family; prints one
+OK line per valid file.
 """
 
 import json
@@ -27,7 +35,7 @@ def is_number(x):
     return isinstance(x, (int, float)) and not isinstance(x, bool)
 
 
-def check_metrics(path, doc):
+def check_metrics(path, doc, seen_names):
     if doc.get("schema") != "ges.metrics.v1":
         fail(path, "schema is not ges.metrics.v1")
     metrics = doc.get("metrics")
@@ -63,6 +71,7 @@ def check_metrics(path, doc):
                 fail(path, f"{where} ({name}) needs numeric lo < hi")
     if names != sorted(names):
         fail(path, "metrics are not sorted by name")
+    seen_names.extend(names)
     return f"{len(metrics)} metrics"
 
 
@@ -95,7 +104,7 @@ def check_trace(path, doc):
     return f"{len(events)} trace events"
 
 
-def check_bench(path, doc):
+def check_bench(path, doc, seen_names):
     if doc.get("schema") != "ges.bench.v1":
         fail(path, "schema is not ges.bench.v1")
     if not isinstance(doc.get("bench"), str) or not doc["bench"]:
@@ -112,34 +121,58 @@ def check_bench(path, doc):
                 fail(path, f"{where} {key} is not numeric/null")
     extra = ""
     if "metrics" in doc:
-        extra = ", embedded " + check_metrics(path, doc["metrics"])
+        extra = ", embedded " + check_metrics(path, doc["metrics"], seen_names)
     return f"{len(entries)} entries{extra}"
 
 
-def classify(path, doc):
+def classify(path, doc, seen_names):
     if not isinstance(doc, dict):
         fail(path, "top level is not an object")
     if "traceEvents" in doc:
         return check_trace(path, doc)
     schema = doc.get("schema")
     if schema == "ges.metrics.v1":
-        return check_metrics(path, doc)
+        return check_metrics(path, doc, seen_names)
     if schema == "ges.bench.v1":
-        return check_bench(path, doc)
+        return check_bench(path, doc, seen_names)
     fail(path, f"unrecognized document (schema={schema!r})")
 
 
+def parse_args(argv):
+    paths, families = [], []
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--expect-family":
+            i += 1
+            if i >= len(argv) or not argv[i]:
+                fail("<args>", "--expect-family needs a non-empty PREFIX")
+            families.append(argv[i])
+        else:
+            paths.append(arg)
+        i += 1
+    return paths, families
+
+
 def main(argv):
-    if len(argv) < 2:
+    paths, families = parse_args(argv)
+    if not paths:
         print(__doc__, file=sys.stderr)
         return 2
-    for path in argv[1:]:
+    seen_names = []
+    for path in paths:
         try:
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
         except (OSError, json.JSONDecodeError) as e:
             fail(path, str(e))
-        print(f"OK {path}: {classify(path, doc)}")
+        print(f"OK {path}: {classify(path, doc, seen_names)}")
+    for family in families:
+        matches = sum(1 for name in seen_names if name.startswith(family))
+        if matches == 0:
+            fail("<families>", f"expected metric family {family!r} is absent "
+                               f"from every validated metrics document")
+        print(f"OK family {family!r}: {matches} metric(s)")
     return 0
 
 

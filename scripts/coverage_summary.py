@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Per-directory line-coverage summary from an lcov tracefile.
+
+Stdlib-only. Parses the SF:/DA:/end_of_record records of an lcov .info
+file and prints a GitHub-flavored markdown table of line coverage
+aggregated by source directory (relative to --root, default the current
+working directory), with a TOTAL row. CI appends the output to
+$GITHUB_STEP_SUMMARY so the per-directory numbers are readable on the
+job page without downloading the HTML artifact.
+
+Usage: coverage_summary.py coverage.info [--root DIR]
+"""
+
+import os
+import sys
+
+
+def parse_tracefile(path):
+    """{source file -> (lines instrumented, lines hit)}."""
+    per_file = {}
+    current = None
+    found = hit = 0
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if line.startswith("SF:"):
+                current = line[3:]
+                found = hit = 0
+            elif line.startswith("DA:") and current is not None:
+                parts = line[3:].split(",")
+                found += 1
+                if len(parts) >= 2 and int(parts[1]) > 0:
+                    hit += 1
+            elif line == "end_of_record" and current is not None:
+                prev = per_file.get(current, (0, 0))
+                per_file[current] = (prev[0] + found, prev[1] + hit)
+                current = None
+    return per_file
+
+
+def main(argv):
+    args = argv[1:]
+    root = os.getcwd()
+    if "--root" in args:
+        i = args.index("--root")
+        try:
+            root = args[i + 1]
+        except IndexError:
+            print("--root needs a directory", file=sys.stderr)
+            return 2
+        del args[i:i + 2]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    per_file = parse_tracefile(args[0])
+    if not per_file:
+        print(f"no coverage records in {args[0]}", file=sys.stderr)
+        return 1
+
+    by_dir = {}
+    total_found = total_hit = 0
+    for path, (found, hit) in per_file.items():
+        rel = os.path.relpath(path, root)
+        directory = os.path.dirname(rel) or "."
+        prev = by_dir.get(directory, (0, 0))
+        by_dir[directory] = (prev[0] + found, prev[1] + hit)
+        total_found += found
+        total_hit += hit
+
+    print("### Line coverage by directory\n")
+    print("| directory | lines | hit | coverage |")
+    print("|---|---:|---:|---:|")
+    for directory in sorted(by_dir):
+        found, hit = by_dir[directory]
+        pct = 100.0 * hit / found if found else 0.0
+        print(f"| `{directory}` | {found} | {hit} | {pct:.1f}% |")
+    total_pct = 100.0 * total_hit / total_found if total_found else 0.0
+    print(f"| **TOTAL** | {total_found} | {total_hit} | **{total_pct:.1f}%** |")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,6 +1,7 @@
 #include "ges/async_search.hpp"
 
 #include "ges/query_workspace.hpp"
+#include "ges/result_cache.hpp"
 #include "ges/walk_policy.hpp"
 #include "obs/telemetry.hpp"
 #include "util/check.hpp"
@@ -34,6 +35,8 @@ struct AsyncSearchEngine::Run {
   size_t in_flight = 0;
   uint64_t message_seq = 0;  // per-run fault nonce
   bool finished = false;
+  p2p::QuerySignature cache_sig;  // computed at submit when caching
+  bool cache_hit = false;         // hit ends the query's expansion
 
   bool seen(NodeId node) const {
     return ws != nullptr ? ws->seen(node) : legacy_seen.count(node) > 0;
@@ -47,20 +50,29 @@ struct AsyncSearchEngine::Run {
   }
 
   bool satisfied(const SearchOptions& options) const {
-    return result.trace.probes() >= budget ||
+    return cache_hit || result.trace.probes() >= budget ||
            (options.max_responses != 0 && responses >= options.max_responses);
+  }
+
+  bool already_retrieved(ir::DocId doc) const {
+    for (const auto& r : result.trace.retrieved) {
+      if (r.doc == doc) return true;
+    }
+    return false;
   }
 };
 
 AsyncSearchEngine::AsyncSearchEngine(const p2p::Network& network,
                                      p2p::EventQueue& queue, SearchOptions options,
                                      LatencyModel latency,
-                                     const p2p::FaultInjector* faults)
+                                     const p2p::FaultInjector* faults,
+                                     ResultCacheBank* cache)
     : network_(&network),
       queue_(&queue),
       options_(options),
       latency_(latency),
-      faults_(faults) {
+      faults_(faults),
+      cache_(options.use_result_cache ? cache : nullptr) {
   GES_CHECK(latency_.hop_mean >= 0.0);
   GES_CHECK(latency_.hop_jitter >= 0.0);
 }
@@ -121,10 +133,67 @@ void AsyncSearchEngine::message_done(const std::shared_ptr<Run>& run) {
   maybe_finish(run);
 }
 
+/// Serve the query from `node`'s result cache. On a hit the node enters
+/// probe_order (it answered without an index evaluation), cached
+/// documents not already retrieved are appended, and the run is marked
+/// satisfied — in-flight messages drain, but nothing expands further.
+bool AsyncSearchEngine::try_cache(const std::shared_ptr<Run>& run, NodeId node) {
+  if (cache_ == nullptr) return false;
+  const auto* docs = cache_->probe(node, run->cache_sig);
+  if (docs == nullptr) return false;
+  if (options_.strict_result_cache) {
+    cache_->verify_strict(run->query, options_.doc_rel_threshold, *docs);
+  }
+  run->mark_seen(node);
+  auto& trace = run->result.trace;
+  const auto probe_index = static_cast<uint32_t>(trace.probe_order.size());
+  trace.probe_order.push_back(node);
+  for (const auto& d : *docs) {
+    if (run->already_retrieved(d.doc)) continue;
+    trace.retrieved.push_back({d.doc, d.score, probe_index});
+    ++run->responses;
+  }
+  ++trace.cache_hits;
+  run->cache_hit = true;
+  if (node == run->initiator) {
+    // The answer is local to the initiator: first hit at zero latency.
+    if (run->result.first_hit_at < 0.0) {
+      run->result.first_hit_at = queue_->now();
+      GES_INSTANT("first_hit", "search", run->guid);
+    }
+  } else {
+    // A remote cache answered; the response still travels back.
+    schedule_message(run, p2p::FaultChannel::kWalk, node, run->initiator,
+                     [this, run] { deliver_hit(run, 0); });
+  }
+  return true;
+}
+
+/// After an uncached completion, absorb the result set at the initiator
+/// plus the first store_fanout probed nodes (the response retraces the
+/// query path). Cache-served queries never re-store, so staleness cannot
+/// compound.
+void AsyncSearchEngine::store_results(Run& run) {
+  const auto& trace = run.result.trace;
+  if (cache_ == nullptr || run.cache_hit || trace.retrieved.empty()) return;
+  std::vector<p2p::CachedResultDoc> docs;
+  docs.reserve(trace.retrieved.size());
+  for (const auto& r : trace.retrieved) {
+    const NodeId owner = trace.probe_order[r.probe_index];
+    docs.push_back({r.doc, r.score, owner, network_->node_vector_version(owner)});
+  }
+  const size_t limit =
+      std::min(trace.probe_order.size(), cache_->config().store_fanout + 1);
+  for (size_t i = 0; i < limit; ++i) {
+    cache_->store(trace.probe_order[i], run.cache_sig, docs);
+  }
+}
+
 void AsyncSearchEngine::maybe_finish(const std::shared_ptr<Run>& run) {
   if (run->in_flight == 0 && !run->finished) {
     run->finished = true;
     run->result.completed_at = queue_->now();
+    store_results(*run);
     if (run->ws != nullptr) {
       run->result.trace.rel_evals = run->ws->rel_evals();
       run->result.trace.rel_memo_hits = run->ws->rel_memo_hits();
@@ -251,6 +320,7 @@ void AsyncSearchEngine::continue_walk(const std::shared_ptr<Run>& run,
 void AsyncSearchEngine::deliver_walk(const std::shared_ptr<Run>& run, NodeId at) {
   if (run->satisfied(options_)) return;
   if (!run->seen(at)) {
+    if (try_cache(run, at)) return;  // walk hop served the answer
     const bool is_target = probe(run, at);
     if (is_target && !run->satisfied(options_)) start_flood(run, at);
   }
@@ -281,13 +351,16 @@ Guid AsyncSearchEngine::submit(const ir::SparseVector& query, NodeId initiator,
     run->ws = acquire_workspace();
     run->ws->begin_query(*network_, run->query);
   }
+  if (cache_ != nullptr) run->cache_sig = p2p::query_signature(run->query);
   runs_.emplace(run->guid, run);
 
   // Bootstrap token keeps the run alive through the synchronous part.
   ++run->in_flight;
-  const bool is_target = probe(run, initiator);
-  if (is_target && !run->satisfied(options_)) start_flood(run, initiator);
-  continue_walk(run, initiator);
+  if (!try_cache(run, initiator)) {
+    const bool is_target = probe(run, initiator);
+    if (is_target && !run->satisfied(options_)) start_flood(run, initiator);
+    continue_walk(run, initiator);
+  }
   message_done(run);
   return run->guid;
 }

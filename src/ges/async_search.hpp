@@ -63,9 +63,15 @@ class AsyncSearchEngine {
   /// real initiator would wait; duplicates are discarded by the GUID
   /// bookkeeping. A null/zero-rate injector is byte-identical to the
   /// fault-free engine.
+  /// `cache` (optional) is the deployment's shared result-cache bank,
+  /// consulted only when options.use_result_cache is set: the initiator
+  /// and every walk hop probe their cache before evaluating the local
+  /// index, a hit ends the query's expansion, and fresh completions are
+  /// stored along the walk path (see ges/result_cache.hpp).
   AsyncSearchEngine(const p2p::Network& network, p2p::EventQueue& queue,
                     SearchOptions options, LatencyModel latency = {},
-                    const p2p::FaultInjector* faults = nullptr);
+                    const p2p::FaultInjector* faults = nullptr,
+                    ResultCacheBank* cache = nullptr);
   ~AsyncSearchEngine();
 
   /// Submit a query from `initiator`; the callback fires (during
@@ -99,6 +105,8 @@ class AsyncSearchEngine {
                         std::function<void()> handler);
   void message_done(const std::shared_ptr<Run>& run);
   void maybe_finish(const std::shared_ptr<Run>& run);
+  bool try_cache(const std::shared_ptr<Run>& run, p2p::NodeId node);
+  void store_results(Run& run);
   bool probe(const std::shared_ptr<Run>& run, p2p::NodeId node);
   void start_flood(const std::shared_ptr<Run>& run, p2p::NodeId target);
   void continue_walk(const std::shared_ptr<Run>& run, p2p::NodeId from);
@@ -110,6 +118,7 @@ class AsyncSearchEngine {
   SearchOptions options_;
   LatencyModel latency_;
   const p2p::FaultInjector* faults_;
+  ResultCacheBank* cache_;  // null or options off = caching disabled
   p2p::Guid next_guid_ = 1;
   size_t cancelled_ = 0;
   std::unordered_map<p2p::Guid, std::shared_ptr<Run>> runs_;

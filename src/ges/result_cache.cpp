@@ -1,0 +1,240 @@
+#include "ges/result_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "obs/telemetry.hpp"
+#include "util/check.hpp"
+
+namespace ges::core {
+
+using p2p::CachedResultDoc;
+using p2p::CacheEntryMeta;
+using p2p::CacheValidity;
+using p2p::NodeId;
+using p2p::QuerySignature;
+
+// --- ResultCache ----------------------------------------------------
+
+ResultCache::Entry* ResultCache::find(QuerySignature sig) {
+  for (Entry& e : entries_) {
+    if (e.signature == sig) return &e;
+  }
+  return nullptr;
+}
+
+size_t ResultCache::store(QuerySignature sig, std::vector<CachedResultDoc> docs,
+                          CacheEntryMeta meta, uint64_t tick) {
+  if (capacity_ == 0) return 0;
+  if (Entry* existing = find(sig)) {
+    existing->docs = std::move(docs);
+    existing->meta = meta;
+    existing->last_used = tick;
+    return 0;
+  }
+  size_t evictions = 0;
+  if (entries_.size() >= capacity_) {
+    // Coldest-first: least popularity, ties by least recent use. The
+    // linear scan over <= max_entries slots is deterministic by slot
+    // order (a vector, not a hash map), which keeps traces reproducible.
+    size_t victim = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      const Entry& v = entries_[victim];
+      if (e.popularity < v.popularity ||
+          (e.popularity == v.popularity && e.last_used < v.last_used)) {
+        victim = i;
+      }
+    }
+    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(victim));
+    evictions = 1;
+  }
+  entries_.push_back({sig, std::move(docs), meta, 0, tick});
+  return evictions;
+}
+
+bool ResultCache::erase(QuerySignature sig) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].signature == sig) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t ResultCache::clear() {
+  const size_t n = entries_.size();
+  entries_.clear();
+  return n;
+}
+
+size_t ResultCache::invalidate_owner(NodeId owner) {
+  size_t dropped = 0;
+  for (size_t i = entries_.size(); i-- > 0;) {
+    const auto& docs = entries_[i].docs;
+    const bool references = std::any_of(
+        docs.begin(), docs.end(),
+        [owner](const CachedResultDoc& d) { return d.owner == owner; });
+    if (references) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+// --- ResultCacheBank ------------------------------------------------
+
+size_t result_cache_entries_for(const ResultCacheConfig& config,
+                                p2p::Capacity capacity) {
+  size_t decades = 0;
+  if (capacity >= 10.0) {
+    decades = static_cast<size_t>(std::floor(std::log10(capacity)));
+  }
+  return std::min(config.max_entries,
+                  config.base_entries + config.entries_per_decade * decades);
+}
+
+ResultCacheBank::ResultCacheBank(const p2p::Network& network,
+                                 ResultCacheConfig config)
+    : network_(&network), config_(config) {
+  caches_.reserve(network.size());
+  for (size_t n = 0; n < network.size(); ++n) {
+    caches_.emplace_back(
+        result_cache_entries_for(config_, network.capacity(static_cast<NodeId>(n))));
+  }
+}
+
+void ResultCacheBank::set_clock(std::function<p2p::SimTime()> clock) {
+  clock_ = std::move(clock);
+}
+
+p2p::SimTime ResultCacheBank::now() const { return clock_ ? clock_() : 0.0; }
+
+const std::vector<CachedResultDoc>* ResultCacheBank::probe(NodeId node,
+                                                           QuerySignature sig) {
+  GES_CHECK(node < caches_.size());
+  ResultCache& cache = caches_[node];
+  ResultCache::Entry* entry = cache.find(sig);
+  if (entry == nullptr) {
+    ++stats_.misses;
+    GES_COUNT("ges.cache.misses", 1);
+    return nullptr;
+  }
+  const CacheValidity validity =
+      p2p::validate_cache_entry(*network_, entry->docs, entry->meta, now());
+  if (validity != CacheValidity::kValid) {
+    cache.erase(sig);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    GES_COUNT("ges.cache.invalidations", 1);
+    GES_COUNT("ges.cache.misses", 1);
+    return nullptr;
+  }
+  ++entry->popularity;
+  entry->last_used = ++tick_;
+  ++stats_.hits;
+  GES_COUNT("ges.cache.hits", 1);
+  return &entry->docs;
+}
+
+void ResultCacheBank::store(NodeId node, QuerySignature sig,
+                            const std::vector<CachedResultDoc>& docs) {
+  GES_CHECK(node < caches_.size());
+  if (docs.empty() || !network_->alive(node)) return;
+  // Results probed from a node that has since churned out (async runs can
+  // outlive their probes) are never stored: the overlay invariant is that
+  // no cache holds dead-owner results at any instant.
+  for (const CachedResultDoc& d : docs) {
+    if (!network_->alive(d.owner)) return;
+  }
+  std::vector<CachedResultDoc> kept;
+  if (config_.top_k > 0 && docs.size() > config_.top_k) {
+    // Select the top-k by (score desc, doc asc) but keep the survivors in
+    // their original (probe) order so per-owner runs stay contiguous for
+    // the strict-mode verifier.
+    std::vector<size_t> order(docs.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&docs](size_t a, size_t b) {
+      if (docs[a].score != docs[b].score) return docs[a].score > docs[b].score;
+      return docs[a].doc < docs[b].doc;
+    });
+    order.resize(config_.top_k);
+    std::sort(order.begin(), order.end());
+    kept.reserve(order.size());
+    for (const size_t i : order) kept.push_back(docs[i]);
+  } else {
+    kept = docs;
+  }
+  CacheEntryMeta meta;
+  meta.content_stamp = network_->content_stamp();
+  meta.stored_at = now();
+  meta.expires_at = config_.ttl > 0.0 ? meta.stored_at + config_.ttl : 0.0;
+  const size_t evicted = caches_[node].store(sig, std::move(kept), meta, ++tick_);
+  ++stats_.stores;
+  GES_COUNT("ges.cache.stores", 1);
+  if (evicted > 0) {
+    stats_.evictions += evicted;
+    GES_COUNT("ges.cache.evictions", evicted);
+  }
+}
+
+void ResultCacheBank::on_node_departed(NodeId node) {
+  GES_CHECK(node < caches_.size());
+  size_t dropped = caches_[node].clear();
+  for (ResultCache& cache : caches_) {
+    dropped += cache.invalidate_owner(node);
+  }
+  if (dropped > 0) {
+    stats_.invalidations += dropped;
+    GES_COUNT("ges.cache.invalidations", dropped);
+  }
+}
+
+void ResultCacheBank::verify_strict(const ir::SparseVector& query,
+                                    double doc_rel_threshold,
+                                    const std::vector<CachedResultDoc>& docs) const {
+  // Cached docs are in probe order, so each owner's documents form one
+  // contiguous run; verify run by run against a fresh evaluation.
+  size_t i = 0;
+  while (i < docs.size()) {
+    const NodeId owner = docs[i].owner;
+    GES_CHECK_MSG(network_->alive(owner),
+                  "strict cache hit references dead owner " << owner);
+    const auto fresh = network_->index(owner).evaluate(query, doc_rel_threshold);
+    size_t run = 0;
+    for (; i + run < docs.size() && docs[i + run].owner == owner; ++run) {
+      const CachedResultDoc& d = docs[i + run];
+      const bool present = std::any_of(
+          fresh.begin(), fresh.end(), [&d](const ir::ScoredDoc& s) {
+            return s.doc == d.doc && s.score == d.score;
+          });
+      GES_CHECK_MSG(present, "strict cache hit: doc " << d.doc << " score "
+                                                      << d.score << " at owner "
+                                                      << owner
+                                                      << " != fresh evaluation");
+    }
+    if (config_.top_k == 0) {
+      GES_CHECK_MSG(run == fresh.size(),
+                    "strict cache hit: owner " << owner << " cached " << run
+                                               << " docs, fresh evaluation has "
+                                               << fresh.size());
+    }
+    i += run;
+  }
+}
+
+size_t ResultCacheBank::dead_owner_docs(NodeId node) const {
+  GES_CHECK(node < caches_.size());
+  size_t dead = 0;
+  for (const ResultCache::Entry& e : caches_[node].entries()) {
+    for (const CachedResultDoc& d : e.docs) {
+      if (!network_->alive(d.owner)) ++dead;
+    }
+  }
+  return dead;
+}
+
+}  // namespace ges::core

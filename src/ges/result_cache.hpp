@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ir/sparse_vector.hpp"
+#include "p2p/cache_protocol.hpp"
+#include "p2p/network.hpp"
+
+namespace ges::core {
+
+/// Sizing and policy of the per-peer query-result caches.
+struct ResultCacheConfig {
+  /// Capacity (entry count) of the lowest capacity class. A node's cache
+  /// holds min(max_entries, base_entries + entries_per_decade *
+  /// floor(log10(capacity))) entries — supernodes, which see most repeat
+  /// traffic, cache the most (paper §4.1's capacity distribution spans
+  /// five decades).
+  size_t base_entries = 16;
+  size_t entries_per_decade = 16;
+  size_t max_entries = 256;
+
+  /// Keep only the top-k scored documents of a stored result set;
+  /// 0 = keep every retrieved document (strict hits then reproduce the
+  /// full fresh evaluation, not just a prefix).
+  size_t top_k = 0;
+
+  /// Sim-time TTL of an entry; <= 0 = entries never expire by age.
+  double ttl = 0.0;
+
+  /// On search completion the result set is stored at the initiator and
+  /// at up to this many nodes on the walk path (the response retraces the
+  /// walk, so pass-through peers can absorb it — classic Gnutella
+  /// response caching); 0 = initiator only.
+  size_t store_fanout = 8;
+};
+
+/// One per-peer cache: query signature -> cached result set, bounded by
+/// the peer's capacity class, evicted by least (popularity, last-use).
+/// All iteration/eviction scans run over a plain vector in slot order, so
+/// behavior is fully deterministic — no hash-map iteration order leaks
+/// into traces.
+class ResultCache {
+ public:
+  struct Entry {
+    p2p::QuerySignature signature;
+    std::vector<p2p::CachedResultDoc> docs;
+    p2p::CacheEntryMeta meta;
+    uint64_t popularity = 0;  // hits served by this entry
+    uint64_t last_used = 0;   // bank-global LRU tick of the last hit/store
+  };
+
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  Entry* find(p2p::QuerySignature sig);
+
+  /// Insert or refresh `sig`'s entry. Returns the number of evictions
+  /// performed (0 or 1): when full, the entry with the least
+  /// (popularity, last_used) — the coldest, least recently touched one —
+  /// is replaced. A refresh keeps the entry's popularity.
+  size_t store(p2p::QuerySignature sig, std::vector<p2p::CachedResultDoc> docs,
+               p2p::CacheEntryMeta meta, uint64_t tick);
+
+  bool erase(p2p::QuerySignature sig);
+  size_t clear();
+
+  /// Drop every entry holding a result owned by `owner`; returns the
+  /// number of entries dropped.
+  size_t invalidate_owner(p2p::NodeId owner);
+
+ private:
+  size_t capacity_;
+  std::vector<Entry> entries_;
+};
+
+/// Aggregate running counters (also exported as ges.cache.* telemetry).
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t stores = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;  // lazy-probe drops + eager churn drops
+};
+
+/// The network's bank of per-peer query-result caches. One instance per
+/// deployment (ScenarioRunner owns one), shared by every search the
+/// deployment runs; sized per node by capacity class at construction.
+///
+/// Validity is two-layered:
+///  * lazily — probe() revalidates an entry against the full
+///    cache-protocol rule (TTL, Network::content_stamp() fast path,
+///    per-owner liveness + index-version slow path) and erases it on
+///    failure, so a hit is always byte-identical to fresh evaluation;
+///  * eagerly — on_node_departed() (wired to churn departures and
+///    injected mid-handshake deaths) flushes the departed node's own
+///    cache and drops every entry network-wide that references it as an
+///    owner, which is what lets the overlay invariant sweep assert that
+///    no cache anywhere holds dead-owner results.
+class ResultCacheBank final : public p2p::ResultCacheInvalidationSink {
+ public:
+  ResultCacheBank(const p2p::Network& network, ResultCacheConfig config = {});
+
+  const ResultCacheConfig& config() const { return config_; }
+  const ResultCacheStats& stats() const { return stats_; }
+
+  /// Sim-clock source for TTL bookkeeping; defaults to a constant 0
+  /// (never expires anything). ScenarioRunner wires the event queue's
+  /// now() in.
+  void set_clock(std::function<p2p::SimTime()> clock);
+
+  /// Look `sig` up in `node`'s cache. A valid hit returns the cached
+  /// result set (pointer valid until the next bank mutation) and bumps
+  /// the entry's popularity/LRU stamps; an invalid entry is erased and
+  /// counted as both an invalidation and a miss.
+  const std::vector<p2p::CachedResultDoc>* probe(p2p::NodeId node,
+                                                 p2p::QuerySignature sig);
+
+  /// Store a completed search's results in `node`'s cache (no-op for
+  /// empty result sets and dead nodes). Applies the top-k truncation by
+  /// (score desc, doc asc) while preserving the surviving documents'
+  /// original order, so per-owner runs stay contiguous.
+  void store(p2p::NodeId node, p2p::QuerySignature sig,
+             const std::vector<p2p::CachedResultDoc>& docs);
+
+  /// Eager churn invalidation (see class comment). O(total cached
+  /// entries) per departure — departures are rare next to probes.
+  void on_node_departed(p2p::NodeId node) override;
+
+  /// Assert `docs` is byte-identical to freshly evaluating `query` at
+  /// each owner's local index (GES_CHECK on mismatch) — the strict-mode
+  /// backstop behind SearchOptions::strict_result_cache. With top_k == 0
+  /// every per-owner run must equal the owner's full evaluation; with
+  /// truncation each cached (doc, score) must appear in it exactly.
+  void verify_strict(const ir::SparseVector& query, double doc_rel_threshold,
+                     const std::vector<p2p::CachedResultDoc>& docs) const;
+
+  // --- Introspection (invariant sweep, tests) -------------------------
+
+  size_t entry_count(p2p::NodeId node) const { return caches_[node].size(); }
+  size_t entry_capacity(p2p::NodeId node) const { return caches_[node].capacity(); }
+  const ResultCache& cache(p2p::NodeId node) const { return caches_[node]; }
+
+  /// Number of cached result documents in `node`'s cache whose owner is
+  /// currently dead — must be 0 whenever eager invalidation is wired.
+  size_t dead_owner_docs(p2p::NodeId node) const;
+
+ private:
+  p2p::SimTime now() const;
+
+  const p2p::Network* network_;
+  ResultCacheConfig config_;
+  std::function<p2p::SimTime()> clock_;
+  std::vector<ResultCache> caches_;
+  uint64_t tick_ = 0;  // bank-global LRU clock
+  ResultCacheStats stats_;
+};
+
+/// Cache capacity (entry count) of a node of the given capacity class
+/// under `config` — exposed for tests.
+size_t result_cache_entries_for(const ResultCacheConfig& config,
+                                p2p::Capacity capacity);
+
+}  // namespace ges::core

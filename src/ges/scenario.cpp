@@ -22,14 +22,20 @@ ScenarioRunner::ScenarioRunner(const corpus::Corpus& corpus, ScenarioParams para
   adaptation_->set_fault_injector(faults_.get());
   heartbeats_ = std::make_unique<p2p::ReplicaHeartbeatProcess>(
       *network_, queue_, params_.heartbeat_interval, faults_.get());
+  result_cache_ = std::make_unique<ResultCacheBank>(*network_, params_.result_cache);
+  result_cache_->set_clock([q = &queue_] { return q->now(); });
   // Fault-injected mid-handshake deaths bypass churn's departure path;
-  // suspend the victim's heartbeat so dead nodes own zero live timers
-  // (asserted by expect_overlay_invariants).
-  adaptation_->set_death_hook(
-      [this](p2p::NodeId node) { heartbeats_->suspend_node(node); });
+  // suspend the victim's heartbeat so dead nodes own zero live timers and
+  // flush its cached query results (both asserted by
+  // expect_overlay_invariants).
+  adaptation_->set_death_hook([this](p2p::NodeId node) {
+    heartbeats_->suspend_node(node);
+    result_cache_->on_node_departed(node);
+  });
   if (params_.churn_enabled) {
     churn_ = std::make_unique<p2p::ChurnProcess>(*network_, queue_, params_.churn);
     churn_->set_heartbeats(heartbeats_.get());
+    churn_->set_result_cache(result_cache_.get());
     churn_->set_rejoin_hook(
         [this](p2p::NodeId node) { adaptation_->reclassify_node(node); });
   }
@@ -106,6 +112,15 @@ p2p::InvariantOptions ScenarioRunner::invariant_options(size_t degree_slack) con
   options.live_timers = [hb](p2p::NodeId node) {
     return hb->live_timer_count(node);
   };
+  // Cache-liveness: a dead node caches nothing, and no alive node's cache
+  // references a dead owner — churn/fault departures invalidate eagerly.
+  const ResultCacheBank* bank = result_cache_.get();
+  options.result_cache_entries = [bank](p2p::NodeId node) {
+    return bank->entry_count(node);
+  };
+  options.result_cache_dead_owner_docs = [bank](p2p::NodeId node) {
+    return bank->dead_owner_docs(node);
+  };
   return options;
 }
 
@@ -116,8 +131,8 @@ p2p::SearchTrace ScenarioRunner::search(const ir::SparseVector& query,
   // Scenario queries run serially, so unlike GesSearch itself (which the
   // eval harness parallelizes) this wrapper can record the query span.
   GES_SPAN(span, "query", "search", initiator);
-  const auto trace =
-      GesSearch(*network_, options, faults_.get()).search(query, initiator, rng);
+  const auto trace = GesSearch(*network_, options, faults_.get(), result_cache_.get())
+                         .search(query, initiator, rng);
   span.arg("probes", static_cast<double>(trace.probes()));
   span.arg("walk_steps", static_cast<double>(trace.walk_steps));
   span.arg("flood_messages", static_cast<double>(trace.flood_messages));

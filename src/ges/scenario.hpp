@@ -7,6 +7,7 @@
 
 #include "corpus/corpus.hpp"
 #include "ges/params.hpp"
+#include "ges/result_cache.hpp"
 #include "ges/search.hpp"
 #include "ges/topology_adaptation.hpp"
 #include "p2p/capacity.hpp"
@@ -33,6 +34,12 @@ struct ScenarioParams {
 
   bool churn_enabled = false;
   p2p::ChurnParams churn;
+
+  /// Sizing/TTL policy of the per-peer query-result caches. The runner
+  /// always owns a ResultCacheBank (inert unless a search runs with
+  /// SearchOptions::use_result_cache), wired to the sim clock and to
+  /// churn/fault departures for eager invalidation.
+  ResultCacheConfig result_cache;
 
   /// Simulated seconds between replica heartbeats / adaptation rounds.
   p2p::SimTime heartbeat_interval = 5.0;
@@ -78,6 +85,8 @@ class ScenarioRunner {
   TopologyAdaptation& adaptation() { return *adaptation_; }
   p2p::ReplicaHeartbeatProcess& heartbeats() { return *heartbeats_; }
   p2p::ChurnProcess* churn() { return churn_.get(); }
+  ResultCacheBank& result_cache() { return *result_cache_; }
+  const ResultCacheBank& result_cache() const { return *result_cache_; }
   const ScenarioParams& params() const { return params_; }
   const AdaptationRoundStats& total_stats() const { return total_stats_; }
 
@@ -106,6 +115,7 @@ class ScenarioRunner {
   std::unique_ptr<TopologyAdaptation> adaptation_;
   std::unique_ptr<p2p::ReplicaHeartbeatProcess> heartbeats_;
   std::unique_ptr<p2p::ChurnProcess> churn_;
+  std::unique_ptr<ResultCacheBank> result_cache_;
   std::vector<uint32_t> bootstrap_degree_;  // node -> degree after bootstrap
   AdaptationRoundStats total_stats_;
   bool started_ = false;

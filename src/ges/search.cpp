@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "ges/query_workspace.hpp"
+#include "ges/result_cache.hpp"
 #include "ges/walk_policy.hpp"
 #include "obs/telemetry.hpp"
 #include "util/check.hpp"
@@ -37,6 +38,8 @@ struct QueryRun {
   util::Rng& rng;
   const p2p::FaultInjector* faults;
   QueryWorkspace* ws;
+  ResultCacheBank* cache;  // null = caching off for this query
+  p2p::QuerySignature cache_sig;
 
   SearchTrace trace;
   std::unordered_set<NodeId> legacy_seen;      // nodes that processed the GUID
@@ -46,8 +49,10 @@ struct QueryRun {
   size_t responses = 0;
 
   QueryRun(const Network& n, const SearchOptions& o, const ir::SparseVector& q,
-           util::Rng& r, const p2p::FaultInjector* f, QueryWorkspace* w)
-      : net(n), opt(o), query(q), rng(r), faults(f), ws(w) {
+           util::Rng& r, const p2p::FaultInjector* f, QueryWorkspace* w,
+           ResultCacheBank* c)
+      : net(n), opt(o), query(q), rng(r), faults(f), ws(w), cache(c) {
+    if (cache != nullptr) cache_sig = p2p::query_signature(q);
     budget = o.probe_budget == 0 ? n.alive_count() : o.probe_budget;
     // Reserve the trace up front: probes are bounded by the budget (and
     // by the alive population), so the probe order never reallocates.
@@ -133,6 +138,60 @@ struct QueryRun {
     }
   }
 
+  /// Serve the query from `node`'s result cache if it holds a valid
+  /// entry. On a hit the node is recorded in probe_order (it answered
+  /// the query without evaluating its index), cached documents not
+  /// already retrieved are appended at its probe index, and the query is
+  /// complete — the cached set is a previous full search's answer.
+  bool try_cache(NodeId node) {
+    if (cache == nullptr) return false;
+    const auto* docs = cache->probe(node, cache_sig);
+    if (docs == nullptr) return false;
+    if (opt.strict_result_cache) {
+      cache->verify_strict(query, opt.doc_rel_threshold, *docs);
+    }
+    mark_seen(node);
+    const auto probe_index = static_cast<uint32_t>(trace.probe_order.size());
+    trace.probe_order.push_back(node);
+    for (const auto& d : *docs) {
+      if (already_retrieved(d.doc)) continue;
+      trace.retrieved.push_back({d.doc, d.score, probe_index});
+      ++responses;
+    }
+    ++trace.cache_hits;
+    return true;
+  }
+
+  bool already_retrieved(ir::DocId doc) const {
+    for (const auto& r : trace.retrieved) {
+      if (r.doc == doc) return true;
+    }
+    return false;
+  }
+
+  /// After an uncached completion, absorb the result set into the caches
+  /// along the response path: the initiator plus the first store_fanout
+  /// probed nodes the response retraces (Gnutella responses travel back
+  /// over the query path). Queries served from the cache never re-store —
+  /// only fresh evaluations refresh entries, so staleness cannot
+  /// compound.
+  void store_results() {
+    if (cache == nullptr || trace.cache_hits > 0 || trace.retrieved.empty()) {
+      return;
+    }
+    std::vector<p2p::CachedResultDoc> docs;
+    docs.reserve(trace.retrieved.size());
+    for (const auto& r : trace.retrieved) {
+      const NodeId owner = trace.probe_order[r.probe_index];
+      docs.push_back({r.doc, r.score, owner, net.node_vector_version(owner)});
+    }
+    const size_t limit =
+        std::min(trace.probe_order.size(), cache->config().store_fanout + 1);
+    for (size_t i = 0; i < limit; ++i) {
+      cache->store(trace.probe_order[i], cache_sig, docs);
+    }
+  }
+
   /// One biased-walk forwarding decision at `node` (paper §4.5); the
   /// policy is shared with the asynchronous engine.
   NodeId pick_next(NodeId node) {
@@ -151,38 +210,43 @@ struct QueryRun {
 }  // namespace
 
 GesSearch::GesSearch(const Network& network, SearchOptions options,
-                     const p2p::FaultInjector* faults)
-    : network_(&network), options_(options), faults_(faults) {}
+                     const p2p::FaultInjector* faults, ResultCacheBank* cache)
+    : network_(&network), options_(options), faults_(faults), cache_(cache) {}
 
 SearchTrace GesSearch::search(const ir::SparseVector& query, NodeId initiator,
                               util::Rng& rng) const {
   GES_CHECK_MSG(network_->alive(initiator), "initiator " << initiator << " is dead");
   QueryWorkspace* ws = options_.use_workspace ? &thread_workspace() : nullptr;
-  QueryRun run(*network_, options_, query, rng, faults_, ws);
+  ResultCacheBank* cache = options_.use_result_cache ? cache_ : nullptr;
+  QueryRun run(*network_, options_, query, rng, faults_, ws, cache);
 
   NodeId current = initiator;
-  if (run.probe(current)) run.flood(current);
+  if (!run.try_cache(current)) {
+    if (run.probe(current)) run.flood(current);
 
-  size_t ttl_left = options_.ttl == 0 ? ~size_t{0} : options_.ttl;
-  // Safety valve: a disconnected overlay can make the budget unreachable.
-  const size_t max_steps = 20 * network_->alive_count() + 1000;
+    size_t ttl_left = options_.ttl == 0 ? ~size_t{0} : options_.ttl;
+    // Safety valve: a disconnected overlay can make the budget unreachable.
+    const size_t max_steps = 20 * network_->alive_count() + 1000;
 
-  while (!run.done() && ttl_left > 0 && run.trace.walk_steps < max_steps) {
-    const NodeId next = run.pick_next(current);
-    if (next == p2p::kInvalidNode) break;
-    const bool lost = run.message_lost(p2p::FaultChannel::kWalk, current, next);
-    ++run.trace.walk_steps;
-    --ttl_left;
-    if (lost) break;  // the query message died in transit; walk ends
-    current = next;
-    if (!run.seen(current)) {
-      const bool is_target = run.probe(current);
-      if (run.done()) break;
-      if (is_target) {
-        run.flood(current);
-        // Walks resume from the target node (current already is it).
+    while (!run.done() && ttl_left > 0 && run.trace.walk_steps < max_steps) {
+      const NodeId next = run.pick_next(current);
+      if (next == p2p::kInvalidNode) break;
+      const bool lost = run.message_lost(p2p::FaultChannel::kWalk, current, next);
+      ++run.trace.walk_steps;
+      --ttl_left;
+      if (lost) break;  // the query message died in transit; walk ends
+      current = next;
+      if (!run.seen(current)) {
+        if (run.try_cache(current)) break;  // walk hop served the answer
+        const bool is_target = run.probe(current);
+        if (run.done()) break;
+        if (is_target) {
+          run.flood(current);
+          // Walks resume from the target node (current already is it).
+        }
       }
     }
+    run.store_results();
   }
   run.finish_counters();
   // Counters only — searches run concurrently in the eval harness, so

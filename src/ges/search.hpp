@@ -52,7 +52,24 @@ struct SearchOptions {
   /// paths produce byte-identical traces — the toggle exists for the
   /// equivalence suites and A/B benchmarks, and defaults to on.
   bool use_workspace = true;
+
+  /// Query-result cache (ges/result_cache.hpp): probe the per-peer
+  /// caches — at the initiator and at every walk hop — before falling
+  /// back to local-index evaluation, and store completed result sets
+  /// along the walk path. A hit serves the full cached answer and ends
+  /// the query. Default off so all pre-cache golden traces stay
+  /// byte-identical; has no effect unless a ResultCacheBank is wired
+  /// into the searcher.
+  bool use_result_cache = false;
+
+  /// Assert (GES_CHECK) that every cache hit is byte-identical to fresh
+  /// evaluation at each result's owner — the correctness backstop the
+  /// test suites run with. Costs one full re-evaluation per hit; leave
+  /// off outside tests.
+  bool strict_result_cache = false;
 };
+
+class ResultCacheBank;
 
 /// The GES search protocol: biased walks over random links guided by the
 /// replicated one-hop node vectors, switching to flooding along semantic
@@ -68,8 +85,14 @@ class GesSearch {
   /// hash the injector seed with the message's edge and per-trace
   /// sequence number, so they never perturb `rng`'s stream: a zero-rate
   /// or absent injector reproduces the fault-free trace byte for byte.
+  /// `cache` (optional) is the deployment's shared per-peer result-cache
+  /// bank; it is only consulted when options.use_result_cache is set.
+  /// Cache probes/stores mutate the bank (LRU stamps, stats), so
+  /// bank-wired searches must run serially — the parallel eval harness
+  /// constructs its searchers without a bank.
   GesSearch(const p2p::Network& network, SearchOptions options,
-            const p2p::FaultInjector* faults = nullptr);
+            const p2p::FaultInjector* faults = nullptr,
+            ResultCacheBank* cache = nullptr);
 
   const SearchOptions& options() const { return options_; }
 
@@ -83,6 +106,7 @@ class GesSearch {
   const p2p::Network* network_;
   SearchOptions options_;
   const p2p::FaultInjector* faults_;
+  ResultCacheBank* cache_;
 };
 
 }  // namespace ges::core

@@ -1,0 +1,69 @@
+#include "p2p/cache_protocol.hpp"
+
+#include <bit>
+
+#include "p2p/network.hpp"
+
+namespace ges::p2p {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t fnv_mix(uint64_t h, uint64_t v) { return (h ^ v) * kFnvPrime; }
+
+}  // namespace
+
+QuerySignature query_signature(const ir::SparseVector& query) {
+  // SparseVector stores unique ascending terms, so folding entries in
+  // storage order IS the canonical sorted fold. Weights are hashed by
+  // their exact float bit pattern: the cache must only unify queries
+  // whose evaluation is bit-identical, so "close" weights stay distinct.
+  uint64_t h = fnv_mix(kFnvOffset, query.size());
+  const auto terms = query.terms();
+  const auto weights = query.weights();
+  for (size_t i = 0; i < query.size(); ++i) {
+    h = fnv_mix(h, terms[i]);
+    h = fnv_mix(h, std::bit_cast<uint32_t>(weights[i]));
+  }
+  return QuerySignature{h};
+}
+
+const char* cache_validity_name(CacheValidity validity) {
+  switch (validity) {
+    case CacheValidity::kValid: return "valid";
+    case CacheValidity::kExpired: return "expired";
+    case CacheValidity::kOwnerDead: return "owner_dead";
+    case CacheValidity::kOwnerChanged: return "owner_changed";
+  }
+  return "unknown";
+}
+
+CacheValidity validate_cache_entry(const Network& network,
+                                   const std::vector<CachedResultDoc>& docs,
+                                   const CacheEntryMeta& meta, SimTime now) {
+  if (meta.expires_at > 0.0 && now >= meta.expires_at) {
+    return CacheValidity::kExpired;
+  }
+  // Fast path: nothing content- or membership-relevant happened anywhere
+  // in the network since the store, so every owner is still alive with an
+  // unchanged index.
+  if (network.content_stamp() == meta.content_stamp) {
+    return CacheValidity::kValid;
+  }
+  // Slow path: per-owner revalidation. The same owner usually appears in
+  // runs (results are stored in probe order), so skip repeated checks.
+  NodeId checked = kInvalidNode;
+  for (const CachedResultDoc& d : docs) {
+    if (d.owner == checked) continue;
+    if (!network.alive(d.owner)) return CacheValidity::kOwnerDead;
+    if (network.node_vector_version(d.owner) != d.owner_version) {
+      return CacheValidity::kOwnerChanged;
+    }
+    checked = d.owner;
+  }
+  return CacheValidity::kValid;
+}
+
+}  // namespace ges::p2p

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/sparse_vector.hpp"
+#include "ir/types.hpp"
+#include "p2p/event_sim.hpp"
+#include "p2p/types.hpp"
+
+namespace ges::p2p {
+
+class Network;
+
+/// Canonicalized query signature: an FNV-1a fold over the query's sorted
+/// (term, weight-bits) components. Queries are hashed *post-expansion*
+/// (whatever vector reaches the search engine is what gets signed), and
+/// SparseVector already guarantees ascending unique terms, so two
+/// semantically identical query vectors — regardless of how they were
+/// assembled — produce the same signature. The cache key of the
+/// query-result cache (ges/result_cache.hpp).
+struct QuerySignature {
+  uint64_t value = 0;
+
+  friend bool operator==(const QuerySignature&, const QuerySignature&) = default;
+};
+
+QuerySignature query_signature(const ir::SparseVector& query);
+
+/// One cached result document: the retrieved document with the exact
+/// score its owner's local index produced, plus the validity fields —
+/// which node owned it and that owner's node-vector version at store
+/// time (the version bumps on every document add/remove, i.e. on every
+/// local-index change, so an unchanged version proves re-evaluating the
+/// query at the owner returns this byte-identical score).
+struct CachedResultDoc {
+  ir::DocId doc = ir::kInvalidDoc;
+  double score = 0.0;
+  NodeId owner = kInvalidNode;
+  uint64_t owner_version = 0;
+
+  friend bool operator==(const CachedResultDoc&, const CachedResultDoc&) = default;
+};
+
+/// Validity metadata of one cached result set.
+struct CacheEntryMeta {
+  /// Network::content_stamp() at store time — the O(1) fast path: an
+  /// unchanged stamp proves no local index changed and no node departed
+  /// anywhere since the store, so the whole entry is still byte-exact.
+  uint64_t content_stamp = 0;
+
+  SimTime stored_at = 0.0;
+
+  /// Absolute sim-time expiry; 0 = never expires.
+  SimTime expires_at = 0.0;
+};
+
+/// Why a lookup did or did not serve a cached entry.
+enum class CacheValidity : uint8_t {
+  kValid = 0,
+  kExpired,       // sim-time TTL passed
+  kOwnerDead,     // some result's owner churned out / died
+  kOwnerChanged,  // some owner's local index changed since the store
+};
+
+const char* cache_validity_name(CacheValidity validity);
+
+/// The full validity rule of a cached result set at sim-time `now`:
+///  1. not expired (meta.expires_at, 0 = no expiry);
+///  2. fast path — Network::content_stamp() unchanged since the store
+///     means nothing that could invalidate any entry happened anywhere;
+///  3. slow path — per result document, the owner must be alive and its
+///     node-vector version unchanged (its local index is then unchanged,
+///     so the cached score is still byte-identical to fresh evaluation).
+/// A kValid verdict therefore guarantees strict-mode byte-identity: for
+/// every cached (doc, score), evaluating the query at the owner's local
+/// index reproduces the exact same score.
+CacheValidity validate_cache_entry(const Network& network,
+                                   const std::vector<CachedResultDoc>& docs,
+                                   const CacheEntryMeta& meta, SimTime now);
+
+/// Eager-invalidation sink the churn / fault layers notify when a node
+/// leaves the overlay (departure or injected mid-handshake death).
+/// Implemented by ges::core::ResultCacheBank: the departed node's own
+/// cache is flushed and every entry network-wide that references it as
+/// an owner is dropped, so the overlay invariant sweep can assert that
+/// no cache anywhere holds results owned by a dead node.
+class ResultCacheInvalidationSink {
+ public:
+  virtual ~ResultCacheInvalidationSink() = default;
+  virtual void on_node_departed(NodeId node) = 0;
+};
+
+}  // namespace ges::p2p

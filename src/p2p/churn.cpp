@@ -29,6 +29,9 @@ void ChurnProcess::schedule_departure(NodeId node) {
     // The node's timers die with it: a churned-out node must own zero
     // live heartbeat timers (checked by the overlay invariant sweep).
     if (heartbeats_ != nullptr) heartbeats_->suspend_node(node);
+    // Likewise its cached query results: the departed node's own cache
+    // flushes and every result it owns invalidates network-wide.
+    if (result_cache_ != nullptr) result_cache_->on_node_departed(node);
     ++departures_;
     GES_COUNT("p2p.churn.departures", 1);
     GES_INSTANT("leave", "churn", node);

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "p2p/cache_protocol.hpp"
 #include "p2p/event_sim.hpp"
 #include "p2p/network.hpp"
 #include "p2p/replication.hpp"
@@ -49,6 +50,11 @@ class ChurnProcess {
   /// TopologyAdaptation::reclassify_node to repair its link types).
   void set_rejoin_hook(std::function<void(NodeId)> hook) { rejoin_hook_ = std::move(hook); }
 
+  /// Notify this sink on every departure so query-result caches drop the
+  /// departed node's entries eagerly (its own cache and every cached
+  /// result it owns network-wide) — the cache-liveness overlay invariant.
+  void set_result_cache(ResultCacheInvalidationSink* sink) { result_cache_ = sink; }
+
   /// Schedule the initial departure for every alive node.
   void start();
 
@@ -69,6 +75,7 @@ class ChurnProcess {
   ChurnParams params_;
   util::Rng rng_;
   ReplicaHeartbeatProcess* heartbeats_ = nullptr;
+  ResultCacheInvalidationSink* result_cache_ = nullptr;
   std::function<void(NodeId)> rejoin_hook_;
   std::vector<TimerHandle> sessions_;  // node -> next departure/arrival
   size_t departures_ = 0;

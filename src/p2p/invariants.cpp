@@ -24,6 +24,7 @@ class Sweep {
         check_replicas(n);
         check_degrees(n);
         check_caches(n);
+        check_result_cache(n);
       } else {
         check_dead(n);
       }
@@ -55,6 +56,25 @@ class Sweep {
         fail(n, "dead node " + std::to_string(n) + " still owns " +
                     std::to_string(live) + " live timer(s)");
       }
+    }
+    if (opt_.result_cache_entries) {
+      const size_t entries = opt_.result_cache_entries(n);
+      if (entries != 0) {
+        fail(n, "dead node " + std::to_string(n) + " still caches " +
+                    std::to_string(entries) + " query result set(s)");
+      }
+    }
+  }
+
+  void check_result_cache(NodeId n) {
+    if (!opt_.result_cache_dead_owner_docs) return;
+    ++report_.result_cache_nodes_checked;
+    const size_t dead = opt_.result_cache_dead_owner_docs(n);
+    if (dead != 0) {
+      std::ostringstream os;
+      os << "result cache of node " << n << " holds " << dead
+         << " document(s) owned by dead nodes";
+      fail(n, os.str());
     }
   }
 

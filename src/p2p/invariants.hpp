@@ -36,6 +36,15 @@ struct InvariantOptions {
   /// node owning a live timer is a leak: the churn layer must cancel or
   /// suspend per-node timers at departure.
   std::function<size_t(NodeId)> live_timers;
+
+  /// Query-result-cache liveness (ges::core::ResultCacheBank accessors);
+  /// empty = skip. `result_cache_entries` is the entry count of a node's
+  /// cache — a dead node must hold none (flushed at departure) —
+  /// and `result_cache_dead_owner_docs` counts cached result documents
+  /// whose owner is currently dead — must be zero on every alive node
+  /// whenever eager churn invalidation is wired.
+  std::function<size_t(NodeId)> result_cache_entries;
+  std::function<size_t(NodeId)> result_cache_dead_owner_docs;
 };
 
 struct InvariantViolation {
@@ -52,6 +61,7 @@ struct InvariantReport {
   size_t links_checked = 0;
   size_t replicas_checked = 0;
   size_t cache_entries_checked = 0;
+  size_t result_cache_nodes_checked = 0;
 
   bool ok() const { return violations.empty(); }
 

@@ -194,6 +194,7 @@ ir::DocId Network::add_document(NodeId node, const ir::SparseVector& counts) {
   p.docs.push_back(doc);
   p.index.add_document(doc, dynamic_docs_.back().vector);
   rebuild_node_vector(node);
+  ++content_stamp_;
   return doc;
 }
 
@@ -205,6 +206,7 @@ bool Network::remove_document(NodeId node, ir::DocId doc) {
   p.index.remove_document(doc);
   doc_owner_.erase(doc);
   rebuild_node_vector(node);
+  ++content_stamp_;
   return true;
 }
 
@@ -275,6 +277,7 @@ void Network::deactivate(NodeId node) {
   p.replicas.clear();
   p.alive = false;
   --alive_count_;
+  ++content_stamp_;
 }
 
 void Network::activate(NodeId node) {

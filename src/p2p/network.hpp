@@ -156,6 +156,16 @@ class Network {
   /// falling back to a per-slot replica_view lookup.
   uint64_t replica_stamp() const { return replica_stamp_; }
 
+  /// The network-wide content/membership counter: bumped on every
+  /// local-index change (add_document / remove_document) and on every
+  /// departure (deactivate). While this
+  /// value is unchanged, no node's local index changed and no node died
+  /// anywhere — the O(1) validity fast path of the query-result cache
+  /// (ges/result_cache.hpp): a stamp-matched entry is byte-identical to
+  /// fresh evaluation. Rejoins (activate) do not bump it — a rejoining
+  /// node's index is unchanged, so cached scores it owns are still exact.
+  uint64_t content_stamp() const { return content_stamp_; }
+
   /// Heartbeat: re-copy the current node vectors of all random neighbors.
   void refresh_replicas(NodeId owner);
 
@@ -226,6 +236,7 @@ class Network {
   std::vector<Peer> peers_;
   size_t alive_count_ = 0;
   uint64_t replica_stamp_ = 0;  // last copy stamp handed out (0 = none)
+  uint64_t content_stamp_ = 0;  // bumped by add/remove_document, deactivate
   std::unique_ptr<RelCache> rel_cache_;  // unique_ptr keeps Network movable
 
   // Documents added after construction (DocIds continue the corpus range).

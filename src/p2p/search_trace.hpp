@@ -42,6 +42,13 @@ struct SearchTrace {
   uint64_t rel_evals = 0;
   uint64_t rel_memo_hits = 0;
 
+  /// Result-cache diagnostic: how many cache hits this query was served
+  /// from (0 = fully fresh execution). Excluded from operator== like the
+  /// memo counters — equivalence suites compare cached traces against
+  /// fresh ones, which must be equal while reporting different hit
+  /// counts.
+  uint64_t cache_hits = 0;
+
   size_t probes() const { return probe_order.size(); }
   size_t messages() const { return walk_steps + flood_messages; }
 

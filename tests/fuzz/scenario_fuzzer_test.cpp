@@ -1,11 +1,16 @@
 // Seeded scenario fuzzer (tentpole of the fault-injection harness):
-// sweeps (seed x churn x fault-rate) grids of full GES deployments —
-// bootstrap, adaptation rounds, replica heartbeats, optional churn, all
-// under an injected FaultPlan — and asserts every overlay invariant after
-// every adaptation round. A second suite pins down the determinism
-// contract: identical FaultPlan seeds reproduce byte-identical search
-// traces and network snapshots, serial or parallel, and all-zero fault
-// rates match a run with no injector wired in at all.
+// sweeps (seed x churn x fault-rate x result-cache) grids of full GES
+// deployments — bootstrap, adaptation rounds, replica heartbeats,
+// optional churn, all under an injected FaultPlan — and asserts every
+// overlay invariant after every adaptation round (including
+// result-cache liveness: dead nodes cache nothing, no cache holds
+// dead-owner results). Cache-on probe searches run in strict mode, so
+// every hit is re-verified against the owners' live indexes. A second
+// suite pins down the determinism contract: identical FaultPlan seeds
+// reproduce byte-identical search traces and network snapshots, serial
+// or parallel, all-zero fault rates match a run with no injector wired
+// in at all, and a burst of cache-on searches does not perturb
+// subsequent cache-off golden traces.
 //
 // Everything here is labeled `fuzz` in CTest (see tests/CMakeLists.txt);
 // CI runs it under ASan via `ctest -L fuzz` so tier-1 stays fast.
@@ -58,10 +63,11 @@ ScenarioParams base_params(uint64_t seed, double fault_rate, bool churn) {
 /// valid forever.
 constexpr size_t kChurnDegreeSlack = 6;
 
-class FuzzGrid : public ::testing::TestWithParam<std::tuple<uint64_t, double, bool>> {};
+class FuzzGrid
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double, bool, bool>> {};
 
 TEST_P(FuzzGrid, InvariantsHoldAfterEveryRound) {
-  const auto [seed, fault_rate, churn] = GetParam();
+  const auto [seed, fault_rate, churn, cache] = GetParam();
   const auto corpus = test::clustered_corpus(kNodes, kTopics);
   ScenarioRunner runner(corpus, base_params(seed, fault_rate, churn));
   const auto options = runner.invariant_options(churn ? kChurnDegreeSlack : 0);
@@ -71,7 +77,8 @@ TEST_P(FuzzGrid, InvariantsHoldAfterEveryRound) {
     ++rounds_checked;
     SCOPED_TRACE("seed " + std::to_string(seed) + " rate " +
                  std::to_string(fault_rate) + " churn " + std::to_string(churn) +
-                 " round " + std::to_string(round));
+                 " cache " + std::to_string(cache) + " round " +
+                 std::to_string(round));
     ASSERT_NO_THROW(p2p::expect_overlay_invariants(runner.network(), options));
   });
   EXPECT_EQ(rounds_checked, runner.params().rounds);
@@ -88,16 +95,41 @@ TEST_P(FuzzGrid, InvariantsHoldAfterEveryRound) {
     EXPECT_GT(fired, 0u);
   }
 
-  // Searching the faulted overlay still works from any alive node.
+  // Searching the faulted overlay still works from any alive node. With
+  // the cache dimension on, the same query runs twice in strict mode: the
+  // repeat exercises the hit path (re-verified against the owners' live
+  // indexes inside the engine), and every retrieved document — fresh or
+  // cached — must have been answered by a node that is alive right now.
   util::Rng rng(util::derive_seed(seed, 79));
   const auto alive = runner.network().alive_nodes();
   ASSERT_FALSE(alive.empty());
   SearchOptions sopt;
   sopt.ttl = 30;
+  sopt.use_result_cache = cache;
+  sopt.strict_result_cache = cache;
   const NodeId initiator = alive[rng.index(alive.size())];
   const auto& query = corpus.queries[seed % corpus.queries.size()].vector;
   const auto trace = runner.search(query, initiator, sopt, rng);
   EXPECT_GE(trace.probes(), 1u);
+  p2p::SearchTrace repeat;
+  if (cache) {
+    util::Rng repeat_rng(util::derive_seed(seed, 81));
+    repeat = runner.search(query, initiator, sopt, repeat_rng);
+    const auto expect_alive_answers = [&](const p2p::SearchTrace& t) {
+      for (const auto& r : t.retrieved) {
+        ASSERT_LT(r.probe_index, t.probe_order.size());
+        EXPECT_TRUE(runner.network().alive(t.probe_order[r.probe_index]))
+            << "result served by a dead node";
+      }
+    };
+    expect_alive_answers(trace);
+    expect_alive_answers(repeat);
+    if (trace.cache_hits == 0 && !trace.retrieved.empty()) {
+      // Fresh completion stored at the initiator; no sim time passed, so
+      // the repeat must be a hit.
+      EXPECT_GE(repeat.cache_hits, 1u);
+    }
+  }
 
   // Per-seed event-core and query-data-plane accounting, greppable from
   // CI logs: processed handlers, timers still live at teardown, timers
@@ -106,20 +138,26 @@ TEST_P(FuzzGrid, InvariantsHoldAfterEveryRound) {
   // per-query memo is exercised under faults and churn, not just in
   // clean-room tests).
   const auto& queue = runner.queue();
+  const auto& cstats = runner.result_cache().stats();
   std::cout << "[fuzz-summary] seed=" << seed << " fault_rate=" << fault_rate
-            << " churn=" << churn << " events_processed=" << queue.processed()
+            << " churn=" << churn << " cache=" << cache
+            << " events_processed=" << queue.processed()
             << " events_live=" << queue.live()
             << " events_cancelled=" << queue.cancelled()
             << " rel_evals=" << trace.rel_evals
-            << " rel_memo_hits=" << trace.rel_memo_hits << "\n";
+            << " rel_memo_hits=" << trace.rel_memo_hits
+            << " cache_hits=" << cstats.hits << " cache_misses=" << cstats.misses
+            << " cache_stores=" << cstats.stores
+            << " cache_invalidations=" << cstats.invalidations << "\n";
 }
 
-// >= 10 seeds x 3 fault rates (including 0) x churn on/off = 60 scenarios.
+// >= 10 seeds x 3 fault rates (including 0) x churn on/off x result
+// cache on/off = 120 scenarios.
 INSTANTIATE_TEST_SUITE_P(
     Grid, FuzzGrid,
     ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u),
                        ::testing::Values(0.0, 0.05, 0.2),
-                       ::testing::Bool()));
+                       ::testing::Bool(), ::testing::Bool()));
 
 // --- Golden-trace determinism -------------------------------------------
 
@@ -179,6 +217,51 @@ TEST(GoldenTrace, SerialAndParallelRoundsAgreeUnderFaults) {
   for (size_t i = 0; i < a.traces.size(); ++i) {
     EXPECT_TRUE(a.traces[i] == b.traces[i]) << "trace " << i;
   }
+}
+
+TEST(GoldenTrace, CacheOnSearchesDoNotPerturbCacheOffTraces) {
+  // Golden-trace compatibility of the cache layer: queries that run with
+  // use_result_cache off must be byte-identical whether or not other
+  // queries on the same deployment populated the result caches first.
+  // The cache sits strictly on the read side of the query plane — no
+  // topology, replica, or index state may leak out of it.
+  const auto corpus = test::clustered_corpus(kNodes, kTopics);
+  const ScenarioParams sp = base_params(42, 0.1, /*churn=*/true);
+  const RunArtifacts reference = run_scenario(corpus, sp);
+
+  ScenarioRunner runner(corpus, sp);
+  runner.run();
+  SearchOptions cached;
+  cached.ttl = 25;
+  cached.use_result_cache = true;
+  cached.strict_result_cache = true;
+  util::Rng cache_rng(util::derive_seed(sp.seed, 90));
+  for (size_t q = 0; q < 6; ++q) {
+    const auto alive = runner.network().alive_nodes();
+    ASSERT_FALSE(alive.empty());
+    const auto& query = corpus.queries[q % corpus.queries.size()].vector;
+    runner.search(query, alive[cache_rng.index(alive.size())], cached, cache_rng);
+  }
+  const auto& cstats = runner.result_cache().stats();
+  EXPECT_GT(cstats.stores + cstats.hits, 0u);  // the burst did populate
+
+  // Replay run_scenario's exact cache-off search sequence on the warmed
+  // deployment; traces and the final snapshot must match the reference.
+  util::Rng rng(util::derive_seed(sp.seed, 80));
+  SearchOptions sopt;
+  sopt.ttl = 25;
+  ASSERT_EQ(reference.traces.size(), 5u);
+  for (size_t q = 0; q < 5; ++q) {
+    const auto alive = runner.network().alive_nodes();
+    const NodeId initiator = alive[rng.index(alive.size())];
+    const auto& query = corpus.queries[q % corpus.queries.size()].vector;
+    const auto trace = runner.search(query, initiator, sopt, rng);
+    EXPECT_TRUE(trace == reference.traces[q]) << "trace " << q;
+    EXPECT_EQ(trace.cache_hits, 0u);
+  }
+  std::ostringstream snap;
+  p2p::save_network_snapshot(runner.network(), snap);
+  EXPECT_EQ(snap.str(), reference.snapshot);
 }
 
 TEST(GoldenTrace, ZeroRatePlanMatchesFaultFreeAdaptation) {

@@ -1,0 +1,214 @@
+// Strict-mode equivalence of the query-result cache: a cache hit must be
+// byte-identical to freshly evaluating the query — same documents, same
+// scores — and a cold cache must leave traces byte-identical to a
+// cache-off run. Covered: the synchronous GesSearch (populate / repeat
+// pairs against an uncached reference), the asynchronous message-level
+// engine across a fault-schedule grid (two batches: batch 1 populates and
+// must match the cache-off run, batch 2 is served from the initiator's
+// cache instantly), and repeat searches on a faulted + churned
+// ScenarioRunner deployment. Every cached run enables
+// SearchOptions::strict_result_cache, so each hit is additionally
+// re-evaluated against the owners' live indexes inside the engine.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ges/async_search.hpp"
+#include "ges/result_cache.hpp"
+#include "ges/scenario.hpp"
+#include "ges/topology_adaptation.hpp"
+#include "support/test_corpus.hpp"
+
+namespace ges::core {
+namespace {
+
+using p2p::NodeId;
+
+SearchOptions with_cache(SearchOptions options, bool on) {
+  options.use_result_cache = on;
+  options.strict_result_cache = on;
+  return options;
+}
+
+// (doc, score) sequences must agree exactly; probe_index legitimately
+// differs (a hit attributes every document to the answering cache node).
+void expect_same_results(const p2p::SearchTrace& hit,
+                         const p2p::SearchTrace& fresh) {
+  ASSERT_EQ(hit.retrieved.size(), fresh.retrieved.size());
+  for (size_t i = 0; i < fresh.retrieved.size(); ++i) {
+    EXPECT_EQ(hit.retrieved[i].doc, fresh.retrieved[i].doc) << "doc " << i;
+    EXPECT_EQ(hit.retrieved[i].score, fresh.retrieved[i].score) << "doc " << i;
+  }
+}
+
+class ResultCacheEquivalenceTest : public ::testing::Test {
+ protected:
+  ResultCacheEquivalenceTest()
+      : corpus_(test::clustered_corpus(36, 3)),
+        net_(corpus_, test::uniform_capacities(corpus_), p2p::NetworkConfig{}) {
+    util::Rng rng(11);
+    p2p::bootstrap_random_graph(net_, 5.0, rng);
+    TopologyAdaptation adapt(net_, GesParams{}, 13);
+    adapt.run_rounds(8);
+  }
+
+  corpus::Corpus corpus_;
+  p2p::Network net_;
+};
+
+TEST_F(ResultCacheEquivalenceTest, SyncStrictHitsMatchFreshEvaluation) {
+  SearchOptions options;
+  options.ttl = 40;
+  const GesSearch fresh(net_, with_cache(options, false));
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    // Fresh bank per seed: the populate run below must be provably cold
+    // (earlier seeds walk other initiators and would seed their caches).
+    ResultCacheBank bank(net_);
+    const GesSearch cached(net_, with_cache(options, true), nullptr, &bank);
+    for (size_t q = 0; q < corpus_.queries.size(); ++q) {
+      const auto initiator = static_cast<NodeId>((seed * 11 + q) % 36);
+      const auto& query = corpus_.queries[q].vector;
+      util::Rng rng_fresh(seed);
+      util::Rng rng_populate(seed);
+      util::Rng rng_hit(seed);
+      const auto f = fresh.search(query, initiator, rng_fresh);
+      const auto populate = cached.search(query, initiator, rng_populate);
+      // Cold cache: the cached engine makes exactly the fresh decisions.
+      EXPECT_TRUE(populate == f) << "seed " << seed << " query " << q;
+      EXPECT_EQ(populate.cache_hits, 0u);
+      if (f.retrieved.empty()) continue;  // nothing was stored
+      const auto hit = cached.search(query, initiator, rng_hit);
+      EXPECT_EQ(hit.cache_hits, 1u) << "seed " << seed << " query " << q;
+      ASSERT_EQ(hit.probes(), 1u);
+      EXPECT_EQ(hit.probe_order[0], initiator);
+      EXPECT_EQ(hit.walk_steps, 0u);
+      EXPECT_EQ(hit.flood_messages, 0u);
+      expect_same_results(hit, f);
+      for (const auto& r : hit.retrieved) EXPECT_EQ(r.probe_index, 0u);
+    }
+    EXPECT_GT(bank.stats().hits, 0u);
+  }
+}
+
+TEST_F(ResultCacheEquivalenceTest, AsyncStrictHitsAcrossFaultGrid) {
+  SearchOptions base;
+  base.ttl = 35;
+  LatencyModel latency;
+
+  for (const double fault_rate : {0.0, 0.08, 0.15}) {
+    p2p::FaultPlan plan = p2p::FaultPlan::uniform(fault_rate, 991);
+    if (fault_rate > 0.0) {
+      plan.delay_rate = 0.05;
+      plan.duplicate_rate = 0.03;
+    }
+    p2p::FaultInjector faults(plan);
+    ResultCacheBank bank(net_);
+
+    // One submission per distinct query: duplicate signatures in flight
+    // would let a late submission hit an early completion's entry and
+    // (legitimately) diverge from the cache-off reference.
+    auto run_batch = [&](AsyncSearchEngine& engine, p2p::EventQueue& queue) {
+      std::vector<AsyncQueryResult> results(corpus_.queries.size());
+      for (size_t q = 0; q < results.size(); ++q) {
+        engine.submit(corpus_.queries[q].vector, static_cast<NodeId>(q * 5 % 36),
+                      util::derive_seed(17, q),
+                      [&results, q](const AsyncQueryResult& r) { results[q] = r; });
+      }
+      queue.run();
+      EXPECT_EQ(engine.pending(), 0u);
+      return results;
+    };
+
+    p2p::EventQueue queue_off;
+    AsyncSearchEngine engine_off(net_, queue_off, with_cache(base, false),
+                                 latency, &faults);
+    const auto off = run_batch(engine_off, queue_off);
+
+    p2p::EventQueue queue_on;
+    AsyncSearchEngine engine_on(net_, queue_on, with_cache(base, true), latency,
+                                &faults, &bank);
+    const auto populate = run_batch(engine_on, queue_on);
+
+    ASSERT_EQ(populate.size(), off.size());
+    for (size_t q = 0; q < off.size(); ++q) {
+      EXPECT_TRUE(populate[q].trace == off[q].trace)
+          << "fault rate " << fault_rate << " query " << q;
+      EXPECT_EQ(populate[q].trace.cache_hits, 0u);
+      EXPECT_EQ(populate[q].completed_at, off[q].completed_at) << "query " << q;
+      EXPECT_EQ(populate[q].first_hit_at, off[q].first_hit_at) << "query " << q;
+    }
+
+    const auto repeat = run_batch(engine_on, queue_on);
+    for (size_t q = 0; q < repeat.size(); ++q) {
+      if (populate[q].trace.retrieved.empty()) continue;  // not stored
+      // Served straight from the initiator's cache: one probe, no
+      // messages, instant completion — faults never get to touch it.
+      EXPECT_EQ(repeat[q].trace.cache_hits, 1u)
+          << "fault rate " << fault_rate << " query " << q;
+      EXPECT_EQ(repeat[q].trace.probes(), 1u);
+      EXPECT_EQ(repeat[q].trace.messages(), 0u);
+      EXPECT_EQ(repeat[q].completed_at, repeat[q].submitted_at);
+      EXPECT_EQ(repeat[q].first_hit_at, repeat[q].submitted_at);
+      expect_same_results(repeat[q].trace, populate[q].trace);
+    }
+    EXPECT_GT(bank.stats().hits, 0u) << "fault rate " << fault_rate;
+  }
+}
+
+TEST(ResultCacheEquivalenceScenario, FaultedChurnedDeploymentRepeatsHit) {
+  const auto corpus = test::clustered_corpus(24, 3);
+  ScenarioParams sp;
+  sp.params.max_links = 6;
+  sp.params.min_links = 2;
+  sp.params.walk_ttl = 20;
+  sp.faults = p2p::FaultPlan::uniform(0.1, util::derive_seed(6, 77));
+  sp.churn_enabled = true;
+  sp.churn.mean_session = 60.0;
+  sp.churn.mean_downtime = 25.0;
+  sp.churn.bootstrap_links = 2;
+  sp.churn.seed = util::derive_seed(6, 78);
+  sp.rounds = 8;
+  sp.seed = 6;
+
+  ScenarioRunner runner(corpus, sp);
+  runner.run();
+
+  SearchOptions options;
+  options.ttl = 30;
+  const auto alive = runner.network().alive_nodes();
+  ASSERT_FALSE(alive.empty());
+  size_t repeat_hits = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng pick(util::derive_seed(seed, 80));
+    const NodeId initiator = alive[pick.index(alive.size())];
+    const auto& query = corpus.queries[seed % corpus.queries.size()].vector;
+    util::Rng rng_first(seed);
+    util::Rng rng_second(seed);
+    const auto first =
+        runner.search(query, initiator, with_cache(options, true), rng_first);
+    const auto second =
+        runner.search(query, initiator, with_cache(options, true), rng_second);
+    if (first.cache_hits == 0 && !first.retrieved.empty()) {
+      // The first run completed fresh, so its results were stored at the
+      // initiator; no sim time passed in between, so the repeat must be
+      // served from there with the exact same documents and scores.
+      EXPECT_EQ(second.cache_hits, 1u) << "seed " << seed;
+      ASSERT_EQ(second.probes(), 1u);
+      EXPECT_EQ(second.probe_order[0], initiator);
+      expect_same_results(second, first);
+      ++repeat_hits;
+    }
+  }
+  EXPECT_GT(repeat_hits, 0u);
+  EXPECT_GE(runner.result_cache().stats().hits, repeat_hits);
+  // Strict mode re-verified every hit above; the sweep closes the loop on
+  // the liveness side (dead nodes cache nothing, no dead-owner results).
+  const auto report = p2p::check_overlay_invariants(
+      runner.network(), runner.invariant_options(sp.churn.bootstrap_links));
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.result_cache_nodes_checked, 0u);
+}
+
+}  // namespace
+}  // namespace ges::core

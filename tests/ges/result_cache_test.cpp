@@ -1,0 +1,432 @@
+// Query-result cache (ges/result_cache.hpp, p2p/cache_protocol.hpp):
+// deterministic unit tests of the signature, sizing, eviction, TTL and
+// invalidation rules, plus a model-based property suite (seeds 0-50)
+// driving a ResultCacheBank and a naive unbounded reference map through
+// randomized stores, probes, clock advances, document mutations and
+// churn — every bank hit must be byte-identical to fresh evaluation, and
+// a bank miss while the reference still holds a valid entry is only ever
+// explained by a capacity eviction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ges/result_cache.hpp"
+#include "p2p/cache_protocol.hpp"
+#include "p2p/network.hpp"
+#include "support/test_corpus.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ges::core {
+namespace {
+
+using p2p::CachedResultDoc;
+using p2p::CacheEntryMeta;
+using p2p::CacheValidity;
+using p2p::Network;
+using p2p::NodeId;
+using p2p::QuerySignature;
+
+constexpr size_t kNodes = 12;
+constexpr size_t kTopics = 3;
+
+std::vector<p2p::Capacity> spread_capacities(size_t nodes) {
+  std::vector<p2p::Capacity> caps(nodes);
+  const double classes[] = {1.0, 10.0, 100.0, 1000.0};
+  for (size_t n = 0; n < nodes; ++n) caps[n] = classes[n % 4];
+  return caps;
+}
+
+/// Evaluate `query` at `owner` and package the results exactly as a
+/// search would store them.
+std::vector<CachedResultDoc> fresh_docs(const Network& net, NodeId owner,
+                                        const ir::SparseVector& query) {
+  std::vector<CachedResultDoc> out;
+  for (const auto& d : net.index(owner).evaluate(query, 0.0)) {
+    out.push_back({d.doc, d.score, owner, net.node_vector_version(owner)});
+  }
+  return out;
+}
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  ResultCacheTest()
+      : corpus_(test::clustered_corpus(kNodes, kTopics)),
+        net_(corpus_, spread_capacities(kNodes), {}) {}
+
+  corpus::Corpus corpus_;
+  Network net_;
+};
+
+// --- Signature ------------------------------------------------------
+
+TEST_F(ResultCacheTest, SignatureIsCanonicalAndDiscriminating) {
+  const auto& q0 = corpus_.queries[0].vector;
+  const auto& q1 = corpus_.queries[1].vector;
+  EXPECT_EQ(p2p::query_signature(q0), p2p::query_signature(q0));
+  EXPECT_NE(p2p::query_signature(q0).value, p2p::query_signature(q1).value);
+
+  // Same components assembled in a different order canonicalize to the
+  // same SparseVector, hence the same signature.
+  const auto terms = q0.terms();
+  const auto weights = q0.weights();
+  ASSERT_EQ(q0.size(), 2u);
+  const auto reordered = ir::SparseVector::from_pairs(
+      {{terms[1], weights[1]}, {terms[0], weights[0]}});
+  EXPECT_EQ(p2p::query_signature(q0), p2p::query_signature(reordered));
+
+  // A weight perturbation — evaluation would differ — changes the key.
+  const auto tweaked = ir::SparseVector::from_pairs(
+      {{terms[0], weights[0] * 1.0001f}, {terms[1], weights[1]}});
+  EXPECT_NE(p2p::query_signature(q0).value, p2p::query_signature(tweaked).value);
+
+  EXPECT_NE(p2p::query_signature(ir::SparseVector{}).value, 0u);
+}
+
+// --- Capacity sizing ------------------------------------------------
+
+TEST(ResultCacheSizing, EntriesScaleWithCapacityDecades) {
+  ResultCacheConfig cfg;
+  cfg.base_entries = 16;
+  cfg.entries_per_decade = 16;
+  cfg.max_entries = 64;
+  EXPECT_EQ(result_cache_entries_for(cfg, 1.0), 16u);
+  EXPECT_EQ(result_cache_entries_for(cfg, 9.0), 16u);
+  EXPECT_EQ(result_cache_entries_for(cfg, 10.0), 32u);
+  EXPECT_EQ(result_cache_entries_for(cfg, 100.0), 48u);
+  EXPECT_EQ(result_cache_entries_for(cfg, 1000.0), 64u);
+  EXPECT_EQ(result_cache_entries_for(cfg, 100000.0), 64u);  // capped
+}
+
+// --- Eviction order -------------------------------------------------
+
+TEST(ResultCacheEviction, EvictsLeastPopularThenLeastRecentlyUsed) {
+  ResultCache cache(2);
+  const QuerySignature a{1}, b{2}, c{3}, d{4};
+  const CacheEntryMeta meta;
+  uint64_t tick = 0;
+  EXPECT_EQ(cache.store(a, {{0, 1.0, 0, 0}}, meta, ++tick), 0u);
+  EXPECT_EQ(cache.store(b, {{1, 1.0, 0, 0}}, meta, ++tick), 0u);
+
+  // A hit makes `a` more popular than `b`.
+  ASSERT_NE(cache.find(a), nullptr);
+  cache.find(a)->popularity = 1;
+  cache.find(a)->last_used = ++tick;
+
+  // Full cache: storing c must evict b (least popular).
+  EXPECT_EQ(cache.store(c, {{2, 1.0, 0, 0}}, meta, ++tick), 1u);
+  EXPECT_EQ(cache.find(b), nullptr);
+  EXPECT_NE(cache.find(a), nullptr);
+  EXPECT_NE(cache.find(c), nullptr);
+
+  // a (pop 1) vs c (pop 0): storing d evicts c.
+  EXPECT_EQ(cache.store(d, {{3, 1.0, 0, 0}}, meta, ++tick), 1u);
+  EXPECT_EQ(cache.find(c), nullptr);
+  EXPECT_NE(cache.find(a), nullptr);
+
+  // Equal popularity: the least recently used goes first. a's last_used
+  // predates d's store tick, so a is the victim now.
+  cache.find(a)->popularity = 0;
+  EXPECT_EQ(cache.store(b, {{1, 1.0, 0, 0}}, meta, ++tick), 1u);
+  EXPECT_EQ(cache.find(a), nullptr);
+  EXPECT_NE(cache.find(d), nullptr);
+}
+
+// --- Validity layers -------------------------------------------------
+
+TEST_F(ResultCacheTest, TtlExpiresEntries) {
+  ResultCacheConfig cfg;
+  cfg.ttl = 10.0;
+  ResultCacheBank bank(net_, cfg);
+  double now = 0.0;
+  bank.set_clock([&now] { return now; });
+
+  const auto& query = corpus_.queries[0].vector;
+  const auto sig = p2p::query_signature(query);
+  bank.store(0, sig, fresh_docs(net_, 0, query));
+
+  now = 5.0;
+  EXPECT_NE(bank.probe(0, sig), nullptr);
+  now = 10.0;  // expires_at reached
+  EXPECT_EQ(bank.probe(0, sig), nullptr);
+  EXPECT_EQ(bank.stats().invalidations, 1u);
+  EXPECT_EQ(bank.entry_count(0), 0u);  // lazily erased
+}
+
+TEST_F(ResultCacheTest, StampMismatchFallsBackToPerOwnerChecks) {
+  ResultCacheBank bank(net_);
+  const auto& query = corpus_.queries[0].vector;
+  const auto sig = p2p::query_signature(query);
+  bank.store(0, sig, fresh_docs(net_, 0, query));
+
+  // Fast path: nothing changed anywhere.
+  EXPECT_NE(bank.probe(0, sig), nullptr);
+
+  // Bump the network-wide stamp via an unrelated node: the slow path
+  // still validates (owner 0 alive, index unchanged) — and stays exact.
+  const auto added = net_.add_document(5, corpus_.docs[0].counts);
+  ASSERT_NE(bank.probe(0, sig), nullptr);
+  bank.verify_strict(query, 0.0, *bank.probe(0, sig));
+  net_.remove_document(5, added);
+
+  // Change the owner's own index: the cached scores are stale now.
+  const auto own = net_.add_document(0, corpus_.docs[0].counts);
+  EXPECT_EQ(bank.probe(0, sig), nullptr);
+  EXPECT_GE(bank.stats().invalidations, 1u);
+  net_.remove_document(0, own);
+}
+
+TEST_F(ResultCacheTest, DepartureInvalidatesOwnedEntriesEverywhere) {
+  ResultCacheBank bank(net_);
+  const auto& query = corpus_.queries[0].vector;
+  const auto sig = p2p::query_signature(query);
+  const auto docs = fresh_docs(net_, 3, query);
+  ASSERT_FALSE(docs.empty());
+  bank.store(0, sig, docs);   // node 0 caches results owned by node 3
+  bank.store(3, sig, docs);   // so does the owner itself
+  ASSERT_EQ(bank.entry_count(0), 1u);
+
+  net_.deactivate(3);
+  bank.on_node_departed(3);
+  EXPECT_EQ(bank.entry_count(0), 0u);
+  EXPECT_EQ(bank.entry_count(3), 0u);
+  EXPECT_EQ(bank.stats().invalidations, 2u);
+  for (NodeId n = 0; n < net_.size(); ++n) {
+    EXPECT_EQ(bank.dead_owner_docs(n), 0u);
+  }
+  net_.activate(3);
+}
+
+TEST_F(ResultCacheTest, LazyProbeRejectsDeadOwnerWithoutEagerHook) {
+  // Even if the eager departure hook were not wired, the probe-side
+  // validity rule must refuse to serve dead-owner results.
+  ResultCacheBank bank(net_);
+  const auto& query = corpus_.queries[0].vector;
+  const auto sig = p2p::query_signature(query);
+  bank.store(0, sig, fresh_docs(net_, 3, query));
+
+  net_.deactivate(3);  // bumps content_stamp -> slow path -> owner dead
+  EXPECT_EQ(bank.probe(0, sig), nullptr);
+  EXPECT_EQ(bank.stats().invalidations, 1u);
+  net_.activate(3);
+}
+
+TEST_F(ResultCacheTest, StoreRefusesDeadNodesDeadOwnersAndEmptySets) {
+  ResultCacheBank bank(net_);
+  const auto& query = corpus_.queries[0].vector;
+  const auto sig = p2p::query_signature(query);
+  const auto docs = fresh_docs(net_, 3, query);
+
+  bank.store(0, sig, {});
+  EXPECT_EQ(bank.entry_count(0), 0u);
+
+  net_.deactivate(3);
+  bank.store(0, sig, docs);  // owner 3 is dead: refused
+  EXPECT_EQ(bank.entry_count(0), 0u);
+  bank.store(3, sig, fresh_docs(net_, 0, query));  // node 3 is dead: refused
+  EXPECT_EQ(bank.entry_count(3), 0u);
+  net_.activate(3);
+}
+
+TEST_F(ResultCacheTest, TopKTruncationKeepsBestScoresInProbeOrder) {
+  ResultCacheConfig cfg;
+  cfg.top_k = 2;
+  ResultCacheBank bank(net_, cfg);
+  const auto& query = corpus_.queries[0].vector;
+  const auto sig = p2p::query_signature(query);
+  const auto docs = fresh_docs(net_, 0, query);
+  ASSERT_EQ(docs.size(), 3u);  // 3 docs per node in the clustered corpus
+
+  bank.store(0, sig, docs);
+  const auto* cached = bank.probe(0, sig);
+  ASSERT_NE(cached, nullptr);
+  ASSERT_EQ(cached->size(), 2u);
+  // Survivors are the two best-scoring docs, in their original order.
+  double worst_kept = std::min((*cached)[0].score, (*cached)[1].score);
+  for (const auto& d : docs) {
+    const bool kept = std::any_of(
+        cached->begin(), cached->end(),
+        [&d](const CachedResultDoc& c) { return c.doc == d.doc; });
+    if (!kept) {
+      EXPECT_LE(d.score, worst_kept);
+    }
+  }
+  // Truncated entries still pass the (subset) strict check.
+  bank.verify_strict(query, 0.0, *cached);
+}
+
+TEST_F(ResultCacheTest, VerifyStrictThrowsOnTamperedScores) {
+  ResultCacheBank bank(net_);
+  const auto& query = corpus_.queries[0].vector;
+  auto docs = fresh_docs(net_, 0, query);
+  ASSERT_FALSE(docs.empty());
+  bank.verify_strict(query, 0.0, docs);  // exact copy passes
+
+  auto tampered = docs;
+  tampered[0].score += 1e-9;
+  EXPECT_THROW(bank.verify_strict(query, 0.0, tampered), util::CheckFailure);
+
+  auto truncated = docs;
+  truncated.pop_back();  // top_k == 0 demands the full per-owner run
+  EXPECT_THROW(bank.verify_strict(query, 0.0, truncated), util::CheckFailure);
+}
+
+// --- Model-based property suite (seeds 0-50) -------------------------
+
+/// Naive reference: an unbounded map mirroring every store and eager
+/// invalidation, judged by the same public validity rule. The bank may
+/// lose entries the reference keeps (capacity evictions) but must never
+/// serve anything the reference would reject.
+struct ReferenceModel {
+  std::map<std::pair<NodeId, uint64_t>, ResultCache::Entry> entries;
+
+  void store(NodeId node, QuerySignature sig, std::vector<CachedResultDoc> docs,
+             CacheEntryMeta meta) {
+    entries[{node, sig.value}] = {sig, std::move(docs), meta, 0, 0};
+  }
+
+  void on_node_departed(NodeId node) {
+    for (auto it = entries.begin(); it != entries.end();) {
+      const bool own = it->first.first == node;
+      const bool references = std::any_of(
+          it->second.docs.begin(), it->second.docs.end(),
+          [node](const CachedResultDoc& d) { return d.owner == node; });
+      it = (own || references) ? entries.erase(it) : std::next(it);
+    }
+  }
+
+  const ResultCache::Entry* find(NodeId node, QuerySignature sig) const {
+    const auto it = entries.find({node, sig.value});
+    return it == entries.end() ? nullptr : &it->second;
+  }
+};
+
+TEST_F(ResultCacheTest, ModelBasedRandomOps) {
+  uint64_t total_hits = 0;
+  for (uint64_t seed = 0; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    util::Rng rng(util::derive_seed(seed, 900));
+
+    ResultCacheConfig cfg;
+    cfg.base_entries = 2;
+    cfg.entries_per_decade = 1;
+    cfg.max_entries = 4;
+    cfg.ttl = (seed % 3 == 0) ? 40.0 : 0.0;
+    ResultCacheBank bank(net_, cfg);
+    double now = 0.0;
+    bank.set_clock([&now] { return now; });
+    ReferenceModel ref;
+
+    // Query pool: the topic queries by signature.
+    std::unordered_map<uint64_t, const ir::SparseVector*> queries;
+    for (const auto& q : corpus_.queries) {
+      queries[p2p::query_signature(q.vector).value] = &q.vector;
+    }
+    std::vector<ir::DocId> added_docs;
+    std::pair<NodeId, QuerySignature> last_store{0, {}};
+    bool stored_any = false;
+    size_t evict_explained_misses = 0;
+
+    for (size_t op = 0; op < 400; ++op) {
+      const auto roll = rng.below(100);
+      if (roll < 30) {  // store fresh results somewhere
+        const auto& q = corpus_.queries[rng.index(corpus_.queries.size())].vector;
+        const auto sig = p2p::query_signature(q);
+        const auto holder = static_cast<NodeId>(rng.index(kNodes));
+        const auto owner = static_cast<NodeId>(rng.index(kNodes));
+        if (!net_.alive(holder) || !net_.alive(owner)) continue;
+        const auto docs = fresh_docs(net_, owner, q);
+        if (docs.empty()) continue;
+        CacheEntryMeta meta;
+        meta.content_stamp = net_.content_stamp();
+        meta.stored_at = now;
+        meta.expires_at = cfg.ttl > 0.0 ? now + cfg.ttl : 0.0;
+        bank.store(holder, sig, docs);
+        ref.store(holder, sig, docs, meta);
+        last_store = {holder, sig};
+        stored_any = true;
+      } else if (roll < 70) {  // probe (biased toward the last store)
+        NodeId node;
+        QuerySignature sig;
+        if (stored_any && rng.below(2) == 0) {
+          node = last_store.first;
+          sig = last_store.second;
+        } else {
+          node = static_cast<NodeId>(rng.index(kNodes));
+          sig = p2p::query_signature(
+              corpus_.queries[rng.index(corpus_.queries.size())].vector);
+        }
+        const auto* ref_entry = ref.find(node, sig);
+        const bool ref_valid =
+            ref_entry != nullptr &&
+            p2p::validate_cache_entry(net_, ref_entry->docs, ref_entry->meta,
+                                      now) == CacheValidity::kValid;
+        const auto* hit = bank.probe(node, sig);
+        if (hit != nullptr) {
+          ++total_hits;
+          // Every hit matches the reference byte for byte and reproduces
+          // fresh evaluation exactly.
+          ASSERT_TRUE(ref_valid);
+          ASSERT_EQ(*hit, ref_entry->docs);
+          bank.verify_strict(*queries.at(sig.value), 0.0, *hit);
+        } else if (ref_valid) {
+          // Only a capacity eviction may explain losing a valid entry.
+          ++evict_explained_misses;
+        }
+      } else if (roll < 80) {  // advance the clock
+        now += rng.uniform(1.0, 15.0);
+      } else if (roll < 90) {  // mutate content (bumps content_stamp)
+        const auto node = static_cast<NodeId>(rng.index(kNodes));
+        if (!added_docs.empty() && rng.below(2) == 0) {
+          const auto doc = added_docs.back();
+          added_docs.pop_back();
+          net_.remove_document(net_.document_owner(doc), doc);
+        } else {
+          added_docs.push_back(net_.add_document(
+              node, corpus_.docs[rng.index(corpus_.docs.size())].counts));
+        }
+      } else {  // churn: departure with eager invalidation, or rejoin
+        const auto node = static_cast<NodeId>(rng.index(kNodes));
+        if (net_.alive(node)) {
+          if (net_.alive_count() <= 2) continue;
+          net_.deactivate(node);
+          bank.on_node_departed(node);
+          ref.on_node_departed(node);
+        } else {
+          net_.activate(node);
+        }
+      }
+
+      // Standing invariants after every op.
+      for (NodeId n = 0; n < net_.size(); ++n) {
+        ASSERT_LE(bank.entry_count(n), bank.entry_capacity(n));
+        ASSERT_EQ(bank.dead_owner_docs(n), 0u);
+        if (!net_.alive(n)) {
+          ASSERT_EQ(bank.entry_count(n), 0u);
+        }
+      }
+    }
+
+    EXPECT_LE(evict_explained_misses,
+              bank.stats().evictions + bank.stats().invalidations);
+
+    // Restore the fixture network for the next seed.
+    for (const auto doc : added_docs) {
+      net_.remove_document(net_.document_owner(doc), doc);
+    }
+    for (NodeId n = 0; n < net_.size(); ++n) {
+      if (!net_.alive(n)) net_.activate(n);
+    }
+  }
+  // The suite is non-vacuous: the biased probes hit often.
+  EXPECT_GT(total_hits, 500u);
+}
+
+}  // namespace
+}  // namespace ges::core

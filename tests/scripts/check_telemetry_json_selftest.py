@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Regression tests for scripts/check_telemetry_json.py.
+
+Runs the validator as a subprocess against synthetic documents and
+asserts pass/fail behavior, with emphasis on the --expect-family
+contract: a declared metric family must be present in at least one
+validated ges.metrics.v1 document (top-level or embedded in a bench
+document), and a declared-but-absent family must fail the run even when
+every individual file is schema-valid — that is the regression this
+suite pins down.
+
+Registered as a ctest (`telemetry_validator_selftest`); stdlib-only.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "..", "scripts",
+    "check_telemetry_json.py")
+
+
+def metrics_doc(names):
+    return {
+        "schema": "ges.metrics.v1",
+        "metrics": [
+            {"name": n, "kind": "counter", "value": 3} for n in sorted(names)
+        ],
+    }
+
+
+def bench_doc(metric_names=None):
+    doc = {
+        "schema": "ges.bench.v1",
+        "bench": "selftest",
+        "entries": [{"name": "entry", "ops_per_sec": 10.0, "ns_per_op": 1e8}],
+    }
+    if metric_names is not None:
+        doc["metrics"] = metrics_doc(metric_names)
+    return doc
+
+
+class ValidatorTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_validator(self, *args):
+        return subprocess.run(
+            [sys.executable, SCRIPT, *args],
+            capture_output=True, text=True, check=False)
+
+    def test_valid_metrics_doc_passes(self):
+        path = self.write("m.json", metrics_doc(["ges.cache.hits"]))
+        result = self.run_validator(path)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("OK", result.stdout)
+
+    def test_unsorted_metrics_fail(self):
+        doc = metrics_doc(["a", "b"])
+        doc["metrics"].reverse()
+        path = self.write("m.json", doc)
+        result = self.run_validator(path)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("sorted", result.stderr)
+
+    def test_negative_counter_fails(self):
+        doc = metrics_doc(["ges.cache.hits"])
+        doc["metrics"][0]["value"] = -1
+        path = self.write("m.json", doc)
+        result = self.run_validator(path)
+        self.assertNotEqual(result.returncode, 0)
+
+    def test_expected_family_present_passes(self):
+        path = self.write(
+            "m.json", metrics_doc(["ges.cache.hits", "ges.cache.misses"]))
+        result = self.run_validator(path, "--expect-family", "ges.cache.")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("2 metric(s)", result.stdout)
+
+    def test_declared_but_absent_family_fails(self):
+        # The file itself is schema-valid; only the family check may fail.
+        path = self.write("m.json", metrics_doc(["ges.search.probes"]))
+        result = self.run_validator(path, "--expect-family", "ges.cache.")
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("ges.cache.", result.stderr)
+        self.assertIn("absent", result.stderr)
+
+    def test_family_satisfied_across_files(self):
+        a = self.write("a.json", metrics_doc(["ges.search.probes"]))
+        b = self.write("b.json", metrics_doc(["ges.cache.evictions"]))
+        result = self.run_validator(
+            a, b, "--expect-family", "ges.cache.", "--expect-family",
+            "ges.search.")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_family_found_in_embedded_bench_metrics(self):
+        path = self.write("b.json", bench_doc(["ges.cache.stores"]))
+        result = self.run_validator(path, "--expect-family", "ges.cache.")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_bench_without_embedded_metrics_cannot_satisfy_family(self):
+        path = self.write("b.json", bench_doc())
+        result = self.run_validator(path, "--expect-family", "ges.cache.")
+        self.assertNotEqual(result.returncode, 0)
+
+    def test_missing_prefix_argument_fails(self):
+        path = self.write("m.json", metrics_doc(["x"]))
+        result = self.run_validator(path, "--expect-family")
+        self.assertNotEqual(result.returncode, 0)
+
+    def test_invalid_json_fails(self):
+        path = os.path.join(self._dir.name, "broken.json")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("{not json")
+        result = self.run_validator(path)
+        self.assertNotEqual(result.returncode, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
