@@ -1,14 +1,17 @@
 // Telemetry quick-start (docs/TELEMETRY.md): run a small fault+churn
-// scenario with the deterministic telemetry layer enabled and dump the
-// three artifacts next to the binary:
+// scenario with the deterministic telemetry layer enabled — including
+// the query flight recorder, the sim-time series sampler and the node
+// health watchdog — and dump the artifacts next to the binary:
 //
-//   telemetry_scenario.metrics.json  machine-readable counters (ges.metrics.v1)
-//   telemetry_scenario.metrics.prom  Prometheus text exposition
-//   telemetry_scenario.trace.json    Chrome trace_event JSON — load it in
-//                                    https://ui.perfetto.dev or chrome://tracing
+//   telemetry_scenario.metrics.json     machine-readable counters (ges.metrics.v1)
+//   telemetry_scenario.metrics.prom     Prometheus text exposition
+//   telemetry_scenario.trace.json       Chrome trace_event JSON — load it in
+//                                       https://ui.perfetto.dev or chrome://tracing
+//   telemetry_scenario.autopsy.json     per-query causal autopsies (ges.autopsy.v1)
+//   telemetry_scenario.timeseries.json  sim-time metric samples (ges.timeseries.v1)
 //
 // The trace timeline is *simulated* seconds, so the same seed reproduces
-// the same file byte for byte. CI runs this binary and validates the
+// the same files byte for byte. CI runs this binary and validates the
 // artifacts with scripts/check_telemetry_json.py.
 //
 // Usage: scenario_telemetry [seed]
@@ -45,6 +48,10 @@ int main(int argc, char** argv) {
   sp.rounds = 12;
   sp.seed = seed;
   sp.telemetry_out = "telemetry_scenario";  // enables telemetry + dumps files
+  sp.flight_recorder = true;                // per-query causal autopsies
+  sp.flight.sample_every = 1;               // retain every query (only 10 run)
+  sp.timeseries_interval = 5.0;             // one sample per heartbeat interval
+  sp.health_monitor = true;                 // round-boundary watchdog sweeps
 
   core::ScenarioRunner runner(corpus, sp);
   runner.run();
@@ -81,9 +88,25 @@ int main(int argc, char** argv) {
         "ges.cache.invalidations"}) {
     std::cout << "  " << name << " = " << snapshot.counter(name) << "\n";
   }
+  if (const auto* health = runner.health()) {
+    const auto& last = health->last();
+    std::cout << "\nhealth (last sweep, t=" << last.t << "s): " << last.alive
+              << "/" << last.nodes << " alive, " << last.anomalies
+              << " anomalies this sweep (" << health->anomalies_seen()
+              << " total), max heartbeat staleness " << last.max_staleness
+              << "s, max cache occupancy " << last.max_cache_occupancy << ", "
+              << last.nodes_in_backoff << " in backoff\n";
+  }
+  std::cout << "\nflight recorder: " << obs::flight().queries_seen()
+            << " queries seen, " << obs::flight().retained_count()
+            << " autopsies retained (" << obs::flight().queries_dropped()
+            << " dropped)\ntimeseries: " << runner.timeseries()->samples_taken()
+            << " samples taken, " << runner.timeseries()->samples_dropped()
+            << " dropped\n";
   std::cout << "\ntrace events recorded: " << obs::global().trace().size()
             << " (dropped " << obs::global().trace().dropped() << ")\n"
-            << "wrote " << sp.telemetry_out << ".metrics.json / .metrics.prom / "
-            << ".trace.json\nopen the trace in https://ui.perfetto.dev\n";
+            << "wrote " << sp.telemetry_out
+            << ".{metrics.json,metrics.prom,trace.json,autopsy.json,"
+               "timeseries.json}\nopen the trace in https://ui.perfetto.dev\n";
   return 0;
 }

@@ -1,12 +1,21 @@
 #!/usr/bin/env python3
 """Validate telemetry artifacts against their stable schemas.
 
-Stdlib-only. Checks three document kinds by shape:
+Stdlib-only. Checks five document kinds by shape:
 
-  ges.metrics.v1   <prefix>.metrics.json from ScenarioRunner / obs exporters
-  ges.bench.v1     BENCH_<name>.json from the unified bench emitter
-  chrome trace     <prefix>.trace.json (trace_event JSON: ph "X"/"i",
-                   non-negative ts/dur, numeric args)
+  ges.metrics.v1     <prefix>.metrics.json from ScenarioRunner / obs exporters
+  ges.bench.v1       BENCH_<name>.json from the unified bench emitter
+  ges.autopsy.v1     <prefix>.autopsy.json from the query flight recorder:
+                     retention accounting must balance, every causal event
+                     graph must be a well-formed tree (parent precedes
+                     child, time monotone along edges), and for autopsies
+                     with no capped events the cost summary must equal the
+                     event counts exactly
+  ges.timeseries.v1  <prefix>.timeseries.json from the sim-time sampler:
+                     strictly increasing sample times, nondecreasing
+                     counters, ring-retention accounting
+  chrome trace       <prefix>.trace.json (trace_event JSON: ph "X"/"i",
+                     non-negative ts/dur, numeric args)
 
 A repeatable --expect-family PREFIX flag declares a metric family that
 must appear (by name prefix) in at least one validated ges.metrics.v1
@@ -125,6 +134,168 @@ def check_bench(path, doc, seen_names):
     return f"{len(entries)} entries{extra}"
 
 
+AUTOPSY_EVENT_KINDS = {
+    "issued", "probe", "walk_hop", "flood_send", "cache_probe",
+    "fault_drop", "fault_block", "fault_delay", "fault_dup",
+}
+RETAINED_LABELS = {"worst", "sampled", "worst+sampled"}
+
+
+def is_count(x):
+    return isinstance(x, int) and not isinstance(x, bool) and x >= 0
+
+
+def check_autopsy_events(path, where, query, events):
+    """One autopsy's causal graph: a tree rooted at the issued event."""
+    for i, ev in enumerate(events):
+        ew = f"{where}.events[{i}]"
+        if not isinstance(ev, dict):
+            fail(path, f"{ew} is not an object")
+        if ev.get("id") != i:
+            fail(path, f"{ew} id {ev.get('id')!r} != position {i}")
+        kind = ev.get("kind")
+        if kind not in AUTOPSY_EVENT_KINDS:
+            fail(path, f"{ew} has unknown kind {kind!r}")
+        parent = ev.get("parent")
+        if i == 0:
+            if kind != "issued" or parent != -1:
+                fail(path, f"{ew} root must be kind 'issued' with parent -1")
+        elif not (isinstance(parent, int) and 0 <= parent < i):
+            fail(path, f"{ew} parent {parent!r} does not precede id {i}")
+        if not is_number(ev.get("t")):
+            fail(path, f"{ew} t is not a number")
+        if i > 0 and ev["t"] < events[parent]["t"]:
+            fail(path, f"{ew} t {ev['t']} precedes its parent's t")
+    # With no events capped, the cost summary and the event graph are two
+    # views of the same query and must agree exactly (an event hook that
+    # drifts from the engine's counters is a recorder bug, not noise).
+    if query.get("events_dropped") == 0:
+        kinds = [ev["kind"] for ev in events]
+        cache_hits = sum(1 for ev in events
+                         if ev["kind"] == "cache_probe" and ev.get("outcome") == "hit")
+        cost = query["cost"]
+        checks = [
+            ("probes", kinds.count("probe") + cache_hits),
+            ("walk_steps", kinds.count("walk_hop")),
+            ("flood_messages", kinds.count("flood_send")),
+            ("cache_hits", cache_hits),
+        ]
+        for name, expected in checks:
+            if cost.get(name) != expected:
+                fail(path, f"{where} cost.{name} {cost.get(name)!r} != "
+                           f"{expected} reconstructed from events")
+
+
+def check_autopsy(path, doc):
+    if doc.get("schema") != "ges.autopsy.v1":
+        fail(path, "schema is not ges.autopsy.v1")
+    for key in ("queries_seen", "queries_retained", "queries_dropped",
+                "events_dropped"):
+        if not is_count(doc.get(key)):
+            fail(path, f"{key} is not a non-negative int")
+    if doc["queries_seen"] != doc["queries_retained"] + doc["queries_dropped"]:
+        fail(path, "queries_seen != queries_retained + queries_dropped")
+    config = doc.get("config")
+    if not isinstance(config, dict) or not all(
+        is_count(config.get(k))
+        for k in ("worst_k", "sample_capacity", "sample_every",
+                  "max_events_per_query")
+    ):
+        fail(path, "config is missing retention knobs")
+    autopsies = doc.get("autopsies")
+    if not isinstance(autopsies, list):
+        fail(path, "autopsies is not a list")
+    if len(autopsies) != doc["queries_retained"]:
+        fail(path, "queries_retained != len(autopsies)")
+    last_ordinal = -1
+    for i, a in enumerate(autopsies):
+        where = f"autopsies[{i}]"
+        if not isinstance(a, dict):
+            fail(path, f"{where} is not an object")
+        query, events = a.get("query"), a.get("events")
+        if not isinstance(query, dict):
+            fail(path, f"{where}.query is not an object")
+        if not isinstance(events, list) or not events:
+            fail(path, f"{where}.events missing or empty")
+        if not is_count(query.get("ordinal")) or query["ordinal"] <= last_ordinal:
+            fail(path, f"{where} ordinals are not strictly increasing")
+        last_ordinal = query["ordinal"]
+        if query.get("engine") not in {"sync", "async"}:
+            fail(path, f"{where} engine is not sync/async")
+        if not isinstance(query.get("reason"), str) or not query["reason"]:
+            fail(path, f"{where} has no completion reason")
+        if query.get("retained") not in RETAINED_LABELS:
+            fail(path, f"{where} retained label {query.get('retained')!r} unknown")
+        if not (is_number(query.get("issued_at")) and
+                is_number(query.get("completed_at")) and
+                query["completed_at"] >= query["issued_at"]):
+            fail(path, f"{where} needs issued_at <= completed_at")
+        cost = query.get("cost")
+        if not isinstance(cost, dict) or not all(
+            is_count(cost.get(k))
+            for k in ("probes", "walk_steps", "flood_messages", "cache_hits",
+                      "targets", "retrieved_docs", "rel_evals", "rel_memo_hits")
+        ):
+            fail(path, f"{where} cost summary incomplete")
+        if not (is_count(query.get("events_recorded")) and
+                is_count(query.get("events_dropped"))):
+            fail(path, f"{where} event accounting is not non-negative ints")
+        if query["events_recorded"] != len(events) + query["events_dropped"]:
+            fail(path, f"{where} events_recorded != len(events) + events_dropped")
+        check_autopsy_events(path, where, query, events)
+    return (f"{len(autopsies)} autopsies "
+            f"({doc['queries_seen']} queries seen, "
+            f"{doc['queries_dropped']} dropped by retention)")
+
+
+def check_timeseries(path, doc):
+    if doc.get("schema") != "ges.timeseries.v1":
+        fail(path, "schema is not ges.timeseries.v1")
+    if not (is_number(doc.get("interval")) and doc["interval"] >= 0):
+        fail(path, "interval is not a non-negative number")
+    for key in ("samples_taken", "samples_retained", "samples_dropped",
+                "max_samples"):
+        if not is_count(doc.get(key)):
+            fail(path, f"{key} is not a non-negative int")
+    samples = doc.get("samples")
+    if not isinstance(samples, list):
+        fail(path, "samples is not a list")
+    if len(samples) != doc["samples_retained"]:
+        fail(path, "samples_retained != len(samples)")
+    if doc["samples_taken"] != doc["samples_retained"] + doc["samples_dropped"]:
+        fail(path, "samples_taken != samples_retained + samples_dropped")
+    if doc["samples_retained"] > doc["max_samples"]:
+        fail(path, "more samples retained than the ring allows")
+    prev_t, prev_counters = None, {}
+    for i, s in enumerate(samples):
+        where = f"samples[{i}]"
+        if not isinstance(s, dict):
+            fail(path, f"{where} is not an object")
+        if not is_number(s.get("t")):
+            fail(path, f"{where} t is not a number")
+        if prev_t is not None and s["t"] <= prev_t:
+            fail(path, f"{where} sample times are not strictly increasing")
+        prev_t = s["t"]
+        counters, gauges = s.get("counters"), s.get("gauges")
+        if not isinstance(counters, dict) or not all(
+            is_count(v) for v in counters.values()
+        ):
+            fail(path, f"{where} counters are not non-negative ints")
+        if not isinstance(gauges, dict) or not all(
+            is_number(v) or v is None for v in gauges.values()
+        ):
+            fail(path, f"{where} gauges are not numeric/null")
+        # Counters are monotone by construction; a decrease means a reset
+        # leaked into the stream or two registries got mixed up.
+        for name, value in counters.items():
+            if name in prev_counters and value < prev_counters[name]:
+                fail(path, f"{where} counter {name!r} decreased "
+                           f"({prev_counters[name]} -> {value})")
+        prev_counters = counters
+    return (f"{len(samples)} samples "
+            f"({doc['samples_taken']} taken, {doc['samples_dropped']} dropped)")
+
+
 def classify(path, doc, seen_names):
     if not isinstance(doc, dict):
         fail(path, "top level is not an object")
@@ -135,6 +306,10 @@ def classify(path, doc, seen_names):
         return check_metrics(path, doc, seen_names)
     if schema == "ges.bench.v1":
         return check_bench(path, doc, seen_names)
+    if schema == "ges.autopsy.v1":
+        return check_autopsy(path, doc)
+    if schema == "ges.timeseries.v1":
+        return check_timeseries(path, doc)
     fail(path, f"unrecognized document (schema={schema!r})")
 
 

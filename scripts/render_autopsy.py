@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Render query autopsies (ges.autopsy.v1) for human consumption.
+
+Stdlib-only companion to scripts/check_telemetry_json.py: turns the
+flight recorder's causal event graphs into either
+
+  --format dot   Graphviz DOT, one cluster per retained query with the
+                 parent -> child causal edges (pipe into `dot -Tsvg`)
+  --format md    a markdown report: one summary table of the retained
+                 queries plus a per-query hop table in causal order
+
+Usage: render_autopsy.py FILE [--format dot|md] [--ordinal N] [-o OUT]
+
+--ordinal restricts the output to one retained query (fails if that
+ordinal was dropped by the retention policy). Exits non-zero on malformed
+input; this script renders, it does not validate — run
+check_telemetry_json.py first for the schema contract.
+"""
+
+import json
+import os
+import sys
+
+# kind -> (fill color for dot, short glyph for md)
+KIND_STYLE = {
+    "issued": ("lightblue", "Q"),
+    "probe": ("palegreen", "P"),
+    "walk_hop": ("khaki", "W"),
+    "flood_send": ("lightsalmon", "F"),
+    "cache_probe": ("plum", "C"),
+    "fault_drop": ("tomato", "x"),
+    "fault_block": ("tomato", "x"),
+    "fault_delay": ("lightgray", "~"),
+    "fault_dup": ("lightgray", "+"),
+}
+
+
+def fail(message):
+    print(f"render_autopsy: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def event_detail(ev):
+    """One-line human description of an event's payload."""
+    kind = ev.get("kind", "?")
+    if kind == "issued":
+        return f"issued at node {ev.get('node')}"
+    if kind == "probe":
+        hit = " TARGET" if ev.get("target") else ""
+        return f"probe node {ev.get('node')}: {ev.get('docs')} docs{hit}"
+    if kind == "walk_hop":
+        rel = ev.get("rel")
+        via = " via supernode" if ev.get("supernode") else ""
+        rel_s = f", rel {rel:.4f}" if isinstance(rel, (int, float)) and rel >= 0 else ""
+        return f"walk {ev.get('from')} -> {ev.get('to')}{rel_s}{via}"
+    if kind == "flood_send":
+        return f"flood {ev.get('from')} -> {ev.get('to')}"
+    if kind == "cache_probe":
+        return (f"cache {ev.get('outcome')} at node {ev.get('node')}"
+                + (f" ({ev.get('docs')} docs)" if ev.get("outcome") == "hit" else ""))
+    if kind.startswith("fault_"):
+        what = kind[len("fault_"):]
+        extra = ""
+        if kind == "fault_delay":
+            extra = f" (+{ev.get('delay')}s)"
+        return (f"{what} on {ev.get('channel')} "
+                f"{ev.get('from')} -> {ev.get('to')}{extra}")
+    return kind
+
+
+def select_autopsies(doc, ordinal):
+    autopsies = doc.get("autopsies")
+    if not isinstance(autopsies, list):
+        fail("input has no autopsies list (is this a ges.autopsy.v1 file?)")
+    if ordinal is None:
+        return autopsies
+    picked = [a for a in autopsies
+              if a.get("query", {}).get("ordinal") == ordinal]
+    if not picked:
+        kept = [a.get("query", {}).get("ordinal") for a in autopsies]
+        fail(f"ordinal {ordinal} is not retained (retained: {kept})")
+    return picked
+
+
+def dot_escape(s):
+    return str(s).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def render_dot(doc, autopsies, out):
+    out.write("digraph autopsies {\n"
+              "  rankdir=TB;\n"
+              "  node [shape=box, style=filled, fontsize=10];\n")
+    for a in autopsies:
+        q = a["query"]
+        ordinal = q["ordinal"]
+        out.write(f'  subgraph cluster_q{ordinal} {{\n')
+        out.write(f'    label="query {ordinal} ({q.get("engine")}, '
+                  f'{dot_escape(q.get("reason"))}, '
+                  f'{q.get("cost", {}).get("probes")} probes)";\n')
+        for ev in a.get("events", []):
+            color, _ = KIND_STYLE.get(ev.get("kind"), ("white", "?"))
+            label = f'{ev.get("id")}: {dot_escape(event_detail(ev))}'
+            out.write(f'    q{ordinal}_e{ev.get("id")} '
+                      f'[label="{label}", fillcolor={color}];\n')
+        for ev in a.get("events", []):
+            if isinstance(ev.get("parent"), int) and ev["parent"] >= 0:
+                out.write(f'    q{ordinal}_e{ev["parent"]} -> '
+                          f'q{ordinal}_e{ev["id"]};\n')
+        out.write("  }\n")
+    out.write("}\n")
+
+
+def render_md(doc, autopsies, out):
+    seen = doc.get("queries_seen")
+    dropped = doc.get("queries_dropped")
+    out.write(f"# Query autopsies\n\n{len(autopsies)} retained of "
+              f"{seen} queries seen ({dropped} dropped by retention policy, "
+              f"{doc.get('events_dropped')} events over the per-query cap)\n\n")
+    out.write("| ordinal | engine | retained | reason | probes | walk | "
+              "flood | cache hits | docs |\n")
+    out.write("|---|---|---|---|---|---|---|---|---|\n")
+    for a in autopsies:
+        q = a["query"]
+        c = q.get("cost", {})
+        out.write(f"| {q.get('ordinal')} | {q.get('engine')} "
+                  f"| {q.get('retained')} | {q.get('reason')} "
+                  f"| {c.get('probes')} | {c.get('walk_steps')} "
+                  f"| {c.get('flood_messages')} | {c.get('cache_hits')} "
+                  f"| {c.get('retrieved_docs')} |\n")
+    for a in autopsies:
+        q = a["query"]
+        out.write(f"\n## Query {q.get('ordinal')} — {q.get('engine')}, "
+                  f"initiator {q.get('initiator')}, "
+                  f"t={q.get('issued_at')}..{q.get('completed_at')}, "
+                  f"reason `{q.get('reason')}`\n\n")
+        if q.get("events_dropped"):
+            out.write(f"_{q['events_dropped']} events over the per-query cap "
+                      "were not recorded; the tree below is truncated._\n\n")
+        out.write("| id | parent | t | | event |\n|---|---|---|---|---|\n")
+        for ev in a.get("events", []):
+            _, glyph = KIND_STYLE.get(ev.get("kind"), ("white", "?"))
+            parent = ev.get("parent")
+            out.write(f"| {ev.get('id')} | {'' if parent == -1 else parent} "
+                      f"| {ev.get('t')} | {glyph} | {event_detail(ev)} |\n")
+
+
+def parse_args(argv):
+    path, fmt, ordinal, out_path = None, "md", None, None
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--format":
+            i += 1
+            if i >= len(argv) or argv[i] not in {"dot", "md"}:
+                fail("--format needs dot or md")
+            fmt = argv[i]
+        elif arg == "--ordinal":
+            i += 1
+            try:
+                ordinal = int(argv[i])
+            except (IndexError, ValueError):
+                fail("--ordinal needs an integer")
+        elif arg == "-o":
+            i += 1
+            if i >= len(argv):
+                fail("-o needs a path")
+            out_path = argv[i]
+        elif path is None:
+            path = arg
+        else:
+            fail(f"unexpected argument {arg!r}")
+        i += 1
+    if path is None:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    return path, fmt, ordinal, out_path
+
+
+def main(argv):
+    path, fmt, ordinal, out_path = parse_args(argv)
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict) or doc.get("schema") != "ges.autopsy.v1":
+        fail(f"{path}: not a ges.autopsy.v1 document")
+    autopsies = select_autopsies(doc, ordinal)
+    out = open(out_path, "w", encoding="utf-8") if out_path else sys.stdout
+    try:
+        (render_dot if fmt == "dot" else render_md)(doc, autopsies, out)
+    finally:
+        if out_path:
+            out.close()
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:  # e.g. `render_autopsy.py ... | head`
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

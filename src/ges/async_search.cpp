@@ -3,6 +3,7 @@
 #include "ges/query_workspace.hpp"
 #include "ges/result_cache.hpp"
 #include "ges/walk_policy.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
@@ -37,6 +38,12 @@ struct AsyncSearchEngine::Run {
   bool finished = false;
   p2p::QuerySignature cache_sig;  // computed at submit when caching
   bool cache_hit = false;         // hit ends the query's expansion
+
+  /// Flight recorder of this query; null when recording is off (never
+  /// created under GES_OBS=0). Installed as the thread-local sink for
+  /// exactly the duration of each of this run's handlers, so interleaved
+  /// queries each record into their own builder.
+  std::unique_ptr<obs::FlightBuilder> flight;
 
   bool seen(NodeId node) const {
     return ws != nullptr ? ws->seen(node) : legacy_seen.count(node) > 0;
@@ -102,6 +109,11 @@ void AsyncSearchEngine::schedule_message(const std::shared_ptr<Run>& run,
   ++run->in_flight;
   double delay = next_latency(*run);
   auto wrapped = [this, run, handler = std::move(handler)] {
+#if GES_OBS
+    // Re-install this run's builder for the handler: queries interleave
+    // on the queue, so the sink must follow the run, not the thread.
+    obs::FlightScope flight_scope(run->flight.get());
+#endif
     handler();
     message_done(run);
   };
@@ -162,6 +174,12 @@ bool AsyncSearchEngine::try_cache(const std::shared_ptr<Run>& run, NodeId node) 
       GES_INSTANT("first_hit", "search", run->guid);
     }
   } else {
+#if GES_OBS
+    // The response message is caused by the cache hit: attach its fault
+    // decisions under the cache-probe event (noted as node's anchor by
+    // the bank's hook).
+    if (run->flight) run->flight->set_context(run->flight->probe_event_of(node));
+#endif
     // A remote cache answered; the response still travels back.
     schedule_message(run, p2p::FaultChannel::kWalk, node, run->initiator,
                      [this, run] { deliver_hit(run, 0); });
@@ -202,6 +220,21 @@ void AsyncSearchEngine::maybe_finish(const std::shared_ptr<Run>& run) {
       workspace_pool_.push_back(std::move(run->ws));
     }
     GES_COUNT("ges.async.completed", 1);
+#if GES_OBS
+    if (run->flight) {
+      const char* reason =
+          run->cache_hit ? "cache_hit"
+          : run->result.trace.probes() >= run->budget
+              ? "budget"
+              : (options_.max_responses != 0 &&
+                 run->responses >= options_.max_responses)
+                    ? "responses"
+                    : "drained";
+      obs::flight().submit(run->flight->finish(
+          reason, detail::flight_cost_of(run->result.trace), queue_->now()));
+      run->flight.reset();
+    }
+#endif
 #if GES_OBS
     // The engine is event-driven and strictly serial, so the query span
     // (submit → last message drained) is safe to record here with sim
@@ -255,6 +288,22 @@ bool AsyncSearchEngine::probe(const std::shared_ptr<Run>& run, NodeId node) {
     ++run->responses;
     if (d.score >= options_.target_rel_threshold) is_target = true;
   }
+#if GES_OBS
+  // The probe attaches under the message that delivered the query here
+  // (context set by the scheduling site) and becomes node's anchor; the
+  // hit response below is caused by the probe, so re-anchor the context.
+  if (run->flight) {
+    const int32_t id =
+        run->flight->add(obs::FlightEventKind::kProbe, queue_->now());
+    if (obs::FlightEvent* ev = run->flight->event(id)) {
+      ev->from = node;
+      ev->count = static_cast<int32_t>(docs.size());
+      ev->flag = is_target ? 1 : 0;
+    }
+    run->flight->note_probe_event(node, id);
+    run->flight->set_context(id);
+  }
+#endif
   if (!docs.empty()) {
     // Query hit travels back to the initiator as its own message.
     schedule_message(run, p2p::FaultChannel::kWalk, node, run->initiator,
@@ -276,8 +325,27 @@ void AsyncSearchEngine::start_flood(const std::shared_ptr<Run>& run,
   ++run->result.trace.target_count;
   for (const NodeId next : network_->neighbors(target, LinkType::kSemantic)) {
     ++run->result.trace.flood_messages;
+    int32_t send_event = -1;
+#if GES_OBS
+    // One flood edge = one kFloodSend under the sender's probe event;
+    // the context carries it through the fault decisions at schedule
+    // time, the capture re-anchors it at delivery time.
+    if (run->flight) {
+      send_event =
+          run->flight->add(obs::FlightEventKind::kFloodSend,
+                           run->flight->probe_event_of(target), queue_->now());
+      if (obs::FlightEvent* ev = run->flight->event(send_event)) {
+        ev->from = target;
+        ev->to = next;
+      }
+      run->flight->set_context(send_event);
+    }
+#endif
     schedule_message(run, p2p::FaultChannel::kFlood, target, next,
-                     [this, run, next, target] {
+                     [this, run, next, target, send_event] {
+#if GES_OBS
+                       if (run->flight) run->flight->set_context(send_event);
+#endif
                        deliver_flood(run, next, target, 1);
                      });
   }
@@ -292,8 +360,24 @@ void AsyncSearchEngine::deliver_flood(const std::shared_ptr<Run>& run, NodeId at
   for (const NodeId next : network_->neighbors(at, LinkType::kSemantic)) {
     if (next == from) continue;
     ++run->result.trace.flood_messages;
+    int32_t send_event = -1;
+#if GES_OBS
+    if (run->flight) {
+      send_event =
+          run->flight->add(obs::FlightEventKind::kFloodSend,
+                           run->flight->probe_event_of(at), queue_->now());
+      if (obs::FlightEvent* ev = run->flight->event(send_event)) {
+        ev->from = at;
+        ev->to = next;
+      }
+      run->flight->set_context(send_event);
+    }
+#endif
     schedule_message(run, p2p::FaultChannel::kFlood, at, next,
-                     [this, run, next, at, depth] {
+                     [this, run, next, at, depth, send_event] {
+#if GES_OBS
+                       if (run->flight) run->flight->set_context(send_event);
+#endif
                        deliver_flood(run, next, at, depth + 1);
                      });
   }
@@ -313,8 +397,33 @@ void AsyncSearchEngine::continue_walk(const std::shared_ptr<Run>& run,
   if (next == p2p::kInvalidNode) return;
   --run->ttl_left;
   ++run->result.trace.walk_steps;
+  int32_t hop_event = -1;
+#if GES_OBS
+  if (run->flight) {
+    // Consume the walk-policy's selection detail even when the event
+    // itself is dropped by the per-query cap.
+    double rel = -1.0;
+    bool via_supernode = false;
+    run->flight->take_walk_choice(&rel, &via_supernode);
+    hop_event = run->flight->add(obs::FlightEventKind::kWalkHop,
+                                 run->flight->probe_event_of(from),
+                                 queue_->now());
+    if (obs::FlightEvent* ev = run->flight->event(hop_event)) {
+      ev->from = from;
+      ev->to = next;
+      ev->value = rel;
+      ev->flag = via_supernode ? 1 : 0;
+    }
+    run->flight->set_context(hop_event);
+  }
+#endif
   schedule_message(run, p2p::FaultChannel::kWalk, from, next,
-                   [this, run, next] { deliver_walk(run, next); });
+                   [this, run, next, hop_event] {
+#if GES_OBS
+                     if (run->flight) run->flight->set_context(hop_event);
+#endif
+                     deliver_walk(run, next);
+                   });
 }
 
 void AsyncSearchEngine::deliver_walk(const std::shared_ptr<Run>& run, NodeId at) {
@@ -353,6 +462,16 @@ Guid AsyncSearchEngine::submit(const ir::SparseVector& query, NodeId initiator,
   }
   if (cache_ != nullptr) run->cache_sig = p2p::query_signature(run->query);
   runs_.emplace(run->guid, run);
+
+#if GES_OBS
+  if (obs::flight().enabled()) {
+    run->flight = std::make_unique<obs::FlightBuilder>();
+    run->flight->begin(obs::flight().next_ordinal(), run->guid, initiator,
+                       /*async=*/true, queue_->now(),
+                       obs::flight().config().max_events_per_query);
+  }
+  obs::FlightScope flight_scope(run->flight.get());
+#endif
 
   // Bootstrap token keeps the run alive through the synchronous part.
   ++run->in_flight;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
@@ -87,6 +88,34 @@ size_t ResultCache::invalidate_owner(NodeId owner) {
 
 // --- ResultCacheBank ------------------------------------------------
 
+#if GES_OBS
+namespace {
+
+/// Flight-recorder hook: a cache probe at `node` becomes a causal event
+/// under the current context. Outcome: 0 miss, 1 hit, 2 invalidated.
+/// On a hit the probe event also becomes `node`'s anchor, so the flood /
+/// walk expansion it short-circuits is attributed to it.
+void flight_cache_probe(NodeId node, uint8_t outcome, int32_t docs) {
+  obs::FlightBuilder* fb = obs::flight_sink();
+  if (fb == nullptr) return;
+  const int32_t id =
+      fb->add(obs::FlightEventKind::kCacheProbe, obs::global().now());
+  if (obs::FlightEvent* ev = fb->event(id)) {
+    ev->from = node;
+    ev->flag = outcome;
+    ev->count = docs;
+  }
+  if (outcome == 1) fb->note_probe_event(node, id);
+}
+
+}  // namespace
+#define GES_FLIGHT_CACHE_PROBE(...) flight_cache_probe(__VA_ARGS__)
+#else
+#define GES_FLIGHT_CACHE_PROBE(...) \
+  do {                              \
+  } while (0)
+#endif
+
 size_t result_cache_entries_for(const ResultCacheConfig& config,
                                 p2p::Capacity capacity) {
   size_t decades = 0;
@@ -121,6 +150,7 @@ const std::vector<CachedResultDoc>* ResultCacheBank::probe(NodeId node,
   if (entry == nullptr) {
     ++stats_.misses;
     GES_COUNT("ges.cache.misses", 1);
+    GES_FLIGHT_CACHE_PROBE(node, 0, 0);
     return nullptr;
   }
   const CacheValidity validity =
@@ -131,12 +161,14 @@ const std::vector<CachedResultDoc>* ResultCacheBank::probe(NodeId node,
     ++stats_.misses;
     GES_COUNT("ges.cache.invalidations", 1);
     GES_COUNT("ges.cache.misses", 1);
+    GES_FLIGHT_CACHE_PROBE(node, 2, 0);
     return nullptr;
   }
   ++entry->popularity;
   entry->last_used = ++tick_;
   ++stats_.hits;
   GES_COUNT("ges.cache.hits", 1);
+  GES_FLIGHT_CACHE_PROBE(node, 1, static_cast<int32_t>(entry->docs.size()));
   return &entry->docs;
 }
 

@@ -46,6 +46,26 @@ ScenarioRunner::ScenarioRunner(const corpus::Corpus& corpus, ScenarioParams para
   obs::global().set_sim_clock([q = &queue_] { return q->now(); });
   owns_sim_clock_ = true;
   if (!params_.telemetry_out.empty()) obs::global().set_enabled(true);
+  if (params_.flight_recorder) {
+    obs::flight().set_config(params_.flight);
+    obs::flight().set_enabled(true);
+    // The recorder timestamps events through the telemetry clock.
+    obs::global().set_enabled(true);
+  }
+  if (params_.timeseries_interval > 0.0) {
+    timeseries_ = std::make_unique<obs::TimeseriesSampler>();
+    timeseries_->configure(params_.timeseries_interval,
+                           params_.timeseries_max_samples);
+    // A series of all-zero snapshots is useless: sampling implies the
+    // counters/gauges are live.
+    obs::global().set_enabled(true);
+  }
+  if (params_.health_monitor) {
+    health_ = std::make_unique<obs::HealthMonitor>();
+    health_->set_thresholds(params_.health);
+    health_->set_provider(
+        [this](std::vector<obs::NodeHealth>& out) { fill_node_health(out); });
+  }
 }
 
 ScenarioRunner::~ScenarioRunner() {
@@ -63,6 +83,16 @@ void ScenarioRunner::start() {
   }
   heartbeats_->start();
   if (churn_ != nullptr) churn_->start();
+  if (timeseries_ != nullptr) {
+    // The sampler is one more periodic event on the queue. It only reads
+    // the metrics registry, so while it consumes sequence numbers, the
+    // relative order — and therefore the outcome — of every protocol
+    // event is unchanged (regression-locked by the golden-trace suite).
+    obs::TimeseriesSampler* ts = timeseries_.get();
+    queue_.schedule_every(params_.timeseries_interval, [ts, q = &queue_] {
+      ts->sample(obs::global().metrics(), q->now());
+    });
+  }
 }
 
 void ScenarioRunner::run(const std::function<void(size_t)>& after_round) {
@@ -81,6 +111,9 @@ void ScenarioRunner::run(const std::function<void(size_t)>& after_round) {
     span.arg("links_dropped", static_cast<double>(stats.semantic_links_dropped +
                                                   stats.random_links_dropped));
     total_stats_ += stats;
+    // Watchdog pass at the round boundary (serial context), before the
+    // caller's hook so it can read health()->last().
+    if (health_ != nullptr) health_->sweep(queue_.now());
     if (after_round) after_round(r);
   }
   if (!params_.telemetry_out.empty()) write_telemetry(params_.telemetry_out);
@@ -140,6 +173,41 @@ p2p::SearchTrace ScenarioRunner::search(const ir::SparseVector& query,
   return trace;
 }
 
+void ScenarioRunner::fill_node_health(std::vector<obs::NodeHealth>& out) const {
+  const GesParams& p = params_.params;
+  out.reserve(network_->size());
+  for (p2p::NodeId n = 0; n < network_->size(); ++n) {
+    obs::NodeHealth h;
+    h.node = n;
+    h.alive = network_->alive(n);
+    if (!h.alive) {
+      out.push_back(h);
+      continue;
+    }
+    const p2p::Capacity cap = network_->capacity(n);
+    h.capacity = cap;
+    h.degree = network_->degree(n);
+    h.sem_degree = network_->degree(n, p2p::LinkType::kSemantic);
+    h.sem_target = static_cast<uint32_t>(p.max_sem_links(cap));
+    // Same budget the invariant sweep allows: the random side starts at
+    // the node's bootstrap degree and only shrinks toward the policy.
+    const size_t bootstrap =
+        n < bootstrap_degree_.size() ? bootstrap_degree_[n] : 0;
+    h.degree_target = static_cast<uint32_t>(
+        p.max_sem_links(cap) + std::max(p.max_rnd_links(cap), bootstrap));
+    const p2p::SimTime beat = heartbeats_->last_beat(n);
+    h.heartbeat_staleness = beat < 0.0 ? -1.0 : queue_.now() - beat;
+    const size_t cache_cap = result_cache_->entry_capacity(n);
+    h.cache_occupancy =
+        cache_cap == 0 ? 0.0
+                       : static_cast<double>(result_cache_->entry_count(n)) /
+                             static_cast<double>(cache_cap);
+    h.in_backoff = adaptation_->node_in_backoff(n);
+    h.backoff_strikes = adaptation_->backoff_strikes(n);
+    out.push_back(h);
+  }
+}
+
 void ScenarioRunner::write_telemetry(const std::string& prefix) const {
   const auto snapshot = obs::global().metrics().snapshot();
   {
@@ -156,6 +224,16 @@ void ScenarioRunner::write_telemetry(const std::string& prefix) const {
     std::ofstream os(prefix + ".trace.json");
     GES_CHECK_MSG(os.good(), "cannot open " << prefix << ".trace.json");
     obs::global().trace().export_chrome_trace(os);
+  }
+  if (params_.flight_recorder) {
+    std::ofstream os(prefix + ".autopsy.json");
+    GES_CHECK_MSG(os.good(), "cannot open " << prefix << ".autopsy.json");
+    obs::write_autopsy_json(obs::flight(), os);
+  }
+  if (timeseries_ != nullptr) {
+    std::ofstream os(prefix + ".timeseries.json");
+    GES_CHECK_MSG(os.good(), "cannot open " << prefix << ".timeseries.json");
+    timeseries_->write_json(os);
   }
 }
 

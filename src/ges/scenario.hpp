@@ -8,6 +8,9 @@
 #include "corpus/corpus.hpp"
 #include "ges/params.hpp"
 #include "ges/result_cache.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/health.hpp"
+#include "obs/timeseries.hpp"
 #include "ges/search.hpp"
 #include "ges/topology_adaptation.hpp"
 #include "p2p/capacity.hpp"
@@ -55,6 +58,33 @@ struct ScenarioParams {
   /// Perfetto). Telemetry is observation-only: the simulation output is
   /// byte-identical with or without it.
   std::string telemetry_out;
+
+  /// Query flight recorder (obs/flight_recorder.hpp): when true the
+  /// runner configures and enables obs::flight() (and base telemetry,
+  /// which the recorder's clock rides on), so every search() / async
+  /// query records a causal autopsy under the `flight` retention policy.
+  /// With telemetry_out set, run() additionally writes
+  /// `<telemetry_out>.autopsy.json` (ges.autopsy.v1). Observation only:
+  /// the simulation output is byte-identical with the recorder on or off.
+  bool flight_recorder = false;
+  obs::FlightRecorderConfig flight;
+
+  /// Sim-time series sampling: > 0 schedules a periodic event-queue
+  /// sampler snapshotting the metrics registry every this many sim
+  /// seconds into a bounded ring (obs/timeseries.hpp). With
+  /// telemetry_out set, run() writes `<telemetry_out>.timeseries.json`
+  /// (ges.timeseries.v1). The sampler only reads metrics, so protocol
+  /// event order — and the simulation output — is unchanged.
+  double timeseries_interval = 0.0;
+  size_t timeseries_max_samples = 512;
+
+  /// Node health watchdog (obs/health.hpp): when true the runner sweeps
+  /// per-node health (degree vs policy target, heartbeat staleness,
+  /// cache occupancy, handshake backoff) after every adaptation round,
+  /// updating p2p.health.* gauges and emitting structured anomaly
+  /// events under the `health` thresholds.
+  bool health_monitor = false;
+  obs::HealthThresholds health;
 };
 
 /// Wires Network + EventQueue + FaultInjector + TopologyAdaptation +
@@ -90,6 +120,12 @@ class ScenarioRunner {
   const ScenarioParams& params() const { return params_; }
   const AdaptationRoundStats& total_stats() const { return total_stats_; }
 
+  /// Sim-time sampler / health watchdog; null unless configured via
+  /// ScenarioParams (timeseries_interval > 0 / health_monitor).
+  const obs::TimeseriesSampler* timeseries() const { return timeseries_.get(); }
+  obs::HealthMonitor* health() { return health_.get(); }
+  const obs::HealthMonitor* health() const { return health_.get(); }
+
   /// Invariant options matching this scenario's degree policy: semantic
   /// links are strictly capped by GesParams::max_sem_links; the random
   /// side is capped by the larger of max_rnd_links and the node's
@@ -108,6 +144,9 @@ class ScenarioRunner {
   void write_telemetry(const std::string& prefix) const;
 
  private:
+  /// Health provider: per-node signals for the watchdog (read-only).
+  void fill_node_health(std::vector<obs::NodeHealth>& out) const;
+
   ScenarioParams params_;
   p2p::EventQueue queue_;
   std::unique_ptr<p2p::Network> network_;
@@ -116,6 +155,8 @@ class ScenarioRunner {
   std::unique_ptr<p2p::ReplicaHeartbeatProcess> heartbeats_;
   std::unique_ptr<p2p::ChurnProcess> churn_;
   std::unique_ptr<ResultCacheBank> result_cache_;
+  std::unique_ptr<obs::TimeseriesSampler> timeseries_;
+  std::unique_ptr<obs::HealthMonitor> health_;
   std::vector<uint32_t> bootstrap_degree_;  // node -> degree after bootstrap
   AdaptationRoundStats total_stats_;
   bool started_ = false;

@@ -7,6 +7,7 @@
 #include "ges/query_workspace.hpp"
 #include "ges/result_cache.hpp"
 #include "ges/walk_policy.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
@@ -47,6 +48,11 @@ struct QueryRun {
   std::vector<QueryWorkspace::FloodItem> legacy_frontier;
   size_t budget;
   size_t responses = 0;
+
+  /// Flight recorder of this query; null when recording is off (always
+  /// null under GES_OBS=0). Observation only.
+  obs::FlightBuilder* fb = nullptr;
+  const char* reason = "unknown";  // why the query stopped expanding
 
   QueryRun(const Network& n, const SearchOptions& o, const ir::SparseVector& q,
            util::Rng& r, const p2p::FaultInjector* f, QueryWorkspace* w,
@@ -105,6 +111,21 @@ struct QueryRun {
       ++responses;
       if (d.score >= opt.target_rel_threshold) is_target = true;
     }
+#if GES_OBS
+    // The probe attaches under the message that delivered the query here
+    // (walk hop / flood send / root) and becomes the node's anchor for
+    // later expansion out of it.
+    if (fb != nullptr) {
+      const int32_t id =
+          fb->add(obs::FlightEventKind::kProbe, obs::global().now());
+      if (obs::FlightEvent* ev = fb->event(id)) {
+        ev->from = node;
+        ev->count = static_cast<int32_t>(docs.size());
+        ev->flag = is_target ? 1 : 0;
+      }
+      fb->note_probe_event(node, id);
+    }
+#endif
     return is_target;
   }
 
@@ -127,6 +148,21 @@ struct QueryRun {
           opt.flood_radius == 0 || item.depth + 1 < opt.flood_radius;
       for (const NodeId next : net.neighbors(item.node, LinkType::kSemantic)) {
         if (next == item.from) continue;
+#if GES_OBS
+        // One flood edge = one kFloodSend, recorded before the fault
+        // decision so a drop attaches causally under the send. Parent is
+        // the sender's probe event (why item.node holds the query).
+        if (fb != nullptr) {
+          const int32_t send =
+              fb->add(obs::FlightEventKind::kFloodSend,
+                      fb->probe_event_of(item.node), obs::global().now());
+          if (obs::FlightEvent* ev = fb->event(send)) {
+            ev->from = item.node;
+            ev->to = next;
+          }
+          fb->set_context(send);
+        }
+#endif
         const bool lost = message_lost(p2p::FaultChannel::kFlood, item.node, next);
         ++trace.flood_messages;
         if (lost) continue;  // branch pruned: the message never arrived
@@ -220,8 +256,25 @@ SearchTrace GesSearch::search(const ir::SparseVector& query, NodeId initiator,
   ResultCacheBank* cache = options_.use_result_cache ? cache_ : nullptr;
   QueryRun run(*network_, options_, query, rng, faults_, ws, cache);
 
+#if GES_OBS
+  // Stack-local flight builder, installed as this thread's sink so the
+  // hooks in walk_policy / fault_injection / result_cache attach events.
+  // Serial contexts only (like spans): the parallel eval harness leaves
+  // the recorder disabled, so run.fb stays null there.
+  obs::FlightBuilder flight_builder;
+  if (obs::flight().enabled()) {
+    flight_builder.begin(obs::flight().next_ordinal(), /*guid=*/0, initiator,
+                         /*async=*/false, obs::global().now(),
+                         obs::flight().config().max_events_per_query);
+    run.fb = &flight_builder;
+  }
+  obs::FlightScope flight_scope(run.fb);
+#endif
+
   NodeId current = initiator;
-  if (!run.try_cache(current)) {
+  if (run.try_cache(current)) {
+    run.reason = "cache_hit";
+  } else {
     if (run.probe(current)) run.flood(current);
 
     size_t ttl_left = options_.ttl == 0 ? ~size_t{0} : options_.ttl;
@@ -230,14 +283,42 @@ SearchTrace GesSearch::search(const ir::SparseVector& query, NodeId initiator,
 
     while (!run.done() && ttl_left > 0 && run.trace.walk_steps < max_steps) {
       const NodeId next = run.pick_next(current);
-      if (next == p2p::kInvalidNode) break;
+      if (next == p2p::kInvalidNode) {
+        run.reason = "no_neighbor";
+        break;
+      }
+#if GES_OBS
+      if (run.fb != nullptr) {
+        // Consume the walk-policy's selection detail even when the event
+        // itself is dropped by the per-query cap.
+        double rel = -1.0;
+        bool via_supernode = false;
+        run.fb->take_walk_choice(&rel, &via_supernode);
+        const int32_t hop =
+            run.fb->add(obs::FlightEventKind::kWalkHop,
+                        run.fb->probe_event_of(current), obs::global().now());
+        if (obs::FlightEvent* ev = run.fb->event(hop)) {
+          ev->from = current;
+          ev->to = next;
+          ev->value = rel;
+          ev->flag = via_supernode ? 1 : 0;
+        }
+        run.fb->set_context(hop);
+      }
+#endif
       const bool lost = run.message_lost(p2p::FaultChannel::kWalk, current, next);
       ++run.trace.walk_steps;
       --ttl_left;
-      if (lost) break;  // the query message died in transit; walk ends
+      if (lost) {
+        run.reason = "walk_lost";
+        break;  // the query message died in transit; walk ends
+      }
       current = next;
       if (!run.seen(current)) {
-        if (run.try_cache(current)) break;  // walk hop served the answer
+        if (run.try_cache(current)) {
+          run.reason = "cache_hit";
+          break;  // walk hop served the answer
+        }
         const bool is_target = run.probe(current);
         if (run.done()) break;
         if (is_target) {
@@ -246,9 +327,20 @@ SearchTrace GesSearch::search(const ir::SparseVector& query, NodeId initiator,
         }
       }
     }
+    if (run.reason[0] == 'u') {  // still "unknown": loop condition ended it
+      run.reason = run.done() ? (run.out_of_budget() ? "budget" : "responses")
+                 : ttl_left == 0 ? "ttl"
+                                 : "step_cap";
+    }
     run.store_results();
   }
   run.finish_counters();
+#if GES_OBS
+  if (run.fb != nullptr) {
+    obs::flight().submit(run.fb->finish(
+        run.reason, detail::flight_cost_of(run.trace), obs::global().now()));
+  }
+#endif
   // Counters only — searches run concurrently in the eval harness, so
   // spans (order-sensitive) are left to serial callers (ScenarioRunner,
   // AsyncSearchEngine). Never touches `rng`.

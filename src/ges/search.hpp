@@ -1,6 +1,7 @@
 #pragma once
 
 #include "ir/sparse_vector.hpp"
+#include "obs/flight_recorder.hpp"
 #include "p2p/fault_injection.hpp"
 #include "p2p/network.hpp"
 #include "p2p/search_trace.hpp"
@@ -70,6 +71,26 @@ struct SearchOptions {
 };
 
 class ResultCacheBank;
+
+namespace detail {
+
+/// The query-autopsy cost block mirrors SearchTrace's tallies exactly
+/// (shared by the sync and async engines), so the flight recorder's
+/// output can be cross-checked against the simulation ground truth.
+inline obs::FlightCost flight_cost_of(const p2p::SearchTrace& trace) {
+  obs::FlightCost cost;
+  cost.probes = trace.probes();
+  cost.walk_steps = trace.walk_steps;
+  cost.flood_messages = trace.flood_messages;
+  cost.cache_hits = trace.cache_hits;
+  cost.targets = trace.target_count;
+  cost.retrieved_docs = trace.retrieved.size();
+  cost.rel_evals = trace.rel_evals;
+  cost.rel_memo_hits = trace.rel_memo_hits;
+  return cost;
+}
+
+}  // namespace detail
 
 /// The GES search protocol: biased walks over random links guided by the
 /// replicated one-hop node vectors, switching to flooding along semantic

@@ -94,6 +94,15 @@ class TopologyAdaptation {
   /// Rounds run so far (salts fault decisions and backoff bookkeeping).
   uint64_t rounds_run() const { return round_; }
 
+  /// Read-only backoff introspection (health monitor): whether `node` is
+  /// currently skipping handshake attempts after fault aborts, and its
+  /// consecutive-abort strike count. Observation only.
+  bool node_in_backoff(p2p::NodeId node) const { return in_backoff(node); }
+  uint32_t backoff_strikes(p2p::NodeId node) const {
+    const auto it = backoff_.find(node);
+    return it == backoff_.end() ? 0 : it->second.strikes;
+  }
+
   /// One adaptation step for every alive node: parallel read-only plan
   /// phase, then serial commit in random order (see class comment).
   AdaptationRoundStats run_round();

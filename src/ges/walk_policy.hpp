@@ -8,6 +8,8 @@
 #include "ges/query_workspace.hpp"
 #include "ges/search.hpp"
 #include "ir/relevance.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "p2p/network.hpp"
 #include "util/rng.hpp"
 
@@ -38,6 +40,8 @@ inline p2p::NodeId select_walk_candidate(const p2p::Network& net,
   if (available.size() > 1) rng.shuffle(available);
 
   p2p::NodeId choice = p2p::kInvalidNode;
+  bool via_supernode = false;
+  double chosen_rel = -1.0;
   if (options.capacity_aware &&
       net.capacity(node) < options.supernode_threshold) {
     // Prefer a supernode neighbor when one exists.
@@ -50,7 +54,10 @@ inline p2p::NodeId select_walk_candidate(const p2p::Network& net,
         best_cap_value = c;
       }
     }
-    if (best_cap_value >= options.supernode_threshold) choice = best_cap;
+    if (best_cap_value >= options.supernode_threshold) {
+      choice = best_cap;
+      via_supernode = true;
+    }
   }
   if (choice == p2p::kInvalidNode) {
     // Most query-relevant neighbor according to the replicated one-hop
@@ -63,7 +70,15 @@ inline p2p::NodeId select_walk_candidate(const p2p::Network& net,
         choice = n;
       }
     }
+    chosen_rel = best_rel;
   }
+#if GES_OBS
+  // Flight-recorder hook: stash why this target won, for the engine's
+  // walk-hop event. Observation only — no rng draws, no state.
+  if (obs::FlightBuilder* fb = obs::flight_sink()) {
+    fb->note_walk_choice(chosen_rel, via_supernode);
+  }
+#endif
   return choice;
 }
 

@@ -66,16 +66,58 @@ std::string prometheus_name(std::string_view name) {
   return out;
 }
 
+namespace {
+
+/// Prometheus sample value. Unlike JSON, the text exposition has
+/// literals for every IEEE special: "null" would make the whole scrape
+/// unparsable, so non-finite gauges must spell NaN / +Inf / -Inf.
+std::string prom_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return number(v);
+}
+
+/// Escaping inside label values: backslash, double-quote and newline
+/// (exposition format rules; everything else passes through verbatim).
+std::string prom_label_value(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// Escaping inside HELP text: backslash and newline only (quotes are
+/// legal there).
+std::string prom_help_text(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
 void write_prometheus(const MetricsSnapshot& snapshot, std::ostream& os) {
   for (const MetricSnapshot& m : snapshot.metrics) {
     const std::string name = prometheus_name(m.name);
+    // The HELP line carries the registry name, which the sanitized
+    // Prometheus name loses ("p2p.walk.hops" -> "ges_p2p_walk_hops").
+    os << "# HELP " << name << " GES registry metric "
+       << prom_help_text(m.name) << "\n";
     switch (m.kind) {
       case MetricKind::kCounter:
         os << "# TYPE " << name << " counter\n" << name << " " << m.value << "\n";
         break;
       case MetricKind::kGauge:
-        os << "# TYPE " << name << " gauge\n" << name << " " << number(m.gauge)
-           << "\n";
+        os << "# TYPE " << name << " gauge\n" << name << " "
+           << prom_number(m.gauge) << "\n";
         break;
       case MetricKind::kHistogram: {
         os << "# TYPE " << name << " histogram\n";
@@ -84,8 +126,14 @@ void write_prometheus(const MetricsSnapshot& snapshot, std::ostream& os) {
             (m.hi - m.lo) / static_cast<double>(m.buckets.empty() ? 1 : m.buckets.size());
         for (size_t b = 0; b < m.buckets.size(); ++b) {
           cumulative += m.buckets[b];
-          const double le = m.lo + width * static_cast<double>(b + 1);
-          os << name << "_bucket{le=\"" << number(le) << "\"} " << cumulative << "\n";
+          // The last finite edge is the histogram's upper bound exactly;
+          // accumulating lo + width*(b+1) drifts off m.hi by an ulp or
+          // two, splitting series between scrapes of equal histograms.
+          const double le = b + 1 == m.buckets.size()
+                                ? m.hi
+                                : m.lo + width * static_cast<double>(b + 1);
+          os << name << "_bucket{le=\"" << prom_label_value(prom_number(le))
+             << "\"} " << cumulative << "\n";
         }
         os << name << "_bucket{le=\"+Inf\"} " << m.value << "\n"
            << name << "_count " << m.value << "\n";

@@ -19,8 +19,11 @@ namespace ges::obs {
 void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& os);
 
 /// Prometheus text exposition format. Metric names are sanitized
-/// ("p2p.walk.hops" -> "ges_p2p_walk_hops"); histograms emit cumulative
-/// _bucket{le="..."} series plus _count.
+/// ("p2p.walk.hops" -> "ges_p2p_walk_hops"); every metric carries a
+/// HELP line naming the original registry metric; histograms emit
+/// cumulative _bucket{le="..."} series (last finite edge exactly the
+/// histogram's upper bound) plus _count. Non-finite gauges are spelled
+/// NaN / +Inf / -Inf per the exposition grammar, never "null".
 void write_prometheus(const MetricsSnapshot& snapshot, std::ostream& os);
 
 /// The sanitized Prometheus name for a registry metric name.

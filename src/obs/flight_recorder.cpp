@@ -1,0 +1,386 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace ges::obs {
+
+namespace {
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+/// Stable label of a p2p::FaultChannel value. The obs layer sits below
+/// p2p, so the mapping is mirrored here (the values are wire-stable
+/// protocol constants, asserted against fault_channel_name in tests).
+const char* channel_label(uint8_t channel) {
+  switch (channel) {
+    case 1: return "walk";
+    case 2: return "flood";
+    case 3: return "handshake";
+    case 4: return "heartbeat";
+    case 5: return "gossip";
+  }
+  return "unknown";
+}
+
+const char* cache_outcome_label(uint8_t flag) {
+  switch (flag) {
+    case 1: return "hit";
+    case 2: return "invalidated";
+  }
+  return "miss";
+}
+
+}  // namespace
+
+const char* flight_event_kind_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kIssued: return "issued";
+    case FlightEventKind::kProbe: return "probe";
+    case FlightEventKind::kWalkHop: return "walk_hop";
+    case FlightEventKind::kFloodSend: return "flood_send";
+    case FlightEventKind::kCacheProbe: return "cache_probe";
+    case FlightEventKind::kFaultDrop: return "fault_drop";
+    case FlightEventKind::kFaultBlock: return "fault_block";
+    case FlightEventKind::kFaultDelay: return "fault_delay";
+    case FlightEventKind::kFaultDup: return "fault_dup";
+  }
+  return "?";
+}
+
+// --- FlightBuilder ----------------------------------------------------
+
+void FlightBuilder::begin(uint64_t ordinal, uint64_t guid, uint32_t initiator,
+                          bool async, double t, size_t max_events) {
+  active_ = true;
+  autopsy_ = QueryAutopsy{};
+  autopsy_.ordinal = ordinal;
+  autopsy_.guid = guid;
+  autopsy_.initiator = initiator;
+  autopsy_.async = async;
+  autopsy_.issued_at = t;
+  max_events_ = max_events;
+  context_ = -1;
+  pending_choice_ = false;
+  probe_event_.clear();
+  const int32_t root = add(FlightEventKind::kIssued, -1, t);
+  if (FlightEvent* ev = event(root)) ev->from = initiator;
+  context_ = root;
+  // Until the initiator's probe lands, the issued event explains why the
+  // initiator holds the query.
+  note_probe_event(initiator, root);
+}
+
+int32_t FlightBuilder::add(FlightEventKind kind, int32_t parent, double t) {
+  if (!active_) return -1;
+  ++autopsy_.events_recorded;
+  if (autopsy_.events.size() >= max_events_) {
+    ++autopsy_.events_dropped;
+    return -1;
+  }
+  FlightEvent ev;
+  ev.kind = kind;
+  ev.id = static_cast<int32_t>(autopsy_.events.size());
+  // The causal invariant the export promises: parent strictly precedes
+  // its child. A dangling parent (dropped by the cap, or -1 on a
+  // non-root event) reattaches to the root.
+  ev.parent = (parent >= 0 && parent < ev.id) ? parent : (ev.id == 0 ? -1 : 0);
+  ev.t = t;
+  autopsy_.events.push_back(ev);
+  return ev.id;
+}
+
+FlightEvent* FlightBuilder::event(int32_t id) {
+  if (id < 0 || static_cast<size_t>(id) >= autopsy_.events.size()) return nullptr;
+  return &autopsy_.events[static_cast<size_t>(id)];
+}
+
+void FlightBuilder::note_probe_event(uint32_t node, int32_t id) {
+  if (id >= 0) probe_event_[node] = id;
+}
+
+int32_t FlightBuilder::probe_event_of(uint32_t node) const {
+  const auto it = probe_event_.find(node);
+  if (it != probe_event_.end()) return it->second;
+  return autopsy_.events.empty() ? -1 : 0;
+}
+
+bool FlightBuilder::take_walk_choice(double* rel, bool* via_supernode) {
+  if (!pending_choice_) return false;
+  pending_choice_ = false;
+  if (rel != nullptr) *rel = pending_rel_;
+  if (via_supernode != nullptr) *via_supernode = pending_supernode_;
+  return true;
+}
+
+QueryAutopsy FlightBuilder::finish(const char* reason, const FlightCost& cost,
+                                   double t) {
+  autopsy_.reason = reason;
+  autopsy_.cost = cost;
+  autopsy_.completed_at = t;
+  active_ = false;
+  probe_event_.clear();
+  return std::move(autopsy_);
+}
+
+// --- FlightRecorder ---------------------------------------------------
+
+void FlightRecorder::set_config(FlightRecorderConfig config) {
+  std::lock_guard lock(mutex_);
+  config_ = config;
+}
+
+FlightRecorderConfig FlightRecorder::config() const {
+  std::lock_guard lock(mutex_);
+  return config_;
+}
+
+uint64_t FlightRecorder::next_ordinal() {
+  std::lock_guard lock(mutex_);
+  return next_ordinal_++;
+}
+
+void FlightRecorder::submit(QueryAutopsy&& autopsy) {
+  std::lock_guard lock(mutex_);
+  ++queries_seen_;
+  events_dropped_ += autopsy.events_dropped;
+
+  const bool sampled = config_.sample_capacity > 0 && config_.sample_every > 0 &&
+                       autopsy.ordinal % config_.sample_every == 0;
+  const bool want_worst = config_.worst_k > 0;
+
+  if (want_worst) {
+    if (worst_.size() < config_.worst_k) {
+      worst_.push_back(autopsy);  // copy: the sample ring may also want it
+    } else {
+      // The retained query easiest to give up: cheapest, latest-issued.
+      auto least = std::min_element(
+          worst_.begin(), worst_.end(),
+          [](const QueryAutopsy& a, const QueryAutopsy& b) {
+            const uint64_t ca = a.cost.total_messages();
+            const uint64_t cb = b.cost.total_messages();
+            return ca != cb ? ca < cb : a.ordinal > b.ordinal;
+          });
+      // Strictly worse replaces; ties keep the earlier-issued query so
+      // the set is a deterministic function of the submission sequence.
+      if (autopsy.cost.total_messages() > least->cost.total_messages()) {
+        *least = autopsy;
+      }
+    }
+  }
+  if (sampled) {
+    sampled_.push_back(std::move(autopsy));
+    while (sampled_.size() > config_.sample_capacity) sampled_.pop_front();
+  }
+}
+
+uint64_t FlightRecorder::queries_seen() const {
+  std::lock_guard lock(mutex_);
+  return queries_seen_;
+}
+
+uint64_t FlightRecorder::events_dropped() const {
+  std::lock_guard lock(mutex_);
+  return events_dropped_;
+}
+
+std::vector<FlightRecorder::Retained> FlightRecorder::retained() const {
+  std::lock_guard lock(mutex_);
+  std::map<uint64_t, Retained> merged;
+  for (const QueryAutopsy& a : worst_) {
+    merged.emplace(a.ordinal, Retained{a, "worst"});
+  }
+  for (const QueryAutopsy& a : sampled_) {
+    auto [it, inserted] = merged.emplace(a.ordinal, Retained{a, "sampled"});
+    if (!inserted) it->second.label = "worst+sampled";
+  }
+  std::vector<Retained> out;
+  out.reserve(merged.size());
+  for (auto& [ordinal, r] : merged) out.push_back(std::move(r));
+  return out;
+}
+
+size_t FlightRecorder::retained_count() const { return retained().size(); }
+
+uint64_t FlightRecorder::queries_dropped() const {
+  const size_t kept = retained().size();
+  std::lock_guard lock(mutex_);
+  return queries_seen_ - std::min<uint64_t>(queries_seen_, kept);
+}
+
+void FlightRecorder::reset() {
+  std::lock_guard lock(mutex_);
+  next_ordinal_ = 0;
+  queries_seen_ = 0;
+  events_dropped_ = 0;
+  worst_.clear();
+  sampled_.clear();
+}
+
+FlightRecorder& flight() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+namespace {
+thread_local FlightBuilder* g_flight_sink = nullptr;
+}  // namespace
+
+FlightBuilder* flight_sink() { return g_flight_sink; }
+
+FlightScope::FlightScope(FlightBuilder* builder) : previous_(g_flight_sink) {
+  g_flight_sink = builder;
+}
+
+FlightScope::~FlightScope() { g_flight_sink = previous_; }
+
+// --- Exporters --------------------------------------------------------
+
+namespace {
+
+void write_event_json(const FlightEvent& ev, std::ostream& os) {
+  os << "      {\"id\": " << ev.id << ", \"parent\": " << ev.parent
+     << ", \"kind\": \"" << flight_event_kind_name(ev.kind)
+     << "\", \"t\": " << json_number(ev.t);
+  switch (ev.kind) {
+    case FlightEventKind::kIssued:
+      os << ", \"node\": " << ev.from;
+      break;
+    case FlightEventKind::kProbe:
+      os << ", \"node\": " << ev.from << ", \"docs\": " << ev.count
+         << ", \"target\": " << (ev.flag != 0 ? "true" : "false");
+      break;
+    case FlightEventKind::kWalkHop:
+      os << ", \"from\": " << ev.from << ", \"to\": " << ev.to
+         << ", \"rel\": " << json_number(ev.value)
+         << ", \"supernode\": " << (ev.flag != 0 ? "true" : "false");
+      break;
+    case FlightEventKind::kFloodSend:
+      os << ", \"from\": " << ev.from << ", \"to\": " << ev.to;
+      break;
+    case FlightEventKind::kCacheProbe:
+      os << ", \"node\": " << ev.from << ", \"outcome\": \""
+         << cache_outcome_label(ev.flag) << "\", \"docs\": " << ev.count;
+      break;
+    case FlightEventKind::kFaultDrop:
+    case FlightEventKind::kFaultBlock:
+    case FlightEventKind::kFaultDup:
+      os << ", \"from\": " << ev.from << ", \"to\": " << ev.to
+         << ", \"channel\": \"" << channel_label(ev.channel) << "\"";
+      break;
+    case FlightEventKind::kFaultDelay:
+      os << ", \"from\": " << ev.from << ", \"to\": " << ev.to
+         << ", \"channel\": \"" << channel_label(ev.channel)
+         << "\", \"delay\": " << json_number(ev.value);
+      break;
+  }
+  os << "}";
+}
+
+void write_autopsy_entry(const FlightRecorder::Retained& r, std::ostream& os) {
+  const QueryAutopsy& a = r.autopsy;
+  os << "    {\"query\": {\"ordinal\": " << a.ordinal << ", \"guid\": " << a.guid
+     << ", \"initiator\": " << a.initiator << ", \"engine\": \""
+     << (a.async ? "async" : "sync") << "\", \"issued_at\": "
+     << json_number(a.issued_at) << ", \"completed_at\": "
+     << json_number(a.completed_at) << ",\n"
+     << "      \"reason\": " << json_quote(a.reason) << ", \"retained\": "
+     << json_quote(r.label) << ",\n"
+     << "      \"cost\": {\"probes\": " << a.cost.probes << ", \"walk_steps\": "
+     << a.cost.walk_steps << ", \"flood_messages\": " << a.cost.flood_messages
+     << ", \"cache_hits\": " << a.cost.cache_hits << ", \"targets\": "
+     << a.cost.targets << ", \"retrieved_docs\": " << a.cost.retrieved_docs
+     << ", \"rel_evals\": " << a.cost.rel_evals << ", \"rel_memo_hits\": "
+     << a.cost.rel_memo_hits << "},\n"
+     << "      \"events_recorded\": " << a.events_recorded
+     << ", \"events_dropped\": " << a.events_dropped << "},\n"
+     << "     \"events\": [\n";
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    write_event_json(a.events[i], os);
+    os << (i + 1 < a.events.size() ? ",\n" : "\n");
+  }
+  os << "    ]}";
+}
+
+}  // namespace
+
+void write_autopsy_json(const FlightRecorder& recorder, std::ostream& os) {
+  const auto kept = recorder.retained();
+  const uint64_t seen = recorder.queries_seen();
+  const uint64_t dropped = seen - std::min<uint64_t>(seen, kept.size());
+  const uint64_t events_dropped = recorder.events_dropped();
+  const auto config = recorder.config();
+  // Retention is policy, but it is never silent: the header discloses
+  // every drop, and a lossy export announces itself on the log too.
+  if (dropped > 0 || events_dropped > 0) {
+    GES_INFO << "autopsy export is lossy by retention policy: " << dropped
+             << " of " << seen << " queries dropped, " << events_dropped
+             << " events over the per-query cap";
+  }
+  os << "{\n  \"schema\": \"ges.autopsy.v1\",\n"
+     << "  \"queries_seen\": " << seen << ",\n"
+     << "  \"queries_retained\": " << kept.size() << ",\n"
+     << "  \"queries_dropped\": " << dropped << ",\n"
+     << "  \"events_dropped\": " << events_dropped << ",\n"
+     << "  \"config\": {\"worst_k\": " << config.worst_k
+     << ", \"sample_capacity\": " << config.sample_capacity
+     << ", \"sample_every\": " << config.sample_every
+     << ", \"max_events_per_query\": " << config.max_events_per_query << "},\n"
+     << "  \"autopsies\": [\n";
+  for (size_t i = 0; i < kept.size(); ++i) {
+    write_autopsy_entry(kept[i], os);
+    os << (i + 1 < kept.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+void write_autopsy_chrome_trace(const FlightRecorder& recorder, std::ostream& os) {
+  const auto kept = recorder.retained();
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& r : kept) {
+    const QueryAutopsy& a = r.autopsy;
+    if (!first) os << ",\n";
+    first = false;
+    // The query itself is a complete span on its own ordinal lane; every
+    // causal event nests inside it as an instant, so Perfetto renders
+    // the expansion under the query it belongs to.
+    os << "  {\"name\": \"query\", \"cat\": \"autopsy\", \"ph\": \"X\", \"pid\": 1"
+       << ", \"tid\": " << a.ordinal << ", \"ts\": " << json_number(a.issued_at * 1e6)
+       << ", \"dur\": " << json_number((a.completed_at - a.issued_at) * 1e6)
+       << ", \"args\": {\"ordinal\": " << a.ordinal << ", \"initiator\": "
+       << a.initiator << ", \"probes\": " << a.cost.probes << ", \"walk_steps\": "
+       << a.cost.walk_steps << ", \"flood_messages\": " << a.cost.flood_messages
+       << "}}";
+    for (const FlightEvent& ev : a.events) {
+      os << ",\n  {\"name\": \"" << flight_event_kind_name(ev.kind)
+         << "\", \"cat\": \"autopsy\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 1"
+         << ", \"tid\": " << a.ordinal << ", \"ts\": " << json_number(ev.t * 1e6)
+         << ", \"args\": {\"id\": " << ev.id << ", \"parent\": " << ev.parent
+         << ", \"from\": " << ev.from << ", \"to\": " << ev.to << "}}";
+    }
+  }
+  os << (first ? "" : "\n") << "]}\n";
+}
+
+}  // namespace ges::obs

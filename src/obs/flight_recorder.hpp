@@ -1,0 +1,257 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ges::obs {
+
+/// One node of a query's causal event graph. Events form a forest rooted
+/// at the kIssued event (id 0): `parent` is always a smaller id (or -1
+/// for the root), so the graph is acyclic by construction and renders as
+/// a tree of "why did this message exist".
+///
+/// Field use per kind (unused fields stay at their defaults):
+///   kIssued       from = initiator
+///   kProbe        from = probed node, count = docs retrieved,
+///                 flag = 1 when the node is a semantic-group target
+///   kWalkHop      from -> to, value = REL(to, Q) used by the bias
+///                 (-1 when the choice was capacity-driven or unbiased),
+///                 flag = 1 when a supernode preference chose the target
+///   kFloodSend    from -> to (one semantic-group flood edge)
+///   kCacheProbe   from = probed node, flag = outcome (0 miss, 1 hit,
+///                 2 invalidated-then-miss), count = docs served on a hit
+///   kFaultDrop    from -> to, channel = FaultChannel value
+///   kFaultBlock   from -> to (partition cut), channel as above
+///   kFaultDelay   from -> to, value = extra delay, channel as above
+///   kFaultDup     from -> to, channel as above
+enum class FlightEventKind : uint8_t {
+  kIssued = 0,
+  kProbe,
+  kWalkHop,
+  kFloodSend,
+  kCacheProbe,
+  kFaultDrop,
+  kFaultBlock,
+  kFaultDelay,
+  kFaultDup,
+};
+
+/// Stable lower-snake label ("issued", "walk_hop", ...) used in the
+/// ges.autopsy.v1 export.
+const char* flight_event_kind_name(FlightEventKind kind);
+
+struct FlightEvent {
+  FlightEventKind kind = FlightEventKind::kIssued;
+  uint8_t channel = 0;  // p2p::FaultChannel value for fault events
+  uint8_t flag = 0;
+  int32_t id = 0;
+  int32_t parent = -1;  // always < id; -1 = root
+  uint32_t from = 0;
+  uint32_t to = 0;
+  int32_t count = 0;
+  double t = 0.0;  // sim seconds (recording time)
+  double value = 0.0;
+};
+
+/// The per-query cost block, mirroring SearchTrace's tallies exactly so
+/// the autopsy can be cross-checked against the simulation ground truth.
+struct FlightCost {
+  uint64_t probes = 0;
+  uint64_t walk_steps = 0;
+  uint64_t flood_messages = 0;
+  uint64_t cache_hits = 0;
+  uint64_t targets = 0;
+  uint64_t retrieved_docs = 0;
+  uint64_t rel_evals = 0;
+  uint64_t rel_memo_hits = 0;
+
+  /// Retention cost: what the worst-k policy ranks queries by.
+  uint64_t total_messages() const {
+    return probes + walk_steps + flood_messages;
+  }
+};
+
+/// One retained query: header + bounded causal event list.
+struct QueryAutopsy {
+  uint64_t ordinal = 0;  // recorder-global issue order
+  uint64_t guid = 0;     // async engine GUID; 0 for sync queries
+  uint32_t initiator = 0;
+  bool async = false;
+  double issued_at = 0.0;
+  double completed_at = 0.0;
+  /// Why the query stopped expanding: "budget", "responses",
+  /// "cache_hit", "walk_lost", "no_neighbor", "ttl", "step_cap",
+  /// "drained" (async: all in-flight messages settled), "unknown".
+  const char* reason = "unknown";
+  FlightCost cost;
+  uint64_t events_recorded = 0;  // includes events over the cap
+  uint64_t events_dropped = 0;   // events_recorded - events.size()
+  std::vector<FlightEvent> events;
+};
+
+/// Retention policy of the recorder. Per query, at most
+/// `max_events_per_query` events are kept (the rest are counted and
+/// disclosed). Across queries, two bounded sets are retained:
+///   * the worst `worst_k` by (cost.total_messages() desc, ordinal asc) —
+///     the queries whose cost most needs explaining;
+///   * a uniform stride sample (every `sample_every`-th ordinal) in a
+///     FIFO ring of `sample_capacity` — unbiased coverage of the run.
+/// Everything else is dropped and counted, never silently.
+struct FlightRecorderConfig {
+  size_t worst_k = 16;
+  size_t sample_capacity = 32;
+  size_t sample_every = 8;
+  size_t max_events_per_query = 4096;
+};
+
+/// Builds one query's autopsy on the recording side. The engines own one
+/// builder per in-flight query (stack-local for the synchronous engine,
+/// per-Run for the asynchronous one) and install it as the thread-local
+/// flight sink so hooks in shared lower layers (walk policy, fault
+/// injector, result-cache bank) attach events without plumbing a pointer
+/// through every signature.
+///
+/// Like spans, flight recording is a serial-context facility: ordinals
+/// are handed out under the recorder mutex and event ids are assigned in
+/// call order, so only serially-executed queries (ScenarioRunner,
+/// AsyncSearchEngine, tests) produce deterministic autopsies. The
+/// parallel eval harness must leave the recorder disabled.
+class FlightBuilder {
+ public:
+  /// Arms the builder. `ordinal` comes from FlightRecorder::next_ordinal().
+  void begin(uint64_t ordinal, uint64_t guid, uint32_t initiator, bool async,
+             double t, size_t max_events);
+
+  bool active() const { return active_; }
+
+  /// Append an event under `parent` (-1 = root). Returns the event id,
+  /// or -1 when the per-query cap dropped it (the drop is counted).
+  int32_t add(FlightEventKind kind, int32_t parent, double t);
+  /// Append under the current context (see set_context).
+  int32_t add(FlightEventKind kind, double t) { return add(kind, context_, t); }
+
+  /// Mutable access to event `id` (to fill kind fields); null when the
+  /// id is -1 (the add was dropped by the per-query cap).
+  FlightEvent* event(int32_t id);
+
+  /// The causal context subsequent events attach under — the engines set
+  /// it to the walk-hop / flood-send / probe event being processed.
+  void set_context(int32_t id) { context_ = id; }
+  int32_t context() const { return context_; }
+
+  /// Probe bookkeeping: remembers `node`'s probe (or cache-hit) event so
+  /// later walk hops and flood sends out of that node can attach to it.
+  void note_probe_event(uint32_t node, int32_t id);
+  /// The event id that explains why `node` holds the query (-1 when
+  /// unknown, e.g. the event was dropped by the cap).
+  int32_t probe_event_of(uint32_t node) const;
+
+  /// Walk-policy hook: stashes the selection detail of the next picked
+  /// target so the engine's walk-hop event can carry it. `rel` is -1 when
+  /// the pick did not evaluate relevance (supernode preference).
+  void note_walk_choice(double rel, bool via_supernode) {
+    pending_rel_ = rel;
+    pending_supernode_ = via_supernode;
+    pending_choice_ = true;
+  }
+  /// Consumes the stashed choice detail (returns false when none).
+  bool take_walk_choice(double* rel, bool* via_supernode);
+
+  /// Seals the autopsy and returns it, deactivating the builder.
+  QueryAutopsy finish(const char* reason, const FlightCost& cost, double t);
+
+ private:
+  bool active_ = false;
+  QueryAutopsy autopsy_;
+  int32_t context_ = -1;
+  size_t max_events_ = 0;
+  bool pending_choice_ = false;
+  double pending_rel_ = -1.0;
+  bool pending_supernode_ = false;
+  std::unordered_map<uint32_t, int32_t> probe_event_;
+};
+
+/// The process-wide retention store behind obs::flight(). Thread-safe;
+/// determinism requires serial query execution (see FlightBuilder).
+class FlightRecorder {
+ public:
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  void set_config(FlightRecorderConfig config);
+  FlightRecorderConfig config() const;
+
+  /// Issue order of the next query (also counts queries issued).
+  uint64_t next_ordinal();
+
+  /// Retention decision for a finished query (see FlightRecorderConfig).
+  void submit(QueryAutopsy&& autopsy);
+
+  uint64_t queries_seen() const;
+  /// Submitted queries not currently retained. Never silent: exported in
+  /// the ges.autopsy.v1 header and logged at export time.
+  uint64_t queries_dropped() const;
+  /// Events dropped by the per-query cap, across all submitted queries.
+  uint64_t events_dropped() const;
+  size_t retained_count() const;
+
+  /// Retained autopsies in ordinal order, each tagged with why it was
+  /// kept ("worst", "sampled", or "worst+sampled").
+  struct Retained {
+    QueryAutopsy autopsy;
+    std::string label;
+  };
+  std::vector<Retained> retained() const;
+
+  /// Drop all state (config survives). Call between deterministic runs.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{false};
+  FlightRecorderConfig config_;
+  uint64_t next_ordinal_ = 0;
+  uint64_t queries_seen_ = 0;
+  uint64_t events_dropped_ = 0;
+  std::vector<QueryAutopsy> worst_;   // unsorted; worst_k by policy
+  std::deque<QueryAutopsy> sampled_;  // FIFO ring of stride samples
+};
+
+/// The process-wide flight recorder (mirrors obs::global()).
+FlightRecorder& flight();
+
+/// Thread-local sink the lower-layer hooks record into; null when no
+/// query is being recorded on this thread.
+FlightBuilder* flight_sink();
+
+/// RAII installer for the thread-local sink (restores the previous one,
+/// so nested queries — should they ever exist — unwind correctly).
+class FlightScope {
+ public:
+  explicit FlightScope(FlightBuilder* builder);
+  ~FlightScope();
+  FlightScope(const FlightScope&) = delete;
+  FlightScope& operator=(const FlightScope&) = delete;
+
+ private:
+  FlightBuilder* previous_;
+};
+
+/// ges.autopsy.v1: the retained autopsies plus the full retention
+/// disclosure (queries seen / retained / dropped, events dropped). Two
+/// identical runs serialize byte-identically. Any non-zero drop count is
+/// additionally logged through util/logging (never silent).
+void write_autopsy_json(const FlightRecorder& recorder, std::ostream& os);
+
+/// Chrome trace_event JSON of the retained autopsies: one "X" span per
+/// query (tid = ordinal) nesting one "i" instant per causal event —
+/// loadable in Perfetto next to the main trace.
+void write_autopsy_chrome_trace(const FlightRecorder& recorder, std::ostream& os);
+
+}  // namespace ges::obs

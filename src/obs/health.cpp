@@ -1,0 +1,125 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+
+#include "obs/telemetry.hpp"
+#include "util/logging.hpp"
+
+namespace ges::obs {
+
+const char* health_anomaly_name(HealthAnomaly kind) {
+  switch (kind) {
+    case HealthAnomaly::kStaleHeartbeat: return "stale_heartbeat";
+    case HealthAnomaly::kDegreeOverflow: return "degree_overflow";
+    case HealthAnomaly::kDegreeUnderflow: return "degree_underflow";
+    case HealthAnomaly::kCacheOverflow: return "cache_overflow";
+    case HealthAnomaly::kBackoffStuck: return "backoff_stuck";
+  }
+  return "?";
+}
+
+void HealthMonitor::set_provider(Provider provider) {
+  provider_ = std::move(provider);
+}
+
+void HealthMonitor::set_thresholds(HealthThresholds thresholds) {
+  thresholds_ = thresholds;
+}
+
+void HealthMonitor::set_max_anomalies(size_t max_anomalies) {
+  max_anomalies_ = std::max<size_t>(1, max_anomalies);
+}
+
+void HealthMonitor::emit(double t, const NodeHealth& h, HealthAnomaly kind,
+                         double value, double threshold) {
+  ++anomalies_seen_;
+  ++last_.anomalies;
+  if (anomalies_.size() < max_anomalies_) {
+    anomalies_.push_back({t, h.node, kind, value, threshold});
+  } else if (anomalies_seen_ - 1 == max_anomalies_) {
+    // First overflow: disclose once, keep counting.
+    GES_INFO << "health anomaly list full (" << max_anomalies_
+             << "); further anomalies are counted but not retained";
+  }
+#if GES_OBS
+  if (enabled()) {
+    // Sweeps run from serial contexts (round boundaries), so structured
+    // trace instants here are deterministic.
+    global().trace().record_instant(
+        health_anomaly_name(kind), "health", t, h.node,
+        {{"value", value}, {"threshold", threshold}});
+    global().metrics().counter(std::string("p2p.health.") +
+                               health_anomaly_name(kind)).add(1);
+    GES_COUNT("p2p.health.anomalies", 1);
+  }
+#endif
+}
+
+void HealthMonitor::sweep(double t) {
+  if (!provider_) return;
+  ++sweeps_;
+  scratch_.clear();
+  provider_(scratch_);
+
+  last_ = HealthSummary{};
+  last_.t = t;
+  last_.nodes = scratch_.size();
+  for (const NodeHealth& h : scratch_) {
+    if (!h.alive) continue;
+    ++last_.alive;
+    if (h.heartbeat_staleness >= 0.0) {
+      last_.max_staleness = std::max(last_.max_staleness, h.heartbeat_staleness);
+      if (thresholds_.max_heartbeat_staleness > 0.0 &&
+          h.heartbeat_staleness > thresholds_.max_heartbeat_staleness) {
+        emit(t, h, HealthAnomaly::kStaleHeartbeat, h.heartbeat_staleness,
+             thresholds_.max_heartbeat_staleness);
+      }
+    }
+    if (h.degree_target > 0) {
+      const double target = static_cast<double>(h.degree_target);
+      if (thresholds_.degree_overshoot > 0.0 &&
+          static_cast<double>(h.degree) > target * thresholds_.degree_overshoot) {
+        ++last_.degree_overflows;
+        emit(t, h, HealthAnomaly::kDegreeOverflow, h.degree,
+             target * thresholds_.degree_overshoot);
+      }
+      if (thresholds_.degree_underfill > 0.0 &&
+          static_cast<double>(h.degree) < target * thresholds_.degree_underfill) {
+        emit(t, h, HealthAnomaly::kDegreeUnderflow, h.degree,
+             target * thresholds_.degree_underfill);
+      }
+    }
+    last_.max_cache_occupancy =
+        std::max(last_.max_cache_occupancy, h.cache_occupancy);
+    if (thresholds_.max_cache_occupancy > 0.0 &&
+        h.cache_occupancy > thresholds_.max_cache_occupancy) {
+      emit(t, h, HealthAnomaly::kCacheOverflow, h.cache_occupancy,
+           thresholds_.max_cache_occupancy);
+    }
+    if (h.in_backoff) {
+      ++last_.nodes_in_backoff;
+      if (thresholds_.max_backoff_strikes > 0 &&
+          h.backoff_strikes >= thresholds_.max_backoff_strikes) {
+        emit(t, h, HealthAnomaly::kBackoffStuck, h.backoff_strikes,
+             thresholds_.max_backoff_strikes);
+      }
+    }
+  }
+  // Aggregate gauges only: per-node gauge families would grow the
+  // registry with the network, and the per-node detail already lives in
+  // the anomaly events.
+  GES_GAUGE_SET("p2p.health.alive_nodes", last_.alive);
+  GES_GAUGE_SET("p2p.health.max_heartbeat_staleness", last_.max_staleness);
+  GES_GAUGE_SET("p2p.health.max_cache_occupancy", last_.max_cache_occupancy);
+  GES_GAUGE_SET("p2p.health.nodes_in_backoff", last_.nodes_in_backoff);
+  GES_GAUGE_SET("p2p.health.anomalies_last_sweep", last_.anomalies);
+}
+
+void HealthMonitor::reset() {
+  sweeps_ = 0;
+  anomalies_seen_ = 0;
+  last_ = HealthSummary{};
+  anomalies_.clear();
+}
+
+}  // namespace ges::obs

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ges::obs {
+
+/// One node's health signals, as sampled by the scenario layer. The obs
+/// layer sits below p2p/ges, so it never reads protocol state itself —
+/// a Provider callback (wired by ScenarioRunner) fills these in from the
+/// Network / heartbeat / adaptation / result-cache subsystems.
+struct NodeHealth {
+  uint32_t node = 0;
+  bool alive = false;
+  double capacity = 0.0;
+  uint32_t degree = 0;          // total links
+  uint32_t degree_target = 0;   // policy budget (sem + random)
+  uint32_t sem_degree = 0;
+  uint32_t sem_target = 0;
+  /// Sim seconds since the node's heartbeat loop last fired; negative
+  /// when it has never fired (e.g. freshly joined).
+  double heartbeat_staleness = -1.0;
+  /// Result-cache fill fraction (entries / capacity); 0 for cacheless.
+  double cache_occupancy = 0.0;
+  bool in_backoff = false;        // handshake retry backoff armed
+  uint32_t backoff_strikes = 0;   // consecutive fault aborts
+};
+
+/// Watchdog thresholds. A crossing emits one structured anomaly event
+/// per (node, kind) per sweep.
+struct HealthThresholds {
+  /// Alive nodes whose heartbeat loop has been silent this long are
+  /// flagged stale (default: three 5s heartbeat intervals).
+  double max_heartbeat_staleness = 15.0;
+  /// degree > degree_target * this factor flags an overfull node.
+  double degree_overshoot = 1.5;
+  /// degree < degree_target * this fraction flags an underfilled node
+  /// (0 disables — freshly bootstrapped overlays are legitimately thin).
+  double degree_underfill = 0.0;
+  /// cache occupancy above this flags an overfull cache (the bank's
+  /// eviction policy should make this impossible; > 1 is a bug signal).
+  double max_cache_occupancy = 1.0;
+  /// Backoff strikes at or above this flag a node stuck retrying.
+  uint32_t max_backoff_strikes = 4;
+};
+
+enum class HealthAnomaly : uint8_t {
+  kStaleHeartbeat = 0,
+  kDegreeOverflow,
+  kDegreeUnderflow,
+  kCacheOverflow,
+  kBackoffStuck,
+};
+
+const char* health_anomaly_name(HealthAnomaly kind);
+
+/// One threshold crossing, timestamped in sim seconds.
+struct HealthEvent {
+  double t = 0.0;
+  uint32_t node = 0;
+  HealthAnomaly kind = HealthAnomaly::kStaleHeartbeat;
+  double value = 0.0;      // the observed signal
+  double threshold = 0.0;  // the limit it crossed
+};
+
+/// Aggregates of the most recent sweep (surfaced by scenario_telemetry
+/// and the fuzzer's [fuzz-summary] lines).
+struct HealthSummary {
+  double t = 0.0;
+  size_t nodes = 0;
+  size_t alive = 0;
+  size_t anomalies = 0;        // this sweep
+  double max_staleness = 0.0;  // over alive nodes with a heartbeat
+  double max_cache_occupancy = 0.0;
+  size_t nodes_in_backoff = 0;
+  size_t degree_overflows = 0;
+};
+
+/// Per-node health gauges + threshold watchdog. sweep() pulls the
+/// current per-node signals through the Provider, updates aggregate
+/// gauges (p2p.health.*), and emits one structured anomaly event per
+/// crossing — an "i" instant in the trace (category "health", track =
+/// node) plus a per-kind p2p.health.* counter — into the global
+/// telemetry context. Anomalies are additionally retained in a bounded
+/// list for programmatic access; overflow is counted, never silent.
+///
+/// Observation-only and serial: ScenarioRunner sweeps at round
+/// boundaries. The provider must not mutate simulation state.
+class HealthMonitor {
+ public:
+  using Provider = std::function<void(std::vector<NodeHealth>&)>;
+
+  void set_provider(Provider provider);
+  void set_thresholds(HealthThresholds thresholds);
+  const HealthThresholds& thresholds() const { return thresholds_; }
+
+  /// Bound on the retained anomaly list (minimum 1; default 1024).
+  void set_max_anomalies(size_t max_anomalies);
+
+  /// Run one watchdog pass at sim time `t`. No-op without a provider.
+  void sweep(double t);
+
+  uint64_t sweeps() const { return sweeps_; }
+  const HealthSummary& last() const { return last_; }
+  const std::vector<HealthEvent>& anomalies() const { return anomalies_; }
+  uint64_t anomalies_seen() const { return anomalies_seen_; }
+  uint64_t anomalies_dropped() const {
+    return anomalies_seen_ - anomalies_.size();
+  }
+
+  void reset();
+
+ private:
+  void emit(double t, const NodeHealth& h, HealthAnomaly kind, double value,
+            double threshold);
+
+  Provider provider_;
+  HealthThresholds thresholds_;
+  size_t max_anomalies_ = 1024;
+  uint64_t sweeps_ = 0;
+  uint64_t anomalies_seen_ = 0;
+  HealthSummary last_;
+  std::vector<NodeHealth> scratch_;
+  std::vector<HealthEvent> anomalies_;
+};
+
+}  // namespace ges::obs

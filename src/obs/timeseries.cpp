@@ -1,0 +1,98 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace ges::obs {
+
+namespace {
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+}  // namespace
+
+void TimeseriesSampler::configure(double interval, size_t max_samples) {
+  GES_CHECK(interval >= 0.0);
+  interval_ = interval;
+  max_samples_ = std::max<size_t>(1, max_samples);
+}
+
+void TimeseriesSampler::sample(const MetricsRegistry& registry, double t) {
+  ++taken_;
+  TimeseriesSample s;
+  s.t = t;
+  const MetricsSnapshot snapshot = registry.snapshot();
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (m.kind == MetricKind::kCounter) {
+      s.counters.emplace_back(m.name, m.value);
+    } else if (m.kind == MetricKind::kGauge) {
+      s.gauges.emplace_back(m.name, m.gauge);
+    }
+  }
+  if (!samples_.empty() && t <= samples_.back().t) {
+    // Same-instant resample (e.g. a manual end-of-run sample landing on
+    // the periodic tick): the later snapshot supersedes the earlier one,
+    // keeping exported times strictly increasing.
+    samples_.back() = std::move(s);
+    return;
+  }
+  samples_.push_back(std::move(s));
+  while (samples_.size() > max_samples_) samples_.pop_front();
+}
+
+void TimeseriesSampler::reset() {
+  taken_ = 0;
+  samples_.clear();
+}
+
+void TimeseriesSampler::write_json(std::ostream& os) const {
+  const uint64_t dropped = samples_dropped();
+  if (dropped > 0) {
+    GES_INFO << "timeseries export is lossy by ring retention: " << dropped
+             << " of " << taken_ << " samples dropped";
+  }
+  os << "{\n  \"schema\": \"ges.timeseries.v1\",\n"
+     << "  \"interval\": " << json_number(interval_) << ",\n"
+     << "  \"samples_taken\": " << taken_ << ",\n"
+     << "  \"samples_retained\": " << samples_.size() << ",\n"
+     << "  \"samples_dropped\": " << dropped << ",\n"
+     << "  \"max_samples\": " << max_samples_ << ",\n"
+     << "  \"samples\": [\n";
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    const TimeseriesSample& s = samples_[i];
+    os << "    {\"t\": " << json_number(s.t) << ", \"counters\": {";
+    for (size_t c = 0; c < s.counters.size(); ++c) {
+      if (c > 0) os << ", ";
+      os << json_quote(s.counters[c].first) << ": " << s.counters[c].second;
+    }
+    os << "}, \"gauges\": {";
+    for (size_t g = 0; g < s.gauges.size(); ++g) {
+      if (g > 0) os << ", ";
+      os << json_quote(s.gauges[g].first) << ": " << json_number(s.gauges[g].second);
+    }
+    os << "}}" << (i + 1 < samples_.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace ges::obs

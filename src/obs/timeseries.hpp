@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ges::obs {
+
+/// One sim-time snapshot of the registry's counters and gauges.
+/// Histograms are deliberately left out of the stream: their fixed
+/// buckets make per-sample deltas bulky, and the convergence curves the
+/// stream exists for (recall proxy, cache hit-rate, degree drift, live
+/// timers) are all counters or gauges. The end-of-run metrics.json still
+/// carries the full histogram state.
+struct TimeseriesSample {
+  double t = 0.0;
+  std::vector<std::pair<std::string, uint64_t>> counters;  // sorted by name
+  std::vector<std::pair<std::string, double>> gauges;      // sorted by name
+};
+
+/// Sim-time metrics sampler: the scenario layer schedules a periodic
+/// event on its EventQueue that calls sample() every `interval` sim
+/// seconds, turning the registry's end-of-run totals into a convergence
+/// curve. Bounded by a FIFO ring of `max_samples`; evicted samples are
+/// counted and disclosed in the export, never silently lost.
+///
+/// Observation-only and deterministic: sample() reads a snapshot (a
+/// barrier over the sharded cells) and never touches simulation state,
+/// and sim-timestamps make two same-seed runs export byte-identical
+/// streams. Call from serial contexts only (an event-queue handler is).
+class TimeseriesSampler {
+ public:
+  /// `interval` is recorded for the export header; `max_samples` bounds
+  /// the ring (minimum 1).
+  void configure(double interval, size_t max_samples);
+
+  double interval() const { return interval_; }
+  size_t max_samples() const { return max_samples_; }
+
+  /// Snapshot `registry` at sim time `t`. Sample times must be
+  /// nondecreasing (they come from one event queue's clock).
+  void sample(const MetricsRegistry& registry, double t);
+
+  uint64_t samples_taken() const { return taken_; }
+  uint64_t samples_dropped() const { return taken_ - samples_.size(); }
+  const std::deque<TimeseriesSample>& samples() const { return samples_; }
+
+  void reset();
+
+  /// ges.timeseries.v1: the retained samples plus the retention
+  /// disclosure. Counters appear from the sample after their first
+  /// increment onward (registration is lazy) and are nondecreasing
+  /// across samples; sample times are strictly increasing.
+  void write_json(std::ostream& os) const;
+
+ private:
+  double interval_ = 0.0;
+  size_t max_samples_ = 512;
+  uint64_t taken_ = 0;
+  std::deque<TimeseriesSample> samples_;
+};
+
+}  // namespace ges::obs

@@ -60,6 +60,34 @@ obs::Counter& per_channel_counter(std::array<obs::Counter, 5>& cache,
   } while (0)
 #endif
 
+#if GES_OBS
+namespace {
+
+/// Flight-recorder hook shared by the per-message decisions: when a
+/// query is being recorded on this thread, the fired fault becomes a
+/// causal event under the current context (the walk hop / flood send
+/// being decided). `value` carries the extra delay for kFaultDelay.
+void flight_fault_event(obs::FlightEventKind kind, FaultChannel channel,
+                        uint64_t key, double value = 0.0) {
+  obs::FlightBuilder* fb = obs::flight_sink();
+  if (fb == nullptr) return;
+  const int32_t id = fb->add(kind, obs::global().now());
+  if (obs::FlightEvent* ev = fb->event(id)) {
+    ev->from = static_cast<NodeId>(key >> 32);
+    ev->to = static_cast<NodeId>(key & 0xFFFFFFFFULL);
+    ev->channel = static_cast<uint8_t>(channel);
+    ev->value = value;
+  }
+}
+
+}  // namespace
+#define GES_FLIGHT_FAULT(...) flight_fault_event(__VA_ARGS__)
+#else
+#define GES_FLIGHT_FAULT(...) \
+  do {                        \
+  } while (0)
+#endif
+
 FaultPlan FaultPlan::uniform(double rate, uint64_t seed) {
   GES_CHECK(rate >= 0.0 && rate <= 1.0);
   FaultPlan plan;
@@ -88,6 +116,7 @@ bool FaultInjector::drop_message(FaultChannel channel, uint64_t key,
   if (dropped) {
     ++counters_.messages_dropped;
     GES_FAULT_COUNT("dropped", channel);
+    GES_FLIGHT_FAULT(obs::FlightEventKind::kFaultDrop, channel, key);
   }
   return dropped;
 }
@@ -98,7 +127,9 @@ SimTime FaultInjector::delivery_delay(FaultChannel channel, uint64_t key,
   if (unit(channel, key, nonce, 0x02) >= plan_.delay_rate) return 0.0;
   ++counters_.messages_delayed;
   GES_FAULT_COUNT("delayed", channel);
-  return unit(channel, key, nonce, 0x03) * plan_.max_delay;
+  const SimTime delay = unit(channel, key, nonce, 0x03) * plan_.max_delay;
+  GES_FLIGHT_FAULT(obs::FlightEventKind::kFaultDelay, channel, key, delay);
+  return delay;
 }
 
 bool FaultInjector::duplicate_message(FaultChannel channel, uint64_t key,
@@ -108,6 +139,7 @@ bool FaultInjector::duplicate_message(FaultChannel channel, uint64_t key,
   if (dup) {
     ++counters_.messages_duplicated;
     GES_FAULT_COUNT("duplicated", channel);
+    GES_FLIGHT_FAULT(obs::FlightEventKind::kFaultDup, channel, key);
   }
   return dup;
 }

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "p2p/event_sim.hpp"
 #include "p2p/types.hpp"
@@ -151,6 +152,19 @@ class FaultInjector {
     if (cut) {
       ++counters_.messages_blocked;
       GES_COUNT("p2p.fault.blocked", 1);
+#if GES_OBS
+      // Flight-recorder hook: when a query is being recorded on this
+      // thread, the cut becomes a causal event under the hop/flood-send
+      // being decided. Observation only (no RNG, no protocol state).
+      if (obs::FlightBuilder* fb = obs::flight_sink()) {
+        const int32_t id =
+            fb->add(obs::FlightEventKind::kFaultBlock, obs::global().now());
+        if (obs::FlightEvent* ev = fb->event(id)) {
+          ev->from = a;
+          ev->to = b;
+        }
+      }
+#endif
     }
     return cut;
   }

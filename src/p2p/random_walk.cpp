@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
@@ -23,6 +24,22 @@ WalkResult random_walk(const Network& network, NodeId start, size_t ttl,
       // Avoid immediately bouncing back when another neighbor exists.
       while (next == previous) next = neighbors[rng.index(neighbors.size())];
     }
+#if GES_OBS
+    // Flight-recorder hook: record the hop before the fault check so a
+    // drop / partition cut attaches causally under it. value = -1 marks
+    // the choice unbiased (this walker never evaluates relevance). Null
+    // sink in the parallel adaptation plan phase — observation only.
+    if (obs::FlightBuilder* fb = obs::flight_sink()) {
+      const int32_t hop_event =
+          fb->add(obs::FlightEventKind::kWalkHop, obs::global().now());
+      if (obs::FlightEvent* ev = fb->event(hop_event)) {
+        ev->from = current;
+        ev->to = next;
+        ev->value = -1.0;
+      }
+      fb->set_context(hop_event);
+    }
+#endif
     if (faults != nullptr &&
         (faults->blocked(current, next) ||
          faults->drop_message(FaultChannel::kWalk, FaultInjector::pair_key(current, next),

@@ -14,7 +14,8 @@ ReplicaHeartbeatProcess::ReplicaHeartbeatProcess(Network& network, EventQueue& q
       faults_(faults),
       active_(network.size(), 0),
       timers_(network.size()),
-      ticks_(network.size(), 0) {
+      ticks_(network.size(), 0),
+      last_beat_(network.size(), -1.0) {
   GES_CHECK(interval > 0.0);
 }
 
@@ -50,6 +51,7 @@ void ReplicaHeartbeatProcess::beat(NodeId node) {
     return;
   }
   ++beats_;
+  last_beat_[node] = queue_->now();
   // beat() runs inside an event-queue handler, i.e. strictly serially, so
   // a span here is deterministic. Track = the beating node's lane.
   GES_SPAN(span, "heartbeat", "replica", node);

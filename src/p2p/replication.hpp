@@ -66,6 +66,12 @@ class ReplicaHeartbeatProcess {
   size_t heartbeats_sent() const { return sent_; }
   size_t heartbeats_lost() const { return lost_; }
 
+  /// Sim time `node`'s loop last fired; -1 when it never has. Feeds the
+  /// health monitor's heartbeat-staleness gauge (observation only).
+  SimTime last_beat(NodeId node) const {
+    return node < last_beat_.size() ? last_beat_[node] : -1.0;
+  }
+
  private:
   void beat(NodeId node);
 
@@ -76,6 +82,7 @@ class ReplicaHeartbeatProcess {
   std::vector<uint8_t> active_;      // node -> loop registered
   std::vector<TimerHandle> timers_;  // node -> periodic beat timer
   std::vector<uint64_t> ticks_;      // node -> heartbeat tick (fault nonce)
+  std::vector<SimTime> last_beat_;   // node -> last firing time (-1 = never)
   size_t beats_ = 0;             // node-level firings
   size_t sent_ = 0;              // per-neighbor heartbeat messages
   size_t lost_ = 0;              // lost to drops / partitions

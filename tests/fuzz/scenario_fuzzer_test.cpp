@@ -54,6 +54,10 @@ ScenarioParams base_params(uint64_t seed, double fault_rate, bool churn) {
   sp.churn.seed = util::derive_seed(seed, 78);
   sp.rounds = 12;
   sp.seed = seed;
+  // Health watchdog on across the whole grid: sweeps are observation-only
+  // (the golden-trace suites below run with it enabled and still match),
+  // and the per-sweep aggregates feed the [fuzz-summary] lines.
+  sp.health_monitor = true;
   return sp;
 }
 
@@ -139,6 +143,9 @@ TEST_P(FuzzGrid, InvariantsHoldAfterEveryRound) {
   // clean-room tests).
   const auto& queue = runner.queue();
   const auto& cstats = runner.result_cache().stats();
+  ASSERT_NE(runner.health(), nullptr);
+  const auto& health = *runner.health();
+  EXPECT_EQ(health.sweeps(), runner.params().rounds);
   std::cout << "[fuzz-summary] seed=" << seed << " fault_rate=" << fault_rate
             << " churn=" << churn << " cache=" << cache
             << " events_processed=" << queue.processed()
@@ -148,7 +155,12 @@ TEST_P(FuzzGrid, InvariantsHoldAfterEveryRound) {
             << " rel_memo_hits=" << trace.rel_memo_hits
             << " cache_hits=" << cstats.hits << " cache_misses=" << cstats.misses
             << " cache_stores=" << cstats.stores
-            << " cache_invalidations=" << cstats.invalidations << "\n";
+            << " cache_invalidations=" << cstats.invalidations
+            << " health_anomalies=" << health.anomalies_seen()
+            << " health_alive=" << health.last().alive << "/"
+            << health.last().nodes
+            << " health_max_staleness=" << health.last().max_staleness
+            << " health_in_backoff=" << health.last().nodes_in_backoff << "\n";
 }
 
 // >= 10 seeds x 3 fault rates (including 0) x churn on/off x result

@@ -1,0 +1,270 @@
+// The autopsy-vs-ground-truth suite: every retained causal event graph
+// must be reconstructible into the SearchTrace the engine itself
+// reported. Across a (seed x fault-rate x churn) grid of 60 sync
+// queries plus an async batch, each autopsy's cost block equals the
+// trace field for field, and — since nothing was capped — the event
+// graph re-derives the trace exactly: the probe/cache-hit sequence is
+// probe_order, walk-hop events count walk_steps, flood-send events
+// count flood_messages, and fault events match the injector's own
+// per-channel counter deltas. A hook drifting from its engine's counter
+// placement (recording after a fault check it should precede, or vice
+// versa) fails here, not in production autopsies.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ges/async_search.hpp"
+#include "ges/scenario.hpp"
+#include "ges/topology_adaptation.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
+#include "support/test_corpus.hpp"
+
+namespace ges::core {
+namespace {
+
+#if !GES_OBS
+
+TEST(AutopsyEquivalence, SkippedWithoutInstrumentation) {
+  GTEST_SKIP() << "built with -DGES_OBS_INSTRUMENT=OFF";
+}
+
+#else
+
+using obs::FlightEvent;
+using obs::FlightEventKind;
+using obs::QueryAutopsy;
+using p2p::NodeId;
+
+struct EventCounts {
+  uint64_t probes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t walk_hops = 0;
+  uint64_t flood_sends = 0;
+  uint64_t fault_drops_walk = 0;
+  uint64_t fault_drops_flood = 0;
+  uint64_t fault_blocks = 0;
+  std::vector<NodeId> probe_sequence;  // probe + cache-hit nodes, in order
+};
+
+EventCounts count_events(const QueryAutopsy& a) {
+  EventCounts c;
+  for (const FlightEvent& ev : a.events) {
+    switch (ev.kind) {
+      case FlightEventKind::kProbe:
+        ++c.probes;
+        c.probe_sequence.push_back(ev.from);
+        break;
+      case FlightEventKind::kCacheProbe:
+        if (ev.flag == 1) {  // hit: the node answered from its cache
+          ++c.cache_hits;
+          c.probe_sequence.push_back(ev.from);
+        }
+        break;
+      case FlightEventKind::kWalkHop:
+        ++c.walk_hops;
+        break;
+      case FlightEventKind::kFloodSend:
+        ++c.flood_sends;
+        break;
+      case FlightEventKind::kFaultDrop:
+        if (ev.channel == 1) ++c.fault_drops_walk;
+        if (ev.channel == 2) ++c.fault_drops_flood;
+        break;
+      case FlightEventKind::kFaultBlock:
+        ++c.fault_blocks;
+        break;
+      default:
+        break;
+    }
+  }
+  return c;
+}
+
+void expect_autopsy_matches_trace(const QueryAutopsy& a,
+                                  const p2p::SearchTrace& trace,
+                                  const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.events_dropped, 0u) << "raise max_events_per_query";
+
+  // Cost block == SearchTrace, field for field.
+  EXPECT_EQ(a.cost.probes, trace.probes());
+  EXPECT_EQ(a.cost.walk_steps, trace.walk_steps);
+  EXPECT_EQ(a.cost.flood_messages, trace.flood_messages);
+  EXPECT_EQ(a.cost.cache_hits, trace.cache_hits);
+  EXPECT_EQ(a.cost.targets, trace.target_count);
+  EXPECT_EQ(a.cost.retrieved_docs, trace.retrieved.size());
+  EXPECT_EQ(a.cost.rel_evals, trace.rel_evals);
+  EXPECT_EQ(a.cost.rel_memo_hits, trace.rel_memo_hits);
+
+  // Event graph re-derives the trace.
+  const EventCounts c = count_events(a);
+  EXPECT_EQ(c.probes + c.cache_hits, trace.probes());
+  EXPECT_EQ(c.cache_hits, trace.cache_hits);
+  EXPECT_EQ(c.walk_hops, trace.walk_steps);
+  EXPECT_EQ(c.flood_sends, trace.flood_messages);
+  EXPECT_EQ(c.probe_sequence, trace.probe_order);
+
+  // Structural sanity the validator also enforces on the JSON side.
+  ASSERT_FALSE(a.events.empty());
+  EXPECT_EQ(a.events[0].kind, FlightEventKind::kIssued);
+  EXPECT_EQ(a.events[0].parent, -1);
+  for (size_t i = 1; i < a.events.size(); ++i) {
+    EXPECT_GE(a.events[i].parent, 0);
+    EXPECT_LT(a.events[i].parent, static_cast<int32_t>(i));
+  }
+  EXPECT_EQ(a.events_recorded, a.events.size());
+}
+
+/// Arm the global recorder to retain every query with no event cap.
+void arm_recorder() {
+  obs::flight().reset();
+  obs::FlightRecorderConfig config;
+  config.worst_k = 0;
+  config.sample_capacity = 512;
+  config.sample_every = 1;
+  config.max_events_per_query = 65536;
+  obs::flight().set_config(config);
+  obs::flight().set_enabled(true);
+  obs::global().set_enabled(true);
+}
+
+void disarm_recorder() {
+  obs::flight().set_enabled(false);
+  obs::flight().reset();
+  obs::global().set_enabled(false);
+  obs::global().reset();
+}
+
+TEST(AutopsyEquivalence, SyncQueriesAcrossFaultAndChurnGrid) {
+  const auto corpus = test::clustered_corpus(24, 3);
+  size_t queries_checked = 0;
+  for (const uint64_t seed : {11u, 12u}) {
+    for (const double fault_rate : {0.0, 0.05, 0.2}) {
+      for (const bool churn : {false, true}) {
+        ScenarioParams sp;
+        sp.params.max_links = 6;
+        sp.params.min_links = 2;
+        sp.params.walk_ttl = 20;
+        if (fault_rate > 0.0) {
+          sp.faults =
+              p2p::FaultPlan::uniform(fault_rate, util::derive_seed(seed, 77));
+          sp.faults.partition_rate = fault_rate;
+        }
+        sp.churn_enabled = churn;
+        sp.churn.mean_session = 60.0;
+        sp.churn.mean_downtime = 25.0;
+        sp.churn.bootstrap_links = 2;
+        sp.churn.seed = util::derive_seed(seed, 78);
+        sp.rounds = 6;
+        sp.seed = seed;
+
+        arm_recorder();
+        ScenarioRunner runner(corpus, sp);
+        runner.run();
+
+        util::Rng rng(util::derive_seed(seed, 80));
+        SearchOptions sopt;
+        sopt.ttl = 25;
+        sopt.use_result_cache = true;
+        std::vector<p2p::SearchTrace> traces;
+        std::vector<std::vector<uint64_t>> fault_deltas;
+        for (size_t q = 0; q < 5; ++q) {
+          const auto alive = runner.network().alive_nodes();
+          const NodeId initiator = alive[rng.index(alive.size())];
+          const auto& query = corpus.queries[q % corpus.queries.size()].vector;
+          const auto before = obs::global().metrics().snapshot();
+          traces.push_back(runner.search(query, initiator, sopt, rng));
+          const auto after = obs::global().metrics().snapshot();
+          fault_deltas.push_back(
+              {after.counter("p2p.fault.dropped.walk") -
+                   before.counter("p2p.fault.dropped.walk"),
+               after.counter("p2p.fault.dropped.flood") -
+                   before.counter("p2p.fault.dropped.flood"),
+               after.counter("p2p.fault.blocked") -
+                   before.counter("p2p.fault.blocked")});
+        }
+
+        const auto kept = obs::flight().retained();
+        ASSERT_EQ(kept.size(), traces.size());
+        for (size_t q = 0; q < traces.size(); ++q) {
+          const QueryAutopsy& a = kept[q].autopsy;
+          EXPECT_EQ(a.ordinal, q);
+          EXPECT_FALSE(a.async);
+          const std::string label = "seed=" + std::to_string(seed) +
+                                    " faults=" + std::to_string(fault_rate) +
+                                    " churn=" + std::to_string(churn) +
+                                    " query=" + std::to_string(q);
+          expect_autopsy_matches_trace(a, traces[q], label);
+          // Fault events match the injector's own counters for this
+          // query (queries run serially, so the deltas are exact).
+          const EventCounts c = count_events(a);
+          SCOPED_TRACE(label);
+          EXPECT_EQ(c.fault_drops_walk, fault_deltas[q][0]);
+          EXPECT_EQ(c.fault_drops_flood, fault_deltas[q][1]);
+          EXPECT_EQ(c.fault_blocks, fault_deltas[q][2]);
+          if (fault_rate == 0.0) {
+            EXPECT_EQ(c.fault_drops_walk + c.fault_drops_flood + c.fault_blocks,
+                      0u);
+          }
+        }
+        queries_checked += traces.size();
+        disarm_recorder();
+      }
+    }
+  }
+  EXPECT_GE(queries_checked, 50u);
+}
+
+TEST(AutopsyEquivalence, AsyncQueriesMatchTheirResultTraces) {
+  const auto corpus = test::clustered_corpus(24, 3);
+  p2p::Network net(corpus, test::uniform_capacities(corpus),
+                   p2p::NetworkConfig{});
+  util::Rng boot_rng(1);
+  p2p::bootstrap_random_graph(net, 5.0, boot_rng);
+  TopologyAdaptation adapt(net, GesParams{}, 7);
+  adapt.run_rounds(8);
+
+  p2p::FaultPlan plan = p2p::FaultPlan::uniform(0.1, 99);
+  plan.delay_rate = 0.2;
+  p2p::FaultInjector faults(plan);
+
+  arm_recorder();
+  p2p::EventQueue queue;
+  SearchOptions sopt;
+  sopt.ttl = 25;
+  AsyncSearchEngine engine(net, queue, sopt, LatencyModel{}, &faults);
+  std::vector<AsyncQueryResult> results;
+  for (size_t q = 0; q < 5; ++q) {
+    engine.submit(corpus.queries[q % corpus.queries.size()].vector,
+                  static_cast<NodeId>(q % net.size()), 1000 + q,
+                  [&](const AsyncQueryResult& r) { results.push_back(r); });
+  }
+  queue.run();
+  ASSERT_EQ(results.size(), 5u);
+
+  const auto kept = obs::flight().retained();
+  ASSERT_EQ(kept.size(), 5u);
+  for (size_t q = 0; q < kept.size(); ++q) {
+    const QueryAutopsy& a = kept[q].autopsy;
+    EXPECT_TRUE(a.async);
+    EXPECT_NE(a.guid, 0u);
+    // Completion order can differ from submission order under faults;
+    // match by GUID.
+    const AsyncQueryResult* result = nullptr;
+    for (const auto& r : results) {
+      if (r.guid == a.guid) result = &r;
+    }
+    ASSERT_NE(result, nullptr) << "autopsy guid " << a.guid;
+    expect_autopsy_matches_trace(a, result->trace,
+                                 "async query ordinal " + std::to_string(q));
+  }
+  disarm_recorder();
+}
+
+#endif  // GES_OBS
+
+}  // namespace
+}  // namespace ges::core

@@ -1,0 +1,112 @@
+// Locks the Prometheus text exposition byte for byte. The format is an
+// external contract (scraped, not parsed by us), so regressions here are
+// invisible to the JSON validator: a "null" sample value or a drifting
+// bucket edge makes a scrape silently unparsable or splits a histogram
+// series between runs. The audit fixes pinned here:
+//   * every metric carries a HELP line naming the registry metric,
+//   * non-finite gauges are spelled NaN / +Inf / -Inf (never "null"),
+//   * the last finite bucket edge is the histogram's upper bound exactly.
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace ges::obs {
+namespace {
+
+std::string prom_text(const MetricsRegistry& reg) {
+  std::ostringstream os;
+  write_prometheus(reg.snapshot(), os);
+  return os.str();
+}
+
+TEST(ExportFormat, PrometheusExactText) {
+  MetricsRegistry reg;
+  reg.counter("p2p.walk.hops").add(12);
+  reg.gauge("ges.adapt.satisfaction").set(0.5);
+  reg.histogram("ges.search.probes_per_query", 0.0, 8.0, 4).add(3.0);
+
+  // Snapshot order is sorted by name; every family is HELP + TYPE +
+  // samples with no blank lines.
+  EXPECT_EQ(prom_text(reg),
+            "# HELP ges_ges_adapt_satisfaction GES registry metric "
+            "ges.adapt.satisfaction\n"
+            "# TYPE ges_ges_adapt_satisfaction gauge\n"
+            "ges_ges_adapt_satisfaction 0.5\n"
+            "# HELP ges_ges_search_probes_per_query GES registry metric "
+            "ges.search.probes_per_query\n"
+            "# TYPE ges_ges_search_probes_per_query histogram\n"
+            "ges_ges_search_probes_per_query_bucket{le=\"2\"} 0\n"
+            "ges_ges_search_probes_per_query_bucket{le=\"4\"} 1\n"
+            "ges_ges_search_probes_per_query_bucket{le=\"6\"} 1\n"
+            "ges_ges_search_probes_per_query_bucket{le=\"8\"} 1\n"
+            "ges_ges_search_probes_per_query_bucket{le=\"+Inf\"} 1\n"
+            "ges_ges_search_probes_per_query_count 1\n"
+            "# HELP ges_p2p_walk_hops GES registry metric p2p.walk.hops\n"
+            "# TYPE ges_p2p_walk_hops counter\n"
+            "ges_p2p_walk_hops 12\n");
+}
+
+TEST(ExportFormat, NonFiniteGaugesUseExpositionLiterals) {
+  MetricsRegistry reg;
+  reg.gauge("a.nan").set(std::numeric_limits<double>::quiet_NaN());
+  reg.gauge("b.pos_inf").set(std::numeric_limits<double>::infinity());
+  reg.gauge("c.neg_inf").set(-std::numeric_limits<double>::infinity());
+
+  const std::string text = prom_text(reg);
+  EXPECT_NE(text.find("ges_a_nan NaN\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("ges_b_pos_inf +Inf\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("ges_c_neg_inf -Inf\n"), std::string::npos) << text;
+  // "null" is JSON vocabulary; in the exposition format it poisons the
+  // whole scrape.
+  EXPECT_EQ(text.find("null"), std::string::npos) << text;
+}
+
+TEST(ExportFormat, JsonKeepsNullForNonFiniteGauges) {
+  // The JSON exporter has the opposite constraint: NaN/Inf are not JSON.
+  MetricsRegistry reg;
+  reg.gauge("a.nan").set(std::numeric_limits<double>::quiet_NaN());
+  std::ostringstream os;
+  write_metrics_json(reg.snapshot(), os);
+  EXPECT_NE(os.str().find("\"value\": null"), std::string::npos) << os.str();
+}
+
+TEST(ExportFormat, LastBucketEdgeIsExactlyHi) {
+  // [0, 0.3) in 3 buckets: accumulating lo + width*(b+1) lands on
+  // 0.30000000000000004; the edge must be the configured bound exactly.
+  MetricsRegistry reg;
+  reg.histogram("h", 0.0, 0.3, 3).add(0.25);
+  const std::string text = prom_text(reg);
+  EXPECT_NE(text.find("ges_h_bucket{le=\"0.3\"} 1\n"), std::string::npos)
+      << text;
+}
+
+TEST(ExportFormat, HistogramBucketSeriesAreCumulative) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("h", 0.0, 4.0, 4);
+  h.add(0.5);  // bucket 0
+  h.add(1.5);  // bucket 1
+  h.add(1.6);  // bucket 1
+  h.add(9.0);  // clamped into the last bucket
+  EXPECT_EQ(prom_text(reg),
+            "# HELP ges_h GES registry metric h\n"
+            "# TYPE ges_h histogram\n"
+            "ges_h_bucket{le=\"1\"} 1\n"
+            "ges_h_bucket{le=\"2\"} 3\n"
+            "ges_h_bucket{le=\"3\"} 3\n"
+            "ges_h_bucket{le=\"4\"} 4\n"
+            "ges_h_bucket{le=\"+Inf\"} 4\n"
+            "ges_h_count 4\n");
+}
+
+TEST(ExportFormat, NameSanitization) {
+  EXPECT_EQ(prometheus_name("p2p.walk.hops"), "ges_p2p_walk_hops");
+  EXPECT_EQ(prometheus_name("a-b c/d"), "ges_a_b_c_d");
+}
+
+}  // namespace
+}  // namespace ges::obs

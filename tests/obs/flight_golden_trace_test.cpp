@@ -1,0 +1,210 @@
+// Golden-trace guarantee for the whole observability tentpole: running a
+// scenario with the flight recorder, the sim-time series sampler and the
+// health watchdog all enabled produces a byte-identical simulation to
+// running with all three off — under faults and churn, sync and async.
+// The timeseries sampler is the sharpest edge: it schedules real events
+// on the simulation's queue (consuming sequence numbers), so this suite
+// is the regression lock on the claim that only the relative order of
+// protocol events matters.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ges/async_search.hpp"
+#include "ges/scenario.hpp"
+#include "ges/topology_adaptation.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
+#include "p2p/network_snapshot.hpp"
+#include "support/test_corpus.hpp"
+
+namespace ges::core {
+namespace {
+
+#if !GES_OBS
+
+TEST(FlightGoldenTrace, SkippedWithoutInstrumentation) {
+  GTEST_SKIP() << "built with -DGES_OBS_INSTRUMENT=OFF";
+}
+
+#else
+
+using p2p::NodeId;
+
+struct GoldenResult {
+  std::string snapshot;
+  std::vector<p2p::SearchTrace> traces;
+  size_t departures = 0;
+  size_t arrivals = 0;
+  size_t autopsies_retained = 0;
+  uint64_t timeseries_samples = 0;
+  uint64_t health_sweeps = 0;
+};
+
+ScenarioParams golden_params(uint64_t seed, bool faults, bool churn) {
+  ScenarioParams sp;
+  sp.params.max_links = 6;
+  sp.params.min_links = 2;
+  sp.params.walk_ttl = 20;
+  if (faults) {
+    sp.faults = p2p::FaultPlan::uniform(0.1, util::derive_seed(seed, 77));
+    sp.faults.delay_rate = 0.05;
+    sp.faults.duplicate_rate = 0.02;
+    sp.faults.partition_rate = 0.1;
+  }
+  sp.churn_enabled = churn;
+  sp.churn.mean_session = 60.0;
+  sp.churn.mean_downtime = 25.0;
+  sp.churn.bootstrap_links = 2;
+  sp.churn.seed = util::derive_seed(seed, 78);
+  sp.rounds = 8;
+  sp.seed = seed;
+  return sp;
+}
+
+GoldenResult run_scenario(const corpus::Corpus& corpus, ScenarioParams sp,
+                          bool observed) {
+  obs::global().reset();
+  obs::global().set_enabled(false);
+  obs::flight().reset();
+  obs::flight().set_enabled(false);
+  if (observed) {
+    sp.flight_recorder = true;
+    sp.flight.worst_k = 8;
+    sp.flight.sample_capacity = 64;
+    sp.flight.sample_every = 1;
+    sp.timeseries_interval = 5.0;
+    sp.health_monitor = true;
+  }
+  GoldenResult out;
+  {
+    ScenarioRunner runner(corpus, sp);
+    runner.run();
+    util::Rng rng(util::derive_seed(sp.seed, 80));
+    SearchOptions sopt;
+    sopt.ttl = 25;
+    sopt.use_result_cache = true;
+    for (size_t q = 0; q < 5; ++q) {
+      const auto alive = runner.network().alive_nodes();
+      const NodeId initiator = alive[rng.index(alive.size())];
+      const auto& query = corpus.queries[q % corpus.queries.size()].vector;
+      out.traces.push_back(runner.search(query, initiator, sopt, rng));
+    }
+    std::ostringstream snap;
+    p2p::save_network_snapshot(runner.network(), snap);
+    out.snapshot = snap.str();
+    if (runner.churn() != nullptr) {
+      out.departures = runner.churn()->departures();
+      out.arrivals = runner.churn()->arrivals();
+    }
+    if (runner.timeseries() != nullptr) {
+      out.timeseries_samples = runner.timeseries()->samples_taken();
+    }
+    if (runner.health() != nullptr) {
+      out.health_sweeps = runner.health()->sweeps();
+    }
+  }
+  out.autopsies_retained = obs::flight().retained_count();
+  obs::flight().set_enabled(false);
+  obs::flight().reset();
+  obs::global().set_enabled(false);
+  return out;
+}
+
+void expect_identical_simulations(const GoldenResult& off,
+                                  const GoldenResult& on) {
+  EXPECT_EQ(off.snapshot, on.snapshot);
+  EXPECT_EQ(off.departures, on.departures);
+  EXPECT_EQ(off.arrivals, on.arrivals);
+  ASSERT_EQ(off.traces.size(), on.traces.size());
+  for (size_t i = 0; i < off.traces.size(); ++i) {
+    EXPECT_TRUE(off.traces[i] == on.traces[i]) << "trace " << i;
+  }
+  // And the observed run actually observed: the instruments were live,
+  // not silently disabled (which would make this test vacuous).
+  EXPECT_EQ(off.autopsies_retained, 0u);
+  EXPECT_EQ(off.timeseries_samples, 0u);
+  EXPECT_GT(on.autopsies_retained, 0u);
+  EXPECT_GT(on.timeseries_samples, 0u);
+  EXPECT_GT(on.health_sweeps, 0u);
+}
+
+TEST(FlightGoldenTrace, FaultedChurnedScenarioIsByteIdentical) {
+  const auto corpus = test::clustered_corpus(24, 3);
+  const ScenarioParams sp = golden_params(42, /*faults=*/true, /*churn=*/true);
+  const GoldenResult off = run_scenario(corpus, sp, /*observed=*/false);
+  const GoldenResult on = run_scenario(corpus, sp, /*observed=*/true);
+  expect_identical_simulations(off, on);
+}
+
+TEST(FlightGoldenTrace, FaultFreeScenarioIsByteIdentical) {
+  const auto corpus = test::clustered_corpus(24, 3);
+  const ScenarioParams sp = golden_params(7, /*faults=*/false, /*churn=*/false);
+  const GoldenResult off = run_scenario(corpus, sp, /*observed=*/false);
+  const GoldenResult on = run_scenario(corpus, sp, /*observed=*/true);
+  expect_identical_simulations(off, on);
+}
+
+TEST(FlightGoldenTrace, AsyncEngineIsByteIdenticalWithRecorderOn) {
+  const auto corpus = test::clustered_corpus(24, 3);
+  p2p::Network net(corpus, test::uniform_capacities(corpus),
+                   p2p::NetworkConfig{});
+  util::Rng boot_rng(1);
+  p2p::bootstrap_random_graph(net, 5.0, boot_rng);
+  TopologyAdaptation adapt(net, GesParams{}, 7);
+  adapt.run_rounds(8);
+
+  p2p::FaultPlan plan = p2p::FaultPlan::uniform(0.1, 99);
+  plan.delay_rate = 0.2;
+
+  const auto run_async = [&](bool observed) {
+    obs::global().reset();
+    obs::flight().reset();
+    obs::global().set_enabled(observed);
+    obs::flight().set_enabled(observed);
+    if (observed) {
+      obs::FlightRecorderConfig config;
+      config.sample_every = 1;
+      config.sample_capacity = 64;
+      obs::flight().set_config(config);
+    }
+    p2p::FaultInjector faults(plan);
+    p2p::EventQueue queue;
+    SearchOptions sopt;
+    sopt.ttl = 25;
+    AsyncSearchEngine engine(net, queue, sopt, LatencyModel{}, &faults);
+    std::vector<AsyncQueryResult> results;
+    for (size_t q = 0; q < 5; ++q) {
+      engine.submit(corpus.queries[q % corpus.queries.size()].vector,
+                    static_cast<NodeId>(q % net.size()), 1000 + q,
+                    [&](const AsyncQueryResult& r) { results.push_back(r); });
+    }
+    queue.run();
+    const size_t retained = obs::flight().retained_count();
+    obs::flight().set_enabled(false);
+    obs::flight().reset();
+    obs::global().set_enabled(false);
+    return std::make_pair(results, retained);
+  };
+
+  const auto [off, off_retained] = run_async(false);
+  const auto [on, on_retained] = run_async(true);
+  EXPECT_EQ(off_retained, 0u);
+  EXPECT_EQ(on_retained, 5u);
+  ASSERT_EQ(off.size(), on.size());
+  for (size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i].guid, on[i].guid);
+    EXPECT_TRUE(off[i].trace == on[i].trace) << "trace " << i;
+    EXPECT_DOUBLE_EQ(off[i].submitted_at, on[i].submitted_at);
+    EXPECT_DOUBLE_EQ(off[i].first_hit_at, on[i].first_hit_at);
+    EXPECT_DOUBLE_EQ(off[i].completed_at, on[i].completed_at);
+  }
+}
+
+#endif  // GES_OBS
+
+}  // namespace
+}  // namespace ges::core

@@ -1,0 +1,252 @@
+// Unit tests for the flight recorder's two halves: the per-query builder
+// (causal tree mechanics, per-query event cap) and the retention store
+// (worst-k by message cost, stride-sample ring, drop accounting). A 10k
+// query storm pins the bounded-memory contract: retention stays at
+// worst_k + sample_capacity no matter how many queries run, the worst
+// set is exactly the true top-k, and every drop is disclosed.
+
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace ges::obs {
+namespace {
+
+QueryAutopsy make_autopsy(uint64_t ordinal, uint64_t messages) {
+  FlightBuilder b;
+  b.begin(ordinal, 0, 1, /*async=*/false, 0.0, /*max_events=*/64);
+  FlightCost cost;
+  cost.probes = messages;
+  return b.finish("responses", cost, 1.0);
+}
+
+TEST(FlightBuilder, BeginRootsTheTreeAtTheIssuedEvent) {
+  FlightBuilder b;
+  b.begin(7, 0, 21, /*async=*/false, 2.5, 64);
+  ASSERT_TRUE(b.active());
+  const FlightEvent* root = b.event(0);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->kind, FlightEventKind::kIssued);
+  EXPECT_EQ(root->parent, -1);
+  EXPECT_EQ(root->from, 21u);
+  EXPECT_EQ(b.context(), 0);
+  // Until the initiator's probe lands, the issued event explains why the
+  // initiator holds the query; unknown nodes fall back to the root.
+  EXPECT_EQ(b.probe_event_of(21), 0);
+  EXPECT_EQ(b.probe_event_of(999), 0);
+}
+
+TEST(FlightBuilder, ParentsAlwaysPrecedeChildren) {
+  FlightBuilder b;
+  b.begin(0, 0, 1, false, 0.0, 64);
+  const int32_t probe = b.add(FlightEventKind::kProbe, 0, 0.0);
+  EXPECT_EQ(probe, 1);
+  const int32_t hop = b.add(FlightEventKind::kWalkHop, probe, 0.5);
+  EXPECT_EQ(hop, 2);
+  EXPECT_EQ(b.event(hop)->parent, probe);
+  // A dangling parent (>= id, or -1 on a non-root event) reattaches to
+  // the root instead of corrupting the tree.
+  const int32_t dangling = b.add(FlightEventKind::kProbe, 99, 1.0);
+  EXPECT_EQ(b.event(dangling)->parent, 0);
+  const int32_t orphan = b.add(FlightEventKind::kProbe, -1, 1.0);
+  EXPECT_EQ(b.event(orphan)->parent, 0);
+}
+
+TEST(FlightBuilder, ContextAnchorsSubsequentEvents) {
+  FlightBuilder b;
+  b.begin(0, 0, 1, false, 0.0, 64);
+  const int32_t hop = b.add(FlightEventKind::kWalkHop, 0, 0.0);
+  b.set_context(hop);
+  const int32_t drop = b.add(FlightEventKind::kFaultDrop, 0.0);
+  EXPECT_EQ(b.event(drop)->parent, hop);
+}
+
+TEST(FlightBuilder, PerQueryCapTruncatesAndCounts) {
+  FlightBuilder b;
+  b.begin(0, 0, 1, false, 0.0, /*max_events=*/3);
+  EXPECT_EQ(b.add(FlightEventKind::kProbe, 0, 0.0), 1);
+  EXPECT_EQ(b.add(FlightEventKind::kWalkHop, 1, 0.0), 2);
+  // Cap reached: adds are counted, not stored, and report id -1.
+  EXPECT_EQ(b.add(FlightEventKind::kWalkHop, 2, 0.0), -1);
+  EXPECT_EQ(b.add(FlightEventKind::kProbe, 0, 0.0), -1);
+  EXPECT_EQ(b.event(-1), nullptr);
+  const QueryAutopsy a = b.finish("ttl", FlightCost{}, 1.0);
+  EXPECT_EQ(a.events.size(), 3u);
+  EXPECT_EQ(a.events_recorded, 5u);
+  EXPECT_EQ(a.events_dropped, 2u);
+}
+
+TEST(FlightBuilder, WalkChoiceIsConsumedExactlyOnce) {
+  FlightBuilder b;
+  b.begin(0, 0, 1, false, 0.0, 64);
+  double rel = 0.0;
+  bool supernode = false;
+  EXPECT_FALSE(b.take_walk_choice(&rel, &supernode));
+  b.note_walk_choice(0.75, true);
+  ASSERT_TRUE(b.take_walk_choice(&rel, &supernode));
+  EXPECT_DOUBLE_EQ(rel, 0.75);
+  EXPECT_TRUE(supernode);
+  EXPECT_FALSE(b.take_walk_choice(&rel, &supernode));
+}
+
+TEST(FlightRecorder, WorstKKeepsTheMostExpensiveQueries) {
+  FlightRecorder rec;
+  rec.set_config({/*worst_k=*/2, /*sample_capacity=*/0, /*sample_every=*/0,
+                  /*max_events_per_query=*/64});
+  for (const uint64_t cost : {5u, 1u, 9u, 3u}) {
+    rec.submit(make_autopsy(rec.next_ordinal(), cost));
+  }
+  const auto kept = rec.retained();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].autopsy.ordinal, 0u);  // cost 5
+  EXPECT_EQ(kept[1].autopsy.ordinal, 2u);  // cost 9
+  EXPECT_EQ(kept[0].label, "worst");
+  EXPECT_EQ(rec.queries_seen(), 4u);
+  EXPECT_EQ(rec.queries_dropped(), 2u);
+}
+
+TEST(FlightRecorder, WorstKTiesKeepTheEarlierQuery) {
+  FlightRecorder rec;
+  rec.set_config({2, 0, 0, 64});
+  for (int i = 0; i < 4; ++i) rec.submit(make_autopsy(rec.next_ordinal(), 5));
+  const auto kept = rec.retained();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].autopsy.ordinal, 0u);
+  EXPECT_EQ(kept[1].autopsy.ordinal, 1u);
+}
+
+TEST(FlightRecorder, StrideSampleRingIsFifo) {
+  FlightRecorder rec;
+  rec.set_config({/*worst_k=*/0, /*sample_capacity=*/2, /*sample_every=*/2, 64});
+  for (int i = 0; i < 8; ++i) rec.submit(make_autopsy(rec.next_ordinal(), 0));
+  // Ordinals 0, 2, 4, 6 were sampled; the ring keeps the newest two.
+  const auto kept = rec.retained();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].autopsy.ordinal, 4u);
+  EXPECT_EQ(kept[1].autopsy.ordinal, 6u);
+  EXPECT_EQ(kept[0].label, "sampled");
+}
+
+TEST(FlightRecorder, QueryInBothSetsIsLabeledOnce) {
+  FlightRecorder rec;
+  rec.set_config({/*worst_k=*/1, /*sample_capacity=*/8, /*sample_every=*/1, 64});
+  rec.submit(make_autopsy(rec.next_ordinal(), 0));
+  rec.submit(make_autopsy(rec.next_ordinal(), 9));
+  rec.submit(make_autopsy(rec.next_ordinal(), 0));
+  const auto kept = rec.retained();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].label, "sampled");
+  EXPECT_EQ(kept[1].label, "worst+sampled");
+  EXPECT_EQ(kept[2].label, "sampled");
+  EXPECT_EQ(rec.queries_dropped(), 0u);
+}
+
+TEST(FlightRecorder, TenThousandQueryStormStaysBounded) {
+  FlightRecorder rec;
+  const FlightRecorderConfig config{/*worst_k=*/8, /*sample_capacity=*/16,
+                                    /*sample_every=*/100,
+                                    /*max_events_per_query=*/64};
+  rec.set_config(config);
+
+  // Deterministic pseudo-costs; track the true top-8 (cost desc, ordinal
+  // asc) alongside to compare against the recorder's worst set.
+  std::vector<std::pair<uint64_t, uint64_t>> by_cost;  // (cost, ordinal)
+  for (uint64_t i = 0; i < 10000; ++i) {
+    const uint64_t cost = (i * 2654435761u) % 1000;
+    const uint64_t ordinal = rec.next_ordinal();
+    EXPECT_EQ(ordinal, i);
+    rec.submit(make_autopsy(ordinal, cost));
+    by_cost.emplace_back(cost, ordinal);
+  }
+  EXPECT_EQ(rec.queries_seen(), 10000u);
+  const auto kept = rec.retained();
+  EXPECT_LE(kept.size(), config.worst_k + config.sample_capacity);
+  EXPECT_EQ(rec.queries_dropped(), 10000u - kept.size());
+
+  std::sort(by_cost.begin(), by_cost.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  std::set<uint64_t> expected_worst;
+  for (size_t i = 0; i < config.worst_k; ++i) {
+    expected_worst.insert(by_cost[i].second);
+  }
+  std::set<uint64_t> actual_worst;
+  std::set<uint64_t> actual_sampled;
+  for (const auto& r : kept) {
+    if (r.label == "worst" || r.label == "worst+sampled") {
+      actual_worst.insert(r.autopsy.ordinal);
+    }
+    if (r.label == "sampled" || r.label == "worst+sampled") {
+      actual_sampled.insert(r.autopsy.ordinal);
+    }
+  }
+  EXPECT_EQ(actual_worst, expected_worst);
+  // The sample ring holds the newest 16 stride ordinals: 8400..9900.
+  ASSERT_EQ(actual_sampled.size(), config.sample_capacity);
+  EXPECT_EQ(*actual_sampled.begin(), 8400u);
+  EXPECT_EQ(*actual_sampled.rbegin(), 9900u);
+
+  // The export header discloses the storm's retention losses.
+  std::ostringstream os;
+  write_autopsy_json(rec, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\": \"ges.autopsy.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"queries_seen\": 10000"), std::string::npos);
+  EXPECT_NE(json.find("\"queries_retained\": " + std::to_string(kept.size())),
+            std::string::npos);
+}
+
+TEST(FlightRecorder, ResetDropsStateButKeepsConfig) {
+  FlightRecorder rec;
+  rec.set_config({4, 4, 1, 64});
+  rec.submit(make_autopsy(rec.next_ordinal(), 3));
+  ASSERT_EQ(rec.retained_count(), 1u);
+  rec.reset();
+  EXPECT_EQ(rec.queries_seen(), 0u);
+  EXPECT_EQ(rec.retained_count(), 0u);
+  EXPECT_EQ(rec.next_ordinal(), 0u);
+  EXPECT_EQ(rec.config().worst_k, 4u);
+}
+
+TEST(FlightRecorder, ExportersRenderEveryEventKind) {
+  FlightRecorder rec;
+  rec.set_config({4, 0, 0, 64});
+  FlightBuilder b;
+  b.begin(rec.next_ordinal(), 17, 3, /*async=*/true, 1.0, 64);
+  const int32_t probe = b.add(FlightEventKind::kProbe, 0, 1.0);
+  b.event(probe)->from = 3;
+  b.event(probe)->count = 2;
+  const int32_t hop = b.add(FlightEventKind::kWalkHop, probe, 1.5);
+  b.event(hop)->from = 3;
+  b.event(hop)->to = 9;
+  b.event(hop)->value = 0.5;
+  const int32_t drop = b.add(FlightEventKind::kFaultDrop, hop, 1.5);
+  b.event(drop)->channel = 1;  // walk
+  FlightCost cost;
+  cost.probes = 1;
+  cost.walk_steps = 1;
+  rec.submit(b.finish("walk_lost", cost, 2.0));
+
+  std::ostringstream json;
+  write_autopsy_json(rec, json);
+  for (const char* needle :
+       {"\"engine\": \"async\"", "\"guid\": 17", "\"reason\": \"walk_lost\"",
+        "\"kind\": \"probe\"", "\"kind\": \"walk_hop\"", "\"rel\": 0.5",
+        "\"kind\": \"fault_drop\"", "\"channel\": \"walk\""}) {
+    EXPECT_NE(json.str().find(needle), std::string::npos) << needle;
+  }
+
+  std::ostringstream trace;
+  write_autopsy_chrome_trace(rec, trace);
+  EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.str().find("\"name\": \"query\""), std::string::npos);
+  EXPECT_NE(trace.str().find("\"name\": \"fault_drop\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ges::obs

@@ -1,0 +1,203 @@
+// Unit tests for the sim-time series sampler (ring retention, same-
+// instant overwrite, export disclosure) and the node health watchdog
+// (threshold crossings, summary aggregates, bounded anomaly list).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+
+namespace ges::obs {
+namespace {
+
+// --- TimeseriesSampler -------------------------------------------------
+
+TEST(Timeseries, SamplesCountersAndGauges) {
+  MetricsRegistry reg;
+  reg.counter("c").add(1);
+  reg.gauge("g").set(2.5);
+  TimeseriesSampler ts;
+  ts.configure(5.0, 8);
+  ts.sample(reg, 5.0);
+  reg.counter("c").add(2);
+  ts.sample(reg, 10.0);
+
+  EXPECT_EQ(ts.samples_taken(), 2u);
+  EXPECT_EQ(ts.samples_dropped(), 0u);
+  ASSERT_EQ(ts.samples().size(), 2u);
+  ASSERT_EQ(ts.samples()[0].counters.size(), 1u);
+  EXPECT_EQ(ts.samples()[0].counters[0].first, "c");
+  EXPECT_EQ(ts.samples()[0].counters[0].second, 1u);
+  EXPECT_EQ(ts.samples()[1].counters[0].second, 3u);
+  ASSERT_EQ(ts.samples()[0].gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(ts.samples()[0].gauges[0].second, 2.5);
+}
+
+TEST(Timeseries, RingEvictsOldestAndCountsTheDrop) {
+  MetricsRegistry reg;
+  TimeseriesSampler ts;
+  ts.configure(1.0, 2);
+  ts.sample(reg, 1.0);
+  ts.sample(reg, 2.0);
+  ts.sample(reg, 3.0);
+  EXPECT_EQ(ts.samples_taken(), 3u);
+  EXPECT_EQ(ts.samples_dropped(), 1u);
+  ASSERT_EQ(ts.samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.samples()[0].t, 2.0);
+  EXPECT_DOUBLE_EQ(ts.samples()[1].t, 3.0);
+}
+
+TEST(Timeseries, SameInstantResampleSupersedesInPlace) {
+  // An end-of-run manual sample landing on the periodic tick must not
+  // produce two samples at one t (exported times are strictly
+  // increasing); the later snapshot wins.
+  MetricsRegistry reg;
+  reg.counter("c").add(1);
+  TimeseriesSampler ts;
+  ts.configure(1.0, 8);
+  ts.sample(reg, 1.0);
+  reg.counter("c").add(4);
+  ts.sample(reg, 1.0);
+  ASSERT_EQ(ts.samples().size(), 1u);
+  EXPECT_EQ(ts.samples()[0].counters[0].second, 5u);
+  EXPECT_EQ(ts.samples_taken(), 2u);
+  EXPECT_EQ(ts.samples_dropped(), 1u);
+}
+
+TEST(Timeseries, ExportDisclosesRetention) {
+  MetricsRegistry reg;
+  reg.counter("ges.search.queries").add(3);
+  TimeseriesSampler ts;
+  ts.configure(5.0, 1);
+  ts.sample(reg, 5.0);
+  ts.sample(reg, 10.0);
+  std::ostringstream os;
+  ts.write_json(os);
+  const std::string json = os.str();
+  for (const char* needle :
+       {"\"schema\": \"ges.timeseries.v1\"", "\"interval\": 5",
+        "\"samples_taken\": 2", "\"samples_retained\": 1",
+        "\"samples_dropped\": 1", "\"ges.search.queries\": 3"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+}
+
+// --- HealthMonitor -----------------------------------------------------
+
+NodeHealth healthy_node(uint32_t id) {
+  NodeHealth h;
+  h.node = id;
+  h.alive = true;
+  h.degree = 6;
+  h.degree_target = 8;
+  h.heartbeat_staleness = 2.0;
+  h.cache_occupancy = 0.5;
+  return h;
+}
+
+TEST(HealthMonitor, SweepWithoutProviderIsANoop) {
+  HealthMonitor mon;
+  mon.sweep(1.0);
+  EXPECT_EQ(mon.sweeps(), 0u);
+}
+
+TEST(HealthMonitor, SweepAggregatesAndFlagsEachThreshold) {
+  HealthMonitor mon;
+  mon.set_provider([](std::vector<NodeHealth>& out) {
+    out.push_back(healthy_node(0));
+    NodeHealth dead = healthy_node(1);  // dead nodes are skipped entirely
+    dead.alive = false;
+    dead.heartbeat_staleness = 999.0;
+    out.push_back(dead);
+    NodeHealth stale = healthy_node(2);
+    stale.heartbeat_staleness = 99.0;
+    out.push_back(stale);
+    NodeHealth overfull = healthy_node(3);
+    overfull.degree = 20;
+    overfull.degree_target = 10;  // 20 > 10 * 1.5
+    out.push_back(overfull);
+    NodeHealth leaky = healthy_node(4);
+    leaky.cache_occupancy = 1.25;  // eviction should make this impossible
+    out.push_back(leaky);
+    NodeHealth stuck = healthy_node(5);
+    stuck.in_backoff = true;
+    stuck.backoff_strikes = 5;
+    out.push_back(stuck);
+  });
+  mon.sweep(40.0);
+
+  EXPECT_EQ(mon.sweeps(), 1u);
+  const HealthSummary& last = mon.last();
+  EXPECT_DOUBLE_EQ(last.t, 40.0);
+  EXPECT_EQ(last.nodes, 6u);
+  EXPECT_EQ(last.alive, 5u);
+  EXPECT_EQ(last.anomalies, 4u);
+  EXPECT_DOUBLE_EQ(last.max_staleness, 99.0);
+  EXPECT_DOUBLE_EQ(last.max_cache_occupancy, 1.25);
+  EXPECT_EQ(last.nodes_in_backoff, 1u);
+  EXPECT_EQ(last.degree_overflows, 1u);
+
+  ASSERT_EQ(mon.anomalies().size(), 4u);
+  EXPECT_EQ(mon.anomalies()[0].kind, HealthAnomaly::kStaleHeartbeat);
+  EXPECT_EQ(mon.anomalies()[0].node, 2u);
+  EXPECT_EQ(mon.anomalies()[1].kind, HealthAnomaly::kDegreeOverflow);
+  EXPECT_EQ(mon.anomalies()[2].kind, HealthAnomaly::kCacheOverflow);
+  EXPECT_EQ(mon.anomalies()[3].kind, HealthAnomaly::kBackoffStuck);
+  EXPECT_DOUBLE_EQ(mon.anomalies()[3].value, 5.0);
+}
+
+TEST(HealthMonitor, UnderfillDisabledByDefault) {
+  HealthMonitor mon;
+  mon.set_provider([](std::vector<NodeHealth>& out) {
+    NodeHealth thin = healthy_node(0);
+    thin.degree = 0;  // legitimately thin (freshly bootstrapped)
+    out.push_back(thin);
+  });
+  mon.sweep(1.0);
+  EXPECT_EQ(mon.anomalies_seen(), 0u);
+
+  HealthThresholds strict;
+  strict.degree_underfill = 0.5;
+  mon.set_thresholds(strict);
+  mon.sweep(2.0);
+  ASSERT_EQ(mon.anomalies_seen(), 1u);
+  EXPECT_EQ(mon.anomalies()[0].kind, HealthAnomaly::kDegreeUnderflow);
+}
+
+TEST(HealthMonitor, AnomalyListIsBoundedAndDropsAreCounted) {
+  HealthMonitor mon;
+  mon.set_max_anomalies(2);
+  mon.set_provider([](std::vector<NodeHealth>& out) {
+    for (uint32_t n = 0; n < 5; ++n) {
+      NodeHealth stale = healthy_node(n);
+      stale.heartbeat_staleness = 99.0;
+      out.push_back(stale);
+    }
+  });
+  mon.sweep(1.0);
+  EXPECT_EQ(mon.anomalies_seen(), 5u);
+  EXPECT_EQ(mon.anomalies().size(), 2u);
+  EXPECT_EQ(mon.anomalies_dropped(), 3u);
+}
+
+TEST(HealthMonitor, ResetClearsEverything) {
+  HealthMonitor mon;
+  mon.set_provider([](std::vector<NodeHealth>& out) {
+    NodeHealth stale = healthy_node(0);
+    stale.heartbeat_staleness = 99.0;
+    out.push_back(stale);
+  });
+  mon.sweep(1.0);
+  ASSERT_EQ(mon.anomalies_seen(), 1u);
+  mon.reset();
+  EXPECT_EQ(mon.sweeps(), 0u);
+  EXPECT_EQ(mon.anomalies_seen(), 0u);
+  EXPECT_TRUE(mon.anomalies().empty());
+  EXPECT_EQ(mon.last().nodes, 0u);
+}
+
+}  // namespace
+}  // namespace ges::obs

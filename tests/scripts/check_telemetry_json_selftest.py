@@ -44,6 +44,59 @@ def bench_doc(metric_names=None):
     return doc
 
 
+def autopsy_doc():
+    """A minimal well-formed ges.autopsy.v1 document: one retained query
+    whose cost summary matches its event graph exactly."""
+    cost = {"probes": 2, "walk_steps": 1, "flood_messages": 0,
+            "cache_hits": 1, "targets": 1, "retrieved_docs": 3,
+            "rel_evals": 4, "rel_memo_hits": 0}
+    events = [
+        {"id": 0, "parent": -1, "kind": "issued", "t": 1.0, "node": 7},
+        {"id": 1, "parent": 0, "kind": "cache_probe", "t": 1.0, "node": 7,
+         "outcome": "miss", "docs": 0},
+        {"id": 2, "parent": 0, "kind": "probe", "t": 1.0, "node": 7,
+         "docs": 3, "target": True},
+        {"id": 3, "parent": 2, "kind": "walk_hop", "t": 1.5, "from": 7,
+         "to": 9, "rel": 0.25, "supernode": False},
+        {"id": 4, "parent": 3, "kind": "cache_probe", "t": 2.0, "node": 9,
+         "outcome": "hit", "docs": 3},
+    ]
+    return {
+        "schema": "ges.autopsy.v1",
+        "queries_seen": 4,
+        "queries_retained": 1,
+        "queries_dropped": 3,
+        "events_dropped": 0,
+        "config": {"worst_k": 1, "sample_capacity": 0, "sample_every": 0,
+                   "max_events_per_query": 64},
+        "autopsies": [{
+            "query": {"ordinal": 2, "guid": 0, "initiator": 7,
+                      "engine": "sync", "issued_at": 1.0, "completed_at": 2.0,
+                      "reason": "cache_hit", "retained": "worst",
+                      "cost": cost, "events_recorded": 5,
+                      "events_dropped": 0},
+            "events": events,
+        }],
+    }
+
+
+def timeseries_doc():
+    return {
+        "schema": "ges.timeseries.v1",
+        "interval": 5.0,
+        "samples_taken": 3,
+        "samples_retained": 2,
+        "samples_dropped": 1,
+        "max_samples": 2,
+        "samples": [
+            {"t": 5.0, "counters": {"ges.search.queries": 1},
+             "gauges": {"p2p.health.alive_nodes": 24.0}},
+            {"t": 10.0, "counters": {"ges.search.queries": 3},
+             "gauges": {"p2p.health.alive_nodes": 22.0}},
+        ],
+    }
+
+
 class ValidatorTest(unittest.TestCase):
     def setUp(self):
         self._dir = tempfile.TemporaryDirectory()
@@ -125,6 +178,116 @@ class ValidatorTest(unittest.TestCase):
             f.write("{not json")
         result = self.run_validator(path)
         self.assertNotEqual(result.returncode, 0)
+
+    # --- ges.autopsy.v1 ------------------------------------------------
+
+    def test_valid_autopsy_passes(self):
+        path = self.write("a.json", autopsy_doc())
+        result = self.run_validator(path)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("1 autopsies", result.stdout)
+
+    def test_committed_fixture_passes(self):
+        fixture = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "fixtures",
+            "autopsy_sample.json")
+        result = self.run_validator(fixture)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_autopsy_retention_imbalance_fails(self):
+        doc = autopsy_doc()
+        doc["queries_dropped"] = 99
+        path = self.write("a.json", doc)
+        result = self.run_validator(path)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("queries_seen", result.stderr)
+
+    def test_autopsy_forward_parent_fails(self):
+        # Parent must strictly precede its child in the event order.
+        doc = autopsy_doc()
+        doc["autopsies"][0]["events"][3]["parent"] = 4
+        path = self.write("a.json", doc)
+        result = self.run_validator(path)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("does not precede", result.stderr)
+
+    def test_autopsy_time_travel_fails(self):
+        doc = autopsy_doc()
+        doc["autopsies"][0]["events"][4]["t"] = 0.5  # before parent's 1.5
+        path = self.write("a.json", doc)
+        result = self.run_validator(path)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("precedes its parent", result.stderr)
+
+    def test_autopsy_cost_event_mismatch_fails(self):
+        # With no capped events the cost summary must be reconstructible
+        # from the event graph — a drifting hook is a recorder bug.
+        doc = autopsy_doc()
+        doc["autopsies"][0]["query"]["cost"]["walk_steps"] = 5
+        path = self.write("a.json", doc)
+        result = self.run_validator(path)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("reconstructed from events", result.stderr)
+
+    def test_autopsy_capped_query_skips_cost_reconstruction(self):
+        # Once events were dropped by the per-query cap, the counts can
+        # no longer be reconstructed; accounting must still balance.
+        doc = autopsy_doc()
+        q = doc["autopsies"][0]["query"]
+        q["cost"]["walk_steps"] = 5
+        q["events_dropped"] = 4
+        q["events_recorded"] = 9
+        path = self.write("a.json", doc)
+        result = self.run_validator(path)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_autopsy_unknown_event_kind_fails(self):
+        doc = autopsy_doc()
+        doc["autopsies"][0]["events"][2]["kind"] = "teleport"
+        path = self.write("a.json", doc)
+        result = self.run_validator(path)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("unknown kind", result.stderr)
+
+    # --- ges.timeseries.v1 ---------------------------------------------
+
+    def test_valid_timeseries_passes(self):
+        path = self.write("t.json", timeseries_doc())
+        result = self.run_validator(path)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("2 samples", result.stdout)
+
+    def test_timeseries_nonincreasing_time_fails(self):
+        doc = timeseries_doc()
+        doc["samples"][1]["t"] = 5.0
+        path = self.write("t.json", doc)
+        result = self.run_validator(path)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("strictly increasing", result.stderr)
+
+    def test_timeseries_decreasing_counter_fails(self):
+        doc = timeseries_doc()
+        doc["samples"][1]["counters"]["ges.search.queries"] = 0
+        path = self.write("t.json", doc)
+        result = self.run_validator(path)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("decreased", result.stderr)
+
+    def test_timeseries_retention_imbalance_fails(self):
+        doc = timeseries_doc()
+        doc["samples_dropped"] = 0
+        path = self.write("t.json", doc)
+        result = self.run_validator(path)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("samples_taken", result.stderr)
+
+    def test_timeseries_ring_overflow_fails(self):
+        doc = timeseries_doc()
+        doc["max_samples"] = 1
+        path = self.write("t.json", doc)
+        result = self.run_validator(path)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("ring", result.stderr)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Smoke tests for scripts/render_autopsy.py against a committed fixture.
+
+The fixture (fixtures/autopsy_sample.json) is real flight-recorder output
+from examples/scenario_telemetry trimmed to three retained queries: a
+fault-terminated walk, a cache hit and a TTL-exhausted flood — so the
+renderer exercises every event family it knows how to describe. Asserts
+both output formats render every retained event, that --ordinal
+selection works, and that a dropped ordinal is a hard error.
+
+Registered as a ctest (`autopsy_renderer_smoke`); stdlib-only.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SCRIPT = os.path.join(HERE, "..", "..", "scripts", "render_autopsy.py")
+FIXTURE = os.path.join(HERE, "fixtures", "autopsy_sample.json")
+
+
+def run_renderer(*args):
+    return subprocess.run(
+        [sys.executable, SCRIPT, FIXTURE, *args],
+        capture_output=True, text=True, check=False)
+
+
+class RendererSmokeTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        with open(FIXTURE, encoding="utf-8") as f:
+            cls.doc = json.load(f)
+
+    def test_markdown_renders_every_event(self):
+        result = run_renderer("--format", "md")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        for a in self.doc["autopsies"]:
+            q = a["query"]
+            self.assertIn(f"## Query {q['ordinal']}", result.stdout)
+            # One table row per event: "| <id> |" at line start.
+            rows = [line for line in result.stdout.splitlines()
+                    if line.startswith("|")]
+            for ev in a["events"]:
+                self.assertTrue(
+                    any(row.startswith(f"| {ev['id']} |") for row in rows),
+                    f"event {ev['id']} of query {q['ordinal']} not rendered")
+        self.assertIn("dropped by retention policy", result.stdout)
+
+    def test_dot_is_structurally_sound(self):
+        result = run_renderer("--format", "dot")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        dot = result.stdout
+        self.assertTrue(dot.startswith("digraph"))
+        self.assertEqual(dot.count("{"), dot.count("}"))
+        for a in self.doc["autopsies"]:
+            ordinal = a["query"]["ordinal"]
+            self.assertIn(f"subgraph cluster_q{ordinal}", dot)
+            for ev in a["events"]:
+                self.assertIn(f"q{ordinal}_e{ev['id']} ", dot)
+                if ev["parent"] >= 0:
+                    self.assertIn(
+                        f"q{ordinal}_e{ev['parent']} -> q{ordinal}_e{ev['id']};",
+                        dot)
+
+    def test_ordinal_selects_one_query(self):
+        ordinal = self.doc["autopsies"][0]["query"]["ordinal"]
+        result = run_renderer("--ordinal", str(ordinal))
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertEqual(result.stdout.count("## Query "), 1)
+
+    def test_dropped_ordinal_is_an_error(self):
+        retained = {a["query"]["ordinal"] for a in self.doc["autopsies"]}
+        missing = max(retained) + 1000
+        result = run_renderer("--ordinal", str(missing))
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("not retained", result.stderr)
+
+    def test_fault_and_cache_details_render(self):
+        # The fixture deliberately contains fault and cache-probe events;
+        # the human-facing detail line must name them.
+        result = run_renderer("--format", "md")
+        self.assertIn("cache hit", result.stdout)
+        self.assertIn("drop on walk", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
