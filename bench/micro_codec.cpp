@@ -1,0 +1,172 @@
+// Wire format v1 codec microbench: ns/frame for encode and decode on the
+// two frames the engines charge most — a small walk-query frame (short
+// Gnutella queries, a few terms) and a large node-vector gossip frame —
+// plus the bytes-per-message table at node-vector sizes {50, 400, full}
+// that PROTOCOL.md's cost discussion quotes.
+//
+// BENCH_micro_codec.json carries `roundtrip_ok` on the `codec` entry:
+// 1.0 only when every timed frame decoded back to the exact message it
+// was encoded from (checksummed inside the timing loops, so the work is
+// also not optimized away). CI floor-checks it via
+// scripts/check_bench_json.py --require-extra codec:roundtrip_ok:1.0.
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ir/sparse_vector.hpp"
+#include "p2p/wire.hpp"
+#include "support/bench_json.hpp"
+#include "util/check.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+namespace wire = ges::p2p::wire;
+using ges::ir::SparseVector;
+using ges::ir::TermId;
+using ges::ir::TermWeight;
+
+SparseVector make_vector(size_t terms, uint64_t seed) {
+  std::vector<TermWeight> pairs;
+  pairs.reserve(terms);
+  uint64_t state = seed | 1;
+  TermId term = 0;
+  for (size_t i = 0; i < terms; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    term += 1 + static_cast<TermId>(state % 17);
+    pairs.push_back({term, 0.0625f * static_cast<float>(1 + state % 31)});
+  }
+  return SparseVector::from_pairs(std::move(pairs));
+}
+
+struct Timing {
+  double encode_ns = 0.0;
+  double decode_ns = 0.0;
+  bool roundtrip_ok = true;
+};
+
+/// Time `iters` encode and decode passes of one message; every decoded
+/// frame is compared against the source message.
+Timing time_codec(const wire::Message& message, size_t iters) {
+  using Clock = std::chrono::steady_clock;
+  Timing t;
+  std::vector<uint8_t> buffer;
+  buffer.reserve(wire::encoded_size(message));
+
+  size_t bytes_folded = 0;
+  const auto encode_start = Clock::now();
+  for (size_t i = 0; i < iters; ++i) {
+    buffer.clear();
+    wire::encode(message, buffer);
+    bytes_folded += buffer.size();
+  }
+  t.encode_ns = std::chrono::duration<double, std::nano>(Clock::now() -
+                                                         encode_start)
+                    .count() /
+                static_cast<double>(iters);
+  GES_CHECK(bytes_folded == iters * wire::encoded_size(message));
+
+  const auto decode_start = Clock::now();
+  for (size_t i = 0; i < iters; ++i) {
+    const wire::DecodeResult result = wire::decode(buffer);
+    t.roundtrip_ok = t.roundtrip_ok && result.ok() &&
+                     result.consumed == buffer.size() &&
+                     result.message == message;
+  }
+  t.decode_ns = std::chrono::duration<double, std::nano>(Clock::now() -
+                                                         decode_start)
+                    .count() /
+                static_cast<double>(iters);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ges;
+  bench::BenchJsonWriter json("micro_codec");
+
+  size_t iters = 200000;
+  switch (util::env_scale(util::Scale::kMedium)) {
+    case util::Scale::kTiny:
+      iters = 20000;
+      break;
+    case util::Scale::kSmall:
+      iters = 80000;
+      break;
+    case util::Scale::kMedium:
+      break;
+    case util::Scale::kFull:
+      iters = 1000000;
+      break;
+  }
+  const auto seed = static_cast<uint64_t>(util::env_int("GES_SEED", 42));
+
+  // A short query (paper §6.1: Gnutella queries average a few terms) and
+  // a large node vector. "Full" below = an untruncated supernode vector.
+  constexpr size_t kFullVectorTerms = 2000;
+  const wire::Message small_query = wire::WalkQuery{
+      0x1234567890ABCDEFull, 7, 60, 1, make_vector(4, seed)};
+  const wire::Message node_vector = wire::NodeVectorUpdate{
+      3, 17, make_vector(400, seed + 1)};
+
+  const Timing small = time_codec(small_query, iters);
+  const Timing large = time_codec(node_vector, iters / 10);
+  const bool roundtrip_ok = small.roundtrip_ok && large.roundtrip_ok;
+  GES_CHECK_MSG(roundtrip_ok, "codec round trip diverged");
+
+  // Bytes-per-message at the node-vector sizes the replication layer
+  // actually ships (truncation knobs) plus the fixed-size frames.
+  const size_t nv_sizes[] = {50, 400, kFullVectorTerms};
+  util::Table table({"message", "vector terms", "bytes"});
+  for (const size_t n : nv_sizes) {
+    table.add_row({"node_vector_update", util::cell(n),
+                   util::cell(wire::node_vector_update_frame_size(n))});
+  }
+  table.add_row({"walk_query", util::cell(size_t{4}),
+                 util::cell(wire::walk_query_frame_size(4))});
+  table.add_row({"flood_forward", util::cell(size_t{4}),
+                 util::cell(wire::flood_forward_frame_size(4))});
+  table.add_row({"discovery_probe", "-",
+                 util::cell(wire::discovery_probe_frame_size())});
+  table.add_row({"handshake (3 legs)", "-",
+                 util::cell(wire::handshake_legs_frame_size())});
+  table.add_row({"replica_heartbeat", "-",
+                 util::cell(wire::replica_heartbeat_frame_size())});
+  table.add_row({"cache_probe", "-",
+                 util::cell(wire::cache_probe_frame_size())});
+
+  std::cout << "Wire format v1 codec: " << iters << " frames per timing loop\n\n"
+            << "encode small query   " << small.encode_ns << " ns/frame ("
+            << wire::encoded_size(small_query) << " bytes)\n"
+            << "decode small query   " << small.decode_ns << " ns/frame\n"
+            << "encode node vector   " << large.encode_ns << " ns/frame ("
+            << wire::encoded_size(node_vector) << " bytes)\n"
+            << "decode node vector   " << large.decode_ns << " ns/frame\n\n"
+            << table.render();
+
+  json.add("codec", 1e9 / (small.encode_ns + small.decode_ns),
+           small.encode_ns + small.decode_ns,
+           {{"roundtrip_ok", roundtrip_ok ? 1.0 : 0.0},
+            {"bytes_small_query",
+             static_cast<double>(wire::encoded_size(small_query))},
+            {"bytes_node_vector_50",
+             static_cast<double>(wire::node_vector_update_frame_size(50))},
+            {"bytes_node_vector_400",
+             static_cast<double>(wire::node_vector_update_frame_size(400))},
+            {"bytes_node_vector_full",
+             static_cast<double>(
+                 wire::node_vector_update_frame_size(kFullVectorTerms))}});
+  json.add("encode_small_query", 1e9 / small.encode_ns, small.encode_ns, {});
+  json.add("decode_small_query", 1e9 / small.decode_ns, small.decode_ns, {});
+  json.add("encode_node_vector", 1e9 / large.encode_ns, large.encode_ns, {});
+  json.add("decode_node_vector", 1e9 / large.decode_ns, large.decode_ns, {});
+  json.write();
+  return 0;
+}

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Keep the prose documentation honest against the tree it describes.
+
+Stdlib-only; run from anywhere (paths resolve relative to the repo
+root, which is this script's parent directory). Three passes:
+
+1. **Repo paths.** Every backtick-quoted token in README.md, DESIGN.md
+   and docs/*.md that looks like a repo-relative path must exist.
+   `{hpp,cpp}`-style brace groups are expanded; extensionless module
+   paths (e.g. `src/ir/kmeans`) pass when any `kmeans.*` sibling
+   exists; tokens with globs, placeholders or build-output prefixes
+   are skipped.
+
+2. **Section references.** Every `§N[.M]` reference must resolve:
+   the paper has sections 1..8 (IPDPS 2005 layout), DESIGN.md's own
+   numbered `## N.` headings cover the repo-local ones. A reference
+   whose major number matches neither is a typo.
+
+3. **Wire-spec parity.** The MessageType enum in
+   src/p2p/wire_messages.hpp is the source of truth for the protocol
+   surface. Every enumerator must have (a) a message struct in
+   wire_messages.hpp, (b) a normative `### <StructName>` field table in
+   docs/PROTOCOL.md, and (c) a committed golden fixture
+   tests/p2p/fixtures/wire_v1/<snake_name>.bin. Extra `###` message
+   headings in the spec's wire section with no matching enumerator
+   also fail — the spec cannot describe messages that do not exist.
+
+Exits non-zero listing every problem; prints one OK line per pass.
+"""
+
+import glob
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_FILES = ["README.md", "DESIGN.md"] + sorted(
+    os.path.relpath(p, REPO) for p in glob.glob(os.path.join(REPO, "docs", "*.md"))
+)
+
+# Top-level directories a backtick token must start with to be treated
+# as a repo path claim (plus bare repo-root files like ROADMAP.md).
+PATH_ROOTS = ("src/", "tests/", "bench/", "examples/", "docs/", "scripts/",
+              ".github/")
+
+# The paper's top-level sections (IPDPS 2005: 1 Introduction .. 8
+# Conclusions); `§N` references to these are always legitimate.
+PAPER_SECTIONS = set(range(1, 9))
+
+errors = []
+
+
+def error(where, message):
+    errors.append(f"{where}: {message}")
+
+
+def read(relpath):
+    with open(os.path.join(REPO, relpath), encoding="utf-8") as f:
+        return f.read()
+
+
+def expand_braces(token):
+    """`a.{hpp,cpp}` -> [`a.hpp`, `a.cpp`] (single group is enough here)."""
+    m = re.search(r"\{([^{}]*)\}", token)
+    if not m:
+        return [token]
+    head, tail = token[: m.start()], token[m.end():]
+    return [head + alt + tail for alt in m.group(1).split(",")]
+
+
+def path_exists(rel):
+    full = os.path.join(REPO, rel)
+    if os.path.exists(full):
+        return True
+    # Extensionless module reference: `src/ir/kmeans` is satisfied by
+    # src/ir/kmeans.hpp / .cpp.
+    if "." not in os.path.basename(rel):
+        return bool(glob.glob(full + ".*"))
+    return False
+
+
+def check_paths():
+    checked = 0
+    for doc in DOC_FILES:
+        for token in re.findall(r"`([^`\n]+)`", read(doc)):
+            token = token.strip().rstrip("/")
+            if not (token.startswith(PATH_ROOTS) or
+                    re.fullmatch(r"[A-Z]+\.md", token)):
+                continue
+            # Globs, placeholders, command lines and prose-ish tokens
+            # are claims about shape, not about a specific file.
+            if any(c in token for c in "*<>() ") or "..." in token:
+                continue
+            for candidate in expand_braces(token):
+                checked += 1
+                if not path_exists(candidate):
+                    error(doc, f"path `{candidate}` (from `{token}`) "
+                               "does not exist")
+    print(f"OK paths: {checked} repo-path claims checked "
+          f"across {len(DOC_FILES)} docs")
+
+
+def check_section_refs():
+    design_sections = {
+        int(m.group(1))
+        for m in re.finditer(r"^## (\d+)\.", read("DESIGN.md"), re.M)
+    }
+    known = PAPER_SECTIONS | design_sections
+    checked = 0
+    for doc in DOC_FILES:
+        for m in re.finditer(r"§(\d+)(?:\.\d+)*", read(doc)):
+            checked += 1
+            major = int(m.group(1))
+            if major not in known:
+                error(doc, f"§{m.group(1)} resolves to neither a paper "
+                           f"section (1-8) nor a DESIGN.md heading "
+                           f"({sorted(design_sections)})")
+    print(f"OK sections: {checked} §-references checked")
+
+
+def snake_name(enumerator):
+    """kWalkQuery -> walk_query (mirrors wire::message_type_name)."""
+    body = enumerator[1:] if enumerator.startswith("k") else enumerator
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", body).lower()
+
+
+def check_wire_spec():
+    header = read("src/p2p/wire_messages.hpp")
+    enum_match = re.search(r"enum class MessageType[^{]*\{(.*?)\};", header,
+                           re.S)
+    if not enum_match:
+        error("src/p2p/wire_messages.hpp", "MessageType enum not found")
+        return
+    enumerators = re.findall(r"^\s*(k[A-Za-z0-9]+)\s*=\s*\d+",
+                             enum_match.group(1), re.M)
+    if not enumerators:
+        error("src/p2p/wire_messages.hpp", "MessageType enum has no "
+                                           "enumerators")
+        return
+
+    protocol = read("docs/PROTOCOL.md")
+    spec_headings = set(re.findall(r"^### ([A-Za-z0-9]+)$", protocol, re.M))
+    struct_names = set()
+
+    for enumerator in enumerators:
+        struct = enumerator[1:]  # kWalkQuery -> WalkQuery
+        struct_names.add(struct)
+        if not re.search(rf"^struct {struct}\b", header, re.M):
+            error("src/p2p/wire_messages.hpp",
+                  f"{enumerator} has no `struct {struct}`")
+        if struct not in spec_headings:
+            error("docs/PROTOCOL.md",
+                  f"no `### {struct}` field table for {enumerator}")
+        else:
+            # The heading must be followed by a markdown table (the
+            # normative field list), not just prose.
+            section = protocol.split(f"### {struct}\n", 1)[1]
+            section = section.split("\n### ", 1)[0].split("\n## ", 1)[0]
+            if not re.search(r"^\| *field *\|", section, re.M):
+                error("docs/PROTOCOL.md",
+                      f"`### {struct}` has no `| field |` table")
+        fixture = f"tests/p2p/fixtures/wire_v1/{snake_name(enumerator)}.bin"
+        if not os.path.exists(os.path.join(REPO, fixture)):
+            error("docs/PROTOCOL.md",
+                  f"{enumerator} has no golden fixture {fixture}")
+
+    # A spec heading that names a non-existent message is as wrong as a
+    # missing one. Only headings that look like message structs count;
+    # prose headings in the tour half use `##`/distinct wording.
+    for heading in spec_headings - struct_names:
+        if re.fullmatch(r"(?:[A-Z][a-z0-9]+){2,}", heading):
+            error("docs/PROTOCOL.md",
+                  f"`### {heading}` does not match any MessageType "
+                  "enumerator")
+    if not errors:
+        print(f"OK wire spec: {len(enumerators)} message types have "
+              "struct, field table and fixture")
+
+
+def main():
+    check_paths()
+    check_section_refs()
+    check_wire_spec()
+    if errors:
+        print(f"\n{len(errors)} problem(s):", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

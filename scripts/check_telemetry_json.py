@@ -166,6 +166,11 @@ def check_autopsy_events(path, where, query, events):
             fail(path, f"{ew} t is not a number")
         if i > 0 and ev["t"] < events[parent]["t"]:
             fail(path, f"{ew} t {ev['t']} precedes its parent's t")
+        # Message-bearing events carry their exact wire-frame size
+        # (Wire format v1, docs/PROTOCOL.md); zero is legal only when the
+        # producer ran with byte accounting disabled.
+        if kind in {"walk_hop", "flood_send"} and not is_count(ev.get("bytes")):
+            fail(path, f"{ew} ({kind}) bytes is not a non-negative int")
     # With no events capped, the cost summary and the event graph are two
     # views of the same query and must agree exactly (an event hook that
     # drifts from the engine's counters is a recorder bug, not noise).
@@ -179,6 +184,11 @@ def check_autopsy_events(path, where, query, events):
             ("walk_steps", kinds.count("walk_hop")),
             ("flood_messages", kinds.count("flood_send")),
             ("cache_hits", cache_hits),
+            # Per-event frame sizes and the engine's running byte total are
+            # two views of the same traffic; with nothing capped they must
+            # reconcile exactly (the acceptance check for byte accounting).
+            ("bytes_sent", sum(ev.get("bytes", 0) for ev in events
+                               if ev["kind"] in {"walk_hop", "flood_send"})),
         ]
         for name, expected in checks:
             if cost.get(name) != expected:
@@ -234,7 +244,8 @@ def check_autopsy(path, doc):
         if not isinstance(cost, dict) or not all(
             is_count(cost.get(k))
             for k in ("probes", "walk_steps", "flood_messages", "cache_hits",
-                      "targets", "retrieved_docs", "rel_evals", "rel_memo_hits")
+                      "targets", "retrieved_docs", "rel_evals", "rel_memo_hits",
+                      "bytes_sent")
         ):
             fail(path, f"{where} cost summary incomplete")
         if not (is_count(query.get("events_recorded")) and

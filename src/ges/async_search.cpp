@@ -5,6 +5,7 @@
 #include "ges/walk_policy.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
+#include "p2p/wire.hpp"
 #include "util/check.hpp"
 
 namespace ges::core {
@@ -38,6 +39,12 @@ struct AsyncSearchEngine::Run {
   bool finished = false;
   p2p::QuerySignature cache_sig;  // computed at submit when caching
   bool cache_hit = false;         // hit ends the query's expansion
+
+  /// Wire-format-v1 frame sizes of this query's counted messages,
+  /// computed once at submit (the query rides along unchanged). 0 when
+  /// byte accounting is off.
+  size_t walk_frame_bytes = 0;
+  size_t flood_frame_bytes = 0;
 
   /// Flight recorder of this query; null when recording is off (never
   /// created under GES_OBS=0). Installed as the thread-local sink for
@@ -219,6 +226,12 @@ void AsyncSearchEngine::maybe_finish(const std::shared_ptr<Run>& run) {
       GES_COUNT("ges.search.rel_memo_hits", run->result.trace.rel_memo_hits);
       workspace_pool_.push_back(std::move(run->ws));
     }
+    if (options_.account_bytes) {
+      GES_COUNT("ges.net.bytes.walk",
+                run->result.trace.walk_steps * run->walk_frame_bytes);
+      GES_COUNT("ges.net.bytes.flood",
+                run->result.trace.flood_messages * run->flood_frame_bytes);
+    }
     GES_COUNT("ges.async.completed", 1);
 #if GES_OBS
     if (run->flight) {
@@ -325,6 +338,7 @@ void AsyncSearchEngine::start_flood(const std::shared_ptr<Run>& run,
   ++run->result.trace.target_count;
   for (const NodeId next : network_->neighbors(target, LinkType::kSemantic)) {
     ++run->result.trace.flood_messages;
+    run->result.trace.bytes_sent += run->flood_frame_bytes;
     int32_t send_event = -1;
 #if GES_OBS
     // One flood edge = one kFloodSend under the sender's probe event;
@@ -337,6 +351,7 @@ void AsyncSearchEngine::start_flood(const std::shared_ptr<Run>& run,
       if (obs::FlightEvent* ev = run->flight->event(send_event)) {
         ev->from = target;
         ev->to = next;
+        ev->bytes = static_cast<uint32_t>(run->flood_frame_bytes);
       }
       run->flight->set_context(send_event);
     }
@@ -360,6 +375,7 @@ void AsyncSearchEngine::deliver_flood(const std::shared_ptr<Run>& run, NodeId at
   for (const NodeId next : network_->neighbors(at, LinkType::kSemantic)) {
     if (next == from) continue;
     ++run->result.trace.flood_messages;
+    run->result.trace.bytes_sent += run->flood_frame_bytes;
     int32_t send_event = -1;
 #if GES_OBS
     if (run->flight) {
@@ -369,6 +385,7 @@ void AsyncSearchEngine::deliver_flood(const std::shared_ptr<Run>& run, NodeId at
       if (obs::FlightEvent* ev = run->flight->event(send_event)) {
         ev->from = at;
         ev->to = next;
+        ev->bytes = static_cast<uint32_t>(run->flood_frame_bytes);
       }
       run->flight->set_context(send_event);
     }
@@ -397,6 +414,7 @@ void AsyncSearchEngine::continue_walk(const std::shared_ptr<Run>& run,
   if (next == p2p::kInvalidNode) return;
   --run->ttl_left;
   ++run->result.trace.walk_steps;
+  run->result.trace.bytes_sent += run->walk_frame_bytes;
   int32_t hop_event = -1;
 #if GES_OBS
   if (run->flight) {
@@ -413,6 +431,7 @@ void AsyncSearchEngine::continue_walk(const std::shared_ptr<Run>& run,
       ev->to = next;
       ev->value = rel;
       ev->flag = via_supernode ? 1 : 0;
+      ev->bytes = static_cast<uint32_t>(run->walk_frame_bytes);
     }
     run->flight->set_context(hop_event);
   }
@@ -461,6 +480,11 @@ Guid AsyncSearchEngine::submit(const ir::SparseVector& query, NodeId initiator,
     run->ws->begin_query(*network_, run->query);
   }
   if (cache_ != nullptr) run->cache_sig = p2p::query_signature(run->query);
+  if (options_.account_bytes) {
+    run->walk_frame_bytes = p2p::wire::walk_query_frame_size(run->query.size());
+    run->flood_frame_bytes =
+        p2p::wire::flood_forward_frame_size(run->query.size());
+  }
   runs_.emplace(run->guid, run);
 
 #if GES_OBS

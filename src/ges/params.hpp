@@ -66,6 +66,13 @@ struct GesParams {
   /// so this only changes wall-clock time, never the topology.
   bool parallel_rounds = true;
 
+  /// Engine option: charge every maintenance message its exact
+  /// Wire-format-v1 frame size (p2p/wire.hpp) into the byte fields of
+  /// AdaptationRoundStats and the ges.net.bytes.* counters. Strictly
+  /// additive — message-unit stats and the resulting topology are
+  /// bit-identical either way; off leaves the byte fields at 0.
+  bool account_bytes = true;
+
   // --- Search ----------------------------------------------------------
 
   /// Documents with REL(D,Q) >= doc_rel_threshold count as retrieved;

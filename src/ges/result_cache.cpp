@@ -6,6 +6,7 @@
 
 #include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
+#include "p2p/wire.hpp"
 #include "util/check.hpp"
 
 namespace ges::core {
@@ -145,6 +146,12 @@ p2p::SimTime ResultCacheBank::now() const { return clock_ ? clock_() : 0.0; }
 const std::vector<CachedResultDoc>* ResultCacheBank::probe(NodeId node,
                                                            QuerySignature sig) {
   GES_CHECK(node < caches_.size());
+  // Every probe costs one CacheProbe frame, hit or not; a hit additionally
+  // costs the CacheResult response frame carrying the cached documents.
+  if (config_.account_bytes) {
+    stats_.probe_bytes += p2p::wire::cache_probe_frame_size();
+    GES_COUNT("ges.net.bytes.cache_probe", p2p::wire::cache_probe_frame_size());
+  }
   ResultCache& cache = caches_[node];
   ResultCache::Entry* entry = cache.find(sig);
   if (entry == nullptr) {
@@ -167,6 +174,11 @@ const std::vector<CachedResultDoc>* ResultCacheBank::probe(NodeId node,
   ++entry->popularity;
   entry->last_used = ++tick_;
   ++stats_.hits;
+  if (config_.account_bytes) {
+    const size_t frame = p2p::wire::cache_result_frame_size(entry->docs.size());
+    stats_.result_bytes += frame;
+    GES_COUNT("ges.net.bytes.cache_result", frame);
+  }
   GES_COUNT("ges.cache.hits", 1);
   GES_FLIGHT_CACHE_PROBE(node, 1, static_cast<int32_t>(entry->docs.size()));
   return &entry->docs;
@@ -204,8 +216,14 @@ void ResultCacheBank::store(NodeId node, QuerySignature sig,
   meta.content_stamp = network_->content_stamp();
   meta.stored_at = now();
   meta.expires_at = config_.ttl > 0.0 ? meta.stored_at + config_.ttl : 0.0;
+  const size_t kept_count = kept.size();
   const size_t evicted = caches_[node].store(sig, std::move(kept), meta, ++tick_);
   ++stats_.stores;
+  if (config_.account_bytes) {
+    const size_t frame = p2p::wire::cache_store_frame_size(kept_count);
+    stats_.store_bytes += frame;
+    GES_COUNT("ges.net.bytes.cache_store", frame);
+  }
   GES_COUNT("ges.cache.stores", 1);
   if (evicted > 0) {
     stats_.evictions += evicted;

@@ -34,6 +34,14 @@ struct ResultCacheConfig {
   /// walk, so pass-through peers can absorb it — classic Gnutella
   /// response caching); 0 = initiator only.
   size_t store_fanout = 8;
+
+  /// Charge every cache-protocol message its exact Wire-format-v1 frame
+  /// size (p2p/wire.hpp) into the byte fields of ResultCacheStats and the
+  /// ges.net.bytes.cache_* counters: one CacheProbe frame per probe, one
+  /// CacheResult frame per hit, one CacheStore frame per store. Strictly
+  /// additive — hit/miss/store behaviour is identical either way; off
+  /// leaves the byte fields at 0.
+  bool account_bytes = true;
 };
 
 /// One per-peer cache: query signature -> cached result set, bounded by
@@ -85,6 +93,12 @@ struct ResultCacheStats {
   uint64_t stores = 0;
   uint64_t evictions = 0;
   uint64_t invalidations = 0;  // lazy-probe drops + eager churn drops
+
+  /// Wire bytes of the cache protocol's frames (see
+  /// ResultCacheConfig::account_bytes): probes, hit responses, stores.
+  uint64_t probe_bytes = 0;
+  uint64_t result_bytes = 0;
+  uint64_t store_bytes = 0;
 };
 
 /// The network's bank of per-peer query-result caches. One instance per

@@ -9,6 +9,7 @@
 #include "ges/walk_policy.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/telemetry.hpp"
+#include "p2p/wire.hpp"
 #include "util/check.hpp"
 
 namespace ges::core {
@@ -49,6 +50,13 @@ struct QueryRun {
   size_t budget;
   size_t responses = 0;
 
+  /// Wire-format-v1 frame sizes of this query's messages, computed once:
+  /// the query vector rides along unchanged, so every walk hop costs one
+  /// WalkQuery frame and every flood edge one FloodForward frame. 0 when
+  /// byte accounting is off.
+  size_t walk_frame_bytes = 0;
+  size_t flood_frame_bytes = 0;
+
   /// Flight recorder of this query; null when recording is off (always
   /// null under GES_OBS=0). Observation only.
   obs::FlightBuilder* fb = nullptr;
@@ -59,6 +67,10 @@ struct QueryRun {
            ResultCacheBank* c)
       : net(n), opt(o), query(q), rng(r), faults(f), ws(w), cache(c) {
     if (cache != nullptr) cache_sig = p2p::query_signature(q);
+    if (o.account_bytes) {
+      walk_frame_bytes = p2p::wire::walk_query_frame_size(q.size());
+      flood_frame_bytes = p2p::wire::flood_forward_frame_size(q.size());
+    }
     budget = o.probe_budget == 0 ? n.alive_count() : o.probe_budget;
     // Reserve the trace up front: probes are bounded by the budget (and
     // by the alive population), so the probe order never reallocates.
@@ -159,12 +171,14 @@ struct QueryRun {
           if (obs::FlightEvent* ev = fb->event(send)) {
             ev->from = item.node;
             ev->to = next;
+            ev->bytes = static_cast<uint32_t>(flood_frame_bytes);
           }
           fb->set_context(send);
         }
 #endif
         const bool lost = message_lost(p2p::FaultChannel::kFlood, item.node, next);
         ++trace.flood_messages;
+        trace.bytes_sent += flood_frame_bytes;  // sent even when lost
         if (lost) continue;  // branch pruned: the message never arrived
         if (seen(next)) continue;  // duplicate GUID: discarded
         if (done()) break;
@@ -302,12 +316,14 @@ SearchTrace GesSearch::search(const ir::SparseVector& query, NodeId initiator,
           ev->to = next;
           ev->value = rel;
           ev->flag = via_supernode ? 1 : 0;
+          ev->bytes = static_cast<uint32_t>(run.walk_frame_bytes);
         }
         run.fb->set_context(hop);
       }
 #endif
       const bool lost = run.message_lost(p2p::FaultChannel::kWalk, current, next);
       ++run.trace.walk_steps;
+      run.trace.bytes_sent += run.walk_frame_bytes;
       --ttl_left;
       if (lost) {
         run.reason = "walk_lost";
@@ -352,6 +368,12 @@ SearchTrace GesSearch::search(const ir::SparseVector& query, NodeId initiator,
   GES_COUNT("ges.search.retrieved_docs", run.trace.retrieved.size());
   GES_COUNT("ges.search.rel_evals", run.trace.rel_evals);
   GES_COUNT("ges.search.rel_memo_hits", run.trace.rel_memo_hits);
+  if (options_.account_bytes) {
+    GES_COUNT("ges.net.bytes.walk",
+              run.trace.walk_steps * run.walk_frame_bytes);
+    GES_COUNT("ges.net.bytes.flood",
+              run.trace.flood_messages * run.flood_frame_bytes);
+  }
   GES_HIST("ges.search.probes_per_query", 0.0, 256.0, 32, run.trace.probes());
   return run.trace;
 }

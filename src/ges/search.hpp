@@ -68,6 +68,14 @@ struct SearchOptions {
   /// test suites run with. Costs one full re-evaluation per hit; leave
   /// off outside tests.
   bool strict_result_cache = false;
+
+  /// Charge each counted message its exact Wire-format-v1 frame size
+  /// (p2p/wire.hpp): walk steps as WalkQuery frames, flood edges as
+  /// FloodForward frames, into SearchTrace::bytes_sent, the per-event
+  /// flight costs, and the ges.net.bytes.* counters. Strictly additive —
+  /// message-unit counts and golden traces are identical either way (the
+  /// equivalence suite proves it); off leaves bytes_sent at 0.
+  bool account_bytes = true;
 };
 
 class ResultCacheBank;
@@ -87,6 +95,7 @@ inline obs::FlightCost flight_cost_of(const p2p::SearchTrace& trace) {
   cost.retrieved_docs = trace.retrieved.size();
   cost.rel_evals = trace.rel_evals;
   cost.rel_memo_hits = trace.rel_memo_hits;
+  cost.bytes_sent = trace.bytes_sent;
   return cost;
 }
 

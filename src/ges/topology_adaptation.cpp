@@ -5,6 +5,7 @@
 
 #include "obs/telemetry.hpp"
 #include "p2p/random_walk.hpp"
+#include "p2p/wire.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -68,6 +69,11 @@ AdaptationRoundStats TopologyAdaptation::run_round() {
   GES_COUNT("ges.adapt.random_links_added", stats.random_links_added);
   GES_COUNT("ges.adapt.random_links_dropped", stats.random_links_dropped);
   GES_COUNT("ges.adapt.links_reclassified", stats.links_reclassified);
+  if (params_.account_bytes) {
+    GES_COUNT("ges.net.bytes.adapt_walk", stats.walk_bytes);
+    GES_COUNT("ges.net.bytes.handshake", stats.handshake_bytes);
+    GES_COUNT("ges.net.bytes.gossip", stats.gossip_bytes);
+  }
   return stats;
 }
 
@@ -87,6 +93,9 @@ AdaptationRoundStats& AdaptationRoundStats::operator+=(
   handshake_deaths += other.handshake_deaths;
   handshake_retries += other.handshake_retries;
   backoff_skips += other.backoff_skips;
+  walk_bytes += other.walk_bytes;
+  handshake_bytes += other.handshake_bytes;
+  gossip_bytes += other.gossip_bytes;
   return *this;
 }
 
@@ -139,6 +148,9 @@ bool TopologyAdaptation::handshake_delivered(NodeId node, NodeId peer, uint64_t 
                                              AdaptationRoundStats& stats) {
   if (faults_ == nullptr || !faults_->enabled()) {
     stats.handshake_messages += 3;
+    if (params_.account_bytes) {
+      stats.handshake_bytes += p2p::wire::handshake_legs_frame_size();
+    }
     return true;
   }
   // handshake_delivered only runs in the serial commit phase, so the
@@ -154,6 +166,9 @@ bool TopologyAdaptation::handshake_delivered(NodeId node, NodeId peer, uint64_t 
     using p2p::FaultChannel;
     // Leg 1 — request (node -> peer).
     ++stats.handshake_messages;
+    if (params_.account_bytes) {
+      stats.handshake_bytes += p2p::wire::handshake_request_frame_size();
+    }
     if (faults_->blocked(node, peer) ||
         faults_->drop_message(FaultChannel::kHandshake, key, nonce)) {
       ++stats.handshake_aborts;
@@ -172,6 +187,11 @@ bool TopologyAdaptation::handshake_delivered(NodeId node, NodeId peer, uint64_t 
     // Leg 2 — response (peer -> node), leg 3 — confirm (node -> peer).
     for (uint64_t leg = 1; leg <= 2; ++leg) {
       ++stats.handshake_messages;
+      if (params_.account_bytes) {
+        stats.handshake_bytes += leg == 1
+                                     ? p2p::wire::handshake_response_frame_size()
+                                     : p2p::wire::handshake_confirm_frame_size();
+      }
       if (faults_->drop_message(FaultChannel::kHandshake, key, nonce + leg)) {
         ++stats.handshake_aborts;
         arm_backoff(node);
@@ -236,6 +256,14 @@ void TopologyAdaptation::plan_gossip(NodeId node, util::Rng& rng,
   if (semantic.empty()) return;
   const NodeId peer = semantic[rng.index(semantic.size())];
   ++plan.gossip_messages;
+  if (params_.account_bytes) {
+    // The exchange ships the peer's whole semantic host cache (entries
+    // carry no vectors — paper §4.3); the receiver re-scores and filters
+    // locally. Sized at send time, charged even when the frame is lost.
+    const size_t entries = network_->semantic_cache(peer).entries().size();
+    plan.gossip_bytes += p2p::wire::host_cache_exchange_frame_size(
+        entries, entries * p2p::wire::host_cache_record_size(0));
+  }
   if (faults_ != nullptr &&
       (faults_->blocked(node, peer) ||
        faults_->drop_message(p2p::FaultChannel::kGossip,
@@ -274,10 +302,13 @@ void TopologyAdaptation::plan_discovery(NodeId node, util::Rng& rng,
     // execution order (stateless injector), so serial and parallel
     // rounds see identical fault patterns.
     const uint64_t walk_nonce = (round_ * 2 + (want_relevant ? 0 : 1)) << 12;
-    const auto walk =
-        p2p::random_walk(*network_, node, params_.walk_ttl,
-                         params_.walk_max_responses * 4, rng, faults_, walk_nonce);
+    const size_t frame_bytes =
+        params_.account_bytes ? p2p::wire::discovery_probe_frame_size() : 0;
+    const auto walk = p2p::random_walk(*network_, node, params_.walk_ttl,
+                                       params_.walk_max_responses * 4, rng,
+                                       faults_, walk_nonce, frame_bytes);
     plan.walk_messages += walk.hops;
+    plan.walk_bytes += walk.bytes_sent;
     size_t responses = 0;
     for (const NodeId seen : walk.visited) {
       if (responses >= params_.walk_max_responses) break;
@@ -314,6 +345,8 @@ void TopologyAdaptation::commit_node(NodeId node, const NodePlan& plan, util::Rn
   stats.walk_messages += plan.walk_messages;
   stats.gossip_messages += plan.gossip_messages;
   stats.cache_assists += plan.cache_assists;
+  stats.walk_bytes += plan.walk_bytes;
+  stats.gossip_bytes += plan.gossip_bytes;
   if (plan.discovery_skipped) ++stats.discovery_skipped;
   for (const auto& entry : plan.semantic_inserts) {
     network_->semantic_cache(node).insert(entry);

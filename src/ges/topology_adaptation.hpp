@@ -31,6 +31,15 @@ struct AdaptationRoundStats {
   size_t handshake_retries = 0;   // attempts made after a prior fault abort
   size_t backoff_skips = 0;       // node steps skipped while backing off
 
+  /// Exact Wire-format-v1 bytes behind the message-unit tallies above
+  /// (p2p/wire.hpp): discovery-walk hops as DiscoveryProbe frames,
+  /// handshake legs as their three frame types, gossip exchanges as
+  /// HostCacheExchange frames sized by the entries actually shipped.
+  /// Strictly additive — all 0 when GesParams::account_bytes is off.
+  uint64_t walk_bytes = 0;
+  uint64_t handshake_bytes = 0;
+  uint64_t gossip_bytes = 0;
+
   /// Field-wise accumulation (round stats into run totals).
   AdaptationRoundStats& operator+=(const AdaptationRoundStats& other);
 };
@@ -141,6 +150,8 @@ class TopologyAdaptation {
     size_t walk_messages = 0;
     size_t gossip_messages = 0;
     size_t cache_assists = 0;
+    uint64_t walk_bytes = 0;
+    uint64_t gossip_bytes = 0;
     std::vector<p2p::HostCacheEntry> semantic_inserts;
     std::vector<p2p::HostCacheEntry> random_inserts;
   };

@@ -273,10 +273,12 @@ void write_event_json(const FlightEvent& ev, std::ostream& os) {
     case FlightEventKind::kWalkHop:
       os << ", \"from\": " << ev.from << ", \"to\": " << ev.to
          << ", \"rel\": " << json_number(ev.value)
-         << ", \"supernode\": " << (ev.flag != 0 ? "true" : "false");
+         << ", \"supernode\": " << (ev.flag != 0 ? "true" : "false")
+         << ", \"bytes\": " << ev.bytes;
       break;
     case FlightEventKind::kFloodSend:
-      os << ", \"from\": " << ev.from << ", \"to\": " << ev.to;
+      os << ", \"from\": " << ev.from << ", \"to\": " << ev.to
+         << ", \"bytes\": " << ev.bytes;
       break;
     case FlightEventKind::kCacheProbe:
       os << ", \"node\": " << ev.from << ", \"outcome\": \""
@@ -311,7 +313,8 @@ void write_autopsy_entry(const FlightRecorder::Retained& r, std::ostream& os) {
      << ", \"cache_hits\": " << a.cost.cache_hits << ", \"targets\": "
      << a.cost.targets << ", \"retrieved_docs\": " << a.cost.retrieved_docs
      << ", \"rel_evals\": " << a.cost.rel_evals << ", \"rel_memo_hits\": "
-     << a.cost.rel_memo_hits << "},\n"
+     << a.cost.rel_memo_hits << ", \"bytes_sent\": " << a.cost.bytes_sent
+     << "},\n"
      << "      \"events_recorded\": " << a.events_recorded
      << ", \"events_dropped\": " << a.events_dropped << "},\n"
      << "     \"events\": [\n";

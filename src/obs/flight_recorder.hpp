@@ -55,6 +55,11 @@ struct FlightEvent {
   uint32_t from = 0;
   uint32_t to = 0;
   int32_t count = 0;
+  /// Exact Wire-format-v1 frame bytes of the message this event records
+  /// (walk hops and flood sends; 0 for non-message events or when byte
+  /// accounting is off). Summed over a query's events this reconciles
+  /// with FlightCost::bytes_sent when no events were dropped.
+  uint32_t bytes = 0;
   double t = 0.0;  // sim seconds (recording time)
   double value = 0.0;
 };
@@ -70,6 +75,9 @@ struct FlightCost {
   uint64_t retrieved_docs = 0;
   uint64_t rel_evals = 0;
   uint64_t rel_memo_hits = 0;
+  /// Mirror of SearchTrace::bytes_sent: exact wire bytes of the query's
+  /// counted messages (0 when byte accounting is off).
+  uint64_t bytes_sent = 0;
 
   /// Retention cost: what the worst-k policy ranks queries by.
   uint64_t total_messages() const {

@@ -10,7 +10,8 @@ namespace ges::p2p {
 
 WalkResult random_walk(const Network& network, NodeId start, size_t ttl,
                        size_t max_responses, util::Rng& rng,
-                       const FaultInjector* faults, uint64_t fault_nonce) {
+                       const FaultInjector* faults, uint64_t fault_nonce,
+                       size_t frame_bytes) {
   GES_CHECK(network.alive(start));
   WalkResult result;
   std::unordered_set<NodeId> seen{start};
@@ -36,6 +37,7 @@ WalkResult random_walk(const Network& network, NodeId start, size_t ttl,
         ev->from = current;
         ev->to = next;
         ev->value = -1.0;
+        ev->bytes = static_cast<uint32_t>(frame_bytes);
       }
       fb->set_context(hop_event);
     }
@@ -57,6 +59,7 @@ WalkResult random_walk(const Network& network, NodeId start, size_t ttl,
       if (result.visited.size() >= max_responses) break;
     }
   }
+  result.bytes_sent = static_cast<uint64_t>(result.hops) * frame_bytes;
   // Observation only (counters never touch `rng`); sharded cells make
   // this safe from the parallel adaptation plan phase.
   GES_COUNT("p2p.walk.walks", 1);

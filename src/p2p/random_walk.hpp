@@ -17,6 +17,9 @@ struct WalkResult {
   std::vector<NodeId> visited;
   size_t hops = 0;
   bool truncated_by_fault = false;
+  /// Wire bytes of the walk's query messages: hops * the caller-supplied
+  /// per-hop frame size (0 when the caller does not account bytes).
+  uint64_t bytes_sent = 0;
 };
 
 /// Random walk over all links (random + semantic) starting at `start`
@@ -31,9 +34,15 @@ struct WalkResult {
 /// still costs a message but ends the walk (the query is lost; decisions
 /// are salted with `fault_nonce` so repeated walks fault independently).
 /// A null injector draws no fault decisions at all.
+///
+/// `frame_bytes` is the wire size of the walk's per-hop query frame
+/// (e.g. wire::discovery_probe_frame_size()); every hop charges it to
+/// WalkResult::bytes_sent and the per-hop flight event. 0 (the default)
+/// disables byte accounting. Purely observational: never changes the
+/// walk, the rng draws, or the hop counts.
 WalkResult random_walk(const Network& network, NodeId start, size_t ttl,
                        size_t max_responses, util::Rng& rng,
                        const FaultInjector* faults = nullptr,
-                       uint64_t fault_nonce = 0);
+                       uint64_t fault_nonce = 0, size_t frame_bytes = 0);
 
 }  // namespace ges::p2p

@@ -1,6 +1,7 @@
 #include "p2p/replication.hpp"
 
 #include "obs/telemetry.hpp"
+#include "p2p/wire.hpp"
 #include "util/check.hpp"
 
 namespace ges::p2p {
@@ -58,9 +59,15 @@ void ReplicaHeartbeatProcess::beat(NodeId node) {
   GES_COUNT("p2p.heartbeat.beats", 1);
   const uint64_t sent_before = sent_;
   const uint64_t lost_before = lost_;
+  const uint64_t bytes_before = bytes_;
   const uint64_t tick = ticks_[node]++;
   for (const NodeId neighbor : network_->neighbors(node, LinkType::kRandom)) {
     ++sent_;
+    // One ReplicaHeartbeat request frame per heartbeat, charged whether
+    // or not it arrives; the NodeVectorUpdate response (the neighbor's
+    // truncated vector, sized at send time) is only charged for requests
+    // that got through — a lost request never elicits one.
+    if (account_bytes_) bytes_ += wire::replica_heartbeat_frame_size();
     if (faults_ != nullptr) {
       const uint64_t key = FaultInjector::pair_key(node, neighbor);
       if (faults_->blocked(node, neighbor) || faults_->lose_heartbeat(key, tick)) {
@@ -69,6 +76,10 @@ void ReplicaHeartbeatProcess::beat(NodeId node) {
       }
       const SimTime delay = faults_->delivery_delay(FaultChannel::kHeartbeat, key, tick);
       if (delay > 0.0) {
+        if (account_bytes_) {
+          bytes_ += wire::node_vector_update_frame_size(
+              network_->node_vector(neighbor).size());
+        }
         // Late response: refresh_replica no-ops if the link (or node) is
         // gone by delivery time.
         Network* net = network_;
@@ -78,10 +89,17 @@ void ReplicaHeartbeatProcess::beat(NodeId node) {
         continue;
       }
     }
+    if (account_bytes_) {
+      bytes_ += wire::node_vector_update_frame_size(
+          network_->node_vector(neighbor).size());
+    }
     network_->refresh_replica(node, neighbor);
   }
   GES_COUNT("p2p.heartbeat.sent", sent_ - sent_before);
   GES_COUNT("p2p.heartbeat.lost", lost_ - lost_before);
+  if (account_bytes_) {
+    GES_COUNT("ges.net.bytes.heartbeat", bytes_ - bytes_before);
+  }
   span.arg("sent", static_cast<double>(sent_ - sent_before));
   span.arg("lost", static_cast<double>(lost_ - lost_before));
   // The periodic timer reschedules itself; no manual re-arm.

@@ -66,6 +66,16 @@ class ReplicaHeartbeatProcess {
   size_t heartbeats_sent() const { return sent_; }
   size_t heartbeats_lost() const { return lost_; }
 
+  /// Exact Wire-format-v1 bytes of the heartbeat traffic (p2p/wire.hpp):
+  /// one ReplicaHeartbeat request frame per sent heartbeat, plus — for
+  /// every request that was not lost — one NodeVectorUpdate response
+  /// frame carrying the neighbor's truncated vector, sized at send time.
+  uint64_t heartbeat_bytes() const { return bytes_; }
+
+  /// Byte accounting toggle (default on). Strictly additive: heartbeat
+  /// delivery, loss and refresh behaviour are identical either way.
+  void set_account_bytes(bool on) { account_bytes_ = on; }
+
   /// Sim time `node`'s loop last fired; -1 when it never has. Feeds the
   /// health monitor's heartbeat-staleness gauge (observation only).
   SimTime last_beat(NodeId node) const {
@@ -86,6 +96,8 @@ class ReplicaHeartbeatProcess {
   size_t beats_ = 0;             // node-level firings
   size_t sent_ = 0;              // per-neighbor heartbeat messages
   size_t lost_ = 0;              // lost to drops / partitions
+  uint64_t bytes_ = 0;           // wire bytes (requests + responses)
+  bool account_bytes_ = true;
 };
 
 /// Legacy convenience: one global repeating event refreshing every alive

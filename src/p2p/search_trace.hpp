@@ -49,6 +49,13 @@ struct SearchTrace {
   /// counts.
   uint64_t cache_hits = 0;
 
+  /// Exact wire bytes of the query messages this trace counts: one
+  /// Wire-format-v1 frame per walk step (WalkQuery) and per flood edge
+  /// (FloodForward) — see docs/PROTOCOL.md. Excluded from operator==:
+  /// bytes are a strictly additive cost dimension (0 when accounting is
+  /// off), and golden traces predate it.
+  uint64_t bytes_sent = 0;
+
   size_t probes() const { return probe_order.size(); }
   size_t messages() const { return walk_steps + flood_messages; }
 

@@ -1,0 +1,658 @@
+#include "p2p/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace ges::p2p::wire {
+namespace {
+
+// --- Little-endian writers (explicit shifts: host-endian independent) ---
+
+void put_u8(std::vector<uint8_t>& out, uint8_t v) { out.push_back(v); }
+
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  put_u32(out, static_cast<uint32_t>(v));
+  put_u32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void put_f32(std::vector<uint8_t>& out, float v) {
+  put_u32(out, std::bit_cast<uint32_t>(v));
+}
+
+void put_f64(std::vector<uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<uint64_t>(v));
+}
+
+void put_varint(std::vector<uint8_t>& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+void put_sparse_vector(std::vector<uint8_t>& out, const ir::SparseVector& v) {
+  put_varint(out, v.size());
+  for (ir::TermId t : v.terms()) put_u32(out, t);
+  for (float w : v.weights()) put_f32(out, w);
+}
+
+// --- Bounded reader ------------------------------------------------------
+// Every read is bounds-checked against the window it was constructed
+// over; a failed read returns false and leaves the output untouched.
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::size_t offset() const { return off_; }
+  std::size_t remaining() const { return size_ - off_; }
+
+  bool read_u8(uint8_t& v) {
+    if (remaining() < 1) return false;
+    v = data_[off_++];
+    return true;
+  }
+
+  bool read_u32(uint32_t& v) {
+    if (remaining() < 4) return false;
+    v = static_cast<uint32_t>(data_[off_]) |
+        static_cast<uint32_t>(data_[off_ + 1]) << 8 |
+        static_cast<uint32_t>(data_[off_ + 2]) << 16 |
+        static_cast<uint32_t>(data_[off_ + 3]) << 24;
+    off_ += 4;
+    return true;
+  }
+
+  bool read_u64(uint64_t& v) {
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    if (remaining() < 8 || !read_u32(lo) || !read_u32(hi)) return false;
+    v = static_cast<uint64_t>(hi) << 32 | lo;
+    return true;
+  }
+
+  bool read_f32(float& v) {
+    uint32_t bits = 0;
+    if (!read_u32(bits)) return false;
+    v = std::bit_cast<float>(bits);
+    return true;
+  }
+
+  bool read_f64(double& v) {
+    uint64_t bits = 0;
+    if (!read_u64(bits)) return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  WireError read_varint(uint64_t& v) {
+    uint64_t value = 0;
+    for (std::size_t i = 0; i < 10; ++i) {
+      if (remaining() < 1) return WireError::kTruncated;
+      uint8_t byte = data_[off_++];
+      uint64_t bits = byte & 0x7f;
+      // The 10th byte may only contribute the final bit of a 64-bit
+      // value; anything more overflows.
+      if (i == 9 && bits > 1) return WireError::kVarintOverflow;
+      value |= bits << (7 * i);
+      if ((byte & 0x80) == 0) {
+        v = value;
+        return WireError::kNone;
+      }
+    }
+    return WireError::kVarintOverflow;
+  }
+
+ private:
+  const uint8_t* data_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+};
+
+/// Reads a varint element count for records of `min_record_size` bytes
+/// each, rejecting counts the remaining payload cannot possibly hold so
+/// a corrupt count can never drive a large allocation.
+WireError read_count(Reader& r, std::size_t min_record_size, std::size_t& n) {
+  uint64_t raw = 0;
+  if (WireError err = r.read_varint(raw); err != WireError::kNone) return err;
+  if (raw > r.remaining() / min_record_size) return WireError::kTruncated;
+  n = static_cast<std::size_t>(raw);
+  return WireError::kNone;
+}
+
+WireError read_sparse_vector(Reader& r, ir::SparseVector& out) {
+  std::size_t n = 0;
+  if (WireError err = read_count(r, 8, n); err != WireError::kNone) return err;
+  std::vector<ir::TermId> terms(n);
+  std::vector<float> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!r.read_u32(terms[i])) return WireError::kTruncated;
+    if (i > 0 && terms[i] <= terms[i - 1]) return WireError::kMalformed;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!r.read_f32(weights[i])) return WireError::kTruncated;
+    if (weights[i] == 0.0f) return WireError::kMalformed;
+  }
+  out = ir::SparseVector::from_sorted_soa(std::move(terms), std::move(weights));
+  return WireError::kNone;
+}
+
+// --- Per-type payload encoders/decoders ----------------------------------
+
+void put_payload(std::vector<uint8_t>& out, const WalkQuery& m) {
+  put_u64(out, m.guid);
+  put_u32(out, m.initiator);
+  put_u32(out, m.ttl);
+  put_u8(out, m.flags);
+  put_sparse_vector(out, m.query);
+}
+
+WireError read_payload(Reader& r, WalkQuery& m) {
+  if (!r.read_u64(m.guid) || !r.read_u32(m.initiator) || !r.read_u32(m.ttl) ||
+      !r.read_u8(m.flags)) {
+    return WireError::kTruncated;
+  }
+  return read_sparse_vector(r, m.query);
+}
+
+void put_payload(std::vector<uint8_t>& out, const WalkResponse& m) {
+  put_u64(out, m.guid);
+  put_u32(out, m.responder);
+  put_varint(out, m.docs.size());
+  for (const DocScore& d : m.docs) {
+    put_u32(out, d.doc);
+    put_f64(out, d.score);
+  }
+}
+
+WireError read_payload(Reader& r, WalkResponse& m) {
+  if (!r.read_u64(m.guid) || !r.read_u32(m.responder)) {
+    return WireError::kTruncated;
+  }
+  std::size_t n = 0;
+  if (WireError err = read_count(r, 12, n); err != WireError::kNone) return err;
+  m.docs.resize(n);
+  for (DocScore& d : m.docs) {
+    if (!r.read_u32(d.doc) || !r.read_f64(d.score)) return WireError::kTruncated;
+  }
+  return WireError::kNone;
+}
+
+void put_payload(std::vector<uint8_t>& out, const FloodForward& m) {
+  put_u64(out, m.guid);
+  put_u32(out, m.from);
+  put_u32(out, m.depth);
+  put_u32(out, m.radius);
+  put_sparse_vector(out, m.query);
+}
+
+WireError read_payload(Reader& r, FloodForward& m) {
+  if (!r.read_u64(m.guid) || !r.read_u32(m.from) || !r.read_u32(m.depth) ||
+      !r.read_u32(m.radius)) {
+    return WireError::kTruncated;
+  }
+  return read_sparse_vector(r, m.query);
+}
+
+void put_payload(std::vector<uint8_t>& out, const DiscoveryProbe& m) {
+  put_u32(out, m.origin);
+  put_u64(out, m.round);
+  put_u8(out, m.want_relevant);
+  put_u32(out, m.ttl);
+  put_u32(out, m.max_responses);
+}
+
+WireError read_payload(Reader& r, DiscoveryProbe& m) {
+  if (!r.read_u32(m.origin) || !r.read_u64(m.round) ||
+      !r.read_u8(m.want_relevant) || !r.read_u32(m.ttl) ||
+      !r.read_u32(m.max_responses)) {
+    return WireError::kTruncated;
+  }
+  return WireError::kNone;
+}
+
+void put_payload(std::vector<uint8_t>& out, const HandshakeRequest& m) {
+  put_u32(out, m.from);
+  put_u32(out, m.to);
+  put_u8(out, m.link_type);
+  put_f64(out, m.rel);
+  put_f64(out, m.capacity);
+  put_u32(out, m.degree);
+}
+
+WireError read_payload(Reader& r, HandshakeRequest& m) {
+  if (!r.read_u32(m.from) || !r.read_u32(m.to) || !r.read_u8(m.link_type) ||
+      !r.read_f64(m.rel) || !r.read_f64(m.capacity) || !r.read_u32(m.degree)) {
+    return WireError::kTruncated;
+  }
+  return WireError::kNone;
+}
+
+void put_payload(std::vector<uint8_t>& out, const HandshakeResponse& m) {
+  put_u32(out, m.from);
+  put_u32(out, m.to);
+  put_u8(out, m.accept);
+  put_u32(out, m.victim);
+}
+
+WireError read_payload(Reader& r, HandshakeResponse& m) {
+  if (!r.read_u32(m.from) || !r.read_u32(m.to) || !r.read_u8(m.accept) ||
+      !r.read_u32(m.victim)) {
+    return WireError::kTruncated;
+  }
+  return WireError::kNone;
+}
+
+void put_payload(std::vector<uint8_t>& out, const HandshakeConfirm& m) {
+  put_u32(out, m.from);
+  put_u32(out, m.to);
+  put_u8(out, m.committed);
+}
+
+WireError read_payload(Reader& r, HandshakeConfirm& m) {
+  if (!r.read_u32(m.from) || !r.read_u32(m.to) || !r.read_u8(m.committed)) {
+    return WireError::kTruncated;
+  }
+  return WireError::kNone;
+}
+
+void put_payload(std::vector<uint8_t>& out, const NodeVectorUpdate& m) {
+  put_u32(out, m.owner);
+  put_u64(out, m.version);
+  put_sparse_vector(out, m.vector);
+}
+
+WireError read_payload(Reader& r, NodeVectorUpdate& m) {
+  if (!r.read_u32(m.owner) || !r.read_u64(m.version)) {
+    return WireError::kTruncated;
+  }
+  return read_sparse_vector(r, m.vector);
+}
+
+void put_payload(std::vector<uint8_t>& out, const ReplicaHeartbeat& m) {
+  put_u32(out, m.from);
+  put_u32(out, m.to);
+  put_u64(out, m.tick);
+}
+
+WireError read_payload(Reader& r, ReplicaHeartbeat& m) {
+  if (!r.read_u32(m.from) || !r.read_u32(m.to) || !r.read_u64(m.tick)) {
+    return WireError::kTruncated;
+  }
+  return WireError::kNone;
+}
+
+void put_payload(std::vector<uint8_t>& out, const HostCacheExchange& m) {
+  put_u32(out, m.from);
+  put_u32(out, m.to);
+  put_u8(out, m.cache_kind);
+  put_varint(out, m.entries.size());
+  for (const HostCacheRecord& e : m.entries) {
+    put_u32(out, e.node);
+    put_f64(out, e.capacity);
+    put_u32(out, e.degree);
+    put_f64(out, e.rel_score);
+    put_sparse_vector(out, e.vector);
+  }
+}
+
+WireError read_payload(Reader& r, HostCacheExchange& m) {
+  if (!r.read_u32(m.from) || !r.read_u32(m.to) || !r.read_u8(m.cache_kind)) {
+    return WireError::kTruncated;
+  }
+  std::size_t n = 0;
+  // Minimum record: fixed fields (24 bytes) + empty vector (1 byte).
+  if (WireError err = read_count(r, 25, n); err != WireError::kNone) return err;
+  m.entries.resize(n);
+  for (HostCacheRecord& e : m.entries) {
+    if (!r.read_u32(e.node) || !r.read_f64(e.capacity) ||
+        !r.read_u32(e.degree) || !r.read_f64(e.rel_score)) {
+      return WireError::kTruncated;
+    }
+    if (WireError err = read_sparse_vector(r, e.vector);
+        err != WireError::kNone) {
+      return err;
+    }
+  }
+  return WireError::kNone;
+}
+
+void put_cached_docs(std::vector<uint8_t>& out,
+                     const std::vector<CachedResultDoc>& docs) {
+  put_varint(out, docs.size());
+  for (const CachedResultDoc& d : docs) {
+    put_u32(out, d.doc);
+    put_f64(out, d.score);
+    put_u32(out, d.owner);
+    put_u64(out, d.owner_version);
+  }
+}
+
+WireError read_cached_docs(Reader& r, std::vector<CachedResultDoc>& docs) {
+  std::size_t n = 0;
+  if (WireError err = read_count(r, 24, n); err != WireError::kNone) return err;
+  docs.resize(n);
+  for (CachedResultDoc& d : docs) {
+    if (!r.read_u32(d.doc) || !r.read_f64(d.score) || !r.read_u32(d.owner) ||
+        !r.read_u64(d.owner_version)) {
+      return WireError::kTruncated;
+    }
+  }
+  return WireError::kNone;
+}
+
+void put_payload(std::vector<uint8_t>& out, const CacheStore& m) {
+  put_u32(out, m.holder);
+  put_u64(out, m.signature);
+  put_cached_docs(out, m.docs);
+}
+
+WireError read_payload(Reader& r, CacheStore& m) {
+  if (!r.read_u32(m.holder) || !r.read_u64(m.signature)) {
+    return WireError::kTruncated;
+  }
+  return read_cached_docs(r, m.docs);
+}
+
+void put_payload(std::vector<uint8_t>& out, const CacheProbe& m) {
+  put_u32(out, m.holder);
+  put_u64(out, m.signature);
+}
+
+WireError read_payload(Reader& r, CacheProbe& m) {
+  if (!r.read_u32(m.holder) || !r.read_u64(m.signature)) {
+    return WireError::kTruncated;
+  }
+  return WireError::kNone;
+}
+
+void put_payload(std::vector<uint8_t>& out, const CacheResult& m) {
+  put_u32(out, m.holder);
+  put_u64(out, m.signature);
+  put_cached_docs(out, m.docs);
+}
+
+WireError read_payload(Reader& r, CacheResult& m) {
+  if (!r.read_u32(m.holder) || !r.read_u64(m.signature)) {
+    return WireError::kTruncated;
+  }
+  return read_cached_docs(r, m.docs);
+}
+
+std::size_t payload_size(const WalkQuery& m) {
+  return 17 + sparse_vector_size(m.query.size());
+}
+std::size_t payload_size(const WalkResponse& m) {
+  return 12 + varint_size(m.docs.size()) + 12 * m.docs.size();
+}
+std::size_t payload_size(const FloodForward& m) {
+  return 20 + sparse_vector_size(m.query.size());
+}
+std::size_t payload_size(const DiscoveryProbe&) { return 21; }
+std::size_t payload_size(const HandshakeRequest&) { return 29; }
+std::size_t payload_size(const HandshakeResponse&) { return 13; }
+std::size_t payload_size(const HandshakeConfirm&) { return 9; }
+std::size_t payload_size(const NodeVectorUpdate& m) {
+  return 12 + sparse_vector_size(m.vector.size());
+}
+std::size_t payload_size(const ReplicaHeartbeat&) { return 16; }
+std::size_t payload_size(const HostCacheExchange& m) {
+  std::size_t records = 0;
+  for (const HostCacheRecord& e : m.entries) {
+    records += host_cache_record_size(e.vector.size());
+  }
+  return 9 + varint_size(m.entries.size()) + records;
+}
+std::size_t cached_docs_size(std::size_t docs) {
+  return varint_size(docs) + 24 * docs;
+}
+std::size_t payload_size(const CacheStore& m) {
+  return 12 + cached_docs_size(m.docs.size());
+}
+std::size_t payload_size(const CacheProbe&) { return 12; }
+std::size_t payload_size(const CacheResult& m) {
+  return 12 + cached_docs_size(m.docs.size());
+}
+
+template <typename T>
+DecodeResult decode_as(Reader& r, std::size_t payload_len,
+                       std::size_t header_len) {
+  DecodeResult result;
+  T m{};
+  WireError err = read_payload(r, m);
+  if (err != WireError::kNone) {
+    result.error = err;
+    return result;
+  }
+  if (r.offset() != payload_len) {
+    result.error = WireError::kLengthMismatch;
+    return result;
+  }
+  result.error = WireError::kNone;
+  result.consumed = header_len + payload_len;
+  result.message = std::move(m);
+  return result;
+}
+
+}  // namespace
+
+const char* wire_error_name(WireError err) {
+  switch (err) {
+    case WireError::kNone: return "none";
+    case WireError::kTruncated: return "truncated";
+    case WireError::kBadMagic: return "bad_magic";
+    case WireError::kUnsupportedVersion: return "unsupported_version";
+    case WireError::kUnknownType: return "unknown_type";
+    case WireError::kVarintOverflow: return "varint_overflow";
+    case WireError::kLengthMismatch: return "length_mismatch";
+    case WireError::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+const char* message_type_name(MessageType type) {
+  switch (type) {
+    case MessageType::kWalkQuery: return "walk_query";
+    case MessageType::kWalkResponse: return "walk_response";
+    case MessageType::kFloodForward: return "flood_forward";
+    case MessageType::kDiscoveryProbe: return "discovery_probe";
+    case MessageType::kHandshakeRequest: return "handshake_request";
+    case MessageType::kHandshakeResponse: return "handshake_response";
+    case MessageType::kHandshakeConfirm: return "handshake_confirm";
+    case MessageType::kNodeVectorUpdate: return "node_vector_update";
+    case MessageType::kReplicaHeartbeat: return "replica_heartbeat";
+    case MessageType::kHostCacheExchange: return "host_cache_exchange";
+    case MessageType::kCacheStore: return "cache_store";
+    case MessageType::kCacheProbe: return "cache_probe";
+    case MessageType::kCacheResult: return "cache_result";
+  }
+  return "unknown";
+}
+
+MessageType message_type(const Message& message) {
+  // The variant's alternatives are declared in tag order.
+  return static_cast<MessageType>(message.index() + 1);
+}
+
+std::size_t varint_size(uint64_t value) {
+  std::size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+std::size_t sparse_vector_size(std::size_t entries) {
+  return varint_size(entries) + 8 * entries;
+}
+
+std::size_t frame_size(std::size_t payload) {
+  return kHeaderSize + varint_size(payload) + payload;
+}
+
+std::size_t walk_query_frame_size(std::size_t query_terms) {
+  return frame_size(17 + sparse_vector_size(query_terms));
+}
+std::size_t walk_response_frame_size(std::size_t docs) {
+  return frame_size(12 + varint_size(docs) + 12 * docs);
+}
+std::size_t flood_forward_frame_size(std::size_t query_terms) {
+  return frame_size(20 + sparse_vector_size(query_terms));
+}
+std::size_t discovery_probe_frame_size() { return frame_size(21); }
+std::size_t handshake_request_frame_size() { return frame_size(29); }
+std::size_t handshake_response_frame_size() { return frame_size(13); }
+std::size_t handshake_confirm_frame_size() { return frame_size(9); }
+std::size_t handshake_legs_frame_size() {
+  return handshake_request_frame_size() + handshake_response_frame_size() +
+         handshake_confirm_frame_size();
+}
+std::size_t node_vector_update_frame_size(std::size_t vector_terms) {
+  return frame_size(12 + sparse_vector_size(vector_terms));
+}
+std::size_t replica_heartbeat_frame_size() { return frame_size(16); }
+std::size_t host_cache_record_size(std::size_t vector_terms) {
+  return 24 + sparse_vector_size(vector_terms);
+}
+std::size_t host_cache_exchange_frame_size(std::size_t entry_count,
+                                           std::size_t records_total_size) {
+  return frame_size(9 + varint_size(entry_count) + records_total_size);
+}
+std::size_t cache_store_frame_size(std::size_t docs) {
+  return frame_size(12 + cached_docs_size(docs));
+}
+std::size_t cache_probe_frame_size() { return frame_size(12); }
+std::size_t cache_result_frame_size(std::size_t docs) {
+  return frame_size(12 + cached_docs_size(docs));
+}
+
+std::size_t encoded_size(const WalkQuery& m) { return frame_size(payload_size(m)); }
+std::size_t encoded_size(const WalkResponse& m) { return frame_size(payload_size(m)); }
+std::size_t encoded_size(const FloodForward& m) { return frame_size(payload_size(m)); }
+std::size_t encoded_size(const DiscoveryProbe& m) { return frame_size(payload_size(m)); }
+std::size_t encoded_size(const HandshakeRequest& m) { return frame_size(payload_size(m)); }
+std::size_t encoded_size(const HandshakeResponse& m) { return frame_size(payload_size(m)); }
+std::size_t encoded_size(const HandshakeConfirm& m) { return frame_size(payload_size(m)); }
+std::size_t encoded_size(const NodeVectorUpdate& m) { return frame_size(payload_size(m)); }
+std::size_t encoded_size(const ReplicaHeartbeat& m) { return frame_size(payload_size(m)); }
+std::size_t encoded_size(const HostCacheExchange& m) { return frame_size(payload_size(m)); }
+std::size_t encoded_size(const CacheStore& m) { return frame_size(payload_size(m)); }
+std::size_t encoded_size(const CacheProbe& m) { return frame_size(payload_size(m)); }
+std::size_t encoded_size(const CacheResult& m) { return frame_size(payload_size(m)); }
+
+std::size_t encoded_size(const Message& message) {
+  return std::visit([](const auto& m) { return encoded_size(m); }, message);
+}
+
+void encode(const Message& message, std::vector<uint8_t>& out) {
+  out.reserve(out.size() + encoded_size(message));
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  put_u8(out, kFormatVersion);
+  put_u8(out, static_cast<uint8_t>(message_type(message)));
+  std::visit(
+      [&out](const auto& m) {
+        put_varint(out, payload_size(m));
+        put_payload(out, m);
+      },
+      message);
+}
+
+std::vector<uint8_t> encode(const Message& message) {
+  std::vector<uint8_t> out;
+  encode(message, out);
+  return out;
+}
+
+DecodeResult decode(std::span<const uint8_t> bytes) {
+  DecodeResult result;
+  // Magic: a mismatch within the available prefix is kBadMagic; running
+  // out of bytes while the prefix still matches is kTruncated.
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i >= bytes.size()) {
+      result.error = WireError::kTruncated;
+      return result;
+    }
+    if (bytes[i] != kMagic[i]) {
+      result.error = WireError::kBadMagic;
+      return result;
+    }
+  }
+  if (bytes.size() < 5) {
+    result.error = WireError::kTruncated;
+    return result;
+  }
+  if (bytes[4] != kFormatVersion) {
+    result.error = WireError::kUnsupportedVersion;
+    return result;
+  }
+  if (bytes.size() < 6) {
+    result.error = WireError::kTruncated;
+    return result;
+  }
+  const uint8_t tag = bytes[5];
+  if (tag < static_cast<uint8_t>(MessageType::kWalkQuery) ||
+      tag > static_cast<uint8_t>(MessageType::kCacheResult)) {
+    result.error = WireError::kUnknownType;
+    return result;
+  }
+
+  Reader length_reader(bytes.data() + kHeaderSize, bytes.size() - kHeaderSize);
+  uint64_t payload_len = 0;
+  if (WireError err = length_reader.read_varint(payload_len);
+      err != WireError::kNone) {
+    result.error = err;
+    return result;
+  }
+  const std::size_t header_len = kHeaderSize + length_reader.offset();
+  if (payload_len > bytes.size() - header_len) {
+    result.error = WireError::kTruncated;
+    return result;
+  }
+
+  // The payload reader is bounded to exactly the declared length, so a
+  // field sequence that runs long reads as truncated and one that runs
+  // short fails the exact-consumption check in decode_as.
+  Reader payload(bytes.data() + header_len,
+                 static_cast<std::size_t>(payload_len));
+  switch (static_cast<MessageType>(tag)) {
+    case MessageType::kWalkQuery:
+      return decode_as<WalkQuery>(payload, payload_len, header_len);
+    case MessageType::kWalkResponse:
+      return decode_as<WalkResponse>(payload, payload_len, header_len);
+    case MessageType::kFloodForward:
+      return decode_as<FloodForward>(payload, payload_len, header_len);
+    case MessageType::kDiscoveryProbe:
+      return decode_as<DiscoveryProbe>(payload, payload_len, header_len);
+    case MessageType::kHandshakeRequest:
+      return decode_as<HandshakeRequest>(payload, payload_len, header_len);
+    case MessageType::kHandshakeResponse:
+      return decode_as<HandshakeResponse>(payload, payload_len, header_len);
+    case MessageType::kHandshakeConfirm:
+      return decode_as<HandshakeConfirm>(payload, payload_len, header_len);
+    case MessageType::kNodeVectorUpdate:
+      return decode_as<NodeVectorUpdate>(payload, payload_len, header_len);
+    case MessageType::kReplicaHeartbeat:
+      return decode_as<ReplicaHeartbeat>(payload, payload_len, header_len);
+    case MessageType::kHostCacheExchange:
+      return decode_as<HostCacheExchange>(payload, payload_len, header_len);
+    case MessageType::kCacheStore:
+      return decode_as<CacheStore>(payload, payload_len, header_len);
+    case MessageType::kCacheProbe:
+      return decode_as<CacheProbe>(payload, payload_len, header_len);
+    case MessageType::kCacheResult:
+      return decode_as<CacheResult>(payload, payload_len, header_len);
+  }
+  result.error = WireError::kUnknownType;
+  return result;
+}
+
+}  // namespace ges::p2p::wire

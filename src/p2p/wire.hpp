@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "p2p/wire_messages.hpp"
+
+// Wire format v1 (normative spec: docs/PROTOCOL.md, "Wire format v1").
+//
+// Frame layout:
+//
+//   offset 0   magic   "GESW" (4 bytes)
+//   offset 4   version u8     (kFormatVersion)
+//   offset 5   tag     u8     (MessageType)
+//   offset 6   length  varint (payload byte count, minimal LEB128)
+//   ...        payload
+//
+// All fixed-width scalars are little-endian; floats are IEEE-754 bit
+// patterns (f32 for vector weights, f64 for scores/capacities);
+// SparseVectors serialize as a varint entry count followed by the SoA
+// runs — all term ids (u32, strictly ascending), then all weights (f32,
+// nonzero). Encoding is deterministic: one message has exactly one
+// byte string. Decoding is total: any input yields either a message
+// that re-encodes to the same bytes or a typed WireError — never UB.
+
+namespace ges::p2p::wire {
+
+inline constexpr uint8_t kFormatVersion = 1;
+inline constexpr uint8_t kMagic[4] = {'G', 'E', 'S', 'W'};
+/// Bytes before the varint length: magic + version + tag.
+inline constexpr std::size_t kHeaderSize = 6;
+
+/// Typed decode failures (PROTOCOL.md "Error taxonomy").
+enum class WireError : uint8_t {
+  kNone = 0,
+  kTruncated,           // input ends before the frame does
+  kBadMagic,            // first bytes are not "GESW"
+  kUnsupportedVersion,  // version byte != kFormatVersion
+  kUnknownType,         // tag byte is not a MessageType value
+  kVarintOverflow,      // varint needs > 64 bits or > 10 bytes
+  kLengthMismatch,      // payload length disagrees with its contents
+  kMalformed,           // field-level violation (term order, zero weight)
+};
+
+const char* wire_error_name(WireError err);
+
+/// Every protocol message, in tag order (variant index + 1 == tag).
+using Message = std::variant<WalkQuery, WalkResponse, FloodForward,
+                             DiscoveryProbe, HandshakeRequest,
+                             HandshakeResponse, HandshakeConfirm,
+                             NodeVectorUpdate, ReplicaHeartbeat,
+                             HostCacheExchange, CacheStore, CacheProbe,
+                             CacheResult>;
+
+MessageType message_type(const Message& message);
+
+// --- Size primitives ----------------------------------------------------
+// The engines charge bytes on hot paths (per walk hop, per flood edge)
+// where building a Message would copy the query vector; these helpers
+// compute exact frame sizes from component counts instead. Each
+// encoded_size() overload below is implemented in terms of them, and
+// tests assert helper == encoded_size(actual struct) == encode().size().
+
+/// Bytes of the minimal LEB128 encoding of `value`.
+std::size_t varint_size(uint64_t value);
+
+/// Serialized size of a SparseVector with `entries` entries:
+/// varint(entries) + 4*entries term ids + 4*entries weights.
+std::size_t sparse_vector_size(std::size_t entries);
+
+/// Full frame size for a payload of `payload_size` bytes.
+std::size_t frame_size(std::size_t payload_size);
+
+std::size_t walk_query_frame_size(std::size_t query_terms);
+std::size_t walk_response_frame_size(std::size_t docs);
+std::size_t flood_forward_frame_size(std::size_t query_terms);
+std::size_t discovery_probe_frame_size();
+std::size_t handshake_request_frame_size();
+std::size_t handshake_response_frame_size();
+std::size_t handshake_confirm_frame_size();
+/// All three handshake legs of one completed handshake.
+std::size_t handshake_legs_frame_size();
+std::size_t node_vector_update_frame_size(std::size_t vector_terms);
+std::size_t replica_heartbeat_frame_size();
+/// One HostCacheRecord inside a HostCacheExchange payload.
+std::size_t host_cache_record_size(std::size_t vector_terms);
+/// `records_total_size` = sum of host_cache_record_size() over entries.
+std::size_t host_cache_exchange_frame_size(std::size_t entry_count,
+                                           std::size_t records_total_size);
+std::size_t cache_store_frame_size(std::size_t docs);
+std::size_t cache_probe_frame_size();
+std::size_t cache_result_frame_size(std::size_t docs);
+
+// --- Encode -------------------------------------------------------------
+
+std::size_t encoded_size(const WalkQuery& m);
+std::size_t encoded_size(const WalkResponse& m);
+std::size_t encoded_size(const FloodForward& m);
+std::size_t encoded_size(const DiscoveryProbe& m);
+std::size_t encoded_size(const HandshakeRequest& m);
+std::size_t encoded_size(const HandshakeResponse& m);
+std::size_t encoded_size(const HandshakeConfirm& m);
+std::size_t encoded_size(const NodeVectorUpdate& m);
+std::size_t encoded_size(const ReplicaHeartbeat& m);
+std::size_t encoded_size(const HostCacheExchange& m);
+std::size_t encoded_size(const CacheStore& m);
+std::size_t encoded_size(const CacheProbe& m);
+std::size_t encoded_size(const CacheResult& m);
+std::size_t encoded_size(const Message& message);
+
+/// Appends one full frame (header + payload) to `out`.
+void encode(const Message& message, std::vector<uint8_t>& out);
+
+/// Convenience: one frame in a fresh buffer.
+std::vector<uint8_t> encode(const Message& message);
+
+// --- Decode -------------------------------------------------------------
+
+struct DecodeResult {
+  WireError error = WireError::kTruncated;
+  /// Bytes consumed by the frame on success (trailing bytes are the
+  /// caller's: frames concatenate into a stream).
+  std::size_t consumed = 0;
+  Message message{};
+
+  bool ok() const { return error == WireError::kNone; }
+};
+
+/// Decodes one frame from the front of `bytes`. Total: never throws,
+/// never reads out of bounds, never allocates more than `bytes.size()`
+/// worth of entries.
+DecodeResult decode(std::span<const uint8_t> bytes);
+
+}  // namespace ges::p2p::wire

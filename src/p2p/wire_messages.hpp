@@ -1,0 +1,220 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/sparse_vector.hpp"
+#include "ir/types.hpp"
+#include "p2p/cache_protocol.hpp"
+#include "p2p/types.hpp"
+
+namespace ges::p2p::wire {
+
+/// Wire message-type tags ("Wire format v1" in docs/PROTOCOL.md). The
+/// values are normative protocol constants: they appear as the frame
+/// header's type byte and must never be renumbered — new messages append
+/// new values. scripts/check_docs.py cross-checks this enum against the
+/// PROTOCOL.md field tables and the committed golden fixtures, so every
+/// enumerator needs a `struct <Name>` below (enumerator minus the `k`),
+/// a `### <Name>` table in the spec, and a
+/// tests/p2p/fixtures/wire_v1/<snake_name>.bin fixture.
+enum class MessageType : uint8_t {
+  kWalkQuery = 1,         // biased-walk search query, forwarded hop by hop
+  kWalkResponse = 2,      // query hit travelling back to the initiator
+  kFloodForward = 3,      // semantic-group flood edge
+  kDiscoveryProbe = 4,    // topology-adaptation discovery-walk probe
+  kHandshakeRequest = 5,  // link handshake leg 1 (initiator -> peer)
+  kHandshakeResponse = 6, // link handshake leg 2 (peer -> initiator)
+  kHandshakeConfirm = 7,  // link handshake leg 3 (initiator -> peer)
+  kNodeVectorUpdate = 8,  // node-vector gossip/refresh payload
+  kReplicaHeartbeat = 9,  // replica heartbeat ping (paper §4.4)
+  kHostCacheExchange = 10,// host-cache gossip exchange (paper §4.3)
+  kCacheStore = 11,       // result-cache store frame
+  kCacheProbe = 12,       // result-cache probe frame
+  kCacheResult = 13,      // result-cache hit response frame
+};
+
+/// Stable lower-snake name of a tag ("walk_query", ...); fixture file
+/// stems and spec anchors use it. Unknown tags return "unknown".
+const char* message_type_name(MessageType type);
+
+/// One (doc, score) response record. Scores are f64 on the wire because
+/// the engines compare cached scores bit-exactly against fresh
+/// evaluation — rounding through f32 would break strict cache hits.
+struct DocScore {
+  ir::DocId doc = ir::kInvalidDoc;
+  double score = 0.0;
+
+  friend bool operator==(const DocScore&, const DocScore&) = default;
+};
+
+/// One gossiped host-cache record (paper §4.3): the entry's address,
+/// capacity, degree, precomputed relevance, and — random-cache entries
+/// only — the node vector (semantic-cache entries gossip an empty one).
+struct HostCacheRecord {
+  NodeId node = kInvalidNode;
+  double capacity = 0.0;
+  uint32_t degree = 0;
+  double rel_score = 0.0;
+  ir::SparseVector vector;
+
+  friend bool operator==(const HostCacheRecord&, const HostCacheRecord&) = default;
+};
+
+// --- Search data plane --------------------------------------------------
+
+/// Biased-walk search query (paper §4.5), forwarded one hop per frame.
+/// The query vector rides along unchanged, so every hop of one query
+/// costs the same number of bytes.
+struct WalkQuery {
+  Guid guid = 0;
+  NodeId initiator = kInvalidNode;
+  uint32_t ttl = 0;   // remaining walk TTL; 0 = unbounded
+  uint8_t flags = 0;  // bit 0: capacity-aware walk
+  ir::SparseVector query;
+
+  friend bool operator==(const WalkQuery&, const WalkQuery&) = default;
+};
+
+/// Query hit travelling back to the initiator: the responder's scored
+/// documents for the query GUID.
+struct WalkResponse {
+  Guid guid = 0;
+  NodeId responder = kInvalidNode;
+  std::vector<DocScore> docs;
+
+  friend bool operator==(const WalkResponse&, const WalkResponse&) = default;
+};
+
+/// One semantic-group flood edge (paper §4.5): the query plus the flood
+/// bookkeeping (hop depth from the target, configured radius; 0 = whole
+/// group).
+struct FloodForward {
+  Guid guid = 0;
+  NodeId from = kInvalidNode;
+  uint32_t depth = 0;
+  uint32_t radius = 0;
+  ir::SparseVector query;
+
+  friend bool operator==(const FloodForward&, const FloodForward&) = default;
+};
+
+// --- Topology adaptation ------------------------------------------------
+
+/// Discovery random-walk probe (paper §4.3): one of the two periodic
+/// walks a node issues per adaptation round, asking visited nodes whether
+/// they are relevant (REL >= threshold) or not.
+struct DiscoveryProbe {
+  NodeId origin = kInvalidNode;
+  uint64_t round = 0;
+  uint8_t want_relevant = 0;  // 1: collecting semantic candidates
+  uint32_t ttl = 0;
+  uint32_t max_responses = 0;
+
+  friend bool operator==(const DiscoveryProbe&, const DiscoveryProbe&) = default;
+};
+
+/// Link handshake leg 1 (initiator -> peer): propose a link of
+/// `link_type` (p2p::LinkType value), carrying the initiator's view of
+/// the pair relevance plus its capacity and degree so the peer can apply
+/// its acceptance rule.
+struct HandshakeRequest {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  uint8_t link_type = 0;
+  double rel = 0.0;
+  double capacity = 0.0;
+  uint32_t degree = 0;
+
+  friend bool operator==(const HandshakeRequest&, const HandshakeRequest&) = default;
+};
+
+/// Link handshake leg 2 (peer -> initiator): the peer's independent
+/// accept decision, naming the neighbor it would drop to make room
+/// (kInvalidNode when it has a free slot or rejects).
+struct HandshakeResponse {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  uint8_t accept = 0;
+  NodeId victim = kInvalidNode;
+
+  friend bool operator==(const HandshakeResponse&, const HandshakeResponse&) = default;
+};
+
+/// Link handshake leg 3 (initiator -> peer): commit or abandon the link.
+struct HandshakeConfirm {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  uint8_t committed = 0;
+
+  friend bool operator==(const HandshakeConfirm&, const HandshakeConfirm&) = default;
+};
+
+// --- Replication & gossip -----------------------------------------------
+
+/// A node-vector copy in flight: replica install, heartbeat refresh
+/// response, or gossip of a vector (paper §4.4). `version` is the
+/// owner's monotonically-bumped vector version at copy time.
+struct NodeVectorUpdate {
+  NodeId owner = kInvalidNode;
+  uint64_t version = 0;
+  ir::SparseVector vector;
+
+  friend bool operator==(const NodeVectorUpdate&, const NodeVectorUpdate&) = default;
+};
+
+/// Replica heartbeat ping (paper §4.4): `from` asks random neighbor `to`
+/// for its current node vector; `tick` is the sender's per-loop beat
+/// counter (also the fault nonce in simulation).
+struct ReplicaHeartbeat {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  uint64_t tick = 0;
+
+  friend bool operator==(const ReplicaHeartbeat&, const ReplicaHeartbeat&) = default;
+};
+
+/// Host-cache gossip exchange (paper §4.3's optimization): one node
+/// ships qualifying entries of one of its host caches to a semantic
+/// neighbor.
+struct HostCacheExchange {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  uint8_t cache_kind = 0;  // 0 random cache, 1 semantic cache
+  std::vector<HostCacheRecord> entries;
+
+  friend bool operator==(const HostCacheExchange&, const HostCacheExchange&) = default;
+};
+
+// --- Result-cache protocol ----------------------------------------------
+
+/// Store a completed search's result set in `holder`'s result cache
+/// (ges/result_cache.hpp). Each doc carries its owner and the owner's
+/// node-vector version at store time — the validity fields the cache
+/// protocol revalidates hits against.
+struct CacheStore {
+  NodeId holder = kInvalidNode;
+  uint64_t signature = 0;  // QuerySignature::value
+  std::vector<CachedResultDoc> docs;
+
+  friend bool operator==(const CacheStore&, const CacheStore&) = default;
+};
+
+/// Probe `holder`'s result cache for a query signature.
+struct CacheProbe {
+  NodeId holder = kInvalidNode;
+  uint64_t signature = 0;
+
+  friend bool operator==(const CacheProbe&, const CacheProbe&) = default;
+};
+
+/// A cache hit's response: the cached result set for the signature.
+struct CacheResult {
+  NodeId holder = kInvalidNode;
+  uint64_t signature = 0;
+  std::vector<CachedResultDoc> docs;
+
+  friend bool operator==(const CacheResult&, const CacheResult&) = default;
+};
+
+}  // namespace ges::p2p::wire

@@ -25,6 +25,7 @@
 #include "ges/scenario.hpp"
 #include "ges/system.hpp"
 #include "p2p/network_snapshot.hpp"
+#include "p2p/wire.hpp"
 #include "support/test_corpus.hpp"
 
 namespace ges::core {
@@ -115,6 +116,13 @@ TEST_P(FuzzGrid, InvariantsHoldAfterEveryRound) {
   const auto& query = corpus.queries[seed % corpus.queries.size()].vector;
   const auto trace = runner.search(query, initiator, sopt, rng);
   EXPECT_GE(trace.probes(), 1u);
+  // Byte accounting reconciles across the whole grid: message units times
+  // the Wire-format-v1 frame sizes, exactly (bytes are charged at send
+  // time, so faults and churn never skew the relation).
+  EXPECT_EQ(trace.bytes_sent,
+            trace.walk_steps * p2p::wire::walk_query_frame_size(query.size()) +
+                trace.flood_messages *
+                    p2p::wire::flood_forward_frame_size(query.size()));
   p2p::SearchTrace repeat;
   if (cache) {
     util::Rng repeat_rng(util::derive_seed(seed, 81));
@@ -153,6 +161,7 @@ TEST_P(FuzzGrid, InvariantsHoldAfterEveryRound) {
             << " events_cancelled=" << queue.cancelled()
             << " rel_evals=" << trace.rel_evals
             << " rel_memo_hits=" << trace.rel_memo_hits
+            << " bytes_sent=" << trace.bytes_sent
             << " cache_hits=" << cstats.hits << " cache_misses=" << cstats.misses
             << " cache_stores=" << cstats.stores
             << " cache_invalidations=" << cstats.invalidations

@@ -1,0 +1,376 @@
+// Byte accounting is strictly additive (ISSUE: "bytes are strictly
+// additive"): with SearchOptions/GesParams/process-level account_bytes
+// toggled off, every engine must produce bit-identical traces, topology
+// and message-unit stats — only the byte fields go to zero. And when on,
+// the bytes must reconcile exactly against the Wire-format-v1 frame
+// sizes: trace.bytes_sent == walk_steps * WalkQuery frame + flood
+// messages * FloodForward frame, ges.net.bytes.* counter deltas match,
+// and (under the flight recorder) the summed per-event frame sizes equal
+// the cost block's bytes_sent. Double-entry bookkeeping for the data
+// plane, adaptation, heartbeats and the result cache.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ges/result_cache.hpp"
+#include "ges/scenario.hpp"
+#include "ges/topology_adaptation.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
+#include "p2p/cache_protocol.hpp"
+#include "p2p/replication.hpp"
+#include "p2p/wire.hpp"
+#include "support/test_corpus.hpp"
+#include "util/rng.hpp"
+
+namespace ges::core {
+namespace {
+
+namespace wire = p2p::wire;
+using p2p::CachedResultDoc;
+using p2p::NodeId;
+
+// --- Search data plane ---------------------------------------------------
+
+/// Run the same scenario + query batch with byte accounting on or off and
+/// return the traces.
+std::vector<p2p::SearchTrace> run_search_batch(const corpus::Corpus& corpus,
+                                               uint64_t seed,
+                                               bool account_bytes) {
+  ScenarioParams sp;
+  sp.params.max_links = 6;
+  sp.params.min_links = 2;
+  sp.params.walk_ttl = 20;
+  sp.params.account_bytes = account_bytes;
+  sp.rounds = 6;
+  sp.seed = seed;
+  ScenarioRunner runner(corpus, sp);
+  runner.run();
+
+  util::Rng rng(util::derive_seed(seed, 80));
+  SearchOptions sopt;
+  sopt.ttl = 25;
+  sopt.account_bytes = account_bytes;
+  std::vector<p2p::SearchTrace> traces;
+  for (size_t q = 0; q < 8; ++q) {
+    const auto alive = runner.network().alive_nodes();
+    const NodeId initiator = alive[rng.index(alive.size())];
+    const auto& query = corpus.queries[q % corpus.queries.size()].vector;
+    traces.push_back(runner.search(query, initiator, sopt, rng));
+  }
+  return traces;
+}
+
+TEST(ByteAccounting, SearchTracesIdenticalOnOrOff) {
+  const auto corpus = test::clustered_corpus(24, 3);
+  for (const uint64_t seed : {3u, 7u}) {
+    const auto on = run_search_batch(corpus, seed, true);
+    const auto off = run_search_batch(corpus, seed, false);
+    ASSERT_EQ(on.size(), off.size());
+    for (size_t q = 0; q < on.size(); ++q) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " query=" + std::to_string(q));
+      // operator== covers the behavioral fields (probe order, retrieved
+      // docs, message units, reason) and excludes the diagnostics.
+      EXPECT_EQ(on[q], off[q]);
+      EXPECT_EQ(on[q].walk_steps, off[q].walk_steps);
+      EXPECT_EQ(on[q].flood_messages, off[q].flood_messages);
+      EXPECT_EQ(off[q].bytes_sent, 0u);
+    }
+  }
+}
+
+TEST(ByteAccounting, SearchBytesReconcileWithFrameSizes) {
+  const auto corpus = test::clustered_corpus(24, 3);
+  ScenarioParams sp;
+  sp.params.max_links = 6;
+  sp.params.min_links = 2;
+  sp.rounds = 6;
+  sp.seed = 5;
+  ScenarioRunner runner(corpus, sp);
+  runner.run();
+
+  util::Rng rng(99);
+  SearchOptions sopt;
+  sopt.ttl = 25;
+  size_t nonzero = 0;
+  for (size_t q = 0; q < 8; ++q) {
+    const auto& query = corpus.queries[q % corpus.queries.size()].vector;
+    const auto alive = runner.network().alive_nodes();
+    const NodeId initiator = alive[rng.index(alive.size())];
+    const p2p::SearchTrace trace = runner.search(query, initiator, sopt, rng);
+    // One WalkQuery frame per walk step, one FloodForward frame per flood
+    // edge; the query vector rides unchanged, so per-query frame sizes
+    // are constants.
+    const uint64_t expected =
+        trace.walk_steps * wire::walk_query_frame_size(query.size()) +
+        trace.flood_messages * wire::flood_forward_frame_size(query.size());
+    EXPECT_EQ(trace.bytes_sent, expected) << "query " << q;
+    if (trace.bytes_sent > 0) ++nonzero;
+  }
+  EXPECT_GT(nonzero, 0u) << "batch never exercised the accounting";
+}
+
+#if GES_OBS
+
+TEST(ByteAccounting, CountersAndFlightEventsReconcileExactly) {
+  const auto corpus = test::clustered_corpus(24, 3);
+  ScenarioParams sp;
+  sp.params.max_links = 6;
+  sp.params.min_links = 2;
+  sp.rounds = 6;
+  sp.seed = 13;
+  ScenarioRunner runner(corpus, sp);
+  runner.run();
+
+  obs::flight().reset();
+  obs::FlightRecorderConfig config;
+  config.worst_k = 0;
+  config.sample_capacity = 64;
+  config.sample_every = 1;
+  config.max_events_per_query = 65536;
+  obs::flight().set_config(config);
+  obs::flight().set_enabled(true);
+  obs::global().set_enabled(true);
+
+  util::Rng rng(4242);
+  SearchOptions sopt;
+  sopt.ttl = 25;
+  std::vector<p2p::SearchTrace> traces;
+  std::vector<const ir::SparseVector*> queries;
+  const auto before = obs::global().metrics().snapshot();
+  for (size_t q = 0; q < 6; ++q) {
+    const auto& query = corpus.queries[q % corpus.queries.size()].vector;
+    const auto alive = runner.network().alive_nodes();
+    const NodeId initiator = alive[rng.index(alive.size())];
+    traces.push_back(runner.search(query, initiator, sopt, rng));
+    queries.push_back(&query);
+  }
+  const auto after = obs::global().metrics().snapshot();
+
+  // ges.net.bytes.{walk,flood} counter deltas == summed per-trace bytes.
+  uint64_t walk_bytes = 0, flood_bytes = 0, total_bytes = 0;
+  for (size_t q = 0; q < traces.size(); ++q) {
+    walk_bytes += traces[q].walk_steps *
+                  wire::walk_query_frame_size(queries[q]->size());
+    flood_bytes += traces[q].flood_messages *
+                   wire::flood_forward_frame_size(queries[q]->size());
+    total_bytes += traces[q].bytes_sent;
+  }
+  EXPECT_EQ(after.counter("ges.net.bytes.walk") -
+                before.counter("ges.net.bytes.walk"),
+            walk_bytes);
+  EXPECT_EQ(after.counter("ges.net.bytes.flood") -
+                before.counter("ges.net.bytes.flood"),
+            flood_bytes);
+  EXPECT_EQ(total_bytes, walk_bytes + flood_bytes);
+
+  // Per-event frame sizes sum to the cost block, which equals the trace.
+  const auto kept = obs::flight().retained();
+  ASSERT_EQ(kept.size(), traces.size());
+  for (size_t q = 0; q < kept.size(); ++q) {
+    const obs::QueryAutopsy& a = kept[q].autopsy;
+    ASSERT_EQ(a.events_dropped, 0u);
+    uint64_t event_bytes = 0;
+    for (const obs::FlightEvent& ev : a.events) {
+      if (ev.kind == obs::FlightEventKind::kWalkHop ||
+          ev.kind == obs::FlightEventKind::kFloodSend) {
+        EXPECT_GT(ev.bytes, 0u);
+        event_bytes += ev.bytes;
+      } else {
+        EXPECT_EQ(ev.bytes, 0u);
+      }
+    }
+    EXPECT_EQ(event_bytes, a.cost.bytes_sent) << "query " << q;
+    EXPECT_EQ(a.cost.bytes_sent, traces[q].bytes_sent) << "query " << q;
+  }
+
+  obs::flight().set_enabled(false);
+  obs::flight().reset();
+  obs::global().set_enabled(false);
+  obs::global().reset();
+}
+
+#endif  // GES_OBS
+
+// --- Topology adaptation -------------------------------------------------
+
+p2p::Network adapted_network(const corpus::Corpus& corpus, bool account_bytes,
+                             AdaptationRoundStats* total) {
+  p2p::Network net(corpus, test::uniform_capacities(corpus),
+                   p2p::NetworkConfig{});
+  util::Rng boot(17);
+  p2p::bootstrap_random_graph(net, 4.0, boot);
+  GesParams params;
+  params.max_links = 6;
+  params.min_links = 2;
+  params.gossip_host_caches = true;
+  params.account_bytes = account_bytes;
+  TopologyAdaptation adapt(net, params, 23);
+  *total = adapt.run_rounds(8);
+  return net;
+}
+
+TEST(ByteAccounting, AdaptationOutcomeIdenticalOnOrOff) {
+  const auto corpus = test::clustered_corpus(24, 3);
+  AdaptationRoundStats on_stats, off_stats;
+  const p2p::Network on = adapted_network(corpus, true, &on_stats);
+  const p2p::Network off = adapted_network(corpus, false, &off_stats);
+
+  // Message-unit tallies are bit-identical; only the byte fields differ.
+  EXPECT_EQ(on_stats.semantic_links_added, off_stats.semantic_links_added);
+  EXPECT_EQ(on_stats.random_links_added, off_stats.random_links_added);
+  EXPECT_EQ(on_stats.links_reclassified, off_stats.links_reclassified);
+  EXPECT_EQ(on_stats.walk_messages, off_stats.walk_messages);
+  EXPECT_EQ(on_stats.handshake_messages, off_stats.handshake_messages);
+  EXPECT_EQ(on_stats.gossip_messages, off_stats.gossip_messages);
+  EXPECT_EQ(off_stats.walk_bytes, 0u);
+  EXPECT_EQ(off_stats.handshake_bytes, 0u);
+  EXPECT_EQ(off_stats.gossip_bytes, 0u);
+
+  // The resulting topologies are identical link for link.
+  ASSERT_EQ(on.size(), off.size());
+  for (NodeId n = 0; n < on.size(); ++n) {
+    EXPECT_EQ(on.neighbors(n, p2p::LinkType::kSemantic),
+              off.neighbors(n, p2p::LinkType::kSemantic))
+        << "node " << n;
+    EXPECT_EQ(on.neighbors(n, p2p::LinkType::kRandom),
+              off.neighbors(n, p2p::LinkType::kRandom))
+        << "node " << n;
+  }
+}
+
+TEST(ByteAccounting, AdaptationBytesReconcileWithFrameSizes) {
+  const auto corpus = test::clustered_corpus(24, 3);
+  AdaptationRoundStats stats;
+  adapted_network(corpus, true, &stats);
+
+  // Every discovery-walk message unit is one DiscoveryProbe frame.
+  EXPECT_EQ(stats.walk_bytes,
+            stats.walk_messages * wire::discovery_probe_frame_size());
+  // Without faults no handshake loses a leg: handshake_messages is 3 per
+  // attempt and the bytes are whole three-leg exchanges.
+  ASSERT_EQ(stats.handshake_messages % 3, 0u);
+  EXPECT_EQ(stats.handshake_bytes,
+            (stats.handshake_messages / 3) * wire::handshake_legs_frame_size());
+  // Gossip frames are sized by the entries actually shipped, so the
+  // relation is a bound: every exchange costs at least the empty frame.
+  if (stats.gossip_messages > 0) {
+    EXPECT_GE(stats.gossip_bytes,
+              stats.gossip_messages * wire::host_cache_exchange_frame_size(0, 0));
+  } else {
+    EXPECT_EQ(stats.gossip_bytes, 0u);
+  }
+}
+
+// --- Replica heartbeats --------------------------------------------------
+
+TEST(ByteAccounting, HeartbeatBytesReconcileWithFrameSizes) {
+  const auto corpus = test::clustered_corpus(16, 3);
+  p2p::Network net(corpus, test::uniform_capacities(corpus),
+                   p2p::NetworkConfig{});
+  util::Rng boot(5);
+  p2p::bootstrap_random_graph(net, 4.0, boot);
+
+  for (const bool account : {true, false}) {
+    SCOPED_TRACE(account ? "accounting on" : "accounting off");
+    p2p::EventQueue queue;
+    p2p::ReplicaHeartbeatProcess beats(net, queue, 10.0);
+    beats.set_account_bytes(account);
+    beats.start();
+    queue.run_until(10.5);  // every node beats exactly once
+
+    // Double-entry: one ReplicaHeartbeat request per (node, random
+    // neighbor) pair plus — nothing is lost without faults — one
+    // NodeVectorUpdate response sized by the neighbor's vector.
+    uint64_t expected = 0;
+    size_t sent = 0;
+    for (const NodeId node : net.alive_nodes()) {
+      for (const NodeId neighbor : net.neighbors(node, p2p::LinkType::kRandom)) {
+        ++sent;
+        expected += wire::replica_heartbeat_frame_size() +
+                    wire::node_vector_update_frame_size(
+                        net.node_vector(neighbor).size());
+      }
+    }
+    EXPECT_EQ(beats.heartbeats_sent(), sent);
+    EXPECT_EQ(beats.heartbeats_lost(), 0u);
+    EXPECT_EQ(beats.heartbeat_bytes(), account ? expected : 0u);
+  }
+}
+
+// --- Result cache --------------------------------------------------------
+
+/// Package results the way a search stores them, scanning owners until at
+/// least `min_docs` documents match (which owners score is corpus-shaped,
+/// so a fixed owner can come up empty).
+std::vector<CachedResultDoc> fresh_docs(const p2p::Network& net,
+                                        const ir::SparseVector& query,
+                                        size_t min_docs) {
+  std::vector<CachedResultDoc> out;
+  for (NodeId owner = 0; owner < net.size() && out.size() < min_docs; ++owner) {
+    for (const auto& d : net.index(owner).evaluate(query, 0.0)) {
+      out.push_back({d.doc, d.score, owner, net.node_vector_version(owner)});
+    }
+  }
+  return out;
+}
+
+TEST(ByteAccounting, ResultCacheBytesReconcileWithFrameSizes) {
+  const auto corpus = test::clustered_corpus(12, 3);
+  p2p::Network net(corpus, test::uniform_capacities(corpus),
+                   p2p::NetworkConfig{});
+  const auto& query = corpus.queries[0].vector;
+  const p2p::QuerySignature sig = p2p::query_signature(query);
+  const auto docs = fresh_docs(net, query, 1);
+  ASSERT_FALSE(docs.empty());
+
+  for (const bool account : {true, false}) {
+    SCOPED_TRACE(account ? "accounting on" : "accounting off");
+    ResultCacheConfig config;
+    config.account_bytes = account;
+    ResultCacheBank bank(net, config);
+
+    EXPECT_EQ(bank.probe(0, sig), nullptr);  // miss
+    bank.store(0, sig, docs);
+    const auto* hit = bank.probe(0, sig);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(bank.probe(5, sig), nullptr);  // miss at another holder
+
+    const ResultCacheStats& stats = bank.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.stores, 1u);
+    if (account) {
+      EXPECT_EQ(stats.probe_bytes, 3 * wire::cache_probe_frame_size());
+      EXPECT_EQ(stats.result_bytes, wire::cache_result_frame_size(hit->size()));
+      EXPECT_EQ(stats.store_bytes, wire::cache_store_frame_size(docs.size()));
+    } else {
+      EXPECT_EQ(stats.probe_bytes, 0u);
+      EXPECT_EQ(stats.result_bytes, 0u);
+      EXPECT_EQ(stats.store_bytes, 0u);
+    }
+  }
+}
+
+TEST(ByteAccounting, ResultCacheStoreBytesUseTruncatedSize) {
+  // With top-k truncation the CacheStore frame carries the kept docs,
+  // not the full retrieved set.
+  const auto corpus = test::clustered_corpus(12, 3);
+  p2p::Network net(corpus, test::uniform_capacities(corpus),
+                   p2p::NetworkConfig{});
+  const auto& query = corpus.queries[0].vector;
+  const auto docs = fresh_docs(net, query, 2);
+  ASSERT_GT(docs.size(), 1u);
+
+  ResultCacheConfig config;
+  config.top_k = 1;
+  ResultCacheBank bank(net, config);
+  bank.store(0, p2p::query_signature(query), docs);
+  EXPECT_EQ(bank.stats().store_bytes, wire::cache_store_frame_size(1));
+}
+
+}  // namespace
+}  // namespace ges::core

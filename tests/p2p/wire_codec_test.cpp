@@ -1,0 +1,370 @@
+// Wire format v1 codec tests (docs/PROTOCOL.md "Wire format v1"):
+// round-trip identity over the canonical message set, byte-exact
+// agreement with the committed golden fixtures, size-helper consistency,
+// and a malformed-frame grid (every truncation point, corrupt header
+// bytes, varint overflow, field-level violations) asserting typed errors
+// — decode is total, so none of these may crash even under ASan/UBSan.
+
+#include "p2p/wire.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "p2p/wire_fixture_messages.hpp"
+
+namespace ges::p2p::wire {
+namespace {
+
+std::vector<uint8_t> read_fixture(const std::string& name) {
+  const std::string path =
+      std::string(GES_WIRE_FIXTURE_DIR) + "/" + name + ".bin";
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden fixture " << path
+                         << " (regenerate with wire_fixture_emitter)";
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// --- Stable protocol constants ------------------------------------------
+
+TEST(WireCodec, TagsAndNamesAreStable) {
+  const auto messages = test::wire_fixture_messages();
+  ASSERT_EQ(messages.size(), 13u);
+  const char* expected_names[] = {
+      "walk_query",         "walk_response",      "flood_forward",
+      "discovery_probe",    "handshake_request",  "handshake_response",
+      "handshake_confirm",  "node_vector_update", "replica_heartbeat",
+      "host_cache_exchange", "cache_store",       "cache_probe",
+      "cache_result"};
+  for (size_t i = 0; i < messages.size(); ++i) {
+    const MessageType tag = message_type(messages[i].message);
+    // Tags are normative: 1..13 in declaration order, never renumbered.
+    EXPECT_EQ(static_cast<uint8_t>(tag), i + 1) << messages[i].name;
+    EXPECT_STREQ(message_type_name(tag), expected_names[i]);
+    EXPECT_STREQ(messages[i].name, expected_names[i]);
+  }
+  EXPECT_STREQ(message_type_name(static_cast<MessageType>(0)), "unknown");
+  EXPECT_STREQ(message_type_name(static_cast<MessageType>(99)), "unknown");
+}
+
+TEST(WireCodec, ErrorNamesAreDistinct) {
+  const WireError all[] = {
+      WireError::kNone,          WireError::kTruncated,
+      WireError::kBadMagic,      WireError::kUnsupportedVersion,
+      WireError::kUnknownType,   WireError::kVarintOverflow,
+      WireError::kLengthMismatch, WireError::kMalformed};
+  for (const WireError a : all) {
+    ASSERT_NE(wire_error_name(a), nullptr);
+    for (const WireError b : all) {
+      if (a != b) EXPECT_STRNE(wire_error_name(a), wire_error_name(b));
+    }
+  }
+}
+
+TEST(WireCodec, VarintSizes) {
+  EXPECT_EQ(varint_size(0), 1u);
+  EXPECT_EQ(varint_size(127), 1u);
+  EXPECT_EQ(varint_size(128), 2u);
+  EXPECT_EQ(varint_size(16383), 2u);
+  EXPECT_EQ(varint_size(16384), 3u);
+  EXPECT_EQ(varint_size(UINT64_MAX), 10u);
+}
+
+// --- Round trip ----------------------------------------------------------
+
+TEST(WireCodec, RoundTripEveryMessageType) {
+  for (const auto& [name, message] : test::wire_fixture_messages()) {
+    SCOPED_TRACE(name);
+    const std::vector<uint8_t> bytes = encode(message);
+    EXPECT_EQ(bytes.size(), encoded_size(message));
+    const DecodeResult result = decode(bytes);
+    ASSERT_TRUE(result.ok()) << wire_error_name(result.error);
+    EXPECT_EQ(result.consumed, bytes.size());
+    EXPECT_EQ(result.message, message);
+  }
+}
+
+TEST(WireCodec, EncodeAppendsToExistingBuffer) {
+  // Frames concatenate into a stream; encode(msg, out) must append, and
+  // decode must consume exactly one frame, leaving the rest alone.
+  const auto messages = test::wire_fixture_messages();
+  std::vector<uint8_t> stream;
+  for (const auto& named : messages) encode(named.message, stream);
+  std::span<const uint8_t> rest(stream);
+  for (const auto& named : messages) {
+    SCOPED_TRACE(named.name);
+    const DecodeResult result = decode(rest);
+    ASSERT_TRUE(result.ok()) << wire_error_name(result.error);
+    EXPECT_EQ(result.message, named.message);
+    rest = rest.subspan(result.consumed);
+  }
+  EXPECT_TRUE(rest.empty());
+}
+
+TEST(WireCodec, SizeHelpersMatchEncodedSize) {
+  // The engines charge bytes through the count-parameterized helpers
+  // (never building Message objects on hot paths); each helper must agree
+  // with the struct-level encoded_size, which must agree with encode().
+  const auto messages = test::wire_fixture_messages();
+  const auto& walk_query = std::get<WalkQuery>(messages[0].message);
+  EXPECT_EQ(walk_query_frame_size(walk_query.query.size()),
+            encode(messages[0].message).size());
+  const auto& walk_response = std::get<WalkResponse>(messages[1].message);
+  EXPECT_EQ(walk_response_frame_size(walk_response.docs.size()),
+            encode(messages[1].message).size());
+  const auto& flood = std::get<FloodForward>(messages[2].message);
+  EXPECT_EQ(flood_forward_frame_size(flood.query.size()),
+            encode(messages[2].message).size());
+  EXPECT_EQ(discovery_probe_frame_size(), encode(messages[3].message).size());
+  EXPECT_EQ(handshake_request_frame_size(), encode(messages[4].message).size());
+  EXPECT_EQ(handshake_response_frame_size(), encode(messages[5].message).size());
+  EXPECT_EQ(handshake_confirm_frame_size(), encode(messages[6].message).size());
+  EXPECT_EQ(handshake_legs_frame_size(),
+            handshake_request_frame_size() + handshake_response_frame_size() +
+                handshake_confirm_frame_size());
+  const auto& nvu = std::get<NodeVectorUpdate>(messages[7].message);
+  EXPECT_EQ(node_vector_update_frame_size(nvu.vector.size()),
+            encode(messages[7].message).size());
+  EXPECT_EQ(replica_heartbeat_frame_size(), encode(messages[8].message).size());
+  const auto& hce = std::get<HostCacheExchange>(messages[9].message);
+  size_t records = 0;
+  for (const HostCacheRecord& r : hce.entries) {
+    records += host_cache_record_size(r.vector.size());
+  }
+  EXPECT_EQ(host_cache_exchange_frame_size(hce.entries.size(), records),
+            encode(messages[9].message).size());
+  const auto& store = std::get<CacheStore>(messages[10].message);
+  EXPECT_EQ(cache_store_frame_size(store.docs.size()),
+            encode(messages[10].message).size());
+  EXPECT_EQ(cache_probe_frame_size(), encode(messages[11].message).size());
+  const auto& cache_result = std::get<CacheResult>(messages[12].message);
+  EXPECT_EQ(cache_result_frame_size(cache_result.docs.size()),
+            encode(messages[12].message).size());
+}
+
+// --- Golden fixtures -----------------------------------------------------
+
+TEST(WireCodec, GoldenFixturesAreByteExact) {
+  // The committed .bin files pin the format: any codec change that moves
+  // a byte fails here before it silently invalidates PROTOCOL.md.
+  for (const auto& [name, message] : test::wire_fixture_messages()) {
+    SCOPED_TRACE(name);
+    const std::vector<uint8_t> golden = read_fixture(name);
+    ASSERT_FALSE(golden.empty());
+    EXPECT_EQ(encode(message), golden);
+    const DecodeResult result = decode(golden);
+    ASSERT_TRUE(result.ok()) << wire_error_name(result.error);
+    EXPECT_EQ(result.message, message);
+  }
+}
+
+TEST(WireCodec, GoldenFixtureHeadersAreWellFormed) {
+  for (const auto& named : test::wire_fixture_messages()) {
+    SCOPED_TRACE(named.name);
+    const std::vector<uint8_t> golden = read_fixture(named.name);
+    ASSERT_GE(golden.size(), kHeaderSize);
+    EXPECT_EQ(golden[0], 'G');
+    EXPECT_EQ(golden[1], 'E');
+    EXPECT_EQ(golden[2], 'S');
+    EXPECT_EQ(golden[3], 'W');
+    EXPECT_EQ(golden[4], kFormatVersion);
+    EXPECT_EQ(golden[5], static_cast<uint8_t>(message_type(named.message)));
+  }
+}
+
+// --- Malformed frames ----------------------------------------------------
+
+TEST(WireCodec, EveryTruncationPointIsTyped) {
+  // A valid frame cut at any byte boundary is kTruncated — never a crash,
+  // never a partial message.
+  for (const auto& [name, message] : test::wire_fixture_messages()) {
+    SCOPED_TRACE(name);
+    const std::vector<uint8_t> bytes = encode(message);
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      const DecodeResult result =
+          decode(std::span<const uint8_t>(bytes.data(), cut));
+      EXPECT_FALSE(result.ok()) << "cut at " << cut;
+      EXPECT_EQ(result.error, WireError::kTruncated) << "cut at " << cut;
+    }
+  }
+}
+
+TEST(WireCodec, TrailingBytesBelongToTheCaller) {
+  for (const auto& [name, message] : test::wire_fixture_messages()) {
+    SCOPED_TRACE(name);
+    std::vector<uint8_t> bytes = encode(message);
+    const size_t frame = bytes.size();
+    bytes.insert(bytes.end(), {0xDE, 0xAD, 0xBE, 0xEF});
+    const DecodeResult result = decode(bytes);
+    ASSERT_TRUE(result.ok()) << wire_error_name(result.error);
+    EXPECT_EQ(result.consumed, frame);
+    EXPECT_EQ(result.message, message);
+  }
+}
+
+TEST(WireCodec, CorruptHeaderBytesAreTyped) {
+  for (const auto& [name, message] : test::wire_fixture_messages()) {
+    SCOPED_TRACE(name);
+    const std::vector<uint8_t> bytes = encode(message);
+    for (size_t i = 0; i < 4; ++i) {
+      std::vector<uint8_t> bad = bytes;
+      bad[i] ^= 0xFF;
+      EXPECT_EQ(decode(bad).error, WireError::kBadMagic) << "magic byte " << i;
+    }
+    std::vector<uint8_t> bad_version = bytes;
+    bad_version[4] = kFormatVersion + 1;
+    EXPECT_EQ(decode(bad_version).error, WireError::kUnsupportedVersion);
+    bad_version[4] = 0;
+    EXPECT_EQ(decode(bad_version).error, WireError::kUnsupportedVersion);
+    std::vector<uint8_t> bad_tag = bytes;
+    bad_tag[5] = 0;
+    EXPECT_EQ(decode(bad_tag).error, WireError::kUnknownType);
+    bad_tag[5] = 0xFF;
+    EXPECT_EQ(decode(bad_tag).error, WireError::kUnknownType);
+    bad_tag[5] = 14;  // one past the last assigned tag
+    EXPECT_EQ(decode(bad_tag).error, WireError::kUnknownType);
+  }
+}
+
+TEST(WireCodec, VarintOverflowIsTyped) {
+  // Header + a length varint with all ten continuation bytes maxed out:
+  // needs more than 64 bits, must not wrap into a bogus small length.
+  std::vector<uint8_t> bytes = {'G', 'E', 'S', 'W', kFormatVersion, 1};
+  bytes.insert(bytes.end(), 10, 0xFF);
+  EXPECT_EQ(decode(bytes).error, WireError::kVarintOverflow);
+}
+
+TEST(WireCodec, HugePayloadLengthIsTruncatedNotAllocated) {
+  // length = 2^32: a well-formed varint no real frame backs. The decoder
+  // must report truncation, not trust the length and allocate.
+  std::vector<uint8_t> bytes = {'G', 'E', 'S', 'W', kFormatVersion, 1,
+                                0x80, 0x80, 0x80, 0x80, 0x10};
+  EXPECT_EQ(decode(bytes).error, WireError::kTruncated);
+}
+
+TEST(WireCodec, PayloadLengthMismatchIsTyped) {
+  // HandshakeConfirm's payload is fixed-size with a single-byte length
+  // varint: claim one extra byte and provide it; the payload reader
+  // finishes early and the frame is rejected.
+  const Message message = HandshakeConfirm{5, 9, 1};
+  std::vector<uint8_t> bytes = encode(message);
+  ASSERT_LT(bytes[kHeaderSize], 0x7F);
+  bytes[kHeaderSize] += 1;
+  bytes.push_back(0x00);
+  EXPECT_EQ(decode(bytes).error, WireError::kLengthMismatch);
+  // Claim one byte less than the payload needs: the bounded reader runs
+  // out mid-field.
+  std::vector<uint8_t> short_frame = encode(message);
+  short_frame[kHeaderSize] -= 1;
+  short_frame.pop_back();
+  EXPECT_EQ(decode(short_frame).error, WireError::kTruncated);
+}
+
+TEST(WireCodec, NonAscendingTermsAreMalformed) {
+  const Message message = NodeVectorUpdate{
+      3, 17, test::wire_fixture_vector({{1, 0.5f}, {2, 1.5f}})};
+  std::vector<uint8_t> bytes = encode(message);
+  // Payload tail: varint(2) + terms u32[2] + weights f32[2]; swap the two
+  // term words so the run decreases.
+  const size_t terms_at = bytes.size() - 16;
+  for (size_t i = 0; i < 4; ++i) {
+    std::swap(bytes[terms_at + i], bytes[terms_at + 4 + i]);
+  }
+  EXPECT_EQ(decode(bytes).error, WireError::kMalformed);
+}
+
+TEST(WireCodec, DuplicateTermsAreMalformed) {
+  const Message message = NodeVectorUpdate{
+      3, 17, test::wire_fixture_vector({{1, 0.5f}, {2, 1.5f}})};
+  std::vector<uint8_t> bytes = encode(message);
+  const size_t terms_at = bytes.size() - 16;
+  for (size_t i = 0; i < 4; ++i) bytes[terms_at + 4 + i] = bytes[terms_at + i];
+  EXPECT_EQ(decode(bytes).error, WireError::kMalformed);
+}
+
+TEST(WireCodec, ZeroWeightIsMalformed) {
+  const Message message = NodeVectorUpdate{
+      3, 17, test::wire_fixture_vector({{1, 0.5f}, {2, 1.5f}})};
+  std::vector<uint8_t> bytes = encode(message);
+  // The last four bytes are the final weight; zero is not a legal
+  // SparseVector component.
+  for (size_t i = bytes.size() - 4; i < bytes.size(); ++i) bytes[i] = 0;
+  EXPECT_EQ(decode(bytes).error, WireError::kMalformed);
+}
+
+TEST(WireCodec, RecordCountBeyondPayloadIsRejectedBeforeAllocation) {
+  // A WalkResponse claiming 2^24 docs in a tiny payload must fail fast on
+  // the count-vs-remaining-bytes guard (no multi-hundred-MB allocation).
+  std::vector<uint8_t> bytes = {'G', 'E', 'S', 'W', kFormatVersion, 2, 16};
+  // payload: guid u64 + responder u32 + varint doc count (2^24)
+  bytes.insert(bytes.end(), 12, 0x00);
+  bytes.insert(bytes.end(), {0x80, 0x80, 0x80, 0x08});
+  ASSERT_EQ(bytes.size(), kHeaderSize + 1 + 16);
+  const DecodeResult result = decode(bytes);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(WireCodec, DecodeIsTotalOnArbitraryBytes) {
+  // Deterministic xorshift noise: decode never crashes, and on the rare
+  // accidental success the message must re-encode to exactly the bytes
+  // consumed (decode and encode are inverse bijections on valid frames).
+  uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<uint8_t> bytes(next() % 96);
+    for (uint8_t& b : bytes) b = static_cast<uint8_t>(next());
+    if (round % 2 == 0 && bytes.size() >= kHeaderSize) {
+      // Half the rounds get a valid header so the payload readers see
+      // plenty of traffic too.
+      bytes[0] = 'G'; bytes[1] = 'E'; bytes[2] = 'S'; bytes[3] = 'W';
+      bytes[4] = kFormatVersion;
+      bytes[5] = static_cast<uint8_t>(1 + next() % 13);
+    }
+    const DecodeResult result = decode(bytes);
+    if (result.ok()) {
+      EXPECT_EQ(encode(result.message),
+                std::vector<uint8_t>(bytes.begin(),
+                                     bytes.begin() + static_cast<ptrdiff_t>(
+                                                         result.consumed)));
+    }
+  }
+}
+
+TEST(WireCodec, MutatedValidFramesNeverCrash) {
+  uint64_t state = 0xC0FFEE123456789ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (const auto& named : test::wire_fixture_messages()) {
+    SCOPED_TRACE(named.name);
+    const std::vector<uint8_t> original = encode(named.message);
+    for (int round = 0; round < 300; ++round) {
+      std::vector<uint8_t> bytes = original;
+      const size_t flips = 1 + next() % 3;
+      for (size_t f = 0; f < flips; ++f) {
+        bytes[next() % bytes.size()] ^= static_cast<uint8_t>(1 + next() % 255);
+      }
+      const DecodeResult result = decode(bytes);
+      if (result.ok()) {
+        EXPECT_EQ(encode(result.message),
+                  std::vector<uint8_t>(bytes.begin(),
+                                       bytes.begin() + static_cast<ptrdiff_t>(
+                                                           result.consumed)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ges::p2p::wire

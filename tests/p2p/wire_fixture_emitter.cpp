@@ -1,0 +1,37 @@
+// Regenerates the committed Wire-format-v1 golden fixtures
+// (tests/p2p/fixtures/wire_v1/<snake_name>.bin): one encoded frame per
+// message type, built from the canonical messages in
+// wire_fixture_messages.hpp. Run it after any deliberate format change
+// and commit the result; wire_codec_test fails byte-exactly until the
+// fixtures, the codec, and the canonical messages agree again.
+//
+//   wire_fixture_emitter [output_dir]   (default tests/p2p/fixtures/wire_v1)
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "p2p/wire.hpp"
+#include "p2p/wire_fixture_messages.hpp"
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "tests/p2p/fixtures/wire_v1";
+  for (const auto& [name, message] : ges::test::wire_fixture_messages()) {
+    const std::vector<uint8_t> bytes = ges::p2p::wire::encode(message);
+    const std::string path = dir + "/" + name + ".bin";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      std::fprintf(stderr, "write failed: %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("%-20s %4zu bytes  tag %u\n", name, bytes.size(),
+                static_cast<unsigned>(ges::p2p::wire::message_type(message)));
+  }
+  return 0;
+}

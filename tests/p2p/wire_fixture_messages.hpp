@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/sparse_vector.hpp"
+#include "p2p/wire.hpp"
+
+namespace ges::test {
+
+/// One canonical message per wire tag, named by its fixture stem
+/// (message_type_name of the payload).
+struct NamedWireMessage {
+  const char* name;
+  p2p::wire::Message message;
+};
+
+inline ir::SparseVector wire_fixture_vector(
+    std::vector<ir::TermWeight> pairs) {
+  return ir::SparseVector::from_pairs(std::move(pairs));
+}
+
+/// The 13 canonical messages behind tests/p2p/fixtures/wire_v1/*.bin, in
+/// tag order. Shared by the golden-fixture emitter and the codec tests so
+/// the committed fixtures and the test expectations can never drift. The
+/// values are arbitrary but chosen to exercise the format's edges: a
+/// query large enough for a two-byte payload-length varint, high-bit
+/// u64s, empty and non-empty vectors in one exchange, fractional scores
+/// that are exact in binary.
+inline std::vector<NamedWireMessage> wire_fixture_messages() {
+  namespace wire = p2p::wire;
+  std::vector<NamedWireMessage> out;
+
+  // 14 terms -> sparse_vector_size = 1 + 14*8 = 113, WalkQuery payload =
+  // 130 > 127: the frame's length varint takes two bytes.
+  std::vector<ir::TermWeight> big;
+  for (uint32_t i = 0; i < 14; ++i) {
+    big.push_back({ir::TermId{3} << i, 0.5f + 0.25f * static_cast<float>(i)});
+  }
+  wire::WalkQuery walk_query{
+      /*guid=*/0x0123456789ABCDEFull, /*initiator=*/42, /*ttl=*/60,
+      /*flags=*/1, wire_fixture_vector(std::move(big))};
+  out.push_back({"walk_query", walk_query});
+
+  wire::WalkResponse walk_response{
+      /*guid=*/0x0123456789ABCDEFull, /*responder=*/7,
+      {{12, 3.25}, {999, 0.001953125}, {4294967294u, 7.0}}};
+  out.push_back({"walk_response", walk_response});
+
+  wire::FloodForward flood_forward{
+      /*guid=*/0xFFFFFFFFFFFFFFFFull, /*from=*/13, /*depth=*/2, /*radius=*/4,
+      wire_fixture_vector({{5, 1.5f}, {1000, 0.125f}, {70000, 2.0f}})};
+  out.push_back({"flood_forward", flood_forward});
+
+  out.push_back({"discovery_probe",
+                 wire::DiscoveryProbe{/*origin=*/21, /*round=*/300,
+                                      /*want_relevant=*/1, /*ttl=*/60,
+                                      /*max_responses=*/16}});
+
+  out.push_back({"handshake_request",
+                 wire::HandshakeRequest{/*from=*/5, /*to=*/9, /*link_type=*/1,
+                                        /*rel=*/0.453125,
+                                        /*capacity=*/100000.0, /*degree=*/6}});
+
+  out.push_back({"handshake_response",
+                 wire::HandshakeResponse{/*from=*/9, /*to=*/5, /*accept=*/1,
+                                         /*victim=*/p2p::kInvalidNode}});
+
+  out.push_back({"handshake_confirm",
+                 wire::HandshakeConfirm{/*from=*/5, /*to=*/9, /*committed=*/1}});
+
+  out.push_back({"node_vector_update",
+                 wire::NodeVectorUpdate{
+                     /*owner=*/3, /*version=*/17,
+                     wire_fixture_vector({{1, 0.25f}, {2, 0.5f}, {3, 0.75f},
+                                          {4, 1.0f}, {5, 1.25f}})}});
+
+  out.push_back({"replica_heartbeat",
+                 wire::ReplicaHeartbeat{/*from=*/2, /*to=*/3, /*tick=*/41}});
+
+  // One record with a vector (random-cache style), one with the empty
+  // vector semantic-cache entries gossip.
+  wire::HostCacheExchange host_cache_exchange{
+      /*from=*/1, /*to=*/2, /*cache_kind=*/1,
+      {{/*node=*/8, /*capacity=*/1000.0, /*degree=*/4, /*rel_score=*/0.625,
+        wire_fixture_vector({{10, 0.5f}, {20, 1.5f}})},
+       {/*node=*/9, /*capacity=*/10.0, /*degree=*/3, /*rel_score=*/0.0,
+        ir::SparseVector{}}}};
+  out.push_back({"host_cache_exchange", host_cache_exchange});
+
+  wire::CacheStore cache_store{
+      /*holder=*/4, /*signature=*/0xFEEDFACECAFEBEEFull,
+      {{/*doc=*/100, /*score=*/2.5, /*owner=*/6, /*owner_version=*/3},
+       {/*doc=*/200, /*score=*/0.0078125, /*owner=*/7, /*owner_version=*/12}}};
+  out.push_back({"cache_store", cache_store});
+
+  out.push_back({"cache_probe",
+                 wire::CacheProbe{/*holder=*/4,
+                                  /*signature=*/0xFEEDFACECAFEBEEFull}});
+
+  wire::CacheResult cache_result{
+      /*holder=*/4, /*signature=*/0xFEEDFACECAFEBEEFull,
+      {{/*doc=*/100, /*score=*/2.5, /*owner=*/6, /*owner_version=*/3}}};
+  out.push_back({"cache_result", cache_result});
+
+  return out;
+}
+
+}  // namespace ges::test

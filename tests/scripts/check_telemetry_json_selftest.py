@@ -49,15 +49,16 @@ def autopsy_doc():
     whose cost summary matches its event graph exactly."""
     cost = {"probes": 2, "walk_steps": 1, "flood_messages": 0,
             "cache_hits": 1, "targets": 1, "retrieved_docs": 3,
-            "rel_evals": 4, "rel_memo_hits": 0}
+            "rel_evals": 4, "rel_memo_hits": 0, "bytes_sent": 57}
     events = [
         {"id": 0, "parent": -1, "kind": "issued", "t": 1.0, "node": 7},
         {"id": 1, "parent": 0, "kind": "cache_probe", "t": 1.0, "node": 7,
          "outcome": "miss", "docs": 0},
         {"id": 2, "parent": 0, "kind": "probe", "t": 1.0, "node": 7,
          "docs": 3, "target": True},
+        # 57 = Wire-format-v1 WalkQuery frame for a 4-term query.
         {"id": 3, "parent": 2, "kind": "walk_hop", "t": 1.5, "from": 7,
-         "to": 9, "rel": 0.25, "supernode": False},
+         "to": 9, "rel": 0.25, "supernode": False, "bytes": 57},
         {"id": 4, "parent": 3, "kind": "cache_probe", "t": 2.0, "node": 9,
          "outcome": "hit", "docs": 3},
     ]
@@ -240,6 +241,24 @@ class ValidatorTest(unittest.TestCase):
         path = self.write("a.json", doc)
         result = self.run_validator(path)
         self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_autopsy_missing_event_bytes_fails(self):
+        # Every message-bearing event must report its wire-frame size.
+        doc = autopsy_doc()
+        del doc["autopsies"][0]["events"][3]["bytes"]
+        path = self.write("a.json", doc)
+        result = self.run_validator(path)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("bytes", result.stderr)
+
+    def test_autopsy_byte_reconciliation_mismatch_fails(self):
+        # cost.bytes_sent must equal the summed per-event frame sizes.
+        doc = autopsy_doc()
+        doc["autopsies"][0]["query"]["cost"]["bytes_sent"] = 9999
+        path = self.write("a.json", doc)
+        result = self.run_validator(path)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("bytes_sent", result.stderr)
 
     def test_autopsy_unknown_event_kind_fails(self):
         doc = autopsy_doc()
